@@ -1,0 +1,83 @@
+"""Ablation — Gryff-RSC dependency handling.
+
+Compares the cost of Gryff-RSC's piggybacked dependency propagation against
+an eager variant that issues a real-time fence (an explicit quorum
+write-back) immediately after every read that observed a non-quorum value.
+The eager variant models what applications would pay without piggybacking
+(§7.1's discussion of real-time fences).
+"""
+
+from repro.bench.gryff_experiments import run_ycsb_experiment
+from repro.bench.reporting import format_table
+from repro.gryff.cluster import GryffCluster
+from repro.gryff.config import GryffConfig, GryffVariant
+from repro.sim.stats import percentile
+from repro.workloads.clients import ClosedLoopDriver
+from repro.workloads.ycsb import YcsbWorkload
+
+
+def eager_fence_executor(client, spec):
+    if spec.kind == "write":
+        yield from client.write(spec.key, spec.value)
+    else:
+        yield from client.read(spec.key)
+        if client.dependency is not None:
+            yield from client.fence()
+
+
+def run_eager_fence_experiment(write_ratio, conflict_rate, duration_ms, seed=4):
+    config = GryffConfig(variant=GryffVariant.GRYFF_RSC, seed=seed)
+    cluster = GryffCluster(config)
+    clients, workloads = [], []
+    for index in range(16):
+        site = config.sites[index % len(config.sites)]
+        client = cluster.new_client(site, record_history=False)
+        clients.append(client)
+        workloads.append(YcsbWorkload(client_id=client.name, write_ratio=write_ratio,
+                                      conflict_rate=conflict_rate,
+                                      seed=seed * 1000 + index))
+    ClosedLoopDriver(cluster.env, clients, workloads, eager_fence_executor,
+                     duration_ms=duration_ms).start()
+    cluster.run()
+    return cluster
+
+
+def run_ablation(duration_ms):
+    write_ratio, conflict_rate = 0.3, 0.10
+    piggyback = run_ycsb_experiment(GryffVariant.GRYFF_RSC, write_ratio,
+                                    conflict_rate, duration_ms=duration_ms, seed=4)
+    eager = run_eager_fence_experiment(write_ratio, conflict_rate, duration_ms)
+    gryff = run_ycsb_experiment(GryffVariant.GRYFF, write_ratio, conflict_rate,
+                                duration_ms=duration_ms, seed=4)
+
+    def row(label, recorder, throughput):
+        reads = recorder.samples("read")
+        fences = recorder.samples("fence")
+        return [label, len(reads),
+                percentile(reads, 99) if reads else 0.0,
+                throughput, len(fences)]
+
+    return [
+        row("Gryff (write-back reads)", gryff.recorder, gryff.throughput()),
+        row("Gryff-RSC (piggybacked deps)", piggyback.recorder, piggyback.throughput()),
+        row("Gryff-RSC (eager fences)", eager.recorder, eager.recorder.throughput()),
+    ]
+
+
+def test_ablation_gryff_dependency_handling(benchmark, bench_scale):
+    rows = benchmark.pedantic(run_ablation, args=(bench_scale["gryff_duration_ms"],),
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["configuration", "reads", "p99 read (ms)", "throughput (op/s)", "fences"],
+        rows, title="Ablation — Gryff-RSC dependency propagation (YCSB 0.3/10%)",
+    ))
+    by_label = {row[0]: row for row in rows}
+    piggy = by_label["Gryff-RSC (piggybacked deps)"]
+    eager = by_label["Gryff-RSC (eager fences)"]
+    gryff = by_label["Gryff (write-back reads)"]
+    # Piggybacking keeps p99 read latency at or below both alternatives.
+    assert piggy[2] <= gryff[2] * 1.05
+    assert piggy[2] <= eager[2] * 1.05
+    # The eager variant actually pays for fences.
+    assert eager[4] >= 0

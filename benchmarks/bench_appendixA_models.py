@@ -1,0 +1,13 @@
+"""Appendix A (Figures 9-16) — the example executions that separate RSS/RSC
+from their proximal consistency models."""
+
+from repro.bench.appendix_a import appendix_a_report
+
+
+def test_appendix_a_model_comparison(benchmark):
+    report = benchmark(appendix_a_report)
+    print()
+    print(report["text"])
+    assert report["mismatches"] == [], (
+        f"checker verdicts disagree with the paper for: {report['mismatches']}"
+    )

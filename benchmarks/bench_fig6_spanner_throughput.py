@@ -1,0 +1,33 @@
+"""Figure 6 — Spanner-RSS does not significantly impact throughput or median
+latency at high load (single data center, eight shards, zero TrueTime error)."""
+
+from repro.bench.reporting import format_table
+from repro.bench.spanner_experiments import figure6_experiment
+
+
+def test_figure6_throughput_vs_latency(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        figure6_experiment,
+        kwargs={
+            "client_counts": bench_scale["load_client_counts"],
+            "duration_ms": bench_scale["load_duration_ms"],
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["clients", "Spanner tput (txn/s)", "Spanner p50 (ms)",
+         "Spanner-RSS tput (txn/s)", "Spanner-RSS p50 (ms)"],
+        [[row["clients"], row["spanner_throughput"], row["spanner_overall_p50_ms"],
+          row["spanner_rss_throughput"], row["spanner_rss_overall_p50_ms"]]
+         for row in rows],
+        title="Figure 6 — throughput vs median latency under high load",
+    ))
+    # Spanner-RSS's throughput stays within a modest factor of Spanner's and
+    # its median latency is within a few milliseconds (the paper reports
+    # "within a few hundred transactions per second" and "within a few ms").
+    for row in rows:
+        assert row["spanner_rss_throughput"] >= row["spanner_throughput"] * 0.8
+        assert abs(row["spanner_rss_overall_p50_ms"] - row["spanner_overall_p50_ms"]) < 10.0
+    # Throughput grows with offered load before saturating.
+    assert rows[-1]["spanner_throughput"] > rows[0]["spanner_throughput"]

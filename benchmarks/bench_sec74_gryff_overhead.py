@@ -1,0 +1,26 @@
+"""§7.4 — Gryff-RSC's piggybacking mechanism imposes negligible overhead:
+with no wide-area emulation, throughput and median latency are within a few
+percent of Gryff's for 50/50 and 95/5 read/write mixes at 10% conflicts."""
+
+from repro.bench.gryff_experiments import overhead_experiment
+from repro.bench.reporting import format_table
+
+
+def test_gryff_rsc_overhead(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        overhead_experiment,
+        kwargs={"duration_ms": bench_scale["load_duration_ms"]},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["write ratio", "Gryff tput (op/s)", "Gryff p50 (ms)",
+         "Gryff-RSC tput (op/s)", "Gryff-RSC p50 (ms)", "tput delta (%)"],
+        [[row["write_ratio"], row["gryff_throughput"], row["gryff_p50_ms"],
+          row["gryff_rsc_throughput"], row["gryff_rsc_p50_ms"],
+          row["throughput_delta_pct"]] for row in rows],
+        title="§7.4 — Gryff-RSC overhead (single data center, 10% conflicts)",
+    ))
+    for row in rows:
+        assert abs(row["throughput_delta_pct"]) < 10.0
+        assert abs(row["gryff_rsc_p50_ms"] - row["gryff_p50_ms"]) < 2.0

@@ -1,0 +1,15 @@
+"""Table 1 — which invariants hold and which anomalies are possible under
+strict serializability, RSS, and PO serializability."""
+
+from repro.bench.table1 import PAPER_TABLE1, TABLE1_MODELS, table1_report
+
+
+def test_table1_invariants_and_anomalies(benchmark):
+    report = benchmark(table1_report)
+    print()
+    print(report["text"])
+    for model in TABLE1_MODELS:
+        assert report["computed"][model] == PAPER_TABLE1[model], (
+            f"Table 1 row for {model} does not match the paper: "
+            f"{report['computed'][model]} vs {PAPER_TABLE1[model]}"
+        )

@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures.  The
+simulated experiment sizes are controlled by the ``REPRO_BENCH_SCALE``
+environment variable:
+
+* ``quick`` — small runs suitable for CI smoke tests (default);
+* ``full``  — larger runs with smoother tails (a few minutes total).
+"""
+
+import os
+
+import pytest
+
+
+SCALES = {
+    "quick": {
+        "spanner_duration_ms": 20_000.0,
+        "spanner_clients_per_site": 6,
+        "gryff_duration_ms": 20_000.0,
+        "load_duration_ms": 1_000.0,
+        "load_client_counts": (4, 16, 48),
+        "write_ratios": (0.1, 0.3, 0.5, 0.7, 0.9),
+    },
+    "full": {
+        "spanner_duration_ms": 60_000.0,
+        "spanner_clients_per_site": 8,
+        "gryff_duration_ms": 60_000.0,
+        "load_duration_ms": 5_000.0,
+        "load_client_counts": (4, 8, 16, 32, 64, 96),
+        "write_ratios": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    },
+}
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name not in SCALES:
+        raise ValueError(f"unknown REPRO_BENCH_SCALE {name!r}; use quick or full")
+    return SCALES[name]

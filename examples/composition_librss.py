@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Composing RSS services with libRSS (§4.1, Appendix C.4).
+
+Two services — a Spanner-RSS key-value store and a messaging service — are
+used by a Web server and an asynchronous worker.  Without a real-time fence
+between the key-value write and the enqueue, the worker could dequeue a job
+and still read stale data; libRSS inserts the fence automatically when the
+Web server switches services, so invariant I2 holds.
+
+The example runs the same interaction twice: once through libRSS (fenced) and
+once bypassing it (unfenced), and reports how often the worker observed
+missing photo data in each mode.
+
+Usage:  python examples/composition_librss.py
+"""
+
+from repro.apps import MessageQueueClient, MessageQueueServer
+from repro.spanner import SpannerCluster, SpannerConfig, Variant
+
+
+def run(fenced: bool, uploads: int = 5) -> int:
+    cluster = SpannerCluster(SpannerConfig(variant=Variant.SPANNER_RSS))
+    MessageQueueServer(cluster.env, cluster.network, name="mq", site="CA")
+    web_kv = cluster.new_client("CA", name="web-kv")
+    web_mq = MessageQueueClient(cluster.env, cluster.network, name="web-mq", site="CA")
+    worker_kv = cluster.new_client("VA", name="worker-kv")
+    worker_mq = MessageQueueClient(cluster.env, cluster.network, name="worker-mq",
+                                   site="VA")
+    missing = []
+
+    def web_server():
+        for index in range(uploads):
+            photo = f"photo:{index}"
+            yield from web_kv.read_write_transaction(
+                [], lambda _reads, photo=photo: {photo: f"bytes-{photo}"})
+            if fenced:
+                # libRSS would invoke this fence automatically on the service
+                # switch; we call it directly to make the mechanism explicit.
+                yield from web_kv.fence()
+            yield from web_mq.enqueue("jobs", photo)
+
+    def worker():
+        done = 0
+        while done < uploads:
+            photo = yield from worker_mq.dequeue("jobs")
+            if photo is None:
+                yield cluster.env.timeout(20)
+                continue
+            values = yield from worker_kv.read_only_transaction([photo])
+            if values[photo] is None:
+                missing.append(photo)
+            done += 1
+
+    cluster.spawn(web_server())
+    cluster.spawn(worker())
+    cluster.run()
+    return len(missing)
+
+
+def main() -> None:
+    fenced_missing = run(fenced=True)
+    unfenced_missing = run(fenced=False)
+    print("Composition of Spanner-RSS + messaging service (invariant I2):")
+    print(f"  with real-time fences   : {fenced_missing} missing photo reads")
+    print(f"  without real-time fences: {unfenced_missing} missing photo reads "
+          f"(stale reads are possible, though they may not occur in every run)")
+    print()
+    print("With fences the composition guarantees RSS globally (Appendix C.4),")
+    print("so the worker can never observe a dequeued job whose photo is missing.")
+
+
+if __name__ == "__main__":
+    main()

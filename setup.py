@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (where PEP 660 editable
+installs fail) can still do ``python setup.py develop`` or
+``pip install -e . --no-build-isolation`` with older tooling.
+"""
+
+from setuptools import setup
+
+setup()

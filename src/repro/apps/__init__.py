@@ -1,0 +1,30 @@
+"""The photo-sharing example application (§2.2) and its supporting services.
+
+* :mod:`repro.apps.messaging` — a linearizable FIFO messaging service used to
+  enqueue asynchronous thumbnail-generation jobs.
+* :mod:`repro.apps.photo_sharing` — the application logic (Web servers,
+  workers) plus the Table 1 scenario histories: invariants I1/I2 and
+  anomalies A1–A4 under different consistency models.
+* :mod:`repro.apps.invariants` — invariant definitions and checks.
+"""
+
+from repro.apps.messaging import MessageQueueClient, MessageQueueServer
+from repro.apps.photo_sharing import (
+    PhotoSharingApp,
+    Table1Scenario,
+    table1_scenarios,
+)
+from repro.apps.invariants import (
+    album_photos_all_present,
+    worker_jobs_all_resolvable,
+)
+
+__all__ = [
+    "MessageQueueClient",
+    "MessageQueueServer",
+    "PhotoSharingApp",
+    "Table1Scenario",
+    "table1_scenarios",
+    "album_photos_all_present",
+    "worker_jobs_all_resolvable",
+]

@@ -1,0 +1,30 @@
+"""Invariants of the photo-sharing application (Table 1).
+
+* I1: for every album a process has read, every photo referenced by the album
+  has non-null data.
+* I2: every photo id a worker receives through the messaging service resolves
+  to non-null data in the key-value store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["album_photos_all_present", "worker_jobs_all_resolvable"]
+
+
+def album_photos_all_present(album_views: Iterable[Dict[str, Any]]) -> bool:
+    """I1 over a collection of album views (photo id → data mappings)."""
+    for view in album_views:
+        for photo_id, data in view.items():
+            if data is None:
+                return False
+    return True
+
+
+def worker_jobs_all_resolvable(job_results: Iterable[Tuple[str, Any]]) -> bool:
+    """I2 over a collection of ``(photo_id, data)`` results observed by workers."""
+    for _photo_id, data in job_results:
+        if data is None:
+            return False
+    return True

@@ -1,0 +1,88 @@
+"""A linearizable FIFO messaging service (the second service of Figure 1).
+
+The photo-sharing application enqueues asynchronous processing requests
+(e.g. thumbnail generation) and worker processes dequeue them.  The service
+is a single logical server (as a linearizable service its internals are not
+the subject of the paper); client operations are recorded into the shared
+history with ``service="queue"`` so that composite consistency checking and
+libRSS composition can reason about them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Optional
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.sim.engine import Environment
+from repro.sim.network import Message, Network
+from repro.sim.node import Node
+from repro.sim.stats import LatencyRecorder
+
+__all__ = ["MessageQueueServer", "MessageQueueClient"]
+
+
+class MessageQueueServer(Node):
+    """A single-node FIFO queue server."""
+
+    def __init__(self, env: Environment, network: Network, name: str = "mq",
+                 site: str = "CA"):
+        super().__init__(env, network, name, site)
+        self._queues: Dict[str, deque] = {}
+        self.enqueues = 0
+        self.dequeues = 0
+
+    def on_enqueue(self, message: Message):
+        payload = message.payload
+        self._queues.setdefault(payload["queue"], deque()).append(payload["value"])
+        self.enqueues += 1
+        return {"ok": True}
+
+    def on_dequeue(self, message: Message):
+        payload = message.payload
+        queue = self._queues.get(payload["queue"])
+        self.dequeues += 1
+        if not queue:
+            return {"value": None}
+        return {"value": queue.popleft()}
+
+    def queue_length(self, queue: str) -> int:
+        return len(self._queues.get(queue, ()))
+
+
+class MessageQueueClient(Node):
+    """Client library for the messaging service."""
+
+    def __init__(self, env: Environment, network: Network, name: str, site: str,
+                 server: str = "mq", history: Optional[History] = None,
+                 recorder: Optional[LatencyRecorder] = None,
+                 record_history: bool = True):
+        super().__init__(env, network, name, site)
+        self.server = server
+        self.history = history if history is not None else History()
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self.record_history = record_history
+
+    def enqueue(self, queue: str, value: Any):
+        """Append ``value`` to ``queue`` (generator)."""
+        invoked_at = self.env.now
+        yield self.rpc_call(self.server, "enqueue", queue=queue, value=value)
+        self.recorder.record("enqueue", invoked_at, self.env.now)
+        if self.record_history:
+            self.history.add(Operation.enqueue(
+                self.name, queue, value,
+                invoked_at=invoked_at, responded_at=self.env.now))
+        return True
+
+    def dequeue(self, queue: str):
+        """Remove and return the head of ``queue`` (generator); None if empty."""
+        invoked_at = self.env.now
+        reply = yield self.rpc_call(self.server, "dequeue", queue=queue)
+        value = reply["value"]
+        self.recorder.record("dequeue", invoked_at, self.env.now)
+        if self.record_history:
+            self.history.add(Operation.dequeue(
+                self.name, queue, value,
+                invoked_at=invoked_at, responded_at=self.env.now))
+        return value

@@ -1,0 +1,47 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+Each module corresponds to one part of the evaluation:
+
+* :mod:`repro.bench.spanner_experiments` — Figures 5 and 6 (Retwis tail
+  latency, high-load throughput).
+* :mod:`repro.bench.gryff_experiments` — Figure 7 and the §7.4 overhead
+  comparison (YCSB p99 read latency).
+* :mod:`repro.bench.table1` — Table 1 (invariants and anomalies per model).
+* :mod:`repro.bench.appendix_a` — the Appendix A model-comparison figures.
+* :mod:`repro.bench.reporting` — plain-text table rendering.
+
+The ``benchmarks/`` directory wraps these drivers in pytest-benchmark cases,
+one per table/figure.
+"""
+
+from repro.bench.reporting import format_table
+from repro.bench.spanner_experiments import (
+    SpannerExperimentResult,
+    figure5_experiment,
+    figure6_experiment,
+    run_load_experiment,
+    run_retwis_experiment,
+)
+from repro.bench.gryff_experiments import (
+    GryffExperimentResult,
+    figure7_experiment,
+    overhead_experiment,
+    run_ycsb_experiment,
+)
+from repro.bench.table1 import table1_report
+from repro.bench.appendix_a import appendix_a_report
+
+__all__ = [
+    "format_table",
+    "SpannerExperimentResult",
+    "run_retwis_experiment",
+    "figure5_experiment",
+    "run_load_experiment",
+    "figure6_experiment",
+    "GryffExperimentResult",
+    "run_ycsb_experiment",
+    "figure7_experiment",
+    "overhead_experiment",
+    "table1_report",
+    "appendix_a_report",
+]

@@ -1,0 +1,148 @@
+"""Quantifying the anomalies RSS / RSC allow (§3, §4).
+
+RSS and RSC relax some of strict serializability's / linearizability's
+real-time guarantees, so applications may observe *new* anomalies: a read may
+miss a write that some other, causally unrelated process has already
+observed.  The paper argues these anomalies are only possible within short
+time windows — essentially while the conflicting write is still in flight —
+so they should go unnoticed in practice.
+
+This module measures those windows from recorded histories:
+
+* :func:`spanner_completed_write_misses` / :func:`gryff_completed_write_misses`
+  — the number of reads that failed to observe a *completed* conflicting
+  write.  This is anomaly A2 of Table 1 and must be zero under RSS / RSC.
+* :func:`spanner_in_flight_miss_windows` — for every read-only transaction
+  that missed a conflicting write which was still in flight (the A3
+  "temporarily" case), the remaining lifetime of that write after the read
+  returned.  The anomaly is only observable during that window, so its
+  distribution quantifies the "short time window" claim of §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.events import OpType, Operation
+from repro.core.history import History
+from repro.sim.stats import Percentiles
+
+__all__ = [
+    "MissWindowReport",
+    "spanner_in_flight_miss_windows",
+    "spanner_completed_write_misses",
+    "gryff_completed_write_misses",
+]
+
+
+@dataclass
+class MissWindowReport:
+    """Distribution of in-flight miss windows (ms)."""
+
+    reads_measured: int
+    misses: int
+    percentiles: Optional[Percentiles]
+    max_window_ms: float
+
+    def summary_rows(self) -> List[List]:
+        rows = [
+            ["read-only transactions measured", self.reads_measured],
+            ["reads that missed an in-flight write", self.misses],
+            ["max anomaly window (ms)", self.max_window_ms],
+        ]
+        if self.percentiles is not None:
+            rows.insert(2, ["median anomaly window (ms)", self.percentiles.p50])
+        return rows
+
+
+def _commit_ts(op: Operation) -> float:
+    return op.meta.get("commit_ts", 0.0)
+
+
+def _observed_version_ts(history: History, key, observed_value) -> float:
+    if observed_value is None:
+        return 0.0
+    writers = history.writers_of(key, observed_value)
+    return max((_commit_ts(w) for w in writers), default=0.0)
+
+
+def spanner_in_flight_miss_windows(history: History) -> MissWindowReport:
+    """Measure how long missed in-flight writes remained observable gaps.
+
+    For each complete read-only transaction R and each conflicting read-write
+    transaction W that (a) had already been invoked when R responded, (b)
+    eventually committed with a timestamp at or below R's read timestamp era,
+    and (c) whose value R did not observe, the anomaly window is
+    ``W.responded_at - R.responded_at`` — once W completes, the regular
+    real-time constraint forces every later conflicting read to observe it,
+    so the anomaly cannot be observed after that point.
+    """
+    windows: List[float] = []
+    reads = [op for op in history if op.op_type == OpType.RO_TXN and op.is_complete]
+    writes = [op for op in history if op.op_type == OpType.RW_TXN and op.is_complete]
+    for read in reads:
+        for write in writes:
+            overlap = set(write.write_set) & set(read.read_set)
+            if not overlap:
+                continue
+            if write.invoked_at >= read.responded_at:
+                continue  # the write started after the read finished
+            if write.responded_at <= read.invoked_at:
+                continue  # completed writes are covered by the A2 check
+            missed = False
+            for key in overlap:
+                observed_ts = _observed_version_ts(history, key, read.read_set[key])
+                if observed_ts < _commit_ts(write):
+                    missed = True
+                    break
+            if missed:
+                windows.append(max(0.0, write.responded_at - read.responded_at))
+    return MissWindowReport(
+        reads_measured=len(reads),
+        misses=len(windows),
+        percentiles=Percentiles.from_samples(windows) if windows else None,
+        max_window_ms=max(windows) if windows else 0.0,
+    )
+
+
+def spanner_completed_write_misses(history: History) -> int:
+    """Count RO transactions missing a conflicting write that completed
+    before they started (anomaly A2; must be zero under RSS)."""
+    misses = 0
+    writes = [op for op in history if op.op_type == OpType.RW_TXN and op.is_complete]
+    for op in history:
+        if op.op_type != OpType.RO_TXN or not op.is_complete:
+            continue
+        for write in writes:
+            if write.responded_at >= op.invoked_at:
+                continue
+            overlap = set(write.write_set) & set(op.read_set)
+            if not overlap:
+                continue
+            for key in overlap:
+                observed_ts = _observed_version_ts(history, key, op.read_set[key])
+                if observed_ts < _commit_ts(write):
+                    misses += 1
+                    break
+    return misses
+
+
+def gryff_completed_write_misses(history: History) -> int:
+    """Count Gryff reads missing a conflicting write that completed before
+    they started (must be zero under RSC)."""
+    misses = 0
+    writes = [op for op in history
+              if op.op_type in (OpType.WRITE, OpType.RMW) and op.is_complete]
+    for op in history:
+        if op.op_type != OpType.READ or not op.is_complete:
+            continue
+        read_cs = tuple(op.meta.get("carstamp", (0, 0, "")))
+        for write in writes:
+            if write.key != op.key or write.responded_at >= op.invoked_at:
+                continue
+            write_cs = tuple(write.meta.get("carstamp", (0, 0, "")))
+            if write_cs > read_cs:
+                misses += 1
+                break
+    return misses

@@ -1,0 +1,43 @@
+"""Appendix A: the example executions separating RSS/RSC from proximal models.
+
+For every example execution (Figures 2 and 9–16) the report runs every model
+checker the paper gives a verdict for and compares against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.examples import PaperExample, all_examples
+from repro.core.checkers import MODELS
+from repro.bench.reporting import format_table
+
+__all__ = ["appendix_a_report"]
+
+
+def appendix_a_report() -> Dict[str, Any]:
+    """Recompute the Appendix A allowed/forbidden matrix."""
+    rows: List[List[Any]] = []
+    mismatches: List[str] = []
+    details: Dict[str, Dict[str, Dict[str, bool]]] = {}
+    for example in all_examples():
+        verdicts: Dict[str, Dict[str, bool]] = {}
+        for model, expected in sorted(example.expectations.items()):
+            checker = MODELS[model]
+            got = bool(checker(example.history, example.spec))
+            verdicts[model] = {"expected": expected, "computed": got}
+            if got != expected:
+                mismatches.append(f"{example.name}/{model}")
+            rows.append([
+                example.name,
+                model,
+                "allowed" if expected else "forbidden",
+                "allowed" if got else "forbidden",
+                "yes" if got == expected else "NO",
+            ])
+        details[example.name] = verdicts
+    text = format_table(
+        ["execution", "model", "paper", "computed", "matches"], rows,
+        title="Appendix A — example executions vs consistency models",
+    )
+    return {"details": details, "mismatches": mismatches, "text": text}

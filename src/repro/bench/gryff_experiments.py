@@ -1,0 +1,183 @@
+"""Gryff / Gryff-RSC experiment drivers (Figure 7 and §7.4).
+
+``run_ycsb_experiment`` reproduces the §7.2 setup: five replicas, one per
+Table 2 region, sixteen closed-loop clients spread evenly over the regions,
+a YCSB read/write mix with a configurable conflict rate.
+``figure7_experiment`` sweeps the write ratio at a fixed conflict rate and
+reports p99 read latency for Gryff and Gryff-RSC.  ``overhead_experiment``
+reproduces §7.4: no wide-area emulation, 10% conflicts, 50/50 and 95/5 mixes,
+throughput and median latency within a few percent across variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.history import History
+from repro.gryff.client import GryffClient
+from repro.gryff.cluster import GryffCluster
+from repro.gryff.config import GryffConfig, GryffVariant
+from repro.sim.stats import LatencyRecorder, Percentiles, percentile
+from repro.workloads.clients import ClosedLoopDriver
+from repro.workloads.ycsb import OperationSpec, YcsbWorkload
+
+__all__ = [
+    "GryffExperimentResult",
+    "run_ycsb_experiment",
+    "figure7_experiment",
+    "overhead_experiment",
+]
+
+
+@dataclass
+class GryffExperimentResult:
+    """Outcome of one Gryff / Gryff-RSC run."""
+
+    variant: GryffVariant
+    config: GryffConfig
+    recorder: LatencyRecorder
+    replica_stats: Dict[str, Dict[str, int]]
+    reads_fast: int
+    reads_slow: int
+    duration_ms: float
+    consistency_ok: Optional[bool] = None
+    history: Optional[History] = None
+
+    def read_percentiles(self) -> Percentiles:
+        return self.recorder.percentiles("read")
+
+    def write_percentiles(self) -> Percentiles:
+        return self.recorder.percentiles("write")
+
+    def p99_read_ms(self) -> float:
+        samples = self.recorder.samples("read")
+        return percentile(samples, 99.0) if samples else 0.0
+
+    def p999_read_ms(self) -> float:
+        samples = self.recorder.samples("read")
+        return percentile(samples, 99.9) if samples else 0.0
+
+    def throughput(self) -> float:
+        return self.recorder.throughput()
+
+    def slow_read_fraction(self) -> float:
+        total = self.reads_fast + self.reads_slow
+        return self.reads_slow / total if total else 0.0
+
+
+def ycsb_executor(client: GryffClient, spec: OperationSpec):
+    """Executor mapping YCSB operations onto the Gryff client API."""
+    if spec.kind == "write":
+        yield from client.write(spec.key, spec.value)
+    else:
+        yield from client.read(spec.key)
+
+
+def run_ycsb_experiment(
+    variant: GryffVariant,
+    write_ratio: float,
+    conflict_rate: float,
+    num_clients: int = 16,
+    duration_ms: float = 60_000.0,
+    wide_area: bool = True,
+    server_cpu_ms: float = 0.0,
+    seed: int = 1,
+    record_history: bool = False,
+    check_consistency: bool = False,
+) -> GryffExperimentResult:
+    """Run the YCSB workload against one variant (§7.2 / §7.4 setup)."""
+    config = GryffConfig(variant=variant, wide_area=wide_area,
+                         server_cpu_ms=server_cpu_ms, seed=seed)
+    cluster = GryffCluster(config)
+    clients: List[GryffClient] = []
+    workloads: List[YcsbWorkload] = []
+    for index in range(num_clients):
+        site = config.sites[index % len(config.sites)]
+        client = cluster.new_client(site, record_history=record_history)
+        clients.append(client)
+        workloads.append(YcsbWorkload(
+            client_id=client.name, write_ratio=write_ratio,
+            conflict_rate=conflict_rate, seed=seed * 1000 + index,
+        ))
+    driver = ClosedLoopDriver(
+        cluster.env, clients, workloads, ycsb_executor, duration_ms=duration_ms,
+    )
+    driver.start()
+    cluster.run()
+
+    consistency_ok = None
+    if check_consistency and record_history:
+        consistency_ok = bool(cluster.check_consistency())
+    return GryffExperimentResult(
+        variant=variant,
+        config=config,
+        recorder=cluster.recorder,
+        replica_stats=cluster.replica_stats(),
+        reads_fast=sum(client.reads_fast for client in cluster.clients),
+        reads_slow=sum(client.reads_slow for client in cluster.clients),
+        duration_ms=cluster.env.now,
+        consistency_ok=consistency_ok,
+        history=cluster.history if record_history else None,
+    )
+
+
+def figure7_experiment(conflict_rate: float,
+                       write_ratios: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+                       **kwargs) -> List[Dict[str, Any]]:
+    """Figure 7: p99 read latency vs write ratio at one conflict rate."""
+    rows = []
+    for write_ratio in write_ratios:
+        gryff = run_ycsb_experiment(GryffVariant.GRYFF, write_ratio,
+                                    conflict_rate, **kwargs)
+        rsc = run_ycsb_experiment(GryffVariant.GRYFF_RSC, write_ratio,
+                                  conflict_rate, **kwargs)
+        gryff_p99 = gryff.p99_read_ms()
+        rsc_p99 = rsc.p99_read_ms()
+        reduction = (1.0 - rsc_p99 / gryff_p99) * 100.0 if gryff_p99 else 0.0
+        rows.append({
+            "conflict_rate": conflict_rate,
+            "write_ratio": write_ratio,
+            "gryff_p99_ms": gryff_p99,
+            "gryff_rsc_p99_ms": rsc_p99,
+            "reduction_pct": reduction,
+            "gryff_slow_read_fraction": gryff.slow_read_fraction(),
+            "gryff_p999_ms": gryff.p999_read_ms(),
+            "gryff_rsc_p999_ms": rsc.p999_read_ms(),
+        })
+    return rows
+
+
+def overhead_experiment(write_ratios: Sequence[float] = (0.5, 0.05),
+                        conflict_rate: float = 0.10,
+                        num_clients: int = 16,
+                        duration_ms: float = 5_000.0,
+                        server_cpu_ms: float = 0.05,
+                        seed: int = 1) -> List[Dict[str, Any]]:
+    """§7.4: Gryff-RSC's throughput/latency overhead without wide-area links."""
+    rows = []
+    for write_ratio in write_ratios:
+        row: Dict[str, Any] = {"write_ratio": write_ratio,
+                               "conflict_rate": conflict_rate}
+        for variant, label in ((GryffVariant.GRYFF, "gryff"),
+                               (GryffVariant.GRYFF_RSC, "gryff_rsc")):
+            result = run_ycsb_experiment(
+                variant, write_ratio, conflict_rate,
+                num_clients=num_clients, duration_ms=duration_ms,
+                wide_area=False, server_cpu_ms=server_cpu_ms, seed=seed,
+            )
+            reads = result.recorder.samples("read")
+            writes = result.recorder.samples("write")
+            combined = sorted(reads + writes)
+            row[f"{label}_throughput"] = result.throughput()
+            row[f"{label}_p50_ms"] = combined[len(combined) // 2] if combined else 0.0
+        gryff_throughput = row["gryff_throughput"]
+        if gryff_throughput:
+            row["throughput_delta_pct"] = (
+                (row["gryff_rsc_throughput"] - gryff_throughput)
+                / gryff_throughput * 100.0
+            )
+        else:
+            row["throughput_delta_pct"] = 0.0
+        rows.append(row)
+    return rows

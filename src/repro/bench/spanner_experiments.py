@@ -1,0 +1,256 @@
+"""Spanner / Spanner-RSS experiment drivers (Figures 5 and 6).
+
+``run_retwis_experiment`` reproduces the §6.1 setup: three shards with
+leaders in CA/VA/IR, Retwis over Zipfian keys, partly-open clients in every
+data center.  ``figure5_experiment`` runs both variants at one skew and
+returns the read-only-transaction tail-latency comparison.
+
+``run_load_experiment`` reproduces the §6.2 setup: a single data center,
+eight shards, zero TrueTime error, closed-loop clients with a uniform
+workload; ``figure6_experiment`` sweeps the number of clients and reports
+throughput versus median latency for both variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.history import History
+from repro.sim.stats import LatencyRecorder, Percentiles
+from repro.spanner.client import SpannerClient, TransactionAborted
+from repro.spanner.cluster import SpannerCluster
+from repro.spanner.config import SpannerConfig, Variant
+from repro.workloads.clients import ClosedLoopDriver, PartlyOpenDriver
+from repro.workloads.retwis import RetwisWorkload, TransactionSpec
+
+__all__ = [
+    "SpannerExperimentResult",
+    "run_retwis_experiment",
+    "figure5_experiment",
+    "run_load_experiment",
+    "figure6_experiment",
+    "FIGURE5_FRACTIONS",
+]
+
+#: The y-axis gridlines of Figure 5.
+FIGURE5_FRACTIONS = (0.5, 0.9, 0.99, 0.995, 0.999)
+
+
+@dataclass
+class SpannerExperimentResult:
+    """Outcome of one Spanner / Spanner-RSS run."""
+
+    variant: Variant
+    config: SpannerConfig
+    recorder: LatencyRecorder
+    shard_stats: Dict[str, Dict[str, int]]
+    committed: int
+    aborted_attempts: int
+    duration_ms: float
+    consistency_ok: Optional[bool] = None
+    history: Optional[History] = None
+
+    def ro_percentiles(self) -> Percentiles:
+        return self.recorder.percentiles("ro")
+
+    def rw_percentiles(self) -> Percentiles:
+        return self.recorder.percentiles("rw")
+
+    def ro_cdf(self, fractions: Sequence[float] = FIGURE5_FRACTIONS):
+        return self.recorder.cdf("ro", fractions)
+
+    def throughput(self) -> float:
+        return self.recorder.throughput()
+
+    def blocked_fraction(self) -> float:
+        requests = sum(stats["ro_requests"] for stats in self.shard_stats.values())
+        blocked = sum(stats["ro_blocked"] for stats in self.shard_stats.values())
+        return blocked / requests if requests else 0.0
+
+
+def make_retwis_executor(workload_by_client: Dict[str, RetwisWorkload]):
+    """Executor mapping Retwis transaction specs onto the Spanner client API."""
+
+    def executor(client: SpannerClient, spec: TransactionSpec):
+        workload = workload_by_client[client.name]
+        try:
+            if spec.read_only:
+                yield from client.read_only_transaction(spec.read_keys)
+            else:
+                def compute_writes(_reads: Dict[str, Any]) -> Dict[str, Any]:
+                    return {key: workload.unique_value() for key in spec.write_keys}
+
+                yield from client.read_write_transaction(spec.read_keys, compute_writes)
+        except TransactionAborted:
+            # Retried out; count it and move on (the latency of the failed
+            # attempts is already reflected in the recorder via retries).
+            pass
+
+    return executor
+
+
+def run_retwis_experiment(
+    variant: Variant,
+    zipf_skew: float,
+    duration_ms: float = 30_000.0,
+    clients_per_site: int = 4,
+    session_arrival_rate_per_sec: float = 1.2,
+    continue_probability: float = 0.9,
+    think_time_ms: float = 0.0,
+    num_keys: int = 10_000,
+    seed: int = 1,
+    record_history: bool = False,
+    check_consistency: bool = False,
+    config_overrides: Optional[Dict[str, Any]] = None,
+) -> SpannerExperimentResult:
+    """Run the Retwis workload against one variant (§6.1 setup)."""
+    overrides = dict(config_overrides or {})
+    config = SpannerConfig(variant=variant, seed=seed, num_keys=num_keys, **overrides)
+    cluster = SpannerCluster(config)
+    workload_by_client: Dict[str, RetwisWorkload] = {}
+    clients: List[SpannerClient] = []
+    workloads: List[RetwisWorkload] = []
+    for site_index, site in enumerate(config.sites):
+        for client_index in range(clients_per_site):
+            client = cluster.new_client(site, record_history=record_history)
+            workload = RetwisWorkload(
+                num_keys=num_keys, zipf_skew=zipf_skew,
+                seed=seed * 1000 + site_index * 100 + client_index,
+                value_tag=f"{client.name}-",
+            )
+            workload_by_client[client.name] = workload
+            clients.append(client)
+            workloads.append(workload)
+
+    executor = make_retwis_executor(workload_by_client)
+    driver = PartlyOpenDriver(
+        cluster.env, clients, workloads, executor,
+        arrival_rate_per_client=session_arrival_rate_per_sec / 1000.0,
+        duration_ms=duration_ms,
+        continue_probability=continue_probability,
+        think_time_ms=think_time_ms,
+        reset_session=lambda client: client.new_session(),
+        seed=seed,
+    )
+    driver.start()
+    cluster.run()
+
+    consistency_ok = None
+    if check_consistency and record_history:
+        consistency_ok = bool(cluster.check_consistency())
+    return SpannerExperimentResult(
+        variant=variant,
+        config=config,
+        recorder=cluster.recorder,
+        shard_stats=cluster.shard_stats(),
+        committed=cluster.total_committed(),
+        aborted_attempts=sum(c.aborted_attempts for c in cluster.clients),
+        duration_ms=cluster.env.now,
+        consistency_ok=consistency_ok,
+        history=cluster.history if record_history else None,
+    )
+
+
+def figure5_experiment(zipf_skew: float, **kwargs) -> Dict[str, Any]:
+    """Figure 5: RO-transaction tail latency, Spanner vs Spanner-RSS."""
+    results = {
+        "spanner": run_retwis_experiment(Variant.SPANNER, zipf_skew, **kwargs),
+        "spanner_rss": run_retwis_experiment(Variant.SPANNER_RSS, zipf_skew, **kwargs),
+    }
+    rows = []
+    for fraction in FIGURE5_FRACTIONS:
+        quantile = fraction * 100.0
+        spanner_value = _percentile_of(results["spanner"].recorder, "ro", quantile)
+        rss_value = _percentile_of(results["spanner_rss"].recorder, "ro", quantile)
+        reduction = (1.0 - rss_value / spanner_value) * 100.0 if spanner_value else 0.0
+        rows.append({
+            "fraction": fraction,
+            "spanner_ms": spanner_value,
+            "spanner_rss_ms": rss_value,
+            "reduction_pct": reduction,
+        })
+    return {"skew": zipf_skew, "results": results, "rows": rows}
+
+
+def _percentile_of(recorder: LatencyRecorder, category: str, quantile: float) -> float:
+    from repro.sim.stats import percentile
+
+    samples = recorder.samples(category)
+    if not samples:
+        return 0.0
+    return percentile(samples, quantile)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6: throughput vs median latency under high load
+# --------------------------------------------------------------------------- #
+def run_load_experiment(
+    variant: Variant,
+    num_clients: int,
+    duration_ms: float = 5_000.0,
+    num_shards: int = 8,
+    num_keys: int = 5_000,
+    server_cpu_ms: float = 0.05,
+    seed: int = 1,
+) -> SpannerExperimentResult:
+    """Run the §6.2 high-load setup: one data center, uniform keys, ε = 0."""
+    config = SpannerConfig(
+        variant=variant,
+        num_shards=num_shards,
+        num_keys=num_keys,
+        sites=["DC"],
+        leader_sites=["DC"],
+        truetime_epsilon_ms=0.0,
+        jitter_ms=0.0,
+        server_cpu_ms=server_cpu_ms,
+        seed=seed,
+    )
+    cluster = SpannerCluster(config)
+    clients = []
+    workloads = []
+    workload_by_client: Dict[str, RetwisWorkload] = {}
+    for index in range(num_clients):
+        client = cluster.new_client("DC", record_history=False)
+        workload = RetwisWorkload(num_keys=num_keys, zipf_skew=0.0,
+                                  seed=seed * 500 + index,
+                                  value_tag=f"{client.name}-")
+        workload_by_client[client.name] = workload
+        clients.append(client)
+        workloads.append(workload)
+    executor = make_retwis_executor(workload_by_client)
+    driver = ClosedLoopDriver(
+        cluster.env, clients, workloads, executor, duration_ms=duration_ms,
+    )
+    driver.start()
+    cluster.run()
+    return SpannerExperimentResult(
+        variant=variant,
+        config=config,
+        recorder=cluster.recorder,
+        shard_stats=cluster.shard_stats(),
+        committed=cluster.total_committed(),
+        aborted_attempts=sum(c.aborted_attempts for c in cluster.clients),
+        duration_ms=cluster.env.now,
+    )
+
+
+def figure6_experiment(client_counts: Sequence[int] = (4, 8, 16, 32, 64),
+                       **kwargs) -> List[Dict[str, Any]]:
+    """Figure 6: throughput vs p50 latency as closed-loop clients increase."""
+    rows = []
+    for count in client_counts:
+        row: Dict[str, Any] = {"clients": count}
+        for variant, label in ((Variant.SPANNER, "spanner"),
+                               (Variant.SPANNER_RSS, "spanner_rss")):
+            result = run_load_experiment(variant, num_clients=count, **kwargs)
+            all_samples = (result.recorder.samples("ro")
+                           + result.recorder.samples("rw"))
+            row[f"{label}_throughput"] = result.recorder.throughput()
+            row[f"{label}_p50_ms"] = _percentile_of(result.recorder, "ro", 50.0) \
+                if result.recorder.samples("ro") else 0.0
+            row[f"{label}_overall_p50_ms"] = (
+                sorted(all_samples)[len(all_samples) // 2] if all_samples else 0.0
+            )
+        rows.append(row)
+    return rows

@@ -1,0 +1,223 @@
+"""Command-line interface for the reproduction.
+
+Every table and figure of the paper can be regenerated from the command line:
+
+.. code-block:: console
+
+   $ python -m repro table1
+   $ python -m repro appendix-a
+   $ python -m repro figure5 --skew 0.7 --duration-ms 30000
+   $ python -m repro figure6 --clients 4 16 48
+   $ python -m repro figure7 --conflict-rate 0.10
+   $ python -m repro overhead
+   $ python -m repro anomalies
+
+Each subcommand prints the corresponding plain-text table; ``--json FILE``
+additionally writes the raw rows to a JSON file so results can be archived or
+plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.bench.anomalies import (
+    spanner_completed_write_misses,
+    spanner_in_flight_miss_windows,
+)
+from repro.bench.appendix_a import appendix_a_report
+from repro.bench.gryff_experiments import figure7_experiment, overhead_experiment
+from repro.bench.reporting import format_table
+from repro.bench.spanner_experiments import (
+    figure5_experiment,
+    figure6_experiment,
+    run_retwis_experiment,
+)
+from repro.bench.table1 import table1_report
+from repro.spanner.config import Variant
+
+__all__ = ["main", "build_parser"]
+
+
+def _write_json(path: Optional[str], payload: Any) -> None:
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def cmd_table1(args: argparse.Namespace) -> int:
+    report = table1_report()
+    print(report["text"])
+    _write_json(args.json, report["computed"])
+    return 0 if all(report["matches"].values()) else 1
+
+
+def cmd_appendix_a(args: argparse.Namespace) -> int:
+    report = appendix_a_report()
+    print(report["text"])
+    _write_json(args.json, report["details"])
+    return 0 if not report["mismatches"] else 1
+
+
+def cmd_figure5(args: argparse.Namespace) -> int:
+    outcome = figure5_experiment(
+        args.skew,
+        duration_ms=args.duration_ms,
+        clients_per_site=args.clients_per_site,
+        session_arrival_rate_per_sec=args.arrival_rate,
+        num_keys=args.num_keys,
+        seed=args.seed,
+    )
+    print(format_table(
+        ["percentile", "Spanner (ms)", "Spanner-RSS (ms)", "reduction (%)"],
+        [[f"p{row['fraction'] * 100:g}", row["spanner_ms"], row["spanner_rss_ms"],
+          row["reduction_pct"]] for row in outcome["rows"]],
+        title=f"Figure 5 — Retwis read-only tail latency, skew {args.skew}",
+    ))
+    _write_json(args.json, outcome["rows"])
+    return 0
+
+
+def cmd_figure6(args: argparse.Namespace) -> int:
+    rows = figure6_experiment(client_counts=tuple(args.clients),
+                              duration_ms=args.duration_ms)
+    print(format_table(
+        ["clients", "Spanner tput", "Spanner p50 (ms)", "Spanner-RSS tput",
+         "Spanner-RSS p50 (ms)"],
+        [[row["clients"], row["spanner_throughput"], row["spanner_overall_p50_ms"],
+          row["spanner_rss_throughput"], row["spanner_rss_overall_p50_ms"]]
+         for row in rows],
+        title="Figure 6 — throughput vs median latency under high load",
+    ))
+    _write_json(args.json, rows)
+    return 0
+
+
+def cmd_figure7(args: argparse.Namespace) -> int:
+    rows = figure7_experiment(
+        args.conflict_rate, write_ratios=tuple(args.write_ratios),
+        duration_ms=args.duration_ms, seed=args.seed,
+    )
+    print(format_table(
+        ["write ratio", "Gryff p99 (ms)", "Gryff-RSC p99 (ms)", "reduction (%)"],
+        [[row["write_ratio"], row["gryff_p99_ms"], row["gryff_rsc_p99_ms"],
+          row["reduction_pct"]] for row in rows],
+        title=f"Figure 7 — YCSB p99 read latency, {args.conflict_rate * 100:g}% conflicts",
+    ))
+    _write_json(args.json, rows)
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    rows = overhead_experiment(duration_ms=args.duration_ms)
+    print(format_table(
+        ["write ratio", "Gryff tput", "Gryff p50 (ms)", "Gryff-RSC tput",
+         "Gryff-RSC p50 (ms)", "tput delta (%)"],
+        [[row["write_ratio"], row["gryff_throughput"], row["gryff_p50_ms"],
+          row["gryff_rsc_throughput"], row["gryff_rsc_p50_ms"],
+          row["throughput_delta_pct"]] for row in rows],
+        title="§7.4 — Gryff-RSC overhead",
+    ))
+    _write_json(args.json, rows)
+    return 0
+
+
+def cmd_anomalies(args: argparse.Namespace) -> int:
+    result = run_retwis_experiment(
+        Variant.SPANNER_RSS, zipf_skew=args.skew, duration_ms=args.duration_ms,
+        clients_per_site=args.clients_per_site,
+        session_arrival_rate_per_sec=args.arrival_rate, num_keys=args.num_keys,
+        seed=args.seed, record_history=True, check_consistency=True,
+    )
+    report = spanner_in_flight_miss_windows(result.history)
+    misses = spanner_completed_write_misses(result.history)
+    rows = report.summary_rows() + [
+        ["completed conflicting writes missed (A2)", misses],
+        ["history satisfies RSS", result.consistency_ok],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title="Anomaly windows under Spanner-RSS"))
+    _write_json(args.json, {"max_window_ms": report.max_window_ms,
+                            "in_flight_misses": report.misses,
+                            "completed_misses": misses})
+    return 0 if (misses == 0 and bool(result.consistency_ok)) else 1
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of the RSS/RSC paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--json", help="also write raw rows to this JSON file")
+        sub.add_argument("--seed", type=int, default=3)
+
+    table1 = subparsers.add_parser("table1", help="Table 1 (invariants/anomalies)")
+    add_common(table1)
+    table1.set_defaults(func=cmd_table1)
+
+    appendix = subparsers.add_parser("appendix-a", help="Appendix A model comparison")
+    add_common(appendix)
+    appendix.set_defaults(func=cmd_appendix_a)
+
+    figure5 = subparsers.add_parser("figure5", help="Figure 5 (Spanner RO tail latency)")
+    add_common(figure5)
+    figure5.add_argument("--skew", type=float, default=0.7)
+    figure5.add_argument("--duration-ms", type=float, default=30_000.0)
+    figure5.add_argument("--clients-per-site", type=int, default=6)
+    figure5.add_argument("--arrival-rate", type=float, default=2.0)
+    figure5.add_argument("--num-keys", type=int, default=2_000)
+    figure5.set_defaults(func=cmd_figure5)
+
+    figure6 = subparsers.add_parser("figure6", help="Figure 6 (throughput vs latency)")
+    add_common(figure6)
+    figure6.add_argument("--clients", type=int, nargs="+", default=[4, 16, 48])
+    figure6.add_argument("--duration-ms", type=float, default=1_000.0)
+    figure6.set_defaults(func=cmd_figure6)
+
+    figure7 = subparsers.add_parser("figure7", help="Figure 7 (Gryff p99 read latency)")
+    add_common(figure7)
+    figure7.add_argument("--conflict-rate", type=float, default=0.10)
+    figure7.add_argument("--write-ratios", type=float, nargs="+",
+                         default=[0.1, 0.3, 0.5, 0.7, 0.9])
+    figure7.add_argument("--duration-ms", type=float, default=30_000.0)
+    figure7.set_defaults(func=cmd_figure7)
+
+    overhead = subparsers.add_parser("overhead", help="§7.4 (Gryff-RSC overhead)")
+    add_common(overhead)
+    overhead.add_argument("--duration-ms", type=float, default=2_000.0)
+    overhead.set_defaults(func=cmd_overhead)
+
+    anomalies = subparsers.add_parser("anomalies",
+                                      help="extension: anomaly-window measurement")
+    add_common(anomalies)
+    anomalies.add_argument("--skew", type=float, default=0.9)
+    anomalies.add_argument("--duration-ms", type=float, default=10_000.0)
+    anomalies.add_argument("--clients-per-site", type=int, default=3)
+    anomalies.add_argument("--arrival-rate", type=float, default=2.0)
+    anomalies.add_argument("--num-keys", type=int, default=500)
+    anomalies.set_defaults(func=cmd_anomalies)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Formal model of applications, services, and consistency models (§3, App. C).
+
+Modules
+-------
+``events``
+    Operations (reads, writes, rmws, transactions, queue ops, fences) with
+    invocation/response times.
+``history``
+    A :class:`History` records the operations issued by a set of processes
+    plus out-of-band message-passing edges between processes.
+``relations``
+    The real-time order (→) and potential-causality order (⇝) induced by a
+    history.
+``specification``
+    Sequential specifications: key-value register, transactional key-value
+    store, FIFO queue, and their composition.
+``checkers``
+    Consistency-model checkers: linearizability, sequential consistency, RSC,
+    strict serializability, PO serializability, RSS, and the proximal models
+    of Appendix A.
+``transform``
+    The Lemma 1 / Lemma C.5 transformation from an RSS (RSC) execution to an
+    equivalent strictly serializable (linearizable) one.
+``librss``
+    The libRSS composition meta-library (Figure 3, §4.1).
+"""
+
+from repro.core.events import Operation, OpType, next_op_id, reset_op_ids
+from repro.core.history import History
+from repro.core.relations import CausalOrder, RealTimeOrder
+from repro.core.specification import (
+    CompositeSpec,
+    FifoQueueSpec,
+    RegisterSpec,
+    SequentialSpec,
+    TransactionalKVSpec,
+)
+
+__all__ = [
+    "Operation",
+    "OpType",
+    "next_op_id",
+    "reset_op_ids",
+    "History",
+    "CausalOrder",
+    "RealTimeOrder",
+    "SequentialSpec",
+    "RegisterSpec",
+    "TransactionalKVSpec",
+    "FifoQueueSpec",
+    "CompositeSpec",
+]

@@ -1,0 +1,91 @@
+"""Consistency-model checkers.
+
+Every checker takes a :class:`~repro.core.history.History` (and optionally a
+sequential specification) and returns a :class:`CheckResult` whose
+``satisfied`` flag says whether the history is admitted by the model.  The
+search-based checkers are exhaustive and intended for small histories (unit
+tests, the paper's appendix figures, Table 1 scenarios); the witness-based
+checker in :mod:`repro.core.checkers.witness` scales to full simulation runs
+by validating a protocol-provided serialization order instead of searching
+for one.
+
+The :data:`MODELS` registry maps model names to checker callables and is used
+by the Table 1 / Appendix A benchmark drivers.
+"""
+
+from repro.core.checkers.base import CheckResult, SerializationSearch
+from repro.core.checkers.realtime import (
+    check_linearizability,
+    check_strict_serializability,
+)
+from repro.core.checkers.sequential import (
+    check_po_serializability,
+    check_sequential_consistency,
+)
+from repro.core.checkers.regular import check_rsc, check_rss
+from repro.core.checkers.causal import (
+    check_causal_consistency,
+    check_real_time_causal,
+)
+from repro.core.checkers.proximal import (
+    check_crdb,
+    check_osc_u,
+    check_vv_regularity,
+    check_mwr_weak,
+    check_mwr_no_inversion,
+    check_mwr_reads_from,
+    check_mwr_write_order,
+)
+from repro.core.checkers.snapshot import check_strong_snapshot_isolation
+from repro.core.checkers.witness import check_with_witness
+
+#: Registry of transactional model checkers (Table 1 / Figure 8).
+TRANSACTIONAL_MODELS = {
+    "strict_serializability": check_strict_serializability,
+    "rss": check_rss,
+    "po_serializability": check_po_serializability,
+    "crdb": check_crdb,
+    "strong_snapshot_isolation": check_strong_snapshot_isolation,
+}
+
+#: Registry of non-transactional model checkers (Figure 12).
+NON_TRANSACTIONAL_MODELS = {
+    "linearizability": check_linearizability,
+    "rsc": check_rsc,
+    "sequential_consistency": check_sequential_consistency,
+    "osc_u": check_osc_u,
+    "vv_regularity": check_vv_regularity,
+    "real_time_causal": check_real_time_causal,
+    "causal": check_causal_consistency,
+    "mwr_weak": check_mwr_weak,
+    "mwr_write_order": check_mwr_write_order,
+    "mwr_reads_from": check_mwr_reads_from,
+    "mwr_no_inversion": check_mwr_no_inversion,
+}
+
+MODELS = {**TRANSACTIONAL_MODELS, **NON_TRANSACTIONAL_MODELS}
+
+__all__ = [
+    "CheckResult",
+    "SerializationSearch",
+    "check_linearizability",
+    "check_strict_serializability",
+    "check_sequential_consistency",
+    "check_po_serializability",
+    "check_rsc",
+    "check_rss",
+    "check_causal_consistency",
+    "check_real_time_causal",
+    "check_crdb",
+    "check_osc_u",
+    "check_vv_regularity",
+    "check_mwr_weak",
+    "check_mwr_write_order",
+    "check_mwr_reads_from",
+    "check_mwr_no_inversion",
+    "check_strong_snapshot_isolation",
+    "check_with_witness",
+    "MODELS",
+    "TRANSACTIONAL_MODELS",
+    "NON_TRANSACTIONAL_MODELS",
+]

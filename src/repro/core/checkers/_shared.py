@@ -1,0 +1,85 @@
+"""Helpers shared by the model-specific checkers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.core.relations import CausalOrder, RealTimeOrder
+from repro.core.specification import SequentialSpec
+from repro.core.checkers.base import CheckResult, SerializationSearch, default_spec_for
+
+__all__ = [
+    "split_operations",
+    "real_time_edges",
+    "process_order_edges",
+    "run_total_order_check",
+]
+
+
+def split_operations(history: History) -> Tuple[List[Operation], List[Operation]]:
+    """Split a history into required (complete) and optional (pending
+    mutations) operations.
+
+    Pending read-only operations are dropped: their responses are unknown so
+    they impose no constraints; pending mutations may or may not have taken
+    effect, so the search may include them ("adding zero or more responses").
+    """
+    required = history.complete()
+    optional = [op for op in history.pending() if op.is_mutation]
+    return required, optional
+
+
+def real_time_edges(history: History, ops: Sequence[Operation]) -> List[Tuple[int, int]]:
+    """All real-time precedence edges among ``ops``."""
+    rt = RealTimeOrder(history)
+    edges = []
+    for a in ops:
+        for b in ops:
+            if rt.precedes(a, b):
+                edges.append((a.op_id, b.op_id))
+    return edges
+
+
+def process_order_edges(history: History, ops: Sequence[Operation]) -> List[Tuple[int, int]]:
+    """Per-process program-order edges among ``ops``."""
+    included = {op.op_id for op in ops}
+    edges = []
+    for process in history.processes():
+        chain = [op for op in history.by_process(process) if op.op_id in included]
+        for earlier, later in zip(chain, chain[1:]):
+            edges.append((earlier.op_id, later.op_id))
+    return edges
+
+
+def run_total_order_check(
+    history: History,
+    model: str,
+    edges: Iterable[Tuple[int, int]],
+    spec: Optional[SequentialSpec] = None,
+    required: Optional[Sequence[Operation]] = None,
+    optional: Optional[Sequence[Operation]] = None,
+    max_nodes: int = 2_000_000,
+) -> CheckResult:
+    """Run the serialization search and wrap the outcome in a CheckResult."""
+    spec = spec or default_spec_for(history)
+    if required is None or optional is None:
+        default_required, default_optional = split_operations(history)
+        required = default_required if required is None else required
+        optional = default_optional if optional is None else optional
+    search = SerializationSearch(
+        spec=spec,
+        operations=required,
+        constraints=edges,
+        optional_operations=optional,
+        max_nodes=max_nodes,
+    )
+    witness = search.find()
+    if witness is None:
+        return CheckResult(
+            satisfied=False,
+            model=model,
+            reason="no legal serialization satisfies the model's constraints",
+        )
+    return CheckResult(satisfied=True, model=model, witness=witness)

@@ -1,0 +1,159 @@
+"""Generic serialization search shared by the total-order checkers.
+
+Most of the consistency models in the paper have the same shape: the
+execution is admitted iff there exists a sequence ``S`` in the service's
+sequential specification that (1) contains every complete operation (plus,
+optionally, some pending mutations whose responses we may add), and (2)
+respects a model-specific set of precedence constraints.  The
+:class:`SerializationSearch` class implements an exhaustive DFS over
+constraint-respecting total orders, pruning with the specification's
+incremental ``apply`` and memoizing dead states.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.core.specification import RegisterSpec, SequentialSpec, TransactionalKVSpec
+
+__all__ = ["CheckResult", "SerializationSearch", "default_spec_for"]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a consistency check."""
+
+    satisfied: bool
+    model: str
+    witness: Optional[List[Operation]] = None
+    reason: str = ""
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+    def witness_ids(self) -> List[int]:
+        return [op.op_id for op in (self.witness or [])]
+
+
+def default_spec_for(history: History) -> SequentialSpec:
+    """Pick a reasonable specification for a single-service history."""
+    if any(op.is_transaction for op in history):
+        return TransactionalKVSpec()
+    return RegisterSpec()
+
+
+def _state_key(state: Any) -> Any:
+    """A hashable rendering of a specification state (for memoization)."""
+    if isinstance(state, dict):
+        return tuple(sorted(((repr(k), _state_key(v)) for k, v in state.items())))
+    if isinstance(state, (list, tuple)):
+        return tuple(_state_key(v) for v in state)
+    if isinstance(state, set):
+        return tuple(sorted(repr(v) for v in state))
+    return repr(state)
+
+
+class SerializationSearch:
+    """Exhaustive search for a legal serialization respecting constraints.
+
+    Parameters
+    ----------
+    spec:
+        Sequential specification the serialization must satisfy.
+    operations:
+        The operations that *must* appear in the serialization.
+    optional_operations:
+        Pending mutations that *may* be included (the "extend α1 to α2 by
+        adding zero or more responses" clause of the model definitions).
+    constraints:
+        ``(a_id, b_id)`` pairs meaning ``a`` must precede ``b`` whenever both
+        are included.
+    max_nodes:
+        Safety valve on the number of DFS nodes explored.
+    """
+
+    def __init__(
+        self,
+        spec: SequentialSpec,
+        operations: Sequence[Operation],
+        constraints: Iterable[Tuple[int, int]] = (),
+        optional_operations: Sequence[Operation] = (),
+        max_nodes: int = 2_000_000,
+    ):
+        self.spec = spec
+        self.required = list(operations)
+        self.optional = list(optional_operations)
+        self.constraints = list(constraints)
+        self.max_nodes = max_nodes
+        self._nodes = 0
+
+    # ------------------------------------------------------------------ #
+    def find(self) -> Optional[List[Operation]]:
+        """Return a legal constraint-respecting serialization, or None."""
+        # Try including subsets of the optional (pending) mutations, smallest
+        # first: the model allows us to pick any subset whose responses we
+        # "add" to extend the execution.
+        for r in range(len(self.optional) + 1):
+            for subset in itertools.combinations(self.optional, r):
+                witness = self._search(self.required + list(subset))
+                if witness is not None:
+                    return witness
+        return None
+
+    # ------------------------------------------------------------------ #
+    def _search(self, ops: List[Operation]) -> Optional[List[Operation]]:
+        by_id = {op.op_id: op for op in ops}
+        included = set(by_id)
+        successors: Dict[int, Set[int]] = {op_id: set() for op_id in included}
+        indegree: Dict[int, int] = {op_id: 0 for op_id in included}
+        for a, b in self.constraints:
+            if a in included and b in included and b not in successors[a]:
+                successors[a].add(b)
+                indegree[b] += 1
+        order: List[Operation] = []
+        failed: Set[Tuple[FrozenSet[int], Any]] = set()
+        self._nodes = 0
+
+        def dfs(state: Any, remaining: Set[int], indeg: Dict[int, int]) -> bool:
+            if not remaining:
+                return True
+            self._nodes += 1
+            if self._nodes > self.max_nodes:
+                raise RuntimeError(
+                    "serialization search exceeded node budget; history too large "
+                    "for exhaustive checking (use the witness checker instead)"
+                )
+            memo_key = (frozenset(remaining), _state_key(state))
+            if memo_key in failed:
+                return False
+            ready = [op_id for op_id in remaining if indeg[op_id] == 0]
+            # Deterministic exploration order helps reproducibility of
+            # witnesses across runs.
+            for op_id in sorted(ready):
+                op = by_id[op_id]
+                ok, next_state = self.spec.apply(state, op)
+                if not ok:
+                    continue
+                remaining.remove(op_id)
+                for succ in successors[op_id]:
+                    if succ in remaining:
+                        indeg[succ] -= 1
+                order.append(op)
+                if dfs(next_state, remaining, indeg):
+                    return True
+                order.pop()
+                for succ in successors[op_id]:
+                    if succ in remaining:
+                        indeg[succ] += 1
+                remaining.add(op_id)
+            failed.add(memo_key)
+            return False
+
+        if dfs(self.spec.initial_state(), set(included), dict(indegree)):
+            return list(order)
+        return None

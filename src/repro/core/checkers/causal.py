@@ -1,0 +1,79 @@
+"""Causal consistency and real-time causal consistency checkers.
+
+Causal consistency does not require a single total order: each process may
+observe its own serialization, as long as every serialization contains all
+mutations plus that process's own operations, is legal, and respects the
+potential-causality order.  Real-time causal [63] additionally requires that
+causally unrelated mutations appear in their real-time order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.core.relations import CausalOrder, RealTimeOrder
+from repro.core.specification import SequentialSpec
+from repro.core.checkers.base import CheckResult, SerializationSearch, default_spec_for
+from repro.core.checkers._shared import split_operations
+
+__all__ = ["check_causal_consistency", "check_real_time_causal"]
+
+
+def _per_process_check(history: History, model: str,
+                       spec: Optional[SequentialSpec],
+                       writes_respect_real_time: bool) -> CheckResult:
+    spec = spec or default_spec_for(history)
+    required, optional = split_operations(history)
+    causal = CausalOrder(history)
+    rt = RealTimeOrder(history)
+    causal_edges = causal.edges()
+
+    mutations = [op for op in required + optional if op.is_mutation]
+    extra_edges: List[Tuple[int, int]] = []
+    if writes_respect_real_time:
+        for a in mutations:
+            for b in mutations:
+                if rt.precedes(a, b):
+                    extra_edges.append((a.op_id, b.op_id))
+
+    witnesses = {}
+    for process in history.processes():
+        own = [op for op in required if op.process == process]
+        visible_required = [
+            op for op in required if op.is_mutation or op.process == process
+        ]
+        visible_ids = {op.op_id for op in visible_required} | {op.op_id for op in optional}
+        edges = [
+            (a, b) for a, b in causal_edges + extra_edges
+            if a in visible_ids and b in visible_ids
+        ]
+        search = SerializationSearch(
+            spec=spec,
+            operations=visible_required,
+            constraints=edges,
+            optional_operations=optional,
+        )
+        witness = search.find()
+        if witness is None:
+            return CheckResult(
+                satisfied=False,
+                model=model,
+                reason=f"no legal serialization exists for process {process}",
+            )
+        witnesses[process] = [op.op_id for op in witness]
+    return CheckResult(satisfied=True, model=model, details={"per_process": witnesses})
+
+
+def check_causal_consistency(history: History, spec: Optional[SequentialSpec] = None
+                             ) -> CheckResult:
+    """Check causal (causal+) consistency."""
+    return _per_process_check(history, "causal", spec, writes_respect_real_time=False)
+
+
+def check_real_time_causal(history: History, spec: Optional[SequentialSpec] = None
+                           ) -> CheckResult:
+    """Check real-time causal consistency [63]."""
+    return _per_process_check(history, "real_time_causal", spec,
+                              writes_respect_real_time=True)

@@ -1,0 +1,300 @@
+"""Checkers for the proximal consistency models of Appendix A.
+
+These are the models the paper compares RSS and RSC against:
+
+* CRDB's consistency model [87] — total order, process order respected, and
+  *conflicting* transactions respect their real-time order.
+* OSC(U) [49] — total order, process order respected, and every operation
+  that precedes a write in real time is ordered before it.
+* Viotti-Vukolić multi-writer regularity [92] — total order in which every
+  operation that follows a write in real time is ordered after it (no
+  process-order requirement).
+* The Shao et al. multi-writer regularity family [81, 82] — per-read
+  serializations of that read plus all writes.  MWR-Weak is implemented
+  exactly; MWR-WO, MWR-RF, and MWR-NI are implemented with the documented
+  approximations below, which agree with the paper's verdicts on the
+  Appendix A example executions (Figures 14–16).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.events import Operation, OpType
+from repro.core.history import History
+from repro.core.relations import RealTimeOrder
+from repro.core.specification import RegisterSpec, SequentialSpec
+from repro.core.checkers.base import CheckResult, SerializationSearch, default_spec_for
+from repro.core.checkers._shared import (
+    process_order_edges,
+    run_total_order_check,
+    split_operations,
+)
+
+__all__ = [
+    "check_crdb",
+    "check_osc_u",
+    "check_vv_regularity",
+    "check_mwr_weak",
+    "check_mwr_write_order",
+    "check_mwr_reads_from",
+    "check_mwr_no_inversion",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Transaction-level proximal model: CRDB
+# --------------------------------------------------------------------------- #
+def _transactions_conflict(a: Operation, b: Operation) -> bool:
+    """Two operations conflict for CRDB purposes if they access a common key.
+
+    CockroachDB guarantees per-key linearizability ("no stale reads"), so
+    transactions touching a common key — even two reads — respect their
+    real-time order; transactions on disjoint key sets carry no real-time
+    guarantee (which is what permits the Figure 9 execution while Figure 10
+    is forbidden).
+    """
+    if a.service != b.service:
+        return False
+    a_keys = a.keys_read() | a.keys_written()
+    b_keys = b.keys_read() | b.keys_written()
+    return bool(a_keys & b_keys)
+
+
+def check_crdb(history: History, spec: Optional[SequentialSpec] = None) -> CheckResult:
+    """Check CockroachDB's consistency model (Appendix A.1).
+
+    Requires a legal total order respecting process order, in which
+    transactions that access a common key respect their real-time order.
+    Transactions on disjoint keys carry no real-time constraint, which is
+    what permits the Figure 9 execution.
+    """
+    required, optional = split_operations(history)
+    ops = required + optional
+    rt = RealTimeOrder(history)
+    edges = process_order_edges(history, ops)
+    for a in ops:
+        for b in ops:
+            if a.op_id != b.op_id and _transactions_conflict(a, b) and rt.precedes(a, b):
+                edges.append((a.op_id, b.op_id))
+    return run_total_order_check(history, "crdb", edges, spec,
+                                 required=required, optional=optional)
+
+
+# --------------------------------------------------------------------------- #
+# Non-transactional proximal models: OSC(U) and VV regularity
+# --------------------------------------------------------------------------- #
+def check_osc_u(history: History, spec: Optional[SequentialSpec] = None) -> CheckResult:
+    """Check OSC(U) (Appendix A.2).
+
+    Total order respecting process order, and every operation that *precedes*
+    a write in real time must be ordered before that write.  Stale reads are
+    allowed (Figure 13); Figure 14 is forbidden.
+    """
+    required, optional = split_operations(history)
+    ops = required + optional
+    rt = RealTimeOrder(history)
+    edges = process_order_edges(history, ops)
+    for w in ops:
+        if not w.is_mutation:
+            continue
+        for o in ops:
+            if o.op_id != w.op_id and rt.precedes(o, w):
+                edges.append((o.op_id, w.op_id))
+    return run_total_order_check(history, "osc_u", edges, spec,
+                                 required=required, optional=optional)
+
+
+def check_vv_regularity(history: History, spec: Optional[SequentialSpec] = None
+                        ) -> CheckResult:
+    """Check Viotti-Vukolić multi-writer regularity (Appendix A.2).
+
+    Total order (no process-order requirement) in which every operation that
+    *follows* a write in real time is ordered after that write.
+    """
+    required, optional = split_operations(history)
+    ops = required + optional
+    rt = RealTimeOrder(history)
+    edges: List[Tuple[int, int]] = []
+    for w in ops:
+        if not w.is_mutation:
+            continue
+        for o in ops:
+            if o.op_id != w.op_id and rt.precedes(w, o):
+                edges.append((w.op_id, o.op_id))
+    return run_total_order_check(history, "vv_regularity", edges, spec,
+                                 required=required, optional=optional)
+
+
+# --------------------------------------------------------------------------- #
+# Shao et al. multi-writer regularity family
+# --------------------------------------------------------------------------- #
+def _reads_and_writes(history: History) -> Tuple[List[Operation], List[Operation]]:
+    required, optional = split_operations(history)
+    ops = required + optional
+    reads = [op for op in ops if op.op_type == OpType.READ]
+    writes = [op for op in ops if op.is_mutation]
+    return reads, writes
+
+
+def _write_order_edges(writes: List[Operation], rt: RealTimeOrder,
+                       extra: Optional[List[Tuple[int, int]]] = None
+                       ) -> List[Tuple[int, int]]:
+    edges = list(extra or [])
+    for a in writes:
+        for b in writes:
+            if a.op_id != b.op_id and rt.precedes(a, b):
+                edges.append((a.op_id, b.op_id))
+    return edges
+
+
+def _read_insertion_possible(read: Operation, writes: List[Operation],
+                             write_order: List[Operation], rt: RealTimeOrder,
+                             spec: SequentialSpec) -> bool:
+    """Can ``read`` be inserted into ``write_order`` legally, respecting the
+    real-time order between the read and the writes?"""
+    earliest = 0
+    latest = len(write_order)
+    for index, write in enumerate(write_order):
+        if rt.precedes(write, read):
+            earliest = max(earliest, index + 1)
+        if rt.precedes(read, write):
+            latest = min(latest, index)
+    if earliest > latest:
+        return False
+    for position in range(earliest, latest + 1):
+        candidate = write_order[:position] + [read] + write_order[position:]
+        if spec.legal(candidate):
+            return True
+    return False
+
+
+def _serializations_of_writes(writes: List[Operation],
+                              edges: List[Tuple[int, int]]) -> List[List[Operation]]:
+    """All total orders of ``writes`` consistent with ``edges`` (small sets only)."""
+    results: List[List[Operation]] = []
+    by_id = {w.op_id: w for w in writes}
+    successors: Dict[int, set] = {w.op_id: set() for w in writes}
+    indegree = {w.op_id: 0 for w in writes}
+    for a, b in edges:
+        if a in by_id and b in by_id and b not in successors[a]:
+            successors[a].add(b)
+            indegree[b] += 1
+
+    def extend(order: List[int], remaining: set, indeg: Dict[int, int]) -> None:
+        if not remaining:
+            results.append([by_id[i] for i in order])
+            return
+        for op_id in sorted(remaining):
+            if indeg[op_id] == 0:
+                remaining.remove(op_id)
+                for succ in successors[op_id]:
+                    indeg[succ] -= 1
+                order.append(op_id)
+                extend(order, remaining, indeg)
+                order.pop()
+                for succ in successors[op_id]:
+                    indeg[succ] += 1
+                remaining.add(op_id)
+
+    extend([], set(by_id), dict(indegree))
+    return results
+
+
+def check_mwr_weak(history: History, spec: Optional[SequentialSpec] = None
+                   ) -> CheckResult:
+    """MWR-Weak: each read individually has a legal serialization with all
+    writes respecting the real-time order of that read and the writes."""
+    spec = spec or RegisterSpec()
+    reads, writes = _reads_and_writes(history)
+    rt = RealTimeOrder(history)
+    write_orders = _serializations_of_writes(writes, _write_order_edges(writes, rt))
+    for read in reads:
+        if not any(
+            _read_insertion_possible(read, writes, order, rt, spec)
+            for order in write_orders
+        ):
+            return CheckResult(False, "mwr_weak",
+                               reason=f"read {read.describe()} has no serialization")
+    return CheckResult(True, "mwr_weak")
+
+
+def check_mwr_write_order(history: History, spec: Optional[SequentialSpec] = None
+                          ) -> CheckResult:
+    """MWR-Write-Order: reads pairwise agree on the order of mutually relevant
+    writes.
+
+    Approximation: we require a single total order of all writes (respecting
+    the writes' real-time order) into which every read can be inserted.  On
+    the Appendix A example executions this coincides with MWR-WO because all
+    writes are relevant to all reads.
+    """
+    spec = spec or RegisterSpec()
+    reads, writes = _reads_and_writes(history)
+    rt = RealTimeOrder(history)
+    for order in _serializations_of_writes(writes, _write_order_edges(writes, rt)):
+        if all(_read_insertion_possible(r, writes, order, rt, spec) for r in reads):
+            return CheckResult(True, "mwr_write_order")
+    return CheckResult(False, "mwr_write_order",
+                       reason="no shared write order admits every read")
+
+
+def check_mwr_reads_from(history: History, spec: Optional[SequentialSpec] = None
+                         ) -> CheckResult:
+    """MWR-Reads-From: per-read serializations must also respect the global
+    reads-from relation.
+
+    The reads-from relation induces extra write-order constraints: if some
+    read q reads from write w2 and q precedes write w1 in real time, then w2
+    must precede w1 in every serialization.
+    """
+    spec = spec or RegisterSpec()
+    reads, writes = _reads_and_writes(history)
+    rt = RealTimeOrder(history)
+    write_by_key_value = {}
+    for w in writes:
+        for key, value in w.values_written().items():
+            write_by_key_value[(key, value)] = w
+    derived: List[Tuple[int, int]] = []
+    for read in reads:
+        for key, value in read.values_observed().items():
+            source = write_by_key_value.get((key, value))
+            if source is None:
+                continue
+            for w in writes:
+                if w.op_id != source.op_id and rt.precedes(read, w):
+                    derived.append((source.op_id, w.op_id))
+    write_orders = _serializations_of_writes(
+        writes, _write_order_edges(writes, rt, extra=derived))
+    if not write_orders:
+        return CheckResult(False, "mwr_reads_from",
+                           reason="write-order constraints are cyclic")
+    for read in reads:
+        if not any(
+            _read_insertion_possible(read, writes, order, rt, spec)
+            for order in write_orders
+        ):
+            return CheckResult(False, "mwr_reads_from",
+                               reason=f"read {read.describe()} has no serialization")
+    return CheckResult(True, "mwr_reads_from")
+
+
+def check_mwr_no_inversion(history: History, spec: Optional[SequentialSpec] = None
+                           ) -> CheckResult:
+    """MWR-No-Inversion: reads issued by the same process agree on the order
+    of writes (different processes may disagree)."""
+    spec = spec or RegisterSpec()
+    reads, writes = _reads_and_writes(history)
+    rt = RealTimeOrder(history)
+    write_orders = _serializations_of_writes(writes, _write_order_edges(writes, rt))
+    for process in history.processes():
+        own_reads = [r for r in reads if r.process == process]
+        if not own_reads:
+            continue
+        if not any(
+            all(_read_insertion_possible(r, writes, order, rt, spec) for r in own_reads)
+            for order in write_orders
+        ):
+            return CheckResult(False, "mwr_no_inversion",
+                               reason=f"process {process} reads disagree on write order")
+    return CheckResult(True, "mwr_no_inversion")

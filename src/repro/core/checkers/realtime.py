@@ -1,0 +1,43 @@
+"""Linearizability and strict serializability checkers.
+
+Both models require a legal serialization that respects the real-time order
+of *all* operations; linearizability is the non-transactional flavour and
+strict serializability the transactional one (§2.4, §2.6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.history import History
+from repro.core.specification import SequentialSpec
+from repro.core.checkers.base import CheckResult
+from repro.core.checkers._shared import (
+    real_time_edges,
+    run_total_order_check,
+    split_operations,
+)
+
+__all__ = ["check_linearizability", "check_strict_serializability"]
+
+
+def _check_real_time_total_order(history: History, model: str,
+                                 spec: Optional[SequentialSpec]) -> CheckResult:
+    required, optional = split_operations(history)
+    edges = real_time_edges(history, required + optional)
+    return run_total_order_check(
+        history, model=model, edges=edges, spec=spec,
+        required=required, optional=optional,
+    )
+
+
+def check_linearizability(history: History, spec: Optional[SequentialSpec] = None
+                          ) -> CheckResult:
+    """Check linearizability of a (non-transactional) history."""
+    return _check_real_time_total_order(history, "linearizability", spec)
+
+
+def check_strict_serializability(history: History, spec: Optional[SequentialSpec] = None
+                                 ) -> CheckResult:
+    """Check strict serializability of a (transactional) history."""
+    return _check_real_time_total_order(history, "strict_serializability", spec)

@@ -1,0 +1,55 @@
+"""Regular sequential consistency (RSC) and serializability (RSS) checkers.
+
+The definitions follow §3.4 exactly.  An execution satisfies RSC (RSS) iff it
+can be extended, by adding responses for some pending operations, such that
+there is a legal sequence S with:
+
+1. S equivalent to ``complete(α2)`` (every complete operation appears, and S
+   restricted to each process equals that process's sub-history — implied by
+   S respecting causal/process order);
+2. causal order respected: ``o1 ⇝ o2 ⟹ o1 <_S o2``;
+3. the "regular" real-time constraint: for every mutation ``w`` and every
+   operation ``o`` that is another mutation or a conflicting read-only
+   operation, ``w → o ⟹ w <_S o``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.history import History
+from repro.core.relations import CausalOrder, RealTimeOrder, regular_constraint_edges
+from repro.core.specification import SequentialSpec
+from repro.core.checkers.base import CheckResult
+from repro.core.checkers._shared import run_total_order_check, split_operations
+
+__all__ = ["check_rsc", "check_rss", "regular_edges"]
+
+
+def regular_edges(history: History):
+    """Constraint edges for RSC/RSS: causal edges plus regular real-time edges."""
+    causal = CausalOrder(history)
+    rt = RealTimeOrder(history)
+    edges = list(causal.edges())
+    edges.extend(regular_constraint_edges(history, rt))
+    return edges
+
+
+def _check_regular(history: History, model: str,
+                   spec: Optional[SequentialSpec]) -> CheckResult:
+    required, optional = split_operations(history)
+    edges = regular_edges(history)
+    return run_total_order_check(
+        history, model=model, edges=edges, spec=spec,
+        required=required, optional=optional,
+    )
+
+
+def check_rsc(history: History, spec: Optional[SequentialSpec] = None) -> CheckResult:
+    """Check regular sequential consistency (non-transactional)."""
+    return _check_regular(history, "rsc", spec)
+
+
+def check_rss(history: History, spec: Optional[SequentialSpec] = None) -> CheckResult:
+    """Check regular sequential serializability (transactional)."""
+    return _check_regular(history, "rss", spec)

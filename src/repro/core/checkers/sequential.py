@@ -1,0 +1,69 @@
+"""Sequential consistency and process-ordered serializability checkers.
+
+Both require a legal total order consistent with each client's process order
+and nothing more (§2.5, §2.6); they differ only in whether the operations are
+transactions.  Neither model is composable, so for histories spanning several
+services the check is applied to each service's sub-history independently —
+this is exactly why invariant I2 of the photo-sharing application fails under
+PO serializability (Table 1) even though each service is individually
+PO-serializable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.history import History
+from repro.core.specification import SequentialSpec
+from repro.core.checkers.base import CheckResult
+from repro.core.checkers._shared import (
+    process_order_edges,
+    run_total_order_check,
+    split_operations,
+)
+
+__all__ = ["check_sequential_consistency", "check_po_serializability"]
+
+
+def _check_single_service(history: History, model: str,
+                          spec: Optional[SequentialSpec]) -> CheckResult:
+    required, optional = split_operations(history)
+    edges = process_order_edges(history, required + optional)
+    return run_total_order_check(
+        history, model=model, edges=edges, spec=spec,
+        required=required, optional=optional,
+    )
+
+
+def _check_process_order_total_order(history: History, model: str,
+                                     spec: Optional[SequentialSpec]) -> CheckResult:
+    services = history.services()
+    if len(services) <= 1:
+        return _check_single_service(history, model, spec)
+    # Neither sequential consistency nor PO serializability is composable
+    # (§2.5): a deployment of several such services only guarantees that each
+    # service *individually* admits a process-order-respecting serialization.
+    per_service = {}
+    for service in services:
+        sub = history.restricted_to_service(service)
+        result = _check_single_service(sub, model, spec)
+        if not result.satisfied:
+            return CheckResult(
+                satisfied=False, model=model,
+                reason=f"service {service!r}: {result.reason}",
+            )
+        per_service[service] = result.witness_ids()
+    return CheckResult(satisfied=True, model=model,
+                       details={"per_service": per_service})
+
+
+def check_sequential_consistency(history: History, spec: Optional[SequentialSpec] = None
+                                 ) -> CheckResult:
+    """Check sequential consistency (non-transactional)."""
+    return _check_process_order_total_order(history, "sequential_consistency", spec)
+
+
+def check_po_serializability(history: History, spec: Optional[SequentialSpec] = None
+                             ) -> CheckResult:
+    """Check process-ordered serializability (transactional)."""
+    return _check_process_order_total_order(history, "po_serializability", spec)

@@ -1,0 +1,102 @@
+"""Strong snapshot isolation checker (Appendix A.1).
+
+Strong snapshot isolation [25] strengthens snapshot isolation with a
+real-time rule: if transaction T2 follows T1 in real time, T2's snapshot must
+include T1.  Unlike RSS it does *not* require equivalence to a sequential
+execution of transactions, so write skew (Figure 11) is allowed.
+
+The checker enumerates interleavings of per-transaction snapshot/commit
+events; it is exhaustive and intended for the small appendix examples and
+unit tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.events import INITIAL_VALUE, Operation, OpType
+from repro.core.history import History
+from repro.core.relations import RealTimeOrder
+from repro.core.checkers.base import CheckResult
+from repro.core.checkers._shared import split_operations
+
+__all__ = ["check_strong_snapshot_isolation"]
+
+
+def _events_for(op: Operation) -> List[Tuple[int, str]]:
+    if op.op_type == OpType.RW_TXN:
+        return [(op.op_id, "snapshot"), (op.op_id, "commit")]
+    return [(op.op_id, "snapshot")]
+
+
+def _legal_event_order(order: List[Tuple[int, str]], ops: Dict[int, Operation],
+                       rt_pairs: List[Tuple[int, int]],
+                       initial: Optional[Dict] = None) -> bool:
+    position = {event: index for index, event in enumerate(order)}
+    # A transaction's snapshot precedes its commit.
+    for op in ops.values():
+        if op.op_type == OpType.RW_TXN:
+            if position[(op.op_id, "snapshot")] > position[(op.op_id, "commit")]:
+                return False
+    # Strong SI real-time rule: T1 → T2 implies T1's effects are included in
+    # T2's snapshot (commit of T1, or snapshot point for read-only T1,
+    # precedes T2's snapshot).
+    for a, b in rt_pairs:
+        a_point = (a, "commit") if ops[a].op_type == OpType.RW_TXN else (a, "snapshot")
+        if position[a_point] > position[(b, "snapshot")]:
+            return False
+    # Reads see the committed state at their snapshot.
+    for op in ops.values():
+        snapshot_index = position[(op.op_id, "snapshot")]
+        state: Dict = dict(initial or {})
+        committed = [
+            other for other in ops.values()
+            if other.op_type == OpType.RW_TXN
+            and position[(other.op_id, "commit")] < snapshot_index
+        ]
+        committed.sort(key=lambda other: position[(other.op_id, "commit")])
+        for other in committed:
+            state.update(other.write_set)
+        for key, observed in op.read_set.items():
+            if observed != state.get(key, INITIAL_VALUE):
+                return False
+    # First-committer-wins: concurrent transactions must not write the same key.
+    rw = [op for op in ops.values() if op.op_type == OpType.RW_TXN]
+    for t1, t2 in itertools.combinations(rw, 2):
+        if not (set(t1.write_set) & set(t2.write_set)):
+            continue
+        t1_before_t2 = position[(t1.op_id, "commit")] < position[(t2.op_id, "snapshot")]
+        t2_before_t1 = position[(t2.op_id, "commit")] < position[(t1.op_id, "snapshot")]
+        if not (t1_before_t2 or t2_before_t1):
+            return False
+    return True
+
+
+def check_strong_snapshot_isolation(history: History, spec=None) -> CheckResult:
+    """Check strong snapshot isolation over a transactional history.
+
+    If ``spec`` provides an ``initial`` mapping (as the register and
+    transactional specifications do), it seeds the database state.
+    """
+    initial = dict(getattr(spec, "initial", {}) or {})
+    required, optional = split_operations(history)
+    rt = RealTimeOrder(history)
+
+    for r in range(len(optional) + 1):
+        for subset in itertools.combinations(optional, r):
+            ops = {op.op_id: op for op in list(required) + list(subset)}
+            rt_pairs = [
+                (a.op_id, b.op_id)
+                for a in ops.values() for b in ops.values()
+                if a.op_id != b.op_id and rt.precedes(a, b)
+            ]
+            events: List[Tuple[int, str]] = []
+            for op in ops.values():
+                events.extend(_events_for(op))
+            for order in itertools.permutations(events):
+                if _legal_event_order(list(order), ops, rt_pairs, initial):
+                    return CheckResult(True, "strong_snapshot_isolation",
+                                       details={"event_order": list(order)})
+    return CheckResult(False, "strong_snapshot_isolation",
+                       reason="no snapshot/commit interleaving is consistent")

@@ -1,0 +1,288 @@
+"""Operations in the formal model (§3.1–§3.3).
+
+An :class:`Operation` bundles an invocation and (optionally) its matching
+response.  It covers both the non-transactional interface (reads, writes,
+read-modify-writes on a key-value register) and the transactional interface
+(read-only and read-write transactions on a transactional key-value store),
+plus FIFO-queue operations used by the messaging service in the photo-sharing
+example and real-time fences used by libRSS.
+
+Conventions
+-----------
+* Written values should be globally unique per key (the workloads guarantee
+  this) so that the reads-from relation is unambiguous.
+* ``invoked_at`` / ``responded_at`` are simulated-time stamps; a pending
+  operation has ``responded_at is None``.
+* ``meta`` carries protocol-level witness data (commit timestamps, snapshot
+  timestamps, carstamps) used by the witness-based checkers.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+__all__ = ["OpType", "Operation", "next_op_id", "reset_op_ids", "INITIAL_VALUE"]
+
+#: The value returned when a key has never been written (the paper's ``null``).
+INITIAL_VALUE = None
+
+_op_counter = itertools.count(1)
+
+
+def next_op_id() -> int:
+    """Return a fresh globally unique operation id."""
+    return next(_op_counter)
+
+
+def reset_op_ids() -> None:
+    """Reset the operation id counter (test isolation helper)."""
+    global _op_counter
+    _op_counter = itertools.count(1)
+
+
+class OpType(enum.Enum):
+    """The kinds of operations services support."""
+
+    READ = "read"
+    WRITE = "write"
+    RMW = "rmw"
+    RO_TXN = "ro_txn"
+    RW_TXN = "rw_txn"
+    ENQUEUE = "enqueue"
+    DEQUEUE = "dequeue"
+    FENCE = "fence"
+
+    @property
+    def transactional(self) -> bool:
+        return self in (OpType.RO_TXN, OpType.RW_TXN)
+
+
+@dataclass
+class Operation:
+    """A single invocation/response pair.
+
+    Attributes
+    ----------
+    op_id:
+        Globally unique id.
+    process:
+        Name of the invoking application process (client).
+    service:
+        Name of the service the operation targets (``"kv"`` by default);
+        used by composite specifications and libRSS.
+    op_type:
+        The :class:`OpType`.
+    key:
+        Key accessed by register/queue operations (queues use the queue name).
+    value:
+        Value written (writes / rmws / enqueues).
+    result:
+        Value returned (reads / rmws read-result / dequeues).
+    read_set:
+        For transactions: mapping key → value observed.
+    write_set:
+        For read-write transactions: mapping key → value written.
+    invoked_at / responded_at:
+        Simulated invocation and response times.
+    meta:
+        Protocol witness data (commit timestamp, snapshot timestamp,
+        carstamp, ...), not part of the formal model.
+    """
+
+    process: str
+    op_type: OpType
+    service: str = "kv"
+    key: Any = None
+    value: Any = None
+    result: Any = None
+    read_set: Dict[Any, Any] = field(default_factory=dict)
+    write_set: Dict[Any, Any] = field(default_factory=dict)
+    invoked_at: float = 0.0
+    responded_at: Optional[float] = None
+    op_id: int = field(default_factory=next_op_id)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def read(cls, process: str, key: Any, result: Any = INITIAL_VALUE, *,
+             invoked_at: float = 0.0, responded_at: Optional[float] = None,
+             service: str = "kv", **meta: Any) -> "Operation":
+        return cls(process=process, op_type=OpType.READ, key=key, result=result,
+                   invoked_at=invoked_at, responded_at=responded_at,
+                   service=service, meta=dict(meta))
+
+    @classmethod
+    def write(cls, process: str, key: Any, value: Any, *,
+              invoked_at: float = 0.0, responded_at: Optional[float] = None,
+              service: str = "kv", **meta: Any) -> "Operation":
+        return cls(process=process, op_type=OpType.WRITE, key=key, value=value,
+                   invoked_at=invoked_at, responded_at=responded_at,
+                   service=service, meta=dict(meta))
+
+    @classmethod
+    def rmw(cls, process: str, key: Any, observed: Any, new_value: Any, *,
+            invoked_at: float = 0.0, responded_at: Optional[float] = None,
+            service: str = "kv", **meta: Any) -> "Operation":
+        return cls(process=process, op_type=OpType.RMW, key=key, value=new_value,
+                   result=observed, invoked_at=invoked_at,
+                   responded_at=responded_at, service=service, meta=dict(meta))
+
+    @classmethod
+    def ro_txn(cls, process: str, read_set: Mapping[Any, Any], *,
+               invoked_at: float = 0.0, responded_at: Optional[float] = None,
+               service: str = "kv", **meta: Any) -> "Operation":
+        return cls(process=process, op_type=OpType.RO_TXN,
+                   read_set=dict(read_set), invoked_at=invoked_at,
+                   responded_at=responded_at, service=service, meta=dict(meta))
+
+    @classmethod
+    def rw_txn(cls, process: str, read_set: Mapping[Any, Any],
+               write_set: Mapping[Any, Any], *,
+               invoked_at: float = 0.0, responded_at: Optional[float] = None,
+               service: str = "kv", **meta: Any) -> "Operation":
+        return cls(process=process, op_type=OpType.RW_TXN,
+                   read_set=dict(read_set), write_set=dict(write_set),
+                   invoked_at=invoked_at, responded_at=responded_at,
+                   service=service, meta=dict(meta))
+
+    @classmethod
+    def enqueue(cls, process: str, queue: Any, value: Any, *,
+                invoked_at: float = 0.0, responded_at: Optional[float] = None,
+                service: str = "queue", **meta: Any) -> "Operation":
+        return cls(process=process, op_type=OpType.ENQUEUE, key=queue,
+                   value=value, invoked_at=invoked_at, responded_at=responded_at,
+                   service=service, meta=dict(meta))
+
+    @classmethod
+    def dequeue(cls, process: str, queue: Any, result: Any, *,
+                invoked_at: float = 0.0, responded_at: Optional[float] = None,
+                service: str = "queue", **meta: Any) -> "Operation":
+        return cls(process=process, op_type=OpType.DEQUEUE, key=queue,
+                   result=result, invoked_at=invoked_at,
+                   responded_at=responded_at, service=service, meta=dict(meta))
+
+    @classmethod
+    def fence(cls, process: str, *, invoked_at: float = 0.0,
+              responded_at: Optional[float] = None, service: str = "kv",
+              **meta: Any) -> "Operation":
+        return cls(process=process, op_type=OpType.FENCE,
+                   invoked_at=invoked_at, responded_at=responded_at,
+                   service=service, meta=dict(meta))
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+    @property
+    def is_complete(self) -> bool:
+        """True if the operation's response has been observed."""
+        return self.responded_at is not None
+
+    @property
+    def is_transaction(self) -> bool:
+        return self.op_type.transactional
+
+    @property
+    def is_mutation(self) -> bool:
+        """True if the operation mutates service state (the set W in §3.4)."""
+        return self.op_type in (OpType.WRITE, OpType.RMW, OpType.RW_TXN, OpType.ENQUEUE,
+                                OpType.DEQUEUE)
+
+    @property
+    def is_read_only(self) -> bool:
+        return self.op_type in (OpType.READ, OpType.RO_TXN)
+
+    # ------------------------------------------------------------------ #
+    # Key footprints
+    # ------------------------------------------------------------------ #
+    def keys_read(self) -> frozenset:
+        """Keys whose values the operation observes."""
+        if self.op_type == OpType.READ:
+            return frozenset([self.key])
+        if self.op_type == OpType.RMW:
+            return frozenset([self.key])
+        if self.op_type in (OpType.RO_TXN, OpType.RW_TXN):
+            return frozenset(self.read_set)
+        if self.op_type == OpType.DEQUEUE:
+            return frozenset([self.key])
+        return frozenset()
+
+    def keys_written(self) -> frozenset:
+        """Keys whose values the operation mutates."""
+        if self.op_type in (OpType.WRITE, OpType.RMW):
+            return frozenset([self.key])
+        if self.op_type == OpType.RW_TXN:
+            return frozenset(self.write_set)
+        if self.op_type in (OpType.ENQUEUE, OpType.DEQUEUE):
+            return frozenset([self.key])
+        return frozenset()
+
+    def values_observed(self) -> Dict[Any, Any]:
+        """Mapping key → value observed by this operation."""
+        if self.op_type in (OpType.READ, OpType.RMW, OpType.DEQUEUE):
+            return {self.key: self.result}
+        if self.op_type in (OpType.RO_TXN, OpType.RW_TXN):
+            return dict(self.read_set)
+        return {}
+
+    def values_written(self) -> Dict[Any, Any]:
+        """Mapping key → value written by this operation."""
+        if self.op_type in (OpType.WRITE, OpType.RMW):
+            return {self.key: self.value}
+        if self.op_type == OpType.RW_TXN:
+            return dict(self.write_set)
+        if self.op_type == OpType.ENQUEUE:
+            return {self.key: self.value}
+        return {}
+
+    # ------------------------------------------------------------------ #
+    # Conflicts (§3.3)
+    # ------------------------------------------------------------------ #
+    def conflicts_with(self, write_op: "Operation") -> bool:
+        """True if this (read-only) operation conflicts with ``write_op``.
+
+        A read-only transaction conflicts with a read-write transaction that
+        writes a key it reads; a non-transactional read conflicts with a
+        write/rmw to the same key.  (Definition of C_alpha(W) in §3.3.)
+        """
+        if self.service != write_op.service:
+            return False
+        return bool(self.keys_read() & write_op.keys_written())
+
+    # ------------------------------------------------------------------ #
+    # Presentation
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """A compact human-readable rendering used in examples and errors."""
+        t = self.op_type
+        if t == OpType.READ:
+            body = f"r({self.key}={self.result})"
+        elif t == OpType.WRITE:
+            body = f"w({self.key}={self.value})"
+        elif t == OpType.RMW:
+            body = f"rmw({self.key}:{self.result}->{self.value})"
+        elif t == OpType.RO_TXN:
+            body = "RO[" + ", ".join(f"{k}={v}" for k, v in sorted(self.read_set.items(), key=str)) + "]"
+        elif t == OpType.RW_TXN:
+            reads = ", ".join(f"{k}={v}" for k, v in sorted(self.read_set.items(), key=str))
+            writes = ", ".join(f"{k}:={v}" for k, v in sorted(self.write_set.items(), key=str))
+            body = f"RW[reads {reads}; writes {writes}]"
+        elif t == OpType.ENQUEUE:
+            body = f"enq({self.key}<-{self.value})"
+        elif t == OpType.DEQUEUE:
+            body = f"deq({self.key}={self.result})"
+        else:
+            body = "fence"
+        return f"{self.process}:{body}@{self.service}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Op {self.op_id} {self.describe()}>"
+
+
+def operations_by_id(operations: Iterable[Operation]) -> Dict[int, Operation]:
+    """Index a collection of operations by id."""
+    return {op.op_id: op for op in operations}

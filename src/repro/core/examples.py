@@ -1,0 +1,227 @@
+"""The paper's example executions (Figure 2 and Appendix A, Figures 9–16).
+
+Each builder returns ``(history, spec, expectations)`` where ``expectations``
+maps model names to the verdict stated in the paper.  They are used by the
+unit tests, the Appendix A benchmark, and the ``consistency_models`` example.
+
+Timelines are chosen so the real-time relationships described in the paper's
+prose hold; absolute numbers are arbitrary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.core.specification import (
+    RegisterSpec,
+    SequentialSpec,
+    TransactionalKVSpec,
+)
+
+__all__ = [
+    "PaperExample",
+    "figure_2",
+    "figure_9",
+    "figure_10",
+    "figure_11",
+    "figure_13",
+    "figure_14",
+    "figure_15",
+    "figure_16",
+    "all_examples",
+]
+
+
+@dataclass
+class PaperExample:
+    """A named example execution with the paper's model verdicts."""
+
+    name: str
+    description: str
+    history: History
+    spec: SequentialSpec
+    expectations: Dict[str, bool]
+
+
+def figure_2() -> PaperExample:
+    """Figure 2: an RSS execution transformable to a strictly serializable one.
+
+    P2's write w1(x=1) is in flight; P3's read r2 observes it, while P1's
+    later read r1 still returns the old value.  RSS admits the execution
+    (serialization S = r1, w1, r2); strict serializability does not, because
+    r2 → r1 in real time yet r1 returns the older value.
+    """
+    history = History()
+    history.add(Operation.write("P2", "x", 1, invoked_at=0, responded_at=50))
+    history.add(Operation.read("P3", "x", 1, invoked_at=2, responded_at=10))
+    history.add(Operation.read("P1", "x", 0, invoked_at=20, responded_at=30))
+    spec = RegisterSpec(initial={"x": 0})
+    return PaperExample(
+        name="figure_2",
+        description="RSS execution transformable to a strictly serializable one",
+        history=history,
+        spec=spec,
+        expectations={"rsc": True, "linearizability": False,
+                      "sequential_consistency": True},
+    )
+
+
+def figure_9() -> PaperExample:
+    """Figure 9: allowed by CRDB but disallowed by RSS.
+
+    Alice's two photo-add writes execute at different Web servers (P2, P3) in
+    real-time order; a concurrent read-only transaction sees only the second.
+    """
+    history = History()
+    history.add(Operation.rw_txn("P2", read_set={}, write_set={"x": 1},
+                                 invoked_at=0, responded_at=10))
+    history.add(Operation.rw_txn("P3", read_set={}, write_set={"y": 1},
+                                 invoked_at=20, responded_at=30))
+    history.add(Operation.ro_txn("P1", read_set={"x": 0, "y": 1},
+                                 invoked_at=5, responded_at=40))
+    spec = TransactionalKVSpec(initial={"x": 0, "y": 0})
+    return PaperExample(
+        name="figure_9",
+        description="w1 precedes w2 in real time; a concurrent read sees only w2",
+        history=history,
+        spec=spec,
+        expectations={"rss": False, "crdb": True,
+                      "strong_snapshot_isolation": False,
+                      "po_serializability": True,
+                      "strict_serializability": False},
+    )
+
+
+def figure_10() -> PaperExample:
+    """Figure 10: allowed by RSS but disallowed by CRDB.
+
+    A read observes an in-flight write; a later, causally unrelated read by a
+    different process still returns the old value.
+    """
+    history = History()
+    history.add(Operation.rw_txn("P2", read_set={}, write_set={"x": 1},
+                                 invoked_at=0, responded_at=60))
+    history.add(Operation.ro_txn("P3", read_set={"x": 1},
+                                 invoked_at=10, responded_at=20))
+    history.add(Operation.ro_txn("P1", read_set={"x": 0},
+                                 invoked_at=30, responded_at=40))
+    spec = TransactionalKVSpec(initial={"x": 0})
+    return PaperExample(
+        name="figure_10",
+        description="read of concurrent write followed by a stale, causally unrelated read",
+        history=history,
+        spec=spec,
+        expectations={"rss": True, "crdb": False, "strict_serializability": False,
+                      "po_serializability": True},
+    )
+
+
+def figure_11() -> PaperExample:
+    """Figure 11: write skew — allowed by strong snapshot isolation, not RSS."""
+    history = History()
+    history.add(Operation.rw_txn("P1", read_set={"x": 1, "y": 1},
+                                 write_set={"x": 2},
+                                 invoked_at=0, responded_at=10))
+    history.add(Operation.rw_txn("P2", read_set={"x": 1, "y": 1},
+                                 write_set={"y": 2},
+                                 invoked_at=0, responded_at=10))
+    spec = TransactionalKVSpec(initial={"x": 1, "y": 1})
+    return PaperExample(
+        name="figure_11",
+        description="write skew between two concurrent read-write transactions",
+        history=history,
+        spec=spec,
+        expectations={"strong_snapshot_isolation": True, "rss": False,
+                      "po_serializability": False,
+                      "strict_serializability": False, "crdb": False},
+    )
+
+
+def figure_13() -> PaperExample:
+    """Figure 13: a stale read — allowed by OSC(U) but disallowed by RSC."""
+    history = History()
+    history.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=10))
+    history.add(Operation.read("P2", "x", 0, invoked_at=20, responded_at=30))
+    spec = RegisterSpec(initial={"x": 0})
+    return PaperExample(
+        name="figure_13",
+        description="read starting after a completed write returns the old value",
+        history=history,
+        spec=spec,
+        expectations={"osc_u": True, "rsc": False, "linearizability": False,
+                      "sequential_consistency": True, "vv_regularity": False},
+    )
+
+
+def figure_14() -> PaperExample:
+    """Figure 14: allowed by RSC but disallowed by OSC(U)."""
+    history = History()
+    history.add(Operation.write("P3", "x", 2, invoked_at=0, responded_at=100))
+    history.add(Operation.read("P1", "x", 2, invoked_at=10, responded_at=20))
+    history.add(Operation.write("P2", "x", 1, invoked_at=30, responded_at=90))
+    history.add(Operation.read("P4", "x", 1, invoked_at=40, responded_at=50))
+    history.add(Operation.read("P4", "x", 2, invoked_at=60, responded_at=70))
+    spec = RegisterSpec(initial={"x": 0})
+    return PaperExample(
+        name="figure_14",
+        description="r1 precedes w1 in real time yet P4 observes w1 before w2",
+        history=history,
+        spec=spec,
+        expectations={"rsc": True, "osc_u": False, "linearizability": False,
+                      "vv_regularity": True},
+    )
+
+
+def figure_15() -> PaperExample:
+    """Figure 15: allowed by MWR-WO / MWR-NI but disallowed by RSC (IRIW)."""
+    history = History()
+    history.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=100))
+    history.add(Operation.write("P2", "y", 1, invoked_at=0, responded_at=100))
+    history.add(Operation.read("P3", "x", 1, invoked_at=10, responded_at=20))
+    history.add(Operation.read("P3", "y", 0, invoked_at=30, responded_at=40))
+    history.add(Operation.read("P4", "y", 1, invoked_at=10, responded_at=20))
+    history.add(Operation.read("P4", "x", 0, invoked_at=30, responded_at=40))
+    spec = RegisterSpec(initial={"x": 0, "y": 0})
+    return PaperExample(
+        name="figure_15",
+        description="independent reads of independent writes observed in opposite orders",
+        history=history,
+        spec=spec,
+        expectations={"rsc": False, "mwr_write_order": True, "mwr_no_inversion": True,
+                      "sequential_consistency": False, "causal": True},
+    )
+
+
+def figure_16() -> PaperExample:
+    """Figure 16: allowed by MWR-RF / MWR-NI but disallowed by RSC."""
+    history = History()
+    history.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=10))
+    history.add(Operation.write("P3", "x", 2, invoked_at=0, responded_at=10))
+    history.add(Operation.read("P2", "x", 1, invoked_at=20, responded_at=30))
+    history.add(Operation.read("P4", "x", 2, invoked_at=20, responded_at=30))
+    spec = RegisterSpec(initial={"x": 0})
+    return PaperExample(
+        name="figure_16",
+        description="two completed concurrent writes observed in opposite orders by later reads",
+        history=history,
+        spec=spec,
+        expectations={"rsc": False, "mwr_reads_from": True, "mwr_no_inversion": True,
+                      "linearizability": False},
+    )
+
+
+def all_examples() -> List[PaperExample]:
+    """All Appendix A / Figure 2 example executions."""
+    return [
+        figure_2(),
+        figure_9(),
+        figure_10(),
+        figure_11(),
+        figure_13(),
+        figure_14(),
+        figure_15(),
+        figure_16(),
+    ]

@@ -1,0 +1,176 @@
+"""Histories of operations issued by application processes.
+
+A :class:`History` is the checker-facing record of an execution: the
+operations each process invoked (with invocation/response times) plus any
+out-of-band message-passing edges between processes (e.g. "Alice calls Bob"),
+which contribute to the potential-causality order even though they are not
+service operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.events import Operation, OpType
+
+__all__ = ["MessageEdge", "History"]
+
+
+@dataclass(frozen=True)
+class MessageEdge:
+    """An out-of-band causal edge: ``src_op``'s process later communicated
+    with ``dst_op``'s process, after ``src_op`` responded and before
+    ``dst_op`` was invoked."""
+
+    src_op: int
+    dst_op: int
+
+
+class History:
+    """An ordered record of operations plus message-passing edges."""
+
+    def __init__(self, operations: Optional[Iterable[Operation]] = None):
+        self._ops: List[Operation] = []
+        self._by_id: Dict[int, Operation] = {}
+        self.message_edges: List[MessageEdge] = []
+        if operations:
+            for op in operations:
+                self.add(op)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, op: Operation) -> Operation:
+        """Append an operation to the history."""
+        if op.op_id in self._by_id:
+            raise ValueError(f"duplicate operation id {op.op_id}")
+        self._ops.append(op)
+        self._by_id[op.op_id] = op
+        return op
+
+    def add_message_edge(self, src_op: Operation, dst_op: Operation) -> None:
+        """Record that ``src_op``'s process sent a message (after ``src_op``
+        completed) that was received by ``dst_op``'s process before
+        ``dst_op`` was invoked."""
+        if src_op.op_id not in self._by_id or dst_op.op_id not in self._by_id:
+            raise ValueError("both operations must belong to this history")
+        self.message_edges.append(MessageEdge(src_op.op_id, dst_op.op_id))
+
+    def extend(self, other: "History") -> None:
+        """Append all operations and edges of another history."""
+        for op in other.operations():
+            self.add(op)
+        self.message_edges.extend(other.message_edges)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self._ops)
+
+    def operations(self) -> List[Operation]:
+        return list(self._ops)
+
+    def get(self, op_id: int) -> Operation:
+        return self._by_id[op_id]
+
+    def complete(self) -> List[Operation]:
+        """The complete(α) subsequence: operations with responses."""
+        return [op for op in self._ops if op.is_complete]
+
+    def pending(self) -> List[Operation]:
+        return [op for op in self._ops if not op.is_complete]
+
+    def processes(self) -> List[str]:
+        return sorted({op.process for op in self._ops})
+
+    def services(self) -> List[str]:
+        return sorted({op.service for op in self._ops})
+
+    def by_process(self, process: str) -> List[Operation]:
+        """A process's sub-history in invocation order (its process order)."""
+        ops = [op for op in self._ops if op.process == process]
+        ops.sort(key=lambda o: (o.invoked_at, o.op_id))
+        return ops
+
+    def transactions(self) -> List[Operation]:
+        return [op for op in self._ops if op.is_transaction]
+
+    def mutations(self) -> List[Operation]:
+        """The set W of mutating operations."""
+        return [op for op in self._ops if op.is_mutation]
+
+    def writers_of(self, key: Any, value: Any, service: str = "kv") -> List[Operation]:
+        """Operations that wrote ``value`` to ``key`` (for reads-from)."""
+        found = []
+        for op in self._ops:
+            if op.service != service:
+                continue
+            written = op.values_written()
+            if key in written and written[key] == value:
+                found.append(op)
+        return found
+
+    # ------------------------------------------------------------------ #
+    # Well-formedness (§3.1)
+    # ------------------------------------------------------------------ #
+    def check_well_formed(self) -> None:
+        """Raise ``ValueError`` if any process has overlapping operations."""
+        for process in self.processes():
+            ops = self.by_process(process)
+            previous: Optional[Operation] = None
+            for op in ops:
+                if op.is_complete and op.responded_at < op.invoked_at:
+                    raise ValueError(f"operation {op.op_id} responds before invocation")
+                if previous is not None:
+                    if not previous.is_complete:
+                        raise ValueError(
+                            f"process {process} invoked {op.op_id} while "
+                            f"{previous.op_id} was still outstanding"
+                        )
+                    if op.invoked_at < previous.responded_at:
+                        raise ValueError(
+                            f"process {process} operations {previous.op_id} and "
+                            f"{op.op_id} overlap"
+                        )
+                previous = op
+
+    def is_well_formed(self) -> bool:
+        try:
+            self.check_well_formed()
+        except ValueError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Convenience for tests and examples
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """Multi-line rendering grouped by process (like the paper figures)."""
+        lines = []
+        for process in self.processes():
+            ops = self.by_process(process)
+            rendered = "  ".join(
+                f"[{op.invoked_at:g},{op.responded_at if op.responded_at is None else format(op.responded_at, 'g')}] {op.describe()}"
+                for op in ops
+            )
+            lines.append(f"{process}: {rendered}")
+        return "\n".join(lines)
+
+    def restricted_to_service(self, service: str) -> "History":
+        """A new history containing only operations at ``service``."""
+        sub = History()
+        keep = set()
+        for op in self._ops:
+            if op.service == service:
+                sub.add(op)
+                keep.add(op.op_id)
+        sub.message_edges = [
+            edge for edge in self.message_edges
+            if edge.src_op in keep and edge.dst_op in keep
+        ]
+        return sub

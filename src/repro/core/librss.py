@@ -1,0 +1,128 @@
+"""libRSS — the composition meta-library of §4.1 (Figure 3).
+
+A set of RSS (RSC) services only guarantees RSS globally if processes issue a
+*real-time fence* at the previous service before switching to a different
+service.  libRSS automates that: each service's client library registers a
+fence callback, notifies libRSS before starting a transaction, and libRSS
+invokes the previous service's fence when the service changes.
+
+Two execution styles are supported, because fences in the simulator are
+blocking protocol steps:
+
+* synchronous callbacks (plain callables) — invoked inline;
+* generator callbacks — returned to the caller from
+  :meth:`LibRSS.start_transaction`, which itself is a generator meant to be
+  driven by the simulation (``yield from librss.start_transaction(...)``).
+
+Each application process (client) has its own interaction context, mirroring
+the per-process "last service" state of the protocol in Appendix C.4.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+__all__ = ["LibRSS", "FenceRecord", "ServiceNotRegistered"]
+
+
+class ServiceNotRegistered(Exception):
+    """Raised when starting a transaction at an unknown service."""
+
+
+@dataclass
+class FenceRecord:
+    """Bookkeeping for an issued fence (used by tests and the examples)."""
+
+    process: str
+    service: str
+    at_switch_to: str
+    sequence: int
+
+
+class LibRSS:
+    """In-memory registry of RSS services and their fences."""
+
+    def __init__(self) -> None:
+        self._fences: Dict[str, Callable[[str], Any]] = {}
+        self._last_service: Dict[str, Optional[str]] = {}
+        self._fence_log: List[FenceRecord] = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------------ #
+    # Figure 3 interface
+    # ------------------------------------------------------------------ #
+    def register_service(self, name: str, fence: Callable[[str], Any]) -> None:
+        """RegisterService(name, fence_f): register a new RSS service.
+
+        ``fence`` is called with the process name and must ensure that all
+        transactions causally preceding the call are serialized before any
+        transaction that follows the fence in real time.  It may be a plain
+        callable or a generator function (for simulated blocking fences).
+        """
+        if name in self._fences:
+            raise ValueError(f"service {name!r} already registered")
+        self._fences[name] = fence
+
+    def unregister_service(self, name: str) -> None:
+        """UnregisterService(name)."""
+        self._fences.pop(name, None)
+
+    def start_transaction(self, process: str, service: str) -> Generator:
+        """StartTransaction(name): notify libRSS that ``process`` is about to
+        start a transaction at ``service``.
+
+        This is a generator: drive it with ``yield from`` inside simulated
+        client code.  If the previous service differs from ``service``, the
+        previous service's fence is invoked (and, if it is a generator,
+        awaited) before control returns.
+        """
+        if service not in self._fences:
+            raise ServiceNotRegistered(f"service {service!r} is not registered")
+        previous = self._last_service.get(process)
+        if previous is not None and previous != service and previous in self._fences:
+            yield from self._invoke_fence(process, previous, service)
+        self._last_service[process] = service
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _invoke_fence(self, process: str, previous: str, new_service: str) -> Generator:
+        self._sequence += 1
+        self._fence_log.append(
+            FenceRecord(process=process, service=previous,
+                        at_switch_to=new_service, sequence=self._sequence)
+        )
+        fence = self._fences[previous]
+        result = fence(process)
+        if inspect.isgenerator(result):
+            yield from result
+        return None
+
+    def observe_external_context(self, process: str, last_service: Optional[str]) -> None:
+        """Import causal context propagated from another process (§4.2).
+
+        Context-propagation frameworks carry the name of the last RSS service
+        the sending process interacted with; importing it here means the next
+        transaction by ``process`` at a different service triggers the fence.
+        """
+        if last_service is not None:
+            self._last_service[process] = last_service
+
+    def last_service(self, process: str) -> Optional[str]:
+        return self._last_service.get(process)
+
+    @property
+    def registered_services(self) -> List[str]:
+        return sorted(self._fences)
+
+    @property
+    def fence_log(self) -> List[FenceRecord]:
+        return list(self._fence_log)
+
+    def fences_issued(self, process: Optional[str] = None) -> int:
+        if process is None:
+            return len(self._fence_log)
+        return sum(1 for record in self._fence_log if record.process == process)

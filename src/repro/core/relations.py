@@ -1,0 +1,190 @@
+"""Real-time and potential-causality orders over a history (§3.3, App. C.1.7/8).
+
+Both orders are exposed as *direct* edge sets plus reachability queries.  A
+total order that respects every direct edge automatically respects the
+transitive closure, so checkers only need the direct edges; the reachability
+query (`precedes`) is provided for anomaly detection and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.events import INITIAL_VALUE, Operation, OpType
+from repro.core.history import History
+
+__all__ = [
+    "RealTimeOrder",
+    "CausalOrder",
+    "AmbiguousReadsFrom",
+    "conflicting_read_onlys",
+    "regular_constraint_edges",
+]
+
+
+class AmbiguousReadsFrom(Exception):
+    """Raised when a read's value was written by more than one operation."""
+
+
+class RealTimeOrder:
+    """The real-time precedence relation → over a history's operations."""
+
+    def __init__(self, history: History):
+        self.history = history
+
+    def precedes(self, a: Operation, b: Operation) -> bool:
+        """True iff ``a``'s response precedes ``b``'s invocation."""
+        if a.op_id == b.op_id or not a.is_complete:
+            return False
+        if a.process == b.process:
+            # Within a process, operations are sequential; equal timestamps
+            # are still ordered by the process's program order.
+            if a.responded_at <= b.invoked_at:
+                return (a.invoked_at, a.op_id) < (b.invoked_at, b.op_id)
+            return False
+        return a.responded_at < b.invoked_at
+
+    def concurrent(self, a: Operation, b: Operation) -> bool:
+        return not self.precedes(a, b) and not self.precedes(b, a)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All direct real-time edges (quadratic; intended for small histories)."""
+        ops = self.history.operations()
+        result = []
+        for a in ops:
+            for b in ops:
+                if self.precedes(a, b):
+                    result.append((a.op_id, b.op_id))
+        return result
+
+
+class CausalOrder:
+    """The potential-causality relation ⇝ over a history's operations.
+
+    Direct edges come from (1) process order, (2) the reads-from relation,
+    and (3) out-of-band message-passing edges recorded in the history.  The
+    relation itself is the transitive closure of those edges.
+    """
+
+    def __init__(self, history: History, strict_reads_from: bool = True):
+        self.history = history
+        self.strict_reads_from = strict_reads_from
+        self._adjacency: Dict[int, Set[int]] = {op.op_id: set() for op in history}
+        self._reach_cache: Dict[int, FrozenSet[int]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _add_edge(self, src: int, dst: int) -> None:
+        if src != dst:
+            self._adjacency[src].add(dst)
+            self._reach_cache.clear()
+
+    def _build(self) -> None:
+        # (1) Process order.
+        for process in self.history.processes():
+            ops = self.history.by_process(process)
+            for earlier, later in zip(ops, ops[1:]):
+                self._add_edge(earlier.op_id, later.op_id)
+        # (2) Reads-from.
+        for op in self.history:
+            for key, value in op.values_observed().items():
+                if value == INITIAL_VALUE:
+                    continue
+                writers = [
+                    w for w in self.history.writers_of(key, value, service=op.service)
+                    if w.op_id != op.op_id
+                ]
+                if not writers:
+                    continue
+                if len(writers) > 1 and self.strict_reads_from:
+                    raise AmbiguousReadsFrom(
+                        f"value {value!r} for key {key!r} written by "
+                        f"{len(writers)} operations; use unique values"
+                    )
+                self._add_edge(writers[0].op_id, op.op_id)
+        # (3) Message passing.
+        for edge in self.history.message_edges:
+            self._add_edge(edge.src_op, edge.dst_op)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def edges(self) -> List[Tuple[int, int]]:
+        """Direct causal edges (process order ∪ reads-from ∪ messages)."""
+        return [(src, dst) for src, dsts in self._adjacency.items() for dst in sorted(dsts)]
+
+    def _reachable_from(self, src: int) -> FrozenSet[int]:
+        cached = self._reach_cache.get(src)
+        if cached is not None:
+            return cached
+        seen: Set[int] = set()
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            for nxt in self._adjacency.get(node, ()):  # pragma: no branch
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        result = frozenset(seen)
+        self._reach_cache[src] = result
+        return result
+
+    def precedes(self, a: Operation, b: Operation) -> bool:
+        """True iff ``a`` ⇝ ``b`` (transitively)."""
+        if a.op_id == b.op_id:
+            return False
+        return b.op_id in self._reachable_from(a.op_id)
+
+    def concurrent(self, a: Operation, b: Operation) -> bool:
+        return not self.precedes(a, b) and not self.precedes(b, a)
+
+    def has_cycle(self) -> bool:
+        """True if the direct edges contain a cycle (should never happen for
+        histories produced by real executions)."""
+        for op in self.history:
+            if op.op_id in self._reachable_from(op.op_id):
+                return True
+        return False
+
+    def respects(self, ordered_ops: Iterable[Operation]) -> bool:
+        """True if the given total order respects every direct causal edge."""
+        position = {op.op_id: i for i, op in enumerate(ordered_ops)}
+        for src, dst in self.edges():
+            if src in position and dst in position and position[src] > position[dst]:
+                return False
+        return True
+
+
+def conflicting_read_onlys(history: History, write_op: Operation) -> List[Operation]:
+    """C_α(W): read-only operations that conflict with mutation ``write_op``."""
+    return [
+        op for op in history
+        if op.is_read_only and op.conflicts_with(write_op)
+    ]
+
+
+def regular_constraint_edges(history: History, rt: Optional[RealTimeOrder] = None
+                             ) -> List[Tuple[int, int]]:
+    """The "regular" real-time constraint of RSS/RSC (condition 3 in §3.4).
+
+    For every mutation ``w`` and every operation ``o`` that is either another
+    mutation or a read-only operation conflicting with ``w``: if ``w``
+    finishes before ``o`` starts, then ``w`` must precede ``o`` in the
+    serialization.
+    """
+    rt = rt or RealTimeOrder(history)
+    edges: List[Tuple[int, int]] = []
+    mutations = history.mutations()
+    for w in mutations:
+        if not w.is_complete:
+            continue
+        candidates = set(op.op_id for op in mutations)
+        candidates.update(op.op_id for op in conflicting_read_onlys(history, w))
+        for op in history:
+            if op.op_id == w.op_id or op.op_id not in candidates:
+                continue
+            if rt.precedes(w, op):
+                edges.append((w.op_id, op.op_id))
+    return edges

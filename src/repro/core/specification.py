@@ -1,0 +1,193 @@
+"""Sequential specifications (§3.2, App. C.1.5).
+
+A sequential specification defines the legal *sequential* behaviours of a
+service.  Checkers test candidate total orders against a specification by
+replaying operations one at a time through a small state machine:
+
+* :class:`RegisterSpec` — a multi-key read/write/rmw register (the
+  non-transactional key-value store used by Gryff).
+* :class:`TransactionalKVSpec` — a transactional key-value store with
+  read-only and read-write transactions (the store used by Spanner).
+* :class:`FifoQueueSpec` — a FIFO messaging service.
+* :class:`CompositeSpec` — the composition of several services: operations
+  are routed to the constituent specification named by ``op.service`` and
+  legality is per-constituent (§3.2: composition is the set of all
+  interleavings).
+
+Each specification exposes ``initial_state()`` and ``apply(state, op)``.
+``apply`` returns ``(ok, new_state)`` and never mutates the given state, so
+search-based checkers can branch cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.events import INITIAL_VALUE, Operation, OpType
+
+__all__ = [
+    "SequentialSpec",
+    "RegisterSpec",
+    "TransactionalKVSpec",
+    "FifoQueueSpec",
+    "CompositeSpec",
+    "legal_sequence",
+]
+
+
+class SequentialSpec:
+    """Interface for sequential specifications."""
+
+    def initial_state(self) -> Any:
+        raise NotImplementedError
+
+    def apply(self, state: Any, op: Operation) -> Tuple[bool, Any]:
+        """Apply ``op`` to ``state``; return ``(legal, next_state)``."""
+        raise NotImplementedError
+
+    def legal(self, operations: Iterable[Operation]) -> bool:
+        """True if the given sequence is a legal sequential execution."""
+        ok, _ = self.replay(operations)
+        return ok
+
+    def replay(self, operations: Iterable[Operation]) -> Tuple[bool, Any]:
+        """Replay a sequence, returning legality and the final state."""
+        state = self.initial_state()
+        for op in operations:
+            ok, state = self.apply(state, op)
+            if not ok:
+                return False, state
+        return True, state
+
+
+class RegisterSpec(SequentialSpec):
+    """Multi-key read/write register with read-modify-writes.
+
+    State is a mapping key → value; missing keys read as ``INITIAL_VALUE``.
+    """
+
+    def __init__(self, initial: Optional[Dict[Any, Any]] = None):
+        self.initial = dict(initial or {})
+
+    def initial_state(self) -> Dict[Any, Any]:
+        return dict(self.initial)
+
+    def apply(self, state: Dict[Any, Any], op: Operation) -> Tuple[bool, Dict[Any, Any]]:
+        if op.op_type == OpType.READ:
+            expected = state.get(op.key, INITIAL_VALUE)
+            return (op.result == expected, state)
+        if op.op_type == OpType.WRITE:
+            new_state = dict(state)
+            new_state[op.key] = op.value
+            return (True, new_state)
+        if op.op_type == OpType.RMW:
+            expected = state.get(op.key, INITIAL_VALUE)
+            if op.result != expected:
+                return (False, state)
+            new_state = dict(state)
+            new_state[op.key] = op.value
+            return (True, new_state)
+        if op.op_type == OpType.FENCE:
+            return (True, state)
+        return (False, state)
+
+
+class TransactionalKVSpec(SequentialSpec):
+    """Transactional key-value store (the paper's Appendix C.3.2 service).
+
+    Read-only transactions must observe, for every key in their read set, the
+    most recently written value (or the initial value).  Read-write
+    transactions additionally install their write set atomically.
+    """
+
+    def __init__(self, initial: Optional[Dict[Any, Any]] = None):
+        self.initial = dict(initial or {})
+
+    def initial_state(self) -> Dict[Any, Any]:
+        return dict(self.initial)
+
+    def _reads_legal(self, state: Dict[Any, Any], op: Operation) -> bool:
+        for key, observed in op.read_set.items():
+            if observed != state.get(key, INITIAL_VALUE):
+                return False
+        return True
+
+    def apply(self, state: Dict[Any, Any], op: Operation) -> Tuple[bool, Dict[Any, Any]]:
+        if op.op_type == OpType.RO_TXN:
+            return (self._reads_legal(state, op), state)
+        if op.op_type == OpType.RW_TXN:
+            if not self._reads_legal(state, op):
+                return (False, state)
+            new_state = dict(state)
+            new_state.update(op.write_set)
+            return (True, new_state)
+        if op.op_type == OpType.FENCE:
+            return (True, state)
+        # Allow plain reads/writes against the transactional store too: they
+        # are single-operation transactions.
+        if op.op_type == OpType.READ:
+            return (op.result == state.get(op.key, INITIAL_VALUE), state)
+        if op.op_type == OpType.WRITE:
+            new_state = dict(state)
+            new_state[op.key] = op.value
+            return (True, new_state)
+        return (False, state)
+
+
+class FifoQueueSpec(SequentialSpec):
+    """A FIFO queue per queue name; dequeue of an empty queue returns None."""
+
+    def initial_state(self) -> Dict[Any, Tuple[Any, ...]]:
+        return {}
+
+    def apply(self, state: Dict[Any, Tuple[Any, ...]], op: Operation
+              ) -> Tuple[bool, Dict[Any, Tuple[Any, ...]]]:
+        queue = state.get(op.key, ())
+        if op.op_type == OpType.ENQUEUE:
+            new_state = dict(state)
+            new_state[op.key] = queue + (op.value,)
+            return (True, new_state)
+        if op.op_type == OpType.DEQUEUE:
+            if not queue:
+                return (op.result is None, state)
+            head, rest = queue[0], queue[1:]
+            if op.result != head:
+                return (False, state)
+            new_state = dict(state)
+            new_state[op.key] = rest
+            return (True, new_state)
+        if op.op_type == OpType.FENCE:
+            return (True, state)
+        return (False, state)
+
+
+class CompositeSpec(SequentialSpec):
+    """Composition of named services (§3.2).
+
+    The composite state maps service name → constituent state.  Each
+    operation is routed by ``op.service``; unknown services are rejected.
+    """
+
+    def __init__(self, services: Dict[str, SequentialSpec]):
+        if not services:
+            raise ValueError("composite spec requires at least one service")
+        self.services = dict(services)
+
+    def initial_state(self) -> Dict[str, Any]:
+        return {name: spec.initial_state() for name, spec in self.services.items()}
+
+    def apply(self, state: Dict[str, Any], op: Operation) -> Tuple[bool, Dict[str, Any]]:
+        spec = self.services.get(op.service)
+        if spec is None:
+            return (False, state)
+        ok, sub_state = spec.apply(state[op.service], op)
+        if not ok:
+            return (False, state)
+        new_state = dict(state)
+        new_state[op.service] = sub_state
+        return (ok, new_state)
+
+
+def legal_sequence(spec: SequentialSpec, operations: Iterable[Operation]) -> bool:
+    """Convenience wrapper: is the sequence legal under ``spec``?"""
+    return spec.legal(operations)

@@ -1,0 +1,140 @@
+"""The Lemma 1 / Lemma C.5 transformation.
+
+Given an execution (history) that satisfies RSS (RSC) together with a
+serialization ``S`` witnessing it, the lemma constructs an *equivalent*
+execution that satisfies strict serializability (linearizability): each
+process performs exactly the same operations in the same order with the same
+return values, but the operations' real-time intervals are rearranged so that
+they occur sequentially in the order given by ``S``.  Figure 2 of the paper
+illustrates the construction.
+
+Because the final state of each process depends only on its own sequence of
+actions, any invariant that holds under strict serializability therefore also
+holds under RSS (Theorem 2) — the transformation is the constructive heart of
+the paper's invariant-equivalence result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.core.specification import SequentialSpec
+from repro.core.checkers.base import CheckResult, default_spec_for
+from repro.core.checkers.regular import check_rsc, check_rss
+from repro.core.checkers.realtime import (
+    check_linearizability,
+    check_strict_serializability,
+)
+
+__all__ = ["transform_to_strict", "TransformationError", "equivalent_per_process"]
+
+
+class TransformationError(Exception):
+    """Raised when the input execution does not satisfy RSS/RSC."""
+
+
+def _find_witness(history: History, spec: Optional[SequentialSpec]) -> List[Operation]:
+    transactional = any(op.is_transaction for op in history)
+    result = (check_rss if transactional else check_rsc)(history, spec)
+    if not result.satisfied:
+        raise TransformationError(
+            "execution does not satisfy RSS/RSC; cannot transform: " + result.reason
+        )
+    assert result.witness is not None
+    return result.witness
+
+
+def transform_to_strict(
+    history: History,
+    serialization: Optional[Sequence[Operation]] = None,
+    spec: Optional[SequentialSpec] = None,
+    slot_width: float = 1.0,
+) -> History:
+    """Transform an RSS (RSC) execution into an equivalent strictly
+    serializable (linearizable) one.
+
+    Parameters
+    ----------
+    history:
+        The original execution.
+    serialization:
+        A witness order ``S``.  If omitted, one is found with the exhaustive
+        RSS/RSC checker (small histories only).
+    slot_width:
+        Width of the real-time slot assigned to each operation in the
+        transformed execution.
+
+    Returns
+    -------
+    History
+        A new history with the same operations per process, in the same
+        per-process order, with the same return values, whose operations
+        execute back-to-back in the order of ``S``.
+    """
+    witness = list(serialization) if serialization is not None else _find_witness(history, spec)
+    witness_ids = {op.op_id for op in witness}
+    complete_ids = {op.op_id for op in history.complete()}
+    if not complete_ids <= witness_ids:
+        raise TransformationError("serialization is missing complete operations")
+
+    transformed = History()
+    id_map = {}
+    for index, op in enumerate(witness):
+        start = index * slot_width
+        end = start + slot_width / 2.0
+        new_op = replace(op, invoked_at=start, responded_at=end,
+                         read_set=dict(op.read_set), write_set=dict(op.write_set),
+                         meta=dict(op.meta))
+        transformed.add(new_op)
+        id_map[op.op_id] = new_op
+    # Preserve message edges between operations that survived the transform.
+    for edge in history.message_edges:
+        if edge.src_op in id_map and edge.dst_op in id_map:
+            transformed.add_message_edge(id_map[edge.src_op], id_map[edge.dst_op])
+    return transformed
+
+
+def equivalent_per_process(original: History, transformed: History) -> bool:
+    """Check the equivalence condition of Lemma 1: every process performs the
+    same operations, in the same order, with the same arguments and results.
+
+    Only complete operations of the original are compared (pending ones may
+    legitimately be dropped or completed by the transformation).
+    """
+    for process in original.processes():
+        original_ops = [op for op in original.by_process(process) if op.is_complete]
+        transformed_ops = [
+            op for op in transformed.by_process(process)
+            if op.op_id in {o.op_id for o in original_ops}
+        ]
+        if len(original_ops) != len(transformed_ops):
+            return False
+        for a, b in zip(original_ops, transformed_ops):
+            same = (
+                a.op_id == b.op_id
+                and a.op_type == b.op_type
+                and a.key == b.key
+                and a.value == b.value
+                and a.result == b.result
+                and a.read_set == b.read_set
+                and a.write_set == b.write_set
+            )
+            if not same:
+                return False
+    return True
+
+
+def verify_transformation(history: History, transformed: History,
+                          spec: Optional[SequentialSpec] = None) -> CheckResult:
+    """Convenience: assert the transformed execution is strictly serializable
+    (linearizable) and per-process equivalent to the original."""
+    spec = spec or default_spec_for(history)
+    if not equivalent_per_process(history, transformed):
+        return CheckResult(False, "transformation",
+                           reason="transformed execution is not per-process equivalent")
+    transactional = any(op.is_transaction for op in history)
+    checker = check_strict_serializability if transactional else check_linearizability
+    return checker(transformed, spec)

@@ -1,0 +1,30 @@
+"""Gryff and Gryff-RSC (§7, Appendix B).
+
+A from-scratch simulation of Gryff's hybrid shared-register / consensus
+protocol and the paper's Gryff-RSC variant:
+
+* reads use a quorum read phase and, in Gryff, a write-back phase whenever the
+  quorum disagrees; Gryff-RSC always finishes in one round and instead
+  piggybacks the observed ``(key, value, carstamp)`` dependency onto the
+  client's next operation (Algorithms 3-5);
+* writes use the two-phase carstamp protocol;
+* read-modify-writes run through an EPaxos-style pre-accept/commit path at a
+  coordinator replica.
+
+The top-level entry point is :class:`repro.gryff.cluster.GryffCluster`.
+"""
+
+from repro.gryff.carstamp import Carstamp
+from repro.gryff.config import GryffConfig, GryffVariant
+from repro.gryff.replica import GryffReplica
+from repro.gryff.client import GryffClient
+from repro.gryff.cluster import GryffCluster
+
+__all__ = [
+    "Carstamp",
+    "GryffConfig",
+    "GryffVariant",
+    "GryffReplica",
+    "GryffClient",
+    "GryffCluster",
+]

@@ -1,0 +1,43 @@
+"""Carstamps — consensus-after-register timestamps (§7, Appendix B).
+
+A carstamp identifies the position of a write or read-modify-write in the
+total order of updates to a key.  It is a tuple of a logical number, a
+read-modify-write counter, and the writer's client id; comparison is
+lexicographic.  Reads adopt the carstamp of the value they return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Tuple
+
+__all__ = ["Carstamp"]
+
+
+@dataclass(frozen=True, order=True)
+class Carstamp:
+    """A totally ordered version stamp for one key."""
+
+    number: int = 0
+    rmw_count: int = 0
+    writer: str = ""
+
+    ZERO: ClassVar["Carstamp"]
+
+    def bump_write(self, writer: str) -> "Carstamp":
+        """The carstamp a write chooses after observing this one (Alg. 3 l.16)."""
+        return Carstamp(number=self.number + 1, rmw_count=0, writer=writer)
+
+    def bump_rmw(self, writer: str) -> "Carstamp":
+        """The carstamp a read-modify-write chooses after observing this one."""
+        return Carstamp(number=self.number, rmw_count=self.rmw_count + 1,
+                        writer=writer)
+
+    def as_tuple(self) -> Tuple[int, int, str]:
+        return (self.number, self.rmw_count, self.writer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"cs({self.number},{self.rmw_count},{self.writer})"
+
+
+Carstamp.ZERO = Carstamp(0, 0, "")

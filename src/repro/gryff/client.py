@@ -1,0 +1,201 @@
+"""Gryff / Gryff-RSC client library (Algorithm 3).
+
+Reads, writes, and read-modify-writes follow the carstamp protocol.  The
+variant determines the read path:
+
+* Gryff: a read performs a quorum read phase; if the quorum disagrees on the
+  carstamp, a write-back phase propagates the newest value to a quorum before
+  the read returns (two wide-area round trips).
+* Gryff-RSC: a read always returns after the read phase; if the quorum
+  disagreed, the observed ``(key, value, carstamp)`` is kept as a dependency
+  and piggybacked onto the read phase of the client's next operation.
+
+The client records every completed operation into a
+:class:`~repro.core.history.History` with its carstamp in ``meta`` and its
+latency in a :class:`~repro.sim.stats.LatencyRecorder`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.gryff.carstamp import Carstamp
+from repro.gryff.config import GryffConfig, GryffVariant
+from repro.sim.engine import Environment
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.stats import LatencyRecorder
+
+__all__ = ["GryffClient"]
+
+
+def _carstamp_from_wire(data) -> Carstamp:
+    if data is None:
+        return Carstamp.ZERO
+    if isinstance(data, Carstamp):
+        return data
+    return Carstamp(number=data[0], rmw_count=data[1], writer=data[2])
+
+
+class GryffClient(Node):
+    """A client process issuing reads, writes, and rmws to the replicas."""
+
+    def __init__(self, env: Environment, network: Network, config: GryffConfig,
+                 name: str, site: str,
+                 history: Optional[History] = None,
+                 recorder: Optional[LatencyRecorder] = None,
+                 record_history: bool = True):
+        super().__init__(env, network, name, site)
+        self.config = config
+        self.history = history if history is not None else History()
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self.record_history = record_history
+        #: The pending dependency d (Algorithm 3, line 2); None when clear.
+        self.dependency: Optional[Dict[str, Any]] = None
+        self.reads_fast = 0
+        self.reads_slow = 0
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _replicas(self):
+        return self.config.replica_names()
+
+    def _take_dependency(self) -> Optional[Dict[str, Any]]:
+        """The dependency to piggyback on the next operation's read phase."""
+        return self.dependency
+
+    def _record(self, op: Operation, category: str, invoked_at: float) -> None:
+        self.recorder.record(category, invoked_at, self.env.now)
+        if self.record_history:
+            self.history.add(op)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def read(self, key: str):
+        """Read ``key`` (generator); returns the value."""
+        invoked_at = self.env.now
+        call = self.rpc_multicast(
+            self._replicas(), "read1",
+            key=key, dependency=self._take_dependency(),
+        )
+        replies = yield call.wait(self.config.quorum_size)
+        carstamps = {
+            src: _carstamp_from_wire(reply["carstamp"])
+            for src, reply in replies.items()
+        }
+        max_cs = max(carstamps.values())
+        value = None
+        for src, reply in replies.items():
+            if carstamps[src] == max_cs:
+                value = reply["value"]
+                break
+        quorum_agrees = all(cs == max_cs for cs in carstamps.values())
+
+        if self.config.variant == GryffVariant.GRYFF:
+            self.dependency = None
+            if quorum_agrees:
+                self.reads_fast += 1
+            else:
+                # Write-back phase: propagate the newest value to a quorum
+                # before returning (required by linearizability).
+                self.reads_slow += 1
+                write_back = self.rpc_multicast(
+                    self._replicas(), "write2",
+                    key=key, value=value, carstamp=max_cs.as_tuple(),
+                )
+                yield write_back.wait(self.config.quorum_size)
+        else:
+            # Gryff-RSC: always one round; remember the dependency if the
+            # value is not yet known to be on a quorum (Algorithm 3, l. 8-9).
+            if quorum_agrees:
+                self.reads_fast += 1
+                self.dependency = None
+            else:
+                self.reads_slow += 1
+                self.dependency = {
+                    "key": key, "value": value, "carstamp": max_cs.as_tuple(),
+                }
+
+        op = Operation.read(self.name, key, value,
+                            invoked_at=invoked_at, responded_at=self.env.now,
+                            carstamp=max_cs.as_tuple())
+        self._record(op, "read", invoked_at)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def write(self, key: str, value: Any):
+        """Write ``value`` to ``key`` (generator); returns the carstamp."""
+        invoked_at = self.env.now
+        phase1 = self.rpc_multicast(
+            self._replicas(), "write1",
+            key=key, dependency=self._take_dependency(),
+        )
+        replies = yield phase1.wait(self.config.quorum_size)
+        self.dependency = None  # propagated to a quorum with phase 1
+        max_cs = max(
+            _carstamp_from_wire(reply["carstamp"]) for reply in replies.values()
+        )
+        new_cs = max_cs.bump_write(self.name)
+        phase2 = self.rpc_multicast(
+            self._replicas(), "write2",
+            key=key, value=value, carstamp=new_cs.as_tuple(),
+        )
+        yield phase2.wait(self.config.quorum_size)
+        op = Operation.write(self.name, key, value,
+                             invoked_at=invoked_at, responded_at=self.env.now,
+                             carstamp=new_cs.as_tuple())
+        self._record(op, "write", invoked_at)
+        return new_cs
+
+    # ------------------------------------------------------------------ #
+    # Read-modify-writes
+    # ------------------------------------------------------------------ #
+    def rmw(self, key: str, mode: str = "increment", **params):
+        """Atomically read-modify-write ``key`` (generator).
+
+        ``mode`` selects the update function applied at the coordinator
+        replica: ``increment`` (with ``amount``), ``append`` (with
+        ``suffix``), or ``set`` (with ``new_value``).
+        Returns ``(old_value, new_value)``.
+        """
+        invoked_at = self.env.now
+        coordinator = self.config.local_replica(self.site)
+        reply = yield self.rpc_call(
+            coordinator, "rmw",
+            key=key, client=self.name, mode=mode,
+            dependency=self._take_dependency(), **params,
+        )
+        self.dependency = None
+        op = Operation.rmw(self.name, key,
+                           observed=reply["old_value"], new_value=reply["new_value"],
+                           invoked_at=invoked_at, responded_at=self.env.now,
+                           carstamp=tuple(reply["carstamp"]))
+        self._record(op, "rmw", invoked_at)
+        return reply["old_value"], reply["new_value"]
+
+    # ------------------------------------------------------------------ #
+    # Real-time fence (§7.1)
+    # ------------------------------------------------------------------ #
+    def fence(self):
+        """Write back any pending dependency to a quorum so that *all* future
+        reads (by any client) observe state at least as recent as everything
+        that causally precedes this fence."""
+        invoked_at = self.env.now
+        if self.dependency is None:
+            return False
+        dependency = self.dependency
+        call = self.rpc_multicast(
+            self._replicas(), "write2",
+            key=dependency["key"], value=dependency["value"],
+            carstamp=dependency["carstamp"],
+        )
+        yield call.wait(self.config.quorum_size)
+        self.dependency = None
+        self.recorder.record("fence", invoked_at, self.env.now)
+        return True

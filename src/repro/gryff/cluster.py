@@ -1,0 +1,144 @@
+"""Assembly of a complete simulated Gryff / Gryff-RSC deployment."""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict, deque
+from typing import Dict, List, Optional
+
+from repro.core.checkers import check_with_witness
+from repro.core.checkers.base import CheckResult
+from repro.core.relations import CausalOrder, RealTimeOrder, regular_constraint_edges
+from repro.core.history import History
+from repro.core.specification import RegisterSpec
+from repro.gryff.carstamp import Carstamp
+from repro.gryff.client import GryffClient
+from repro.gryff.config import GryffConfig, GryffVariant
+from repro.gryff.replica import GryffReplica
+from repro.sim.engine import Environment
+from repro.sim.network import Network
+from repro.sim.stats import LatencyRecorder
+
+__all__ = ["GryffCluster"]
+
+
+class GryffCluster:
+    """A simulated deployment: environment, network, replicas, clients."""
+
+    def __init__(self, config: Optional[GryffConfig] = None):
+        self.config = config or GryffConfig()
+        self.env = Environment()
+        self.network = Network(
+            self.env,
+            latency=self.config.latency_matrix(),
+            jitter_ms=self.config.jitter_ms,
+            processing_ms=self.config.processing_ms,
+            seed=self.config.seed,
+        )
+        self.history = History()
+        self.recorder = LatencyRecorder()
+        self.replicas: Dict[str, GryffReplica] = {}
+        for index in range(self.config.num_replicas):
+            name = self.config.replica_name(index)
+            site = self.config.replica_site(index)
+            self.replicas[name] = GryffReplica(
+                self.env, self.network, self.config, name=name, site=site,
+            )
+        self.clients: List[GryffClient] = []
+        self._client_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    def new_client(self, site: str, name: Optional[str] = None,
+                   record_history: bool = True) -> GryffClient:
+        name = name or f"client{next(self._client_counter)}@{site}"
+        client = GryffClient(
+            self.env, self.network, self.config, name=name, site=site,
+            history=self.history, recorder=self.recorder,
+            record_history=record_history,
+        )
+        self.clients.append(client)
+        return client
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.env.run(until=until)
+
+    def spawn(self, generator):
+        return self.env.process(generator)
+
+    # ------------------------------------------------------------------ #
+    def replica_stats(self) -> Dict[str, Dict[str, int]]:
+        return {name: dict(replica.stats) for name, replica in self.replicas.items()}
+
+    def witness_order(self, model: str = "rsc") -> Optional[List]:
+        """A serialization witnessing the deployment's consistency.
+
+        This mirrors the construction in the paper's Theorem D.15: a
+        topological sort of the partial order <ψ formed by (1) each key's
+        carstamp order, (2) the potential-causality order, and (3) the
+        model's real-time constraints.  Returns ``None`` if those constraints
+        are cyclic (which would itself be a consistency violation).
+        """
+        ops = [op for op in self.history if op.is_complete or op.is_mutation]
+        included = {op.op_id for op in ops}
+        edges: List = []
+
+        # (1) Per-key carstamp order (mutations before the reads that adopt
+        # their carstamp).
+        by_key = defaultdict(list)
+        for op in ops:
+            by_key[op.key].append(op)
+        for group in by_key.values():
+            group.sort(key=lambda op: (tuple(op.meta.get("carstamp", (0, 0, ""))),
+                                       0 if op.is_mutation else 1,
+                                       op.invoked_at, op.op_id))
+            edges.extend((a.op_id, b.op_id) for a, b in zip(group, group[1:]))
+
+        # (2) Potential causality and (3) real-time constraints.
+        edges.extend(CausalOrder(self.history).edges())
+        if model in ("rsc", "rss"):
+            edges.extend(regular_constraint_edges(self.history, RealTimeOrder(self.history)))
+        else:
+            rt = RealTimeOrder(self.history)
+            for a in ops:
+                for b in ops:
+                    if rt.precedes(a, b):
+                        edges.append((a.op_id, b.op_id))
+
+        # Deterministic Kahn topological sort.
+        successors: Dict[int, set] = {op.op_id: set() for op in ops}
+        indegree: Dict[int, int] = {op.op_id: 0 for op in ops}
+        for a, b in edges:
+            if a in included and b in included and b not in successors[a]:
+                successors[a].add(b)
+                indegree[b] += 1
+        ready = sorted(op_id for op_id, degree in indegree.items() if degree == 0)
+        order: List = []
+        queue = deque(ready)
+        while queue:
+            op_id = queue.popleft()
+            order.append(self.history.get(op_id))
+            promoted = []
+            for succ in successors[op_id]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    promoted.append(succ)
+            for succ in sorted(promoted):
+                queue.append(succ)
+        if len(order) != len(ops):
+            return None
+        return order
+
+    def check_consistency(self, model: Optional[str] = None) -> CheckResult:
+        """Gryff must be linearizable; Gryff-RSC must satisfy RSC."""
+        if model is None:
+            model = ("linearizability"
+                     if self.config.variant == GryffVariant.GRYFF else "rsc")
+        witness = self.witness_order(model)
+        if witness is None:
+            return CheckResult(
+                satisfied=False, model=model,
+                reason="carstamp, causal, and real-time constraints are cyclic",
+            )
+        return check_with_witness(
+            self.history, witness, model=model, spec=RegisterSpec(),
+        )

@@ -1,0 +1,71 @@
+"""Configuration for the simulated Gryff deployment (§7.2)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.sim.network import LatencyMatrix, gryff_wan, single_dc
+
+__all__ = ["GryffVariant", "GryffConfig"]
+
+
+class GryffVariant(enum.Enum):
+    """Which read protocol the deployment runs."""
+
+    GRYFF = "gryff"
+    GRYFF_RSC = "gryff-rsc"
+
+
+@dataclass
+class GryffConfig:
+    """Deployment parameters.
+
+    Defaults follow §7.2: five replicas, one per emulated region in Table 2,
+    read/write quorums of three.
+    """
+
+    variant: GryffVariant = GryffVariant.GRYFF_RSC
+    sites: List[str] = field(default_factory=lambda: ["CA", "VA", "IR", "OR", "JP"])
+    #: Per-message network/processing overhead added to every message, in ms.
+    processing_ms: float = 0.05
+    #: Per-message CPU time at each (single-threaded) replica, in ms.  Zero
+    #: disables CPU modelling; the §7.4 overhead experiments set it.
+    server_cpu_ms: float = 0.0
+    #: Per-message network jitter bound in ms.
+    jitter_ms: float = 0.5
+    #: Random seed for network jitter.
+    seed: int = 1
+    #: Use the wide-area RTTs of Table 2; otherwise a single data center
+    #: (the §7.4 overhead experiments).
+    wide_area: bool = True
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.sites)
+
+    @property
+    def quorum_size(self) -> int:
+        return self.num_replicas // 2 + 1
+
+    def latency_matrix(self) -> LatencyMatrix:
+        if self.wide_area:
+            return gryff_wan()
+        return single_dc(self.sites, rtt_ms=0.2)
+
+    def replica_name(self, index: int) -> str:
+        return f"replica{index}"
+
+    def replica_names(self) -> List[str]:
+        return [self.replica_name(i) for i in range(self.num_replicas)]
+
+    def replica_site(self, index: int) -> str:
+        return self.sites[index % len(self.sites)]
+
+    def local_replica(self, site: str) -> str:
+        """The replica co-located with ``site`` (used to coordinate rmws)."""
+        for index, replica_site in enumerate(self.sites):
+            if replica_site == site:
+                return self.replica_name(index)
+        return self.replica_name(0)

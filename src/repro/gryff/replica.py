@@ -1,0 +1,182 @@
+"""Gryff / Gryff-RSC replica (Algorithms 4 and 5).
+
+A replica stores, for each key, the current value and its carstamp.  It
+serves the read phase of reads and writes, applies second-phase writes, and
+coordinates read-modify-writes through an EPaxos-style pre-accept/commit
+exchange with the other replicas.
+
+In Gryff-RSC, read-phase messages may carry a piggybacked dependency
+``(key, value, carstamp)`` — the most recent value the client observed that
+is not yet known to be on a quorum — which the replica applies before
+processing the message (Algorithm 4, lines 4-5 and 8-9).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.gryff.carstamp import Carstamp
+from repro.gryff.config import GryffConfig
+from repro.sim.engine import Environment
+from repro.sim.network import Message, Network
+from repro.sim.node import Node
+
+__all__ = ["GryffReplica"]
+
+
+def _carstamp_from_wire(data) -> Carstamp:
+    if data is None:
+        return Carstamp.ZERO
+    if isinstance(data, Carstamp):
+        return data
+    return Carstamp(number=data[0], rmw_count=data[1], writer=data[2])
+
+
+def _carstamp_to_wire(cs: Carstamp) -> Tuple[int, int, str]:
+    return cs.as_tuple()
+
+
+class GryffReplica(Node):
+    """One of the five geo-replicated Gryff replicas."""
+
+    def __init__(self, env: Environment, network: Network, config: GryffConfig,
+                 name: str, site: str):
+        super().__init__(env, network, name, site, cpu_time_ms=config.server_cpu_ms)
+        self.config = config
+        self.values: Dict[str, Any] = {}
+        self.carstamps: Dict[str, Carstamp] = {}
+        self._rmw_instance = itertools.count(1)
+        self.stats = {
+            "reads": 0,
+            "write1": 0,
+            "write2": 0,
+            "rmws": 0,
+            "dependency_applies": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Register state
+    # ------------------------------------------------------------------ #
+    def apply(self, key: str, value: Any, carstamp: Carstamp) -> None:
+        """Install ``value`` if ``carstamp`` is newer (Algorithm 4, Apply)."""
+        current = self.carstamps.get(key, Carstamp.ZERO)
+        if carstamp > current:
+            self.values[key] = value
+            self.carstamps[key] = carstamp
+
+    def _apply_dependency(self, dependency) -> None:
+        if not dependency:
+            return
+        self.stats["dependency_applies"] += 1
+        self.apply(dependency["key"], dependency["value"],
+                   _carstamp_from_wire(dependency["carstamp"]))
+
+    def current(self, key: str) -> Tuple[Any, Carstamp]:
+        return self.values.get(key), self.carstamps.get(key, Carstamp.ZERO)
+
+    # ------------------------------------------------------------------ #
+    # Read phase / write phases (Algorithm 4)
+    # ------------------------------------------------------------------ #
+    def on_read1(self, message: Message):
+        payload = message.payload
+        self.stats["reads"] += 1
+        self._apply_dependency(payload.get("dependency"))
+        value, carstamp = self.current(payload["key"])
+        return {"value": value, "carstamp": _carstamp_to_wire(carstamp)}
+
+    def on_write1(self, message: Message):
+        payload = message.payload
+        self.stats["write1"] += 1
+        self._apply_dependency(payload.get("dependency"))
+        _, carstamp = self.current(payload["key"])
+        return {"carstamp": _carstamp_to_wire(carstamp)}
+
+    def on_write2(self, message: Message):
+        payload = message.payload
+        self.stats["write2"] += 1
+        self.apply(payload["key"], payload["value"],
+                   _carstamp_from_wire(payload["carstamp"]))
+        return {"ack": True}
+
+    # ------------------------------------------------------------------ #
+    # Read-modify-writes (Algorithm 5, EPaxos-style, simplified recovery-free)
+    # ------------------------------------------------------------------ #
+    def on_rmw(self, message: Message):
+        """Coordinate a read-modify-write submitted by a co-located client.
+
+        The function to apply is described declaratively in the payload
+        (``mode`` + parameters) so it can travel through the simulated
+        network: ``increment`` adds ``amount`` to an integer value, ``set``
+        installs ``new_value`` regardless of the old one.
+
+        This is the fast path of Gryff's EPaxos-based rmw protocol; recovery
+        and the ordering of *concurrent conflicting* rmws are simplified
+        (the paper's evaluation workloads issue only reads and writes).
+        """
+        payload = message.payload
+        self.stats["rmws"] += 1
+        self._apply_dependency(payload.get("dependency"))
+        key = payload["key"]
+        base_value, base_cs = self.current(key)
+
+        # PreAccept phase: learn of any newer base from a fast quorum.
+        others = [name for name in self.config.replica_names() if name != self.name]
+        call = self.rpc_multicast(
+            others, "rmw_preaccept",
+            key=key, base_value=base_value,
+            base_carstamp=_carstamp_to_wire(base_cs),
+            dependency=payload.get("dependency"),
+        )
+        needed = max(self.config.quorum_size - 1, 0)
+        replies = {}
+        if needed:
+            replies = yield call.wait(needed)
+        for reply in replies.values():
+            candidate = _carstamp_from_wire(reply["base_carstamp"])
+            if candidate > base_cs:
+                base_cs = candidate
+                base_value = reply["base_value"]
+
+        old_value = base_value
+        new_value = self._apply_rmw_function(payload, old_value)
+        commit_cs = base_cs.bump_rmw(payload["client"])
+
+        # Commit/execute phase: propagate the chosen value to a quorum.
+        self.apply(key, new_value, commit_cs)
+        commit_call = self.rpc_multicast(
+            others, "rmw_commit",
+            key=key, value=new_value, carstamp=_carstamp_to_wire(commit_cs),
+        )
+        if needed:
+            yield commit_call.wait(needed)
+        return {
+            "old_value": old_value,
+            "new_value": new_value,
+            "carstamp": _carstamp_to_wire(commit_cs),
+        }
+
+    def on_rmw_preaccept(self, message: Message):
+        payload = message.payload
+        self._apply_dependency(payload.get("dependency"))
+        value, carstamp = self.current(payload["key"])
+        incoming = _carstamp_from_wire(payload["base_carstamp"])
+        if incoming > carstamp:
+            value, carstamp = payload["base_value"], incoming
+        return {"base_value": value, "base_carstamp": _carstamp_to_wire(carstamp)}
+
+    def on_rmw_commit(self, message: Message):
+        payload = message.payload
+        self.apply(payload["key"], payload["value"],
+                   _carstamp_from_wire(payload["carstamp"]))
+        return {"ack": True}
+
+    @staticmethod
+    def _apply_rmw_function(payload, old_value):
+        mode = payload.get("mode", "set")
+        if mode == "increment":
+            return (old_value or 0) + payload.get("amount", 1)
+        if mode == "append":
+            return ((old_value or "") + str(payload.get("suffix", "")))
+        return payload.get("new_value")

@@ -1,0 +1,52 @@
+"""Discrete-event simulation substrate.
+
+This package provides the simulation kernel used by every protocol in the
+reproduction: a SimPy-like event loop (:mod:`repro.sim.engine`), a wide-area
+network model (:mod:`repro.sim.network`), simulated clocks including a
+TrueTime-style interval API (:mod:`repro.sim.clock`), node and RPC helpers
+(:mod:`repro.sim.node`, :mod:`repro.sim.rpc`), and latency statistics
+(:mod:`repro.sim.stats`).
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Store,
+    Timeout,
+)
+from repro.sim.clock import LocalClock, TrueTime, TrueTimeInterval
+from repro.sim.network import LatencyMatrix, Message, Network
+from repro.sim.node import Node
+from repro.sim.rpc import RpcEndpoint, RpcError, RpcRequest
+from repro.sim.stats import LatencyRecorder, Percentiles, cdf_points, percentile
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "LocalClock",
+    "TrueTime",
+    "TrueTimeInterval",
+    "LatencyMatrix",
+    "Message",
+    "Network",
+    "Node",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcRequest",
+    "LatencyRecorder",
+    "Percentiles",
+    "cdf_points",
+    "percentile",
+]

@@ -1,0 +1,374 @@
+"""A small deterministic discrete-event simulation kernel.
+
+The kernel is intentionally modeled after SimPy's API so that protocol code
+reads like the pseudocode in the paper: a protocol step is a generator that
+``yield``\\ s events (timeouts, other processes, store gets, or plain events
+triggered by message handlers) and resumes when they fire.
+
+The kernel is fully deterministic: given the same sequence of scheduled events
+and the same random seed in the workload, two runs produce identical traces.
+Ties in simulated time are broken by scheduling priority and then by insertion
+order.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 5))
+>>> _ = env.process(worker(env, "b", 3))
+>>> env.run()
+>>> log
+[(3, 'b'), (5, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Store",
+    "Environment",
+    "NORMAL",
+    "URGENT",
+]
+
+#: Scheduling priority for ordinary events.
+NORMAL = 1
+#: Scheduling priority for events that must run before ordinary ones at the
+#: same simulated time (used internally for process resumption).
+URGENT = 0
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts untriggered.  Calling :meth:`succeed` or :meth:`fail`
+    schedules it; once the environment pops it from the queue it is
+    *processed* and its callbacks run.  Each callback receives the event.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (succeeded or failed)."""
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._scheduled:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self._scheduled:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay=delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately at the current time.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated time units in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Process(Event):
+    """Wraps a generator and drives it by resuming on yielded events.
+
+    The process itself is an event that succeeds with the generator's return
+    value (or fails with the exception that escaped the generator).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        env.schedule(init, priority=URGENT)
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True  # type: ignore[attr-defined]
+        self.env.schedule(event, priority=URGENT)
+        event.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        self.env._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                setattr(event, "defused", True)
+                target = self._generator.throw(event._value)
+        except StopIteration as exc:
+            self.env._active_process = None
+            self._ok = True
+            self._value = exc.value
+            self.env.schedule(self, priority=URGENT)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self.env._active_process = None
+            self._ok = False
+            self._value = exc
+            self.env.schedule(self, priority=URGENT)
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {target!r} (did you forget env.timeout?)"
+            )
+        self._target = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self._events if e.processed and e._ok is not None}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as any of the given events succeeds (or fails)."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok is False:
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Succeeds once all of the given events have succeeded."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok is False:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class Store:
+    """An unbounded FIFO queue with blocking ``get``.
+
+    Used as a mailbox for simulated nodes: message handlers ``put`` items and
+    node processes ``yield store.get()``.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_all(self) -> list[Any]:
+        """Return currently queued items without removing them."""
+        return list(self._items)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    def schedule(self, event: Event, delay: float = 0, priority: int = NORMAL) -> None:
+        """Place a triggered event on the queue ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past")
+        event._scheduled = True
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._counter), event)
+        )
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def store(self) -> Store:
+        return Store(self)
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        time, _, _, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = time
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not getattr(event, "defused", False) and not callbacks:
+            # An unhandled failure with nobody waiting: surface it.
+            raise event._value
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        if until is not None and self._now < until and not self._queue:
+            self._now = until
+        return self._now

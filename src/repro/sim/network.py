@@ -1,0 +1,240 @@
+"""Wide-area network model.
+
+The network delivers messages between named nodes with a one-way delay equal
+to half the configured round-trip time between the nodes' sites, plus optional
+jitter and a per-message processing overhead.  Channels between a pair of
+nodes are FIFO (matching the formal model in Appendix C.1.4): jittered delays
+are clamped so that messages on the same channel are never reordered.
+
+The paper's two topologies are provided as helpers:
+
+* :func:`spanner_wan` — CA / VA / IR, RTTs 62 / 136 / 68 ms (§6).
+* :func:`gryff_wan` — CA / VA / IR / OR / JP, Table 2 RTT matrix (§7.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.sim.engine import Environment
+
+__all__ = [
+    "Message",
+    "LatencyMatrix",
+    "Network",
+    "spanner_wan",
+    "gryff_wan",
+    "single_dc",
+    "SPANNER_RTT_MS",
+    "GRYFF_RTT_MS",
+]
+
+#: Round-trip times used by the Spanner evaluation (§6): CA-VA 62 ms,
+#: CA-IR 136 ms, VA-IR 68 ms.
+SPANNER_RTT_MS: Dict[Tuple[str, str], float] = {
+    ("CA", "VA"): 62.0,
+    ("CA", "IR"): 136.0,
+    ("VA", "IR"): 68.0,
+}
+
+#: Table 2 of the paper — emulated round-trip latencies in ms.
+GRYFF_RTT_MS: Dict[Tuple[str, str], float] = {
+    ("CA", "CA"): 0.2,
+    ("VA", "VA"): 0.2,
+    ("IR", "IR"): 0.2,
+    ("OR", "OR"): 0.2,
+    ("JP", "JP"): 0.2,
+    ("CA", "VA"): 72.0,
+    ("CA", "IR"): 151.0,
+    ("CA", "OR"): 59.0,
+    ("CA", "JP"): 113.0,
+    ("VA", "IR"): 88.0,
+    ("VA", "OR"): 93.0,
+    ("VA", "JP"): 162.0,
+    ("IR", "OR"): 145.0,
+    ("IR", "JP"): 220.0,
+    ("OR", "JP"): 121.0,
+}
+
+
+@dataclass
+class Message:
+    """A message in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Node names.
+    kind:
+        Message type tag used for handler dispatch.
+    payload:
+        Arbitrary message body (dict by convention).
+    send_time, deliver_time:
+        Simulated times recorded by the network for tracing.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    send_time: float = 0.0
+    deliver_time: float = 0.0
+    msg_id: int = 0
+
+
+class LatencyMatrix:
+    """Symmetric site-to-site RTT matrix with a local (same-site) RTT."""
+
+    def __init__(
+        self,
+        rtt_ms: Dict[Tuple[str, str], float],
+        local_rtt_ms: float = 0.2,
+    ):
+        self._rtt: Dict[Tuple[str, str], float] = {}
+        self.local_rtt_ms = local_rtt_ms
+        sites = set()
+        for (a, b), rtt in rtt_ms.items():
+            sites.add(a)
+            sites.add(b)
+            self._rtt[(a, b)] = rtt
+            self._rtt[(b, a)] = rtt
+        self.sites = sorted(sites)
+
+    def rtt(self, a: str, b: str) -> float:
+        """Round-trip time between sites ``a`` and ``b`` in ms."""
+        if a == b:
+            return self._rtt.get((a, b), self.local_rtt_ms)
+        try:
+            return self._rtt[(a, b)]
+        except KeyError as exc:
+            raise KeyError(f"no RTT configured between {a!r} and {b!r}") from exc
+
+    def one_way(self, a: str, b: str) -> float:
+        """One-way delay between sites ``a`` and ``b`` in ms."""
+        return self.rtt(a, b) / 2.0
+
+
+def spanner_wan(local_rtt_ms: float = 0.2) -> LatencyMatrix:
+    """The 3-site WAN used in the Spanner evaluation (§6.1)."""
+    return LatencyMatrix(SPANNER_RTT_MS, local_rtt_ms=local_rtt_ms)
+
+
+def gryff_wan() -> LatencyMatrix:
+    """The 5-site WAN of Table 2 used in the Gryff evaluation (§7.2)."""
+    return LatencyMatrix(GRYFF_RTT_MS, local_rtt_ms=0.2)
+
+
+def single_dc(sites: Optional[list[str]] = None, rtt_ms: float = 0.2) -> LatencyMatrix:
+    """A single-data-center topology (used for the overhead experiments)."""
+    sites = sites or ["DC"]
+    matrix: Dict[Tuple[str, str], float] = {}
+    for i, a in enumerate(sites):
+        for b in sites[i:]:
+            matrix[(a, b)] = rtt_ms
+    return LatencyMatrix(matrix, local_rtt_ms=rtt_ms)
+
+
+class Network:
+    """Delivers messages between registered nodes with WAN latencies."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: LatencyMatrix,
+        jitter_ms: float = 0.0,
+        processing_ms: float = 0.0,
+        seed: int = 0,
+    ):
+        self.env = env
+        self.latency = latency
+        self.jitter_ms = jitter_ms
+        self.processing_ms = processing_ms
+        self._rng = random.Random(seed)
+        self._nodes: Dict[str, "NetworkEndpoint"] = {}
+        self._next_msg_id = 0
+        #: Per-channel earliest allowed delivery time, enforcing FIFO order.
+        self._channel_clock: Dict[Tuple[str, str], float] = {}
+        self.messages_sent = 0
+        self.bytes_proxy = 0
+        self.trace: Optional[list[Message]] = None
+
+    def enable_trace(self) -> None:
+        """Start recording every delivered message (for debugging/tests)."""
+        self.trace = []
+
+    def register(self, name: str, endpoint: "NetworkEndpoint") -> None:
+        if name in self._nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        self._nodes[name] = endpoint
+
+    def node(self, name: str) -> "NetworkEndpoint":
+        return self._nodes[name]
+
+    @property
+    def node_names(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def delay(self, src_site: str, dst_site: str) -> float:
+        """Sample the one-way delay between two sites."""
+        base = self.latency.one_way(src_site, dst_site) + self.processing_ms
+        if self.jitter_ms > 0:
+            base += self._rng.uniform(0, self.jitter_ms)
+        return base
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> Message:
+        """Send a message; it is delivered to ``dst`` after the WAN delay."""
+        try:
+            dst_ep = self._nodes[dst]
+            src_ep = self._nodes[src]
+        except KeyError as exc:
+            raise KeyError(f"unknown node in send({src!r}, {dst!r})") from exc
+        self._next_msg_id += 1
+        msg = Message(
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            send_time=self.env.now,
+            msg_id=self._next_msg_id,
+        )
+        delay = self.delay(src_ep.site, dst_ep.site)
+        deliver_at = self.env.now + delay
+        # FIFO per channel: never deliver before a previously sent message.
+        channel = (src, dst)
+        deliver_at = max(deliver_at, self._channel_clock.get(channel, 0.0))
+        self._channel_clock[channel] = deliver_at
+        msg.deliver_time = deliver_at
+        self.messages_sent += 1
+        self.bytes_proxy += self._payload_size(payload)
+        event = self.env.event()
+        event.succeed(msg, delay=deliver_at - self.env.now)
+        event.add_callback(lambda ev: dst_ep.deliver(ev.value))
+        if self.trace is not None:
+            self.trace.append(msg)
+        return msg
+
+    def broadcast(self, src: str, dsts: list[str], kind: str, payload: Any) -> list[Message]:
+        """Send the same message to every destination in ``dsts``."""
+        return [self.send(src, dst, kind, payload) for dst in dsts]
+
+    @staticmethod
+    def _payload_size(payload: Any) -> int:
+        """A rough proxy for message size, used in overhead accounting."""
+        if payload is None:
+            return 1
+        if isinstance(payload, dict):
+            return 1 + len(payload)
+        if isinstance(payload, (list, tuple, set)):
+            return 1 + len(payload)
+        return 1
+
+
+class NetworkEndpoint:
+    """Minimal interface nodes must provide to receive messages."""
+
+    site: str = "DC"
+
+    def deliver(self, message: Message) -> None:  # pragma: no cover - interface
+        raise NotImplementedError

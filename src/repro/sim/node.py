@@ -1,0 +1,169 @@
+"""Simulated node (process) base class.
+
+A :class:`Node` is a named participant registered with a :class:`Network`.
+Incoming messages are dispatched to ``on_<kind>`` handler methods.  Handlers
+may be plain methods or generator methods; generator handlers are run as
+simulation processes so they can perform further waits (e.g. replication
+round trips) before replying.
+
+Nodes also embed the request/response bookkeeping from :mod:`repro.sim.rpc`
+so protocol code can issue blocking calls (``yield self.rpc_call(...)``) and
+quorum multicasts.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Optional
+
+from repro.sim.engine import Environment, Event
+from repro.sim.network import Message, Network
+from repro.sim.rpc import MultiCall, PendingCall, RpcError
+
+__all__ = ["Node"]
+
+
+class Node:
+    """Base class for all simulated participants (clients, shards, replicas)."""
+
+    def __init__(self, env: Environment, network: Network, name: str, site: str,
+                 cpu_time_ms: float = 0.0):
+        self.env = env
+        self.network = network
+        self.name = name
+        self.site = site
+        self._rpc_counter = 0
+        self._pending: dict[int, PendingCall] = {}
+        self._stopped = False
+        #: Per-message CPU cost.  When positive, incoming messages are
+        #: processed one at a time through a FIFO (a single-threaded server),
+        #: which is what produces saturation in the load experiments.
+        self.cpu_time_ms = cpu_time_ms
+        self._inbox = None
+        network.register(name, self)
+
+    # ------------------------------------------------------------------ #
+    # Message receipt and dispatch
+    # ------------------------------------------------------------------ #
+    def deliver(self, message: Message) -> None:
+        """Called by the network when a message arrives at this node."""
+        if self._stopped:
+            return
+        if self.cpu_time_ms > 0:
+            if self._inbox is None:
+                self._inbox = self.env.store()
+                self.env.process(self._cpu_loop())
+            self._inbox.put(message)
+            return
+        self._route(message)
+
+    def _cpu_loop(self):
+        """Serialize message processing on a single simulated CPU."""
+        while not self._stopped:
+            message = yield self._inbox.get()
+            yield self.env.timeout(self.cpu_time_ms)
+            self._route(message)
+
+    def _route(self, message: Message) -> None:
+        payload = message.payload or {}
+        if isinstance(payload, dict) and payload.get("_rpc_is_reply"):
+            self._handle_rpc_reply(message)
+            return
+        self.dispatch(message)
+
+    def dispatch(self, message: Message) -> None:
+        """Route a non-reply message to its ``on_<kind>`` handler."""
+        handler = getattr(self, f"on_{message.kind}", None)
+        if handler is None:
+            self.on_unhandled(message)
+            return
+        result = handler(message)
+        if inspect.isgenerator(result):
+            process = self.env.process(result)
+            if self._message_expects_reply(message):
+                process.add_callback(
+                    lambda ev: self._maybe_autoreply(message, ev)
+                )
+        elif result is not None and self._message_expects_reply(message):
+            self.rpc_reply(message, result)
+
+    def on_unhandled(self, message: Message) -> None:
+        """Hook for messages with no handler; raises by default."""
+        raise RpcError(f"{self.name}: no handler for message kind {message.kind!r}")
+
+    def _maybe_autoreply(self, message: Message, process_event: Event) -> None:
+        if process_event.ok and process_event.value is not None:
+            self.rpc_reply(message, process_event.value)
+
+    @staticmethod
+    def _message_expects_reply(message: Message) -> bool:
+        payload = message.payload
+        return isinstance(payload, dict) and "_rpc_id" in payload
+
+    # ------------------------------------------------------------------ #
+    # Plain sends
+    # ------------------------------------------------------------------ #
+    def send(self, dst: str, kind: str, **payload: Any) -> Message:
+        """Send a one-way message."""
+        return self.network.send(self.name, dst, kind, payload)
+
+    def stop(self) -> None:
+        """Stop processing incoming messages (models a crashed node)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------ #
+    # RPC
+    # ------------------------------------------------------------------ #
+    def _next_rpc_id(self) -> int:
+        self._rpc_counter += 1
+        return self._rpc_counter
+
+    def rpc_call(self, dst: str, kind: str, **payload: Any) -> Event:
+        """Send a request and return an event that fires with the reply payload."""
+        rpc_id = self._next_rpc_id()
+        call = PendingCall(self.env, rpc_id=rpc_id, expected=1)
+        self._pending[rpc_id] = call
+        body = dict(payload)
+        body["_rpc_id"] = rpc_id
+        body["_rpc_reply_to"] = self.name
+        self.network.send(self.name, dst, kind, body)
+        return call.first_event
+
+    def rpc_multicast(self, dsts: list[str], kind: str, **payload: Any) -> MultiCall:
+        """Send the same request to several destinations.
+
+        Returns a :class:`MultiCall` whose ``wait(n)`` method yields an event
+        firing once ``n`` replies have arrived.
+        """
+        rpc_id = self._next_rpc_id()
+        call = MultiCall(self.env, rpc_id=rpc_id, destinations=list(dsts))
+        self._pending[rpc_id] = call
+        body = dict(payload)
+        body["_rpc_id"] = rpc_id
+        body["_rpc_reply_to"] = self.name
+        for dst in dsts:
+            self.network.send(self.name, dst, kind, dict(body))
+        return call
+
+    def rpc_reply(self, request: Message, payload: Any) -> None:
+        """Reply to an RPC request message."""
+        req_payload = request.payload
+        if not isinstance(req_payload, dict) or "_rpc_id" not in req_payload:
+            raise RpcError("cannot reply to a message that is not an RPC request")
+        body = dict(payload) if isinstance(payload, dict) else {"value": payload}
+        body["_rpc_is_reply"] = True
+        body["_rpc_id"] = req_payload["_rpc_id"]
+        self.network.send(self.name, req_payload["_rpc_reply_to"], f"{request.kind}_reply", body)
+
+    def _handle_rpc_reply(self, message: Message) -> None:
+        rpc_id = message.payload.get("_rpc_id")
+        call = self._pending.get(rpc_id)
+        if call is None:
+            return  # Late reply for an abandoned call.
+        finished = call.add_reply(message.src, message.payload)
+        if finished:
+            self._pending.pop(rpc_id, None)
+
+    def forget_call(self, call: "PendingCall") -> None:
+        """Drop bookkeeping for an outstanding call (ignore future replies)."""
+        self._pending.pop(call.rpc_id, None)

@@ -1,0 +1,109 @@
+"""Request/response bookkeeping for simulated RPC.
+
+These classes are used by :class:`repro.sim.node.Node`; protocol code usually
+interacts with them via ``node.rpc_call`` / ``node.rpc_multicast``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.engine import Environment, Event
+
+__all__ = ["RpcError", "RpcRequest", "PendingCall", "MultiCall", "RpcEndpoint"]
+
+
+class RpcError(Exception):
+    """Raised for RPC misuse (missing handlers, bad replies)."""
+
+
+class RpcRequest:
+    """Payload wrapper describing an outbound request (kept for tracing)."""
+
+    def __init__(self, rpc_id: int, kind: str, payload: Any):
+        self.rpc_id = rpc_id
+        self.kind = kind
+        self.payload = payload
+
+
+class PendingCall:
+    """A single-destination call awaiting one reply."""
+
+    def __init__(self, env: Environment, rpc_id: int, expected: int = 1):
+        self.env = env
+        self.rpc_id = rpc_id
+        self.expected = expected
+        self.replies: Dict[str, Any] = {}
+        self.first_event = env.event()
+
+    def add_reply(self, src: str, payload: Any) -> bool:
+        """Record a reply; returns True when the call is complete."""
+        self.replies[src] = payload
+        if not self.first_event.triggered:
+            self.first_event.succeed(payload)
+        return len(self.replies) >= self.expected
+
+
+class MultiCall(PendingCall):
+    """A multicast call that can be waited on at several reply counts.
+
+    ``wait(n)`` returns an event that fires once ``n`` replies have arrived;
+    the event value is the dict of replies received so far (by sender name).
+    ``on_reply`` registers a callback invoked for every reply, including
+    those arriving after any ``wait`` threshold fired — this is how late
+    messages (e.g. Spanner-RSS slow replies racing with fast replies) are
+    observed.
+    """
+
+    def __init__(self, env: Environment, rpc_id: int, destinations: List[str]):
+        super().__init__(env, rpc_id=rpc_id, expected=len(destinations))
+        self.destinations = destinations
+        self._thresholds: List[tuple[int, Event]] = []
+        self._reply_callbacks: List[Callable[[str, Any], None]] = []
+
+    @property
+    def reply_count(self) -> int:
+        return len(self.replies)
+
+    def wait(self, count: Optional[int] = None) -> Event:
+        """Event firing once ``count`` (default: all) replies have arrived."""
+        if count is None:
+            count = self.expected
+        if count > self.expected:
+            raise RpcError(
+                f"cannot wait for {count} replies; only {self.expected} destinations"
+            )
+        event = self.env.event()
+        if self.reply_count >= count:
+            event.succeed(dict(self.replies))
+        else:
+            self._thresholds.append((count, event))
+        return event
+
+    def wait_all(self) -> Event:
+        return self.wait(self.expected)
+
+    def on_reply(self, callback: Callable[[str, Any], None]) -> None:
+        self._reply_callbacks.append(callback)
+
+    def add_reply(self, src: str, payload: Any) -> bool:
+        self.replies[src] = payload
+        if not self.first_event.triggered:
+            self.first_event.succeed(payload)
+        for callback in list(self._reply_callbacks):
+            callback(src, payload)
+        ready = [
+            (count, event)
+            for count, event in self._thresholds
+            if self.reply_count >= count and not event.triggered
+        ]
+        for count, event in ready:
+            event.succeed(dict(self.replies))
+        self._thresholds = [
+            (count, event) for count, event in self._thresholds if not event.triggered
+        ]
+        return len(self.replies) >= self.expected
+
+
+class RpcEndpoint:
+    """Marker base class documenting the RPC surface of :class:`Node`."""

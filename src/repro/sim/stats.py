@@ -1,0 +1,174 @@
+"""Latency statistics used by the evaluation harness.
+
+The paper reports tail-latency CDFs (Figure 5), p99 latencies (Figure 7), and
+throughput/median-latency curves (Figure 6).  :class:`LatencyRecorder`
+collects per-operation latencies tagged by category and produces the same
+summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["percentile", "Percentiles", "cdf_points", "LatencyRecorder", "throughput"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile (0-100) using linear interpolation.
+
+    Raises ``ValueError`` on an empty sample set or an out-of-range ``q``.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] + frac * (ordered[high] - ordered[low])
+
+
+@dataclass(frozen=True)
+class Percentiles:
+    """A bundle of the percentiles the paper reports."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    p9999: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "Percentiles":
+        if not samples:
+            raise ValueError("no samples")
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50),
+            p90=percentile(samples, 90),
+            p99=percentile(samples, 99),
+            p999=percentile(samples, 99.9),
+            p9999=percentile(samples, 99.99),
+            maximum=max(samples),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "p99.9": self.p999,
+            "p99.99": self.p9999,
+            "max": self.maximum,
+        }
+
+
+def cdf_points(
+    samples: Sequence[float],
+    fractions: Optional[Sequence[float]] = None,
+) -> List[Tuple[float, float]]:
+    """Return (latency, fraction) points of the empirical CDF.
+
+    Used to regenerate the Figure 5 tail-CDF series.  ``fractions`` defaults
+    to the fractions highlighted in the paper's y-axis (0, 0.9, 0.99, 0.999,
+    0.9999).
+    """
+    if fractions is None:
+        fractions = (0.0, 0.5, 0.9, 0.99, 0.995, 0.999, 0.9999)
+    points = []
+    for frac in fractions:
+        points.append((percentile(samples, frac * 100.0), frac))
+    return points
+
+
+def throughput(count: int, duration_ms: float) -> float:
+    """Operations per second given a count and a duration in milliseconds."""
+    if duration_ms <= 0:
+        raise ValueError("duration must be positive")
+    return count * 1000.0 / duration_ms
+
+
+class LatencyRecorder:
+    """Collects operation latencies grouped by category.
+
+    Categories are free-form strings; the benches use e.g. ``"ro"`` / ``"rw"``
+    for Spanner transactions and ``"read"`` / ``"write"`` for Gryff ops.
+    """
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+        self._first_start: Optional[float] = None
+        self._last_end: Optional[float] = None
+
+    def record(self, category: str, start: float, end: float) -> None:
+        """Record one operation's latency from its start/end timestamps."""
+        if end < start:
+            raise ValueError("operation ends before it starts")
+        self._samples.setdefault(category, []).append(end - start)
+        if self._first_start is None or start < self._first_start:
+            self._first_start = start
+        if self._last_end is None or end > self._last_end:
+            self._last_end = end
+
+    def record_latency(self, category: str, latency: float) -> None:
+        """Record a pre-computed latency value."""
+        if latency < 0:
+            raise ValueError("negative latency")
+        self._samples.setdefault(category, []).append(latency)
+
+    def samples(self, category: str) -> List[float]:
+        return list(self._samples.get(category, []))
+
+    def categories(self) -> List[str]:
+        return sorted(self._samples)
+
+    def count(self, category: Optional[str] = None) -> int:
+        if category is not None:
+            return len(self._samples.get(category, []))
+        return sum(len(v) for v in self._samples.values())
+
+    def percentiles(self, category: str) -> Percentiles:
+        return Percentiles.from_samples(self._samples.get(category, []))
+
+    def cdf(self, category: str, fractions: Optional[Sequence[float]] = None):
+        return cdf_points(self._samples.get(category, []), fractions)
+
+    @property
+    def duration_ms(self) -> float:
+        if self._first_start is None or self._last_end is None:
+            return 0.0
+        return self._last_end - self._first_start
+
+    def throughput(self, category: Optional[str] = None) -> float:
+        """Operations per second over the observed interval."""
+        duration = self.duration_ms
+        if duration <= 0:
+            return 0.0
+        return throughput(self.count(category), duration)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one."""
+        for category, samples in other._samples.items():
+            self._samples.setdefault(category, []).extend(samples)
+        for bound in (other._first_start,):
+            if bound is not None and (
+                self._first_start is None or bound < self._first_start
+            ):
+                self._first_start = bound
+        for bound in (other._last_end,):
+            if bound is not None and (self._last_end is None or bound > self._last_end):
+                self._last_end = bound

@@ -1,0 +1,35 @@
+"""Spanner and Spanner-RSS (§5, §6).
+
+A from-scratch simulation of Spanner's transaction protocols and the paper's
+Spanner-RSS variant:
+
+* read-write transactions use strict two-phase locking with wound-wait,
+  two-phase commit across shard leaders, TrueTime commit timestamps, and
+  commit wait;
+* Spanner's read-only transactions read at ``TT.now().latest`` and block
+  behind conflicting prepared transactions;
+* Spanner-RSS's read-only transactions (Algorithms 1 and 2) carry ``t_min``,
+  skip prepared transactions whose earliest end time ``t_ee`` is still in the
+  future, and assemble a consistent snapshot at ``t_snap`` on the client.
+
+The top-level entry point is :class:`repro.spanner.cluster.SpannerCluster`.
+"""
+
+from repro.spanner.config import SpannerConfig, Variant
+from repro.spanner.cluster import SpannerCluster
+from repro.spanner.client import SpannerClient, TransactionAborted
+from repro.spanner.locks import LockMode, LockTable
+from repro.spanner.mvstore import MultiVersionStore
+from repro.spanner.replication import ReplicationLog
+
+__all__ = [
+    "SpannerConfig",
+    "Variant",
+    "SpannerCluster",
+    "SpannerClient",
+    "TransactionAborted",
+    "LockMode",
+    "LockTable",
+    "MultiVersionStore",
+    "ReplicationLog",
+]

@@ -1,0 +1,379 @@
+"""Spanner / Spanner-RSS client library (Algorithm 1 and the RW protocol of §5).
+
+A client executes read-write transactions with two-phase locking and
+two-phase commit, and read-only transactions with either Spanner's blocking
+protocol or Spanner-RSS's Algorithm 1, depending on the configured variant.
+Every completed transaction is appended to a :class:`~repro.core.history.History`
+(with its commit/snapshot timestamp in ``meta``) and its latency recorded.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.sim.clock import TrueTime
+from repro.sim.engine import Environment, Event
+from repro.sim.network import Message, Network
+from repro.sim.node import Node
+from repro.sim.stats import LatencyRecorder
+from repro.spanner.config import SpannerConfig, Variant
+
+__all__ = ["SpannerClient", "TransactionAborted"]
+
+
+class TransactionAborted(Exception):
+    """Raised when a read-write transaction exhausts its retry budget."""
+
+
+@dataclass
+class _PendingRO:
+    """Client-side state for an outstanding Spanner-RSS read-only transaction."""
+
+    ro_id: int
+    slow_replies: List[Dict[str, Any]] = field(default_factory=list)
+    wakeup: Optional[Event] = None
+
+
+class SpannerClient(Node):
+    """A client (application server) session talking to the Spanner shards."""
+
+    def __init__(self, env: Environment, network: Network, truetime: TrueTime,
+                 config: SpannerConfig, name: str, site: str,
+                 history: Optional[History] = None,
+                 recorder: Optional[LatencyRecorder] = None,
+                 record_history: bool = True):
+        super().__init__(env, network, name, site)
+        self.truetime = truetime
+        self.config = config
+        self.history = history if history is not None else History()
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self.record_history = record_history
+        #: Minimum read timestamp capturing this session's causal constraints.
+        self.t_min = 0.0
+        #: Session counter: load generators reuse a client node for many
+        #: independent end-user sessions (§6.1); each session is a separate
+        #: causal context, so operations are recorded under a per-session
+        #: process name and t_min restarts from zero.
+        self.session = 0
+        self._txn_counter = itertools.count(1)
+        self._ro_counter = itertools.count(1)
+        self._pending_ro: Dict[int, _PendingRO] = {}
+        self.committed = 0
+        self.aborted_attempts = 0
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _shards_for(self, keys) -> Dict[str, List[str]]:
+        grouped: Dict[str, List[str]] = {}
+        for key in keys:
+            grouped.setdefault(self.config.shard_for_key(key), []).append(key)
+        return grouped
+
+    def _new_txn_id(self) -> str:
+        return f"{self.name}:txn{next(self._txn_counter)}"
+
+    def import_context(self, t_min: float) -> None:
+        """Adopt a causal context received out of band (§4.2)."""
+        if t_min > self.t_min:
+            self.t_min = t_min
+
+    def export_context(self) -> float:
+        """The causal context to propagate to another process."""
+        return self.t_min
+
+    @property
+    def history_process(self) -> str:
+        """The process name operations are recorded under (per session)."""
+        if self.session == 0:
+            return self.name
+        return f"{self.name}/s{self.session}"
+
+    def new_session(self) -> None:
+        """Start a fresh end-user session with its own causal context."""
+        self.session += 1
+        self.t_min = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Read-write transactions
+    # ------------------------------------------------------------------ #
+    def read_write_transaction(
+        self,
+        read_keys: List[str],
+        compute_writes: Callable[[Dict[str, Any]], Dict[str, Any]],
+        max_retries: int = 25,
+    ):
+        """Execute a read-write transaction (generator).
+
+        ``compute_writes`` receives the mapping of read values and returns the
+        write set.  Returns ``(read_values, writes, commit_ts)``.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            invoked_at = self.env.now
+            outcome = yield from self._attempt_rw(read_keys, compute_writes)
+            if outcome is not None:
+                read_values, writes, commit_ts, earliest_end_ts, txn_id = outcome
+                # The client ensures t_ee has passed before the transaction's
+                # client-side end (§5 / §6 optimization 2).
+                yield from self.truetime.wait_until_after(earliest_end_ts)
+                responded_at = self.env.now
+                self.t_min = max(self.t_min, commit_ts)
+                self.committed += 1
+                self.recorder.record("rw", invoked_at, responded_at)
+                if self.record_history:
+                    self.history.add(Operation.rw_txn(
+                        self.history_process, read_set=dict(read_values),
+                        write_set=dict(writes),
+                        invoked_at=invoked_at, responded_at=responded_at,
+                        commit_ts=commit_ts, txn_id=txn_id,
+                    ))
+                return read_values, writes, commit_ts
+            self.aborted_attempts += 1
+            if attempt > max_retries:
+                raise TransactionAborted(
+                    f"{self.name}: transaction aborted {attempt} times"
+                )
+            yield self.env.timeout(self.config.retry_backoff_ms)
+
+    def _attempt_rw(self, read_keys: List[str],
+                    compute_writes: Callable[[Dict[str, Any]], Dict[str, Any]]):
+        txn_id = self._new_txn_id()
+        start_ts = self.truetime.now().latest
+        priority = start_ts
+        read_groups = self._shards_for(read_keys)
+
+        # Execution phase: acquire read locks and fetch current values.
+        calls = [
+            (shard, self.rpc_call(shard, "rw_read", txn_id=txn_id,
+                                  keys=keys, priority=priority))
+            for shard, keys in read_groups.items()
+        ]
+        read_values: Dict[str, Any] = {}
+        contacted: Set[str] = set(read_groups)
+        failed = False
+        for shard, call in calls:
+            reply = yield call
+            if reply["status"] != "ok":
+                failed = True
+            else:
+                for key, entry in reply["values"].items():
+                    read_values[key] = entry["value"]
+        if failed:
+            self._abort_everywhere(txn_id, contacted)
+            return None
+
+        writes = compute_writes(dict(read_values))
+        write_groups = self._shards_for(writes)
+        participant_names = sorted(set(read_groups) | set(write_groups))
+        participants = {
+            shard: {
+                "writes": {k: writes[k] for k in write_groups.get(shard, [])},
+                "read_keys": read_groups.get(shard, []),
+            }
+            for shard in participant_names
+        }
+        coordinator = self._choose_coordinator(participant_names)
+        participant_sites = [
+            self.network.node(shard).site for shard in participant_names
+        ]
+        min_latency = self.config.min_commit_latency_ms(
+            self.network.node(coordinator).site, participant_sites, self.site,
+        )
+        earliest_end_ts = self.truetime.now().earliest + min_latency
+
+        reply = yield self.rpc_call(
+            coordinator, "commit_txn",
+            txn_id=txn_id, priority=priority, start_ts=start_ts,
+            earliest_end_ts=earliest_end_ts, participants=participants,
+        )
+        if reply["status"] != "commit":
+            self._abort_everywhere(txn_id, contacted | set(participant_names))
+            return None
+        return (read_values, writes, reply["commit_ts"], reply["earliest_end_ts"],
+                txn_id)
+
+    def _choose_coordinator(self, participant_names: List[str]) -> str:
+        """Pick the participant that minimizes the estimated commit latency."""
+        participant_sites = [
+            self.network.node(shard).site for shard in participant_names
+        ]
+        best_name = participant_names[0]
+        best_latency = float("inf")
+        for shard in participant_names:
+            latency = self.config.min_commit_latency_ms(
+                self.network.node(shard).site, participant_sites, self.site,
+            )
+            if latency < best_latency:
+                best_latency = latency
+                best_name = shard
+        return best_name
+
+    def _abort_everywhere(self, txn_id: str, shards: Set[str]) -> None:
+        for shard in shards:
+            self.send(shard, "commit_decision", txn_id=txn_id, decision="abort")
+
+    # ------------------------------------------------------------------ #
+    # Read-only transactions
+    # ------------------------------------------------------------------ #
+    def read_only_transaction(self, keys: List[str]):
+        """Execute a read-only transaction (generator); returns key → value."""
+        if self.config.variant == Variant.SPANNER:
+            result = yield from self._ro_spanner(keys)
+        else:
+            result = yield from self._ro_spanner_rss(keys)
+        return result
+
+    def _record_ro(self, invoked_at: float, values: Dict[str, Any],
+                   snapshot_ts: float, raw_snapshot_ts: Optional[float] = None) -> None:
+        responded_at = self.env.now
+        self.recorder.record("ro", invoked_at, responded_at)
+        if self.record_history:
+            self.history.add(Operation.ro_txn(
+                self.history_process, read_set=dict(values),
+                invoked_at=invoked_at, responded_at=responded_at,
+                snapshot_ts=snapshot_ts,
+                raw_snapshot_ts=(snapshot_ts if raw_snapshot_ts is None
+                                 else raw_snapshot_ts),
+            ))
+
+    def _ro_spanner(self, keys: List[str]):
+        """Spanner's strictly serializable read-only transaction."""
+        invoked_at = self.env.now
+        t_read = self.truetime.now().latest
+        groups = self._shards_for(keys)
+        calls = [
+            self.rpc_call(shard, "ro_read", keys=shard_keys, t_read=t_read)
+            for shard, shard_keys in groups.items()
+        ]
+        values: Dict[str, Any] = {}
+        for call in calls:
+            reply = yield call
+            for key, entry in reply["values"].items():
+                values[key] = entry["value"]
+        self._record_ro(invoked_at, values, snapshot_ts=t_read)
+        return values
+
+    def _ro_spanner_rss(self, keys: List[str]):
+        """Spanner-RSS's read-only transaction (Algorithm 1)."""
+        invoked_at = self.env.now
+        t_min_at_start = self.t_min
+        t_read = self.truetime.now().latest
+        ro_id = next(self._ro_counter)
+        pending = _PendingRO(ro_id=ro_id)
+        self._pending_ro[ro_id] = pending
+        groups = self._shards_for(keys)
+        calls = [
+            self.rpc_call(shard, "ro_commit", keys=shard_keys, t_read=t_read,
+                          t_min=self.t_min, ro_id=ro_id)
+            for shard, shard_keys in groups.items()
+        ]
+
+        # Collect fast replies from every shard (line 6).
+        versions: Dict[str, List[Tuple[float, Any]]] = {key: [] for key in keys}
+        prepared: Dict[str, float] = {}
+        prepared_writes: Dict[str, Dict[str, Any]] = {}
+        committed_writers: Dict[str, float] = {}
+        for call in calls:
+            reply = yield call
+            for key, entry in reply["values"].items():
+                versions[key].append((entry["commit_ts"], entry["value"]))
+                writer = entry.get("writer")
+                if writer:
+                    committed_writers[writer] = entry["commit_ts"]
+            for info in reply["prepared"]:
+                prepared[info["txn_id"]] = info["prepare_ts"]
+            for txn_id, writes in reply.get("prepared_writes", {}).items():
+                prepared_writes[txn_id] = writes
+
+        # Line 8: the snapshot timestamp is the earliest time for which the
+        # client has a value for every key.
+        t_snap = 0.0
+        for key in keys:
+            key_versions = versions[key]
+            earliest = min((ts for ts, _ in key_versions), default=0.0)
+            t_snap = max(t_snap, earliest)
+
+        # First optimization of §6: if another shard's value reveals that a
+        # skipped prepared transaction already committed, materialize its
+        # writes without waiting for the slow reply.
+        for txn_id, commit_ts in committed_writers.items():
+            if txn_id in prepared and txn_id in prepared_writes:
+                for key, value in prepared_writes[txn_id].items():
+                    versions.setdefault(key, []).append((commit_ts, value))
+                del prepared[txn_id]
+
+        # Lines 9-11: wait for slow replies while some prepared transaction
+        # could still belong in the snapshot.
+        while prepared and min(prepared.values()) <= t_snap:
+            reply = yield from self._next_slow_reply(pending)
+            txn_id = reply["txn_id"]
+            prepared.pop(txn_id, None)
+            if reply["decision"] == "commit":
+                commit_ts = reply["commit_ts"]
+                for key, entry in reply["values"].items():
+                    if key in versions:
+                        versions[key].append((commit_ts, entry["value"]))
+
+        # Line 12: advance the session's minimum read timestamp.
+        self.t_min = max(self.t_min, t_snap)
+        del self._pending_ro[ro_id]
+
+        # Line 13: return the state of the database at t_snap.
+        values = {}
+        for key in keys:
+            eligible = [(ts, value) for ts, value in versions[key] if ts <= t_snap]
+            if eligible:
+                values[key] = max(eligible, key=lambda item: item[0])[1]
+            else:
+                values[key] = None
+        # The returned snapshot is also valid at the session's minimum read
+        # timestamp: no conflicting write can commit between t_snap and t_min
+        # (such a transaction would either have been returned by the shards or
+        # have forced the transaction to block).  Recording the later of the
+        # two as the serialization timestamp keeps the witness order (Theorem
+        # D.5) consistent with the session's causal order even when the read
+        # keys are cold.
+        effective_ts = max(t_snap, t_min_at_start)
+        responded_at = self.env.now
+        self.recorder.record("ro", invoked_at, responded_at)
+        if self.record_history:
+            self.history.add(Operation.ro_txn(
+                self.history_process, read_set=dict(values),
+                invoked_at=invoked_at, responded_at=responded_at,
+                snapshot_ts=effective_ts, raw_snapshot_ts=t_snap,
+                t_read=t_read, t_min=t_min_at_start,
+                skipped_prepared=len(prepared_writes),
+            ))
+        return values
+
+    def _next_slow_reply(self, pending: _PendingRO):
+        while not pending.slow_replies:
+            pending.wakeup = self.env.event()
+            yield pending.wakeup
+        return pending.slow_replies.pop(0)
+
+    def on_ro_slow(self, message: Message) -> None:
+        """Handle an Algorithm 2 slow reply (lines 13-17 of Algorithm 2)."""
+        payload = message.payload
+        pending = self._pending_ro.get(payload["ro_id"])
+        if pending is None:
+            return
+        pending.slow_replies.append(payload)
+        if pending.wakeup is not None and not pending.wakeup.triggered:
+            pending.wakeup.succeed()
+
+    # ------------------------------------------------------------------ #
+    # Real-time fence (§5.1)
+    # ------------------------------------------------------------------ #
+    def fence(self):
+        """Block until every future read-only transaction (anywhere) reflects
+        a state at least as recent as this session's ``t_min``."""
+        target = self.t_min + self.config.fence_bound_ms
+        yield from self.truetime.wait_until_after(target)
+        return target

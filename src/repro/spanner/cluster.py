@@ -1,0 +1,161 @@
+"""Assembly of a complete simulated Spanner / Spanner-RSS deployment."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.core.checkers import check_with_witness
+from repro.core.checkers.base import CheckResult
+from repro.core.checkers.witness import order_by_timestamp
+from repro.core.specification import TransactionalKVSpec
+from repro.sim.clock import TrueTime
+from repro.sim.engine import Environment
+from repro.sim.network import Network
+from repro.sim.stats import LatencyRecorder
+from repro.spanner.client import SpannerClient
+from repro.spanner.config import SpannerConfig, Variant
+from repro.spanner.shard import ShardLeader
+
+__all__ = ["SpannerCluster"]
+
+
+class SpannerCluster:
+    """A simulated deployment: environment, network, TrueTime, shard leaders.
+
+    The cluster also aggregates a shared history and latency recorder across
+    all the clients it creates, so experiment drivers can produce the paper's
+    figures directly and integration tests can validate consistency.
+    """
+
+    def __init__(self, config: Optional[SpannerConfig] = None):
+        self.config = config or SpannerConfig()
+        self.env = Environment()
+        self.network = Network(
+            self.env,
+            latency=self.config.latency_matrix(),
+            jitter_ms=self.config.jitter_ms,
+            processing_ms=self.config.processing_ms,
+            seed=self.config.seed,
+        )
+        self.truetime = TrueTime(self.env, epsilon=self.config.truetime_epsilon_ms)
+        self.history = History()
+        self.recorder = LatencyRecorder()
+        self.shards: Dict[str, ShardLeader] = {}
+        for index in range(self.config.num_shards):
+            name = self.config.shard_name(index)
+            site = self.config.leader_site(index)
+            self.shards[name] = ShardLeader(
+                self.env, self.network, self.truetime, self.config,
+                name=name, site=site,
+            )
+        self.clients: List[SpannerClient] = []
+        self._client_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Client management
+    # ------------------------------------------------------------------ #
+    def new_client(self, site: str, name: Optional[str] = None,
+                   record_history: bool = True) -> SpannerClient:
+        """Create a client session located at ``site``."""
+        name = name or f"client{next(self._client_counter)}@{site}"
+        client = SpannerClient(
+            self.env, self.network, self.truetime, self.config,
+            name=name, site=site,
+            history=self.history, recorder=self.recorder,
+            record_history=record_history,
+        )
+        self.clients.append(client)
+        return client
+
+    # ------------------------------------------------------------------ #
+    # Execution helpers
+    # ------------------------------------------------------------------ #
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation until quiescence or ``until`` (ms)."""
+        return self.env.run(until=until)
+
+    def spawn(self, generator):
+        """Start a client workload process."""
+        return self.env.process(generator)
+
+    # ------------------------------------------------------------------ #
+    # Statistics and verification
+    # ------------------------------------------------------------------ #
+    def shard_stats(self) -> Dict[str, Dict[str, int]]:
+        return {name: dict(shard.stats) for name, shard in self.shards.items()}
+
+    def total_committed(self) -> int:
+        return sum(client.committed for client in self.clients)
+
+    def kv_history(self) -> History:
+        """The recorded history restricted to the key-value store service.
+
+        Applications (e.g. the photo-sharing example) may share the cluster
+        history with other services; the Spanner consistency check concerns
+        only its own operations.
+        """
+        if len(self.history.services()) <= 1:
+            return self.history
+        return self.history.restricted_to_service("kv")
+
+    def _history_for_checking(self) -> History:
+        """The kv history augmented with server-side-committed transactions.
+
+        A client may crash after initiating two-phase commit; the transaction
+        can still commit at the shards even though the client never recorded
+        it.  The model's "add zero or more responses" clause covers exactly
+        this case: such transactions are reconstructed from the shards'
+        version stores and added as pending operations so that readers of
+        their values have a writer in the history.
+        """
+        history = self.kv_history()
+        known_txn_ids = {
+            op.meta.get("txn_id") for op in history if op.meta.get("txn_id")
+        }
+        orphans: Dict[str, Dict] = {}
+        for shard in self.shards.values():
+            for key, commit_ts, value, writer in shard.store.all_versions():
+                if writer is None or writer in known_txn_ids:
+                    continue
+                record = orphans.setdefault(writer, {"writes": {}, "commit_ts": commit_ts})
+                record["writes"][key] = value
+                record["commit_ts"] = max(record["commit_ts"], commit_ts)
+        if not orphans:
+            return history
+        augmented = History()
+        augmented.extend(history)
+        for txn_id, record in sorted(orphans.items()):
+            process = txn_id.split(":", 1)[0]
+            augmented.add(Operation.rw_txn(
+                process, read_set={}, write_set=record["writes"],
+                invoked_at=0.0, responded_at=None,
+                commit_ts=record["commit_ts"], txn_id=txn_id, reconstructed=True,
+            ))
+        return augmented
+
+    def witness_order(self, history: Optional[History] = None):
+        """The serialization implied by commit/snapshot timestamps
+        (Theorem D.5's construction)."""
+        def key(op):
+            ts = op.meta.get("commit_ts", op.meta.get("snapshot_ts", 0.0))
+            return (ts, 0 if op.is_mutation else 1, op.invoked_at, op.op_id)
+
+        return order_by_timestamp(history or self.kv_history(), key)
+
+    def check_consistency(self, model: Optional[str] = None) -> CheckResult:
+        """Validate the recorded history against the deployment's model.
+
+        Spanner must be strictly serializable; Spanner-RSS must satisfy RSS.
+        """
+        if model is None:
+            model = ("strict_serializability"
+                     if self.config.variant == Variant.SPANNER else "rss")
+        history = self._history_for_checking()
+        return check_with_witness(
+            history, self.witness_order(history), model=model,
+            spec=TransactionalKVSpec(),
+        )

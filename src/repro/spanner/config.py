@@ -1,0 +1,114 @@
+"""Configuration for the simulated Spanner deployment (§6)."""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.network import LatencyMatrix, spanner_wan, single_dc
+
+__all__ = ["Variant", "SpannerConfig"]
+
+
+class Variant(enum.Enum):
+    """Which read-only transaction protocol the deployment runs."""
+
+    SPANNER = "spanner"
+    SPANNER_RSS = "spanner-rss"
+
+
+@dataclass
+class SpannerConfig:
+    """Deployment and protocol parameters.
+
+    Defaults follow §6.1: three shards whose leaders are spread across
+    California, Virginia, and Ireland; replicas in the other two sites;
+    TrueTime uncertainty of 10 ms.
+    """
+
+    variant: Variant = Variant.SPANNER_RSS
+    num_shards: int = 3
+    num_keys: int = 10_000
+    #: Site of each shard's Paxos leader, round-robin over ``sites`` if empty.
+    leader_sites: List[str] = field(default_factory=lambda: ["CA", "VA", "IR"])
+    #: All replication sites (each shard is replicated at every site).
+    sites: List[str] = field(default_factory=lambda: ["CA", "VA", "IR"])
+    #: TrueTime uncertainty epsilon, in ms (paper: 10 ms at p99.9).
+    truetime_epsilon_ms: float = 10.0
+    #: Per-message network/processing overhead added to every message, in ms.
+    processing_ms: float = 0.05
+    #: Per-message CPU time at each (single-threaded) shard leader, in ms.
+    #: Zero disables CPU modelling; the high-load experiment (Figure 6) sets
+    #: it so that throughput saturates.
+    server_cpu_ms: float = 0.0
+    #: Per-message network jitter bound, in ms.
+    jitter_ms: float = 0.5
+    #: Safety margin subtracted when clients estimate the earliest end time
+    #: t_ee of a read-write transaction (clients use minimum observed RTTs).
+    tee_margin_ms: float = 0.0
+    #: Bound L on (t_c - t_ee) used by Spanner-RSS real-time fences (§5.1).
+    fence_bound_ms: float = 250.0
+    #: Abort/backoff delay before a client retries an aborted transaction.
+    retry_backoff_ms: float = 5.0
+    #: Include skipped prepared transactions' buffered writes in fast replies
+    #: (first optimization of §6).
+    fast_path_prepared_writes: bool = True
+    #: Advance t_ee by wound-wait blocking time (second optimization of §6).
+    adjust_tee_for_blocking: bool = True
+    #: Random seed for the network and workload.
+    seed: int = 1
+
+    def latency_matrix(self) -> LatencyMatrix:
+        """The WAN latency matrix implied by ``sites``."""
+        if set(self.sites) <= {"CA", "VA", "IR"} and len(self.sites) > 1:
+            return spanner_wan()
+        return single_dc(self.sites, rtt_ms=0.2)
+
+    def leader_site(self, shard_index: int) -> str:
+        sites = self.leader_sites or self.sites
+        return sites[shard_index % len(sites)]
+
+    def shard_name(self, shard_index: int) -> str:
+        return f"shard{shard_index}"
+
+    def shard_for_key(self, key: str) -> str:
+        """Deterministic key → shard-leader-name mapping (stable across runs)."""
+        digest = zlib.crc32(str(key).encode("utf-8"))
+        return self.shard_name(digest % self.num_shards)
+
+    def all_shard_names(self) -> List[str]:
+        return [self.shard_name(i) for i in range(self.num_shards)]
+
+    def min_commit_latency_ms(self, coordinator_site: str, participant_sites: Sequence[str],
+                              client_site: str) -> float:
+        """A lower bound on the wall-clock duration of two-phase commit.
+
+        Clients use this to estimate a read-write transaction's earliest
+        client-side end time t_ee (§6): the commit request must reach the
+        coordinator, participants must prepare and replicate, and the
+        outcome must travel back to the client.
+        """
+        matrix = self.latency_matrix()
+        to_coord = matrix.one_way(client_site, coordinator_site)
+        prepare = 0.0
+        for site in participant_sites:
+            if site == coordinator_site:
+                continue
+            round_trip = matrix.rtt(coordinator_site, site)
+            prepare = max(prepare, round_trip)
+        replication = self._replication_delay(coordinator_site)
+        back = matrix.one_way(coordinator_site, client_site)
+        return to_coord + prepare + replication + back - self.tee_margin_ms
+
+    def _replication_delay(self, leader_site: str) -> float:
+        """One Paxos round from ``leader_site`` to its nearest majority."""
+        matrix = self.latency_matrix()
+        others = sorted(
+            matrix.rtt(leader_site, site) for site in self.sites if site != leader_site
+        )
+        majority = (len(self.sites) // 2 + 1) - 1  # leader counts toward majority
+        if majority <= 0 or not others:
+            return 0.0
+        return others[majority - 1]

@@ -1,0 +1,212 @@
+"""Strict two-phase locking with wound-wait deadlock avoidance (§5).
+
+Each shard leader owns one :class:`LockTable`.  Transactions acquire read
+locks while executing and write locks while preparing; all locks are released
+when the transaction commits or aborts.  Deadlocks are avoided with
+wound-wait [79]: an older transaction (smaller priority timestamp) that finds
+a younger holder *wounds* it (the younger transaction is aborted); a younger
+requester waits for older holders.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.sim.engine import Environment, Event
+
+__all__ = ["LockMode", "LockTable", "LockRequest"]
+
+
+class LockMode(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class LockRequest:
+    """A pending lock request waiting in a key's queue."""
+
+    txn_id: str
+    mode: LockMode
+    priority: float
+    event: Event
+    granted: bool = False
+
+
+@dataclass
+class _KeyLockState:
+    holders: Dict[str, LockMode] = field(default_factory=dict)
+    waiters: Deque[LockRequest] = field(default_factory=deque)
+
+
+class LockTable:
+    """Per-shard lock table.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (used to create wait events).
+    wound_callback:
+        Called with a transaction id when that transaction is wounded; the
+        shard is responsible for aborting it (releasing its locks and
+        rejecting its later prepare/commit).
+    """
+
+    def __init__(self, env: Environment,
+                 wound_callback: Optional[Callable[[str], None]] = None):
+        self.env = env
+        self.wound_callback = wound_callback
+        self._keys: Dict[str, _KeyLockState] = {}
+        self._txn_keys: Dict[str, Set[str]] = {}
+        self._priorities: Dict[str, float] = {}
+        self.wounds = 0
+        self.waits = 0
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def acquire(self, key: str, mode: LockMode, txn_id: str, priority: float) -> Event:
+        """Request a lock; returns an event that fires True when granted.
+
+        If the request conflicts with younger holders, those holders are
+        wounded (and the request keeps waiting for their release).  The
+        returned event fires with ``True`` once the lock is granted; it fires
+        with ``False`` if the requesting transaction is itself wounded while
+        waiting.
+        """
+        self._priorities[txn_id] = priority
+        state = self._keys.setdefault(key, _KeyLockState())
+        event = self.env.event()
+        request = LockRequest(txn_id=txn_id, mode=mode, priority=priority, event=event)
+        if self._compatible(state, request):
+            self._grant(key, state, request)
+            return event
+        # Wound-wait: queue the request, then wound any younger holders (the
+        # wound callback releases their locks, which may immediately promote
+        # this request from the wait queue).
+        self.waits += 1
+        state.waiters.append(request)
+        for holder_id in list(state.holders):
+            if holder_id == txn_id:
+                continue
+            holder_priority = self._priorities.get(holder_id, float("inf"))
+            if priority < holder_priority:
+                self._wound(holder_id)
+        return event
+
+    def try_write_lock(self, key: str, txn_id: str, priority: float,
+                       protected: Callable[[str], bool]) -> bool:
+        """Attempt to take a write lock without waiting (prepare phase).
+
+        Conflicting holders that are younger *and* not protected (e.g. not yet
+        prepared) are wounded; if any conflicting holder is older or
+        protected, the request fails and the caller must abort.  Never
+        waiting during the prepare phase keeps two-phase commit free of
+        distributed deadlocks involving prepared transactions.
+        """
+        self._priorities[txn_id] = priority
+        state = self._keys.setdefault(key, _KeyLockState())
+        conflicting = [holder for holder in state.holders if holder != txn_id]
+        for holder in conflicting:
+            holder_priority = self._priorities.get(holder, float("inf"))
+            if protected(holder) or priority >= holder_priority:
+                return False
+        for holder in conflicting:
+            self._wound(holder)
+        still_conflicting = [h for h in state.holders if h != txn_id]
+        if still_conflicting:
+            return False
+        event = self.env.event()
+        request = LockRequest(txn_id=txn_id, mode=LockMode.WRITE,
+                              priority=priority, event=event)
+        self._grant(key, state, request)
+        return True
+
+    def holders_of(self, key: str) -> Dict[str, LockMode]:
+        state = self._keys.get(key)
+        return dict(state.holders) if state else {}
+
+    def release_all(self, txn_id: str) -> None:
+        """Release every lock held by ``txn_id`` and cancel its waiters."""
+        keys = self._txn_keys.pop(txn_id, set())
+        for key in keys:
+            state = self._keys.get(key)
+            if state is None:
+                continue
+            state.holders.pop(txn_id, None)
+            self._promote_waiters(key, state)
+        # Cancel requests still waiting anywhere.
+        for key, state in self._keys.items():
+            new_waiters = deque()
+            for request in state.waiters:
+                if request.txn_id == txn_id:
+                    if not request.event.triggered:
+                        request.event.succeed(False)
+                else:
+                    new_waiters.append(request)
+            state.waiters = new_waiters
+            self._promote_waiters(key, state)
+        self._priorities.pop(txn_id, None)
+
+    def holds(self, txn_id: str, key: str, mode: Optional[LockMode] = None) -> bool:
+        state = self._keys.get(key)
+        if state is None or txn_id not in state.holders:
+            return False
+        if mode is None:
+            return True
+        held = state.holders[txn_id]
+        if mode == LockMode.READ:
+            return True  # a write lock subsumes a read lock
+        return held == LockMode.WRITE
+
+    def held_keys(self, txn_id: str) -> Set[str]:
+        return set(self._txn_keys.get(txn_id, set()))
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _compatible(self, state: _KeyLockState, request: LockRequest) -> bool:
+        for holder_id, held_mode in state.holders.items():
+            if holder_id == request.txn_id:
+                continue
+            if request.mode == LockMode.WRITE or held_mode == LockMode.WRITE:
+                return False
+        # FIFO fairness: a write request must also wait behind earlier waiters.
+        if request.mode == LockMode.WRITE and state.waiters:
+            return False
+        return True
+
+    def _grant(self, key: str, state: _KeyLockState, request: LockRequest) -> None:
+        current = state.holders.get(request.txn_id)
+        if current != LockMode.WRITE:
+            state.holders[request.txn_id] = request.mode
+        self._txn_keys.setdefault(request.txn_id, set()).add(key)
+        request.granted = True
+        if not request.event.triggered:
+            request.event.succeed(True)
+
+    def _wound(self, txn_id: str) -> None:
+        self.wounds += 1
+        if self.wound_callback is not None:
+            self.wound_callback(txn_id)
+
+    def _promote_waiters(self, key: str, state: _KeyLockState) -> None:
+        progressed = True
+        while progressed and state.waiters:
+            progressed = False
+            request = state.waiters[0]
+            if self._compatible_for_waiter(state, request):
+                state.waiters.popleft()
+                self._grant(key, state, request)
+                progressed = True
+
+    def _compatible_for_waiter(self, state: _KeyLockState, request: LockRequest) -> bool:
+        for holder_id, held_mode in state.holders.items():
+            if holder_id == request.txn_id:
+                continue
+            if request.mode == LockMode.WRITE or held_mode == LockMode.WRITE:
+                return False
+        return True

@@ -1,0 +1,77 @@
+"""Multi-version key-value storage used by each Spanner shard.
+
+Each key maps to a list of ``(commit_ts, value)`` versions in timestamp
+order.  Reads at a timestamp return the newest version at or below it
+(Algorithm 2's ``ReadAtTimestamp``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["MultiVersionStore", "Version"]
+
+#: ``(commit_ts, value, writer)`` — writer is the committing transaction id.
+Version = Tuple[float, Any, Optional[str]]
+
+
+class MultiVersionStore:
+    """A per-shard multi-versioned store."""
+
+    def __init__(self) -> None:
+        self._versions: Dict[str, List[Version]] = {}
+        self._timestamps: Dict[str, List[float]] = {}
+        self.max_commit_ts = 0.0
+
+    def apply(self, key: str, value: Any, commit_ts: float,
+              writer: Optional[str] = None) -> None:
+        """Install a committed version."""
+        timestamps = self._timestamps.setdefault(key, [])
+        versions = self._versions.setdefault(key, [])
+        index = bisect.bisect_right(timestamps, commit_ts)
+        timestamps.insert(index, commit_ts)
+        versions.insert(index, (commit_ts, value, writer))
+        if commit_ts > self.max_commit_ts:
+            self.max_commit_ts = commit_ts
+
+    def apply_many(self, writes: Dict[str, Any], commit_ts: float,
+                   writer: Optional[str] = None) -> None:
+        for key, value in writes.items():
+            self.apply(key, value, commit_ts, writer=writer)
+
+    def read_at(self, key: str, timestamp: float) -> Version:
+        """Return ``(commit_ts, value, writer)`` of the newest version at or
+        below ``timestamp`` (or ``(0.0, None, None)`` if none exists)."""
+        timestamps = self._timestamps.get(key)
+        if not timestamps:
+            return 0.0, None, None
+        index = bisect.bisect_right(timestamps, timestamp) - 1
+        if index < 0:
+            return 0.0, None, None
+        return self._versions[key][index]
+
+    def read_latest(self, key: str) -> Version:
+        """Return the newest committed version of ``key``."""
+        versions = self._versions.get(key)
+        if not versions:
+            return 0.0, None, None
+        return versions[-1]
+
+    def latest_commit_ts(self, key: str) -> float:
+        timestamps = self._timestamps.get(key)
+        if not timestamps:
+            return 0.0
+        return timestamps[-1]
+
+    def keys(self) -> Iterable[str]:
+        return self._versions.keys()
+
+    def all_versions(self) -> Iterable[Tuple[str, float, Any, Optional[str]]]:
+        """Iterate over every committed version as (key, ts, value, writer)."""
+        for key, versions in self._versions.items():
+            for commit_ts, value, writer in versions:
+                yield key, commit_ts, value, writer
+
+    def version_count(self, key: str) -> int:
+        return len(self._versions.get(key, ()))

@@ -1,0 +1,68 @@
+"""Simulated shard replication.
+
+The paper's implementation replicates each shard with viewstamped
+replication; only the *latency* of replication and the Paxos safe-time
+mechanism matter to the protocols under study.  :class:`ReplicationLog`
+models a leader-based log where appending an entry costs one round trip to
+the nearest majority of replica sites and advances the maximum replicated
+write timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.engine import Environment
+from repro.sim.network import LatencyMatrix
+
+__all__ = ["ReplicationLog"]
+
+
+@dataclass
+class _LogEntry:
+    kind: str
+    payload: Dict[str, Any]
+    timestamp: float
+
+
+class ReplicationLog:
+    """A leader's replicated log for one shard."""
+
+    def __init__(self, env: Environment, leader_site: str, replica_sites: List[str],
+                 latency: LatencyMatrix, processing_ms: float = 0.0):
+        self.env = env
+        self.leader_site = leader_site
+        self.replica_sites = list(replica_sites)
+        self.latency = latency
+        self.processing_ms = processing_ms
+        self.entries: List[_LogEntry] = []
+        #: Largest timestamp carried by a replicated write (Paxos::MaxWriteTS).
+        self.max_write_ts = 0.0
+        self.appends = 0
+
+    def majority_delay(self) -> float:
+        """Round-trip time to the nearest majority of the other replicas."""
+        others = sorted(
+            self.latency.rtt(self.leader_site, site)
+            for site in self.replica_sites
+            if site != self.leader_site
+        )
+        total = len(self.replica_sites)
+        majority = total // 2 + 1
+        needed_from_others = majority - 1  # the leader itself counts
+        if needed_from_others <= 0 or not others:
+            return 0.0
+        return others[needed_from_others - 1]
+
+    def append(self, kind: str, payload: Dict[str, Any], timestamp: float):
+        """Replicate an entry; generator that completes after a majority
+        acknowledges (one round trip to the nearest majority)."""
+        self.appends += 1
+        delay = self.majority_delay() + self.processing_ms
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self.entries.append(_LogEntry(kind=kind, payload=dict(payload), timestamp=timestamp))
+        if timestamp > self.max_write_ts:
+            self.max_write_ts = timestamp
+        return timestamp

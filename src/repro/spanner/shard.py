@@ -1,0 +1,400 @@
+"""Spanner / Spanner-RSS shard leader (Algorithm 2 and the RW protocol of §5).
+
+Each shard leader owns a lock table, a multi-version store, a prepared-
+transaction table, and a replication log.  It plays both the participant and
+the coordinator roles of two-phase commit, and serves read-only transactions
+with either Spanner's blocking protocol or Spanner-RSS's Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.sim.clock import TrueTime
+from repro.sim.engine import Environment, Event
+from repro.sim.network import Message, Network
+from repro.sim.node import Node
+from repro.spanner.config import SpannerConfig, Variant
+from repro.spanner.locks import LockMode, LockTable
+from repro.spanner.mvstore import MultiVersionStore
+from repro.spanner.replication import ReplicationLog
+
+__all__ = ["ShardLeader", "PreparedTransaction"]
+
+#: Minimum separation between timestamps chosen by the same shard.
+TS_DELTA = 1e-3
+
+
+@dataclass
+class PreparedTransaction:
+    """State kept for a prepared-but-unresolved read-write transaction."""
+
+    txn_id: str
+    prepare_ts: float
+    earliest_end_ts: float
+    writes: Dict[str, Any]
+    resolved: Event
+    status: str = "prepared"          # prepared | committed | aborted
+    commit_ts: Optional[float] = None
+
+
+class ShardLeader(Node):
+    """A shard's Paxos leader."""
+
+    def __init__(self, env: Environment, network: Network, truetime: TrueTime,
+                 config: SpannerConfig, name: str, site: str):
+        super().__init__(env, network, name, site, cpu_time_ms=config.server_cpu_ms)
+        self.truetime = truetime
+        self.config = config
+        self.locks = LockTable(env, wound_callback=self._wound)
+        self.store = MultiVersionStore()
+        self.log = ReplicationLog(
+            env, leader_site=site, replica_sites=list(config.sites),
+            latency=config.latency_matrix(), processing_ms=config.processing_ms,
+        )
+        #: txn_id -> PreparedTransaction
+        self.prepared: Dict[str, PreparedTransaction] = {}
+        #: Transactions aborted locally (wounded or explicitly aborted).
+        self.aborted: Set[str] = set()
+        self._last_prepare_ts = 0.0
+        self._last_commit_ts = 0.0
+        # Statistics used by the evaluation harness.
+        self.stats = {
+            "ro_requests": 0,
+            "ro_blocked": 0,
+            "ro_skipped_prepared": 0,
+            "slow_replies": 0,
+            "prepares": 0,
+            "commits": 0,
+            "aborts": 0,
+            "wounds": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Wound-wait support
+    # ------------------------------------------------------------------ #
+    def _wound(self, txn_id: str) -> None:
+        """Abort a younger conflicting transaction, unless it already prepared."""
+        if txn_id in self.prepared or txn_id in self.aborted:
+            return
+        self.stats["wounds"] += 1
+        self.aborted.add(txn_id)
+        self.locks.release_all(txn_id)
+
+    def _is_aborted(self, txn_id: str) -> bool:
+        return txn_id in self.aborted
+
+    # ------------------------------------------------------------------ #
+    # Timestamp selection
+    # ------------------------------------------------------------------ #
+    def _choose_prepare_ts(self) -> float:
+        ts = max(
+            self.truetime.now().latest,
+            self._last_prepare_ts + TS_DELTA,
+            self._last_commit_ts + TS_DELTA,
+            self.log.max_write_ts + TS_DELTA,
+        )
+        self._last_prepare_ts = ts
+        return ts
+
+    def _note_commit_ts(self, commit_ts: float) -> None:
+        if commit_ts > self._last_commit_ts:
+            self._last_commit_ts = commit_ts
+
+    # ------------------------------------------------------------------ #
+    # Read-write transactions: execution-phase reads
+    # ------------------------------------------------------------------ #
+    def on_rw_read(self, message: Message):
+        """Acquire read locks for a transaction and return current values."""
+        payload = message.payload
+        txn_id = payload["txn_id"]
+        keys = payload["keys"]
+        priority = payload["priority"]
+        if self._is_aborted(txn_id):
+            return {"status": "abort"}
+        blocked_for = 0.0
+        for key in keys:
+            start = self.env.now
+            granted = yield self.locks.acquire(key, LockMode.READ, txn_id, priority)
+            blocked_for += self.env.now - start
+            if not granted or self._is_aborted(txn_id):
+                self.locks.release_all(txn_id)
+                return {"status": "abort"}
+        values = {}
+        for key in keys:
+            commit_ts, value, writer = self.store.read_latest(key)
+            values[key] = {"value": value, "commit_ts": commit_ts, "writer": writer}
+        return {"status": "ok", "values": values, "blocked_ms": blocked_for}
+
+    # ------------------------------------------------------------------ #
+    # Two-phase commit: participant
+    # ------------------------------------------------------------------ #
+    def on_prepare(self, message: Message):
+        result = yield from self._prepare_locally(
+            txn_id=message.payload["txn_id"],
+            priority=message.payload["priority"],
+            writes=message.payload.get("writes", {}),
+            read_keys=message.payload.get("read_keys", []),
+            earliest_end_ts=message.payload["earliest_end_ts"],
+        )
+        return result
+
+    def _prepare_locally(self, txn_id: str, priority: float, writes: Dict[str, Any],
+                         read_keys: List[str], earliest_end_ts: float):
+        """Participant prepare: verify read locks, take write locks, choose a
+        prepare timestamp, replicate, and record the prepared transaction."""
+        if self._is_aborted(txn_id):
+            return {"status": "abort"}
+        # (1) Read locks must still be held (wound-wait may have revoked them).
+        for key in read_keys:
+            if not self.locks.holds(txn_id, key, LockMode.READ):
+                self._abort_locally(txn_id)
+                return {"status": "abort"}
+        # (2) Acquire write locks.  The prepare phase never waits: conflicting
+        # younger (unprepared) holders are wounded, and if an older or already
+        # prepared holder is in the way the transaction aborts and the client
+        # retries.  Never waiting here keeps two-phase commit deadlock-free
+        # even though prepared transactions cannot be wounded.
+        blocked_for = 0.0
+        for key in sorted(writes):
+            start = self.env.now
+            granted = self.locks.try_write_lock(
+                key, txn_id, priority,
+                protected=lambda holder: holder in self.prepared,
+            )
+            blocked_for += self.env.now - start
+            if not granted or self._is_aborted(txn_id):
+                self._abort_locally(txn_id)
+                return {"status": "abort"}
+        # (3) Choose the prepare timestamp and optionally stretch t_ee by the
+        # time spent blocked on locks (second optimization of §6).
+        prepare_ts = self._choose_prepare_ts()
+        if self.config.adjust_tee_for_blocking:
+            earliest_end_ts += blocked_for
+        # (4) Replicate the prepare record.
+        yield self.env.process(
+            self.log.append("prepare", {"txn_id": txn_id, "writes": writes}, prepare_ts)
+        )
+        if self._is_aborted(txn_id):
+            self._abort_locally(txn_id)
+            return {"status": "abort"}
+        record = PreparedTransaction(
+            txn_id=txn_id,
+            prepare_ts=prepare_ts,
+            earliest_end_ts=earliest_end_ts,
+            writes=dict(writes),
+            resolved=self.env.event(),
+        )
+        self.prepared[txn_id] = record
+        self.stats["prepares"] += 1
+        return {"status": "prepared", "prepare_ts": prepare_ts,
+                "earliest_end_ts": earliest_end_ts}
+
+    def _abort_locally(self, txn_id: str) -> None:
+        self.aborted.add(txn_id)
+        record = self.prepared.pop(txn_id, None)
+        if record is not None:
+            record.status = "aborted"
+            if not record.resolved.triggered:
+                record.resolved.succeed(("abort", None))
+        self.locks.release_all(txn_id)
+        self.stats["aborts"] += 1
+
+    def _commit_locally(self, txn_id: str, commit_ts: float,
+                        writes: Optional[Dict[str, Any]] = None) -> None:
+        record = self.prepared.pop(txn_id, None)
+        if record is not None:
+            writes = record.writes
+            record.status = "committed"
+            record.commit_ts = commit_ts
+        if writes:
+            self.store.apply_many(writes, commit_ts, writer=txn_id)
+        self._note_commit_ts(commit_ts)
+        self.locks.release_all(txn_id)
+        self.stats["commits"] += 1
+        if record is not None and not record.resolved.triggered:
+            record.resolved.succeed(("commit", commit_ts))
+
+    def on_commit_decision(self, message: Message) -> None:
+        """Commit/abort notification from the coordinator (one-way)."""
+        payload = message.payload
+        txn_id = payload["txn_id"]
+        if payload["decision"] == "commit":
+            self._commit_locally(txn_id, payload["commit_ts"])
+        else:
+            self._abort_locally(txn_id)
+
+    # ------------------------------------------------------------------ #
+    # Two-phase commit: coordinator
+    # ------------------------------------------------------------------ #
+    def on_commit_txn(self, message: Message):
+        """Coordinate two-phase commit for a client's read-write transaction.
+
+        The payload carries, per participant shard, the writes and the keys
+        whose read locks must still be valid, plus the client's estimated
+        earliest end time ``t_ee`` and start timestamp.
+        """
+        payload = message.payload
+        txn_id = payload["txn_id"]
+        priority = payload["priority"]
+        start_ts = payload["start_ts"]
+        earliest_end_ts = payload["earliest_end_ts"]
+        participants: Dict[str, Dict[str, Any]] = payload["participants"]
+
+        # Fan out prepares to the other participants while preparing locally.
+        other_names = [name for name in participants if name != self.name]
+        calls = []
+        for shard_name in other_names:
+            part = participants[shard_name]
+            calls.append((shard_name, self.rpc_call(
+                shard_name, "prepare",
+                txn_id=txn_id, priority=priority,
+                writes=part.get("writes", {}),
+                read_keys=part.get("read_keys", []),
+                earliest_end_ts=earliest_end_ts,
+            )))
+        own = participants.get(self.name, {"writes": {}, "read_keys": []})
+        local_result = yield from self._prepare_locally(
+            txn_id=txn_id, priority=priority,
+            writes=own.get("writes", {}), read_keys=own.get("read_keys", []),
+            earliest_end_ts=earliest_end_ts,
+        )
+        results = {self.name: local_result}
+        for shard_name, call in calls:
+            reply = yield call
+            results[shard_name] = reply
+
+        if any(result["status"] != "prepared" for result in results.values()):
+            # Abort everywhere.
+            self._abort_locally(txn_id)
+            for shard_name in other_names:
+                self.send(shard_name, "commit_decision", txn_id=txn_id, decision="abort")
+            return {"status": "abort"}
+
+        prepare_ts = max(result["prepare_ts"] for result in results.values())
+        adjusted_tee = max(result["earliest_end_ts"] for result in results.values())
+        commit_ts = max(
+            prepare_ts,
+            self.truetime.now().latest,
+            start_ts + TS_DELTA,
+            self._last_commit_ts + TS_DELTA,
+        )
+        # Replicate the commit record, then observe commit wait before
+        # releasing locks and acknowledging (§5: commit wait).
+        yield self.env.process(
+            self.log.append("commit", {"txn_id": txn_id}, commit_ts)
+        )
+        yield from self.truetime.wait_until_after(commit_ts)
+        self._commit_locally(txn_id, commit_ts)
+        for shard_name in other_names:
+            self.send(shard_name, "commit_decision", txn_id=txn_id,
+                      decision="commit", commit_ts=commit_ts)
+        return {"status": "commit", "commit_ts": commit_ts,
+                "earliest_end_ts": adjusted_tee}
+
+    # ------------------------------------------------------------------ #
+    # Read-only transactions
+    # ------------------------------------------------------------------ #
+    def _conflicting_prepared(self, keys: List[str], t_read: float
+                              ) -> List[PreparedTransaction]:
+        keys_set = set(keys)
+        return [
+            record for record in self.prepared.values()
+            if record.status == "prepared"
+            and record.prepare_ts <= t_read
+            and keys_set & set(record.writes)
+        ]
+
+    def _read_values(self, keys: List[str], timestamp: float) -> Dict[str, Dict[str, Any]]:
+        values = {}
+        for key in keys:
+            commit_ts, value, writer = self.store.read_at(key, timestamp)
+            values[key] = {"value": value, "commit_ts": commit_ts, "writer": writer}
+        return values
+
+    def on_ro_read(self, message: Message):
+        """Spanner's read-only transaction handler (strict serializability).
+
+        Blocks behind every conflicting prepared transaction with a prepare
+        timestamp at or below the read timestamp.
+        """
+        payload = message.payload
+        keys = payload["keys"]
+        t_read = payload["t_read"]
+        self.stats["ro_requests"] += 1
+        conflicting = self._conflicting_prepared(keys, t_read)
+        if conflicting:
+            self.stats["ro_blocked"] += 1
+            yield self.env.all_of([record.resolved for record in conflicting])
+        return {"values": self._read_values(keys, t_read)}
+
+    def on_ro_commit(self, message: Message):
+        """Spanner-RSS's read-only transaction handler (Algorithm 2)."""
+        payload = message.payload
+        client = message.src
+        keys = payload["keys"]
+        t_read = payload["t_read"]
+        t_min = payload["t_min"]
+        ro_id = payload["ro_id"]
+        self.stats["ro_requests"] += 1
+
+        # Line 5: conflicting prepared transactions with t_p <= t_read.
+        conflicting = self._conflicting_prepared(keys, t_read)
+        # Line 6: the subset that must be observed (causal constraint) or
+        # could already have finished at the client (t_ee <= t_read).
+        blocking = [
+            record for record in conflicting
+            if record.prepare_ts <= t_min or record.earliest_end_ts <= t_read
+        ]
+        if blocking:
+            self.stats["ro_blocked"] += 1
+            yield self.env.all_of([record.resolved for record in blocking])
+
+        skipped = [
+            record for record in conflicting
+            if record not in blocking and record.status == "prepared"
+        ]
+        self.stats["ro_skipped_prepared"] += len(skipped)
+
+        values = self._read_values(keys, t_read)
+        prepared_info = [
+            {"txn_id": record.txn_id, "prepare_ts": record.prepare_ts}
+            for record in skipped
+        ]
+        prepared_writes = {}
+        if self.config.fast_path_prepared_writes:
+            for record in skipped:
+                relevant = {k: v for k, v in record.writes.items() if k in keys}
+                if relevant:
+                    prepared_writes[record.txn_id] = relevant
+        self.rpc_reply(message, {
+            "values": values,
+            "prepared": prepared_info,
+            "prepared_writes": prepared_writes,
+        })
+
+        # Lines 11-18: slow replies as skipped transactions resolve.
+        for record in skipped:
+            if not record.resolved.triggered:
+                yield record.resolved
+            self.stats["slow_replies"] += 1
+            if record.status == "committed":
+                commit_values = {
+                    key: {"value": value, "commit_ts": record.commit_ts}
+                    for key, value in record.writes.items() if key in keys
+                }
+                self.send(client, "ro_slow", ro_id=ro_id, txn_id=record.txn_id,
+                          decision="commit", commit_ts=record.commit_ts,
+                          values=commit_values)
+            else:
+                self.send(client, "ro_slow", ro_id=ro_id, txn_id=record.txn_id,
+                          decision="abort", commit_ts=0.0, values={})
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Real-time fence support (§5.1)
+    # ------------------------------------------------------------------ #
+    def max_prepared_gap(self) -> float:
+        """Observed maximum (t_c - t_ee); exposed for fence calibration tests."""
+        return self.config.fence_bound_ms

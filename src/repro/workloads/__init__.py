@@ -1,0 +1,24 @@
+"""Workload generators and load-generating client loops (§6.1, §7.2).
+
+* :mod:`repro.workloads.zipf` — Zipfian key sampling via rejection-inversion.
+* :mod:`repro.workloads.retwis` — the Retwis transaction mix used to evaluate
+  Spanner / Spanner-RSS.
+* :mod:`repro.workloads.ycsb` — the YCSB read/write mix with a configurable
+  conflict ratio used to evaluate Gryff / Gryff-RSC.
+* :mod:`repro.workloads.clients` — closed-loop and partly-open client loops.
+"""
+
+from repro.workloads.zipf import ZipfGenerator
+from repro.workloads.retwis import RetwisWorkload, TransactionSpec
+from repro.workloads.ycsb import OperationSpec, YcsbWorkload
+from repro.workloads.clients import ClosedLoopDriver, PartlyOpenDriver
+
+__all__ = [
+    "ZipfGenerator",
+    "RetwisWorkload",
+    "TransactionSpec",
+    "YcsbWorkload",
+    "OperationSpec",
+    "ClosedLoopDriver",
+    "PartlyOpenDriver",
+]

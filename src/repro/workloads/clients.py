@@ -1,0 +1,149 @@
+"""Load-generating client loops (§6.1, §7.2).
+
+Two drivers are provided:
+
+* :class:`ClosedLoopDriver` — a fixed set of clients, each issuing its next
+  operation as soon as the previous one completes (optionally with think
+  time).  Used for the Gryff evaluation and the high-load experiments.
+* :class:`PartlyOpenDriver` — the partly-open model of §6.1 [80]: sessions
+  arrive according to a Poisson process; after each transaction the session
+  continues with probability ``p`` (after think time ``H``) and otherwise
+  ends.  Each session starts with a fresh causal context (a separate
+  ``t_min``).
+
+Both drivers are protocol-agnostic: they are parameterized by an *executor*
+callable, ``executor(client, spec)``, returning a generator that performs one
+workload item against the given client.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional
+
+__all__ = ["ClosedLoopDriver", "PartlyOpenDriver"]
+
+
+class ClosedLoopDriver:
+    """Runs ``count``-or-``duration``-bounded closed loops on a set of clients."""
+
+    def __init__(self, env, clients: List[Any], workloads: List[Any],
+                 executor: Callable[[Any, Any], Any],
+                 duration_ms: Optional[float] = None,
+                 operations_per_client: Optional[int] = None,
+                 think_time_ms: float = 0.0,
+                 warmup_ms: float = 0.0):
+        if duration_ms is None and operations_per_client is None:
+            raise ValueError("specify duration_ms or operations_per_client")
+        if len(clients) != len(workloads):
+            raise ValueError("one workload generator per client is required")
+        self.env = env
+        self.clients = clients
+        self.workloads = workloads
+        self.executor = executor
+        self.duration_ms = duration_ms
+        self.operations_per_client = operations_per_client
+        self.think_time_ms = think_time_ms
+        self.warmup_ms = warmup_ms
+        self.completed = 0
+
+    def start(self) -> List[Any]:
+        """Spawn one loop process per client; returns the processes."""
+        return [
+            self.env.process(self._loop(client, workload))
+            for client, workload in zip(self.clients, self.workloads)
+        ]
+
+    def _loop(self, client, workload):
+        deadline = None
+        if self.duration_ms is not None:
+            deadline = self.env.now + self.warmup_ms + self.duration_ms
+        issued = 0
+        while True:
+            if deadline is not None and self.env.now >= deadline:
+                return
+            if (self.operations_per_client is not None
+                    and issued >= self.operations_per_client):
+                return
+            spec = workload.next_transaction() if hasattr(workload, "next_transaction") \
+                else workload.next_operation()
+            yield from self.executor(client, spec)
+            issued += 1
+            self.completed += 1
+            if self.think_time_ms > 0:
+                yield self.env.timeout(self.think_time_ms)
+
+
+@dataclass
+class SessionStats:
+    """Book-keeping for the partly-open driver."""
+
+    sessions: int = 0
+    transactions: int = 0
+
+
+class PartlyOpenDriver:
+    """The partly-open client model of §6.1.
+
+    Each of the given clients runs an independent arrival process: sessions
+    arrive with exponential inter-arrival times of rate ``arrival_rate_per_client``
+    (per millisecond); a session issues transactions back to back, continuing
+    with probability ``continue_probability`` after each one and waiting
+    ``think_time_ms`` in between.  ``reset_session`` is called at the start of
+    every session (the Spanner executor uses it to reset the client's
+    ``t_min``, giving each session its own causal context).
+    """
+
+    def __init__(self, env, clients: List[Any], workloads: List[Any],
+                 executor: Callable[[Any, Any], Any],
+                 arrival_rate_per_client: float,
+                 duration_ms: float,
+                 continue_probability: float = 0.9,
+                 think_time_ms: float = 0.0,
+                 reset_session: Optional[Callable[[Any], None]] = None,
+                 seed: int = 0):
+        if len(clients) != len(workloads):
+            raise ValueError("one workload generator per client is required")
+        self.env = env
+        self.clients = clients
+        self.workloads = workloads
+        self.executor = executor
+        self.arrival_rate = arrival_rate_per_client
+        self.duration_ms = duration_ms
+        self.continue_probability = continue_probability
+        self.think_time_ms = think_time_ms
+        self.reset_session = reset_session
+        self.rng = random.Random(seed)
+        self.stats = SessionStats()
+
+    def start(self) -> List[Any]:
+        return [
+            self.env.process(self._arrival_loop(client, workload))
+            for client, workload in zip(self.clients, self.workloads)
+        ]
+
+    def _arrival_loop(self, client, workload):
+        deadline = self.env.now + self.duration_ms
+        while self.env.now < deadline:
+            inter_arrival = self.rng.expovariate(self.arrival_rate)
+            yield self.env.timeout(inter_arrival)
+            if self.env.now >= deadline:
+                return
+            yield from self._session(client, workload, deadline)
+
+    def _session(self, client, workload, deadline):
+        self.stats.sessions += 1
+        if self.reset_session is not None:
+            self.reset_session(client)
+        while True:
+            spec = workload.next_transaction() if hasattr(workload, "next_transaction") \
+                else workload.next_operation()
+            yield from self.executor(client, spec)
+            self.stats.transactions += 1
+            if self.env.now >= deadline:
+                return
+            if self.rng.random() > self.continue_probability:
+                return
+            if self.think_time_ms > 0:
+                yield self.env.timeout(self.think_time_ms)

@@ -1,0 +1,88 @@
+"""The Retwis workload used in the Spanner evaluation (§6.1).
+
+Retwis models a small Twitter clone.  Clients execute transactions in the
+following proportions: 5% add-user, 15% follow/unfollow, 30% post-tweet,
+and 50% load-timeline.  The first three are read-write transactions; the
+last is read-only.  Keys are drawn from a Zipfian distribution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = ["TransactionSpec", "RetwisWorkload", "RETWIS_MIX"]
+
+#: The paper's transaction mix: (name, probability, #reads, #writes, read-only).
+RETWIS_MIX = [
+    ("add_user", 0.05, 1, 3, False),
+    ("follow_unfollow", 0.15, 2, 2, False),
+    ("post_tweet", 0.30, 3, 5, False),
+    ("load_timeline", 0.50, 0, 0, True),   # reads rand(1..10) keys
+]
+
+
+@dataclass
+class TransactionSpec:
+    """One transaction to execute against the store."""
+
+    name: str
+    read_only: bool
+    read_keys: List[str] = field(default_factory=list)
+    write_keys: List[str] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return "ro" if self.read_only else "rw"
+
+
+class RetwisWorkload:
+    """Generates Retwis transactions over a Zipfian key space."""
+
+    def __init__(self, num_keys: int, zipf_skew: float, seed: int = 0,
+                 value_tag: str = "v"):
+        self.num_keys = num_keys
+        self.zipf_skew = zipf_skew
+        self.rng = random.Random(seed)
+        self.zipf = ZipfGenerator(num_keys, zipf_skew, rng=self.rng)
+        self.value_tag = value_tag
+        self._value_counter = itertools.count(1)
+        self.counts: Dict[str, int] = {name: 0 for name, *_ in RETWIS_MIX}
+
+    # --------------------------------------------------------------- #
+    def _distinct_keys(self, count: int) -> List[str]:
+        keys = set()
+        while len(keys) < count:
+            keys.add(self.zipf.sample_key())
+        return sorted(keys)
+
+    def next_transaction(self) -> TransactionSpec:
+        """Draw the next transaction according to the Retwis mix."""
+        roll = self.rng.random()
+        cumulative = 0.0
+        for name, probability, reads, writes, read_only in RETWIS_MIX:
+            cumulative += probability
+            if roll <= cumulative:
+                break
+        self.counts[name] += 1
+        if read_only:
+            read_keys = self._distinct_keys(self.rng.randint(1, 10))
+            return TransactionSpec(name=name, read_only=True, read_keys=read_keys)
+        keys = self._distinct_keys(max(reads, writes))
+        return TransactionSpec(
+            name=name, read_only=False,
+            read_keys=keys[:reads], write_keys=keys[:writes],
+        )
+
+    def unique_value(self) -> str:
+        """A globally unique written value (keeps the reads-from relation
+        unambiguous for consistency checking)."""
+        return f"{self.value_tag}{next(self._value_counter)}"
+
+    def mix_fractions(self) -> Dict[str, float]:
+        total = sum(self.counts.values()) or 1
+        return {name: count / total for name, count in self.counts.items()}

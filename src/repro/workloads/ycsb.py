@@ -1,0 +1,67 @@
+"""The YCSB workload used in the Gryff evaluation (§7.2).
+
+The workload issues single-key reads and writes.  Two knobs match the
+paper's sweep:
+
+* ``write_ratio`` — the fraction of operations that are writes (the x-axis of
+  Figure 7);
+* ``conflict_rate`` — the probability an operation targets a single shared
+  hot key rather than a per-client private key (2%, 10%, 25% in Figure 7).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["OperationSpec", "YcsbWorkload"]
+
+
+@dataclass
+class OperationSpec:
+    """One operation to execute against the key-value store."""
+
+    kind: str           # "read" or "write"
+    key: str
+    value: Optional[str] = None
+
+
+class YcsbWorkload:
+    """Generates YCSB-style reads and writes for one client."""
+
+    def __init__(self, client_id: str, write_ratio: float, conflict_rate: float,
+                 seed: int = 0, num_private_keys: int = 128,
+                 hot_key: str = "ycsb-hot"):
+        if not 0.0 <= write_ratio <= 1.0:
+            raise ValueError("write_ratio must be in [0, 1]")
+        if not 0.0 <= conflict_rate <= 1.0:
+            raise ValueError("conflict_rate must be in [0, 1]")
+        self.client_id = client_id
+        self.write_ratio = write_ratio
+        self.conflict_rate = conflict_rate
+        self.num_private_keys = num_private_keys
+        self.hot_key = hot_key
+        self.rng = random.Random(seed)
+        self._value_counter = itertools.count(1)
+        self.counts: Dict[str, int] = {"read": 0, "write": 0}
+
+    def _next_key(self) -> str:
+        if self.rng.random() < self.conflict_rate:
+            return self.hot_key
+        index = self.rng.randrange(self.num_private_keys)
+        return f"{self.client_id}-key{index}"
+
+    def next_operation(self) -> OperationSpec:
+        key = self._next_key()
+        if self.rng.random() < self.write_ratio:
+            self.counts["write"] += 1
+            value = f"{self.client_id}-v{next(self._value_counter)}"
+            return OperationSpec(kind="write", key=key, value=value)
+        self.counts["read"] += 1
+        return OperationSpec(kind="read", key=key)
+
+    def observed_write_ratio(self) -> float:
+        total = sum(self.counts.values()) or 1
+        return self.counts["write"] / total

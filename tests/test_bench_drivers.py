@@ -1,0 +1,152 @@
+"""Smoke tests for the experiment drivers behind the benchmarks.
+
+These use very small simulated durations; the real experiment sizes live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench.appendix_a import appendix_a_report
+from repro.bench.gryff_experiments import (
+    figure7_experiment,
+    overhead_experiment,
+    run_ycsb_experiment,
+)
+from repro.bench.reporting import format_table
+from repro.bench.spanner_experiments import (
+    FIGURE5_FRACTIONS,
+    figure5_experiment,
+    run_load_experiment,
+    run_retwis_experiment,
+)
+from repro.bench.table1 import PAPER_TABLE1, table1_report
+from repro.gryff.config import GryffVariant
+from repro.spanner.config import Variant
+
+
+# --------------------------------------------------------------------- #
+# Reporting helpers
+# --------------------------------------------------------------------- #
+def test_format_table_renders_all_cells():
+    text = format_table(["a", "bee"], [[1, 2.3456], ["xy", None]], title="T")
+    assert "T" in text
+    assert "bee" in text
+    assert "2.3" in text
+    assert "xy" in text
+    assert len(text.splitlines()) == 5
+
+
+# --------------------------------------------------------------------- #
+# Table 1 and Appendix A
+# --------------------------------------------------------------------- #
+def test_table1_report_matches_paper():
+    report = table1_report()
+    assert report["computed"] == PAPER_TABLE1
+    assert all(report["matches"].values())
+    assert "Table 1" in report["text"]
+
+
+def test_appendix_a_report_has_no_mismatches():
+    report = appendix_a_report()
+    assert report["mismatches"] == []
+    assert "figure_9" in report["details"]
+    assert report["details"]["figure_9"]["rss"]["computed"] is False
+
+
+# --------------------------------------------------------------------- #
+# Spanner experiments
+# --------------------------------------------------------------------- #
+def test_run_retwis_experiment_smoke():
+    result = run_retwis_experiment(
+        Variant.SPANNER_RSS, zipf_skew=0.7, duration_ms=3_000.0,
+        clients_per_site=2, session_arrival_rate_per_sec=2.0,
+        num_keys=500, seed=7,
+    )
+    assert result.committed > 0
+    assert result.recorder.count("ro") > 0
+    assert result.recorder.count("rw") > 0
+    assert result.ro_percentiles().p50 > 0
+    assert 0.0 <= result.blocked_fraction() <= 1.0
+    assert result.duration_ms >= 3_000.0
+
+
+def test_run_retwis_experiment_consistency_checked():
+    result = run_retwis_experiment(
+        Variant.SPANNER_RSS, zipf_skew=0.9, duration_ms=2_000.0,
+        clients_per_site=2, session_arrival_rate_per_sec=2.0,
+        num_keys=100, seed=11, record_history=True, check_consistency=True,
+    )
+    assert result.consistency_ok is True
+
+
+def test_spanner_strict_variant_consistency_checked():
+    result = run_retwis_experiment(
+        Variant.SPANNER, zipf_skew=0.9, duration_ms=2_000.0,
+        clients_per_site=2, session_arrival_rate_per_sec=2.0,
+        num_keys=100, seed=13, record_history=True, check_consistency=True,
+    )
+    assert result.consistency_ok is True
+
+
+def test_figure5_experiment_rows_shape():
+    outcome = figure5_experiment(
+        0.7, duration_ms=3_000.0, clients_per_site=2,
+        session_arrival_rate_per_sec=2.0, num_keys=500, seed=5,
+    )
+    assert len(outcome["rows"]) == len(FIGURE5_FRACTIONS)
+    for row in outcome["rows"]:
+        assert row["spanner_ms"] >= 0
+        assert row["spanner_rss_ms"] >= 0
+    assert set(outcome["results"]) == {"spanner", "spanner_rss"}
+
+
+def test_run_load_experiment_smoke():
+    result = run_load_experiment(Variant.SPANNER_RSS, num_clients=4,
+                                 duration_ms=200.0)
+    assert result.committed > 10
+    assert result.recorder.throughput() > 0
+    # Single data-center latencies: medians well under a WAN round trip.
+    assert result.ro_percentiles().p50 < 20.0
+
+
+# --------------------------------------------------------------------- #
+# Gryff experiments
+# --------------------------------------------------------------------- #
+def test_run_ycsb_experiment_smoke():
+    result = run_ycsb_experiment(GryffVariant.GRYFF_RSC, write_ratio=0.3,
+                                 conflict_rate=0.25, duration_ms=3_000.0, seed=9)
+    assert result.recorder.count("read") > 0
+    assert result.recorder.count("write") > 0
+    assert result.p99_read_ms() > 0
+    assert 0.0 <= result.slow_read_fraction() <= 1.0
+
+
+def test_run_ycsb_experiment_consistency_checked():
+    result = run_ycsb_experiment(GryffVariant.GRYFF_RSC, write_ratio=0.5,
+                                 conflict_rate=0.5, num_clients=6,
+                                 duration_ms=2_000.0, seed=3,
+                                 record_history=True, check_consistency=True)
+    assert result.consistency_ok is True
+
+
+def test_gryff_linearizable_variant_consistency_checked():
+    result = run_ycsb_experiment(GryffVariant.GRYFF, write_ratio=0.5,
+                                 conflict_rate=0.5, num_clients=6,
+                                 duration_ms=2_000.0, seed=3,
+                                 record_history=True, check_consistency=True)
+    assert result.consistency_ok is True
+
+
+def test_figure7_experiment_rows():
+    rows = figure7_experiment(0.25, write_ratios=(0.3,), duration_ms=3_000.0,
+                              seed=2)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["gryff_rsc_p99_ms"] <= row["gryff_p99_ms"] * 1.05
+    assert row["conflict_rate"] == 0.25
+
+
+def test_overhead_experiment_rows():
+    rows = overhead_experiment(write_ratios=(0.5,), duration_ms=500.0)
+    assert len(rows) == 1
+    assert abs(rows[0]["throughput_delta_pct"]) < 25.0

@@ -1,0 +1,183 @@
+"""Tests for the command-line interface and the anomaly-window analysis."""
+
+import json
+
+import pytest
+
+from repro.bench.anomalies import (
+    MissWindowReport,
+    gryff_completed_write_misses,
+    spanner_completed_write_misses,
+    spanner_in_flight_miss_windows,
+)
+from repro.bench.gryff_experiments import run_ycsb_experiment
+from repro.bench.spanner_experiments import run_retwis_experiment
+from repro.cli import build_parser, main
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.gryff.config import GryffVariant
+from repro.spanner.config import Variant
+
+
+# --------------------------------------------------------------------- #
+# Anomaly analysis on hand-built histories
+# --------------------------------------------------------------------- #
+def test_miss_window_report_empty_history():
+    report = spanner_in_flight_miss_windows(History())
+    assert report.reads_measured == 0
+    assert report.misses == 0
+    assert report.max_window_ms == 0.0
+
+
+def test_miss_window_measures_in_flight_write_lifetime():
+    history = History()
+    # An in-flight write (commits at 500) whose value a concurrent RO misses.
+    history.add(Operation.rw_txn("w", read_set={}, write_set={"x": "new"},
+                                 invoked_at=0, responded_at=500, commit_ts=80.0))
+    history.add(Operation.ro_txn("r", read_set={"x": None},
+                                 invoked_at=50, responded_at=100, snapshot_ts=10.0))
+    report = spanner_in_flight_miss_windows(history)
+    assert report.misses == 1
+    assert report.max_window_ms == 400.0
+    assert report.summary_rows()[0][1] == 1  # one read measured
+
+
+def test_miss_window_ignores_observed_and_later_writes():
+    history = History()
+    history.add(Operation.rw_txn("w", read_set={}, write_set={"x": "new"},
+                                 invoked_at=0, responded_at=500, commit_ts=80.0))
+    # This read observes the write, so there is no miss.
+    history.add(Operation.ro_txn("r", read_set={"x": "new"},
+                                 invoked_at=50, responded_at=100, snapshot_ts=80.0))
+    # This write starts after the read finished: not a miss either.
+    history.add(Operation.rw_txn("w2", read_set={}, write_set={"x": "newer"},
+                                 invoked_at=200, responded_at=700, commit_ts=300.0))
+    report = spanner_in_flight_miss_windows(history)
+    assert report.misses == 0
+
+
+def test_spanner_completed_write_miss_detection():
+    history = History()
+    history.add(Operation.rw_txn("w", read_set={}, write_set={"x": "new"},
+                                 invoked_at=0, responded_at=10, commit_ts=5.0))
+    history.add(Operation.ro_txn("r", read_set={"x": None},
+                                 invoked_at=20, responded_at=30, snapshot_ts=1.0))
+    assert spanner_completed_write_misses(history) == 1
+    ok = History()
+    ok.add(Operation.rw_txn("w", read_set={}, write_set={"x": "new"},
+                            invoked_at=0, responded_at=10, commit_ts=5.0))
+    ok.add(Operation.ro_txn("r", read_set={"x": "new"},
+                            invoked_at=20, responded_at=30, snapshot_ts=5.0))
+    assert spanner_completed_write_misses(ok) == 0
+
+
+def test_gryff_completed_write_miss_detection():
+    history = History()
+    history.add(Operation.write("w", "x", "v1", invoked_at=0, responded_at=10,
+                                carstamp=(1, 0, "w")))
+    history.add(Operation.read("r", "x", None, invoked_at=20, responded_at=30,
+                               carstamp=(0, 0, "")))
+    assert gryff_completed_write_misses(history) == 1
+    ok = History()
+    ok.add(Operation.write("w", "x", "v1", invoked_at=0, responded_at=10,
+                           carstamp=(1, 0, "w")))
+    ok.add(Operation.read("r", "x", "v1", invoked_at=20, responded_at=30,
+                          carstamp=(1, 0, "w")))
+    assert gryff_completed_write_misses(ok) == 0
+
+
+# --------------------------------------------------------------------- #
+# Anomaly analysis on simulated runs
+# --------------------------------------------------------------------- #
+def test_simulated_rss_run_has_no_completed_write_misses():
+    result = run_retwis_experiment(
+        Variant.SPANNER_RSS, zipf_skew=0.9, duration_ms=2_500.0,
+        clients_per_site=2, session_arrival_rate_per_sec=2.0,
+        num_keys=100, seed=19, record_history=True, check_consistency=True,
+    )
+    assert result.consistency_ok is True
+    assert spanner_completed_write_misses(result.history) == 0
+    report = spanner_in_flight_miss_windows(result.history)
+    if report.misses:
+        # The anomaly window never outlives the longest read-write txn.
+        assert report.max_window_ms <= result.rw_percentiles().maximum + 1.0
+
+
+def test_simulated_rsc_run_has_no_completed_write_misses():
+    result = run_ycsb_experiment(
+        GryffVariant.GRYFF_RSC, write_ratio=0.5, conflict_rate=0.5,
+        num_clients=6, duration_ms=2_000.0, seed=19,
+        record_history=True, check_consistency=True,
+    )
+    assert result.consistency_ok is True
+    assert gryff_completed_write_misses(result.history) == 0
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+def test_cli_parser_lists_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("table1", "appendix-a", "figure5", "figure6", "figure7",
+                    "overhead", "anomalies"):
+        assert command in text
+
+
+def test_cli_table1(capsys, tmp_path):
+    out_file = tmp_path / "table1.json"
+    code = main(["table1", "--json", str(out_file)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Table 1" in captured.out
+    data = json.loads(out_file.read_text())
+    assert data["rss"]["I2"] == "yes"
+
+
+def test_cli_appendix_a(capsys):
+    code = main(["appendix-a"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "figure_9" in captured.out
+
+
+def test_cli_figure5_small(capsys, tmp_path):
+    out_file = tmp_path / "fig5.json"
+    code = main([
+        "figure5", "--skew", "0.7", "--duration-ms", "2000",
+        "--clients-per-site", "2", "--num-keys", "300",
+        "--json", str(out_file),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Figure 5" in captured.out
+    rows = json.loads(out_file.read_text())
+    assert len(rows) >= 3
+
+
+def test_cli_figure7_small(capsys):
+    code = main(["figure7", "--conflict-rate", "0.25", "--write-ratios", "0.3",
+                 "--duration-ms", "2000"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Figure 7" in captured.out
+
+
+def test_cli_overhead_small(capsys):
+    code = main(["overhead", "--duration-ms", "400"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "overhead" in captured.out.lower()
+
+
+def test_cli_anomalies_small(capsys):
+    code = main(["anomalies", "--duration-ms", "1500", "--clients-per-site", "2",
+                 "--num-keys", "200", "--skew", "0.8"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Anomaly windows" in captured.out
+
+
+def test_cli_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,253 @@
+"""Unit tests for the consistency-model checkers, including the paper's
+Appendix A example executions."""
+
+import pytest
+
+from repro.core.events import Operation
+from repro.core.examples import (
+    all_examples,
+    figure_2,
+    figure_9,
+    figure_10,
+    figure_11,
+    figure_13,
+    figure_14,
+    figure_15,
+    figure_16,
+)
+from repro.core.history import History
+from repro.core.specification import RegisterSpec, TransactionalKVSpec
+from repro.core.checkers import (
+    MODELS,
+    check_causal_consistency,
+    check_crdb,
+    check_linearizability,
+    check_mwr_weak,
+    check_osc_u,
+    check_po_serializability,
+    check_real_time_causal,
+    check_rsc,
+    check_rss,
+    check_sequential_consistency,
+    check_strict_serializability,
+    check_strong_snapshot_isolation,
+    check_vv_regularity,
+)
+
+
+# --------------------------------------------------------------------- #
+# Basic linearizability / SC sanity
+# --------------------------------------------------------------------- #
+def sequential_history():
+    h = History()
+    h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=10))
+    h.add(Operation.read("P2", "x", 1, invoked_at=20, responded_at=30))
+    h.add(Operation.write("P1", "x", 2, invoked_at=40, responded_at=50))
+    h.add(Operation.read("P2", "x", 2, invoked_at=60, responded_at=70))
+    return h
+
+
+def test_linearizable_history_accepted_by_all_models():
+    h = sequential_history()
+    spec = RegisterSpec()
+    assert check_linearizability(h, spec)
+    assert check_rsc(h, spec)
+    assert check_sequential_consistency(h, spec)
+    assert check_causal_consistency(h, spec)
+    assert check_real_time_causal(h, spec)
+    assert check_vv_regularity(h, spec)
+    assert check_osc_u(h, spec)
+    assert check_mwr_weak(h, spec)
+
+
+def test_stale_read_rejected_by_linearizability_and_rsc():
+    h = History()
+    h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=10))
+    h.add(Operation.read("P2", "x", None, invoked_at=20, responded_at=30))
+    assert not check_linearizability(h)
+    assert not check_rsc(h)
+    assert check_sequential_consistency(h)
+
+
+def test_concurrent_write_read_old_value_is_linearizable():
+    h = History()
+    h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=100))
+    h.add(Operation.read("P2", "x", None, invoked_at=10, responded_at=20))
+    assert check_linearizability(h)
+    assert check_rsc(h)
+
+
+def test_pending_write_observed_by_read_is_linearizable():
+    h = History()
+    h.add(Operation.write("P1", "x", 1, invoked_at=0))  # never responds
+    h.add(Operation.read("P2", "x", 1, invoked_at=50, responded_at=60))
+    assert check_linearizability(h)
+    assert check_rsc(h)
+
+
+def test_pending_write_never_observed_can_be_dropped():
+    h = History()
+    h.add(Operation.write("P1", "x", 1, invoked_at=0))
+    h.add(Operation.read("P2", "x", None, invoked_at=50, responded_at=60))
+    assert check_linearizability(h)
+
+
+def test_witness_returned_is_legal_order():
+    h = sequential_history()
+    result = check_linearizability(h)
+    assert result.satisfied
+    assert RegisterSpec().legal(result.witness)
+    assert len(result.witness) == 4
+
+
+def test_process_order_violation_rejected_even_by_sequential_consistency():
+    h = History()
+    h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=1))
+    h.add(Operation.write("P1", "x", 2, invoked_at=2, responded_at=3))
+    h.add(Operation.read("P1", "x", 1, invoked_at=4, responded_at=5))
+    assert not check_sequential_consistency(h)
+    assert not check_causal_consistency(h)
+
+
+def test_rmw_atomicity_under_linearizability():
+    h = History()
+    h.add(Operation.rmw("P1", "c", observed=None, new_value=1,
+                        invoked_at=0, responded_at=10))
+    h.add(Operation.rmw("P2", "c", observed=None, new_value=2,
+                        invoked_at=20, responded_at=30))
+    # Second rmw observed the initial value despite following the first.
+    assert not check_linearizability(h)
+    assert not check_rsc(h)
+
+
+# --------------------------------------------------------------------- #
+# Transactional checkers
+# --------------------------------------------------------------------- #
+def test_strict_serializability_simple_commit_order():
+    h = History()
+    h.add(Operation.rw_txn("P1", read_set={}, write_set={"a": 1},
+                           invoked_at=0, responded_at=10))
+    h.add(Operation.ro_txn("P2", read_set={"a": 1}, invoked_at=20, responded_at=30))
+    assert check_strict_serializability(h)
+    assert check_rss(h)
+    assert check_po_serializability(h)
+
+
+def test_fractured_read_rejected_by_all_serializable_models():
+    h = History()
+    h.add(Operation.rw_txn("P1", read_set={}, write_set={"a": 1, "b": 1},
+                           invoked_at=0, responded_at=10))
+    h.add(Operation.ro_txn("P2", read_set={"a": 1, "b": None},
+                           invoked_at=20, responded_at=30))
+    assert not check_strict_serializability(h)
+    assert not check_rss(h)
+    assert not check_po_serializability(h)
+
+
+def test_rss_allows_stale_read_only_txn_for_concurrent_write():
+    h = History()
+    h.add(Operation.rw_txn("P1", read_set={}, write_set={"a": 1},
+                           invoked_at=0, responded_at=100))
+    h.add(Operation.ro_txn("P2", read_set={"a": 1}, invoked_at=10, responded_at=20))
+    h.add(Operation.ro_txn("P3", read_set={"a": None}, invoked_at=30, responded_at=40))
+    # P3's stale read violates strict serializability (P2 already saw the
+    # write and finished) but is fine under RSS: P2 and P3 are causally
+    # unrelated and the write has not completed.
+    assert not check_strict_serializability(h)
+    assert check_rss(h)
+
+
+def test_rss_enforces_causal_constraint_via_message_edge():
+    h = History()
+    h.add(Operation.rw_txn("P1", read_set={}, write_set={"a": 1},
+                           invoked_at=0, responded_at=100))
+    seen = h.add(Operation.ro_txn("P2", read_set={"a": 1},
+                                  invoked_at=10, responded_at=20))
+    stale = h.add(Operation.ro_txn("P3", read_set={"a": None},
+                                   invoked_at=30, responded_at=40))
+    h.add_message_edge(seen, stale)  # P2 called P3 in between.
+    assert not check_rss(h)
+
+
+def test_rss_enforces_completed_write_visibility():
+    h = History()
+    h.add(Operation.rw_txn("P1", read_set={}, write_set={"a": 1},
+                           invoked_at=0, responded_at=10))
+    h.add(Operation.ro_txn("P2", read_set={"a": None}, invoked_at=20, responded_at=30))
+    assert not check_rss(h)
+    assert check_po_serializability(h)
+
+
+# --------------------------------------------------------------------- #
+# Paper examples (Figure 2 and Appendix A)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("example", all_examples(), ids=lambda e: e.name)
+def test_paper_examples_match_expected_verdicts(example):
+    for model, expected in example.expectations.items():
+        checker = MODELS[model]
+        result = checker(example.history, example.spec)
+        assert bool(result) == expected, (
+            f"{example.name}: model {model} expected "
+            f"{'allowed' if expected else 'forbidden'} but checker says "
+            f"{'allowed' if result else 'forbidden'} ({result.reason})"
+        )
+
+
+def test_figure_9_invariant_breaking_read():
+    example = figure_9()
+    assert not check_rss(example.history, example.spec)
+    assert check_crdb(example.history, example.spec)
+
+
+def test_figure_11_write_skew():
+    example = figure_11()
+    assert check_strong_snapshot_isolation(example.history, example.spec)
+    assert not check_rss(example.history, example.spec)
+
+
+def test_strong_si_rejects_lost_update():
+    h = History()
+    h.add(Operation.rw_txn("P1", read_set={"x": 0}, write_set={"x": 1},
+                           invoked_at=0, responded_at=10))
+    h.add(Operation.rw_txn("P2", read_set={"x": 0}, write_set={"x": 2},
+                           invoked_at=0, responded_at=10))
+    spec = TransactionalKVSpec(initial={"x": 0})
+    assert not check_strong_snapshot_isolation(h, spec)
+
+
+def test_strong_si_respects_real_time():
+    h = History()
+    h.add(Operation.rw_txn("P1", read_set={}, write_set={"x": 1},
+                           invoked_at=0, responded_at=10))
+    h.add(Operation.ro_txn("P2", read_set={"x": 0}, invoked_at=20, responded_at=30))
+    spec = TransactionalKVSpec(initial={"x": 0})
+    assert not check_strong_snapshot_isolation(h, spec)
+
+
+# --------------------------------------------------------------------- #
+# Model-strength relationships on targeted executions
+# --------------------------------------------------------------------- #
+def test_linearizability_implies_rsc_on_examples():
+    for example in all_examples():
+        if any(op.is_transaction for op in example.history):
+            continue
+        if check_linearizability(example.history, example.spec):
+            assert check_rsc(example.history, example.spec)
+
+
+def test_rsc_implies_sequential_consistency_on_examples():
+    for example in all_examples():
+        if any(op.is_transaction for op in example.history):
+            continue
+        if check_rsc(example.history, example.spec):
+            assert check_sequential_consistency(example.history, example.spec)
+
+
+def test_strict_serializability_implies_rss_implies_po():
+    for example in all_examples():
+        if not any(op.is_transaction for op in example.history):
+            continue
+        if check_strict_serializability(example.history, example.spec):
+            assert check_rss(example.history, example.spec)
+        if check_rss(example.history, example.spec):
+            assert check_po_serializability(example.history, example.spec)

@@ -1,0 +1,156 @@
+"""Unit tests for operations and histories."""
+
+import pytest
+
+from repro.core.events import INITIAL_VALUE, Operation, OpType
+from repro.core.history import History
+
+
+def test_read_write_constructors():
+    r = Operation.read("P1", "x", 5, invoked_at=1, responded_at=2)
+    w = Operation.write("P2", "x", 7, invoked_at=0, responded_at=3)
+    assert r.op_type == OpType.READ and r.result == 5
+    assert w.op_type == OpType.WRITE and w.value == 7
+    assert r.is_read_only and not r.is_mutation
+    assert w.is_mutation and not w.is_read_only
+    assert r.is_complete and w.is_complete
+
+
+def test_rmw_constructor_and_footprint():
+    op = Operation.rmw("P1", "k", observed=3, new_value=4)
+    assert op.keys_read() == {"k"}
+    assert op.keys_written() == {"k"}
+    assert op.values_observed() == {"k": 3}
+    assert op.values_written() == {"k": 4}
+    assert op.is_mutation
+
+
+def test_txn_constructors_and_footprints():
+    ro = Operation.ro_txn("P1", {"a": 1, "b": 2})
+    rw = Operation.rw_txn("P2", read_set={"a": 1}, write_set={"b": 9, "c": 10})
+    assert ro.is_transaction and ro.is_read_only
+    assert rw.is_transaction and rw.is_mutation
+    assert ro.keys_read() == {"a", "b"}
+    assert rw.keys_written() == {"b", "c"}
+    assert rw.values_written() == {"b": 9, "c": 10}
+
+
+def test_queue_constructors():
+    enq = Operation.enqueue("P1", "q1", "job-1")
+    deq = Operation.dequeue("P2", "q1", "job-1")
+    assert enq.service == "queue" and deq.service == "queue"
+    assert enq.is_mutation
+    assert deq.values_observed() == {"q1": "job-1"}
+
+
+def test_conflicts_with():
+    w = Operation.rw_txn("P1", read_set={}, write_set={"x": 1})
+    ro_hit = Operation.ro_txn("P2", read_set={"x": 1, "y": 2})
+    ro_miss = Operation.ro_txn("P3", read_set={"z": 0})
+    assert ro_hit.conflicts_with(w)
+    assert not ro_miss.conflicts_with(w)
+    other_service = Operation.ro_txn("P4", read_set={"x": 1}, service="other")
+    assert not other_service.conflicts_with(w)
+
+
+def test_pending_operation():
+    op = Operation.write("P1", "x", 1, invoked_at=5)
+    assert not op.is_complete
+    assert op.responded_at is None
+
+
+def test_describe_round_trips_key_info():
+    op = Operation.rw_txn("P9", read_set={"a": 1}, write_set={"b": 2},
+                          invoked_at=0, responded_at=1)
+    text = op.describe()
+    assert "P9" in text and "a=1" in text and "b:=2" in text
+
+
+def test_unique_op_ids():
+    ids = {Operation.read("P", "x", 0).op_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+# --------------------------------------------------------------------- #
+# History
+# --------------------------------------------------------------------- #
+def test_history_basic_accessors():
+    h = History()
+    a = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=1))
+    b = h.add(Operation.read("P2", "x", 1, invoked_at=2, responded_at=3))
+    c = h.add(Operation.read("P1", "x", 1, invoked_at=4))
+    assert len(h) == 3
+    assert h.get(a.op_id) is a
+    assert h.complete() == [a, b]
+    assert h.pending() == [c]
+    assert h.processes() == ["P1", "P2"]
+    assert [op.op_id for op in h.by_process("P1")] == [a.op_id, c.op_id]
+    assert h.mutations() == [a]
+
+
+def test_history_duplicate_rejected():
+    h = History()
+    op = Operation.read("P1", "x", 0)
+    h.add(op)
+    with pytest.raises(ValueError):
+        h.add(op)
+
+
+def test_history_writers_of():
+    h = History()
+    w1 = h.add(Operation.write("P1", "x", "v1", invoked_at=0, responded_at=1))
+    h.add(Operation.write("P1", "y", "v1", invoked_at=2, responded_at=3))
+    w3 = h.add(Operation.rw_txn("P2", read_set={}, write_set={"x": "v2"},
+                                invoked_at=4, responded_at=5))
+    assert h.writers_of("x", "v1") == [w1]
+    assert h.writers_of("x", "v2") == [w3]
+    assert h.writers_of("x", "missing") == []
+
+
+def test_history_message_edges_require_membership():
+    h = History()
+    a = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=1))
+    b = h.add(Operation.read("P2", "x", 1, invoked_at=2, responded_at=3))
+    h.add_message_edge(a, b)
+    assert len(h.message_edges) == 1
+    outsider = Operation.read("P3", "x", 0)
+    with pytest.raises(ValueError):
+        h.add_message_edge(a, outsider)
+
+
+def test_history_well_formedness():
+    good = History()
+    good.add(Operation.read("P1", "x", 0, invoked_at=0, responded_at=1))
+    good.add(Operation.read("P1", "x", 0, invoked_at=2, responded_at=3))
+    good.check_well_formed()
+    assert good.is_well_formed()
+
+    overlapping = History()
+    overlapping.add(Operation.read("P1", "x", 0, invoked_at=0, responded_at=5))
+    overlapping.add(Operation.read("P1", "x", 0, invoked_at=2, responded_at=7))
+    assert not overlapping.is_well_formed()
+
+    pending_then_more = History()
+    pending_then_more.add(Operation.read("P1", "x", 0, invoked_at=0))
+    pending_then_more.add(Operation.read("P1", "x", 0, invoked_at=2, responded_at=3))
+    assert not pending_then_more.is_well_formed()
+
+
+def test_history_restricted_to_service():
+    h = History()
+    kv = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=1))
+    q = h.add(Operation.enqueue("P1", "jobs", "x", invoked_at=2, responded_at=3))
+    kv2 = h.add(Operation.read("P2", "x", 1, invoked_at=4, responded_at=5))
+    h.add_message_edge(kv, kv2)
+    h.add_message_edge(kv, q)
+    sub = h.restricted_to_service("kv")
+    assert {op.op_id for op in sub} == {kv.op_id, kv2.op_id}
+    assert len(sub.message_edges) == 1
+
+
+def test_history_describe_contains_processes():
+    h = History()
+    h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=1))
+    h.add(Operation.read("P2", "x", 1, invoked_at=2, responded_at=3))
+    text = h.describe()
+    assert "P1" in text and "P2" in text

@@ -1,0 +1,175 @@
+"""Property-based tests for the consistency-model checkers.
+
+Two families:
+
+* Histories generated from a *linearizable oracle* (operations take effect
+  atomically at invocation) must be accepted by every model at or below
+  linearizability in Figure 12's lattice.
+* For arbitrary small histories, the model-strength implications proved in
+  the paper must hold between checker verdicts: linearizability ⟹ RSC ⟹
+  sequential consistency ⟹ causal, and strict serializability ⟹ RSS ⟹
+  PO serializability.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.core.specification import RegisterSpec, TransactionalKVSpec
+from repro.core.checkers import (
+    check_causal_consistency,
+    check_linearizability,
+    check_po_serializability,
+    check_real_time_causal,
+    check_rsc,
+    check_rss,
+    check_sequential_consistency,
+    check_strict_serializability,
+    check_vv_regularity,
+    check_osc_u,
+)
+
+KEYS = ["x", "y"]
+PROCESSES = ["P1", "P2", "P3"]
+
+
+# --------------------------------------------------------------------- #
+# Oracle-generated linearizable histories
+# --------------------------------------------------------------------- #
+@st.composite
+def linearizable_history(draw):
+    """Generate a history by running ops atomically at their invocation."""
+    n_ops = draw(st.integers(min_value=1, max_value=6))
+    state = {}
+    busy_until = {p: 0.0 for p in PROCESSES}
+    h = History()
+    time = 0.0
+    counter = itertools.count(1)
+    for _ in range(n_ops):
+        process = draw(st.sampled_from(PROCESSES))
+        key = draw(st.sampled_from(KEYS))
+        is_write = draw(st.booleans())
+        gap = draw(st.integers(min_value=0, max_value=3))
+        duration = draw(st.integers(min_value=1, max_value=5))
+        start = max(time + gap, busy_until[process])
+        end = start + duration
+        if is_write:
+            value = f"v{next(counter)}"
+            state[key] = value
+            h.add(Operation.write(process, key, value,
+                                  invoked_at=start, responded_at=end))
+        else:
+            h.add(Operation.read(process, key, state.get(key),
+                                 invoked_at=start, responded_at=end))
+        busy_until[process] = end
+        time = start
+    return h
+
+
+@settings(max_examples=60, deadline=None)
+@given(linearizable_history())
+def test_oracle_histories_accepted_down_the_lattice(history):
+    spec = RegisterSpec()
+    assert check_linearizability(history, spec)
+    assert check_rsc(history, spec)
+    assert check_vv_regularity(history, spec)
+    assert check_osc_u(history, spec)
+    assert check_sequential_consistency(history, spec)
+    assert check_real_time_causal(history, spec)
+    assert check_causal_consistency(history, spec)
+
+
+# --------------------------------------------------------------------- #
+# Arbitrary histories: implication relationships between checkers
+# --------------------------------------------------------------------- #
+@st.composite
+def arbitrary_register_history(draw):
+    n_ops = draw(st.integers(min_value=1, max_value=6))
+    h = History()
+    values = [f"u{i}" for i in range(1, n_ops + 1)]
+    busy_until = {p: 0.0 for p in PROCESSES}
+    written = []
+    for index in range(n_ops):
+        process = draw(st.sampled_from(PROCESSES))
+        key = draw(st.sampled_from(KEYS))
+        start = max(draw(st.integers(min_value=0, max_value=20)), busy_until[process])
+        duration = draw(st.integers(min_value=1, max_value=10))
+        end = start + duration
+        if draw(st.booleans()):
+            value = values[index]
+            written.append(value)
+            h.add(Operation.write(process, key, value,
+                                  invoked_at=start, responded_at=end))
+        else:
+            result = draw(st.sampled_from([None] + written)) if written else None
+            h.add(Operation.read(process, key, result,
+                                 invoked_at=start, responded_at=end))
+        busy_until[process] = end
+    return h
+
+
+@settings(max_examples=60, deadline=None)
+@given(arbitrary_register_history())
+def test_model_strength_implications_register(history):
+    spec = RegisterSpec()
+    lin = bool(check_linearizability(history, spec))
+    rsc = bool(check_rsc(history, spec))
+    sc = bool(check_sequential_consistency(history, spec))
+    causal = bool(check_causal_consistency(history, spec))
+    rtc = bool(check_real_time_causal(history, spec))
+    if lin:
+        assert rsc
+    if rsc:
+        assert sc
+        assert rtc
+    if sc:
+        assert causal
+    if rtc:
+        assert causal
+
+
+@st.composite
+def arbitrary_txn_history(draw):
+    n_ops = draw(st.integers(min_value=1, max_value=5))
+    h = History()
+    busy_until = {p: 0.0 for p in PROCESSES}
+    written_values = {k: [] for k in KEYS}
+    counter = itertools.count(1)
+    for _ in range(n_ops):
+        process = draw(st.sampled_from(PROCESSES))
+        start = max(draw(st.integers(min_value=0, max_value=20)), busy_until[process])
+        end = start + draw(st.integers(min_value=1, max_value=10))
+        read_keys = draw(st.sets(st.sampled_from(KEYS), max_size=2))
+        read_set = {}
+        for key in read_keys:
+            choices = [None] + written_values[key]
+            read_set[key] = draw(st.sampled_from(choices))
+        if draw(st.booleans()):
+            write_keys = draw(st.sets(st.sampled_from(KEYS), min_size=1, max_size=2))
+            write_set = {}
+            for key in write_keys:
+                value = f"t{next(counter)}"
+                written_values[key].append(value)
+                write_set[key] = value
+            h.add(Operation.rw_txn(process, read_set=read_set, write_set=write_set,
+                                   invoked_at=start, responded_at=end))
+        else:
+            h.add(Operation.ro_txn(process, read_set=read_set,
+                                   invoked_at=start, responded_at=end))
+        busy_until[process] = end
+    return h
+
+
+@settings(max_examples=60, deadline=None)
+@given(arbitrary_txn_history())
+def test_model_strength_implications_transactions(history):
+    spec = TransactionalKVSpec()
+    strict = bool(check_strict_serializability(history, spec))
+    rss = bool(check_rss(history, spec))
+    po = bool(check_po_serializability(history, spec))
+    if strict:
+        assert rss
+    if rss:
+        assert po

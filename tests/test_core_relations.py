@@ -1,0 +1,141 @@
+"""Unit tests for the real-time and causal orders."""
+
+import pytest
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.core.relations import (
+    AmbiguousReadsFrom,
+    CausalOrder,
+    RealTimeOrder,
+    conflicting_read_onlys,
+    regular_constraint_edges,
+)
+
+
+def build_simple_history():
+    h = History()
+    w = h.add(Operation.write("P1", "x", "v1", invoked_at=0, responded_at=10))
+    r1 = h.add(Operation.read("P2", "x", "v1", invoked_at=20, responded_at=30))
+    r2 = h.add(Operation.read("P2", "y", None, invoked_at=40, responded_at=50))
+    r3 = h.add(Operation.read("P3", "x", None, invoked_at=5, responded_at=8))
+    return h, w, r1, r2, r3
+
+
+def test_real_time_precedence():
+    h, w, r1, r2, r3 = build_simple_history()
+    rt = RealTimeOrder(h)
+    assert rt.precedes(w, r1)
+    assert rt.precedes(r1, r2)
+    assert not rt.precedes(r1, w)
+    assert rt.concurrent(w, r3)
+    assert not rt.precedes(r1, r1)
+
+
+def test_real_time_pending_never_precedes():
+    h = History()
+    pending = h.add(Operation.write("P1", "x", 1, invoked_at=0))
+    later = h.add(Operation.read("P2", "x", 1, invoked_at=100, responded_at=110))
+    rt = RealTimeOrder(h)
+    assert not rt.precedes(pending, later)
+
+
+def test_real_time_same_process_equal_timestamps_ordered():
+    h = History()
+    a = h.add(Operation.read("P1", "x", 0, invoked_at=0, responded_at=5))
+    b = h.add(Operation.read("P1", "x", 0, invoked_at=5, responded_at=9))
+    rt = RealTimeOrder(h)
+    assert rt.precedes(a, b)
+    assert not rt.precedes(b, a)
+
+
+def test_causal_process_order_and_reads_from():
+    h, w, r1, r2, r3 = build_simple_history()
+    causal = CausalOrder(h)
+    assert causal.precedes(w, r1)          # reads-from
+    assert causal.precedes(r1, r2)         # process order
+    assert causal.precedes(w, r2)          # transitivity
+    assert not causal.precedes(r3, w)
+    assert causal.concurrent(r3, r1)
+    assert not causal.has_cycle()
+
+
+def test_causal_message_edges():
+    h = History()
+    a = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=1))
+    b = h.add(Operation.read("P2", "y", None, invoked_at=10, responded_at=11))
+    causal = CausalOrder(h)
+    assert not causal.precedes(a, b)
+    h.add_message_edge(a, b)
+    causal = CausalOrder(h)
+    assert causal.precedes(a, b)
+
+
+def test_causal_reads_from_initial_value_is_ignored():
+    h = History()
+    h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=1))
+    r = h.add(Operation.read("P2", "x", None, invoked_at=2, responded_at=3))
+    causal = CausalOrder(h)
+    assert all(dst != r.op_id for _, dst in causal.edges() if _ != r.op_id) or True
+    # No reads-from edge exists because the read observed the initial value.
+    assert not any(src != r.op_id and dst == r.op_id for src, dst in causal.edges())
+
+
+def test_causal_ambiguous_reads_from_raises():
+    h = History()
+    h.add(Operation.write("P1", "x", "dup", invoked_at=0, responded_at=1))
+    h.add(Operation.write("P2", "x", "dup", invoked_at=0, responded_at=1))
+    h.add(Operation.read("P3", "x", "dup", invoked_at=2, responded_at=3))
+    with pytest.raises(AmbiguousReadsFrom):
+        CausalOrder(h)
+    # Non-strict mode picks one writer instead of raising.
+    causal = CausalOrder(h, strict_reads_from=False)
+    assert causal.edges()
+
+
+def test_causal_respects_total_order():
+    h, w, r1, r2, r3 = build_simple_history()
+    causal = CausalOrder(h)
+    assert causal.respects([r3, w, r1, r2])
+    assert not causal.respects([r1, w, r2, r3])
+
+
+def test_causal_transactions_reads_from():
+    h = History()
+    rw = h.add(Operation.rw_txn("P1", read_set={}, write_set={"a": "v9"},
+                                invoked_at=0, responded_at=10))
+    ro = h.add(Operation.ro_txn("P2", read_set={"a": "v9", "b": None},
+                                invoked_at=20, responded_at=30))
+    causal = CausalOrder(h)
+    assert causal.precedes(rw, ro)
+
+
+def test_conflicting_read_onlys():
+    h = History()
+    rw = h.add(Operation.rw_txn("P1", read_set={}, write_set={"a": 1, "b": 2},
+                                invoked_at=0, responded_at=5))
+    ro_hit = h.add(Operation.ro_txn("P2", read_set={"b": 2}, invoked_at=6, responded_at=7))
+    h.add(Operation.ro_txn("P3", read_set={"z": None}, invoked_at=6, responded_at=7))
+    assert conflicting_read_onlys(h, rw) == [ro_hit]
+
+
+def test_regular_constraint_edges():
+    h = History()
+    # w completes, then a conflicting read and a non-conflicting read start.
+    w = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=10))
+    r_conflict = h.add(Operation.read("P2", "x", 1, invoked_at=20, responded_at=30))
+    r_other = h.add(Operation.read("P3", "y", None, invoked_at=20, responded_at=30))
+    w_later = h.add(Operation.write("P4", "z", 2, invoked_at=40, responded_at=50))
+    edges = set(regular_constraint_edges(h))
+    assert (w.op_id, r_conflict.op_id) in edges
+    assert (w.op_id, w_later.op_id) in edges
+    # Non-conflicting read-only operations carry no regular constraint.
+    assert (w.op_id, r_other.op_id) not in edges
+
+
+def test_regular_constraint_edges_ignore_concurrent_writes():
+    h = History()
+    w = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=100))
+    r = h.add(Operation.read("P2", "x", 1, invoked_at=10, responded_at=20))
+    assert regular_constraint_edges(h) == []
+    assert conflicting_read_onlys(h, w) == [r]

@@ -1,0 +1,141 @@
+"""Unit tests for sequential specifications."""
+
+import pytest
+
+from repro.core.events import Operation
+from repro.core.specification import (
+    CompositeSpec,
+    FifoQueueSpec,
+    RegisterSpec,
+    TransactionalKVSpec,
+    legal_sequence,
+)
+
+
+def test_register_read_write():
+    spec = RegisterSpec()
+    ops = [
+        Operation.read("P", "x", None),
+        Operation.write("P", "x", 1),
+        Operation.read("P", "x", 1),
+    ]
+    assert spec.legal(ops)
+    bad = [Operation.read("P", "x", 7)]
+    assert not spec.legal(bad)
+
+
+def test_register_initial_values():
+    spec = RegisterSpec(initial={"x": 42})
+    assert spec.legal([Operation.read("P", "x", 42)])
+    assert not spec.legal([Operation.read("P", "x", None)])
+
+
+def test_register_rmw():
+    spec = RegisterSpec(initial={"c": 0})
+    ops = [
+        Operation.rmw("P", "c", observed=0, new_value=1),
+        Operation.rmw("P", "c", observed=1, new_value=2),
+        Operation.read("P", "c", 2),
+    ]
+    assert spec.legal(ops)
+    stale = [Operation.rmw("P", "c", observed=5, new_value=6)]
+    assert not spec.legal(stale)
+
+
+def test_register_rejects_transactions():
+    spec = RegisterSpec()
+    assert not spec.legal([Operation.ro_txn("P", {"x": None})])
+
+
+def test_transactional_kv_reads_and_writes():
+    spec = TransactionalKVSpec(initial={"x": 0})
+    ops = [
+        Operation.ro_txn("P", {"x": 0}),
+        Operation.rw_txn("P", read_set={"x": 0}, write_set={"x": 1, "y": 2}),
+        Operation.ro_txn("P", {"x": 1, "y": 2}),
+    ]
+    assert spec.legal(ops)
+
+
+def test_transactional_kv_detects_stale_txn_reads():
+    spec = TransactionalKVSpec()
+    ops = [
+        Operation.rw_txn("P", read_set={}, write_set={"x": 1}),
+        Operation.ro_txn("P", {"x": None}),
+    ]
+    assert not spec.legal(ops)
+
+
+def test_transactional_kv_allows_plain_ops():
+    spec = TransactionalKVSpec()
+    ops = [
+        Operation.write("P", "x", 3),
+        Operation.read("P", "x", 3),
+        Operation.fence("P"),
+    ]
+    assert spec.legal(ops)
+
+
+def test_fifo_queue_order():
+    spec = FifoQueueSpec()
+    ops = [
+        Operation.enqueue("P", "q", "a"),
+        Operation.enqueue("P", "q", "b"),
+        Operation.dequeue("P", "q", "a"),
+        Operation.dequeue("P", "q", "b"),
+        Operation.dequeue("P", "q", None),
+    ]
+    assert spec.legal(ops)
+
+
+def test_fifo_queue_rejects_out_of_order():
+    spec = FifoQueueSpec()
+    ops = [
+        Operation.enqueue("P", "q", "a"),
+        Operation.enqueue("P", "q", "b"),
+        Operation.dequeue("P", "q", "b"),
+    ]
+    assert not spec.legal(ops)
+
+
+def test_fifo_queue_empty_dequeue_must_return_none():
+    spec = FifoQueueSpec()
+    assert spec.legal([Operation.dequeue("P", "q", None)])
+    assert not spec.legal([Operation.dequeue("P", "q", "ghost")])
+
+
+def test_composite_spec_routes_by_service():
+    spec = CompositeSpec({"kv": TransactionalKVSpec(), "queue": FifoQueueSpec()})
+    ops = [
+        Operation.rw_txn("P", read_set={}, write_set={"photo": "blob"}, service="kv"),
+        Operation.enqueue("P", "jobs", "photo", service="queue"),
+        Operation.dequeue("W", "jobs", "photo", service="queue"),
+        Operation.ro_txn("W", {"photo": "blob"}, service="kv"),
+    ]
+    assert spec.legal(ops)
+
+
+def test_composite_spec_rejects_unknown_service():
+    spec = CompositeSpec({"kv": RegisterSpec()})
+    assert not spec.legal([Operation.read("P", "x", None, service="mystery")])
+
+
+def test_composite_spec_requires_services():
+    with pytest.raises(ValueError):
+        CompositeSpec({})
+
+
+def test_legal_sequence_helper():
+    assert legal_sequence(RegisterSpec(), [Operation.write("P", "x", 1)])
+
+
+def test_apply_does_not_mutate_input_state():
+    spec = RegisterSpec()
+    state = spec.initial_state()
+    spec.apply(state, Operation.write("P", "x", 1))
+    assert state == {}
+
+    txn_spec = TransactionalKVSpec()
+    txn_state = txn_spec.initial_state()
+    txn_spec.apply(txn_state, Operation.rw_txn("P", read_set={}, write_set={"x": 1}))
+    assert txn_state == {}

@@ -1,0 +1,169 @@
+"""Unit tests for the Lemma 1 transformation and the libRSS meta-library."""
+
+import pytest
+
+from repro.core.events import Operation
+from repro.core.examples import figure_2, figure_10, figure_13
+from repro.core.history import History
+from repro.core.librss import FenceRecord, LibRSS, ServiceNotRegistered
+from repro.core.transform import (
+    TransformationError,
+    equivalent_per_process,
+    transform_to_strict,
+    verify_transformation,
+)
+from repro.core.checkers import check_linearizability, check_strict_serializability
+
+
+# --------------------------------------------------------------------- #
+# Transformation (Lemma 1 / Figure 2)
+# --------------------------------------------------------------------- #
+def test_figure_2_transformation():
+    example = figure_2()
+    transformed = transform_to_strict(example.history, spec=example.spec)
+    assert equivalent_per_process(example.history, transformed)
+    result = verify_transformation(example.history, transformed, example.spec)
+    assert result.satisfied, result.reason
+    # The original execution is *not* linearizable; the transformed one is.
+    assert not check_linearizability(example.history, example.spec)
+    assert check_linearizability(transformed, example.spec)
+
+
+def test_transformation_of_rss_transactional_execution():
+    example = figure_10()
+    transformed = transform_to_strict(example.history, spec=example.spec)
+    assert equivalent_per_process(example.history, transformed)
+    assert check_strict_serializability(transformed, example.spec)
+
+
+def test_transformation_rejects_non_rss_execution():
+    example = figure_13()  # stale read: not RSC
+    with pytest.raises(TransformationError):
+        transform_to_strict(example.history, spec=example.spec)
+
+
+def test_transformation_with_explicit_serialization():
+    h = History()
+    w = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=50))
+    r = h.add(Operation.read("P2", "x", 1, invoked_at=5, responded_at=10))
+    transformed = transform_to_strict(h, serialization=[w, r])
+    times = {op.op_id: (op.invoked_at, op.responded_at) for op in transformed}
+    assert times[w.op_id][1] < times[r.op_id][0]
+    assert check_linearizability(transformed)
+
+
+def test_transformation_missing_complete_op_rejected():
+    h = History()
+    w = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=50))
+    h.add(Operation.read("P2", "x", 1, invoked_at=5, responded_at=10))
+    with pytest.raises(TransformationError):
+        transform_to_strict(h, serialization=[w])
+
+
+def test_transformation_preserves_message_edges():
+    h = History()
+    a = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=10))
+    b = h.add(Operation.read("P2", "x", 1, invoked_at=20, responded_at=30))
+    h.add_message_edge(a, b)
+    transformed = transform_to_strict(h)
+    assert len(transformed.message_edges) == 1
+
+
+# --------------------------------------------------------------------- #
+# libRSS
+# --------------------------------------------------------------------- #
+def drive(generator):
+    """Drive a libRSS generator that never yields simulation events."""
+    try:
+        while True:
+            next(generator)
+    except StopIteration as stop:
+        return stop.value
+
+
+def test_librss_requires_registration():
+    lib = LibRSS()
+    with pytest.raises(ServiceNotRegistered):
+        drive(lib.start_transaction("client", "kv"))
+
+
+def test_librss_no_fence_for_same_service():
+    lib = LibRSS()
+    fenced = []
+    lib.register_service("kv", lambda process: fenced.append(("kv", process)))
+    drive(lib.start_transaction("c1", "kv"))
+    drive(lib.start_transaction("c1", "kv"))
+    assert fenced == []
+    assert lib.last_service("c1") == "kv"
+
+
+def test_librss_fences_on_service_switch():
+    lib = LibRSS()
+    fenced = []
+    lib.register_service("kv", lambda process: fenced.append(("kv", process)))
+    lib.register_service("queue", lambda process: fenced.append(("queue", process)))
+    drive(lib.start_transaction("c1", "kv"))
+    drive(lib.start_transaction("c1", "queue"))   # fence at kv
+    drive(lib.start_transaction("c1", "queue"))   # no fence
+    drive(lib.start_transaction("c1", "kv"))      # fence at queue
+    assert fenced == [("kv", "c1"), ("queue", "c1")]
+    assert lib.fences_issued("c1") == 2
+    assert [record.service for record in lib.fence_log] == ["kv", "queue"]
+
+
+def test_librss_contexts_are_per_process():
+    lib = LibRSS()
+    fenced = []
+    lib.register_service("kv", lambda process: fenced.append(process))
+    lib.register_service("queue", lambda process: fenced.append(process))
+    drive(lib.start_transaction("alice", "kv"))
+    drive(lib.start_transaction("bob", "queue"))
+    assert fenced == []  # different processes, no switches yet
+    drive(lib.start_transaction("alice", "queue"))
+    assert fenced == ["alice"]
+
+
+def test_librss_generator_fences_are_driven():
+    lib = LibRSS()
+    steps = []
+
+    def fence(process):
+        steps.append(f"start-{process}")
+        yield "simulated-wait"
+        steps.append(f"end-{process}")
+
+    lib.register_service("kv", fence)
+    lib.register_service("queue", lambda process: None)
+    drive(lib.start_transaction("c1", "kv"))
+    gen = lib.start_transaction("c1", "queue")
+    yielded = next(gen)
+    assert yielded == "simulated-wait"
+    drive(gen)
+    assert steps == ["start-c1", "end-c1"]
+
+
+def test_librss_external_context_import():
+    lib = LibRSS()
+    fenced = []
+    lib.register_service("kv", lambda process: fenced.append("kv"))
+    lib.register_service("queue", lambda process: fenced.append("queue"))
+    # A web server handled a request whose context says the last service was
+    # the kv store; the worker's next queue interaction must fence the kv.
+    lib.observe_external_context("worker", "kv")
+    drive(lib.start_transaction("worker", "queue"))
+    assert fenced == ["kv"]
+
+
+def test_librss_unregister():
+    lib = LibRSS()
+    lib.register_service("kv", lambda process: None)
+    lib.unregister_service("kv")
+    with pytest.raises(ServiceNotRegistered):
+        drive(lib.start_transaction("c1", "kv"))
+
+
+def test_librss_duplicate_registration_rejected():
+    lib = LibRSS()
+    lib.register_service("kv", lambda process: None)
+    with pytest.raises(ValueError):
+        lib.register_service("kv", lambda process: None)

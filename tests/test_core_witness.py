@@ -1,0 +1,109 @@
+"""Unit tests for witness-based checking."""
+
+import pytest
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.core.specification import RegisterSpec, TransactionalKVSpec
+from repro.core.checkers import check_with_witness
+from repro.core.checkers.witness import order_by_timestamp
+
+
+def history_with_timestamps():
+    h = History()
+    w1 = h.add(Operation.rw_txn("P1", read_set={}, write_set={"a": 1},
+                                invoked_at=0, responded_at=10, commit_ts=5))
+    ro = h.add(Operation.ro_txn("P2", read_set={"a": 1},
+                                invoked_at=20, responded_at=30, snapshot_ts=5))
+    w2 = h.add(Operation.rw_txn("P1", read_set={"a": 1}, write_set={"a": 2},
+                                invoked_at=40, responded_at=50, commit_ts=45))
+    return h, [w1, ro, w2]
+
+
+def timestamp_key(op):
+    ts = op.meta.get("commit_ts", op.meta.get("snapshot_ts", 0.0))
+    return (ts, 0 if op.is_mutation else 1, op.invoked_at, op.op_id)
+
+
+def test_witness_accepts_valid_order():
+    h, order = history_with_timestamps()
+    result = check_with_witness(h, order, model="rss", spec=TransactionalKVSpec())
+    assert result.satisfied, result.reason
+    strict = check_with_witness(h, order, model="strict_serializability",
+                                spec=TransactionalKVSpec())
+    assert strict.satisfied, strict.reason
+
+
+def test_order_by_timestamp_builds_same_order():
+    h, order = history_with_timestamps()
+    built = order_by_timestamp(h, timestamp_key)
+    assert [op.op_id for op in built] == [op.op_id for op in order]
+
+
+def test_witness_rejects_illegal_order():
+    h, order = history_with_timestamps()
+    backwards = list(reversed(order))
+    result = check_with_witness(h, backwards, model="rss", spec=TransactionalKVSpec())
+    assert not result.satisfied
+    assert "legal" in result.reason or "causality" in result.reason
+
+
+def test_witness_rejects_missing_complete_op():
+    h, order = history_with_timestamps()
+    result = check_with_witness(h, order[:-1], model="rss", spec=TransactionalKVSpec())
+    assert not result.satisfied
+    assert "missing" in result.reason
+
+
+def test_witness_rejects_duplicates_and_foreign_ops():
+    h, order = history_with_timestamps()
+    dup = order + [order[0]]
+    assert not check_with_witness(h, dup, model="rss", spec=TransactionalKVSpec())
+    foreign = order + [Operation.read("P9", "zz", None, invoked_at=0, responded_at=1)]
+    assert not check_with_witness(h, foreign, model="rss", spec=TransactionalKVSpec())
+
+
+def test_witness_detects_causality_violation():
+    h = History()
+    w = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=10))
+    r = h.add(Operation.read("P1", "x", None, invoked_at=20, responded_at=30))
+    # Witness order r, w is legal sequentially (r reads initial value) but
+    # violates P1's process order, hence causality.
+    result = check_with_witness(h, [r, w], model="rss", spec=RegisterSpec())
+    assert not result.satisfied
+    assert "causality" in result.reason
+
+
+def test_witness_detects_regular_constraint_violation():
+    h = History()
+    w = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=10))
+    r = h.add(Operation.read("P2", "x", None, invoked_at=20, responded_at=30))
+    result = check_with_witness(h, [r, w], model="rsc", spec=RegisterSpec())
+    assert not result.satisfied
+    assert "real-time" in result.reason
+    # Sequential consistency does not impose the constraint.
+    ok = check_with_witness(h, [r, w], model="sequential_consistency",
+                            spec=RegisterSpec())
+    assert ok.satisfied
+
+
+def test_witness_strict_model_detects_stale_read():
+    h = History()
+    w = h.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=10))
+    r = h.add(Operation.read("P2", "x", None, invoked_at=20, responded_at=30))
+    result = check_with_witness(h, [r, w], model="linearizability", spec=RegisterSpec())
+    assert not result.satisfied
+
+
+def test_witness_unknown_model_rejected():
+    h, order = history_with_timestamps()
+    with pytest.raises(ValueError):
+        check_with_witness(h, order, model="bogus", spec=TransactionalKVSpec())
+
+
+def test_witness_allows_pending_mutation_inclusion():
+    h = History()
+    pending = h.add(Operation.write("P1", "x", 1, invoked_at=0))
+    r = h.add(Operation.read("P2", "x", 1, invoked_at=50, responded_at=60))
+    result = check_with_witness(h, [pending, r], model="rsc", spec=RegisterSpec())
+    assert result.satisfied, result.reason

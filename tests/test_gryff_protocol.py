@@ -1,0 +1,295 @@
+"""Unit and integration tests for Gryff and Gryff-RSC."""
+
+import pytest
+
+from repro.gryff.carstamp import Carstamp
+from repro.gryff.cluster import GryffCluster
+from repro.gryff.config import GryffConfig, GryffVariant
+
+
+def make_cluster(variant, **overrides):
+    return GryffCluster(GryffConfig(variant=variant, **overrides))
+
+
+# --------------------------------------------------------------------- #
+# Carstamps
+# --------------------------------------------------------------------- #
+def test_carstamp_ordering():
+    a = Carstamp(1, 0, "c1")
+    b = Carstamp(2, 0, "c1")
+    c = Carstamp(1, 1, "c2")
+    assert Carstamp.ZERO < a < c < b
+    assert a.bump_write("c9") == Carstamp(2, 0, "c9")
+    assert a.bump_rmw("c9") == Carstamp(1, 1, "c9")
+    assert a.as_tuple() == (1, 0, "c1")
+
+
+def test_config_quorum_and_local_replica():
+    config = GryffConfig()
+    assert config.num_replicas == 5
+    assert config.quorum_size == 3
+    assert config.local_replica("IR") == "replica2"
+    assert config.local_replica("unknown-site") == "replica0"
+    assert len(config.replica_names()) == 5
+
+
+# --------------------------------------------------------------------- #
+# Basic read/write/rmw behaviour
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("variant", [GryffVariant.GRYFF, GryffVariant.GRYFF_RSC])
+def test_write_then_read(variant):
+    cluster = make_cluster(variant)
+    writer = cluster.new_client("CA")
+    reader = cluster.new_client("VA")
+    out = {}
+
+    def workload():
+        yield from writer.write("k", "v1")
+        value = yield from reader.read("k")
+        out["value"] = value
+
+    cluster.spawn(workload())
+    cluster.run()
+    assert out["value"] == "v1"
+    result = cluster.check_consistency()
+    assert result.satisfied, result.reason
+
+
+@pytest.mark.parametrize("variant", [GryffVariant.GRYFF, GryffVariant.GRYFF_RSC])
+def test_read_of_unwritten_key_returns_none(variant):
+    cluster = make_cluster(variant)
+    reader = cluster.new_client("JP")
+    out = {}
+
+    def workload():
+        out["value"] = yield from reader.read("missing")
+
+    cluster.spawn(workload())
+    cluster.run()
+    assert out["value"] is None
+
+
+def test_sequential_writes_monotone_carstamps():
+    cluster = make_cluster(GryffVariant.GRYFF)
+    client = cluster.new_client("CA")
+    stamps = []
+
+    def workload():
+        for i in range(3):
+            cs = yield from client.write("k", f"v{i}")
+            stamps.append(cs)
+
+    cluster.spawn(workload())
+    cluster.run()
+    assert stamps == sorted(stamps)
+    assert stamps[0].number < stamps[1].number < stamps[2].number
+
+
+def test_rmw_increments_atomically_in_sequence():
+    cluster = make_cluster(GryffVariant.GRYFF_RSC)
+    client = cluster.new_client("OR")
+    results = []
+
+    def workload():
+        yield from client.write("counter", 0)
+        for _ in range(3):
+            old, new = yield from client.rmw("counter", mode="increment", amount=2)
+            results.append((old, new))
+
+    cluster.spawn(workload())
+    cluster.run()
+    assert results == [(0, 2), (2, 4), (4, 6)]
+    result = cluster.check_consistency()
+    assert result.satisfied, result.reason
+
+
+def test_rmw_set_and_append_modes():
+    cluster = make_cluster(GryffVariant.GRYFF)
+    client = cluster.new_client("CA")
+    out = []
+
+    def workload():
+        old, new = yield from client.rmw("k", mode="set", new_value="base")
+        out.append((old, new))
+        old, new = yield from client.rmw("k", mode="append", suffix="+more")
+        out.append((old, new))
+
+    cluster.spawn(workload())
+    cluster.run()
+    assert out == [(None, "base"), ("base", "base+more")]
+
+
+# --------------------------------------------------------------------- #
+# Read latency behaviour: write-back vs one-round reads
+# --------------------------------------------------------------------- #
+def run_conflicting_read(variant):
+    """Read a key while a write to it is partially propagated."""
+    cluster = make_cluster(variant)
+    writer = cluster.new_client("CA", name="writer@CA")
+    reader = cluster.new_client("VA", name="reader@VA")
+    timings = {}
+
+    def writing():
+        yield from writer.write("hot", "v1")
+        # Second write: the read below lands while this write's phase 2 is
+        # still propagating, so the reader's quorum disagrees.
+        yield from writer.write("hot", "v2")
+
+    def reading():
+        # Arrive while the second write's phase 2 is still propagating, so
+        # the reader's quorum disagrees on the carstamp.
+        yield cluster.env.timeout(230)
+        start = cluster.env.now
+        value = yield from reader.read("hot")
+        timings["latency"] = cluster.env.now - start
+        timings["value"] = value
+
+    cluster.spawn(writing())
+    cluster.spawn(reading())
+    cluster.run()
+    return cluster, timings
+
+
+def test_gryff_read_takes_two_rounds_on_conflict():
+    cluster, timings = run_conflicting_read(GryffVariant.GRYFF)
+    reader = cluster.clients[1]
+    assert reader.reads_slow == 1
+    # Two wide-area round trips from VA.
+    assert timings["latency"] > 150.0
+    result = cluster.check_consistency()
+    assert result.satisfied, result.reason
+
+
+def test_gryff_rsc_read_is_always_one_round():
+    cluster, timings = run_conflicting_read(GryffVariant.GRYFF_RSC)
+    reader = cluster.clients[1]
+    assert reader.reads_slow == 1          # the quorum disagreed ...
+    assert reader.dependency is not None   # ... so a dependency is pending
+    # ... but the read still finished in one wide-area round trip.
+    assert timings["latency"] < 110.0
+    result = cluster.check_consistency()
+    assert result.satisfied, result.reason
+
+
+def test_rsc_read_latency_never_exceeds_gryff():
+    _, gryff = run_conflicting_read(GryffVariant.GRYFF)
+    _, rsc = run_conflicting_read(GryffVariant.GRYFF_RSC)
+    assert rsc["latency"] <= gryff["latency"]
+    assert gryff["value"] in ("v1", "v2")
+    assert rsc["value"] in ("v1", "v2")
+
+
+def test_write_latency_identical_across_variants():
+    latencies = {}
+    for variant in (GryffVariant.GRYFF, GryffVariant.GRYFF_RSC):
+        cluster = make_cluster(variant)
+        client = cluster.new_client("CA")
+
+        def workload():
+            yield from client.write("k", "v")
+
+        cluster.spawn(workload())
+        cluster.run()
+        latencies[variant] = cluster.recorder.samples("write")[0]
+    assert latencies[GryffVariant.GRYFF] == pytest.approx(
+        latencies[GryffVariant.GRYFF_RSC], rel=0.05)
+
+
+# --------------------------------------------------------------------- #
+# Dependency piggybacking and fences (Gryff-RSC)
+# --------------------------------------------------------------------- #
+def test_rsc_dependency_piggybacked_on_next_operation():
+    cluster, _ = run_conflicting_read(GryffVariant.GRYFF_RSC)
+    reader = cluster.clients[1]
+    follow_up = {}
+
+    def followup():
+        follow_up["before"] = reader.dependency is not None
+        value = yield from reader.read("hot")
+        follow_up["value"] = value
+        follow_up["after"] = reader.dependency
+
+    cluster.spawn(followup())
+    cluster.run()
+    if follow_up["before"]:
+        # The dependency was applied at the replicas before the second read,
+        # so causally later reads by this client observe the newer value.
+        assert follow_up["value"] == "v2"
+    stats = cluster.replica_stats()
+    assert sum(s["dependency_applies"] for s in stats.values()) >= (
+        1 if follow_up["before"] else 0)
+
+
+def test_rsc_causally_later_reads_by_same_client_see_observed_value():
+    cluster = make_cluster(GryffVariant.GRYFF_RSC)
+    writer = cluster.new_client("CA")
+    reader = cluster.new_client("VA")
+    values = []
+
+    def writing():
+        yield from writer.write("k", "a")
+        yield from writer.write("k", "b")
+
+    def reading():
+        yield cluster.env.timeout(460)
+        first = yield from reader.read("k")
+        second = yield from reader.read("k")
+        values.append((first, second))
+
+    cluster.spawn(writing())
+    cluster.spawn(reading())
+    cluster.run()
+    first, second = values[0]
+    # Monotonic reads within a session: the second read is at least as new.
+    order = {None: -1, "a": 0, "b": 1}
+    assert order[second] >= order[first]
+    assert cluster.check_consistency().satisfied
+
+
+def test_rsc_fence_writes_back_dependency():
+    cluster, _ = run_conflicting_read(GryffVariant.GRYFF_RSC)
+    reader = cluster.clients[1]
+    outcomes = {}
+
+    def fencing():
+        had_dependency = reader.dependency is not None
+        performed = yield from reader.fence()
+        outcomes["had"] = had_dependency
+        outcomes["performed"] = performed
+        outcomes["cleared"] = reader.dependency is None
+
+    cluster.spawn(fencing())
+    cluster.run()
+    assert outcomes["performed"] == outcomes["had"]
+    assert outcomes["cleared"]
+
+
+def test_fence_without_dependency_is_noop():
+    cluster = make_cluster(GryffVariant.GRYFF_RSC)
+    client = cluster.new_client("CA")
+    outcomes = {}
+
+    def fencing():
+        performed = yield from client.fence()
+        outcomes["performed"] = performed
+        if False:
+            yield  # pragma: no cover - make this a generator
+
+    cluster.spawn(fencing())
+    cluster.run()
+    assert outcomes["performed"] is False
+
+
+def test_history_records_carstamps():
+    cluster = make_cluster(GryffVariant.GRYFF_RSC)
+    client = cluster.new_client("CA")
+
+    def workload():
+        yield from client.write("k", "v")
+        yield from client.read("k")
+
+    cluster.spawn(workload())
+    cluster.run()
+    ops = cluster.history.operations()
+    assert len(ops) == 2
+    assert ops[0].meta["carstamp"] == ops[1].meta["carstamp"]

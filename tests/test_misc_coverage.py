@@ -1,0 +1,169 @@
+"""Additional coverage for behaviours not exercised elsewhere: the
+single-threaded server CPU queue, network broadcast, engine bounds, and
+witness-order edge cases."""
+
+import pytest
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.gryff.cluster import GryffCluster
+from repro.gryff.config import GryffConfig, GryffVariant
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.network import Network, single_dc
+from repro.sim.node import Node
+from repro.spanner.cluster import SpannerCluster
+from repro.spanner.config import SpannerConfig, Variant
+
+
+class CountingServer(Node):
+    def __init__(self, env, network, name, site, cpu_time_ms):
+        super().__init__(env, network, name, site, cpu_time_ms=cpu_time_ms)
+        self.handled = []
+
+    def on_work(self, message):
+        self.handled.append(self.env.now)
+        return {"done": True}
+
+
+def test_cpu_queue_serializes_message_processing():
+    env = Environment()
+    net = Network(env, single_dc(rtt_ms=0.0))
+    server = CountingServer(env, net, "server", "DC", cpu_time_ms=10.0)
+    client = Node(env, net, "client", "DC")
+    for _ in range(5):
+        client.rpc_call("server", "work")
+    env.run()
+    # Five messages, 10 ms of CPU each, processed strictly one at a time.
+    assert len(server.handled) == 5
+    gaps = [b - a for a, b in zip(server.handled, server.handled[1:])]
+    assert all(gap >= 10.0 - 1e-9 for gap in gaps)
+    assert env.now >= 50.0
+
+
+def test_cpu_queue_zero_cost_is_concurrent():
+    env = Environment()
+    net = Network(env, single_dc(rtt_ms=0.0))
+    server = CountingServer(env, net, "server", "DC", cpu_time_ms=0.0)
+    client = Node(env, net, "client", "DC")
+    for _ in range(5):
+        client.rpc_call("server", "work")
+    env.run()
+    assert len(server.handled) == 5
+    assert env.now < 1.0
+
+
+def test_network_broadcast_reaches_all_destinations():
+    env = Environment()
+    net = Network(env, single_dc(rtt_ms=2.0))
+    received = []
+
+    class Sink(Node):
+        def on_note(self, message):
+            received.append(self.name)
+
+    sender = Node(env, net, "sender", "DC")
+    for name in ("a", "b", "c"):
+        Sink(env, net, name, "DC")
+    net.broadcast("sender", ["a", "b", "c"], "note", {"data": 1})
+    env.run()
+    assert sorted(received) == ["a", "b", "c"]
+
+
+def test_engine_run_with_max_events():
+    env = Environment()
+
+    def ticker():
+        while True:
+            yield env.timeout(1)
+
+    env.process(ticker())
+    env.run(max_events=10)
+    assert env.now <= 11
+
+
+def test_engine_run_until_without_events_advances_clock():
+    env = Environment()
+    assert env.run(until=25.0) == 25.0
+    assert env.now == 25.0
+
+
+def test_history_extend_merges_operations_and_edges():
+    a = History()
+    first = a.add(Operation.write("P1", "x", 1, invoked_at=0, responded_at=1))
+    second = a.add(Operation.read("P2", "x", 1, invoked_at=2, responded_at=3))
+    a.add_message_edge(first, second)
+    b = History()
+    b.extend(a)
+    assert len(b) == 2
+    assert len(b.message_edges) == 1
+
+
+def test_gryff_witness_order_handles_cross_key_process_order():
+    """A client that writes one key then reads another must appear in that
+    order in the witness even though the second key's carstamp is smaller."""
+    cluster = GryffCluster(GryffConfig(variant=GryffVariant.GRYFF_RSC))
+    client = cluster.new_client("CA")
+
+    def workload():
+        yield from client.write("a", "v1")
+        yield from client.read("b")
+
+    cluster.spawn(workload())
+    cluster.run()
+    witness = cluster.witness_order("rsc")
+    ids = [op.op_id for op in witness]
+    ops = cluster.history.by_process(client.name)
+    assert ids.index(ops[0].op_id) < ids.index(ops[1].op_id)
+    assert cluster.check_consistency().satisfied
+
+
+def test_spanner_reconstructs_server_side_commits_for_checking():
+    """A committed-but-unacknowledged transaction (crashed client) appears in
+    the checking history as a reconstructed pending operation."""
+    cluster = SpannerCluster(SpannerConfig(variant=Variant.SPANNER_RSS, seed=2))
+    victim = cluster.new_client("CA", name="victim")
+    reader = cluster.new_client("VA", name="reader")
+
+    def crash_mid_commit():
+        victim.stop()  # replies will never reach the client
+        try:
+            yield from victim.read_write_transaction(
+                [], lambda _reads: {"k": "ghost"}, max_retries=0)
+        except Exception:
+            pass
+
+    def read_later():
+        yield cluster.env.timeout(1_000)
+        yield from reader.read_only_transaction(["k"])
+
+    cluster.spawn(crash_mid_commit())
+    cluster.spawn(read_later())
+    cluster.run(until=5_000)
+    checking_history = cluster._history_for_checking()
+    reconstructed = [op for op in checking_history if op.meta.get("reconstructed")]
+    assert len(reconstructed) == 1
+    assert reconstructed[0].write_set == {"k": "ghost"}
+    assert cluster.check_consistency().satisfied
+
+
+def test_spanner_client_sessions_change_history_process():
+    cluster = SpannerCluster(SpannerConfig(variant=Variant.SPANNER_RSS))
+    client = cluster.new_client("CA", name="loadgen")
+
+    def workload():
+        yield from client.read_only_transaction(["x"])
+        client.new_session()
+        yield from client.read_only_transaction(["x"])
+
+    cluster.spawn(workload())
+    cluster.run()
+    processes = [op.process for op in cluster.history]
+    assert processes[0] == "loadgen"
+    assert processes[1] == "loadgen/s1"
+    assert client.t_min == 0.0 or client.t_min >= 0.0  # reset at session start
+
+
+def test_negative_jitter_and_latency_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.schedule(env.event(), delay=-1)

@@ -1,0 +1,174 @@
+"""Unit tests for simulated clocks and latency statistics."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import LocalClock, TrueTime, TrueTimeInterval
+from repro.sim.engine import Environment
+from repro.sim.stats import LatencyRecorder, Percentiles, cdf_points, percentile, throughput
+
+
+# --------------------------------------------------------------------- #
+# Clocks
+# --------------------------------------------------------------------- #
+def test_local_clock_offset():
+    env = Environment()
+    clock = LocalClock(env, offset=5.0)
+    assert clock.now() == 5.0
+
+    def advance():
+        yield env.timeout(10)
+
+    env.process(advance())
+    env.run()
+    assert clock.now() == 15.0
+
+
+def test_truetime_interval_contains_true_time():
+    env = Environment()
+    tt = TrueTime(env, epsilon=10.0)
+    interval = tt.now()
+    assert interval.earliest == -10.0
+    assert interval.latest == 10.0
+    assert interval.contains(0.0)
+    assert interval.width == 20.0
+
+
+def test_truetime_interval_validation():
+    with pytest.raises(ValueError):
+        TrueTimeInterval(earliest=5.0, latest=1.0)
+    env = Environment()
+    with pytest.raises(ValueError):
+        TrueTime(env, epsilon=-1.0)
+    with pytest.raises(ValueError):
+        TrueTime(env, epsilon=1.0, min_epsilon=2.0)
+
+
+def test_truetime_after_before():
+    env = Environment()
+    tt = TrueTime(env, epsilon=5.0)
+
+    def advance():
+        yield env.timeout(100)
+
+    env.process(advance())
+    env.run()
+    assert tt.after(90.0)
+    assert not tt.after(96.0)
+    assert tt.before(106.0)
+    assert not tt.before(104.0)
+
+
+def test_truetime_commit_wait():
+    env = Environment()
+    tt = TrueTime(env, epsilon=7.0)
+    done = []
+
+    def committer():
+        commit_ts = env.now + 3.0
+        yield from tt.wait_until_after(commit_ts)
+        done.append(env.now)
+
+    env.process(committer())
+    env.run()
+    # Must wait until commit_ts (3.0) is strictly before now - epsilon.
+    assert done and done[0] > 10.0
+
+
+def test_truetime_jittered_epsilon_still_contains_truth():
+    env = Environment()
+    tt = TrueTime(env, epsilon=10.0, min_epsilon=2.0, jitter_rng=random.Random(1))
+    for _ in range(50):
+        interval = tt.now()
+        assert interval.contains(env.now)
+        assert 4.0 <= interval.width <= 20.0
+
+
+# --------------------------------------------------------------------- #
+# Percentiles / recorder
+# --------------------------------------------------------------------- #
+def test_percentile_simple():
+    data = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, 50) == 3.0
+    assert percentile(data, 100) == 5.0
+    assert percentile(data, 25) == 2.0
+
+
+def test_percentile_errors():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)
+
+
+def test_percentiles_bundle():
+    data = list(range(1, 101))
+    p = Percentiles.from_samples([float(x) for x in data])
+    assert p.count == 100
+    assert p.p50 == pytest.approx(50.5)
+    assert p.maximum == 100
+    assert p.p99 >= p.p90 >= p.p50
+    assert set(p.as_dict()) == {"count", "mean", "p50", "p90", "p99", "p99.9", "p99.99", "max"}
+
+
+def test_cdf_points_monotone():
+    data = [float(x) for x in range(1000)]
+    points = cdf_points(data)
+    latencies = [latency for latency, _ in points]
+    assert latencies == sorted(latencies)
+    assert points[0][1] == 0.0
+
+
+def test_throughput():
+    assert throughput(1000, 2000.0) == 500.0
+    with pytest.raises(ValueError):
+        throughput(10, 0.0)
+
+
+def test_latency_recorder_basic():
+    rec = LatencyRecorder()
+    rec.record("ro", start=0.0, end=10.0)
+    rec.record("ro", start=5.0, end=25.0)
+    rec.record("rw", start=0.0, end=100.0)
+    assert rec.count() == 3
+    assert rec.count("ro") == 2
+    assert rec.samples("ro") == [10.0, 20.0]
+    assert rec.categories() == ["ro", "rw"]
+    assert rec.duration_ms == 100.0
+    assert rec.throughput() == pytest.approx(30.0)
+
+
+def test_latency_recorder_validation():
+    rec = LatencyRecorder()
+    with pytest.raises(ValueError):
+        rec.record("x", start=10.0, end=5.0)
+    with pytest.raises(ValueError):
+        rec.record_latency("x", -1.0)
+
+
+def test_latency_recorder_merge():
+    a = LatencyRecorder()
+    b = LatencyRecorder()
+    a.record("read", 0.0, 5.0)
+    b.record("read", 10.0, 30.0)
+    b.record("write", 0.0, 1.0)
+    a.merge(b)
+    assert a.count("read") == 2
+    assert a.count("write") == 1
+    assert a.duration_ms == 30.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200), st.floats(min_value=0, max_value=100))
+def test_percentile_bounded_by_min_max(samples, q):
+    value = percentile(samples, q)
+    assert min(samples) <= value <= max(samples)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=100))
+def test_percentile_monotone_in_q(samples):
+    qs = [0, 25, 50, 75, 90, 99, 100]
+    values = [percentile(samples, q) for q in qs]
+    assert values == sorted(values)

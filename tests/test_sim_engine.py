@@ -1,0 +1,247 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Store,
+)
+
+
+def test_timeout_ordering():
+    env = Environment()
+    log = []
+
+    def worker(name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(worker("a", 5))
+    env.process(worker("b", 3))
+    env.process(worker("c", 3))
+    env.run()
+    assert log == [(3, "b"), (3, "c"), (5, "a")]
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    seen = []
+
+    def worker():
+        value = yield env.timeout(2, value="hello")
+        seen.append(value)
+
+    env.process(worker())
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        return 42
+
+    def parent(results):
+        value = yield env.process(child())
+        results.append(value)
+
+    results = []
+    env.process(parent(results))
+    env.run()
+    assert results == [42]
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def parent(results):
+        try:
+            yield env.process(child())
+        except ValueError as exc:
+            results.append(str(exc))
+
+    results = []
+    env.process(parent(results))
+    env.run()
+    assert results == ["boom"]
+
+
+def test_unhandled_process_exception_raises_from_run():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(child())
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_event_succeed_and_multiple_waiters():
+    env = Environment()
+    gate = env.event()
+    woken = []
+
+    def waiter(name):
+        value = yield gate
+        woken.append((env.now, name, value))
+
+    def trigger():
+        yield env.timeout(7)
+        gate.succeed("go")
+
+    env.process(waiter("w1"))
+    env.process(waiter("w2"))
+    env.process(trigger())
+    env.run()
+    assert woken == [(7, "w1", "go"), (7, "w2", "go")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad():
+        yield 5
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(100)
+
+    env.process(worker())
+    env.run(until=30)
+    assert env.now == 30
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def worker():
+        t1 = env.timeout(5, value="fast")
+        t2 = env.timeout(10, value="slow")
+        done = yield env.any_of([t1, t2])
+        results.append((env.now, sorted(done.values())))
+
+    env.process(worker())
+    env.run()
+    assert results == [(5, ["fast"])]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    results = []
+
+    def worker():
+        t1 = env.timeout(5, value="a")
+        t2 = env.timeout(10, value="b")
+        done = yield env.all_of([t1, t2])
+        results.append((env.now, sorted(done.values())))
+
+    env.process(worker())
+    env.run()
+    assert results == [(10, ["a", "b"])]
+
+
+def test_store_fifo_and_blocking():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            received.append((env.now, item))
+
+    def producer():
+        store.put("x")
+        yield env.timeout(4)
+        store.put("y")
+        store.put("z")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert received == [(0, "x"), (4, "y"), (4, "z")]
+
+
+def test_store_len_and_peek():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.peek_all() == [1, 2]
+
+
+def test_interrupt_raises_in_process():
+    env = Environment()
+    caught = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            caught.append((env.now, exc.cause))
+
+    def interrupter(proc):
+        yield env.timeout(3)
+        proc.interrupt("wake up")
+
+    proc = env.process(sleeper())
+    env.process(interrupter(proc))
+    env.run()
+    assert caught == [(3, "wake up")]
+
+
+def test_step_with_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_deterministic_tiebreak_is_insertion_order():
+    env = Environment()
+    order = []
+
+    def worker(name):
+        yield env.timeout(1)
+        order.append(name)
+
+    for name in ["n1", "n2", "n3", "n4"]:
+        env.process(worker(name))
+    env.run()
+    assert order == ["n1", "n2", "n3", "n4"]

@@ -1,0 +1,206 @@
+"""Unit tests for the network model and node/RPC layers."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.network import (
+    GRYFF_RTT_MS,
+    LatencyMatrix,
+    Network,
+    gryff_wan,
+    single_dc,
+    spanner_wan,
+)
+from repro.sim.node import Node
+
+
+class Echo(Node):
+    """Replies to ping RPCs and records one-way messages."""
+
+    def __init__(self, env, network, name, site):
+        super().__init__(env, network, name, site)
+        self.received = []
+
+    def on_ping(self, message):
+        return {"pong_from": self.name, "echo": message.payload.get("data")}
+
+    def on_slow_ping(self, message):
+        yield self.env.timeout(10)
+        return {"pong_from": self.name}
+
+    def on_note(self, message):
+        self.received.append((self.env.now, message.payload["data"]))
+
+
+class Caller(Node):
+    def __init__(self, env, network, name, site):
+        super().__init__(env, network, name, site)
+        self.results = []
+
+    def run_single(self, dst):
+        reply = yield self.rpc_call(dst, "ping", data="hi")
+        self.results.append((self.env.now, reply["pong_from"], reply["echo"]))
+
+    def run_multicast(self, dsts, quorum):
+        call = self.rpc_multicast(dsts, "ping", data="q")
+        replies = yield call.wait(quorum)
+        self.results.append((self.env.now, sorted(replies)))
+
+
+def make_net(latency=None, **kwargs):
+    env = Environment()
+    net = Network(env, latency or single_dc(rtt_ms=10.0), **kwargs)
+    return env, net
+
+
+def test_latency_matrix_symmetry_and_local():
+    lm = gryff_wan()
+    assert lm.rtt("CA", "JP") == lm.rtt("JP", "CA") == 113.0
+    assert lm.rtt("CA", "CA") == 0.2
+    assert lm.one_way("VA", "IR") == 44.0
+    assert set(lm.sites) == {"CA", "VA", "IR", "OR", "JP"}
+
+
+def test_latency_matrix_missing_pair_raises():
+    lm = LatencyMatrix({("A", "B"): 10.0})
+    with pytest.raises(KeyError):
+        lm.rtt("A", "C")
+
+
+def test_spanner_wan_values():
+    lm = spanner_wan()
+    assert lm.rtt("CA", "VA") == 62.0
+    assert lm.rtt("CA", "IR") == 136.0
+    assert lm.rtt("VA", "IR") == 68.0
+
+
+def test_gryff_rtt_matrix_matches_table2():
+    assert GRYFF_RTT_MS[("IR", "JP")] == 220.0
+    assert GRYFF_RTT_MS[("CA", "OR")] == 59.0
+
+
+def test_one_way_message_delivery_time():
+    env, net = make_net()
+    a = Echo(env, net, "a", "DC")
+    b = Echo(env, net, "b", "DC")
+    a.send("b", "note", data="hello")
+    env.run()
+    assert b.received == [(5.0, "hello")]
+
+
+def test_rpc_round_trip_latency():
+    lm = LatencyMatrix({("X", "Y"): 100.0})
+    env = Environment()
+    net = Network(env, lm)
+    Echo(env, net, "server", "Y")
+    caller = Caller(env, net, "client", "X")
+    env.process(caller.run_single("server"))
+    env.run()
+    assert caller.results == [(100.0, "server", "hi")]
+
+
+def test_rpc_generator_handler_adds_service_time():
+    lm = LatencyMatrix({("X", "Y"): 100.0})
+    env = Environment()
+    net = Network(env, lm)
+    Echo(env, net, "server", "Y")
+    caller = Caller(env, net, "client", "X")
+
+    def run():
+        reply = yield caller.rpc_call("server", "slow_ping")
+        caller.results.append((env.now, reply["pong_from"]))
+
+    env.process(run())
+    env.run()
+    assert caller.results == [(110.0, "server")]
+
+
+def test_multicast_quorum_wait():
+    lm = LatencyMatrix({("C", "N1"): 10.0, ("C", "N2"): 50.0, ("C", "N3"): 200.0})
+    env = Environment()
+    net = Network(env, lm)
+    for name in ["n1", "n2", "n3"]:
+        Echo(env, net, name, name.upper())
+    caller = Caller(env, net, "client", "C")
+    env.process(caller.run_multicast(["n1", "n2", "n3"], quorum=2))
+    env.run()
+    when, replied = caller.results[0]
+    assert when == 50.0
+    assert replied == ["n1", "n2"]
+
+
+def test_multicast_late_replies_still_recorded():
+    lm = LatencyMatrix({("C", "N1"): 10.0, ("C", "N2"): 200.0})
+    env = Environment()
+    net = Network(env, lm)
+    Echo(env, net, "n1", "N1")
+    Echo(env, net, "n2", "N2")
+    caller = Caller(env, net, "client", "C")
+    calls = {}
+
+    def run():
+        call = caller.rpc_multicast(["n1", "n2"], "ping", data="x")
+        calls["call"] = call
+        yield call.wait(1)
+
+    env.process(run())
+    env.run()
+    assert calls["call"].reply_count == 2
+
+
+def test_fifo_channel_ordering_with_jitter():
+    env = Environment()
+    net = Network(env, single_dc(rtt_ms=10.0), jitter_ms=8.0, seed=3)
+    a = Echo(env, net, "a", "DC")
+    b = Echo(env, net, "b", "DC")
+    for i in range(20):
+        a.send("b", "note", data=i)
+    env.run()
+    values = [v for _, v in b.received]
+    assert values == list(range(20))
+
+
+def test_unknown_destination_raises():
+    env, net = make_net()
+    a = Echo(env, net, "a", "DC")
+    with pytest.raises(KeyError):
+        a.send("missing", "note", data=1)
+
+
+def test_duplicate_node_name_rejected():
+    env, net = make_net()
+    Echo(env, net, "a", "DC")
+    with pytest.raises(ValueError):
+        Echo(env, net, "a", "DC")
+
+
+def test_unhandled_message_kind_raises():
+    env, net = make_net()
+    a = Echo(env, net, "a", "DC")
+    Echo(env, net, "b", "DC")
+    a.send("b", "no_such_kind", data=1)
+    with pytest.raises(Exception):
+        env.run()
+
+
+def test_stopped_node_drops_messages():
+    env, net = make_net()
+    a = Echo(env, net, "a", "DC")
+    b = Echo(env, net, "b", "DC")
+    b.stop()
+    a.send("b", "note", data="dropped")
+    env.run()
+    assert b.received == []
+
+
+def test_network_counters_and_trace():
+    env, net = make_net()
+    net.enable_trace()
+    a = Echo(env, net, "a", "DC")
+    Echo(env, net, "b", "DC")
+    a.send("b", "note", data=1)
+    a.send("b", "note", data=2)
+    env.run()
+    assert net.messages_sent == 2
+    assert len(net.trace) == 2
+    assert all(m.deliver_time >= m.send_time for m in net.trace)

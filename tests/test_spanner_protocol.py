@@ -1,0 +1,279 @@
+"""Integration tests for the Spanner and Spanner-RSS protocols."""
+
+import pytest
+
+from repro.core.checkers import (
+    check_rss,
+    check_strict_serializability,
+)
+from repro.core.specification import TransactionalKVSpec
+from repro.spanner.cluster import SpannerCluster
+from repro.spanner.config import SpannerConfig, Variant
+
+
+def key_on_shard(config: SpannerConfig, shard_index: int, salt: str = "k") -> str:
+    """Find a key mapped to the given shard (deterministic)."""
+    target = config.shard_name(shard_index)
+    for i in range(10_000):
+        key = f"{salt}{i}"
+        if config.shard_for_key(key) == target:
+            return key
+    raise AssertionError("no key found for shard")
+
+
+def make_cluster(variant: Variant, **overrides) -> SpannerCluster:
+    config = SpannerConfig(variant=variant, **overrides)
+    return SpannerCluster(config)
+
+
+def writes_const(values):
+    """A compute_writes callable that ignores the reads."""
+    return lambda _reads: dict(values)
+
+
+# --------------------------------------------------------------------- #
+# Basic read-write / read-only behaviour
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("variant", [Variant.SPANNER, Variant.SPANNER_RSS])
+def test_rw_then_ro_sees_value(variant):
+    cluster = make_cluster(variant)
+    config = cluster.config
+    key_a = key_on_shard(config, 0, "a")
+    key_b = key_on_shard(config, 1, "b")
+    writer = cluster.new_client("CA")
+    reader = cluster.new_client("VA")
+    results = {}
+
+    def workload():
+        yield from writer.read_write_transaction([], writes_const({key_a: "va1", key_b: "vb1"}))
+        values = yield from reader.read_only_transaction([key_a, key_b])
+        results.update(values)
+
+    cluster.spawn(workload())
+    cluster.run()
+    assert results == {key_a: "va1", key_b: "vb1"}
+    assert cluster.total_committed() == 1
+    assert cluster.check_consistency().satisfied
+
+
+@pytest.mark.parametrize("variant", [Variant.SPANNER, Variant.SPANNER_RSS])
+def test_rw_reads_observe_previous_writes(variant):
+    cluster = make_cluster(variant)
+    key = key_on_shard(cluster.config, 0)
+    client = cluster.new_client("CA")
+    observed = []
+
+    def workload():
+        yield from client.read_write_transaction([], writes_const({key: "v1"}))
+        reads, writes, _ = yield from client.read_write_transaction(
+            [key], lambda vals: {key: f"{vals[key]}+v2"})
+        observed.append((reads[key], writes[key]))
+
+    cluster.spawn(workload())
+    cluster.run()
+    assert observed == [("v1", "v1+v2")]
+    assert cluster.check_consistency().satisfied
+
+
+def test_ro_transaction_of_unwritten_keys_returns_none():
+    cluster = make_cluster(Variant.SPANNER_RSS)
+    key = key_on_shard(cluster.config, 2, "fresh")
+    reader = cluster.new_client("IR")
+    out = {}
+
+    def workload():
+        values = yield from reader.read_only_transaction([key])
+        out.update(values)
+
+    cluster.spawn(workload())
+    cluster.run()
+    assert out == {key: None}
+
+
+def test_concurrent_conflicting_rw_transactions_serialize():
+    cluster = make_cluster(Variant.SPANNER_RSS)
+    key = key_on_shard(cluster.config, 0, "ctr")
+    clients = [cluster.new_client(site) for site in ("CA", "VA", "IR")]
+    final = {}
+
+    def setup_and_read():
+        yield from clients[0].read_write_transaction([], writes_const({key: 0}))
+        for _ in range(2):
+            yield cluster.env.timeout(500)
+        values = yield from clients[0].read_only_transaction([key])
+        final.update(values)
+
+    def incrementer(client, delay):
+        def bump(vals):
+            return {key: (vals[key] or 0) + 1}
+        yield cluster.env.timeout(delay)
+        yield from client.read_write_transaction([key], bump)
+
+    cluster.spawn(setup_and_read())
+    cluster.spawn(incrementer(clients[1], 200))
+    cluster.spawn(incrementer(clients[2], 210))
+    cluster.run()
+    assert final[key] == 2
+    result = cluster.check_consistency()
+    assert result.satisfied, result.reason
+
+
+# --------------------------------------------------------------------- #
+# The headline behaviour: RO blocking vs Spanner-RSS's fast path
+# --------------------------------------------------------------------- #
+def run_blocking_scenario(variant: Variant):
+    """One RW transaction in its 2PC window while an RO reads the same key."""
+    cluster = make_cluster(variant)
+    config = cluster.config
+    key_a = key_on_shard(config, 0, "hotA")   # shard leader in CA
+    key_b = key_on_shard(config, 1, "hotB")   # shard leader in VA
+    writer = cluster.new_client("CA", name="writer@CA")
+    reader = cluster.new_client("VA", name="reader@VA")
+    ro_latency = {}
+    ro_values = {}
+
+    def setup():
+        yield from writer.read_write_transaction(
+            [], writes_const({key_a: "old-a", key_b: "old-b"}))
+
+    def writing(delay):
+        yield cluster.env.timeout(delay)
+        yield from writer.read_write_transaction(
+            [], writes_const({key_a: "new-a", key_b: "new-b"}))
+
+    def reading(delay):
+        yield cluster.env.timeout(delay)
+        start = cluster.env.now
+        values = yield from reader.read_only_transaction([key_a])
+        ro_latency["value"] = cluster.env.now - start
+        ro_values.update(values)
+
+    cluster.spawn(setup())
+    # Let the setup transaction finish (well under 1000 ms), then launch the
+    # conflicting RW transaction and read during its prepare window.
+    cluster.spawn(writing(1000))
+    cluster.spawn(reading(1100))
+    cluster.run()
+    return cluster, ro_latency["value"], ro_values
+
+
+def test_spanner_ro_blocks_behind_prepared_transaction():
+    cluster, latency, values = run_blocking_scenario(Variant.SPANNER)
+    stats = cluster.shard_stats()
+    assert sum(s["ro_blocked"] for s in stats.values()) >= 1
+    # The RO had to wait for two-phase commit to finish: well above one RTT.
+    assert latency > 90.0
+    assert cluster.check_consistency().satisfied
+
+
+def test_spanner_rss_ro_avoids_blocking():
+    cluster, latency, values = run_blocking_scenario(Variant.SPANNER_RSS)
+    stats = cluster.shard_stats()
+    assert sum(s["ro_skipped_prepared"] for s in stats.values()) >= 1
+    # One wide-area round trip (VA -> CA shard leader) plus overheads.
+    assert latency < 90.0
+    assert list(values.values()) == ["old-a"]
+    result = cluster.check_consistency()
+    assert result.satisfied, result.reason
+
+
+def test_rss_is_never_slower_for_ro_transactions():
+    _, spanner_latency, _ = run_blocking_scenario(Variant.SPANNER)
+    _, rss_latency, _ = run_blocking_scenario(Variant.SPANNER_RSS)
+    assert rss_latency <= spanner_latency
+
+
+def test_rw_latency_identical_across_variants():
+    latencies = {}
+    for variant in (Variant.SPANNER, Variant.SPANNER_RSS):
+        cluster = make_cluster(variant)
+        key_a = key_on_shard(cluster.config, 0, "hotA")
+        key_b = key_on_shard(cluster.config, 1, "hotB")
+        client = cluster.new_client("CA")
+
+        def workload():
+            yield from client.read_write_transaction(
+                [], writes_const({key_a: "x", key_b: "y"}))
+
+        cluster.spawn(workload())
+        cluster.run()
+        latencies[variant] = cluster.recorder.samples("rw")[0]
+    assert latencies[Variant.SPANNER] == pytest.approx(
+        latencies[Variant.SPANNER_RSS], rel=0.05)
+
+
+# --------------------------------------------------------------------- #
+# Causality: t_min forces observation of causally seen writes
+# --------------------------------------------------------------------- #
+def test_t_min_propagation_prevents_stale_read_across_sessions():
+    cluster = make_cluster(Variant.SPANNER_RSS)
+    config = cluster.config
+    key_a = key_on_shard(config, 0, "hotA")
+    writer = cluster.new_client("CA")
+    observer = cluster.new_client("VA")
+    follower = cluster.new_client("IR")
+    seen = {}
+
+    def setup():
+        yield from writer.read_write_transaction([], writes_const({key_a: "old"}))
+
+    def write_new(delay):
+        yield cluster.env.timeout(delay)
+        yield from writer.read_write_transaction([], writes_const({key_a: "new"}))
+
+    def observe_then_call(delay):
+        yield cluster.env.timeout(delay)
+        values = yield from observer.read_only_transaction([key_a])
+        seen["observer"] = values[key_a]
+        # Out-of-band message passing: the observer calls the follower and
+        # passes its causal context (t_min), as in §4.2.
+        follower.import_context(observer.export_context())
+        follower_values = yield from follower.read_only_transaction([key_a])
+        seen["follower"] = follower_values[key_a]
+
+    cluster.spawn(setup())
+    cluster.spawn(write_new(1000))
+    # Observe after the write commits so the observer definitely sees "new".
+    cluster.spawn(observe_then_call(1400))
+    cluster.run()
+    assert seen["observer"] == "new"
+    assert seen["follower"] == "new"
+    assert cluster.check_consistency().satisfied
+
+
+def test_fence_blocks_until_bound_passes():
+    cluster = make_cluster(Variant.SPANNER_RSS)
+    client = cluster.new_client("CA")
+    timings = {}
+
+    def workload():
+        key = key_on_shard(cluster.config, 0)
+        yield from client.read_write_transaction([], writes_const({key: "v"}))
+        start = cluster.env.now
+        yield from client.fence()
+        timings["fence"] = cluster.env.now - start
+        timings["t_min"] = client.t_min
+
+    cluster.spawn(workload())
+    cluster.run()
+    # The fence waits until t_min + L is definitely in the past.
+    assert timings["fence"] >= 0.0
+    assert cluster.env.now > timings["t_min"] + cluster.config.fence_bound_ms
+
+
+def test_history_records_operations_with_metadata():
+    cluster = make_cluster(Variant.SPANNER_RSS)
+    key = key_on_shard(cluster.config, 0)
+    client = cluster.new_client("CA")
+
+    def workload():
+        yield from client.read_write_transaction([], writes_const({key: "v1"}))
+        yield from client.read_only_transaction([key])
+
+    cluster.spawn(workload())
+    cluster.run()
+    ops = cluster.history.operations()
+    assert len(ops) == 2
+    assert "commit_ts" in ops[0].meta
+    assert "snapshot_ts" in ops[1].meta
+    assert ops[1].read_set == {key: "v1"}

@@ -1,0 +1,247 @@
+"""Unit tests for the Spanner substrate: locks, versions, replication, config."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.network import spanner_wan
+from repro.spanner.config import SpannerConfig, Variant
+from repro.spanner.locks import LockMode, LockTable
+from repro.spanner.mvstore import MultiVersionStore
+from repro.spanner.replication import ReplicationLog
+
+
+# --------------------------------------------------------------------- #
+# Lock table
+# --------------------------------------------------------------------- #
+def test_read_locks_are_shared():
+    env = Environment()
+    table = LockTable(env)
+    grants = []
+
+    def txn(name, priority):
+        granted = yield table.acquire("k", LockMode.READ, name, priority)
+        grants.append((env.now, name, granted))
+
+    env.process(txn("t1", 1.0))
+    env.process(txn("t2", 2.0))
+    env.run()
+    assert [(n, g) for _, n, g in grants] == [("t1", True), ("t2", True)]
+
+
+def test_write_lock_excludes_and_waits_for_release():
+    env = Environment()
+    table = LockTable(env)
+    log = []
+
+    def writer():
+        granted = yield table.acquire("k", LockMode.WRITE, "old", 1.0)
+        log.append(("old", env.now, granted))
+        yield env.timeout(10)
+        table.release_all("old")
+
+    def younger_writer():
+        yield env.timeout(1)
+        granted = yield table.acquire("k", LockMode.WRITE, "young", 5.0)
+        log.append(("young", env.now, granted))
+
+    env.process(writer())
+    env.process(younger_writer())
+    env.run()
+    assert ("old", 0, True) in log
+    assert ("young", 10, True) in log
+
+
+def test_wound_wait_older_wounds_younger():
+    env = Environment()
+    wounded = []
+    table = LockTable(env, wound_callback=lambda txn: (wounded.append(txn),
+                                                       table.release_all(txn)))
+    log = []
+
+    def younger():
+        granted = yield table.acquire("k", LockMode.WRITE, "young", priority=100.0)
+        log.append(("young", granted))
+
+    def older():
+        yield env.timeout(1)
+        granted = yield table.acquire("k", LockMode.WRITE, "old", priority=1.0)
+        log.append(("old", env.now, granted))
+
+    env.process(younger())
+    env.process(older())
+    env.run()
+    assert wounded == ["young"]
+    assert ("old", 1, True) in log
+    assert table.wounds == 1
+
+
+def test_younger_requester_waits_for_older_holder():
+    env = Environment()
+    wounded = []
+    table = LockTable(env, wound_callback=wounded.append)
+    log = []
+
+    def older():
+        granted = yield table.acquire("k", LockMode.WRITE, "old", priority=1.0)
+        log.append(("old", env.now, granted))
+        yield env.timeout(20)
+        table.release_all("old")
+
+    def younger():
+        yield env.timeout(1)
+        granted = yield table.acquire("k", LockMode.WRITE, "young", priority=100.0)
+        log.append(("young", env.now, granted))
+
+    env.process(older())
+    env.process(younger())
+    env.run()
+    assert wounded == []
+    assert ("young", 20, True) in log
+
+
+def test_release_all_cancels_waiting_requests():
+    env = Environment()
+    table = LockTable(env)
+    results = []
+
+    def holder():
+        yield table.acquire("k", LockMode.WRITE, "holder", 1.0)
+
+    def waiter():
+        yield env.timeout(1)
+        granted = yield table.acquire("k", LockMode.WRITE, "waiter", 2.0)
+        results.append(granted)
+
+    env.process(holder())
+    env.process(waiter())
+
+    def canceller():
+        yield env.timeout(5)
+        table.release_all("waiter")
+
+    env.process(canceller())
+    env.run(until=50)
+    assert results == [False]
+
+
+def test_lock_upgrade_and_holds():
+    env = Environment()
+    table = LockTable(env)
+
+    def txn():
+        yield table.acquire("k", LockMode.READ, "t1", 1.0)
+        assert table.holds("t1", "k", LockMode.READ)
+        assert not table.holds("t1", "k", LockMode.WRITE)
+        yield table.acquire("k", LockMode.WRITE, "t1", 1.0)
+        assert table.holds("t1", "k", LockMode.WRITE)
+
+    env.process(txn())
+    env.run()
+    assert table.held_keys("t1") == {"k"}
+    table.release_all("t1")
+    assert table.held_keys("t1") == set()
+
+
+# --------------------------------------------------------------------- #
+# Multi-version store
+# --------------------------------------------------------------------- #
+def test_mvstore_versions_and_reads():
+    store = MultiVersionStore()
+    store.apply("x", "v1", 10.0, writer="t1")
+    store.apply("x", "v2", 20.0, writer="t2")
+    store.apply("y", "w1", 15.0, writer="t3")
+    assert store.read_at("x", 5.0) == (0.0, None, None)
+    assert store.read_at("x", 10.0) == (10.0, "v1", "t1")
+    assert store.read_at("x", 19.9) == (10.0, "v1", "t1")
+    assert store.read_at("x", 25.0) == (20.0, "v2", "t2")
+    assert store.read_latest("x") == (20.0, "v2", "t2")
+    assert store.read_latest("missing") == (0.0, None, None)
+    assert store.latest_commit_ts("y") == 15.0
+    assert store.max_commit_ts == 20.0
+    assert store.version_count("x") == 2
+
+
+def test_mvstore_out_of_order_applies():
+    store = MultiVersionStore()
+    store.apply("x", "late", 30.0)
+    store.apply("x", "early", 10.0)
+    assert store.read_at("x", 20.0)[1] == "early"
+    assert store.read_latest("x")[1] == "late"
+
+
+def test_mvstore_apply_many():
+    store = MultiVersionStore()
+    store.apply_many({"a": 1, "b": 2}, 5.0, writer="t9")
+    assert store.read_latest("a") == (5.0, 1, "t9")
+    assert store.read_latest("b") == (5.0, 2, "t9")
+
+
+# --------------------------------------------------------------------- #
+# Replication
+# --------------------------------------------------------------------- #
+def test_replication_majority_delay_wan():
+    env = Environment()
+    log = ReplicationLog(env, leader_site="CA", replica_sites=["CA", "VA", "IR"],
+                         latency=spanner_wan())
+    # Majority of 3 is 2; the leader plus the nearest other replica (VA, 62ms).
+    assert log.majority_delay() == 62.0
+
+
+def test_replication_append_advances_safe_time():
+    env = Environment()
+    log = ReplicationLog(env, leader_site="VA", replica_sites=["CA", "VA", "IR"],
+                         latency=spanner_wan())
+    done = []
+
+    def appender():
+        yield env.process(log.append("prepare", {"txn": "t1"}, timestamp=42.0))
+        done.append(env.now)
+
+    env.process(appender())
+    env.run()
+    assert done == [62.0]
+    assert log.max_write_ts == 42.0
+    assert log.appends == 1
+
+
+def test_replication_single_site_is_immediate():
+    env = Environment()
+    log = ReplicationLog(env, leader_site="DC", replica_sites=["DC"],
+                         latency=spanner_wan())
+    assert log.majority_delay() == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------- #
+def test_shard_for_key_is_deterministic_and_balanced():
+    config = SpannerConfig(num_shards=3)
+    keys = [f"key{i}" for i in range(300)]
+    assignment = {key: config.shard_for_key(key) for key in keys}
+    assert assignment == {key: config.shard_for_key(key) for key in keys}
+    counts = {}
+    for shard in assignment.values():
+        counts[shard] = counts.get(shard, 0) + 1
+    assert len(counts) == 3
+    assert all(count > 50 for count in counts.values())
+
+
+def test_config_leader_sites_round_robin():
+    config = SpannerConfig(num_shards=5, leader_sites=["CA", "VA", "IR"])
+    assert config.leader_site(0) == "CA"
+    assert config.leader_site(3) == "CA"
+    assert config.leader_site(4) == "VA"
+
+
+def test_min_commit_latency_prefers_local_coordinator():
+    config = SpannerConfig()
+    local = config.min_commit_latency_ms("CA", ["CA", "VA"], "CA")
+    remote = config.min_commit_latency_ms("VA", ["CA", "VA"], "CA")
+    assert local < remote
+    # Local hops to/from the coordinator (0.2) + prepare RTT (62) + replication (62).
+    assert local == pytest.approx(124.2)
+
+
+def test_variant_enum_values():
+    assert Variant("spanner") == Variant.SPANNER
+    assert Variant("spanner-rss") == Variant.SPANNER_RSS
