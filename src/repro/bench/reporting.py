@@ -1,10 +1,18 @@
-"""Plain-text table rendering for experiment reports."""
+"""Plain-text table rendering and JSON archiving for experiment reports."""
 
 from __future__ import annotations
 
+import json
 from typing import Any, Iterable, List, Sequence
 
-__all__ = ["format_table", "format_float"]
+__all__ = ["format_table", "format_float", "write_json_report"]
+
+
+def write_json_report(path: str, payload: Any) -> None:
+    """Archive an experiment payload as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
 
 
 def format_float(value: Any, digits: int = 1) -> str:

@@ -20,7 +20,6 @@ plotted elsewhere.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -30,7 +29,8 @@ from repro.bench.anomalies import (
 )
 from repro.bench.appendix_a import appendix_a_report
 from repro.bench.gryff_experiments import figure7_experiment, overhead_experiment
-from repro.bench.reporting import format_table
+from repro.bench.perfsuite import attach_baseline, perf_report_rows, run_perf_suite
+from repro.bench.reporting import format_table, write_json_report
 from repro.bench.spanner_experiments import (
     figure5_experiment,
     figure6_experiment,
@@ -45,8 +45,7 @@ __all__ = ["main", "build_parser"]
 def _write_json(path: Optional[str], payload: Any) -> None:
     if not path:
         return
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, default=str)
+    write_json_report(path, payload)
 
 
 # --------------------------------------------------------------------------- #
@@ -150,6 +149,18 @@ def cmd_anomalies(args: argparse.Namespace) -> int:
     return 0 if (misses == 0 and bool(result.consistency_ok)) else 1
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    payload = attach_baseline(run_perf_suite(args.scale),
+                              baseline_path=args.baseline)
+    print(format_table(
+        ["metric", "value"], perf_report_rows(payload),
+        title=f"Performance suite — scale {args.scale}",
+    ))
+    if args.json:
+        write_json_report(args.json, payload)
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # Argument parsing
 # --------------------------------------------------------------------------- #
@@ -209,6 +220,15 @@ def build_parser() -> argparse.ArgumentParser:
     anomalies.add_argument("--arrival-rate", type=float, default=2.0)
     anomalies.add_argument("--num-keys", type=int, default=500)
     anomalies.set_defaults(func=cmd_anomalies)
+
+    perf = subparsers.add_parser(
+        "perf", help="checker/sim hot-path performance suite (BENCH_perf.json)")
+    perf.add_argument("--scale", choices=["quick", "full"], default="quick")
+    perf.add_argument("--json", help="write the perf payload to this JSON file")
+    perf.add_argument("--baseline",
+                      help="seed baseline JSON to compare against "
+                           "(default: benchmarks/BENCH_seed_baseline.json)")
+    perf.set_defaults(func=cmd_perf)
 
     return parser
 

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.core import orders
 from repro.core.events import Operation
 from repro.core.history import History
-from repro.core.relations import CausalOrder, RealTimeOrder
 from repro.core.specification import SequentialSpec
 from repro.core.checkers.base import CheckResult, SerializationSearch, default_spec_for
 
@@ -32,14 +32,15 @@ def split_operations(history: History) -> Tuple[List[Operation], List[Operation]
 
 
 def real_time_edges(history: History, ops: Sequence[Operation]) -> List[Tuple[int, int]]:
-    """All real-time precedence edges among ``ops``."""
-    rt = RealTimeOrder(history)
-    edges = []
-    for a in ops:
-        for b in ops:
-            if rt.precedes(a, b):
-                edges.append((a.op_id, b.op_id))
-    return edges
+    """Real-time precedence edges among ``ops``.
+
+    Returns the sweep-line transitive reduction — closure-equivalent to the
+    naive all-pairs set, which is all the serialization search and witness
+    validator observe (any total order of ``ops`` respecting the reduction
+    respects the full relation, since every reduction path stays inside
+    ``ops``).
+    """
+    return orders.real_time_edges(history, ops)
 
 
 def process_order_edges(history: History, ops: Sequence[Operation]) -> List[Tuple[int, int]]:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.events import Operation
 from repro.core.history import History
@@ -47,19 +47,17 @@ def default_spec_for(history: History) -> SequentialSpec:
     return RegisterSpec()
 
 
-def _state_key(state: Any) -> Any:
-    """A hashable rendering of a specification state (for memoization)."""
-    if isinstance(state, dict):
-        return tuple(sorted(((repr(k), _state_key(v)) for k, v in state.items())))
-    if isinstance(state, (list, tuple)):
-        return tuple(_state_key(v) for v in state)
-    if isinstance(state, set):
-        return tuple(sorted(repr(v) for v in state))
-    return repr(state)
-
-
 class SerializationSearch:
     """Exhaustive search for a legal serialization respecting constraints.
+
+    Operations are renumbered to dense integers (in op-id order, which keeps
+    witness exploration deterministic); the not-yet-serialized set is a bit
+    mask and indegrees/successors live in flat arrays.  Dead search states
+    are memoized by ``(remaining mask, spec.state_key(state))`` in a table
+    *shared across the optional-subset loop*: a state's fate depends only on
+    the remaining operations and the specification state, not on which
+    pending mutations were admitted, so failures proven for one subset prune
+    every later subset.
 
     Parameters
     ----------
@@ -74,7 +72,7 @@ class SerializationSearch:
         ``(a_id, b_id)`` pairs meaning ``a`` must precede ``b`` whenever both
         are included.
     max_nodes:
-        Safety valve on the number of DFS nodes explored.
+        Safety valve on the number of DFS nodes explored (per subset).
     """
 
     def __init__(
@@ -95,65 +93,96 @@ class SerializationSearch:
     # ------------------------------------------------------------------ #
     def find(self) -> Optional[List[Operation]]:
         """Return a legal constraint-respecting serialization, or None."""
+        all_ops = sorted(self.required + self.optional, key=lambda op: op.op_id)
+        index = {op.op_id: i for i, op in enumerate(all_ops)}
+        n = len(all_ops)
+
+        successors: List[List[int]] = [[] for _ in range(n)]
+        seen_edges: Set[Tuple[int, int]] = set()
+        for a, b in self.constraints:
+            ia = index.get(a)
+            ib = index.get(b)
+            if ia is None or ib is None or ia == ib or (ia, ib) in seen_edges:
+                continue
+            seen_edges.add((ia, ib))
+            successors[ia].append(ib)
+
+        required_mask = 0
+        for op in self.required:
+            required_mask |= 1 << index[op.op_id]
+        optional_indices = [index[op.op_id] for op in self.optional]
+
+        failed: Set[Tuple[int, Any]] = set()
         # Try including subsets of the optional (pending) mutations, smallest
         # first: the model allows us to pick any subset whose responses we
-        # "add" to extend the execution.
-        for r in range(len(self.optional) + 1):
-            for subset in itertools.combinations(self.optional, r):
-                witness = self._search(self.required + list(subset))
+        # "add" to extend the execution.  The failed-state memo persists
+        # across subsets.
+        for r in range(len(optional_indices) + 1):
+            for subset in itertools.combinations(optional_indices, r):
+                mask = required_mask
+                for i in subset:
+                    mask |= 1 << i
+                witness = self._search(all_ops, successors, mask, failed)
                 if witness is not None:
                     return witness
         return None
 
     # ------------------------------------------------------------------ #
-    def _search(self, ops: List[Operation]) -> Optional[List[Operation]]:
-        by_id = {op.op_id: op for op in ops}
-        included = set(by_id)
-        successors: Dict[int, Set[int]] = {op_id: set() for op_id in included}
-        indegree: Dict[int, int] = {op_id: 0 for op_id in included}
-        for a, b in self.constraints:
-            if a in included and b in included and b not in successors[a]:
-                successors[a].add(b)
-                indegree[b] += 1
+    def _search(
+        self,
+        all_ops: List[Operation],
+        successors: List[List[int]],
+        included_mask: int,
+        failed: Set[Tuple[int, Any]],
+    ) -> Optional[List[Operation]]:
+        included = [i for i in range(len(all_ops)) if included_mask >> i & 1]
+        indeg = [0] * len(all_ops)
+        for i in included:
+            for j in successors[i]:
+                if included_mask >> j & 1:
+                    indeg[j] += 1
+
         order: List[Operation] = []
-        failed: Set[Tuple[FrozenSet[int], Any]] = set()
+        spec = self.spec
+        apply = spec.apply
+        state_key = spec.state_key
+        max_nodes = self.max_nodes
         self._nodes = 0
 
-        def dfs(state: Any, remaining: Set[int], indeg: Dict[int, int]) -> bool:
+        def dfs(state: Any, remaining: int) -> bool:
             if not remaining:
                 return True
             self._nodes += 1
-            if self._nodes > self.max_nodes:
+            if self._nodes > max_nodes:
                 raise RuntimeError(
                     "serialization search exceeded node budget; history too large "
                     "for exhaustive checking (use the witness checker instead)"
                 )
-            memo_key = (frozenset(remaining), _state_key(state))
+            memo_key = (remaining, state_key(state))
             if memo_key in failed:
                 return False
-            ready = [op_id for op_id in remaining if indeg[op_id] == 0]
-            # Deterministic exploration order helps reproducibility of
-            # witnesses across runs.
-            for op_id in sorted(ready):
-                op = by_id[op_id]
-                ok, next_state = self.spec.apply(state, op)
+            # Dense indices are assigned in op-id order, so this loop explores
+            # ready operations deterministically (reproducible witnesses).
+            for i in included:
+                if not remaining >> i & 1 or indeg[i]:
+                    continue
+                ok, next_state = apply(state, all_ops[i])
                 if not ok:
                     continue
-                remaining.remove(op_id)
-                for succ in successors[op_id]:
-                    if succ in remaining:
-                        indeg[succ] -= 1
-                order.append(op)
-                if dfs(next_state, remaining, indeg):
+                after = remaining & ~(1 << i)
+                for j in successors[i]:
+                    if after >> j & 1:
+                        indeg[j] -= 1
+                order.append(all_ops[i])
+                if dfs(next_state, after):
                     return True
                 order.pop()
-                for succ in successors[op_id]:
-                    if succ in remaining:
-                        indeg[succ] += 1
-                remaining.add(op_id)
+                for j in successors[i]:
+                    if after >> j & 1:
+                        indeg[j] += 1
             failed.add(memo_key)
             return False
 
-        if dfs(self.spec.initial_state(), set(included), dict(indegree)):
+        if dfs(spec.initial_state(), included_mask):
             return list(order)
         return None

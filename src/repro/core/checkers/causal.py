@@ -13,7 +13,8 @@ from typing import List, Optional, Tuple
 
 from repro.core.events import Operation
 from repro.core.history import History
-from repro.core.relations import CausalOrder, RealTimeOrder
+from repro.core.orders import mutation_order_edges
+from repro.core.relations import CausalOrder
 from repro.core.specification import SequentialSpec
 from repro.core.checkers.base import CheckResult, SerializationSearch, default_spec_for
 from repro.core.checkers._shared import split_operations
@@ -27,16 +28,14 @@ def _per_process_check(history: History, model: str,
     spec = spec or default_spec_for(history)
     required, optional = split_operations(history)
     causal = CausalOrder(history)
-    rt = RealTimeOrder(history)
     causal_edges = causal.edges()
 
-    mutations = [op for op in required + optional if op.is_mutation]
     extra_edges: List[Tuple[int, int]] = []
     if writes_respect_real_time:
-        for a in mutations:
-            for b in mutations:
-                if rt.precedes(a, b):
-                    extra_edges.append((a.op_id, b.op_id))
+        # Reduced real-time order among the mutations; every mutation is
+        # visible to every process, so the reduction's chaining nodes are
+        # always included in the per-process searches below.
+        extra_edges = mutation_order_edges(required + optional)
 
     witnesses = {}
     for process in history.processes():

@@ -22,7 +22,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.events import Operation, OpType
 from repro.core.history import History
-from repro.core.relations import RealTimeOrder
+from repro.core.orders import (
+    RealTimeIndex,
+    conflicting_pair_edges,
+    osc_u_edges,
+    reads_from_write_order_edges,
+    sweep_edge_pairs,
+    vv_regularity_edges,
+)
 from repro.core.specification import RegisterSpec, SequentialSpec
 from repro.core.checkers.base import CheckResult, SerializationSearch, default_spec_for
 from repro.core.checkers._shared import (
@@ -71,12 +78,10 @@ def check_crdb(history: History, spec: Optional[SequentialSpec] = None) -> Check
     """
     required, optional = split_operations(history)
     ops = required + optional
-    rt = RealTimeOrder(history)
     edges = process_order_edges(history, ops)
-    for a in ops:
-        for b in ops:
-            if a.op_id != b.op_id and _transactions_conflict(a, b) and rt.precedes(a, b):
-                edges.append((a.op_id, b.op_id))
+    # Sweep-line per-key reduction of the conflicting-pair real-time order;
+    # closure-equivalent to testing _transactions_conflict on every pair.
+    edges.extend(conflicting_pair_edges(ops))
     return run_total_order_check(history, "crdb", edges, spec,
                                  required=required, optional=optional)
 
@@ -93,14 +98,8 @@ def check_osc_u(history: History, spec: Optional[SequentialSpec] = None) -> Chec
     """
     required, optional = split_operations(history)
     ops = required + optional
-    rt = RealTimeOrder(history)
     edges = process_order_edges(history, ops)
-    for w in ops:
-        if not w.is_mutation:
-            continue
-        for o in ops:
-            if o.op_id != w.op_id and rt.precedes(o, w):
-                edges.append((o.op_id, w.op_id))
+    edges.extend(osc_u_edges(ops))
     return run_total_order_check(history, "osc_u", edges, spec,
                                  required=required, optional=optional)
 
@@ -114,14 +113,7 @@ def check_vv_regularity(history: History, spec: Optional[SequentialSpec] = None
     """
     required, optional = split_operations(history)
     ops = required + optional
-    rt = RealTimeOrder(history)
-    edges: List[Tuple[int, int]] = []
-    for w in ops:
-        if not w.is_mutation:
-            continue
-        for o in ops:
-            if o.op_id != w.op_id and rt.precedes(w, o):
-                edges.append((w.op_id, o.op_id))
+    edges = vv_regularity_edges(ops)
     return run_total_order_check(history, "vv_regularity", edges, spec,
                                  required=required, optional=optional)
 
@@ -137,19 +129,17 @@ def _reads_and_writes(history: History) -> Tuple[List[Operation], List[Operation
     return reads, writes
 
 
-def _write_order_edges(writes: List[Operation], rt: RealTimeOrder,
+def _write_order_edges(writes: List[Operation],
                        extra: Optional[List[Tuple[int, int]]] = None
                        ) -> List[Tuple[int, int]]:
+    """Reduced real-time order among the writes."""
     edges = list(extra or [])
-    for a in writes:
-        for b in writes:
-            if a.op_id != b.op_id and rt.precedes(a, b):
-                edges.append((a.op_id, b.op_id))
+    edges.extend(sorted(set(sweep_edge_pairs(writes, writes, writes))))
     return edges
 
 
 def _read_insertion_possible(read: Operation, writes: List[Operation],
-                             write_order: List[Operation], rt: RealTimeOrder,
+                             write_order: List[Operation], rt: RealTimeIndex,
                              spec: SequentialSpec) -> bool:
     """Can ``read`` be inserted into ``write_order`` legally, respecting the
     real-time order between the read and the writes?"""
@@ -207,8 +197,8 @@ def check_mwr_weak(history: History, spec: Optional[SequentialSpec] = None
     writes respecting the real-time order of that read and the writes."""
     spec = spec or RegisterSpec()
     reads, writes = _reads_and_writes(history)
-    rt = RealTimeOrder(history)
-    write_orders = _serializations_of_writes(writes, _write_order_edges(writes, rt))
+    rt = RealTimeIndex(reads + writes)
+    write_orders = _serializations_of_writes(writes, _write_order_edges(writes))
     for read in reads:
         if not any(
             _read_insertion_possible(read, writes, order, rt, spec)
@@ -231,8 +221,8 @@ def check_mwr_write_order(history: History, spec: Optional[SequentialSpec] = Non
     """
     spec = spec or RegisterSpec()
     reads, writes = _reads_and_writes(history)
-    rt = RealTimeOrder(history)
-    for order in _serializations_of_writes(writes, _write_order_edges(writes, rt)):
+    rt = RealTimeIndex(reads + writes)
+    for order in _serializations_of_writes(writes, _write_order_edges(writes)):
         if all(_read_insertion_possible(r, writes, order, rt, spec) for r in reads):
             return CheckResult(True, "mwr_write_order")
     return CheckResult(False, "mwr_write_order",
@@ -250,22 +240,20 @@ def check_mwr_reads_from(history: History, spec: Optional[SequentialSpec] = None
     """
     spec = spec or RegisterSpec()
     reads, writes = _reads_and_writes(history)
-    rt = RealTimeOrder(history)
+    rt = RealTimeIndex(reads + writes)
     write_by_key_value = {}
     for w in writes:
         for key, value in w.values_written().items():
             write_by_key_value[(key, value)] = w
-    derived: List[Tuple[int, int]] = []
+    sources_of: Dict[int, List[int]] = {}
     for read in reads:
         for key, value in read.values_observed().items():
             source = write_by_key_value.get((key, value))
-            if source is None:
-                continue
-            for w in writes:
-                if w.op_id != source.op_id and rt.precedes(read, w):
-                    derived.append((source.op_id, w.op_id))
+            if source is not None:
+                sources_of.setdefault(read.op_id, []).append(source.op_id)
+    derived = reads_from_write_order_edges(reads, writes, sources_of)
     write_orders = _serializations_of_writes(
-        writes, _write_order_edges(writes, rt, extra=derived))
+        writes, _write_order_edges(writes, extra=derived))
     if not write_orders:
         return CheckResult(False, "mwr_reads_from",
                            reason="write-order constraints are cyclic")
@@ -285,8 +273,8 @@ def check_mwr_no_inversion(history: History, spec: Optional[SequentialSpec] = No
     of writes (different processes may disagree)."""
     spec = spec or RegisterSpec()
     reads, writes = _reads_and_writes(history)
-    rt = RealTimeOrder(history)
-    write_orders = _serializations_of_writes(writes, _write_order_edges(writes, rt))
+    rt = RealTimeIndex(reads + writes)
+    write_orders = _serializations_of_writes(writes, _write_order_edges(writes))
     for process in history.processes():
         own_reads = [r for r in reads if r.process == process]
         if not own_reads:

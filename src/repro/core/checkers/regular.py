@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.history import History
-from repro.core.relations import CausalOrder, RealTimeOrder, regular_constraint_edges
+from repro.core.relations import CausalOrder, regular_constraint_edges
 from repro.core.specification import SequentialSpec
 from repro.core.checkers.base import CheckResult
 from repro.core.checkers._shared import run_total_order_check, split_operations
@@ -29,9 +29,8 @@ __all__ = ["check_rsc", "check_rss", "regular_edges"]
 def regular_edges(history: History):
     """Constraint edges for RSC/RSS: causal edges plus regular real-time edges."""
     causal = CausalOrder(history)
-    rt = RealTimeOrder(history)
     edges = list(causal.edges())
-    edges.extend(regular_constraint_edges(history, rt))
+    edges.extend(regular_constraint_edges(history))
     return edges
 
 

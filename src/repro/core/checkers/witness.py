@@ -23,7 +23,6 @@ from repro.core.events import Operation
 from repro.core.history import History
 from repro.core.relations import (
     CausalOrder,
-    RealTimeOrder,
     regular_constraint_edges,
 )
 from repro.core.specification import SequentialSpec
@@ -49,8 +48,7 @@ def _model_edges(history: History, model: str, ops: Sequence[Operation]
     if model in ("strict_serializability", "linearizability"):
         return real_time_edges(history, ops)
     if model in ("rss", "rsc"):
-        rt = RealTimeOrder(history)
-        return regular_constraint_edges(history, rt)
+        return regular_constraint_edges(history)
     if model in ("po_serializability", "sequential_consistency"):
         return process_order_edges(history, ops)
     raise ValueError(f"unsupported model for witness checking: {model}")

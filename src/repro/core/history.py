@@ -34,6 +34,10 @@ class History:
         self._ops: List[Operation] = []
         self._by_id: Dict[int, Operation] = {}
         self.message_edges: List[MessageEdge] = []
+        #: Lazily built caches; invalidated whenever an operation is added.
+        self._process_cache: Optional[Dict[str, List[Operation]]] = None
+        self._writer_index: Optional[Dict[Tuple[str, Any, Any], List[Operation]]] = None
+        self._writer_index_exact = True
         if operations:
             for op in operations:
                 self.add(op)
@@ -47,6 +51,8 @@ class History:
             raise ValueError(f"duplicate operation id {op.op_id}")
         self._ops.append(op)
         self._by_id[op.op_id] = op
+        self._process_cache = None
+        self._writer_index = None
         return op
 
     def add_message_edge(self, src_op: Operation, dst_op: Operation) -> None:
@@ -86,16 +92,25 @@ class History:
         return [op for op in self._ops if not op.is_complete]
 
     def processes(self) -> List[str]:
-        return sorted({op.process for op in self._ops})
+        return sorted(self._process_groups())
 
     def services(self) -> List[str]:
         return sorted({op.service for op in self._ops})
 
+    def _process_groups(self) -> Dict[str, List[Operation]]:
+        """Memoized process → sub-history (invocation order) mapping."""
+        if self._process_cache is None:
+            groups: Dict[str, List[Operation]] = {}
+            for op in self._ops:
+                groups.setdefault(op.process, []).append(op)
+            for ops in groups.values():
+                ops.sort(key=lambda o: (o.invoked_at, o.op_id))
+            self._process_cache = groups
+        return self._process_cache
+
     def by_process(self, process: str) -> List[Operation]:
         """A process's sub-history in invocation order (its process order)."""
-        ops = [op for op in self._ops if op.process == process]
-        ops.sort(key=lambda o: (o.invoked_at, o.op_id))
-        return ops
+        return list(self._process_groups().get(process, []))
 
     def transactions(self) -> List[Operation]:
         return [op for op in self._ops if op.is_transaction]
@@ -104,8 +119,38 @@ class History:
         """The set W of mutating operations."""
         return [op for op in self._ops if op.is_mutation]
 
+    def _build_writer_index(self) -> None:
+        """Index (service, key, value) → writers, for O(1) reads-from lookup.
+
+        Falls back to exact linear scans if any written value is unhashable
+        (``_writer_index_exact`` is then False and the index is unused).
+        """
+        index: Dict[Tuple[str, Any, Any], List[Operation]] = {}
+        exact = True
+        for op in self._ops:
+            written = op.values_written()
+            if not written:
+                continue
+            for key, value in written.items():
+                try:
+                    index.setdefault((op.service, key, value), []).append(op)
+                except TypeError:
+                    exact = False
+                    break
+            if not exact:
+                break
+        self._writer_index = index if exact else {}
+        self._writer_index_exact = exact
+
     def writers_of(self, key: Any, value: Any, service: str = "kv") -> List[Operation]:
         """Operations that wrote ``value`` to ``key`` (for reads-from)."""
+        if self._writer_index is None:
+            self._build_writer_index()
+        if self._writer_index_exact:
+            try:
+                return list(self._writer_index.get((service, key, value), ()))
+            except TypeError:
+                pass  # unhashable query value: fall through to the scan
         found = []
         for op in self._ops:
             if op.service != service:

@@ -8,7 +8,7 @@ query (`precedes`) is provided for anomaly detection and tests.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.core.events import INITIAL_VALUE, Operation, OpType
 from repro.core.history import History
@@ -79,7 +79,6 @@ class CausalOrder:
     def _add_edge(self, src: int, dst: int) -> None:
         if src != dst:
             self._adjacency[src].add(dst)
-            self._reach_cache.clear()
 
     def _build(self) -> None:
         # (1) Process order.
@@ -87,7 +86,8 @@ class CausalOrder:
             ops = self.history.by_process(process)
             for earlier, later in zip(ops, ops[1:]):
                 self._add_edge(earlier.op_id, later.op_id)
-        # (2) Reads-from.
+        # (2) Reads-from (History.writers_of is index-backed, so this pass is
+        # linear in the number of observed values).
         for op in self.history:
             for key, value in op.values_observed().items():
                 if value == INITIAL_VALUE:
@@ -107,6 +107,9 @@ class CausalOrder:
         # (3) Message passing.
         for edge in self.history.message_edges:
             self._add_edge(edge.src_op, edge.dst_op)
+        # Reachability memos are only valid for the final edge set; reset
+        # once here instead of on every single edge insertion.
+        self._reach_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -165,26 +168,18 @@ def conflicting_read_onlys(history: History, write_op: Operation) -> List[Operat
     ]
 
 
-def regular_constraint_edges(history: History, rt: Optional[RealTimeOrder] = None
-                             ) -> List[Tuple[int, int]]:
+def regular_constraint_edges(history: History) -> List[Tuple[int, int]]:
     """The "regular" real-time constraint of RSS/RSC (condition 3 in §3.4).
 
     For every mutation ``w`` and every operation ``o`` that is either another
     mutation or a read-only operation conflicting with ``w``: if ``w``
     finishes before ``o`` starts, then ``w`` must precede ``o`` in the
     serialization.
+
+    Derived by the sweep-line engine in :mod:`repro.core.orders`: the
+    returned edges are a transitive reduction of the naive pair set (same
+    closure, O(n log n + output) instead of quadratic).
     """
-    rt = rt or RealTimeOrder(history)
-    edges: List[Tuple[int, int]] = []
-    mutations = history.mutations()
-    for w in mutations:
-        if not w.is_complete:
-            continue
-        candidates = set(op.op_id for op in mutations)
-        candidates.update(op.op_id for op in conflicting_read_onlys(history, w))
-        for op in history:
-            if op.op_id == w.op_id or op.op_id not in candidates:
-                continue
-            if rt.precedes(w, op):
-                edges.append((w.op_id, op.op_id))
-    return edges
+    from repro.core.orders import regular_constraint_edges as _sweep_regular
+
+    return _sweep_regular(history)

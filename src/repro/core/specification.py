@@ -35,6 +35,31 @@ __all__ = [
 ]
 
 
+def _generic_state_key(state: Any) -> Any:
+    """A hashable rendering of an arbitrary state (slow reflective path)."""
+    if isinstance(state, dict):
+        return tuple(sorted(((repr(k), _generic_state_key(v)) for k, v in state.items())))
+    if isinstance(state, (list, tuple)):
+        return tuple(_generic_state_key(v) for v in state)
+    if isinstance(state, set):
+        return tuple(sorted(repr(v) for v in state))
+    return repr(state)
+
+
+def _dict_state_key(state: dict) -> Any:
+    """Hashable key for flat dict states (the common case).
+
+    ``frozenset(state.items())`` compares by value equality — exactly the
+    equality ``apply`` itself uses when testing observed values — so two
+    states with the same key collapse to the same search node.  Unhashable
+    values fall back to the reflective rendering.
+    """
+    try:
+        return frozenset(state.items())
+    except TypeError:
+        return _generic_state_key(state)
+
+
 class SequentialSpec:
     """Interface for sequential specifications."""
 
@@ -44,6 +69,17 @@ class SequentialSpec:
     def apply(self, state: Any, op: Operation) -> Tuple[bool, Any]:
         """Apply ``op`` to ``state``; return ``(legal, next_state)``."""
         raise NotImplementedError
+
+    def state_key(self, state: Any) -> Any:
+        """A hashable key identifying ``state`` for search memoization.
+
+        Two states with equal keys must behave identically under ``apply``.
+        The base implementation walks the state reflectively; subclasses
+        override it with direct renderings of their concrete state shape
+        (the serialization search calls this once per DFS node, so it is on
+        the checker hot path).
+        """
+        return _generic_state_key(state)
 
     def legal(self, operations: Iterable[Operation]) -> bool:
         """True if the given sequence is a legal sequential execution."""
@@ -91,6 +127,9 @@ class RegisterSpec(SequentialSpec):
             return (True, state)
         return (False, state)
 
+    def state_key(self, state: Dict[Any, Any]) -> Any:
+        return _dict_state_key(state)
+
 
 class TransactionalKVSpec(SequentialSpec):
     """Transactional key-value store (the paper's Appendix C.3.2 service).
@@ -133,6 +172,9 @@ class TransactionalKVSpec(SequentialSpec):
             return (True, new_state)
         return (False, state)
 
+    def state_key(self, state: Dict[Any, Any]) -> Any:
+        return _dict_state_key(state)
+
 
 class FifoQueueSpec(SequentialSpec):
     """A FIFO queue per queue name; dequeue of an empty queue returns None."""
@@ -160,6 +202,9 @@ class FifoQueueSpec(SequentialSpec):
             return (True, state)
         return (False, state)
 
+    def state_key(self, state: Dict[Any, Tuple[Any, ...]]) -> Any:
+        return _dict_state_key(state)
+
 
 class CompositeSpec(SequentialSpec):
     """Composition of named services (§3.2).
@@ -186,6 +231,12 @@ class CompositeSpec(SequentialSpec):
         new_state = dict(state)
         new_state[op.service] = sub_state
         return (ok, new_state)
+
+    def state_key(self, state: Dict[str, Any]) -> Any:
+        return tuple(
+            (name, self.services[name].state_key(sub_state))
+            for name, sub_state in sorted(state.items())
+        )
 
 
 def legal_sequence(spec: SequentialSpec, operations: Iterable[Operation]) -> bool:

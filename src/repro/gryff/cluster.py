@@ -8,7 +8,8 @@ from typing import Dict, List, Optional
 
 from repro.core.checkers import check_with_witness
 from repro.core.checkers.base import CheckResult
-from repro.core.relations import CausalOrder, RealTimeOrder, regular_constraint_edges
+from repro.core.orders import real_time_edges
+from repro.core.relations import CausalOrder, regular_constraint_edges
 from repro.core.history import History
 from repro.core.specification import RegisterSpec
 from repro.gryff.carstamp import Carstamp
@@ -93,16 +94,15 @@ class GryffCluster:
                                        op.invoked_at, op.op_id))
             edges.extend((a.op_id, b.op_id) for a, b in zip(group, group[1:]))
 
-        # (2) Potential causality and (3) real-time constraints.
+        # (2) Potential causality and (3) real-time constraints.  The
+        # smallest-id-first Kahn sort below depends only on the partial
+        # order, so the sweep-line reductions yield the same witness order
+        # as the full pair sets.
         edges.extend(CausalOrder(self.history).edges())
         if model in ("rsc", "rss"):
-            edges.extend(regular_constraint_edges(self.history, RealTimeOrder(self.history)))
+            edges.extend(regular_constraint_edges(self.history))
         else:
-            rt = RealTimeOrder(self.history)
-            for a in ops:
-                for b in ops:
-                    if rt.precedes(a, b):
-                        edges.append((a.op_id, b.op_id))
+            edges.extend(real_time_edges(self.history, ops))
 
         # Deterministic Kahn topological sort.
         successors: Dict[int, set] = {op.op_id: set() for op in ops}

@@ -10,6 +10,20 @@ and the same random seed in the workload, two runs produce identical traces.
 Ties in simulated time are broken by scheduling priority and then by insertion
 order.
 
+The hot path is *slotted*: every kernel object declares ``__slots__``, the
+scheduling counter is a plain int, the run loop is inlined, and timeouts
+consumed by a single waiting process are recycled through a per-environment
+free list instead of being reallocated (millions of them per simulated
+experiment).  A recycled timeout is indistinguishable from a fresh one with
+one documented caveat: do not read a timeout's ``value`` in a *later*
+process step than the one the timeout resumed (protocol code always uses
+``value = yield env.timeout(...)``, which is safe).
+
+A failed event must be consumed: if no waiting process (or condition)
+defuses the failure by the time its callbacks have run, :meth:`Environment.step`
+re-raises it — failures can no longer be silently swallowed just because an
+unrelated callback was attached.
+
 Example
 -------
 >>> env = Environment()
@@ -27,7 +41,6 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -70,7 +83,13 @@ class Event:
     An event starts untriggered.  Calling :meth:`succeed` or :meth:`fail`
     schedules it; once the environment pops it from the queue it is
     *processed* and its callbacks run.  Each callback receives the event.
+
+    ``defused`` records that some waiter consumed a failure (a process the
+    exception was thrown into, or a condition that absorbed it); the
+    environment re-raises failures that are still live after processing.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -78,6 +97,7 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._scheduled = False
+        self.defused = False
 
     @property
     def triggered(self) -> bool:
@@ -105,9 +125,16 @@ class Event:
         """Trigger the event successfully with ``value`` after ``delay``."""
         if self._scheduled:
             raise SimulationError("event already triggered")
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past")
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=delay)
+        # Inlined Environment.schedule: succeed() is the hottest trigger path
+        # (every message delivery and store hand-off goes through it).
+        env = self.env
+        self._scheduled = True
+        env._counter = count = env._counter + 1
+        heapq.heappush(env._queue, (env._now + delay, NORMAL, count, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0) -> "Event":
@@ -130,7 +157,14 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated time units in the future."""
+    """An event that fires ``delay`` simulated time units in the future.
+
+    Instances created through :meth:`Environment.timeout` may be recycled
+    from the environment's free list once processed (see the module
+    docstring for the single usage caveat this implies).
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -149,17 +183,22 @@ class Process(Event):
     value (or fails with the exception that escaped the generator).
     """
 
+    __slots__ = ("_generator", "_target", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
             raise SimulationError("process() requires a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        # One bound method for the process's lifetime instead of a fresh
+        # allocation at every yield.
+        self._resume_cb = self._resume
         init = Event(env)
         init._ok = True
         init._value = None
         env.schedule(init, priority=URGENT)
-        init.add_callback(self._resume)
+        init.add_callback(self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -169,46 +208,81 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if not self.is_alive:
             return
+        # Detach from whatever the process was waiting on: if the old target
+        # fires later, it must not resume the process a second time at the
+        # wrong yield point.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume_cb)
+            except ValueError:
+                pass
+            if not target.callbacks and type(target) is _StoreGet:
+                store = target.store
+                if not target._scheduled:
+                    # An abandoned getter must leave the queue, or the next
+                    # put() would hand its item to a dead event.
+                    try:
+                        store._getters.remove(target)
+                    except ValueError:
+                        pass
+                elif target._ok:
+                    # The getter already holds an item that no waiter will
+                    # ever receive: hand it to the next getter, or put it
+                    # back at the head of the queue.
+                    if store._getters:
+                        store._getters.popleft().succeed(target._value)
+                    else:
+                        store._items.appendleft(target._value)
+        self._target = None
         event = Event(self.env)
         event._ok = False
         event._value = Interrupt(cause)
-        event.defused = True  # type: ignore[attr-defined]
+        event.defused = True
         self.env.schedule(event, priority=URGENT)
-        event.add_callback(self._resume)
+        event.add_callback(self._resume_cb)
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._ok is not None:  # no longer alive
             return
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if event._ok:
                 target = self._generator.send(event._value)
             else:
-                setattr(event, "defused", True)
+                # This process consumes the failure by having it thrown in.
+                event.defused = True
                 target = self._generator.throw(event._value)
         except StopIteration as exc:
-            self.env._active_process = None
+            env._active_process = None
             self._ok = True
             self._value = exc.value
-            self.env.schedule(self, priority=URGENT)
+            env.schedule(self, priority=URGENT)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate into waiters
-            self.env._active_process = None
+            env._active_process = None
             self._ok = False
             self._value = exc
-            self.env.schedule(self, priority=URGENT)
+            env.schedule(self, priority=URGENT)
             return
-        self.env._active_process = None
+        env._active_process = None
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process yielded a non-event: {target!r} (did you forget env.timeout?)"
             )
         self._target = target
-        target.add_callback(self._resume)
+        callbacks = target.callbacks  # inlined add_callback
+        if callbacks is None:
+            self._resume(target)
+        else:
+            callbacks.append(self._resume_cb)
 
 
 class _Condition(Event):
     """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -230,10 +304,19 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Succeeds as soon as any of the given events succeeds (or fails)."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
+            if event._ok is False:
+                # A member failing after the condition already fired lost the
+                # race; the waiter has moved on, so consume the failure.
+                event.defused = True
             return
         if event._ok is False:
+            # The failure is absorbed into (and re-raised through) the
+            # condition, so the member event itself is consumed.
+            event.defused = True
             self.fail(event._value)
         else:
             self.succeed(self._collect())
@@ -242,15 +325,29 @@ class AnyOf(_Condition):
 class AllOf(_Condition):
     """Succeeds once all of the given events have succeeded."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
+            if event._ok is False:
+                event.defused = True
             return
         if event._ok is False:
+            event.defused = True
             self.fail(event._value)
             return
         self._pending -= 1
         if self._pending == 0:
             self.succeed(self._collect())
+
+
+class _StoreGet(Event):
+    """A store-get event; recyclable through the environment's free list
+    under the same single-process-waiter gate as timeouts.  Keeps a
+    back-reference to its store so an interrupted waiter can be purged from
+    the getter queue instead of silently swallowing the next item."""
+
+    __slots__ = ("store",)
 
 
 class Store:
@@ -259,6 +356,8 @@ class Store:
     Used as a mailbox for simulated nodes: message handlers ``put`` items and
     node processes ``yield store.get()``.
     """
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -278,7 +377,18 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        event = Event(self.env)
+        env = self.env
+        pool = env._get_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            event._value = None
+            event._ok = None
+            event._scheduled = False
+            event.defused = False
+        else:
+            event = _StoreGet(env)
+        event.store = self
         if self._items:
             event.succeed(self._items.popleft())
         else:
@@ -293,11 +403,19 @@ class Store:
 class Environment:
     """The simulation clock and event queue."""
 
+    __slots__ = ("_now", "_queue", "_counter", "_active_process", "_timeout_pool",
+                 "_get_pool")
+
+    #: Upper bound on the per-environment timeout free list.
+    POOL_LIMIT = 512
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
-        self._counter = itertools.count()
+        self._counter = 0
         self._active_process: Optional[Process] = None
+        self._timeout_pool: list[Timeout] = []
+        self._get_pool: list[_StoreGet] = []
 
     @property
     def now(self) -> float:
@@ -308,21 +426,43 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total number of events scheduled so far (monotonic counter)."""
+        return self._counter
+
     def schedule(self, event: Event, delay: float = 0, priority: int = NORMAL) -> None:
         """Place a triggered event on the queue ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError("cannot schedule in the past")
         event._scheduled = True
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._counter), event)
-        )
+        self._counter = count = self._counter + 1
+        heapq.heappush(self._queue, (self._now + delay, priority, count, event))
 
     def event(self) -> Event:
         """Create a fresh untriggered event."""
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires after ``delay`` simulated time units."""
+        """Create an event that fires after ``delay`` simulated time units.
+
+        Reuses a processed timeout from the free list when one is available
+        (the run loop recycles timeouts whose only waiter was a process).
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            timeout = pool.pop()
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._ok = True
+            timeout._scheduled = True
+            timeout.defused = False
+            timeout.delay = delay
+            self._counter = count = self._counter + 1
+            heapq.heappush(self._queue, (self._now + delay, NORMAL, count, timeout))
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> Process:
@@ -338,6 +478,22 @@ class Environment:
     def store(self) -> Store:
         return Store(self)
 
+    def _recycle(self, event: Event, callbacks: list) -> None:
+        """Return a processed timeout or store-get event to its free list
+        when provably safe: its only waiter was a process that has already
+        been resumed."""
+        if len(callbacks) != 1:
+            return
+        if getattr(callbacks[0], "__func__", None) is not Process._resume:
+            return
+        cls = event.__class__
+        if cls is Timeout:
+            if len(self._timeout_pool) < self.POOL_LIMIT:
+                self._timeout_pool.append(event)
+        elif cls is _StoreGet:
+            if len(self._get_pool) < self.POOL_LIMIT:
+                self._get_pool.append(event)
+
     def step(self) -> None:
         """Process the next scheduled event."""
         if not self._queue:
@@ -351,24 +507,55 @@ class Environment:
         assert callbacks is not None
         for callback in callbacks:
             callback(event)
-        if event._ok is False and not getattr(event, "defused", False) and not callbacks:
-            # An unhandled failure with nobody waiting: surface it.
+        if event._ok is False and not event.defused:
+            # An unhandled failure that no process consumed: surface it
+            # (even if unrelated callbacks were attached).
             raise event._value
+        self._recycle(event, callbacks)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
 
-        Returns the simulated time at which the run stopped.
+        Returns the simulated time at which the run stopped.  This loop is
+        the kernel's hot path: it inlines :meth:`step` (minus the redundant
+        monotonicity check — ``schedule`` already rejects negative delays)
+        and recycles single-waiter timeouts in place.
         """
+        queue = self._queue
+        timeout_pool = self._timeout_pool
+        get_pool = self._get_pool
+        pool_limit = self.POOL_LIMIT
+        heappop = heapq.heappop
+        timeout_class = Timeout
+        get_class = _StoreGet
+        resume = Process._resume
         processed = 0
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        while queue:
+            if until is not None and queue[0][0] > until:
                 self._now = until
                 break
             if max_events is not None and processed >= max_events:
                 break
-            self.step()
+            time, _, _, event = heappop(queue)
+            self._now = time
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if event._ok is False and not event.defused:
+                raise event._value
+            if (
+                len(callbacks) == 1
+                and getattr(callbacks[0], "__func__", None) is resume
+            ):
+                cls = event.__class__
+                if cls is timeout_class:
+                    if len(timeout_pool) < pool_limit:
+                        timeout_pool.append(event)
+                elif cls is get_class:
+                    if len(get_pool) < pool_limit:
+                        get_pool.append(event)
             processed += 1
-        if until is not None and self._now < until and not self._queue:
+        if until is not None and self._now < until and not queue:
             self._now = until
         return self._now

@@ -1,0 +1,260 @@
+"""Property tests for the sweep-line constraint engine.
+
+The engine's contract is *closure equivalence*: every derivation in
+:mod:`repro.core.orders` must emit a subset of its naive quadratic
+reference whose transitive closure equals the closure of the reference.
+These tests check that contract — plus exact pairwise agreement of the
+O(1) ``precedes`` — on randomly generated well-formed histories, including
+tie-heavy ones (integer timestamps, zero-duration operations), and check
+that ``SerializationSearch`` behaves identically to the seed implementation.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bench.perfsuite import synthetic_history
+from repro.core import orders
+from repro.core.checkers import MODELS, SerializationSearch
+from repro.core.checkers._shared import split_operations
+from repro.core.events import Operation
+from repro.core.examples import all_examples
+from repro.core.history import History
+from repro.core.relations import RealTimeOrder
+from repro.core.specification import RegisterSpec
+
+
+# --------------------------------------------------------------------- #
+# Generators
+# --------------------------------------------------------------------- #
+def tie_history(seed, n=40, procs=4, keys=3, stale_reads=False):
+    """A well-formed history with many equal timestamps and zero-duration
+    operations; with ``stale_reads`` the read results are arbitrary (so the
+    history is usually inadmissible under strong models)."""
+    rng = random.Random(seed)
+    history = History()
+    clock = {f"P{i}": 0 for i in range(procs)}
+    finished = set()
+    counter = 0
+    values = [None]
+    for _ in range(n):
+        live = [p for p in clock if p not in finished]
+        if not live:
+            break
+        process = live[rng.randrange(len(live))]
+        start = clock[process] + rng.randrange(0, 3)
+        end = start + rng.randrange(0, 3)
+        key = f"k{rng.randrange(keys)}"
+        pending = rng.random() < 0.08
+        if pending or rng.random() < 0.5:
+            counter += 1
+            value = f"v{counter}"
+            values.append(value)
+            history.add(Operation.write(process, key, value, invoked_at=start,
+                                        responded_at=None if pending else end))
+        else:
+            result = rng.choice(values) if stale_reads else None
+            history.add(Operation.read(process, key, result,
+                                       invoked_at=start, responded_at=end))
+        if pending:
+            finished.add(process)
+        else:
+            clock[process] = end
+    return history
+
+
+def naive_osc_u(ops, rt):
+    return {(o.op_id, w.op_id) for w in ops if w.is_mutation
+            for o in ops if o.op_id != w.op_id and rt.precedes(o, w)}
+
+
+def naive_vv(ops, rt):
+    return {(w.op_id, o.op_id) for w in ops if w.is_mutation
+            for o in ops if o.op_id != w.op_id and rt.precedes(w, o)}
+
+
+def _conflict(a, b):
+    if a.service != b.service:
+        return False
+    a_keys = a.keys_read() | a.keys_written()
+    b_keys = b.keys_read() | b.keys_written()
+    return bool(a_keys & b_keys)
+
+
+def naive_crdb(ops, rt):
+    return {(a.op_id, b.op_id) for a in ops for b in ops
+            if a.op_id != b.op_id and _conflict(a, b) and rt.precedes(a, b)}
+
+
+def assert_closure_equivalent(fast_edges, naive_pairs):
+    """``fast ⊆ naive`` and ``closure(fast) ⊇ naive`` (hence closures equal,
+    since the naive relation is its own closure-superset)."""
+    fast_set = set(fast_edges)
+    naive_set = set(naive_pairs)
+    assert fast_set <= naive_set, f"spurious edges: {sorted(fast_set - naive_set)[:5]}"
+    closure = orders.transitive_closure(fast_set)
+    missing = naive_set - closure
+    assert not missing, f"uncovered pairs: {sorted(missing)[:5]}"
+
+
+HISTORIES = (
+    [synthetic_history(50, n_processes=5, n_keys=5, seed=s, pending_mutations=2)
+     for s in range(6)]
+    + [tie_history(s) for s in range(8)]
+    + [tie_history(s, stale_reads=True) for s in range(4)]
+)
+
+
+# --------------------------------------------------------------------- #
+# Sweep-line engine vs naive quadratic references
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("index", range(len(HISTORIES)))
+def test_precedes_matches_naive_exactly(index):
+    history = HISTORIES[index]
+    history.check_well_formed()
+    ops = history.operations()
+    rt = RealTimeOrder(history)
+    fast = orders.RealTimeIndex(ops)
+    for a in ops:
+        for b in ops:
+            assert fast.precedes(a, b) == rt.precedes(a, b), (a, b)
+
+
+@pytest.mark.parametrize("index", range(len(HISTORIES)))
+def test_real_time_reduction_closure(index):
+    history = HISTORIES[index]
+    ops = history.operations()
+    naive = orders.naive_real_time_edges(history, ops)
+    assert_closure_equivalent(orders.real_time_edges(history, ops), naive)
+
+
+@pytest.mark.parametrize("index", range(len(HISTORIES)))
+def test_regular_constraint_closure(index):
+    history = HISTORIES[index]
+    naive = orders.naive_regular_constraint_edges(history)
+    assert_closure_equivalent(orders.regular_constraint_edges(history), naive)
+
+
+@pytest.mark.parametrize("index", range(len(HISTORIES)))
+def test_model_specific_edge_closures(index):
+    history = HISTORIES[index]
+    ops = history.operations()
+    rt = RealTimeOrder(history)
+    assert_closure_equivalent(orders.osc_u_edges(ops), naive_osc_u(ops, rt))
+    assert_closure_equivalent(orders.vv_regularity_edges(ops), naive_vv(ops, rt))
+    assert_closure_equivalent(orders.conflicting_pair_edges(ops), naive_crdb(ops, rt))
+    mutations = [op for op in ops if op.is_mutation]
+    naive_mut = {(a.op_id, b.op_id) for a in mutations for b in mutations
+                 if rt.precedes(a, b)}
+    assert_closure_equivalent(orders.mutation_order_edges(ops), naive_mut)
+
+
+def test_real_time_edges_restricted_subset():
+    """The reduction over a subset must stay closed within that subset."""
+    history = HISTORIES[0]
+    ops = [op for op in history.operations() if op.op_id % 2 == 0]
+    naive = orders.naive_real_time_edges(history, ops)
+    assert_closure_equivalent(orders.real_time_edges(history, ops), naive)
+
+
+# --------------------------------------------------------------------- #
+# SerializationSearch vs the seed implementation
+# --------------------------------------------------------------------- #
+def _seed_state_key(state):
+    if isinstance(state, dict):
+        return tuple(sorted(((repr(k), _seed_state_key(v)) for k, v in state.items())))
+    if isinstance(state, (list, tuple)):
+        return tuple(_seed_state_key(v) for v in state)
+    return repr(state)
+
+
+def seed_serialization_search(spec, operations, constraints=(),
+                              optional_operations=()):
+    """Verbatim port of the seed SerializationSearch (reference oracle)."""
+    required = list(operations)
+    optional = list(optional_operations)
+    constraints = list(constraints)
+
+    def search(ops):
+        by_id = {op.op_id: op for op in ops}
+        included = set(by_id)
+        successors = {op_id: set() for op_id in included}
+        indegree = {op_id: 0 for op_id in included}
+        for a, b in constraints:
+            if a in included and b in included and b not in successors[a]:
+                successors[a].add(b)
+                indegree[b] += 1
+        order = []
+        failed = set()
+
+        def dfs(state, remaining, indeg):
+            if not remaining:
+                return True
+            memo_key = (frozenset(remaining), _seed_state_key(state))
+            if memo_key in failed:
+                return False
+            ready = [op_id for op_id in remaining if indeg[op_id] == 0]
+            for op_id in sorted(ready):
+                ok, next_state = spec.apply(state, by_id[op_id])
+                if not ok:
+                    continue
+                remaining.remove(op_id)
+                for succ in successors[op_id]:
+                    if succ in remaining:
+                        indeg[succ] -= 1
+                order.append(by_id[op_id])
+                if dfs(next_state, remaining, indeg):
+                    return True
+                order.pop()
+                for succ in successors[op_id]:
+                    if succ in remaining:
+                        indeg[succ] += 1
+                remaining.add(op_id)
+            failed.add(memo_key)
+            return False
+
+        if dfs(spec.initial_state(), set(included), dict(indegree)):
+            return list(order)
+        return None
+
+    for r in range(len(optional) + 1):
+        for subset in itertools.combinations(optional, r):
+            witness = search(required + list(subset))
+            if witness is not None:
+                return witness
+    return None
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_search_agrees_with_seed_implementation(seed):
+    history = tie_history(seed, n=8, procs=3, keys=2, stale_reads=True)
+    spec = RegisterSpec()
+    required, optional = split_operations(history)
+    rng = random.Random(seed)
+    ops = required + optional
+    constraints = orders.real_time_edges(history, ops)
+    # Mix in a few random (possibly contradictory) extra constraints.
+    for _ in range(3):
+        if len(ops) >= 2:
+            a, b = rng.sample(ops, 2)
+            constraints.append((a.op_id, b.op_id))
+    new = SerializationSearch(spec, required, constraints, optional).find()
+    reference = seed_serialization_search(spec, required, constraints, optional)
+    if reference is None:
+        assert new is None
+    else:
+        assert new is not None
+        assert [op.op_id for op in new] == [op.op_id for op in reference]
+
+
+def test_all_example_verdicts_unchanged():
+    """Every checker verdict on the Appendix A / Figure 2 executions must
+    match the paper's expectations (the satellite regression gate)."""
+    for example in all_examples():
+        for model, expected in example.expectations.items():
+            result = MODELS[model](example.history, example.spec)
+            assert bool(result) == expected, (
+                f"{example.name}: {model} returned {bool(result)}, "
+                f"paper says {expected}"
+            )

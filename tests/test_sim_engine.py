@@ -233,6 +233,214 @@ def test_step_with_empty_queue_raises():
         env.step()
 
 
+def test_failed_event_with_non_consuming_callback_raises():
+    """A failure whose callbacks all ignore it must surface, not be
+    silently swallowed just because the callback list was non-empty."""
+    env = Environment()
+    observed = []
+    event = env.event()
+    event.add_callback(lambda ev: observed.append(ev))
+    event.fail(RuntimeError("nobody consumed me"))
+    with pytest.raises(RuntimeError, match="nobody consumed me"):
+        env.run()
+    assert observed  # the callback did run; it just didn't consume the failure
+
+
+def test_failed_event_consumed_by_process_does_not_raise():
+    env = Environment()
+    caught = []
+
+    def waiter(event):
+        try:
+            yield event
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    event = env.event()
+    env.process(waiter(event))
+    event.fail(RuntimeError("handled"), delay=1)
+    env.run()
+    assert caught == ["handled"]
+
+
+def test_condition_absorbs_member_failure():
+    """AnyOf/AllOf transfer a member failure into the condition; the waiter
+    consuming the condition's failure defuses the whole chain."""
+    env = Environment()
+    caught = []
+
+    def waiter(condition):
+        try:
+            yield condition
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    failing = env.event()
+    condition = env.all_of([failing, env.timeout(5)])
+    env.process(waiter(condition))
+    failing.fail(ValueError("member failed"), delay=1)
+    env.run()
+    assert caught == ["member failed"]
+
+
+def test_member_failing_after_condition_triggered_is_consumed():
+    """A member that fails after the condition already fired lost the race;
+    the failure must not crash the run."""
+    env = Environment()
+    outcome = []
+
+    def racer():
+        slow = env.event()
+        slow.fail(RuntimeError("lost the race"), delay=5)
+        done = yield env.any_of([slow, env.timeout(1, value="fast")])
+        outcome.append(list(done.values()))
+
+    env.process(racer())
+    env.run()  # must not raise when the failed member fires at t=5
+    assert outcome == [["fast"]]
+
+
+def test_interrupt_detaches_stale_wait_target():
+    """After an interrupt, the old wait target must not resume the process
+    at a later yield with a stale value."""
+    env = Environment()
+    observed = []
+
+    def sleeper():
+        try:
+            yield env.timeout(10, value="long")
+        except Interrupt:
+            value = yield env.timeout(20, value="second")
+            observed.append((env.now, value))
+
+    def interrupter(proc):
+        yield env.timeout(5)
+        proc.interrupt()
+
+    proc = env.process(sleeper())
+    env.process(interrupter(proc))
+    env.run()
+    # The second yield must complete at t=25 with its own value — not be
+    # spuriously resumed at t=10 by the stale first timeout.
+    assert observed == [(25, "second")]
+
+
+def test_interrupted_store_getter_does_not_swallow_items():
+    """An interrupted getter must leave the store's queue; the next put goes
+    to a live waiter instead of vanishing into the dead event."""
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        while True:
+            try:
+                item = yield store.get()
+            except Interrupt:
+                continue
+            got.append(item)
+            if len(got) == 2:
+                return
+
+    def driver(proc):
+        yield env.timeout(1)
+        proc.interrupt()
+        yield env.timeout(1)
+        store.put("A")
+        store.put("B")
+
+    proc = env.process(consumer())
+    env.process(driver(proc))
+    env.run()
+    assert got == ["A", "B"]
+
+
+def test_interrupt_recovers_item_from_succeeded_getter():
+    """If a getter was already handed an item when its waiter is
+    interrupted, the item goes back to the store instead of vanishing."""
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        while len(got) < 3:
+            try:
+                item = yield store.get()
+            except Interrupt:
+                continue
+            got.append(item)
+
+    def driver(proc):
+        yield env.timeout(1)
+        store.put("A")     # pops the blocked getter and schedules it...
+        proc.interrupt()   # ...then the waiter is interrupted same-step
+        yield env.timeout(1)
+        store.put("B")
+        store.put("C")
+
+    proc = env.process(consumer())
+    env.process(driver(proc))
+    env.run()
+    assert got == ["A", "B", "C"]
+
+
+def test_timeout_pool_recycles_objects():
+    """Timeouts consumed by a single process are reused, and reuse does not
+    perturb values or ordering."""
+    env = Environment()
+    seen = []
+
+    def worker():
+        for i in range(50):
+            value = yield env.timeout(1, value=i)
+            seen.append(value)
+
+    env.process(worker())
+    env.run()
+    assert seen == list(range(50))
+    assert env._timeout_pool  # the free list was actually populated
+    recycled = env._timeout_pool[-1]
+    fresh = env.timeout(3, value="again")
+    assert fresh is recycled
+    env.run()
+    assert fresh.value == "again"
+
+
+def test_store_get_events_recycled():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer():
+        for _ in range(20):
+            item = yield store.get()
+            received.append(item)
+
+    def producer():
+        for i in range(20):
+            store.put(i)
+            yield env.timeout(1)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert received == list(range(20))
+    assert env._get_pool
+
+
+def test_events_scheduled_counter():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1)
+        yield env.timeout(1)
+
+    env.process(worker())
+    env.run()
+    # init event + two timeouts + process completion event.
+    assert env.events_scheduled == 4
+
+
 def test_deterministic_tiebreak_is_insertion_order():
     env = Environment()
     order = []
