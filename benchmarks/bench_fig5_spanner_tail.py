@@ -34,10 +34,10 @@ def test_figure5_ro_tail_latency(benchmark, bench_scale, skew):
     ))
     spanner = outcome["results"]["spanner"]
     rss = outcome["results"]["spanner_rss"]
-    print(f"Spanner   : committed={spanner.committed} blocked RO fraction="
-          f"{spanner.blocked_fraction():.3f}")
-    print(f"SpannerRSS: committed={rss.committed} blocked RO fraction="
-          f"{rss.blocked_fraction():.3f}")
+    print(f"Spanner   : committed={spanner['committed']} blocked RO fraction="
+          f"{spanner['blocked_fraction']:.3f}")
+    print(f"SpannerRSS: committed={rss['committed']} blocked RO fraction="
+          f"{rss['blocked_fraction']:.3f}")
 
     # The paper's qualitative claims: the median is unaffected, the tail
     # (p99 and beyond) improves, and Spanner-RSS blocks less often.
@@ -46,7 +46,7 @@ def test_figure5_ro_tail_latency(benchmark, bench_scale, skew):
         by_fraction[0.5]["spanner_ms"], rel=0.6)
     assert by_fraction[0.99]["spanner_rss_ms"] <= by_fraction[0.99]["spanner_ms"] * 1.02
     assert by_fraction[0.999]["spanner_rss_ms"] <= by_fraction[0.999]["spanner_ms"] * 1.02
-    assert rss.blocked_fraction() <= spanner.blocked_fraction() + 0.01
+    assert rss["blocked_fraction"] <= spanner["blocked_fraction"] + 0.01
     if skew >= 0.7:
         # At moderate/high contention the p99 improvement is substantial.
         assert by_fraction[0.99]["reduction_pct"] > 10.0

@@ -31,11 +31,11 @@ def main() -> None:
     spanner = outcome["results"]["spanner"]
     rss = outcome["results"]["spanner_rss"]
     print()
-    print(f"Spanner    : {spanner.committed} committed, "
-          f"{spanner.blocked_fraction() * 100:.1f}% of RO shard requests blocked")
-    print(f"Spanner-RSS: {rss.committed} committed, "
-          f"{rss.blocked_fraction() * 100:.1f}% of RO shard requests blocked, "
-          f"{sum(s['ro_skipped_prepared'] for s in rss.shard_stats.values())} "
+    print(f"Spanner    : {spanner['committed']} committed, "
+          f"{spanner['blocked_fraction'] * 100:.1f}% of RO shard requests blocked")
+    print(f"Spanner-RSS: {rss['committed']} committed, "
+          f"{rss['blocked_fraction'] * 100:.1f}% of RO shard requests blocked, "
+          f"{sum(s['ro_skipped_prepared'] for s in rss['shard_stats'].values())} "
           f"prepared transactions skipped")
 
 

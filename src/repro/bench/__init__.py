@@ -10,11 +10,25 @@ Each module corresponds to one part of the evaluation:
 * :mod:`repro.bench.appendix_a` — the Appendix A model-comparison figures.
 * :mod:`repro.bench.reporting` — plain-text table rendering.
 
+The drivers execute their trial grids through :mod:`repro.bench.runner`,
+which fans independent trials across a process pool (``jobs=N``), falls back
+to a bit-identical serial path at ``jobs=1``, and can resume interrupted
+sweeps from an on-disk trial cache (``resume=True``).
+
 The ``benchmarks/`` directory wraps these drivers in pytest-benchmark cases,
 one per table/figure.
 """
 
 from repro.bench.reporting import format_table
+from repro.bench.runner import (
+    ParallelRunner,
+    SweepOutcome,
+    SweepSpec,
+    TrialResult,
+    TrialSpec,
+    derive_seed,
+    run_sweep,
+)
 from repro.bench.spanner_experiments import (
     SpannerExperimentResult,
     figure5_experiment,
@@ -33,6 +47,13 @@ from repro.bench.appendix_a import appendix_a_report
 
 __all__ = [
     "format_table",
+    "ParallelRunner",
+    "SweepOutcome",
+    "SweepSpec",
+    "TrialResult",
+    "TrialSpec",
+    "derive_seed",
+    "run_sweep",
     "SpannerExperimentResult",
     "run_retwis_experiment",
     "figure5_experiment",

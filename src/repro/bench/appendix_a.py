@@ -1,41 +1,73 @@
 """Appendix A: the example executions separating RSS/RSC from proximal models.
 
 For every example execution (Figures 2 and 9–16) the report runs every model
-checker the paper gives a verdict for and compares against the paper.
+checker the paper gives a verdict for and compares against the paper.  The
+per-example checks are independent, so the report runs them as one sweep
+through :mod:`repro.bench.runner` (``jobs=1`` reproduces the serial order).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
-from repro.core.examples import PaperExample, all_examples
-from repro.core.checkers import MODELS
 from repro.bench.reporting import format_table
+from repro.bench.runner import SweepSpec, TrialSpec, run_sweep
 
-__all__ = ["appendix_a_report"]
+__all__ = ["appendix_a_report", "example_trial", "appendix_a_sweep"]
 
 
-def appendix_a_report() -> Dict[str, Any]:
-    """Recompute the Appendix A allowed/forbidden matrix."""
+def example_trial(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Runner trial: verdicts of every relevant checker on one example."""
+    from repro.core.checkers import MODELS
+    from repro.core.examples import all_examples
+
+    name = params["example"]
+    example = next(ex for ex in all_examples() if ex.name == name)
+    verdicts: Dict[str, Dict[str, bool]] = {}
+    for model, expected in sorted(example.expectations.items()):
+        checker = MODELS[model]
+        got = bool(checker(example.history, example.spec))
+        verdicts[model] = {"expected": expected, "computed": got}
+    return {"example": name, "verdicts": verdicts}
+
+
+def appendix_a_sweep() -> SweepSpec:
+    from repro.core.examples import all_examples
+
+    return SweepSpec.of("appendix_a", (
+        TrialSpec.make("appendix_a_example", {"example": example.name})
+        for example in all_examples()
+    ))
+
+
+def appendix_a_report(jobs: Optional[int] = 1, resume: bool = False,
+                      cache_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Recompute the Appendix A allowed/forbidden matrix.
+
+    Sub-second workload, so ``jobs`` defaults to 1 (pool startup would
+    dominate); pass ``jobs=N`` to fan the examples out anyway.
+    """
+    outcome = run_sweep(appendix_a_sweep(), jobs=jobs, resume=resume,
+                        cache_dir=cache_dir)
     rows: List[List[Any]] = []
     mismatches: List[str] = []
     details: Dict[str, Dict[str, Dict[str, bool]]] = {}
-    for example in all_examples():
-        verdicts: Dict[str, Dict[str, bool]] = {}
-        for model, expected in sorted(example.expectations.items()):
-            checker = MODELS[model]
-            got = bool(checker(example.history, example.spec))
-            verdicts[model] = {"expected": expected, "computed": got}
+    for trial in outcome.data():
+        name = trial["example"]
+        verdicts = trial["verdicts"]
+        for model in sorted(verdicts):
+            expected = verdicts[model]["expected"]
+            got = verdicts[model]["computed"]
             if got != expected:
-                mismatches.append(f"{example.name}/{model}")
+                mismatches.append(f"{name}/{model}")
             rows.append([
-                example.name,
+                name,
                 model,
                 "allowed" if expected else "forbidden",
                 "allowed" if got else "forbidden",
                 "yes" if got == expected else "NO",
             ])
-        details[example.name] = verdicts
+        details[name] = verdicts
     text = format_table(
         ["execution", "model", "paper", "computed", "matches"], rows,
         title="Appendix A — example executions vs consistency models",

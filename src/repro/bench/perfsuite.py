@@ -27,6 +27,7 @@ import random
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.bench.runner import ParallelRunner, default_jobs
 from repro.core import orders as _orders
 from repro.core.history import History
 from repro.core.events import Operation
@@ -41,6 +42,7 @@ __all__ = [
     "bench_constraint_derivation",
     "bench_serialization_search",
     "bench_sim_kernel",
+    "bench_sweep_wall_clock",
     "run_perf_suite",
     "attach_baseline",
     "perf_report_rows",
@@ -62,6 +64,8 @@ PERF_SCALES: Dict[str, Dict[str, Any]] = {
         "sim_procs": 100,
         "store_items": 5000,
         "search_checks": 30,
+        "sweep_client_counts": (4, 8, 16),
+        "sweep_duration_ms": 600.0,
     },
     "full": {
         "history_sizes": (200, 500, 1000, 2000, 5000),
@@ -69,6 +73,8 @@ PERF_SCALES: Dict[str, Dict[str, Any]] = {
         "sim_procs": 200,
         "store_items": 20000,
         "search_checks": 100,
+        "sweep_client_counts": (4, 8, 16, 32),
+        "sweep_duration_ms": 2_000.0,
     },
 }
 
@@ -254,19 +260,60 @@ def bench_sim_kernel(n_procs: int, n_rounds: int, store_items: int
     }
 
 
-def run_perf_suite(scale: str = "quick") -> Dict[str, Any]:
+def bench_sweep_wall_clock(client_counts: Sequence[int] = (4, 8, 16),
+                           duration_ms: float = 600.0,
+                           jobs: Optional[int] = None) -> Dict[str, Any]:
+    """Serial vs parallel wall clock of a quick-scale Figure 6 sweep.
+
+    Runs the same (client-count × variant) grid once at ``jobs=1`` (the old
+    serial driver behavior) and once across ``jobs`` worker processes, and
+    records the wall-clock speedup plus an aggregate-equality check — the
+    parallel run must produce exactly the same trial payloads.  The cache is
+    disabled for both runs so the comparison measures computation only.
+    """
+    from repro.bench.spanner_experiments import figure6_sweep
+
+    jobs = jobs if jobs is not None else default_jobs()
+    sweep = figure6_sweep(client_counts=tuple(client_counts),
+                          duration_ms=duration_ms)
+    serial = ParallelRunner(jobs=1).run(sweep)
+    row: Dict[str, Any] = {
+        "trials": len(sweep.trials),
+        "client_counts": list(client_counts),
+        "duration_ms": duration_ms,
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "serial_wall_s": serial.wall_clock_s,
+    }
+    if jobs > 1:
+        parallel = ParallelRunner(jobs=jobs).run(sweep)
+        row["parallel_wall_s"] = parallel.wall_clock_s
+        row["speedup"] = serial.wall_clock_s / max(parallel.wall_clock_s, 1e-9)
+        row["results_match"] = parallel.data() == serial.data()
+    else:
+        row["parallel_wall_s"] = None
+        row["speedup"] = 1.0
+        row["results_match"] = True
+    return row
+
+
+def run_perf_suite(scale: str = "quick",
+                   jobs: Optional[int] = None) -> Dict[str, Any]:
     """Run every perf benchmark at ``scale`` and return the payload."""
     if scale not in PERF_SCALES:
         raise ValueError(f"unknown perf scale {scale!r}; use one of {sorted(PERF_SCALES)}")
     params = PERF_SCALES[scale]
     return {
-        "schema": "bench-perf/1",
+        "schema": "bench-perf/2",
         "scale": scale,
         "sweep_engine": True,
         "constraints": bench_constraint_derivation(params["history_sizes"]),
         "search": bench_serialization_search(params["search_checks"]),
         "sim": bench_sim_kernel(params["sim_procs"], params["sim_rounds"],
                                 params["store_items"]),
+        "sweep_wall_clock": bench_sweep_wall_clock(
+            params["sweep_client_counts"], params["sweep_duration_ms"],
+            jobs=jobs),
     }
 
 
@@ -337,6 +384,16 @@ def perf_report_rows(payload: Dict[str, Any]) -> List[List[Any]]:
     rows.append(["sim timeout events/s", f"{sim['timeout_events_per_s']:,.0f}"])
     rows.append(["sim store events/s", f"{sim['store_events_per_s']:,.0f}"])
     rows.append(["sim combined events/s", f"{sim['events_per_s']:,.0f}"])
+    sweep = payload.get("sweep_wall_clock")
+    if sweep:
+        rows.append([f"sweep serial wall clock ({sweep['trials']} trials, s)",
+                     f"{sweep['serial_wall_s']:.2f}"])
+        if sweep.get("parallel_wall_s") is not None:
+            rows.append([f"sweep parallel wall clock (--jobs {sweep['jobs']}, s)",
+                         f"{sweep['parallel_wall_s']:.2f}"])
+            rows.append(["sweep parallel speedup", f"{sweep['speedup']:.2f}x"])
+            rows.append(["sweep parallel results match serial",
+                         "yes" if sweep["results_match"] else "NO"])
     for name, value in (payload.get("speedups_vs_seed") or {}).items():
         rows.append([f"vs seed: {name}", f"{value:.2f}x"])
     return rows

@@ -1,0 +1,430 @@
+"""Parallel experiment orchestration.
+
+Every figure/table of the paper is a grid of *independent, deterministic*
+trials — (variant, skew, client-count, seed) combinations whose simulations
+share no state.  This module runs such grids across a process pool so a
+paper-scale sweep saturates every core instead of one:
+
+* :class:`TrialSpec` — one trial: a registered *trial type* (a pure function
+  from a parameter dict to a compact, picklable result dict), its
+  parameters, and its seed.
+* :class:`SweepSpec` — a named, ordered collection of trials, usually built
+  with :meth:`SweepSpec.grid` (cartesian product over parameter axes).
+* :class:`ParallelRunner` — executes a sweep with ``jobs`` worker processes
+  (default ``os.cpu_count()``).  ``jobs=1`` is a serial in-process fallback
+  that is bit-identical to running the trial functions directly, which is
+  exactly what the pre-orchestrator drivers did.  Results always come back
+  in trial order, so aggregation is independent of completion order.
+* **Results cache** — with ``resume=True`` (or an explicit ``cache_dir``)
+  each finished trial is written to
+  ``<cache_dir>/<sweep>/<spec-hash>.<code-tag>.json`` keyed on the trial's
+  content hash (experiment + params + seed) and a code-version tag, so an
+  interrupted sweep resumes instead of recomputing.
+
+Trial functions are addressed as ``"module.path:function"`` dotted paths
+(with short aliases in :data:`TRIAL_TYPES`), so worker processes can resolve
+them by import regardless of the multiprocessing start method.
+
+Determinism notes: trial functions must derive all randomness from
+``params`` (seeds included).  :func:`derive_seed` gives a stable,
+platform-independent per-trial seed from a base seed and the trial's
+coordinates for sweeps that need distinct seeds per cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "TRIAL_TYPES",
+    "register_trial",
+    "resolve_trial",
+    "derive_seed",
+    "default_jobs",
+    "TrialSpec",
+    "TrialResult",
+    "SweepSpec",
+    "SweepOutcome",
+    "ParallelRunner",
+    "run_sweep",
+    "DEFAULT_CACHE_DIR",
+    "code_version_tag",
+]
+
+#: Short aliases for the in-tree trial functions (resolved lazily by import,
+#: so this table creates no import cycles).
+TRIAL_TYPES: Dict[str, str] = {
+    "spanner_retwis": "repro.bench.spanner_experiments:retwis_trial",
+    "spanner_load": "repro.bench.spanner_experiments:load_trial",
+    "gryff_ycsb": "repro.bench.gryff_experiments:ycsb_trial",
+    "appendix_a_example": "repro.bench.appendix_a:example_trial",
+    "table1_model": "repro.bench.table1:model_trial",
+}
+
+#: Default on-disk location of the resume cache (overridable via the
+#: ``REPRO_CACHE_DIR`` environment variable or the ``cache_dir`` argument).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Bump when the cached result format changes.
+CACHE_SCHEMA = "repro-trial/1"
+
+
+def register_trial(name: str, target: str) -> None:
+    """Register a short alias for a ``"module:function"`` trial target."""
+    if ":" not in target:
+        raise ValueError(f"trial target must be 'module:function', got {target!r}")
+    TRIAL_TYPES[name] = target
+
+
+def resolve_trial(experiment: str) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+    """Resolve a trial type (alias or dotted path) to its function."""
+    target = TRIAL_TYPES.get(experiment, experiment)
+    if ":" not in target:
+        raise KeyError(f"unknown trial type {experiment!r} "
+                       f"(known: {sorted(TRIAL_TYPES)})")
+    module_name, _, attr = target.partition(":")
+    module = importlib.import_module(module_name)
+    fn = getattr(module, attr)
+    if not callable(fn):
+        raise TypeError(f"trial target {target!r} is not callable")
+    return fn
+
+
+def derive_seed(base_seed: int, *coordinates: Any) -> int:
+    """A stable 63-bit seed derived from a base seed and trial coordinates.
+
+    Uses SHA-256 over a canonical JSON encoding, so the derivation is
+    identical across processes, platforms, and ``PYTHONHASHSEED`` values.
+    """
+    payload = json.dumps([base_seed, list(coordinates)], sort_keys=True,
+                         separators=(",", ":"), default=str)
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def default_jobs() -> int:
+    """The default worker count: ``REPRO_JOBS`` env var or ``os.cpu_count()``."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+#: Sentinel distinguishing frozen dicts from frozen lists, so a parameter
+#: that happens to be a list of (str, value) pairs round-trips as a list.
+_DICT_TAG = "__dict__"
+
+
+def _freeze(value: Any) -> Any:
+    """Canonicalize a JSON-able parameter value into a hashable form."""
+    if isinstance(value, Mapping):
+        return (_DICT_TAG,
+                tuple(sorted((str(k), _freeze(v)) for k, v in value.items())))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"trial parameters must be JSON-able scalars/lists/dicts, "
+                    f"got {type(value).__name__}: {value!r}")
+
+
+def _thaw(value: Any) -> Any:
+    if isinstance(value, tuple):
+        if len(value) == 2 and value[0] == _DICT_TAG and isinstance(value[1], tuple):
+            return {k: _thaw(v) for k, v in value[1]}
+        return [_thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent trial of an experiment grid."""
+
+    experiment: str
+    params: Tuple[Any, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def make(cls, experiment: str, params: Optional[Mapping[str, Any]] = None,
+             seed: int = 0) -> "TrialSpec":
+        return cls(experiment=experiment, params=_freeze(params or {}), seed=seed)
+
+    def param_dict(self) -> Dict[str, Any]:
+        return _thaw(self.params) if self.params else {}
+
+    def key(self) -> str:
+        """Content hash of (experiment, params, seed) — the cache key."""
+        payload = json.dumps(
+            {"experiment": self.experiment, "params": self.param_dict(),
+             "seed": self.seed},
+            sort_keys=True, separators=(",", ":"), default=str)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class TrialResult:
+    """Compact outcome of one trial (always picklable/JSON-able)."""
+
+    spec: TrialSpec
+    data: Dict[str, Any]
+    elapsed_s: float = 0.0
+    cached: bool = False
+    worker_pid: int = 0
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named, ordered set of trials (one experiment grid)."""
+
+    name: str
+    trials: Tuple[TrialSpec, ...]
+
+    @classmethod
+    def grid(cls, name: str, experiment: str,
+             axes: Mapping[str, Sequence[Any]],
+             base: Optional[Mapping[str, Any]] = None,
+             seed: int = 0,
+             derive_seeds: bool = False) -> "SweepSpec":
+        """Cartesian product over ``axes`` (in the given axis order).
+
+        ``base`` parameters are shared by every trial.  With
+        ``derive_seeds=True`` each trial gets a distinct deterministic seed
+        from :func:`derive_seed`; otherwise every trial uses ``seed`` (trial
+        functions may still fold per-trial parameters into their own seeds,
+        as the paper's drivers do).
+        """
+        names = list(axes)
+        trials = []
+        for values in product(*(axes[axis] for axis in names)):
+            params = dict(base or {})
+            params.update(zip(names, values))
+            trial_seed = derive_seed(seed, *values) if derive_seeds else seed
+            trials.append(TrialSpec.make(experiment, params, seed=trial_seed))
+        return cls(name=name, trials=tuple(trials))
+
+    @classmethod
+    def of(cls, name: str, trials: Iterable[TrialSpec]) -> "SweepSpec":
+        return cls(name=name, trials=tuple(trials))
+
+    def key(self) -> str:
+        payload = json.dumps([t.key() for t in self.trials],
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class SweepOutcome:
+    """All trial results of one sweep plus orchestration metadata."""
+
+    sweep: SweepSpec
+    results: List[TrialResult]
+    jobs: int
+    wall_clock_s: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def data(self) -> List[Dict[str, Any]]:
+        """The trial payloads, in trial order."""
+        return [result.data for result in self.results]
+
+
+def _execute_trial(spec: TrialSpec) -> Tuple[Dict[str, Any], float, int]:
+    """Run one trial (worker-side entry point; must stay module-level so it
+    is picklable under every multiprocessing start method)."""
+    fn = resolve_trial(spec.experiment)
+    params = spec.param_dict()
+    params["seed"] = spec.seed
+    started = time.perf_counter()
+    data = fn(params)
+    elapsed = time.perf_counter() - started
+    if not isinstance(data, dict):
+        raise TypeError(f"trial {spec.experiment!r} returned "
+                        f"{type(data).__name__}, expected dict")
+    return data, elapsed, os.getpid()
+
+
+def code_version_tag() -> str:
+    """A tag identifying the code revision, for cache keys.
+
+    Priority: ``REPRO_CODE_TAG`` env var, then the git commit of the source
+    tree, then ``"unversioned"``.  Cached results from other revisions are
+    simply not reused.
+    """
+    env = os.environ.get("REPRO_CODE_TAG")
+    if env:
+        return env
+    try:
+        import subprocess
+
+        root = os.path.dirname(os.path.abspath(__file__))
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=root,
+            capture_output=True, text=True, timeout=5, check=False)
+        if out.returncode == 0 and out.stdout.strip():
+            tag = out.stdout.strip()
+            # Uncommitted changes run different code than the commit says:
+            # suffix a digest of the working-tree diff so results computed
+            # by two different dirty states are never confused.
+            diff = subprocess.run(
+                ["git", "status", "--porcelain"], cwd=root,
+                capture_output=True, text=True, timeout=5, check=False)
+            if diff.returncode != 0:
+                return tag + "-dirty"
+            if diff.stdout.strip():
+                patch = subprocess.run(
+                    ["git", "diff", "HEAD"], cwd=root,
+                    capture_output=True, text=True, timeout=5, check=False)
+                digest = hashlib.sha256(
+                    (diff.stdout + patch.stdout).encode("utf-8")).hexdigest()[:8]
+                tag += f"-dirty-{digest}"
+            return tag
+    except Exception:
+        pass
+    return "unversioned"
+
+
+class ParallelRunner:
+    """Executes :class:`SweepSpec` grids across a process pool.
+
+    * ``jobs=1`` (or a single-trial sweep) runs serially in-process —
+      bit-identical to calling the trial functions directly.
+    * ``jobs>1`` fans trials out over ``concurrent.futures
+      .ProcessPoolExecutor``; results are collected in submission order.
+    * ``resume=True`` enables the on-disk results cache: completed trials
+      are loaded from ``cache_dir`` when their (spec hash, seed, code tag)
+      matches, and every freshly computed trial is written back, so an
+      interrupted sweep continues where it stopped.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 resume: bool = False,
+                 cache_dir: Optional[str] = None,
+                 code_tag: Optional[str] = None,
+                 progress: Optional[Callable[[TrialResult, int, int], None]] = None):
+        self.jobs = max(1, jobs if jobs is not None else default_jobs())
+        self.resume = resume or cache_dir is not None
+        self.cache_dir = (cache_dir or os.environ.get("REPRO_CACHE_DIR")
+                          or DEFAULT_CACHE_DIR)
+        self._code_tag = code_tag
+        self.progress = progress
+
+    @property
+    def code_tag(self) -> str:
+        if self._code_tag is None:
+            self._code_tag = code_version_tag()
+        return self._code_tag
+
+    # ------------------------------------------------------------- #
+    # Cache plumbing
+    # ------------------------------------------------------------- #
+    def _cache_path(self, sweep: SweepSpec, spec: TrialSpec) -> str:
+        return os.path.join(self.cache_dir, sweep.name,
+                            f"{spec.key()}.{self.code_tag}.json")
+
+    def _cache_load(self, sweep: SweepSpec, spec: TrialSpec
+                    ) -> Optional[TrialResult]:
+        path = self._cache_path(sweep, spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA or "data" not in entry:
+            return None
+        return TrialResult(spec=spec, data=entry["data"],
+                           elapsed_s=entry.get("elapsed_s", 0.0), cached=True)
+
+    def _cache_store(self, sweep: SweepSpec, spec: TrialSpec,
+                     result: TrialResult) -> None:
+        path = self._cache_path(sweep, spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "experiment": spec.experiment,
+            "params": spec.param_dict(),
+            "seed": spec.seed,
+            "code_tag": self.code_tag,
+            "elapsed_s": result.elapsed_s,
+            "data": result.data,
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, indent=2, default=str)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------- #
+    def run(self, sweep: SweepSpec) -> SweepOutcome:
+        """Execute every trial; results come back in trial order."""
+        started = time.perf_counter()
+        total = len(sweep.trials)
+        results: List[Optional[TrialResult]] = [None] * total
+        pending: List[int] = []
+        hits = 0
+        for index, spec in enumerate(sweep.trials):
+            cached = self._cache_load(sweep, spec) if self.resume else None
+            if cached is not None:
+                results[index] = cached
+                hits += 1
+                self._report(cached, index, total)
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.jobs <= 1 or len(pending) == 1:
+                for index in pending:
+                    self._finish(sweep, results, index,
+                                 _execute_trial(sweep.trials[index]), total)
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    # Consume in completion order so finished trials reach
+                    # the resume cache immediately (an interrupt then loses
+                    # only in-flight trials); `results` is indexed, so the
+                    # returned ordering stays deterministic regardless.
+                    futures = {pool.submit(_execute_trial,
+                                           sweep.trials[index]): index
+                               for index in pending}
+                    for future in as_completed(futures):
+                        self._finish(sweep, results, futures[future],
+                                     future.result(), total)
+
+        wall = time.perf_counter() - started
+        final = [result for result in results if result is not None]
+        assert len(final) == total
+        return SweepOutcome(sweep=sweep, results=final, jobs=self.jobs,
+                            wall_clock_s=wall, cache_hits=hits,
+                            cache_misses=len(pending))
+
+    def _finish(self, sweep: SweepSpec, results: List[Optional[TrialResult]],
+                index: int, payload: Tuple[Dict[str, Any], float, int],
+                total: int) -> None:
+        data, elapsed, pid = payload
+        result = TrialResult(spec=sweep.trials[index], data=data,
+                             elapsed_s=elapsed, worker_pid=pid)
+        if self.resume:
+            self._cache_store(sweep, sweep.trials[index], result)
+        results[index] = result
+        self._report(result, index, total)
+
+    def _report(self, result: TrialResult, index: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(result, index, total)
+
+
+def run_sweep(sweep: SweepSpec, jobs: Optional[int] = None,
+              resume: bool = False, cache_dir: Optional[str] = None,
+              progress: Optional[Callable[[TrialResult, int, int], None]] = None,
+              ) -> SweepOutcome:
+    """One-shot convenience wrapper around :class:`ParallelRunner`."""
+    runner = ParallelRunner(jobs=jobs, resume=resume, cache_dir=cache_dir,
+                            progress=progress)
+    return runner.run(sweep)

@@ -9,6 +9,14 @@ returns the read-only-transaction tail-latency comparison.
 eight shards, zero TrueTime error, closed-loop clients with a uniform
 workload; ``figure6_experiment`` sweeps the number of clients and reports
 throughput versus median latency for both variants.
+
+Both figure drivers execute their (variant, parameter) grids through
+:mod:`repro.bench.runner`: ``jobs=1`` reproduces the old serial in-process
+behavior bit-for-bit, ``jobs=N`` fans the independent trials across a
+process pool, and ``resume=True`` reuses cached trial results.  The trial
+functions (``retwis_trial`` / ``load_trial``) return compact picklable
+summaries — percentiles and counters, never histories — which is all the
+figures need.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.bench.runner import SweepSpec, SweepOutcome, run_sweep
 from repro.core.history import History
 from repro.sim.stats import LatencyRecorder, Percentiles
 from repro.spanner.client import SpannerClient, TransactionAborted
@@ -27,8 +36,12 @@ from repro.workloads.retwis import RetwisWorkload, TransactionSpec
 __all__ = [
     "SpannerExperimentResult",
     "run_retwis_experiment",
+    "retwis_trial",
+    "figure5_sweep",
     "figure5_experiment",
     "run_load_experiment",
+    "load_trial",
+    "figure6_sweep",
     "figure6_experiment",
     "FIGURE5_FRACTIONS",
 ]
@@ -152,17 +165,66 @@ def run_retwis_experiment(
     )
 
 
-def figure5_experiment(zipf_skew: float, **kwargs) -> Dict[str, Any]:
-    """Figure 5: RO-transaction tail latency, Spanner vs Spanner-RSS."""
-    results = {
-        "spanner": run_retwis_experiment(Variant.SPANNER, zipf_skew, **kwargs),
-        "spanner_rss": run_retwis_experiment(Variant.SPANNER_RSS, zipf_skew, **kwargs),
+def _spanner_summary(result: SpannerExperimentResult,
+                     cdf_fractions: Sequence[float] = FIGURE5_FRACTIONS,
+                     ) -> Dict[str, Any]:
+    """Compact, picklable summary of one Spanner run (what the figures use)."""
+    recorder = result.recorder
+    ro = recorder.samples("ro")
+    rw = recorder.samples("rw")
+    all_samples = ro + rw
+    return {
+        "variant": result.variant.value,
+        "committed": result.committed,
+        "aborted_attempts": result.aborted_attempts,
+        "duration_ms": result.duration_ms,
+        "throughput": recorder.throughput(),
+        "blocked_fraction": result.blocked_fraction(),
+        "counts": {category: recorder.count(category)
+                   for category in recorder.categories()},
+        "ro_cdf_ms": {str(fraction): (recorder.quantile("ro", fraction * 100.0)
+                                      if ro else 0.0)
+                      for fraction in cdf_fractions},
+        "ro_p50_ms": recorder.quantile("ro", 50.0) if ro else 0.0,
+        "rw_p50_ms": recorder.quantile("rw", 50.0) if rw else 0.0,
+        "overall_p50_ms": (sorted(all_samples)[len(all_samples) // 2]
+                           if all_samples else 0.0),
+        "shard_stats": result.shard_stats,
+        "consistency_ok": result.consistency_ok,
     }
+
+
+def retwis_trial(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Runner trial: one §6.1 Retwis run → compact summary."""
+    params = dict(params)
+    variant = Variant(params.pop("variant"))
+    cdf_fractions = params.pop("cdf_fractions", FIGURE5_FRACTIONS)
+    result = run_retwis_experiment(variant, **params)
+    return _spanner_summary(result, cdf_fractions)
+
+
+def figure5_sweep(zipf_skew: float, seed: int = 1, **kwargs) -> SweepSpec:
+    """The Figure 5 grid: both variants at one skew."""
+    base = dict(kwargs)
+    base["zipf_skew"] = zipf_skew
+    return SweepSpec.grid(
+        "figure5", "spanner_retwis",
+        axes={"variant": [Variant.SPANNER.value, Variant.SPANNER_RSS.value]},
+        base=base, seed=seed,
+    )
+
+
+def figure5_experiment(zipf_skew: float, jobs: Optional[int] = None,
+                       resume: bool = False, cache_dir: Optional[str] = None,
+                       seed: int = 1, **kwargs) -> Dict[str, Any]:
+    """Figure 5: RO-transaction tail latency, Spanner vs Spanner-RSS."""
+    sweep = figure5_sweep(zipf_skew, seed=seed, **kwargs)
+    outcome = run_sweep(sweep, jobs=jobs, resume=resume, cache_dir=cache_dir)
+    spanner, spanner_rss = outcome.data()
     rows = []
     for fraction in FIGURE5_FRACTIONS:
-        quantile = fraction * 100.0
-        spanner_value = _percentile_of(results["spanner"].recorder, "ro", quantile)
-        rss_value = _percentile_of(results["spanner_rss"].recorder, "ro", quantile)
+        spanner_value = spanner["ro_cdf_ms"][str(fraction)]
+        rss_value = spanner_rss["ro_cdf_ms"][str(fraction)]
         reduction = (1.0 - rss_value / spanner_value) * 100.0 if spanner_value else 0.0
         rows.append({
             "fraction": fraction,
@@ -170,16 +232,9 @@ def figure5_experiment(zipf_skew: float, **kwargs) -> Dict[str, Any]:
             "spanner_rss_ms": rss_value,
             "reduction_pct": reduction,
         })
-    return {"skew": zipf_skew, "results": results, "rows": rows}
-
-
-def _percentile_of(recorder: LatencyRecorder, category: str, quantile: float) -> float:
-    from repro.sim.stats import percentile
-
-    samples = recorder.samples(category)
-    if not samples:
-        return 0.0
-    return percentile(samples, quantile)
+    return {"skew": zipf_skew,
+            "results": {"spanner": spanner, "spanner_rss": spanner_rss},
+            "rows": rows}
 
 
 # --------------------------------------------------------------------------- #
@@ -235,22 +290,40 @@ def run_load_experiment(
     )
 
 
+def load_trial(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Runner trial: one §6.2 high-load run → compact summary."""
+    params = dict(params)
+    variant = Variant(params.pop("variant"))
+    result = run_load_experiment(variant, **params)
+    return _spanner_summary(result)
+
+
+def figure6_sweep(client_counts: Sequence[int] = (4, 8, 16, 32, 64),
+                  seed: int = 1, **kwargs) -> SweepSpec:
+    """The Figure 6 grid: client counts × both variants."""
+    return SweepSpec.grid(
+        "figure6", "spanner_load",
+        axes={"num_clients": list(client_counts),
+              "variant": [Variant.SPANNER.value, Variant.SPANNER_RSS.value]},
+        base=dict(kwargs), seed=seed,
+    )
+
+
 def figure6_experiment(client_counts: Sequence[int] = (4, 8, 16, 32, 64),
+                       jobs: Optional[int] = None, resume: bool = False,
+                       cache_dir: Optional[str] = None, seed: int = 1,
                        **kwargs) -> List[Dict[str, Any]]:
     """Figure 6: throughput vs p50 latency as closed-loop clients increase."""
+    sweep = figure6_sweep(client_counts, seed=seed, **kwargs)
+    outcome = run_sweep(sweep, jobs=jobs, resume=resume, cache_dir=cache_dir)
+    summaries = outcome.data()
     rows = []
-    for count in client_counts:
+    for index, count in enumerate(client_counts):
         row: Dict[str, Any] = {"clients": count}
-        for variant, label in ((Variant.SPANNER, "spanner"),
-                               (Variant.SPANNER_RSS, "spanner_rss")):
-            result = run_load_experiment(variant, num_clients=count, **kwargs)
-            all_samples = (result.recorder.samples("ro")
-                           + result.recorder.samples("rw"))
-            row[f"{label}_throughput"] = result.recorder.throughput()
-            row[f"{label}_p50_ms"] = _percentile_of(result.recorder, "ro", 50.0) \
-                if result.recorder.samples("ro") else 0.0
-            row[f"{label}_overall_p50_ms"] = (
-                sorted(all_samples)[len(all_samples) // 2] if all_samples else 0.0
-            )
+        for offset, label in ((0, "spanner"), (1, "spanner_rss")):
+            summary = summaries[index * 2 + offset]
+            row[f"{label}_throughput"] = summary["throughput"]
+            row[f"{label}_p50_ms"] = summary["ro_p50_ms"]
+            row[f"{label}_overall_p50_ms"] = summary["overall_p50_ms"]
         rows.append(row)
     return rows

@@ -13,13 +13,15 @@ assembles the same rows as the paper's Table 1:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.apps.photo_sharing import Table1Scenario, table1_scenarios
 from repro.core.checkers import TRANSACTIONAL_MODELS
 from repro.bench.reporting import format_table
+from repro.bench.runner import SweepSpec, run_sweep
 
-__all__ = ["table1_report", "TABLE1_MODELS", "PAPER_TABLE1"]
+__all__ = ["table1_report", "model_trial", "table1_sweep", "TABLE1_MODELS",
+           "PAPER_TABLE1"]
 
 #: The models compared in Table 1, in the paper's order.
 TABLE1_MODELS = ["strict_serializability", "rss", "po_serializability"]
@@ -58,12 +60,30 @@ def _verdicts_for_model(model: str, scenarios: List[Table1Scenario]) -> Dict[str
     return verdicts
 
 
-def table1_report() -> Dict[str, Any]:
-    """Recompute Table 1 from the checkers and compare to the paper."""
-    scenarios = table1_scenarios()
-    computed: Dict[str, Dict[str, str]] = {}
-    for model in TABLE1_MODELS:
-        computed[model] = _verdicts_for_model(model, scenarios)
+def model_trial(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Runner trial: Table 1 verdicts of one model over all scenarios."""
+    model = params["model"]
+    return {"model": model,
+            "verdicts": _verdicts_for_model(model, table1_scenarios())}
+
+
+def table1_sweep() -> SweepSpec:
+    return SweepSpec.grid("table1", "table1_model",
+                          axes={"model": TABLE1_MODELS})
+
+
+def table1_report(jobs: Optional[int] = 1, resume: bool = False,
+                  cache_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Recompute Table 1 from the checkers and compare to the paper.
+
+    Sub-second workload, so ``jobs`` defaults to 1 (pool startup would
+    dominate); pass ``jobs=N`` to fan the models out anyway.
+    """
+    outcome = run_sweep(table1_sweep(), jobs=jobs, resume=resume,
+                        cache_dir=cache_dir)
+    computed: Dict[str, Dict[str, str]] = {
+        trial["model"]: trial["verdicts"] for trial in outcome.data()
+    }
     matches = {
         model: computed[model] == PAPER_TABLE1[model] for model in TABLE1_MODELS
     }

@@ -51,15 +51,24 @@ def _write_json(path: Optional[str], payload: Any) -> None:
 # --------------------------------------------------------------------------- #
 # Subcommand implementations
 # --------------------------------------------------------------------------- #
+def _sweep_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """The orchestration arguments shared by every sweep subcommand."""
+    return {
+        "jobs": args.jobs,
+        "resume": args.resume,
+        "cache_dir": args.cache_dir,
+    }
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
-    report = table1_report()
+    report = table1_report(**_sweep_kwargs(args))
     print(report["text"])
     _write_json(args.json, report["computed"])
     return 0 if all(report["matches"].values()) else 1
 
 
 def cmd_appendix_a(args: argparse.Namespace) -> int:
-    report = appendix_a_report()
+    report = appendix_a_report(**_sweep_kwargs(args))
     print(report["text"])
     _write_json(args.json, report["details"])
     return 0 if not report["mismatches"] else 1
@@ -73,6 +82,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
         session_arrival_rate_per_sec=args.arrival_rate,
         num_keys=args.num_keys,
         seed=args.seed,
+        **_sweep_kwargs(args),
     )
     print(format_table(
         ["percentile", "Spanner (ms)", "Spanner-RSS (ms)", "reduction (%)"],
@@ -86,7 +96,8 @@ def cmd_figure5(args: argparse.Namespace) -> int:
 
 def cmd_figure6(args: argparse.Namespace) -> int:
     rows = figure6_experiment(client_counts=tuple(args.clients),
-                              duration_ms=args.duration_ms)
+                              duration_ms=args.duration_ms,
+                              **_sweep_kwargs(args))
     print(format_table(
         ["clients", "Spanner tput", "Spanner p50 (ms)", "Spanner-RSS tput",
          "Spanner-RSS p50 (ms)"],
@@ -103,6 +114,7 @@ def cmd_figure7(args: argparse.Namespace) -> int:
     rows = figure7_experiment(
         args.conflict_rate, write_ratios=tuple(args.write_ratios),
         duration_ms=args.duration_ms, seed=args.seed,
+        **_sweep_kwargs(args),
     )
     print(format_table(
         ["write ratio", "Gryff p99 (ms)", "Gryff-RSC p99 (ms)", "reduction (%)"],
@@ -115,7 +127,8 @@ def cmd_figure7(args: argparse.Namespace) -> int:
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
-    rows = overhead_experiment(duration_ms=args.duration_ms)
+    rows = overhead_experiment(duration_ms=args.duration_ms,
+                               **_sweep_kwargs(args))
     print(format_table(
         ["write ratio", "Gryff tput", "Gryff p50 (ms)", "Gryff-RSC tput",
          "Gryff-RSC p50 (ms)", "tput delta (%)"],
@@ -150,7 +163,7 @@ def cmd_anomalies(args: argparse.Namespace) -> int:
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
-    payload = attach_baseline(run_perf_suite(args.scale),
+    payload = attach_baseline(run_perf_suite(args.scale, jobs=args.jobs),
                               baseline_path=args.baseline)
     print(format_table(
         ["metric", "value"], perf_report_rows(payload),
@@ -175,16 +188,36 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--json", help="also write raw rows to this JSON file")
         sub.add_argument("--seed", type=int, default=3)
 
+    def add_sweep(sub: argparse.ArgumentParser,
+                  default_jobs: Optional[int] = None) -> None:
+        default_help = ("all cores" if default_jobs is None
+                        else str(default_jobs))
+        sub.add_argument(
+            "--jobs", type=int, default=default_jobs,
+            help=f"worker processes for the trial grid (default: "
+                 f"{default_help}; 1 = serial, bit-identical output)")
+        sub.add_argument(
+            "--resume", action="store_true",
+            help="reuse cached trial results and cache new ones, so an "
+                 "interrupted sweep continues where it stopped")
+        sub.add_argument(
+            "--cache-dir",
+            help="trial-result cache location (default: $REPRO_CACHE_DIR "
+                 "or .repro_cache); implies --resume")
+
     table1 = subparsers.add_parser("table1", help="Table 1 (invariants/anomalies)")
     add_common(table1)
+    add_sweep(table1, default_jobs=1)
     table1.set_defaults(func=cmd_table1)
 
     appendix = subparsers.add_parser("appendix-a", help="Appendix A model comparison")
     add_common(appendix)
+    add_sweep(appendix, default_jobs=1)
     appendix.set_defaults(func=cmd_appendix_a)
 
     figure5 = subparsers.add_parser("figure5", help="Figure 5 (Spanner RO tail latency)")
     add_common(figure5)
+    add_sweep(figure5)
     figure5.add_argument("--skew", type=float, default=0.7)
     figure5.add_argument("--duration-ms", type=float, default=30_000.0)
     figure5.add_argument("--clients-per-site", type=int, default=6)
@@ -194,12 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure6 = subparsers.add_parser("figure6", help="Figure 6 (throughput vs latency)")
     add_common(figure6)
+    add_sweep(figure6)
     figure6.add_argument("--clients", type=int, nargs="+", default=[4, 16, 48])
     figure6.add_argument("--duration-ms", type=float, default=1_000.0)
     figure6.set_defaults(func=cmd_figure6)
 
     figure7 = subparsers.add_parser("figure7", help="Figure 7 (Gryff p99 read latency)")
     add_common(figure7)
+    add_sweep(figure7)
     figure7.add_argument("--conflict-rate", type=float, default=0.10)
     figure7.add_argument("--write-ratios", type=float, nargs="+",
                          default=[0.1, 0.3, 0.5, 0.7, 0.9])
@@ -208,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     overhead = subparsers.add_parser("overhead", help="§7.4 (Gryff-RSC overhead)")
     add_common(overhead)
+    add_sweep(overhead)
     overhead.add_argument("--duration-ms", type=float, default=2_000.0)
     overhead.set_defaults(func=cmd_overhead)
 
@@ -224,6 +260,9 @@ def build_parser() -> argparse.ArgumentParser:
     perf = subparsers.add_parser(
         "perf", help="checker/sim hot-path performance suite (BENCH_perf.json)")
     perf.add_argument("--scale", choices=["quick", "full"], default="quick")
+    perf.add_argument("--jobs", type=int, default=None,
+                      help="worker processes for the sweep wall-clock section "
+                           "(default: all cores)")
     perf.add_argument("--json", help="write the perf payload to this JSON file")
     perf.add_argument("--baseline",
                       help="seed baseline JSON to compare against "

@@ -12,7 +12,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["percentile", "Percentiles", "cdf_points", "LatencyRecorder", "throughput"]
+__all__ = ["percentile", "percentile_sorted", "Percentiles", "cdf_points",
+           "DEFAULT_CDF_FRACTIONS", "LatencyRecorder", "throughput"]
+
+#: The CDF gridlines highlighted on the paper's Figure 5 y-axis.
+DEFAULT_CDF_FRACTIONS = (0.0, 0.5, 0.9, 0.99, 0.995, 0.999, 0.9999)
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -20,11 +24,19 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
     Raises ``ValueError`` on an empty sample set or an out-of-range ``q``.
     """
-    if not samples:
+    return percentile_sorted(sorted(samples), q)
+
+
+def percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """:func:`percentile` over samples that are already sorted ascending.
+
+    Callers that query many quantiles of one sample set (the CDF and
+    percentile-bundle paths) sort once and call this repeatedly.
+    """
+    if not ordered:
         raise ValueError("percentile of empty sample set")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile out of range: {q}")
-    ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100.0) * (len(ordered) - 1)
@@ -53,15 +65,18 @@ class Percentiles:
     def from_samples(cls, samples: Sequence[float]) -> "Percentiles":
         if not samples:
             raise ValueError("no samples")
+        ordered = sorted(samples)
+        # Sum in the original recording order: float addition rounds
+        # differently under reordering and summaries must stay bit-identical.
         return cls(
-            count=len(samples),
+            count=len(ordered),
             mean=sum(samples) / len(samples),
-            p50=percentile(samples, 50),
-            p90=percentile(samples, 90),
-            p99=percentile(samples, 99),
-            p999=percentile(samples, 99.9),
-            p9999=percentile(samples, 99.99),
-            maximum=max(samples),
+            p50=percentile_sorted(ordered, 50),
+            p90=percentile_sorted(ordered, 90),
+            p99=percentile_sorted(ordered, 99),
+            p999=percentile_sorted(ordered, 99.9),
+            p9999=percentile_sorted(ordered, 99.99),
+            maximum=ordered[-1],
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -88,11 +103,9 @@ def cdf_points(
     0.9999).
     """
     if fractions is None:
-        fractions = (0.0, 0.5, 0.9, 0.99, 0.995, 0.999, 0.9999)
-    points = []
-    for frac in fractions:
-        points.append((percentile(samples, frac * 100.0), frac))
-    return points
+        fractions = DEFAULT_CDF_FRACTIONS
+    ordered = sorted(samples)
+    return [(percentile_sorted(ordered, frac * 100.0), frac) for frac in fractions]
 
 
 def throughput(count: int, duration_ms: float) -> float:
@@ -111,6 +124,7 @@ class LatencyRecorder:
 
     def __init__(self) -> None:
         self._samples: Dict[str, List[float]] = {}
+        self._sorted: Dict[str, List[float]] = {}
         self._first_start: Optional[float] = None
         self._last_end: Optional[float] = None
 
@@ -119,6 +133,7 @@ class LatencyRecorder:
         if end < start:
             raise ValueError("operation ends before it starts")
         self._samples.setdefault(category, []).append(end - start)
+        self._sorted.pop(category, None)
         if self._first_start is None or start < self._first_start:
             self._first_start = start
         if self._last_end is None or end > self._last_end:
@@ -129,9 +144,27 @@ class LatencyRecorder:
         if latency < 0:
             raise ValueError("negative latency")
         self._samples.setdefault(category, []).append(latency)
+        self._sorted.pop(category, None)
 
     def samples(self, category: str) -> List[float]:
         return list(self._samples.get(category, []))
+
+    def sorted_samples(self, category: str) -> List[float]:
+        """The category's samples sorted ascending (memoized).
+
+        The sort is computed once and reused by every percentile/CDF query
+        until the next ``record`` for the category invalidates it.  Returns
+        the internal list — callers must not mutate it.
+        """
+        cached = self._sorted.get(category)
+        if cached is None:
+            cached = sorted(self._samples.get(category, ()))
+            self._sorted[category] = cached
+        return cached
+
+    def quantile(self, category: str, q: float) -> float:
+        """The ``q``-th percentile (0-100) of one category (memoized sort)."""
+        return percentile_sorted(self.sorted_samples(category), q)
 
     def categories(self) -> List[str]:
         return sorted(self._samples)
@@ -142,10 +175,28 @@ class LatencyRecorder:
         return sum(len(v) for v in self._samples.values())
 
     def percentiles(self, category: str) -> Percentiles:
-        return Percentiles.from_samples(self._samples.get(category, []))
+        samples = self._samples.get(category, [])
+        if not samples:
+            raise ValueError("no samples")
+        ordered = self.sorted_samples(category)
+        # Mean over the recording order (bit-identical to the unmemoized path).
+        return Percentiles(
+            count=len(ordered),
+            mean=sum(samples) / len(samples),
+            p50=percentile_sorted(ordered, 50),
+            p90=percentile_sorted(ordered, 90),
+            p99=percentile_sorted(ordered, 99),
+            p999=percentile_sorted(ordered, 99.9),
+            p9999=percentile_sorted(ordered, 99.99),
+            maximum=ordered[-1],
+        )
 
     def cdf(self, category: str, fractions: Optional[Sequence[float]] = None):
-        return cdf_points(self._samples.get(category, []), fractions)
+        if fractions is None:
+            fractions = DEFAULT_CDF_FRACTIONS
+        ordered = self.sorted_samples(category)
+        return [(percentile_sorted(ordered, frac * 100.0), frac)
+                for frac in fractions]
 
     @property
     def duration_ms(self) -> float:
@@ -164,6 +215,7 @@ class LatencyRecorder:
         """Fold another recorder's samples into this one."""
         for category, samples in other._samples.items():
             self._samples.setdefault(category, []).extend(samples)
+            self._sorted.pop(category, None)
         for bound in (other._first_start,):
             if bound is not None and (
                 self._first_start is None or bound < self._first_start

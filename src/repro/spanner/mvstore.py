@@ -26,12 +26,20 @@ class MultiVersionStore:
 
     def apply(self, key: str, value: Any, commit_ts: float,
               writer: Optional[str] = None) -> None:
-        """Install a committed version."""
+        """Install a committed version.
+
+        Commits arrive in nearly sorted timestamp order, so the common case
+        appends in O(1); only out-of-order installs pay the O(n) insert.
+        """
         timestamps = self._timestamps.setdefault(key, [])
         versions = self._versions.setdefault(key, [])
-        index = bisect.bisect_right(timestamps, commit_ts)
-        timestamps.insert(index, commit_ts)
-        versions.insert(index, (commit_ts, value, writer))
+        if not timestamps or commit_ts >= timestamps[-1]:
+            timestamps.append(commit_ts)
+            versions.append((commit_ts, value, writer))
+        else:
+            index = bisect.bisect_right(timestamps, commit_ts)
+            timestamps.insert(index, commit_ts)
+            versions.insert(index, (commit_ts, value, writer))
         if commit_ts > self.max_commit_ts:
             self.max_commit_ts = commit_ts
 

@@ -55,7 +55,10 @@ class RetwisWorkload:
 
     # --------------------------------------------------------------- #
     def _distinct_keys(self, count: int) -> List[str]:
-        keys = set()
+        # Batch the first ``count`` draws through sample_many (one hot-loop
+        # setup instead of ``count``), then top up collisions one at a time.
+        # The RNG stream is identical to drawing singly throughout.
+        keys = {f"key{index}" for index in self.zipf.sample_many(count)}
         while len(keys) < count:
             keys.add(self.zipf.sample_key())
         return sorted(keys)

@@ -5,13 +5,21 @@ ranging from 0.5 to 0.9" over ten million keys.  This module implements the
 rejection-inversion sampler of Hörmann and Derflinger [38], which draws from
 the Zipf distribution over ``{1, .., n}`` in O(1) expected time regardless of
 ``n`` and works for any exponent ``theta >= 0`` (``theta == 0`` is uniform).
+
+The sampler is on the hot path of every workload generator, so the loop in
+:meth:`ZipfGenerator.sample` hoists all per-instance constants and binds the
+math helpers to locals; :meth:`ZipfGenerator.sample_many` amortizes that
+setup over a whole batch.  Both paths consume the underlying RNG in exactly
+the same order and perform exactly the same float operations as the plain
+helper-based formulation (kept as ``_h`` / ``_h_inv`` / ``_pow`` below), so
+simulation results are unchanged.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import Optional
+from typing import List, Optional
 
 __all__ = ["ZipfGenerator"]
 
@@ -28,9 +36,18 @@ class ZipfGenerator:
         self.theta = theta
         self.rng = rng or random.Random(0)
         if theta > 0:
+            # Hoisted constants for the rejection loop.  ``1.0 - theta`` and
+            # ``1.0 / (1.0 - theta)`` are computed once here; reusing the
+            # stored values yields bit-identical floats to recomputing them
+            # per sample (the seed implementation's behavior).
+            self._one_minus_theta = 1.0 - theta
+            self._neg_theta = -theta
+            if theta != 1.0:
+                self._inv_one_minus_theta = 1.0 / self._one_minus_theta
             self._h_x1 = self._h(1.5) - 1.0
             self._h_n = self._h(n + 0.5)
             self._s = 2.0 - self._h_inv(self._h(2.5) - self._pow(2.0))
+            self._h_span = self._h_x1 - self._h_n
 
     # --------------------------------------------------------------- #
     # Rejection-inversion helpers (Hörmann & Derflinger, 1996)
@@ -53,13 +70,48 @@ class ZipfGenerator:
         """Return an index in ``[0, n)``; smaller indices are hotter."""
         if self.theta == 0.0:
             return self.rng.randrange(self.n)
+        return self._draw(self.rng.random, math.exp, math.log, math.floor)
+
+    def sample_many(self, count: int) -> List[int]:
+        """Return ``count`` samples; equivalent to ``count`` ``sample()`` calls.
+
+        The RNG is consumed in exactly the same order as repeated single
+        draws, so ``sample_many(k)`` followed by ``sample()`` produces the
+        same stream as ``k + 1`` ``sample()`` calls.
+        """
+        if self.theta == 0.0:
+            randrange = self.rng.randrange
+            n = self.n
+            return [randrange(n) for _ in range(count)]
+        random_ = self.rng.random
+        exp, log, floor = math.exp, math.log, math.floor
+        draw = self._draw
+        return [draw(random_, exp, log, floor) for _ in range(count)]
+
+    def _draw(self, random_, exp, log, floor) -> int:
+        """One rejection-inversion draw with all constants in locals."""
+        h_n = self._h_n
+        h_span = self._h_span
+        s = self._s
+        if self.theta == 1.0:
+            while True:
+                u = h_n + random_() * h_span
+                x = exp(u)
+                k = floor(x + 0.5)
+                if k - x <= s:
+                    return int(k) - 1
+                if u >= log(k + 0.5) - exp(-log(k)):
+                    return int(k) - 1
+        one_minus = self._one_minus_theta
+        inv_one_minus = self._inv_one_minus_theta
+        neg_theta = self._neg_theta
         while True:
-            u = self._h_n + self.rng.random() * (self._h_x1 - self._h_n)
-            x = self._h_inv(u)
-            k = math.floor(x + 0.5)
-            if k - x <= self._s:
+            u = h_n + random_() * h_span
+            x = (u * one_minus) ** inv_one_minus
+            k = floor(x + 0.5)
+            if k - x <= s:
                 return int(k) - 1
-            if u >= self._h(k + 0.5) - self._pow(k):
+            if u >= ((k + 0.5) ** one_minus) / one_minus - exp(neg_theta * log(k)):
                 return int(k) - 1
 
     def sample_key(self, prefix: str = "key") -> str:

@@ -1,0 +1,229 @@
+"""Tests for the parallel experiment orchestrator (:mod:`repro.bench.runner`).
+
+Covers spec canonicalization, deterministic seed derivation, serial/parallel
+result equivalence, deterministic result ordering, and the resume cache
+(interrupted sweeps pick up where they stopped).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.runner import (
+    ParallelRunner,
+    SweepSpec,
+    TrialSpec,
+    default_jobs,
+    derive_seed,
+    register_trial,
+    resolve_trial,
+    run_sweep,
+)
+
+
+# --------------------------------------------------------------------- #
+# Spec canonicalization and hashing
+# --------------------------------------------------------------------- #
+def test_trial_spec_key_is_order_insensitive():
+    a = TrialSpec.make("table1_model", {"x": 1, "y": [1, 2]}, seed=3)
+    b = TrialSpec.make("table1_model", {"y": [1, 2], "x": 1}, seed=3)
+    assert a.key() == b.key()
+    assert a.param_dict() == {"x": 1, "y": [1, 2]}
+
+
+def test_trial_spec_key_depends_on_everything():
+    base = TrialSpec.make("table1_model", {"x": 1}, seed=3)
+    assert base.key() != TrialSpec.make("table1_model", {"x": 2}, seed=3).key()
+    assert base.key() != TrialSpec.make("table1_model", {"x": 1}, seed=4).key()
+    assert base.key() != TrialSpec.make("spanner_load", {"x": 1}, seed=3).key()
+
+
+def test_trial_spec_rejects_unserializable_params():
+    with pytest.raises(TypeError):
+        TrialSpec.make("table1_model", {"fn": object()})
+
+
+def test_nested_params_round_trip():
+    params = {"a": {"b": [1, 2, {"c": True}]}, "d": None}
+    spec = TrialSpec.make("table1_model", params)
+    assert spec.param_dict() == params
+
+
+def test_ambiguous_params_round_trip_without_corruption():
+    # Regression: lists shaped like (str, value) pairs must stay lists, and
+    # empty dicts must stay dicts, through the freeze/thaw round trip.
+    params = {"pairs": [["a", 1], ["b", 2]], "empty": {}, "unit": [["x", 3]]}
+    spec = TrialSpec.make("table1_model", params)
+    assert spec.param_dict() == params
+
+
+def test_derive_seed_is_stable_and_spread():
+    assert derive_seed(1, "spanner", 4) == derive_seed(1, "spanner", 4)
+    seeds = {derive_seed(1, variant, count)
+             for variant in ("spanner", "spanner-rss")
+             for count in (2, 4, 8, 16)}
+    assert len(seeds) == 8
+    assert all(0 <= seed < 2 ** 63 for seed in seeds)
+
+
+def test_grid_expansion_order_and_seeds():
+    sweep = SweepSpec.grid("g", "table1_model",
+                           axes={"a": [1, 2], "b": ["x", "y"]},
+                           base={"c": 0}, seed=9)
+    combos = [(t.param_dict()["a"], t.param_dict()["b"]) for t in sweep.trials]
+    assert combos == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+    assert all(t.seed == 9 for t in sweep.trials)
+    assert all(t.param_dict()["c"] == 0 for t in sweep.trials)
+    derived = SweepSpec.grid("g", "table1_model", axes={"a": [1, 2]},
+                             seed=9, derive_seeds=True)
+    assert derived.trials[0].seed != derived.trials[1].seed
+
+
+def test_resolve_trial_alias_and_dotted_path():
+    assert resolve_trial("table1_model") is resolve_trial(
+        "repro.bench.table1:model_trial")
+    with pytest.raises(KeyError):
+        resolve_trial("no_such_trial")
+
+
+def test_register_trial_requires_dotted_path():
+    with pytest.raises(ValueError):
+        register_trial("bad", "not-a-path")
+
+
+def test_default_jobs_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert default_jobs() == 3
+    monkeypatch.delenv("REPRO_JOBS")
+    assert default_jobs() >= 1
+
+
+# --------------------------------------------------------------------- #
+# Determinism: serial vs parallel
+# --------------------------------------------------------------------- #
+def _tiny_load_sweep() -> SweepSpec:
+    from repro.bench.spanner_experiments import figure6_sweep
+
+    return figure6_sweep(client_counts=(1, 2), duration_ms=120.0,
+                         num_shards=2, num_keys=200)
+
+
+def test_sweep_results_identical_at_jobs_1_and_4():
+    sweep = _tiny_load_sweep()
+    serial = ParallelRunner(jobs=1).run(sweep)
+    parallel = ParallelRunner(jobs=4).run(sweep)
+    assert serial.jobs == 1 and parallel.jobs == 4
+    assert len(serial.results) == len(sweep.trials) == 4
+    # Aggregated results must be exactly equal, in the same trial order.
+    assert serial.data() == parallel.data()
+    # The parallel run really did cross process boundaries (pool of forked
+    # or spawned workers), unless the pool collapsed to one worker.
+    pids = {result.worker_pid for result in parallel.results}
+    assert os.getpid() not in pids
+
+
+def test_serial_runner_matches_direct_trial_calls():
+    from repro.bench.runner import _execute_trial
+
+    sweep = SweepSpec.grid("table1", "table1_model",
+                           axes={"model": ["rss", "po_serializability"]})
+    outcome = ParallelRunner(jobs=1).run(sweep)
+    direct = [_execute_trial(spec)[0] for spec in sweep.trials]
+    assert outcome.data() == direct
+
+
+# --------------------------------------------------------------------- #
+# Resume cache
+# --------------------------------------------------------------------- #
+def test_resume_reuses_cached_trials(tmp_path):
+    cache = str(tmp_path / "cache")
+    sweep = SweepSpec.grid("table1", "table1_model",
+                           axes={"model": ["strict_serializability", "rss",
+                                           "po_serializability"]})
+    # Simulate a sweep interrupted after the first two trials: only they
+    # reach the cache.
+    partial = SweepSpec.of(sweep.name, sweep.trials[:2])
+    first = ParallelRunner(jobs=1, cache_dir=cache, code_tag="t").run(partial)
+    assert first.cache_hits == 0 and first.cache_misses == 2
+
+    resumed = ParallelRunner(jobs=1, cache_dir=cache, code_tag="t").run(sweep)
+    assert resumed.cache_hits == 2 and resumed.cache_misses == 1
+    assert [r.cached for r in resumed.results] == [True, True, False]
+
+    # Cached results are exactly what an uncached run computes.
+    fresh = ParallelRunner(jobs=1).run(sweep)
+    assert resumed.data() == fresh.data()
+
+    # A third run is served entirely from the cache.
+    third = ParallelRunner(jobs=1, cache_dir=cache, code_tag="t").run(sweep)
+    assert third.cache_hits == 3 and third.cache_misses == 0
+    assert third.data() == fresh.data()
+
+
+def test_cache_is_keyed_on_code_tag(tmp_path):
+    cache = str(tmp_path / "cache")
+    sweep = SweepSpec.grid("table1", "table1_model", axes={"model": ["rss"]})
+    ParallelRunner(jobs=1, cache_dir=cache, code_tag="rev-a").run(sweep)
+    other = ParallelRunner(jobs=1, cache_dir=cache, code_tag="rev-b").run(sweep)
+    assert other.cache_hits == 0 and other.cache_misses == 1
+
+
+def test_cache_ignores_corrupt_entries(tmp_path):
+    cache = str(tmp_path / "cache")
+    sweep = SweepSpec.grid("table1", "table1_model", axes={"model": ["rss"]})
+    runner = ParallelRunner(jobs=1, cache_dir=cache, code_tag="t")
+    first = runner.run(sweep)
+    path = runner._cache_path(sweep, sweep.trials[0])
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    again = ParallelRunner(jobs=1, cache_dir=cache, code_tag="t").run(sweep)
+    assert again.cache_hits == 0
+    assert again.data() == first.data()
+
+
+def test_cache_entry_is_json_with_metadata(tmp_path):
+    cache = str(tmp_path / "cache")
+    sweep = SweepSpec.grid("table1", "table1_model", axes={"model": ["rss"]},
+                           seed=7)
+    runner = ParallelRunner(jobs=1, cache_dir=cache, code_tag="t")
+    runner.run(sweep)
+    path = runner._cache_path(sweep, sweep.trials[0])
+    with open(path, "r", encoding="utf-8") as handle:
+        entry = json.load(handle)
+    assert entry["experiment"] == "table1_model"
+    assert entry["params"] == {"model": "rss"}
+    assert entry["seed"] == 7
+    assert entry["code_tag"] == "t"
+    assert "verdicts" in entry["data"]
+
+
+def test_run_sweep_progress_callback():
+    seen = []
+    sweep = SweepSpec.grid("table1", "table1_model", axes={"model": ["rss"]})
+    run_sweep(sweep, jobs=1,
+              progress=lambda result, index, total: seen.append((index, total)))
+    assert seen == [(0, 1)]
+
+
+# --------------------------------------------------------------------- #
+# Figure drivers through the runner (tiny scale)
+# --------------------------------------------------------------------- #
+def test_figure6_experiment_parallel_matches_serial():
+    from repro.bench.spanner_experiments import figure6_experiment
+
+    kwargs = dict(client_counts=(1, 2), duration_ms=120.0, num_shards=2,
+                  num_keys=200)
+    assert (figure6_experiment(jobs=1, **kwargs)
+            == figure6_experiment(jobs=2, **kwargs))
+
+
+def test_figure7_experiment_resume_round_trip(tmp_path):
+    from repro.bench.gryff_experiments import figure7_experiment
+
+    kwargs = dict(write_ratios=(0.5,), duration_ms=300.0, num_clients=4)
+    cache = str(tmp_path / "cache")
+    fresh = figure7_experiment(0.1, jobs=1, **kwargs)
+    first = figure7_experiment(0.1, jobs=1, cache_dir=cache, **kwargs)
+    cached = figure7_experiment(0.1, jobs=1, cache_dir=cache, **kwargs)
+    assert fresh == first == cached

@@ -161,6 +161,60 @@ def test_latency_recorder_merge():
     assert a.duration_ms == 30.0
 
 
+def test_latency_recorder_memoized_results_unchanged():
+    # Regression: percentiles()/cdf()/quantile() answers must be exactly the
+    # values computed by the unmemoized module-level helpers, before and
+    # after the sorted-sample cache is populated and invalidated.
+    import random
+
+    rng = random.Random(42)
+    rec = LatencyRecorder()
+    samples = [rng.uniform(0.1, 500.0) for _ in range(257)]
+    for latency in samples:
+        rec.record_latency("ro", latency)
+
+    def check():
+        expected = Percentiles.from_samples(rec.samples("ro"))
+        for _ in range(2):  # second pass hits the memoized sort
+            assert rec.percentiles("ro") == expected
+            assert rec.cdf("ro") == cdf_points(rec.samples("ro"))
+            for q in (0.0, 50.0, 99.0, 99.9, 100.0):
+                assert rec.quantile("ro", q) == percentile(rec.samples("ro"), q)
+
+    check()
+    # Recording invalidates the cache; answers must track the new samples.
+    rec.record_latency("ro", 0.05)
+    check()
+    other = LatencyRecorder()
+    other.record_latency("ro", 1000.0)
+    rec.merge(other)
+    check()
+    assert rec.percentiles("ro").maximum == 1000.0
+
+
+def test_latency_recorder_sorted_samples_memoized_and_invalidated():
+    rec = LatencyRecorder()
+    for latency in (5.0, 1.0, 3.0):
+        rec.record_latency("x", latency)
+    first = rec.sorted_samples("x")
+    assert first == [1.0, 3.0, 5.0]
+    assert rec.sorted_samples("x") is first  # memoized between records
+    rec.record_latency("x", 0.5)
+    assert rec.sorted_samples("x") == [0.5, 1.0, 3.0, 5.0]
+    assert rec.samples("x") == [5.0, 1.0, 3.0, 0.5]  # recording order kept
+
+
+def test_percentile_sorted_matches_percentile():
+    from repro.sim.stats import percentile_sorted
+
+    data = [9.0, 2.0, 7.0, 2.0, 11.0]
+    ordered = sorted(data)
+    for q in (0, 10, 50, 90, 100):
+        assert percentile_sorted(ordered, q) == percentile(data, q)
+    with pytest.raises(ValueError):
+        percentile_sorted([], 50)
+
+
 @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200), st.floats(min_value=0, max_value=100))
 def test_percentile_bounded_by_min_max(samples, q):
     value = percentile(samples, q)

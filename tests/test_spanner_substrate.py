@@ -169,6 +169,33 @@ def test_mvstore_out_of_order_applies():
     assert store.read_latest("x")[1] == "late"
 
 
+def test_mvstore_out_of_order_interleaved_with_appends():
+    # The append fast path (commit_ts >= last) must not disturb the slow
+    # out-of-order insert path: mix both and check every read boundary.
+    store = MultiVersionStore()
+    for ts, value in [(10.0, "a"), (30.0, "b"), (20.0, "mid"), (30.0, "b2"),
+                      (40.0, "c"), (5.0, "first")]:
+        store.apply("x", value, ts, writer=f"t{value}")
+    assert [v[0] for v in store._versions["x"]] == [5.0, 10.0, 20.0, 30.0,
+                                                    30.0, 40.0]
+    assert store.read_at("x", 4.0) == (0.0, None, None)
+    assert store.read_at("x", 7.0)[1] == "first"
+    assert store.read_at("x", 25.0)[1] == "mid"
+    # Equal timestamps: bisect_right semantics — the later apply wins.
+    assert store.read_at("x", 30.0)[1] == "b2"
+    assert store.read_latest("x")[1] == "c"
+    assert store.max_commit_ts == 40.0
+    assert store.version_count("x") == 6
+
+
+def test_mvstore_equal_timestamp_appends_preserve_apply_order():
+    store = MultiVersionStore()
+    store.apply("x", "one", 10.0)
+    store.apply("x", "two", 10.0)
+    assert [v[1] for v in store._versions["x"]] == ["one", "two"]
+    assert store.read_at("x", 10.0)[1] == "two"
+
+
 def test_mvstore_apply_many():
     store = MultiVersionStore()
     store.apply_many({"a": 1, "b": 2}, 5.0, writer="t9")

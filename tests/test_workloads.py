@@ -65,6 +65,62 @@ def test_zipf_samples_always_in_range(n, theta, seed):
         assert 0 <= gen.sample() < n
 
 
+def _reference_zipf_stream(n, theta, seed, count):
+    """The seed implementation's sampling loop, kept as a bit-exactness
+    oracle for the hoisted-constant fast path."""
+    import math
+
+    rng = random.Random(seed)
+    if theta == 0.0:
+        return [rng.randrange(n) for _ in range(count)]
+
+    def _pow(x):
+        return math.exp(-theta * math.log(x))
+
+    def _h(x):
+        if theta == 1.0:
+            return math.log(x)
+        return (x ** (1.0 - theta)) / (1.0 - theta)
+
+    def _h_inv(x):
+        if theta == 1.0:
+            return math.exp(x)
+        return (x * (1.0 - theta)) ** (1.0 / (1.0 - theta))
+
+    h_x1 = _h(1.5) - 1.0
+    h_n = _h(n + 0.5)
+    s = 2.0 - _h_inv(_h(2.5) - _pow(2.0))
+    out = []
+    while len(out) < count:
+        u = h_n + rng.random() * (h_x1 - h_n)
+        x = _h_inv(u)
+        k = math.floor(x + 0.5)
+        if k - x <= s:
+            out.append(int(k) - 1)
+        elif u >= _h(k + 0.5) - _pow(k):
+            out.append(int(k) - 1)
+    return out
+
+
+@pytest.mark.parametrize("theta", [0.0, 0.5, 0.9, 1.0, 1.3])
+def test_zipf_fast_path_bit_identical_to_reference(theta):
+    gen = ZipfGenerator(5_000, theta, rng=random.Random(17))
+    stream = [gen.sample() for _ in range(400)]
+    assert stream == _reference_zipf_stream(5_000, theta, 17, 400)
+
+
+@pytest.mark.parametrize("theta", [0.0, 0.9, 1.0])
+def test_zipf_sample_many_consumes_rng_like_single_draws(theta):
+    single = ZipfGenerator(1_000, theta, rng=random.Random(23))
+    batched = ZipfGenerator(1_000, theta, rng=random.Random(23))
+    expected = [single.sample() for _ in range(50)]
+    got = batched.sample_many(20)
+    got += [batched.sample() for _ in range(10)]
+    got += batched.sample_many(20)
+    assert got == expected
+    assert batched.sample_many(0) == []
+
+
 def test_zipf_key_prefix():
     gen = ZipfGenerator(10, 0.0, rng=random.Random(0))
     assert gen.sample_key("user").startswith("user")
