@@ -33,12 +33,14 @@ coordinates for sweeps that need distinct seeds per cell.
 
 from __future__ import annotations
 
+import glob
 import hashlib
 import importlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import warnings
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from itertools import product
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -111,11 +113,26 @@ def derive_seed(base_seed: int, *coordinates: Any) -> int:
 
 
 def default_jobs() -> int:
-    """The default worker count: ``REPRO_JOBS`` env var or ``os.cpu_count()``."""
+    """The default worker count: ``REPRO_JOBS`` env var or ``os.cpu_count()``.
+
+    The default is clamped to the available cores — oversubscribing a grid
+    of CPU-bound simulations only adds scheduler thrash (PR 2's committed
+    ``BENCH_perf.json`` measured exactly that on a 1-core container).  An
+    *explicit* ``jobs=`` argument is honored but warned about
+    (:class:`ParallelRunner`).
+    """
+    cores = os.cpu_count() or 1
     env = os.environ.get("REPRO_JOBS")
     if env:
-        return max(1, int(env))
-    return os.cpu_count() or 1
+        requested = max(1, int(env))
+        if requested > cores:
+            warnings.warn(
+                f"REPRO_JOBS={requested} exceeds the {cores} available "
+                f"core(s); clamping to {cores}",
+                RuntimeWarning, stacklevel=2)
+            return cores
+        return requested
+    return cores
 
 
 #: Sentinel distinguishing frozen dicts from frozen lists, so a parameter
@@ -309,6 +326,12 @@ class ParallelRunner:
                  cache_dir: Optional[str] = None,
                  code_tag: Optional[str] = None,
                  progress: Optional[Callable[[TrialResult, int, int], None]] = None):
+        cores = os.cpu_count() or 1
+        if jobs is not None and jobs > cores:
+            warnings.warn(
+                f"--jobs {jobs} exceeds the {cores} available core(s); "
+                f"workers will contend for CPU instead of running faster",
+                RuntimeWarning, stacklevel=2)
         self.jobs = max(1, jobs if jobs is not None else default_jobs())
         self.resume = resume or cache_dir is not None
         self.cache_dir = (cache_dir or os.environ.get("REPRO_CACHE_DIR")
@@ -380,12 +403,19 @@ class ParallelRunner:
 
         if pending:
             if self.jobs <= 1 or len(pending) == 1:
-                for index in pending:
-                    self._finish(sweep, results, index,
-                                 _execute_trial(sweep.trials[index]), total)
+                try:
+                    for index in pending:
+                        self._finish(sweep, results, index,
+                                     _execute_trial(sweep.trials[index]), total)
+                except (KeyboardInterrupt, SystemExit):
+                    # Every finished trial is already cached (``_finish``
+                    # stores before returning); just drop stray temp files.
+                    self._remove_stale_tmp(sweep)
+                    raise
             else:
                 workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
+                pool = ProcessPoolExecutor(max_workers=workers)
+                try:
                     # Consume in completion order so finished trials reach
                     # the resume cache immediately (an interrupt then loses
                     # only in-flight trials); `results` is indexed, so the
@@ -396,6 +426,26 @@ class ParallelRunner:
                     for future in as_completed(futures):
                         self._finish(sweep, results, futures[future],
                                      future.result(), total)
+                except (KeyboardInterrupt, SystemExit):
+                    # Graceful shutdown: flush every already-completed trial
+                    # to the resume cache, cancel the rest without blocking
+                    # on in-flight work, and remove half-written temp files
+                    # so ``--resume`` restarts from a clean cache.  The
+                    # finally block keeps the cleanup running even if a
+                    # second interrupt lands mid-flush.
+                    try:
+                        self._flush_completed(sweep, results, futures)
+                    finally:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        self._remove_stale_tmp(sweep)
+                    raise
+                except BaseException:
+                    # A trial raised (or a cache write failed): don't leak
+                    # the pool the way a bare re-raise would.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+                else:
+                    pool.shutdown()
 
         wall = time.perf_counter() - started
         final = [result for result in results if result is not None]
@@ -403,6 +453,45 @@ class ParallelRunner:
         return SweepOutcome(sweep=sweep, results=final, jobs=self.jobs,
                             wall_clock_s=wall, cache_hits=hits,
                             cache_misses=len(pending))
+
+    def _flush_completed(self, sweep: SweepSpec,
+                         results: List[Optional[TrialResult]],
+                         futures: Dict["Future", int]) -> None:
+        """Store results of futures that finished but were never consumed
+        (an interrupt landed between their completion and ``as_completed``).
+
+        Deliberately bypasses the progress callback: this runs during
+        interrupt handling, and user callbacks must not re-raise there.
+        """
+        for future, index in futures.items():
+            if results[index] is not None or not future.done() or future.cancelled():
+                continue
+            try:
+                data, elapsed, pid = future.result(timeout=0)
+            except BaseException:
+                continue  # the trial itself failed; nothing to cache
+            result = TrialResult(spec=sweep.trials[index], data=data,
+                                 elapsed_s=elapsed, worker_pid=pid)
+            if self.resume:
+                try:
+                    self._cache_store(sweep, sweep.trials[index], result)
+                except Exception:
+                    pass  # a cache-write failure must not mask the interrupt
+            results[index] = result
+
+    def _remove_stale_tmp(self, sweep: SweepSpec) -> None:
+        """Delete this process's interrupted ``.tmp.<pid>`` cache files
+        (atomic renames mean our own surviving temp file is always garbage;
+        other processes sharing the cache dir own their pid-suffixed files)."""
+        if not self.resume:
+            return
+        pattern = os.path.join(self.cache_dir, sweep.name,
+                               f"*.tmp.{os.getpid()}")
+        for path in glob.glob(pattern):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
 
     def _finish(self, sweep: SweepSpec, results: List[Optional[TrialResult]],
                 index: int, payload: Tuple[Dict[str, Any], float, int],

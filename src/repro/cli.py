@@ -15,11 +15,23 @@ Every table and figure of the paper can be regenerated from the command line:
 Each subcommand prints the corresponding plain-text table; ``--json FILE``
 additionally writes the raw rows to a JSON file so results can be archived or
 plotted elsewhere.
+
+The live cluster runtime (real asyncio TCP instead of the simulator) is
+driven by four further subcommands:
+
+.. code-block:: console
+
+   $ python -m repro init-config --protocol gryff-rsc --replicas 3 --out cluster.json
+   $ python -m repro serve --config cluster.json          # all nodes, or --node replica0
+   $ python -m repro load --config cluster.json --clients 4 --duration-ms 2000 \
+       --trace trace.jsonl
+   $ python -m repro live-check trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -175,6 +187,99 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# Live cluster subcommands
+# --------------------------------------------------------------------------- #
+def cmd_init_config(args: argparse.Namespace) -> int:
+    from repro.net.spec import ClusterSpec
+
+    if args.protocol in ("gryff", "gryff-rsc"):
+        spec = ClusterSpec.gryff(num_replicas=args.replicas, host=args.host,
+                                 base_port=args.base_port, variant=args.protocol)
+    else:
+        spec = ClusterSpec.spanner(num_shards=args.shards, host=args.host,
+                                   base_port=args.base_port, variant=args.protocol,
+                                   params={"truetime_epsilon_ms": args.epsilon_ms})
+    spec.save(args.out)
+    print(f"wrote {args.out}: {args.protocol} with "
+          f"{len(spec.nodes)} node(s) on {args.host}:{args.base_port}+")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net.cluster import serve_forever
+    from repro.net.spec import ClusterSpec
+
+    spec = ClusterSpec.load(args.config)
+    host_nodes = [args.node] if args.node else None
+    return asyncio.run(serve_forever(spec, host_nodes))
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    from repro.net.load import load_main
+    from repro.net.spec import ClusterSpec
+
+    spec = ClusterSpec.load(args.config)
+    summary = load_main(
+        spec,
+        num_clients=args.clients,
+        duration_ms=None if args.ops_per_client else args.duration_ms,
+        ops_per_client=args.ops_per_client,
+        workload=args.workload,
+        write_ratio=args.write_ratio,
+        conflict_rate=args.conflict_rate,
+        num_keys=args.num_keys,
+        seed=args.seed,
+        trace_path=args.trace,
+        client_prefix=args.client_prefix,
+    )
+    rows = [["ops completed", summary["ops"]],
+            ["duration (ms)", round(summary["duration_ms"], 1)],
+            ["throughput (ops/s)", round(summary["throughput_ops_per_s"], 1)]]
+    for category, percentiles in sorted(summary["categories"].items()):
+        rows.append([f"{category} p50 (ms)", round(percentiles["p50"], 3)])
+        rows.append([f"{category} p99 (ms)", round(percentiles["p99"], 3)])
+    print(format_table(["metric", "value"], rows,
+                       title=f"Live load — {summary['protocol']} / "
+                             f"{summary['workload']}"))
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    _write_json(args.json, summary)
+    return 0 if summary["ops"] > 0 else 1
+
+
+def cmd_live_check(args: argparse.Namespace) -> int:
+    from repro.net.check import check_trace, default_model_for
+    from repro.net.recorder import read_trace
+
+    meta, history = read_trace(args.trace)
+    protocol = args.protocol or meta.get("protocol")
+    if not protocol:
+        print("trace has no protocol header; pass --protocol", file=sys.stderr)
+        return 2
+    try:
+        model = args.model or default_model_for(protocol)
+    except ValueError as exc:
+        print(f"cannot check trace: {exc}", file=sys.stderr)
+        return 2
+    result = check_trace(history, protocol, model)
+    payload = {
+        "trace": args.trace,
+        "protocol": protocol,
+        "model": model,
+        "operations": len(history),
+        "complete": len(history.complete()),
+        "processes": len(history.processes()),
+        "satisfied": bool(result),
+        "reason": result.reason,
+    }
+    verdict = "SATISFIED" if result else f"VIOLATED ({result.reason})"
+    print(f"live-check {args.trace}: {len(history)} ops from "
+          f"{payload['processes']} process(es) — {model}: {verdict}")
+    _write_json(args.json, payload)
+    return 0 if result else 1
+
+
+# --------------------------------------------------------------------------- #
 # Argument parsing
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -269,13 +374,74 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: benchmarks/BENCH_seed_baseline.json)")
     perf.set_defaults(func=cmd_perf)
 
+    init_config = subparsers.add_parser(
+        "init-config", help="write a live-cluster topology file")
+    init_config.add_argument("--protocol", default="gryff-rsc",
+                             choices=["gryff", "gryff-rsc", "spanner", "spanner-rss"])
+    init_config.add_argument("--replicas", type=int, default=3,
+                             help="Gryff replica count (default 3)")
+    init_config.add_argument("--shards", type=int, default=2,
+                             help="Spanner shard count (default 2)")
+    init_config.add_argument("--host", default="127.0.0.1")
+    init_config.add_argument("--base-port", type=int, default=7400,
+                             help="first listen port; node i uses base+i")
+    init_config.add_argument("--epsilon-ms", type=float, default=10.0,
+                             help="TrueTime uncertainty for Spanner clusters")
+    init_config.add_argument("--out", default="cluster.json")
+    init_config.set_defaults(func=cmd_init_config)
+
+    serve = subparsers.add_parser(
+        "serve", help="run live cluster server nodes over asyncio TCP")
+    serve.add_argument("--config", required=True, help="cluster spec JSON")
+    serve.add_argument("--node",
+                       help="host only this node (one process per node); "
+                            "default: every server node as asyncio tasks")
+    serve.set_defaults(func=cmd_serve)
+
+    load = subparsers.add_parser(
+        "load", help="drive a live cluster and capture a history trace")
+    load.add_argument("--config", required=True, help="cluster spec JSON")
+    load.add_argument("--clients", type=int, default=4)
+    load.add_argument("--duration-ms", type=float, default=2_000.0)
+    load.add_argument("--ops-per-client", type=int, default=None,
+                      help="stop after N ops per client instead of a duration")
+    load.add_argument("--workload", default="ycsb", choices=["ycsb", "retwis"])
+    load.add_argument("--write-ratio", type=float, default=0.5)
+    load.add_argument("--conflict-rate", type=float, default=0.10)
+    load.add_argument("--num-keys", type=int, default=1_000)
+    load.add_argument("--seed", type=int, default=1)
+    load.add_argument("--trace", help="write the live history to this JSONL file")
+    load.add_argument("--client-prefix", default="client",
+                      help="client name prefix (make unique across "
+                           "concurrent load processes)")
+    load.add_argument("--json", help="also write the summary to this JSON file")
+    load.set_defaults(func=cmd_load)
+
+    live_check = subparsers.add_parser(
+        "live-check", help="replay a captured trace through the checkers")
+    live_check.add_argument("trace", help="JSONL trace from `repro load`")
+    live_check.add_argument("--protocol",
+                            choices=["gryff", "gryff-rsc", "spanner", "spanner-rss"],
+                            help="override the trace's protocol header")
+    live_check.add_argument("--model",
+                            help="override the protocol's default model")
+    live_check.add_argument("--json", help="also write the verdict to this JSON file")
+    live_check.set_defaults(func=cmd_live_check)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Sweeps flush their resume cache before this propagates (see
+        # ParallelRunner); exit with the conventional SIGINT code and no
+        # traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -254,6 +254,54 @@ class Operation:
         return bool(self.keys_read() & write_op.keys_written())
 
     # ------------------------------------------------------------------ #
+    # Wire serialization (JSONL traces)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able rendering of the operation (for trace files).
+
+        Tuples inside ``meta`` (e.g. Gryff carstamps) become JSON lists;
+        consumers that compare carstamps already normalize with ``tuple()``.
+        Non-string read/write-set keys are stringified by JSON encoders, so
+        traces are only faithful for string-keyed services (all of ours are).
+        """
+        return {
+            "op_id": self.op_id,
+            "process": self.process,
+            "op_type": self.op_type.value,
+            "service": self.service,
+            "key": self.key,
+            "value": self.value,
+            "result": self.result,
+            "read_set": dict(self.read_set),
+            "write_set": dict(self.write_set),
+            "invoked_at": self.invoked_at,
+            "responded_at": self.responded_at,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Operation":
+        """Rebuild an operation from :meth:`to_dict` output.
+
+        The recorded ``op_id`` is preserved (ids stay unique within the
+        loaded history; they are not re-registered with the global counter).
+        """
+        return cls(
+            process=data["process"],
+            op_type=OpType(data["op_type"]),
+            service=data.get("service", "kv"),
+            key=data.get("key"),
+            value=data.get("value"),
+            result=data.get("result"),
+            read_set=dict(data.get("read_set") or {}),
+            write_set=dict(data.get("write_set") or {}),
+            invoked_at=data.get("invoked_at", 0.0),
+            responded_at=data.get("responded_at"),
+            op_id=data["op_id"],
+            meta=dict(data.get("meta") or {}),
+        )
+
+    # ------------------------------------------------------------------ #
     # Presentation
     # ------------------------------------------------------------------ #
     def describe(self) -> str:

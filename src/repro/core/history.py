@@ -9,12 +9,36 @@ service operations.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
 
 from repro.core.events import Operation, OpType
 
-__all__ = ["MessageEdge", "History"]
+__all__ = ["MessageEdge", "History", "iter_jsonl_records"]
+
+
+def iter_jsonl_records(source: Iterable[str]) -> Iterable[Dict[str, Any]]:
+    """Yield parsed JSON objects from JSONL lines, skipping blanks.
+
+    An undecodable *final* line is tolerated: a crash can truncate the last
+    record of a live trace mid-write, and losing only the in-flight record
+    is exactly the recorder's durability contract.  An undecodable line
+    *followed by further records* is real corruption and raises.
+    """
+    decode_error: Optional[json.JSONDecodeError] = None
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        if decode_error is not None:
+            raise decode_error
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            decode_error = exc
+            continue
+        yield record
 
 
 @dataclass(frozen=True)
@@ -190,6 +214,64 @@ class History:
         except ValueError:
             return False
         return True
+
+    # ------------------------------------------------------------------ #
+    # JSONL serialization (live traces / offline re-checking)
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self, destination: Union[str, IO[str]]) -> None:
+        """Write the history as JSON Lines: one ``{"type": "op", ...}`` record
+        per operation (in recording order) followed by one
+        ``{"type": "edge", ...}`` record per message edge.
+
+        ``destination`` is a path or an open text file.  The format is shared
+        with the live-cluster trace recorder, so :meth:`from_jsonl` reads both
+        offline dumps and live captures.
+        """
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                self.to_jsonl(handle)
+            return
+        for op in self._ops:
+            record = {"type": "op"}
+            record.update(op.to_dict())
+            destination.write(json.dumps(record, separators=(",", ":"),
+                                         default=str))
+            destination.write("\n")
+        for edge in self.message_edges:
+            destination.write(json.dumps(
+                {"type": "edge", "src_op": edge.src_op, "dst_op": edge.dst_op},
+                separators=(",", ":")))
+            destination.write("\n")
+
+    @classmethod
+    def from_records(cls, records: Iterable[Dict[str, Any]]) -> "History":
+        """Build a history from parsed JSONL records (``op``/``edge``;
+        anything else, e.g. the live recorder's ``meta`` header, is skipped)."""
+        history = cls()
+        edges: List[Tuple[int, int]] = []
+        for record in records:
+            kind = record.get("type")
+            if kind == "op":
+                history.add(Operation.from_dict(record))
+            elif kind == "edge":
+                edges.append((record["src_op"], record["dst_op"]))
+        for src_id, dst_id in edges:
+            history.add_message_edge(history.get(src_id), history.get(dst_id))
+        return history
+
+    @classmethod
+    def from_jsonl(cls, source: Union[str, IO[str]]) -> "History":
+        """Rebuild a history from :meth:`to_jsonl` output (or a live trace).
+
+        Records whose ``type`` is neither ``"op"`` nor ``"edge"`` and blank
+        lines are skipped, and a crash-truncated final line is tolerated
+        (see :func:`iter_jsonl_records`), so any trace file in the repo's
+        JSONL format loads directly.
+        """
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                return cls.from_jsonl(handle)
+        return cls.from_records(iter_jsonl_records(source))
 
     # ------------------------------------------------------------------ #
     # Convenience for tests and examples

@@ -20,7 +20,70 @@ from repro.sim.engine import Environment
 from repro.sim.network import Network
 from repro.sim.stats import LatencyRecorder
 
-__all__ = ["GryffCluster"]
+__all__ = ["GryffCluster", "gryff_witness_order"]
+
+
+def gryff_witness_order(history: History, model: str = "rsc") -> Optional[List]:
+    """A serialization witnessing a Gryff history's consistency.
+
+    This mirrors the construction in the paper's Theorem D.15: a topological
+    sort of the partial order <ψ formed by (1) each key's carstamp order,
+    (2) the potential-causality order, and (3) the model's real-time
+    constraints.  Returns ``None`` if those constraints are cyclic (which
+    would itself be a consistency violation).
+
+    Works on any history whose operations carry ``meta["carstamp"]`` — both
+    simulated runs (:class:`GryffCluster`) and live traces loaded by
+    ``repro live-check``.
+    """
+    ops = [op for op in history if op.is_complete or op.is_mutation]
+    included = {op.op_id for op in ops}
+    edges: List = []
+
+    # (1) Per-key carstamp order (mutations before the reads that adopt
+    # their carstamp).
+    by_key = defaultdict(list)
+    for op in ops:
+        by_key[op.key].append(op)
+    for group in by_key.values():
+        group.sort(key=lambda op: (tuple(op.meta.get("carstamp", (0, 0, ""))),
+                                   0 if op.is_mutation else 1,
+                                   op.invoked_at, op.op_id))
+        edges.extend((a.op_id, b.op_id) for a, b in zip(group, group[1:]))
+
+    # (2) Potential causality and (3) real-time constraints.  The
+    # smallest-id-first Kahn sort below depends only on the partial
+    # order, so the sweep-line reductions yield the same witness order
+    # as the full pair sets.
+    edges.extend(CausalOrder(history).edges())
+    if model in ("rsc", "rss"):
+        edges.extend(regular_constraint_edges(history))
+    else:
+        edges.extend(real_time_edges(history, ops))
+
+    # Deterministic Kahn topological sort.
+    successors: Dict[int, set] = {op.op_id: set() for op in ops}
+    indegree: Dict[int, int] = {op.op_id: 0 for op in ops}
+    for a, b in edges:
+        if a in included and b in included and b not in successors[a]:
+            successors[a].add(b)
+            indegree[b] += 1
+    ready = sorted(op_id for op_id, degree in indegree.items() if degree == 0)
+    order: List = []
+    queue = deque(ready)
+    while queue:
+        op_id = queue.popleft()
+        order.append(history.get(op_id))
+        promoted = []
+        for succ in successors[op_id]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                promoted.append(succ)
+        for succ in sorted(promoted):
+            queue.append(succ)
+    if len(order) != len(ops):
+        return None
+    return order
 
 
 class GryffCluster:
@@ -71,62 +134,9 @@ class GryffCluster:
         return {name: dict(replica.stats) for name, replica in self.replicas.items()}
 
     def witness_order(self, model: str = "rsc") -> Optional[List]:
-        """A serialization witnessing the deployment's consistency.
-
-        This mirrors the construction in the paper's Theorem D.15: a
-        topological sort of the partial order <ψ formed by (1) each key's
-        carstamp order, (2) the potential-causality order, and (3) the
-        model's real-time constraints.  Returns ``None`` if those constraints
-        are cyclic (which would itself be a consistency violation).
-        """
-        ops = [op for op in self.history if op.is_complete or op.is_mutation]
-        included = {op.op_id for op in ops}
-        edges: List = []
-
-        # (1) Per-key carstamp order (mutations before the reads that adopt
-        # their carstamp).
-        by_key = defaultdict(list)
-        for op in ops:
-            by_key[op.key].append(op)
-        for group in by_key.values():
-            group.sort(key=lambda op: (tuple(op.meta.get("carstamp", (0, 0, ""))),
-                                       0 if op.is_mutation else 1,
-                                       op.invoked_at, op.op_id))
-            edges.extend((a.op_id, b.op_id) for a, b in zip(group, group[1:]))
-
-        # (2) Potential causality and (3) real-time constraints.  The
-        # smallest-id-first Kahn sort below depends only on the partial
-        # order, so the sweep-line reductions yield the same witness order
-        # as the full pair sets.
-        edges.extend(CausalOrder(self.history).edges())
-        if model in ("rsc", "rss"):
-            edges.extend(regular_constraint_edges(self.history))
-        else:
-            edges.extend(real_time_edges(self.history, ops))
-
-        # Deterministic Kahn topological sort.
-        successors: Dict[int, set] = {op.op_id: set() for op in ops}
-        indegree: Dict[int, int] = {op.op_id: 0 for op in ops}
-        for a, b in edges:
-            if a in included and b in included and b not in successors[a]:
-                successors[a].add(b)
-                indegree[b] += 1
-        ready = sorted(op_id for op_id, degree in indegree.items() if degree == 0)
-        order: List = []
-        queue = deque(ready)
-        while queue:
-            op_id = queue.popleft()
-            order.append(self.history.get(op_id))
-            promoted = []
-            for succ in successors[op_id]:
-                indegree[succ] -= 1
-                if indegree[succ] == 0:
-                    promoted.append(succ)
-            for succ in sorted(promoted):
-                queue.append(succ)
-        if len(order) != len(ops):
-            return None
-        return order
+        """A serialization witnessing the deployment's consistency
+        (see :func:`gryff_witness_order`)."""
+        return gryff_witness_order(self.history, model)
 
     def check_consistency(self, model: Optional[str] = None) -> CheckResult:
         """Gryff must be linearizable; Gryff-RSC must satisfy RSC."""

@@ -1,0 +1,44 @@
+"""Live cluster runtime.
+
+This package executes the *same* generator-based protocol state machines
+that the deterministic simulator drives (:mod:`repro.sim.node` subclasses:
+Spanner shard leaders, Gryff replicas, and their clients) over real asyncio
+TCP sockets:
+
+* :mod:`repro.net.realtime` — :class:`RealtimeEnvironment`, an
+  :class:`repro.sim.engine.Environment` whose event queue is pumped by the
+  asyncio event loop against the wall clock instead of by the simulated
+  scheduler.
+* :mod:`repro.net.wire` — the length-prefixed JSON frame codec.
+* :mod:`repro.net.transport` — the transport abstraction shared with the
+  simulator's :class:`~repro.sim.network.Network` plus
+  :class:`LiveTransport`, the asyncio TCP implementation (reconnects,
+  per-peer FIFO ordering, learned reply routes).
+* :mod:`repro.net.spec` — cluster topology files (``repro init-config``).
+* :mod:`repro.net.cluster` — :class:`LiveProcess`, one OS-process-worth of
+  a cluster (``repro serve``).
+* :mod:`repro.net.load` — the open-/closed-loop load generator
+  (``repro load``).
+* :mod:`repro.net.recorder` — live history capture to JSONL traces.
+* :mod:`repro.net.check` — replay captured traces through the RSS/RSC
+  checkers (``repro live-check``).
+"""
+
+from repro.net.realtime import RealtimeEnvironment
+from repro.net.spec import ClusterSpec, NodeSpec
+from repro.net.transport import LiveTransport, TransportBase
+from repro.net.recorder import RecordingHistory, TraceWriter, read_trace
+from repro.net.check import check_trace, default_model_for
+
+__all__ = [
+    "RealtimeEnvironment",
+    "ClusterSpec",
+    "NodeSpec",
+    "LiveTransport",
+    "TransportBase",
+    "RecordingHistory",
+    "TraceWriter",
+    "read_trace",
+    "check_trace",
+    "default_model_for",
+]

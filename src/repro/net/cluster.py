@@ -1,0 +1,154 @@
+"""One OS-process-worth of a live cluster.
+
+A :class:`LiveProcess` bundles a :class:`~repro.net.realtime.RealtimeEnvironment`,
+a :class:`~repro.net.transport.LiveTransport`, and the protocol server nodes
+this process hosts (all of them by default; one per process in ``--node``
+subprocess mode).  The protocol objects are the *same classes the simulator
+runs* — :class:`~repro.gryff.replica.GryffReplica` and
+:class:`~repro.spanner.shard.ShardLeader` — constructed against the live
+environment and transport instead of the simulated ones.
+
+Spanner note: each shard's Paxos group is still modeled (the
+:class:`~repro.spanner.replication.ReplicationLog` waits out the replication
+delay on the wall clock) — the live runtime distributes *shard leaders and
+clients*; intra-shard replication fidelity is future work.  TrueTime is the
+simulated interval API over the shared wall clock: on one machine the skew
+between processes is (far) below the configured epsilon, so the interval
+invariant holds exactly as in the paper's deployment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from typing import Dict, Iterable, List, Optional
+
+from repro.net.realtime import RealtimeEnvironment
+from repro.net.spec import ClusterSpec
+from repro.net.transport import LiveTransport
+from repro.sim.clock import TrueTime
+
+__all__ = ["LiveProcess", "serve_forever"]
+
+
+class LiveProcess:
+    """Environment + transport + the server nodes hosted in this process."""
+
+    def __init__(self, spec: ClusterSpec, host_nodes: Optional[Iterable[str]] = None):
+        self.spec = spec
+        self.env = RealtimeEnvironment(epoch=spec.epoch)
+        self.transport = LiveTransport(spec, self.env)
+        self.host_names: List[str] = (list(host_nodes) if host_nodes is not None
+                                      else spec.server_names())
+        unknown = [name for name in self.host_names if name not in spec.nodes]
+        if unknown:
+            raise ValueError(f"nodes not in the cluster spec: {unknown}")
+        self.nodes: Dict[str, object] = {}
+        self.truetime: Optional[TrueTime] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._build_nodes()
+
+    def _build_nodes(self) -> None:
+        if not self.host_names:
+            return
+        if self.spec.is_gryff:
+            from repro.gryff.replica import GryffReplica
+
+            config = self.spec.gryff_config()
+            for name in self.host_names:
+                node_spec = self.spec.nodes[name]
+                self.nodes[name] = GryffReplica(
+                    self.env, self.transport, config,
+                    name=name, site=node_spec.site,
+                )
+        else:
+            from repro.spanner.shard import ShardLeader
+
+            config = self.spec.spanner_config()
+            self.truetime = TrueTime(
+                self.env, epsilon=config.truetime_epsilon_ms)
+            for name in self.host_names:
+                node_spec = self.spec.nodes[name]
+                self.nodes[name] = ShardLeader(
+                    self.env, self.transport, self.truetime, config,
+                    name=name, site=node_spec.site,
+                )
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> Dict[str, int]:
+        """Bind listeners for every hosted node and start the event pump.
+        Returns ``{node name: bound port}``."""
+        ports = {}
+        for name in self.host_names:
+            ports[name] = await self.transport.start_listener(name)
+        self._pump_task = asyncio.get_running_loop().create_task(
+            self.env.run_async())
+        return ports
+
+    @property
+    def pump_task(self) -> Optional[asyncio.Task]:
+        return self._pump_task
+
+    async def stop(self) -> None:
+        """Stop the pump and the transport; idempotent."""
+        if self._pump_task is not None:
+            self.env.request_stop()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:  # pragma: no cover - teardown
+                pass
+            except Exception:
+                # A pump failure was already surfaced to whoever awaited or
+                # inspected the task; don't let teardown raise it again.
+                pass
+            self._pump_task = None
+        await self.transport.close()
+
+    def node_stats(self) -> Dict[str, Dict[str, int]]:
+        return {name: dict(getattr(node, "stats", {}))
+                for name, node in self.nodes.items()}
+
+
+async def serve_forever(spec: ClusterSpec,
+                        host_nodes: Optional[Iterable[str]] = None,
+                        ready_message: bool = True,
+                        stop_event: Optional[asyncio.Event] = None) -> int:
+    """Run a server process until SIGINT/SIGTERM (or ``stop_event``).
+
+    Returns the process exit code: 0 on a clean, signal-driven shutdown,
+    1 if the event pump died (a protocol error surfaced).
+    """
+    process = LiveProcess(spec, host_nodes)
+    ports = await process.start()
+    stop = stop_event if stop_event is not None else asyncio.Event()
+    loop = asyncio.get_running_loop()
+    registered = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            registered.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    if ready_message:
+        listening = " ".join(f"{name}={spec.nodes[name].host}:{port}"
+                             for name, port in sorted(ports.items()))
+        print(f"repro-serve ready protocol={spec.protocol} {listening}",
+              flush=True)
+    exit_code = 0
+    stop_wait = asyncio.ensure_future(stop.wait())
+    try:
+        done, _ = await asyncio.wait(
+            [stop_wait, process.pump_task],
+            return_when=asyncio.FIRST_COMPLETED)
+        if process.pump_task in done and process.pump_task.exception() is not None:
+            exc = process.pump_task.exception()
+            print(f"repro-serve error: {exc!r}", flush=True)
+            exit_code = 1
+    finally:
+        stop_wait.cancel()
+        for signum in registered:
+            loop.remove_signal_handler(signum)
+        await process.stop()
+    if ready_message:
+        print("repro-serve stopped", flush=True)
+    return exit_code

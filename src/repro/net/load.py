@@ -1,0 +1,194 @@
+"""Live load generation.
+
+``repro load`` builds protocol clients against a running cluster, drives
+them with the *same* workload generators and closed-loop driver the
+simulated experiments use (:mod:`repro.workloads`), records latencies with
+:class:`~repro.sim.stats.LatencyRecorder`, and streams the invocation/
+response history to a JSONL trace for ``repro live-check``.
+
+Workloads:
+
+* ``ycsb`` — single-key reads/writes (:class:`~repro.workloads.ycsb.YcsbWorkload`).
+  Against Gryff these map to register reads/writes; against Spanner they
+  become single-key read-only / read-write transactions.
+* ``retwis`` — the transactional Retwis mix over Zipfian keys
+  (:class:`~repro.workloads.retwis.RetwisWorkload`; Spanner only).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+
+from repro.net.cluster import LiveProcess
+from repro.net.recorder import RecordingHistory, TraceWriter
+from repro.net.spec import ClusterSpec
+from repro.core.history import History
+from repro.sim.clock import TrueTime
+from repro.sim.stats import LatencyRecorder
+from repro.workloads.clients import ClosedLoopDriver
+from repro.workloads.ycsb import OperationSpec, YcsbWorkload
+
+__all__ = ["run_load", "load_main", "spanner_ycsb_executor"]
+
+
+def spanner_ycsb_executor(client, spec: OperationSpec):
+    """Map YCSB single-key operations onto the transactional interface."""
+    from repro.spanner.client import TransactionAborted
+
+    try:
+        if spec.kind == "write":
+            yield from client.read_write_transaction(
+                [], lambda _reads, _key=spec.key, _value=spec.value: {_key: _value})
+        else:
+            yield from client.read_only_transaction([spec.key])
+    except TransactionAborted:
+        pass  # retried out; the recorder already saw the latency of retries
+
+
+def _build_clients(process: LiveProcess, history: History,
+                   recorder: LatencyRecorder, num_clients: int,
+                   client_prefix: str) -> List[Any]:
+    spec = process.spec
+    sites = spec.sites()
+    clients: List[Any] = []
+    if spec.is_gryff:
+        from repro.gryff.client import GryffClient
+
+        config = spec.gryff_config()
+        for index in range(num_clients):
+            site = sites[index % len(sites)]
+            clients.append(GryffClient(
+                process.env, process.transport, config,
+                name=f"{client_prefix}{index + 1}@{site}", site=site,
+                history=history, recorder=recorder,
+            ))
+    else:
+        from repro.spanner.client import SpannerClient
+
+        config = spec.spanner_config()
+        truetime = TrueTime(process.env, epsilon=config.truetime_epsilon_ms)
+        for index in range(num_clients):
+            site = sites[index % len(sites)]
+            clients.append(SpannerClient(
+                process.env, process.transport, truetime, config,
+                name=f"{client_prefix}{index + 1}@{site}", site=site,
+                history=history, recorder=recorder,
+            ))
+    return clients
+
+
+def _build_workload_and_executor(spec: ClusterSpec, clients: List[Any],
+                                 workload: str, write_ratio: float,
+                                 conflict_rate: float, num_keys: int,
+                                 seed: int):
+    if workload == "ycsb":
+        workloads = [
+            YcsbWorkload(client_id=client.name, write_ratio=write_ratio,
+                         conflict_rate=conflict_rate, seed=seed * 1000 + index)
+            for index, client in enumerate(clients)
+        ]
+        if spec.is_gryff:
+            from repro.bench.gryff_experiments import ycsb_executor
+
+            return workloads, ycsb_executor
+        return workloads, spanner_ycsb_executor
+    if workload == "retwis":
+        if not spec.is_spanner:
+            raise ValueError("the retwis workload is transactional (Spanner only)")
+        from repro.bench.spanner_experiments import make_retwis_executor
+        from repro.workloads.retwis import RetwisWorkload
+
+        workload_by_client = {}
+        workloads = []
+        for index, client in enumerate(clients):
+            retwis = RetwisWorkload(num_keys=num_keys, zipf_skew=0.7,
+                                    seed=seed * 1000 + index,
+                                    value_tag=f"{client.name}-")
+            workload_by_client[client.name] = retwis
+            workloads.append(retwis)
+        return workloads, make_retwis_executor(workload_by_client)
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+async def run_load(spec: ClusterSpec, *,
+                   num_clients: int = 4,
+                   duration_ms: Optional[float] = 2_000.0,
+                   ops_per_client: Optional[int] = None,
+                   workload: str = "ycsb",
+                   write_ratio: float = 0.5,
+                   conflict_rate: float = 0.10,
+                   num_keys: int = 1_000,
+                   seed: int = 1,
+                   trace_path: Optional[str] = None,
+                   client_prefix: str = "client",
+                   think_time_ms: float = 0.0) -> Dict[str, Any]:
+    """Drive a running cluster; returns a summary dict (and writes a trace).
+
+    The returned summary carries per-category percentiles, throughput, and
+    the op count; ``ops == 0`` means the cluster was unreachable.
+    """
+    process = LiveProcess(spec, host_nodes=())   # pure client process
+    writer = None
+    if trace_path:
+        writer = TraceWriter(trace_path, meta={
+            "protocol": spec.protocol,
+            "epoch": spec.epoch,
+            "workload": workload,
+            "write_ratio": write_ratio,
+            "conflict_rate": conflict_rate,
+            "clients": num_clients,
+        })
+        history: History = RecordingHistory(writer)
+    else:
+        history = History()
+    recorder = LatencyRecorder()
+    try:
+        clients = _build_clients(process, history, recorder, num_clients,
+                                 client_prefix)
+        workloads, executor = _build_workload_and_executor(
+            spec, clients, workload, write_ratio, conflict_rate, num_keys, seed)
+        driver = ClosedLoopDriver(
+            process.env, clients, workloads, executor,
+            duration_ms=duration_ms, operations_per_client=ops_per_client,
+            think_time_ms=think_time_ms,
+        )
+        await process.start()    # no listeners; starts the pump
+        procs = driver.start()
+        clients_done = asyncio.ensure_future(asyncio.gather(
+            *(process.env.as_future(proc) for proc in procs)))
+        # Race the clients against the pump: if the pump dies, no event
+        # (including the drivers' deadline timeouts) ever fires again, so
+        # waiting on the clients alone would hang forever.
+        await asyncio.wait({clients_done, process.pump_task},
+                           return_when=asyncio.FIRST_COMPLETED)
+        if not clients_done.done():
+            clients_done.cancel()
+            exc = process.pump_task.exception()
+            if exc is not None:
+                raise exc
+            raise RuntimeError("event pump stopped before the load completed")
+        await clients_done
+    finally:
+        await process.stop()
+        if writer is not None:
+            writer.close()
+
+    summary: Dict[str, Any] = {
+        "protocol": spec.protocol,
+        "workload": workload,
+        "clients": num_clients,
+        "ops": recorder.count(),
+        "duration_ms": recorder.duration_ms,
+        "throughput_ops_per_s": recorder.throughput(),
+        "categories": {},
+        "trace": trace_path,
+    }
+    for category in recorder.categories():
+        summary["categories"][category] = recorder.percentiles(category).as_dict()
+    return summary
+
+
+def load_main(spec: ClusterSpec, **kwargs) -> Dict[str, Any]:
+    """Synchronous wrapper for the CLI."""
+    return asyncio.run(run_load(spec, **kwargs))

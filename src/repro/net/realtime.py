@@ -1,0 +1,204 @@
+"""Wall-clock execution of the simulation kernel's event machinery.
+
+:class:`RealtimeEnvironment` is an :class:`repro.sim.engine.Environment`
+whose clock is the wall clock (in milliseconds, against a configurable
+epoch) and whose event queue is pumped by an asyncio task instead of the
+simulated run loop.  Every kernel primitive — :class:`~repro.sim.engine.Event`,
+:class:`~repro.sim.engine.Process`, :class:`~repro.sim.engine.Timeout`,
+:class:`~repro.sim.engine.Store`, ``AnyOf``/``AllOf`` — is reused unchanged,
+so protocol code written as generators for the simulator runs bit-for-bit the
+same *logic* live; only the passage of time and the message transport differ.
+
+Semantics
+---------
+* ``env.now`` is ``(time.time() - epoch) * 1000`` and never moves backwards
+  (guarding latency accounting against small NTP steps).  All processes of a
+  cluster share one epoch (stored in the cluster spec), so timestamps taken
+  in different OS processes on the same machine are comparable — which is
+  what Spanner's TrueTime-style commit timestamps need.
+* ``env.timeout(d)`` completes no earlier than ``d`` wall-clock milliseconds
+  from now (asyncio supplies the usual scheduling slop on top).
+* Events triggered from *outside* the pump (an arriving TCP frame delivering
+  a message, a signal handler) must be followed by :meth:`kick` so the pump
+  wakes up; :class:`repro.net.transport.LiveTransport` does this after every
+  delivery.  ``schedule``/``timeout`` kick defensively as well.
+* The simulated :meth:`~repro.sim.engine.Environment.run` is disabled; use
+  :meth:`run_async` (typically as a background task) plus :meth:`as_future`
+  to await protocol processes from coroutine code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import NORMAL, Environment, Event, SimulationError, Timeout
+
+__all__ = ["RealtimeEnvironment"]
+
+
+class RealtimeEnvironment(Environment):
+    """Drives sim-kernel events on the asyncio loop with wall-clock time."""
+
+    def __init__(self, epoch: Optional[float] = None):
+        super().__init__(initial_time=0.0)
+        #: Unix-time origin of the millisecond clock.  Processes of one
+        #: cluster must share it for their timestamps to be comparable.
+        self.epoch = time.time() if epoch is None else float(epoch)
+        self._kick_event: Optional[asyncio.Event] = None
+        self._stop_requested = False
+        self._pumping = False
+        self._refresh_now()
+
+    # ------------------------------------------------------------------ #
+    # Clock
+    # ------------------------------------------------------------------ #
+    def _refresh_now(self) -> float:
+        wall = (time.time() - self.epoch) * 1000.0
+        if wall > self._now:
+            self._now = wall
+        return self._now
+
+    @property
+    def now(self) -> float:
+        """Current wall-clock time in ms since the epoch (monotone)."""
+        return self._refresh_now()
+
+    # ------------------------------------------------------------------ #
+    # Scheduling hooks
+    # ------------------------------------------------------------------ #
+    def schedule(self, event: Event, delay: float = 0, priority: int = NORMAL) -> None:
+        self._refresh_now()
+        super().schedule(event, delay, priority)
+        self.kick()
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        self._refresh_now()
+        timeout = super().timeout(delay, value)
+        self.kick()
+        return timeout
+
+    def kick(self) -> None:
+        """Wake the pump; callers that trigger events from asyncio context
+        (message deliveries, signal handlers) must call this afterwards."""
+        kick = self._kick_event
+        if kick is not None and not kick.is_set():
+            kick.set()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`run_async` to return after the current event."""
+        self._stop_requested = True
+        self.kick()
+
+    # ------------------------------------------------------------------ #
+    # Pump
+    # ------------------------------------------------------------------ #
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        raise SimulationError(
+            "RealtimeEnvironment is pumped by the asyncio loop; "
+            "use `await env.run_async(...)` instead of env.run()"
+        )
+
+    def _step_one(self) -> None:
+        """Pop and process the earliest due event (mirrors Environment.step
+        without the simulated-time monotonicity bookkeeping)."""
+        _, _, _, event = heapq.heappop(self._queue)
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event.defused:
+            raise event._value
+        self._recycle(event, callbacks)
+
+    async def run_async(self, until: Optional[float] = None,
+                        stop_when=None) -> float:
+        """Pump events until :meth:`request_stop`, ``stop_when()`` is true,
+        or env time reaches ``until``.  Returns the time it stopped at.
+
+        Only one pump may run per environment at a time.
+        """
+        if self._pumping:
+            raise SimulationError("run_async() already active on this environment")
+        self._pumping = True
+        self._kick_event = asyncio.Event()
+        # A stop requested before the pump task first ran must be honored
+        # (it is consumed — reset to False — on the way out, not on entry).
+        try:
+            while True:
+                if self._stop_requested or (stop_when is not None and stop_when()):
+                    return self._refresh_now()
+                now = self._refresh_now()
+                if until is not None and now >= until:
+                    return now
+                if self._queue and self._queue[0][0] <= now:
+                    self._step_one()
+                    continue
+                # Nothing due: sleep until the next scheduled event, the
+                # `until` horizon, or an external kick.
+                deadline = self._queue[0][0] if self._queue else None
+                if until is not None:
+                    deadline = until if deadline is None else min(deadline, until)
+                delay_s = None if deadline is None else max(deadline - now, 0.0) / 1000.0
+                kick = self._kick_event
+                try:
+                    await asyncio.wait_for(kick.wait(), timeout=delay_s)
+                except asyncio.TimeoutError:
+                    pass
+                kick.clear()
+        finally:
+            self._pumping = False
+            self._kick_event = None
+            self._stop_requested = False
+
+    # ------------------------------------------------------------------ #
+    # asyncio bridges
+    # ------------------------------------------------------------------ #
+    def as_future(self, event: Event) -> "asyncio.Future":
+        """An asyncio future resolving with the event's value (or raising its
+        failure).  Lets coroutine code await protocol processes while the
+        pump runs as a background task."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+
+        def _resolve(ev: Event) -> None:
+            if future.cancelled():
+                return
+            if ev._ok:
+                future.set_result(ev._value)
+            else:
+                ev.defused = True
+                future.set_exception(ev._value)
+
+        event.add_callback(_resolve)
+        return future
+
+    async def drive(self, generator: Generator) -> Any:
+        """Run ``generator`` as a process with a temporary pump; returns its
+        value.  Convenience for tests and one-shot scripts — long-lived
+        callers start :meth:`run_async` once and use :meth:`as_future`.
+
+        A pump failure is re-raised here instead of deadlocking the wait
+        for a process that can no longer be resumed.
+        """
+        process = self.process(generator)
+        future = self.as_future(process)
+        pump = asyncio.ensure_future(self.run_async())
+        try:
+            await asyncio.wait({future, pump},
+                               return_when=asyncio.FIRST_COMPLETED)
+            if future.done():
+                return future.result()
+            future.cancel()
+            exc = pump.exception()
+            if exc is not None:
+                raise exc
+            raise SimulationError("event pump stopped before the process finished")
+        finally:
+            self.request_stop()
+            if not pump.done():
+                await pump

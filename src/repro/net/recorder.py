@@ -1,0 +1,97 @@
+"""Live history capture.
+
+The protocol clients already append every completed operation to a
+:class:`~repro.core.history.History`; :class:`RecordingHistory` additionally
+streams each operation to a JSONL trace file *as it completes*, so a crash
+mid-run loses at most the in-flight operation.  The file format is the
+:meth:`History.to_jsonl` format plus one leading ``{"type": "meta", ...}``
+record describing the run (protocol, model to check, epoch), which
+``repro live-check`` uses to pick the right checker.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Optional, Tuple, Union
+
+from repro.core.events import Operation
+from repro.core.history import History, iter_jsonl_records
+
+__all__ = ["TRACE_SCHEMA", "TraceWriter", "RecordingHistory", "read_trace"]
+
+TRACE_SCHEMA = "repro-trace/1"
+
+
+class TraceWriter:
+    """Appends history records to a JSONL trace file, flushing per line."""
+
+    def __init__(self, destination: Union[str, IO[str]],
+                 meta: Optional[Dict[str, Any]] = None):
+        if isinstance(destination, str):
+            self._handle: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+        header = {"type": "meta", "schema": TRACE_SCHEMA}
+        header.update(meta or {})
+        self._write(header)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":"), default=str))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def record_op(self, op: Operation) -> None:
+        record = {"type": "op"}
+        record.update(op.to_dict())
+        self._write(record)
+
+    def record_edge(self, src_op: Operation, dst_op: Operation) -> None:
+        self._write({"type": "edge", "src_op": src_op.op_id,
+                     "dst_op": dst_op.op_id})
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+
+class RecordingHistory(History):
+    """A history that mirrors every appended operation into a trace file."""
+
+    def __init__(self, writer: TraceWriter):
+        super().__init__()
+        self._writer = writer
+
+    def add(self, op: Operation) -> Operation:
+        super().add(op)
+        self._writer.record_op(op)
+        return op
+
+    def add_message_edge(self, src_op: Operation, dst_op: Operation) -> None:
+        super().add_message_edge(src_op, dst_op)
+        self._writer.record_edge(src_op, dst_op)
+
+
+def read_trace(source: Union[str, IO[str]]
+               ) -> Tuple[Dict[str, Any], History]:
+    """Load a trace file in one streaming pass: returns ``(meta, history)``.
+
+    ``meta`` is the first ``{"type": "meta"}`` record (empty dict if the file
+    is a bare :meth:`History.to_jsonl` dump).  A crash-truncated final line
+    is tolerated — the capture loses at most its in-flight record.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_trace(handle)
+    meta: Dict[str, Any] = {}
+
+    def capture_meta(records):
+        for record in records:
+            if not meta and record.get("type") == "meta":
+                meta.update(record)
+                continue
+            yield record
+
+    history = History.from_records(capture_meta(iter_jsonl_records(source)))
+    return meta, history

@@ -1,0 +1,211 @@
+"""Cluster topology files for the live runtime.
+
+A :class:`ClusterSpec` names every *server* node of a deployment (Gryff
+replicas or Spanner shard leaders) with its TCP address and site label, the
+protocol variant, the shared wall-clock epoch, and protocol parameters.  The
+same file is consumed by every process of the cluster — ``repro serve``
+(all nodes, or one node per OS process via ``--node``) and ``repro load``
+(clients) — so the topology is defined exactly once.
+
+``repro init-config`` generates these files; see the builders
+:meth:`ClusterSpec.gryff` and :meth:`ClusterSpec.spanner`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Union
+
+from repro.gryff.config import GryffConfig, GryffVariant
+from repro.spanner.config import SpannerConfig, Variant
+
+__all__ = ["NodeSpec", "ClusterSpec", "GRYFF_PROTOCOLS", "SPANNER_PROTOCOLS"]
+
+SPEC_SCHEMA = "repro-cluster/1"
+
+GRYFF_PROTOCOLS = ("gryff", "gryff-rsc")
+SPANNER_PROTOCOLS = ("spanner", "spanner-rss")
+
+#: Default site labels for Gryff replicas (Table 2 regions, reused as plain
+#: labels — live latency comes from the real network, not the matrix).
+_GRYFF_SITES = ("CA", "VA", "IR", "OR", "JP")
+
+
+@dataclass
+class NodeSpec:
+    """One server node: name, role, listen address, site label."""
+
+    name: str
+    role: str                 # "replica" (Gryff) or "shard" (Spanner)
+    host: str
+    port: int
+    site: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "role": self.role, "host": self.host,
+                "port": self.port, "site": self.site}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NodeSpec":
+        return cls(name=data["name"], role=data["role"], host=data["host"],
+                   port=int(data["port"]), site=data["site"])
+
+
+@dataclass
+class ClusterSpec:
+    """A live deployment: protocol, server nodes, epoch, parameters."""
+
+    protocol: str
+    nodes: Dict[str, NodeSpec]
+    #: Unix-time origin all processes measure env time against (ms since
+    #: epoch); sharing it makes cross-process timestamps comparable.
+    epoch: float = 0.0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in GRYFF_PROTOCOLS + SPANNER_PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def gryff(cls, num_replicas: int = 3, host: str = "127.0.0.1",
+              base_port: int = 7400, variant: str = "gryff-rsc",
+              epoch: Optional[float] = None,
+              params: Optional[Dict[str, Any]] = None) -> "ClusterSpec":
+        """A localhost Gryff / Gryff-RSC cluster of ``num_replicas``."""
+        nodes = {}
+        for index in range(num_replicas):
+            name = f"replica{index}"
+            nodes[name] = NodeSpec(
+                name=name, role="replica", host=host, port=base_port + index,
+                site=_GRYFF_SITES[index % len(_GRYFF_SITES)],
+            )
+        return cls(protocol=variant, nodes=nodes,
+                   epoch=time.time() if epoch is None else epoch,
+                   params=dict(params or {}))
+
+    @classmethod
+    def spanner(cls, num_shards: int = 2, host: str = "127.0.0.1",
+                base_port: int = 7500, variant: str = "spanner-rss",
+                epoch: Optional[float] = None,
+                params: Optional[Dict[str, Any]] = None) -> "ClusterSpec":
+        """A localhost Spanner / Spanner-RSS cluster of ``num_shards``.
+
+        All nodes live in one site label (``local``): the client's
+        commit-latency estimate (t_ee) then uses the single-data-center
+        matrix, which matches a localhost deployment.
+        """
+        nodes = {}
+        for index in range(num_shards):
+            name = f"shard{index}"
+            nodes[name] = NodeSpec(name=name, role="shard", host=host,
+                                   port=base_port + index, site="local")
+        return cls(protocol=variant, nodes=nodes,
+                   epoch=time.time() if epoch is None else epoch,
+                   params=dict(params or {}))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_gryff(self) -> bool:
+        return self.protocol in GRYFF_PROTOCOLS
+
+    @property
+    def is_spanner(self) -> bool:
+        return self.protocol in SPANNER_PROTOCOLS
+
+    def server_names(self) -> List[str]:
+        return list(self.nodes)
+
+    def sites(self) -> List[str]:
+        """Site labels in node order (duplicates preserved for round-robin)."""
+        return [node.site for node in self.nodes.values()]
+
+    # ------------------------------------------------------------------ #
+    # Protocol configs
+    # ------------------------------------------------------------------ #
+    def gryff_config(self) -> GryffConfig:
+        """The :class:`GryffConfig` live nodes run with.
+
+        Replica names/sites come from the spec; the simulated network knobs
+        (jitter, processing, per-message CPU) are zeroed — live deployments
+        get real latency and real CPU for free.
+        """
+        if not self.is_gryff:
+            raise ValueError(f"{self.protocol!r} is not a Gryff protocol")
+        variant = (GryffVariant.GRYFF if self.protocol == "gryff"
+                   else GryffVariant.GRYFF_RSC)
+        return GryffConfig(
+            variant=variant, sites=self.sites(),
+            processing_ms=0.0, server_cpu_ms=0.0, jitter_ms=0.0,
+            seed=int(self.params.get("seed", 0)), wide_area=False,
+        )
+
+    def spanner_config(self) -> SpannerConfig:
+        """The :class:`SpannerConfig` live nodes run with.
+
+        Shard leaders and replication sites all carry the spec's site
+        labels; TrueTime uncertainty comes from ``params``
+        (``truetime_epsilon_ms``, default 10 ms as in the paper).
+        """
+        if not self.is_spanner:
+            raise ValueError(f"{self.protocol!r} is not a Spanner protocol")
+        variant = (Variant.SPANNER if self.protocol == "spanner"
+                   else Variant.SPANNER_RSS)
+        sites = sorted(set(self.sites())) or ["local"]
+        return SpannerConfig(
+            variant=variant,
+            num_shards=len(self.nodes),
+            leader_sites=self.sites(),
+            sites=sites,
+            truetime_epsilon_ms=float(self.params.get("truetime_epsilon_ms", 10.0)),
+            fence_bound_ms=float(self.params.get("fence_bound_ms", 250.0)),
+            processing_ms=0.0, server_cpu_ms=0.0, jitter_ms=0.0,
+            seed=int(self.params.get("seed", 0)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # JSON round trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SPEC_SCHEMA,
+            "protocol": self.protocol,
+            "epoch": self.epoch,
+            "params": dict(self.params),
+            "nodes": [node.to_dict() for node in self.nodes.values()],
+        }
+
+    def save(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                self.save(handle)
+            return
+        json.dump(self.to_dict(), destination, indent=2)
+        destination.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClusterSpec":
+        if data.get("schema") != SPEC_SCHEMA:
+            raise ValueError(f"not a {SPEC_SCHEMA} file (schema={data.get('schema')!r})")
+        nodes = {}
+        for entry in data["nodes"]:
+            node = NodeSpec.from_dict(entry)
+            if node.name in nodes:
+                raise ValueError(f"duplicate node name {node.name!r}")
+            nodes[node.name] = node
+        return cls(protocol=data["protocol"], nodes=nodes,
+                   epoch=float(data.get("epoch", 0.0)),
+                   params=dict(data.get("params") or {}))
+
+    @classmethod
+    def load(cls, source: Union[str, IO[str]]) -> "ClusterSpec":
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                return cls.load(handle)
+        return cls.from_dict(json.load(source))

@@ -1,0 +1,371 @@
+"""The transport abstraction and its asyncio TCP implementation.
+
+Protocol nodes (:class:`repro.sim.node.Node` subclasses) talk to their peers
+exclusively through three calls — ``register(name, endpoint)``,
+``send(src, dst, kind, payload)``, and ``node(name)`` (for the peer's
+``site``) — which is the contract extracted here as :class:`TransportBase`.
+The simulator's :class:`repro.sim.network.Network` already satisfies it (by
+duck typing; the sim side is deliberately untouched so its schedules stay
+bit-identical), and :class:`LiveTransport` implements the same contract over
+real asyncio TCP:
+
+* one listener per *hosted* server node (addresses come from the
+  :class:`~repro.net.spec.ClusterSpec`);
+* one outbound connection per peer **address**, shared by all local nodes,
+  with automatic reconnect and exponential backoff — a single TCP stream per
+  channel gives per-peer FIFO ordering, matching the simulator's channel
+  model;
+* **learned reply routes**: when a frame from a ``src`` that is *not* a
+  configured server arrives over a connection, the transport remembers that
+  ``src`` is reachable over it.  Clients are therefore never listed in the
+  spec — replicas reply to them over the connection the request came in on,
+  exactly like any RPC server.  Configured peers always use their dialer
+  channel (never a learned route), so each server-to-server channel stays a
+  single TCP stream and keeps its FIFO guarantee.
+
+Delivery of an incoming frame runs the destination node's handler on the
+asyncio loop and then kicks the :class:`~repro.net.realtime.RealtimeEnvironment`
+so generator handlers (simulation processes) resume promptly.
+
+Reliability note: a frame popped for writing when the connection breaks is
+resent after reconnecting, so messages are delivered at-least-once across
+reconnects (exactly-once on a healthy connection).  The protocols' RPC layer
+keys replies by call id, so duplicated *replies* are harmless; duplicated
+requests are possible only across a reconnect and are acceptable for the
+load-testing runtime this implements.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net.spec import ClusterSpec
+from repro.net.wire import (
+    WireError,
+    encode_frame,
+    frame_to_message,
+    message_to_frame,
+    read_frame,
+)
+from repro.net.realtime import RealtimeEnvironment
+from repro.sim.network import Message
+
+__all__ = ["TransportBase", "PeerStub", "LiveTransport"]
+
+log = logging.getLogger("repro.net")
+
+#: Reconnect backoff bounds (seconds).
+_BACKOFF_INITIAL_S = 0.05
+_BACKOFF_MAX_S = 2.0
+
+
+class TransportBase:
+    """The message-passing contract protocol nodes rely on.
+
+    :class:`repro.sim.network.Network` satisfies it by duck typing (the sim
+    module predates this abstraction and is kept byte-identical);
+    :class:`LiveTransport` subclasses it explicitly.
+    """
+
+    def register(self, name: str, endpoint: Any) -> None:
+        raise NotImplementedError
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> Message:
+        raise NotImplementedError
+
+    def node(self, name: str) -> Any:
+        """The local endpoint or a :class:`PeerStub` (must expose ``site``)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PeerStub:
+    """Site metadata for a remote node (satisfies ``network.node(x).site``)."""
+
+    name: str
+    site: str
+
+
+class _Channel:
+    """One ordered frame sink: an outbound queue drained by a writer task.
+
+    Outbound (dialing) channels reconnect with backoff and re-send the frame
+    that was in flight when the connection broke; inbound (accepted)
+    channels die with their socket — the dialing side owns reconnection.
+    """
+
+    def __init__(self, transport: "LiveTransport",
+                 address: Optional[Tuple[str, int]] = None,
+                 writer: Optional[asyncio.StreamWriter] = None):
+        self.transport = transport
+        self.address = address
+        self.closed = False
+        self._queue: "asyncio.Queue[bytes]" = asyncio.Queue()
+        self._pending: Optional[bytes] = None
+        self._writer = writer
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        runner = self._run_dialer if self.address is not None else self._run_accepted
+        self._task = asyncio.get_running_loop().create_task(runner())
+
+    def send_frame(self, frame: bytes) -> None:
+        if not self.closed:
+            self._queue.put_nowait(frame)
+
+    async def _drain_queue(self, writer: asyncio.StreamWriter) -> None:
+        while not self.closed:
+            if self._pending is None:
+                self._pending = await self._queue.get()
+            writer.write(self._pending)
+            await writer.drain()
+            self._pending = None
+
+    async def _run_dialer(self) -> None:
+        assert self.address is not None
+        host, port = self.address
+        loop = asyncio.get_running_loop()
+        backoff = _BACKOFF_INITIAL_S
+        while not self.closed:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, _BACKOFF_MAX_S)
+                continue
+            backoff = _BACKOFF_INITIAL_S
+            self._writer = writer
+            # Watch the read side too: a peer closing the connection surfaces
+            # as EOF there long before a write into the half-open socket
+            # would error, and we must reconnect *before* draining more
+            # frames into a dead socket (self._pending re-sends on the new
+            # one — the at-least-once guarantee).
+            read_task = loop.create_task(
+                self.transport._read_loop(reader, route_channel=self))
+            drain_task = loop.create_task(self._drain_queue(writer))
+            try:
+                await asyncio.wait({read_task, drain_task},
+                                   return_when=asyncio.FIRST_COMPLETED)
+            finally:
+                for task in (read_task, drain_task):
+                    task.cancel()
+                for task in (read_task, drain_task):
+                    try:
+                        await task
+                    except (ConnectionError, OSError, WireError,
+                            asyncio.CancelledError):
+                        pass
+                self._close_writer(writer)
+
+    async def _run_accepted(self) -> None:
+        writer = self._writer
+        assert writer is not None
+        try:
+            await self._drain_queue(writer)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._close_writer(writer)
+            self.closed = True
+            self.transport._drop_routes(self)
+
+    @staticmethod
+    def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+    def close(self) -> None:
+        self.closed = True
+        if self._task is not None:
+            self._task.cancel()
+        if self._writer is not None:
+            self._close_writer(self._writer)
+
+
+class LiveTransport(TransportBase):
+    """Asyncio TCP transport for one OS process of a live cluster."""
+
+    def __init__(self, spec: ClusterSpec, env: RealtimeEnvironment):
+        self.spec = spec
+        self.env = env
+        self._local: Dict[str, Any] = {}
+        self._servers: Dict[str, asyncio.AbstractServer] = {}
+        self._dialers: Dict[Tuple[str, int], _Channel] = {}
+        self._routes: Dict[str, _Channel] = {}
+        self._accepted: list[_Channel] = []
+        self._next_msg_id = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------ #
+    # TransportBase
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, endpoint: Any) -> None:
+        if name in self._local:
+            raise ValueError(f"duplicate node name {name!r}")
+        self._local[name] = endpoint
+
+    def node(self, name: str) -> Any:
+        local = self._local.get(name)
+        if local is not None:
+            return local
+        node_spec = self.spec.nodes.get(name)
+        if node_spec is not None:
+            return PeerStub(name=name, site=node_spec.site)
+        raise KeyError(f"unknown node {name!r}")
+
+    @property
+    def node_names(self) -> list:
+        return sorted(set(self._local) | set(self.spec.nodes))
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> Message:
+        if self.closed:
+            raise RuntimeError("transport is closed")
+        self._next_msg_id += 1
+        message = Message(src=src, dst=dst, kind=kind, payload=payload,
+                          send_time=self.env.now, msg_id=self._next_msg_id)
+        self.messages_sent += 1
+        if dst in self._local:
+            # Local loopback: defer via the loop so delivery never re-enters
+            # the sending handler's frame, mirroring the sim's asynchrony.
+            message.deliver_time = message.send_time
+            asyncio.get_running_loop().call_soon(self._deliver_local, message)
+            return message
+        try:
+            channel = self._channel_for(dst)
+        except KeyError:
+            # A learned-route peer (a client) that disconnected: best-effort
+            # drop.  Raising here would propagate through the protocol
+            # handler into the pump and take down every node in the process.
+            log.warning("dropping %s from %s: no route to %r (peer gone?)",
+                        kind, src, dst)
+            return message
+        channel.send_frame(encode_frame(message_to_frame(message)))
+        return message
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _channel_for(self, dst: str) -> _Channel:
+        node_spec = self.spec.nodes.get(dst)
+        if node_spec is not None:
+            # Configured peers always use their dialer channel.  Mixing in a
+            # learned (accepted) connection would spread one channel across
+            # two TCP streams and break per-peer FIFO ordering.
+            address = (node_spec.host, node_spec.port)
+            channel = self._dialers.get(address)
+            if channel is None or channel.closed:
+                channel = _Channel(self, address=address)
+                channel.start()
+                self._dialers[address] = channel
+            return channel
+        route = self._routes.get(dst)
+        if route is not None and not route.closed:
+            return route
+        raise KeyError(
+            f"no route to {dst!r}: not a configured server and no live "
+            f"connection from it")
+
+    def _drop_routes(self, channel: _Channel) -> None:
+        for name in [n for n, c in self._routes.items() if c is channel]:
+            del self._routes[name]
+
+    def _deliver_local(self, message: Message) -> None:
+        endpoint = self._local.get(message.dst)
+        if endpoint is None:  # node deregistered between send and delivery
+            return
+        endpoint.deliver(message)
+        self.env.kick()
+
+    # ------------------------------------------------------------------ #
+    # Inbound
+    # ------------------------------------------------------------------ #
+    async def _read_loop(self, reader: asyncio.StreamReader,
+                         route_channel: Optional[_Channel]) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                self._handle_frame(frame, route_channel)
+        except WireError as exc:
+            log.warning("dropping connection: %s", exc)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+
+    def _handle_frame(self, frame: Dict[str, Any],
+                      route_channel: Optional[_Channel]) -> None:
+        message = frame_to_message(frame, deliver_time=self.env.now)
+        if (route_channel is not None and not route_channel.closed
+                and message.src not in self.spec.nodes):
+            # Reply routes are learned for clients only; configured peers
+            # always go through their dialer (see _channel_for).
+            self._routes[message.src] = route_channel
+        endpoint = self._local.get(message.dst)
+        if endpoint is None:
+            log.warning("no local endpoint %r for %s from %s",
+                        message.dst, message.kind, message.src)
+            return
+        self.messages_received += 1
+        endpoint.deliver(message)
+        self.env.kick()
+
+    async def _on_accept(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        channel = _Channel(self, writer=writer)
+        channel.start()
+        self._accepted.append(channel)
+        try:
+            await self._read_loop(reader, route_channel=channel)
+        finally:
+            channel.close()
+            self._drop_routes(channel)
+            # Dead channels must not accumulate for the server's lifetime.
+            try:
+                self._accepted.remove(channel)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start_listener(self, name: str) -> int:
+        """Bind the configured address of hosted server node ``name``;
+        returns the actual port (resolving a configured port of 0)."""
+        node_spec = self.spec.nodes[name]
+        server = await asyncio.start_server(
+            self._on_accept, host=node_spec.host, port=node_spec.port)
+        self._servers[name] = server
+        port = server.sockets[0].getsockname()[1]
+        if node_spec.port == 0:
+            # Propagate the ephemeral port so in-process peers sharing this
+            # spec object can dial it (tests bind port 0 to avoid conflicts).
+            node_spec.port = port
+        return port
+
+    def actual_port(self, name: str) -> int:
+        return self._servers[name].sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop listeners and connections; idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        for server in self._servers.values():
+            server.close()
+        for server in self._servers.values():
+            try:
+                await server.wait_closed()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        for channel in list(self._dialers.values()) + self._accepted:
+            channel.close()
+        # Let cancelled channel tasks unwind before the loop closes.
+        await asyncio.sleep(0)

@@ -1,0 +1,107 @@
+"""Length-prefixed JSON wire codec.
+
+Every frame on a live-cluster connection is a 4-byte big-endian length
+followed by a UTF-8 JSON object.  Data frames carry one protocol message:
+
+.. code-block:: json
+
+   {"v": 1, "src": "client1@CA", "dst": "replica0",
+    "kind": "read1", "payload": {...}, "send_time": 123.4}
+
+JSON keeps the codec debuggable (``nc``-able) and matches the payload
+conventions of the simulated network: payloads are dicts of scalars, lists,
+and nested dicts.  Tuples (Gryff carstamps) become lists in flight; the
+protocol code already normalizes with ``tuple()``/indexing on receipt, so
+the sim and live wire formats are interchangeable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.sim.network import Message
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "encode_frame",
+    "read_frame",
+    "message_to_frame",
+    "frame_to_message",
+]
+
+WIRE_VERSION = 1
+
+#: Upper bound on one frame; a peer announcing more is treated as corrupt.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(Exception):
+    """Raised for malformed or oversized frames."""
+
+
+def encode_frame(record: Dict[str, Any]) -> bytes:
+    """Serialize one record to a length-prefixed JSON frame."""
+    body = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+async def read_frame(reader: "asyncio.StreamReader") -> Optional[Dict[str, Any]]:
+    """Read one frame; returns ``None`` on a clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireError("connection closed mid-frame") from exc
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"peer announced a {length}-byte frame")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireError("connection closed mid-frame") from exc
+    try:
+        record = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from exc
+    if not isinstance(record, dict):
+        raise WireError(f"frame is not an object: {record!r}")
+    return record
+
+
+def message_to_frame(message: Message) -> Dict[str, Any]:
+    """The wire record for one protocol message."""
+    return {
+        "v": WIRE_VERSION,
+        "src": message.src,
+        "dst": message.dst,
+        "kind": message.kind,
+        "payload": message.payload,
+        "send_time": message.send_time,
+        "msg_id": message.msg_id,
+    }
+
+
+def frame_to_message(record: Dict[str, Any], deliver_time: float) -> Message:
+    """Rebuild a :class:`~repro.sim.network.Message` from a data frame."""
+    try:
+        return Message(
+            src=record["src"],
+            dst=record["dst"],
+            kind=record["kind"],
+            payload=record.get("payload"),
+            send_time=record.get("send_time", 0.0),
+            deliver_time=deliver_time,
+            msg_id=record.get("msg_id", 0),
+        )
+    except KeyError as exc:
+        raise WireError(f"data frame missing field {exc}") from exc

@@ -24,6 +24,12 @@ defuses the failure by the time its callbacks have run, :meth:`Environment.step`
 re-raises it — failures can no longer be silently swallowed just because an
 unrelated callback was attached.
 
+The event machinery (``Event``/``Process``/``Store``/conditions) is
+scheduler-agnostic: :class:`repro.net.realtime.RealtimeEnvironment` subclasses
+:class:`Environment` and pumps the same queue from the asyncio loop against
+the wall clock, which is how the live cluster runtime executes these
+generators over real sockets.
+
 Example
 -------
 >>> env = Environment()

@@ -10,6 +10,14 @@ The paper's two topologies are provided as helpers:
 
 * :func:`spanner_wan` — CA / VA / IR, RTTs 62 / 136 / 68 ms (§6).
 * :func:`gryff_wan` — CA / VA / IR / OR / JP, Table 2 RTT matrix (§7.2).
+
+Transport contract: protocol nodes use only ``register(name, endpoint)``,
+``send(src, dst, kind, payload)``, and ``node(name)`` (for the peer's
+``site``) — the interface documented by
+:class:`repro.net.transport.TransportBase`.  :class:`Network` is the
+simulated implementation; :class:`repro.net.transport.LiveTransport` carries
+the same messages over real asyncio TCP, so the protocol state machines run
+unmodified in either world.
 """
 
 from __future__ import annotations

@@ -20,7 +20,19 @@ from repro.spanner.client import SpannerClient
 from repro.spanner.config import SpannerConfig, Variant
 from repro.spanner.shard import ShardLeader
 
-__all__ = ["SpannerCluster"]
+__all__ = ["SpannerCluster", "spanner_witness_order"]
+
+
+def spanner_witness_order(history: History) -> List[Operation]:
+    """The serialization implied by commit/snapshot timestamps (Theorem
+    D.5's construction).  Works on any history whose operations carry
+    ``meta["commit_ts"]`` / ``meta["snapshot_ts"]`` — simulated runs and
+    live traces alike."""
+    def key(op):
+        ts = op.meta.get("commit_ts", op.meta.get("snapshot_ts", 0.0))
+        return (ts, 0 if op.is_mutation else 1, op.invoked_at, op.op_id)
+
+    return order_by_timestamp(history, key)
 
 
 class SpannerCluster:
@@ -139,12 +151,8 @@ class SpannerCluster:
 
     def witness_order(self, history: Optional[History] = None):
         """The serialization implied by commit/snapshot timestamps
-        (Theorem D.5's construction)."""
-        def key(op):
-            ts = op.meta.get("commit_ts", op.meta.get("snapshot_ts", 0.0))
-            return (ts, 0 if op.is_mutation else 1, op.invoked_at, op.op_id)
-
-        return order_by_timestamp(history or self.kv_history(), key)
+        (see :func:`spanner_witness_order`)."""
+        return spanner_witness_order(history or self.kv_history())
 
     def check_consistency(self, model: Optional[str] = None) -> CheckResult:
         """Validate the recorded history against the deployment's model.

@@ -1,0 +1,140 @@
+"""History JSONL round-trip serialization (live traces / offline re-check)."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.events import Operation, OpType
+from repro.core.history import History
+from repro.core.checkers import check_rsc, check_with_witness
+from repro.core.specification import RegisterSpec
+from repro.gryff.cluster import gryff_witness_order
+
+
+def _sample_history() -> History:
+    history = History()
+    w1 = history.add(Operation.write("alice", "x", "v1", invoked_at=0.0,
+                                     responded_at=2.0, carstamp=(1, 0, "alice")))
+    r1 = history.add(Operation.read("bob", "x", "v1", invoked_at=3.0,
+                                    responded_at=4.0, carstamp=(1, 0, "alice")))
+    history.add(Operation.rmw("carol", "x", observed="v1", new_value="v2",
+                              invoked_at=5.0, responded_at=6.5,
+                              carstamp=(1, 1, "carol")))
+    history.add(Operation.ro_txn("dave", {"x": "v2", "y": None},
+                                 invoked_at=7.0, responded_at=8.0,
+                                 snapshot_ts=6.5))
+    history.add(Operation.write("alice", "y", "w1", invoked_at=9.0,
+                                responded_at=None))   # pending mutation
+    history.add_message_edge(w1, r1)
+    return history
+
+
+class TestOperationDictRoundTrip:
+    def test_all_fields_survive(self):
+        op = Operation.rw_txn("p1", read_set={"a": 1}, write_set={"b": 2},
+                              invoked_at=1.5, responded_at=2.5,
+                              commit_ts=3.25, txn_id="p1:txn1")
+        clone = Operation.from_dict(op.to_dict())
+        assert clone.op_id == op.op_id
+        assert clone.op_type is OpType.RW_TXN
+        assert clone.read_set == {"a": 1}
+        assert clone.write_set == {"b": 2}
+        assert clone.meta == {"commit_ts": 3.25, "txn_id": "p1:txn1"}
+        assert clone.responded_at == 2.5
+
+    def test_dict_is_json_able(self):
+        op = Operation.read("p", "k", "v", invoked_at=0.0, responded_at=1.0,
+                            carstamp=(3, 0, "w"))
+        encoded = json.loads(json.dumps(op.to_dict()))
+        clone = Operation.from_dict(encoded)
+        # Tuples become lists in JSON; consumers normalize with tuple().
+        assert tuple(clone.meta["carstamp"]) == (3, 0, "w")
+
+
+class TestHistoryJsonl:
+    def test_round_trip_preserves_everything(self):
+        history = _sample_history()
+        buffer = io.StringIO()
+        history.to_jsonl(buffer)
+        loaded = History.from_jsonl(io.StringIO(buffer.getvalue()))
+
+        assert len(loaded) == len(history)
+        assert [op.op_id for op in loaded] == [op.op_id for op in history]
+        for original, clone in zip(history, loaded):
+            assert clone.process == original.process
+            assert clone.op_type == original.op_type
+            assert clone.key == original.key
+            assert clone.result == original.result
+            assert clone.invoked_at == original.invoked_at
+            assert clone.responded_at == original.responded_at
+        assert [(e.src_op, e.dst_op) for e in loaded.message_edges] == \
+               [(e.src_op, e.dst_op) for e in history.message_edges]
+        assert loaded.is_well_formed()
+
+    def test_round_trip_via_file(self, tmp_path):
+        history = _sample_history()
+        path = str(tmp_path / "history.jsonl")
+        history.to_jsonl(path)
+        loaded = History.from_jsonl(path)
+        assert len(loaded) == len(history)
+        assert loaded.by_process("alice")[0].value == "v1"
+
+    def test_unknown_record_types_are_skipped(self):
+        history = _sample_history()
+        buffer = io.StringIO()
+        buffer.write('{"type":"meta","protocol":"gryff-rsc"}\n\n')
+        history.to_jsonl(buffer)
+        loaded = History.from_jsonl(io.StringIO(buffer.getvalue()))
+        assert len(loaded) == len(history)
+
+    def test_recheck_after_round_trip(self):
+        """The paper's checkers accept a history before and after the trip."""
+        history = History()
+        history.add(Operation.write("alice", "x", "v1", invoked_at=0.0,
+                                    responded_at=2.0, carstamp=(1, 0, "alice")))
+        history.add(Operation.read("bob", "x", "v1", invoked_at=3.0,
+                                   responded_at=4.0, carstamp=(1, 0, "alice")))
+        history.add(Operation.rmw("carol", "x", observed="v1", new_value="v2",
+                                  invoked_at=5.0, responded_at=6.5,
+                                  carstamp=(1, 1, "carol")))
+        buffer = io.StringIO()
+        history.to_jsonl(buffer)
+        loaded = History.from_jsonl(io.StringIO(buffer.getvalue()))
+
+        before = check_rsc(history, spec=RegisterSpec())
+        after = check_rsc(loaded, spec=RegisterSpec())
+        assert bool(before) and bool(after)
+
+        # The witness-based path (what `repro live-check` runs) agrees too.
+        witness = gryff_witness_order(loaded, "rsc")
+        assert witness is not None
+        assert check_with_witness(loaded, witness, model="rsc",
+                                  spec=RegisterSpec())
+
+    def test_crash_truncated_final_line_is_tolerated(self):
+        """A kill mid-write loses at most the in-flight record."""
+        history = _sample_history()
+        buffer = io.StringIO()
+        history.to_jsonl(buffer)
+        text = buffer.getvalue()
+        lines = text.strip().split("\n")
+        truncated = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        loaded = History.from_jsonl(io.StringIO(truncated))
+        # Everything but the torn last record (an edge here) survives.
+        assert len(loaded) == len(history)
+
+    def test_corruption_before_further_records_raises(self):
+        text = ('{"type":"op","op_id":1,"process":"p","op_type":"read","key":"x"}\n'
+                '{"type":"op","op_id":2,"proc'   # torn line ...
+                '\n{"type":"op","op_id":3,"process":"p","op_type":"read","key":"x"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            History.from_jsonl(io.StringIO(text))
+
+    def test_duplicate_ids_rejected(self):
+        lines = io.StringIO(
+            '{"type":"op","op_id":7,"process":"p","op_type":"read","key":"x"}\n'
+            '{"type":"op","op_id":7,"process":"p","op_type":"read","key":"x"}\n'
+        )
+        with pytest.raises(ValueError):
+            History.from_jsonl(lines)

@@ -1,0 +1,254 @@
+"""RealtimeEnvironment semantics, including the sim-vs-live differential.
+
+The environment must honor the sim kernel's contracts (ordering, stores,
+conditions, interrupts) while pacing them against the wall clock; the
+differential test at the bottom runs the *same* tiny Gryff-RSC workload
+through the deterministic simulator and through the live TCP runtime and
+asserts both captured histories satisfy RSC.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.checkers import check_with_witness
+from repro.core.specification import RegisterSpec
+from repro.gryff.cluster import GryffCluster, gryff_witness_order
+from repro.gryff.config import GryffConfig, GryffVariant
+from repro.net.realtime import RealtimeEnvironment
+from repro.sim.engine import Interrupt, SimulationError
+from repro.workloads.clients import ClosedLoopDriver
+from repro.workloads.ycsb import YcsbWorkload
+
+
+# Sites of the 3-replica deployment used by the differential test.
+SITES = ["CA", "VA", "IR"]
+
+
+class TestRealtimeEnvironment:
+    def test_sim_run_is_disabled(self):
+        env = RealtimeEnvironment()
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_now_is_monotone_wall_clock(self):
+        env = RealtimeEnvironment()
+        first = env.now
+        time.sleep(0.005)
+        assert env.now >= first + 4.0   # ms
+
+    def test_timeout_ordering_and_pacing(self):
+        async def scenario():
+            env = RealtimeEnvironment()
+            log = []
+
+            def worker(name, delay):
+                yield env.timeout(delay)
+                log.append(name)
+
+            start = env.now
+            slow = env.process(worker("slow", 40))
+            fast = env.process(worker("fast", 10))
+            pump = asyncio.ensure_future(env.run_async())
+            await asyncio.gather(env.as_future(slow), env.as_future(fast))
+            env.request_stop()
+            await pump
+            return log, env.now - start
+
+        log, elapsed = asyncio.run(scenario())
+        assert log == ["fast", "slow"]
+        assert elapsed >= 40.0   # timeouts never fire early
+
+    def test_store_handoff_from_asyncio_context(self):
+        async def scenario():
+            env = RealtimeEnvironment()
+            store = env.store()
+            received = []
+
+            def consumer():
+                while True:
+                    item = yield store.get()
+                    received.append(item)
+                    if item == "stop":
+                        return
+
+            process = env.process(consumer())
+            pump = asyncio.ensure_future(env.run_async())
+            # Producer lives outside the pump (like a TCP reader task): it
+            # must kick after triggering events.
+            await asyncio.sleep(0.005)
+            store.put("a")
+            env.kick()
+            await asyncio.sleep(0.005)
+            store.put("stop")
+            env.kick()
+            await env.as_future(process)
+            env.request_stop()
+            await pump
+            return received
+
+        assert asyncio.run(scenario()) == ["a", "stop"]
+
+    def test_conditions_and_interrupt(self):
+        async def scenario():
+            env = RealtimeEnvironment()
+            outcome = {}
+
+            def sleeper():
+                try:
+                    yield env.timeout(10_000)
+                except Interrupt as exc:
+                    outcome["cause"] = exc.cause
+
+            def waiter():
+                result = yield env.any_of([env.timeout(5, "early"),
+                                           env.timeout(9_000, "late")])
+                outcome["any_of"] = sorted(result.values())
+
+            sleeping = env.process(sleeper())
+            waiting = env.process(waiter())
+            pump = asyncio.ensure_future(env.run_async())
+            await asyncio.sleep(0.002)
+            sleeping.interrupt("shutdown")
+            env.kick()
+            await asyncio.gather(env.as_future(sleeping), env.as_future(waiting))
+            env.request_stop()
+            await pump
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert outcome["cause"] == "shutdown"
+        assert outcome["any_of"] == ["early"]
+
+    def test_process_failure_propagates_through_pump(self):
+        async def scenario():
+            env = RealtimeEnvironment()
+
+            def boom():
+                yield env.timeout(1)
+                raise RuntimeError("protocol bug")
+
+            process = env.process(boom())
+            pump = asyncio.ensure_future(env.run_async())
+            with pytest.raises(RuntimeError, match="protocol bug"):
+                await env.as_future(process)
+            env.request_stop()
+            await pump
+
+        asyncio.run(scenario())
+
+    def test_drive_one_shot(self):
+        env = RealtimeEnvironment()
+
+        def hello():
+            yield env.timeout(1)
+            return "done"
+
+        assert asyncio.run(env.drive(hello())) == "done"
+
+    def test_drive_surfaces_pump_failure_instead_of_hanging(self):
+        """An unhandled event failure kills the pump; waits on processes
+        must then raise, not deadlock."""
+        async def scenario():
+            env = RealtimeEnvironment()
+
+            def stuck():
+                yield env.timeout(60_000)   # would block a naive await forever
+
+            failed = env.event()
+            failed.fail(RuntimeError("unhandled failure"))   # nobody defuses it
+            with pytest.raises(RuntimeError, match="unhandled failure"):
+                await env.drive(stuck())
+
+        asyncio.run(scenario())
+
+    def test_shared_epoch_aligns_processes(self):
+        epoch = time.time() - 1.0
+        env_a = RealtimeEnvironment(epoch=epoch)
+        env_b = RealtimeEnvironment(epoch=epoch)
+        assert abs(env_a.now - env_b.now) < 50.0   # ms, same clock basis
+
+
+# --------------------------------------------------------------------------- #
+# Sim-vs-live differential
+# --------------------------------------------------------------------------- #
+def _workloads(clients):
+    return [
+        YcsbWorkload(client_id=client.name, write_ratio=0.5, conflict_rate=0.4,
+                     seed=42 + index)
+        for index, client in enumerate(clients)
+    ]
+
+
+def _run_sim_gryff(ops_per_client=6, num_clients=2):
+    from repro.bench.gryff_experiments import ycsb_executor
+
+    config = GryffConfig(variant=GryffVariant.GRYFF_RSC, sites=list(SITES))
+    cluster = GryffCluster(config)
+    clients = [cluster.new_client(SITES[i % len(SITES)])
+               for i in range(num_clients)]
+    driver = ClosedLoopDriver(cluster.env, clients, _workloads(clients),
+                              ycsb_executor,
+                              operations_per_client=ops_per_client)
+    driver.start()
+    cluster.run()
+    return cluster.history
+
+
+def _run_live_gryff(ops_per_client=6, num_clients=2):
+    from repro.bench.gryff_experiments import ycsb_executor
+    from repro.gryff.client import GryffClient
+    from repro.net.cluster import LiveProcess
+    from repro.net.spec import ClusterSpec
+
+    async def scenario():
+        spec = ClusterSpec.gryff(num_replicas=len(SITES), base_port=0)
+        server = LiveProcess(spec)          # binds ephemeral ports in-place
+        await server.start()
+        client_proc = LiveProcess(spec, host_nodes=())
+        config = spec.gryff_config()
+        clients = [
+            GryffClient(client_proc.env, client_proc.transport, config,
+                        name=f"client{i + 1}@{SITES[i % len(SITES)]}",
+                        site=SITES[i % len(SITES)])
+            for i in range(num_clients)
+        ]
+        shared = clients[0].history
+        for client in clients[1:]:
+            client.history = shared
+        driver = ClosedLoopDriver(client_proc.env, clients, _workloads(clients),
+                                  ycsb_executor,
+                                  operations_per_client=ops_per_client)
+        await client_proc.start()
+        procs = driver.start()
+        await asyncio.gather(*(client_proc.env.as_future(p) for p in procs))
+        await client_proc.stop()
+        await server.stop()
+        return shared
+
+    return asyncio.run(scenario())
+
+
+class TestSimVsLiveDifferential:
+    def test_same_workload_passes_rsc_both_ways(self):
+        sim_history = _run_sim_gryff()
+        live_history = _run_live_gryff()
+
+        # Same logical workload was issued in both worlds.
+        def issued(history):
+            return sorted((op.process, op.op_type.value, op.key,
+                           op.value if op.is_mutation else None)
+                          for op in history)
+
+        assert issued(sim_history) == issued(live_history)
+        assert sim_history.is_well_formed()
+        assert live_history.is_well_formed()
+
+        # Both captured histories satisfy RSC (Theorem D.15 construction).
+        for history in (sim_history, live_history):
+            witness = gryff_witness_order(history, "rsc")
+            assert witness is not None
+            result = check_with_witness(history, witness, model="rsc",
+                                        spec=RegisterSpec())
+            assert result, result.reason

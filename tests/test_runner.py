@@ -93,10 +93,41 @@ def test_register_trial_requires_dotted_path():
 
 
 def test_default_jobs_env_override(monkeypatch):
+    cores = os.cpu_count() or 1
     monkeypatch.setenv("REPRO_JOBS", "3")
-    assert default_jobs() == 3
+    # The default is clamped to the available cores (oversubscribing
+    # CPU-bound trials only adds contention).
+    if cores >= 3:
+        assert default_jobs() == 3
+    else:
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            assert default_jobs() == cores
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    assert default_jobs() == 1
     monkeypatch.delenv("REPRO_JOBS")
-    assert default_jobs() >= 1
+    assert 1 <= default_jobs() <= cores
+
+
+def test_default_jobs_clamps_env_to_cores(monkeypatch):
+    cores = os.cpu_count() or 1
+    monkeypatch.setenv("REPRO_JOBS", str(cores + 5))
+    with pytest.warns(RuntimeWarning, match="clamping"):
+        assert default_jobs() == cores
+
+
+def test_explicit_jobs_oversubscription_warns():
+    cores = os.cpu_count() or 1
+    with pytest.warns(RuntimeWarning, match="exceeds"):
+        runner = ParallelRunner(jobs=cores + 7)
+    # Explicit requests are honored (only the default is clamped).
+    assert runner.jobs == cores + 7
+
+
+def test_jobs_at_or_below_cores_does_not_warn(recwarn):
+    runner = ParallelRunner(jobs=1)
+    assert runner.jobs == 1
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, RuntimeWarning)]
 
 
 # --------------------------------------------------------------------- #
@@ -204,6 +235,117 @@ def test_run_sweep_progress_callback():
     run_sweep(sweep, jobs=1,
               progress=lambda result, index, total: seen.append((index, total)))
     assert seen == [(0, 1)]
+
+
+# --------------------------------------------------------------------- #
+# Graceful shutdown on KeyboardInterrupt
+# --------------------------------------------------------------------- #
+def _cached_keys(cache_dir, sweep):
+    directory = os.path.join(cache_dir, sweep.name)
+    if not os.path.isdir(directory):
+        return set()
+    return {name.split(".")[0] for name in os.listdir(directory)
+            if ".tmp." not in name}
+
+
+def _tmp_files(cache_dir, sweep):
+    directory = os.path.join(cache_dir, sweep.name)
+    if not os.path.isdir(directory):
+        return []
+    return [name for name in os.listdir(directory) if ".tmp." in name]
+
+
+def test_interrupt_mid_parallel_sweep_flushes_cache(tmp_path):
+    """A KeyboardInterrupt mid-sweep must leave a clean, resumable cache."""
+    cache = str(tmp_path / "cache")
+    sweep = SweepSpec.grid(
+        "table1", "table1_model",
+        axes={"model": ["strict_serializability", "rss",
+                        "po_serializability", "crdb"]})
+
+    interrupted = {"count": 0}
+
+    def interrupt_after_first(result, index, total):
+        interrupted["count"] += 1
+        if interrupted["count"] == 1:
+            raise KeyboardInterrupt
+
+    runner = ParallelRunner(jobs=2, cache_dir=cache, code_tag="t",
+                            progress=interrupt_after_first)
+    with pytest.raises(KeyboardInterrupt):
+        runner.run(sweep)
+
+    # At least the trial whose completion triggered the interrupt was
+    # flushed, no half-written temp files survive, and a resumed run
+    # completes from the cache without recomputing the flushed trials.
+    flushed = _cached_keys(cache, sweep)
+    assert flushed
+    assert _tmp_files(cache, sweep) == []
+
+    resumed = ParallelRunner(jobs=1, cache_dir=cache, code_tag="t").run(sweep)
+    assert resumed.cache_hits == len(flushed)
+    assert resumed.cache_misses == len(sweep.trials) - len(flushed)
+    fresh = ParallelRunner(jobs=1).run(sweep)
+    assert resumed.data() == fresh.data()
+
+
+def test_interrupt_mid_serial_sweep_keeps_finished_trials(tmp_path):
+    cache = str(tmp_path / "cache")
+    sweep = SweepSpec.grid("table1", "table1_model",
+                           axes={"model": ["rss", "po_serializability",
+                                           "crdb"]})
+    calls = {"count": 0}
+
+    def interrupt_after_second(result, index, total):
+        calls["count"] += 1
+        if calls["count"] == 2:
+            raise KeyboardInterrupt
+
+    runner = ParallelRunner(jobs=1, cache_dir=cache, code_tag="t",
+                            progress=interrupt_after_second)
+    with pytest.raises(KeyboardInterrupt):
+        runner.run(sweep)
+    assert len(_cached_keys(cache, sweep)) == 2
+    assert _tmp_files(cache, sweep) == []
+    resumed = ParallelRunner(jobs=1, cache_dir=cache, code_tag="t").run(sweep)
+    assert resumed.cache_hits == 2 and resumed.cache_misses == 1
+
+
+def test_remove_stale_tmp_only_touches_temp_files(tmp_path):
+    cache = str(tmp_path / "cache")
+    sweep = SweepSpec.grid("table1", "table1_model", axes={"model": ["rss"]})
+    runner = ParallelRunner(jobs=1, cache_dir=cache, code_tag="t")
+    runner.run(sweep)
+    directory = os.path.join(cache, sweep.name)
+    stale = os.path.join(directory, f"deadbeef.tmp.{os.getpid()}")
+    foreign = os.path.join(directory, "cafe.tmp.99999")
+    for path in (stale, foreign):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{half-written")
+    runner._remove_stale_tmp(sweep)
+    assert not os.path.exists(stale)
+    # Another process's in-flight temp file is not ours to delete.
+    assert os.path.exists(foreign)
+    assert _cached_keys(cache, sweep)   # real entries untouched
+
+
+def test_flush_completed_stores_unconsumed_futures(tmp_path):
+    from concurrent.futures import Future
+
+    cache = str(tmp_path / "cache")
+    sweep = SweepSpec.grid("table1", "table1_model",
+                           axes={"model": ["rss", "crdb"]})
+    runner = ParallelRunner(jobs=2, cache_dir=cache, code_tag="t")
+    results = [None, None]
+
+    done = Future()
+    done.set_result(({"verdicts": {}}, 0.01, 1234))
+    failed = Future()
+    failed.set_exception(RuntimeError("worker died"))
+    runner._flush_completed(sweep, results, {done: 0, failed: 1})
+    assert results[0] is not None and results[0].data == {"verdicts": {}}
+    assert results[1] is None
+    assert _cached_keys(cache, sweep) == {sweep.trials[0].key()}
 
 
 # --------------------------------------------------------------------- #
