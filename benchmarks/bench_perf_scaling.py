@@ -46,6 +46,24 @@ def test_sim_kernel_throughput_floor(perf_payload):
     assert perf_payload["sim"]["events_per_s"] > 100_000
 
 
+def test_streaming_checker_bounded_memory(perf_payload):
+    """Epoch-windowed checking must hold peak memory bounded per epoch.
+
+    The streaming checker sees the same operations as the batch checker but
+    retains only the current epoch plus the carried frontier state, so its
+    peak traced heap must come in clearly below batch at 10k+ ops, and the
+    largest epoch must be a small fraction of the history.  Throughput is
+    machine-dependent and only floor-checked.
+    """
+    rows = perf_payload["streaming"]
+    assert rows, "streaming section missing from the perf payload"
+    for row in rows:
+        assert row["epochs"] > 1, row
+        assert row["max_segment_ops"] < row["ops"] / 2, row
+        assert row["stream_peak_mb"] < row["batch_peak_mb"], row
+        assert row["stream_ops_per_s"] > 1_000, row
+
+
 def test_sweep_wall_clock_recorded_and_deterministic(perf_payload):
     """The serial-vs-parallel sweep section must show matching results.
 

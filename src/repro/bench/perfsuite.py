@@ -42,6 +42,7 @@ __all__ = [
     "bench_constraint_derivation",
     "bench_serialization_search",
     "bench_sim_kernel",
+    "bench_streaming_checker",
     "bench_sweep_wall_clock",
     "run_perf_suite",
     "attach_baseline",
@@ -66,6 +67,7 @@ PERF_SCALES: Dict[str, Dict[str, Any]] = {
         "search_checks": 30,
         "sweep_client_counts": (4, 8, 16),
         "sweep_duration_ms": 600.0,
+        "streaming_sizes": (10_000, 100_000),
     },
     "full": {
         "history_sizes": (200, 500, 1000, 2000, 5000),
@@ -75,6 +77,7 @@ PERF_SCALES: Dict[str, Dict[str, Any]] = {
         "search_checks": 100,
         "sweep_client_counts": (4, 8, 16, 32),
         "sweep_duration_ms": 2_000.0,
+        "streaming_sizes": (10_000, 100_000),
     },
 }
 
@@ -260,6 +263,92 @@ def bench_sim_kernel(n_procs: int, n_rounds: int, store_items: int
     }
 
 
+def _invocation_witness(history: History) -> List[Operation]:
+    """The linearizable-oracle witness of a synthetic history: operations in
+    invocation order (the generator applies writes at invocation, so this
+    order replays legally and respects every RSC constraint)."""
+    return sorted((op for op in history if op.is_complete),
+                  key=lambda op: (op.invoked_at, op.op_id))
+
+
+def _traced_peak_mb(fn: Callable[[], Any]) -> float:
+    """Peak traced Python heap (MB) allocated while running ``fn``."""
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1e6
+
+
+def bench_streaming_checker(sizes: Sequence[int] = (10_000, 100_000),
+                            min_epoch_ops: int = 64,
+                            seed: int = 23) -> List[Dict[str, Any]]:
+    """Streaming (epoch-windowed) vs batch witness checking.
+
+    Both sides validate the same witness construction on the same synthetic
+    history (model: RSC).  Wall time is measured without tracing; the
+    ``*_peak_mb`` columns are the peak *traced Python heap allocated by the
+    check itself* in a second, tracemalloc-instrumented pass — the shared
+    input history is excluded from both sides, so the columns compare the
+    checkers' working sets: whole-history structures for batch, one epoch
+    plus the carried frontier state for streaming.
+    """
+    from repro.core.checkers.streaming import (
+        StreamingWitnessChecker,
+        history_events,
+        replay_events,
+    )
+    from repro.core.checkers.witness import check_with_witness
+    from repro.core.specification import RegisterSpec
+
+    rows = []
+    for size in sizes:
+        history = synthetic_history(size, seed=seed, pending_mutations=0)
+        # Events are prepared outside the measured region: a live deployment
+        # streams them from the wire/trace, so materializing them is not
+        # part of the checker's working set.
+        events = history_events(history)
+
+        def run_batch() -> None:
+            result = check_with_witness(history, _invocation_witness(history),
+                                        model="rsc", spec=RegisterSpec())
+            assert result.satisfied, result.reason
+
+        report_box: Dict[str, Any] = {}
+
+        def run_streaming() -> None:
+            checker = StreamingWitnessChecker(
+                _invocation_witness, model="rsc", spec=RegisterSpec(),
+                min_epoch_ops=min_epoch_ops)
+            report = replay_events(events, checker)
+            assert report.satisfied, report.first_violation
+            report_box["report"] = report
+
+        batch_s = _time(run_batch, repeats=1)
+        stream_s = _time(run_streaming, repeats=1)
+        batch_peak_mb = _traced_peak_mb(run_batch)
+        stream_peak_mb = _traced_peak_mb(run_streaming)
+        report = report_box["report"]
+        rows.append({
+            "ops": size,
+            "min_epoch_ops": min_epoch_ops,
+            "epochs": report.epochs,
+            "max_segment_ops": report.max_segment_ops,
+            "batch_s": batch_s,
+            "stream_s": stream_s,
+            "batch_ops_per_s": size / batch_s,
+            "stream_ops_per_s": size / stream_s,
+            "batch_peak_mb": batch_peak_mb,
+            "stream_peak_mb": stream_peak_mb,
+            "peak_mb_ratio": stream_peak_mb / max(batch_peak_mb, 1e-9),
+        })
+    return rows
+
+
 def bench_sweep_wall_clock(client_counts: Sequence[int] = (4, 8, 16),
                            duration_ms: float = 600.0,
                            jobs: Optional[int] = None) -> Dict[str, Any]:
@@ -304,13 +393,14 @@ def run_perf_suite(scale: str = "quick",
         raise ValueError(f"unknown perf scale {scale!r}; use one of {sorted(PERF_SCALES)}")
     params = PERF_SCALES[scale]
     return {
-        "schema": "bench-perf/2",
+        "schema": "bench-perf/3",
         "scale": scale,
         "sweep_engine": True,
         "constraints": bench_constraint_derivation(params["history_sizes"]),
         "search": bench_serialization_search(params["search_checks"]),
         "sim": bench_sim_kernel(params["sim_procs"], params["sim_rounds"],
                                 params["store_items"]),
+        "streaming": bench_streaming_checker(params["streaming_sizes"]),
         "sweep_wall_clock": bench_sweep_wall_clock(
             params["sweep_client_counts"], params["sweep_duration_ms"],
             jobs=jobs),
@@ -384,6 +474,17 @@ def perf_report_rows(payload: Dict[str, Any]) -> List[List[Any]]:
     rows.append(["sim timeout events/s", f"{sim['timeout_events_per_s']:,.0f}"])
     rows.append(["sim store events/s", f"{sim['store_events_per_s']:,.0f}"])
     rows.append(["sim combined events/s", f"{sim['events_per_s']:,.0f}"])
+    for row in payload.get("streaming", ()):
+        size = row["ops"]
+        rows.append([f"stream check @ {size} ops (ops/s)",
+                     f"{row['stream_ops_per_s']:,.0f}"])
+        rows.append([f"batch check @ {size} ops (ops/s)",
+                     f"{row['batch_ops_per_s']:,.0f}"])
+        rows.append([f"stream peak heap @ {size} ops (MB)",
+                     f"{row['stream_peak_mb']:.2f} "
+                     f"(batch {row['batch_peak_mb']:.2f}, "
+                     f"{row['epochs']} epochs, "
+                     f"peak epoch {row['max_segment_ops']} ops)"])
     sweep = payload.get("sweep_wall_clock")
     if sweep:
         rows.append([f"sweep serial wall clock ({sweep['trials']} trials, s)",

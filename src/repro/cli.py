@@ -219,6 +219,8 @@ def cmd_load(args: argparse.Namespace) -> int:
     from repro.net.spec import ClusterSpec
 
     spec = ClusterSpec.load(args.config)
+    on_verdict = (lambda verdict: print(verdict.describe(), flush=True)) \
+        if args.check_inline else None
     summary = load_main(
         spec,
         num_clients=args.clients,
@@ -231,6 +233,13 @@ def cmd_load(args: argparse.Namespace) -> int:
         seed=args.seed,
         trace_path=args.trace,
         client_prefix=args.client_prefix,
+        think_time_ms=args.think_time_ms,
+        check_inline=args.check_inline,
+        check_min_epoch_ops=args.min_epoch_ops,
+        on_verdict=on_verdict,
+        trace_flush_every=args.trace_flush_every,
+        trace_fsync=args.trace_fsync,
+        trace_rotate_bytes=args.trace_rotate_bytes,
     )
     rows = [["ops completed", summary["ops"]],
             ["duration (ms)", round(summary["duration_ms"], 1)],
@@ -238,20 +247,102 @@ def cmd_load(args: argparse.Namespace) -> int:
     for category, percentiles in sorted(summary["categories"].items()):
         rows.append([f"{category} p50 (ms)", round(percentiles["p50"], 3)])
         rows.append([f"{category} p99 (ms)", round(percentiles["p99"], 3)])
+    check = summary.get("check")
+    if check:
+        rows.append(["inline check", "SATISFIED" if check["satisfied"]
+                     else f"VIOLATED ({check['first_violation']})"])
+        rows.append(["inline epochs", check["epochs"]])
+        rows.append(["inline peak epoch ops", check["max_segment_ops"]])
     print(format_table(["metric", "value"], rows,
                        title=f"Live load — {summary['protocol']} / "
                              f"{summary['workload']}"))
     if args.trace:
         print(f"trace written to {args.trace}")
     _write_json(args.json, summary)
-    return 0 if summary["ops"] > 0 else 1
+    if summary["ops"] <= 0:
+        return 1
+    if check and not check["satisfied"]:
+        return 1
+    return 0
+
+
+def _live_check_follow(args: argparse.Namespace, protocol: Optional[str]) -> int:
+    """Streaming (epoch-windowed) trace checking for ``live-check --follow``."""
+    import itertools
+
+    from repro.net.check import (
+        check_record_stream,
+        default_model_for,
+        streaming_checker_for,
+    )
+    from repro.net.recorder import follow_trace_records
+
+    checker = None
+    interrupted = False
+    try:
+        records = iter(follow_trace_records(args.trace,
+                                            poll_interval=args.poll_interval,
+                                            idle_timeout=args.idle_timeout))
+        # Peek at the leading record to learn the protocol from the trace's
+        # meta header, then hand the rest to the shared record dispatcher.
+        buffered: List[Dict[str, Any]] = []
+        first = next(records, None)
+        if first is not None:
+            if first.get("type") == "meta":
+                protocol = protocol or first.get("protocol")
+            buffered.append(first)
+            if not protocol:
+                print("trace has no protocol header; pass --protocol",
+                      file=sys.stderr)
+                return 2
+            model = args.model or default_model_for(protocol)
+            checker = streaming_checker_for(
+                protocol, model, min_epoch_ops=args.min_epoch_ops,
+                on_verdict=lambda verdict: print(verdict.describe(),
+                                                 flush=True))
+            check_record_stream(itertools.chain(buffered, records), checker)
+    except KeyboardInterrupt:
+        interrupted = True
+    except ValueError as exc:
+        print(f"cannot check trace: {exc}", file=sys.stderr)
+        return 2
+    if checker is None:
+        print(f"no records found at {args.trace}", file=sys.stderr)
+        return 2
+    report = checker.close()
+    verdict = "SATISFIED" if report.satisfied else (
+        f"VIOLATED ({report.first_violation.describe()})")
+    print(f"live-check --follow {args.trace}: {report.ops_checked} ops in "
+          f"{report.epochs} epoch(s), peak epoch {report.max_segment_ops} "
+          f"ops — {report.model}: {verdict}"
+          + (" [interrupted]" if interrupted else ""))
+    _write_json(args.json, {
+        "trace": args.trace,
+        "protocol": protocol,
+        "model": report.model,
+        "streaming": True,
+        "operations": report.ops_checked,
+        "epochs": report.epochs,
+        "max_segment_ops": report.max_segment_ops,
+        "satisfied": report.satisfied,
+        "first_violation": (report.first_violation.describe()
+                            if report.first_violation else None),
+        "verdicts": [verdict.describe() for verdict in report.verdicts],
+    })
+    return 0 if report.satisfied else 1
 
 
 def cmd_live_check(args: argparse.Namespace) -> int:
     from repro.net.check import check_trace, default_model_for
     from repro.net.recorder import read_trace
 
-    meta, history = read_trace(args.trace)
+    if args.follow:
+        return _live_check_follow(args, args.protocol)
+    try:
+        meta, history = read_trace(args.trace)
+    except FileNotFoundError as exc:
+        print(f"cannot check trace: {exc}", file=sys.stderr)
+        return 2
     protocol = args.protocol or meta.get("protocol")
     if not protocol:
         print("trace has no protocol header; pass --protocol", file=sys.stderr)
@@ -414,17 +505,48 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--client-prefix", default="client",
                       help="client name prefix (make unique across "
                            "concurrent load processes)")
+    load.add_argument("--think-time-ms", type=float, default=0.0,
+                      help="client think time between operations; closed "
+                           "loops with zero think time never quiesce, so "
+                           "give the streaming checker a few ms of gaps "
+                           "for epoch cuts to form")
+    load.add_argument("--check-inline", action="store_true",
+                      help="validate each quiescent epoch with the streaming "
+                           "checker while the load runs (exit 1 on violation)")
+    load.add_argument("--min-epoch-ops", type=int, default=64,
+                      help="cut an epoch at the first quiescent frontier "
+                           "with at least this many ops (default 64)")
+    load.add_argument("--trace-flush-every", type=int, default=1,
+                      help="flush the trace every N records (default 1)")
+    load.add_argument("--trace-fsync", action="store_true",
+                      help="fsync the trace on every flush")
+    load.add_argument("--trace-rotate-bytes", type=int, default=None,
+                      help="rotate the trace into trace-0001.jsonl, ... "
+                           "once a file reaches this size")
     load.add_argument("--json", help="also write the summary to this JSON file")
     load.set_defaults(func=cmd_load)
 
     live_check = subparsers.add_parser(
         "live-check", help="replay a captured trace through the checkers")
-    live_check.add_argument("trace", help="JSONL trace from `repro load`")
+    live_check.add_argument("trace", help="JSONL trace (or rotated set base "
+                                          "path) from `repro load`")
     live_check.add_argument("--protocol",
                             choices=["gryff", "gryff-rsc", "spanner", "spanner-rss"],
                             help="override the trace's protocol header")
     live_check.add_argument("--model",
                             help="override the protocol's default model")
+    live_check.add_argument("--follow", action="store_true",
+                            help="stream the trace as it is written, "
+                                 "checking one quiescent epoch at a time "
+                                 "with bounded memory")
+    live_check.add_argument("--min-epoch-ops", type=int, default=64,
+                            help="epoch size floor for --follow (default 64)")
+    live_check.add_argument("--idle-timeout", type=float, default=None,
+                            help="stop --follow after this many seconds "
+                                 "without new records (default: follow until "
+                                 "interrupted; 0 = read what exists and stop)")
+    live_check.add_argument("--poll-interval", type=float, default=0.2,
+                            help="--follow poll interval in seconds")
     live_check.add_argument("--json", help="also write the verdict to this JSON file")
     live_check.set_defaults(func=cmd_live_check)
 

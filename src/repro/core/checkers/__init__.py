@@ -37,6 +37,16 @@ from repro.core.checkers.proximal import (
     check_mwr_write_order,
 )
 from repro.core.checkers.snapshot import check_strong_snapshot_isolation
+from repro.core.checkers.streaming import (
+    STREAMING_MODELS,
+    EpochFrontier,
+    EpochVerdict,
+    StreamReport,
+    StreamingChecker,
+    StreamingWitnessChecker,
+    check_segment,
+    stream_history,
+)
 from repro.core.checkers.witness import check_with_witness
 
 #: Registry of transactional model checkers (Table 1 / Figure 8).
@@ -85,6 +95,14 @@ __all__ = [
     "check_mwr_no_inversion",
     "check_strong_snapshot_isolation",
     "check_with_witness",
+    "STREAMING_MODELS",
+    "EpochFrontier",
+    "EpochVerdict",
+    "StreamReport",
+    "StreamingChecker",
+    "StreamingWitnessChecker",
+    "check_segment",
+    "stream_history",
     "MODELS",
     "TRANSACTIONAL_MODELS",
     "NON_TRANSACTIONAL_MODELS",

@@ -73,6 +73,17 @@ class SerializationSearch:
         are included.
     max_nodes:
         Safety valve on the number of DFS nodes explored (per subset).
+    initial_state:
+        Specification state the serialization starts from (defaults to
+        ``spec.initial_state()``).  The streaming checkers seed each epoch's
+        search with the states carried over from the previous epoch.
+    failed:
+        Optional shared dead-state memo.  A memo entry ``(remaining mask,
+        state key)`` means "the remaining operations cannot be serialized
+        from that state" — a fact independent of the initial state, so one
+        set can be shared by searches over the *same* operations/constraints
+        started from different initial states (the per-epoch multi-state
+        loop of the streaming checker).
     """
 
     def __init__(
@@ -82,22 +93,28 @@ class SerializationSearch:
         constraints: Iterable[Tuple[int, int]] = (),
         optional_operations: Sequence[Operation] = (),
         max_nodes: int = 2_000_000,
+        initial_state: Any = None,
+        failed: Optional[Set[Tuple[int, Any]]] = None,
     ):
         self.spec = spec
         self.required = list(operations)
         self.optional = list(optional_operations)
         self.constraints = list(constraints)
         self.max_nodes = max_nodes
+        self.initial_state = initial_state
+        self._shared_failed = failed
         self._nodes = 0
 
     # ------------------------------------------------------------------ #
-    def find(self) -> Optional[List[Operation]]:
-        """Return a legal constraint-respecting serialization, or None."""
-        all_ops = sorted(self.required + self.optional, key=lambda op: op.op_id)
-        index = {op.op_id: i for i, op in enumerate(all_ops)}
-        n = len(all_ops)
+    def _initial_state(self) -> Any:
+        if self.initial_state is None:
+            return self.spec.initial_state()
+        return self.initial_state
 
-        successors: List[List[int]] = [[] for _ in range(n)]
+    def _build_graph(self, all_ops: List[Operation]
+                     ) -> Tuple[Dict[int, int], List[List[int]]]:
+        index = {op.op_id: i for i, op in enumerate(all_ops)}
+        successors: List[List[int]] = [[] for _ in range(len(all_ops))]
         seen_edges: Set[Tuple[int, int]] = set()
         for a, b in self.constraints:
             ia = index.get(a)
@@ -106,13 +123,20 @@ class SerializationSearch:
                 continue
             seen_edges.add((ia, ib))
             successors[ia].append(ib)
+        return index, successors
+
+    def find(self) -> Optional[List[Operation]]:
+        """Return a legal constraint-respecting serialization, or None."""
+        all_ops = sorted(self.required + self.optional, key=lambda op: op.op_id)
+        index, successors = self._build_graph(all_ops)
 
         required_mask = 0
         for op in self.required:
             required_mask |= 1 << index[op.op_id]
         optional_indices = [index[op.op_id] for op in self.optional]
 
-        failed: Set[Tuple[int, Any]] = set()
+        failed: Set[Tuple[int, Any]] = (
+            self._shared_failed if self._shared_failed is not None else set())
         # Try including subsets of the optional (pending) mutations, smallest
         # first: the model allows us to pick any subset whose responses we
         # "add" to extend the execution.  The failed-state memo persists
@@ -183,6 +207,99 @@ class SerializationSearch:
             failed.add(memo_key)
             return False
 
-        if dfs(spec.initial_state(), included_mask):
+        if dfs(self._initial_state(), included_mask):
             return list(order)
         return None
+
+    # ------------------------------------------------------------------ #
+    def final_states(
+        self,
+        memo: Optional[Dict[Tuple[int, Any], frozenset]] = None,
+        states_by_key: Optional[Dict[Any, Any]] = None,
+    ) -> Tuple[Dict[Any, Any], Optional[List[Operation]]]:
+        """Enumerate every distinct end state of a legal serialization.
+
+        Returns ``(states_by_key, witness)``: a mapping from spec state key
+        to one representative final state reachable by some legal,
+        constraint-respecting serialization of the *required* operations
+        starting from ``initial_state``, plus the first witness found
+        (``None`` iff the mapping is empty).  This is the cross-epoch
+        frontier of the streaming checkers: an epoch's successor must be
+        checkable from at least one of these states.
+
+        ``memo`` maps ``(remaining mask, state key)`` to the frozenset of
+        reachable final state keys; passing the same dict across calls with
+        identical operations/constraints (the per-epoch multi-initial-state
+        loop) lets later enumerations reuse entire subtrees.  Optional
+        operations are not supported here — mid-stream epochs are quiescent,
+        so they never carry pending operations.
+        """
+        if self.optional:
+            raise ValueError(
+                "final-state enumeration does not support optional "
+                "(pending) operations; quiescent epochs have none")
+        all_ops = sorted(self.required, key=lambda op: op.op_id)
+        _, successors = self._build_graph(all_ops)
+        n = len(all_ops)
+        full_mask = (1 << n) - 1
+
+        indeg = [0] * n
+        for i in range(n):
+            for j in successors[i]:
+                indeg[j] += 1
+
+        memo = {} if memo is None else memo
+        states = {} if states_by_key is None else states_by_key
+        spec = self.spec
+        apply = spec.apply
+        state_key = spec.state_key
+        max_nodes = self.max_nodes
+        shared_failed = self._shared_failed
+        self._nodes = 0
+        order: List[Operation] = []
+        witness: List[Optional[List[Operation]]] = [None]
+
+        def dfs(state: Any, remaining: int) -> frozenset:
+            if not remaining:
+                key = state_key(state)
+                if key not in states:
+                    states[key] = state
+                if witness[0] is None:
+                    witness[0] = list(order)
+                return frozenset((key,))
+            self._nodes += 1
+            if self._nodes > max_nodes:
+                raise RuntimeError(
+                    "final-state enumeration exceeded node budget; epoch too "
+                    "large for exhaustive checking (use the witness checker "
+                    "or smaller epochs)"
+                )
+            memo_key = (remaining, state_key(state))
+            cached = memo.get(memo_key)
+            if cached is not None:
+                return cached
+            reachable: set = set()
+            for i in range(n):
+                if not remaining >> i & 1 or indeg[i]:
+                    continue
+                ok, next_state = apply(state, all_ops[i])
+                if not ok:
+                    continue
+                after = remaining & ~(1 << i)
+                for j in successors[i]:
+                    if after >> j & 1:
+                        indeg[j] -= 1
+                order.append(all_ops[i])
+                reachable.update(dfs(next_state, after))
+                order.pop()
+                for j in successors[i]:
+                    if after >> j & 1:
+                        indeg[j] += 1
+            result = frozenset(reachable)
+            memo[memo_key] = result
+            if not result and shared_failed is not None:
+                shared_failed.add(memo_key)
+            return result
+
+        dfs(self._initial_state(), full_mask)
+        return states, witness[0]

@@ -12,23 +12,16 @@ from typing import Optional
 from repro.core.history import History
 from repro.core.specification import SequentialSpec
 from repro.core.checkers.base import CheckResult
-from repro.core.checkers._shared import (
-    real_time_edges,
-    run_total_order_check,
-    split_operations,
-)
+from repro.core.checkers.streaming import check_segment
 
 __all__ = ["check_linearizability", "check_strict_serializability"]
 
 
 def _check_real_time_total_order(history: History, model: str,
                                  spec: Optional[SequentialSpec]) -> CheckResult:
-    required, optional = split_operations(history)
-    edges = real_time_edges(history, required + optional)
-    return run_total_order_check(
-        history, model=model, edges=edges, spec=spec,
-        required=required, optional=optional,
-    )
+    # Batch checking is the degenerate streaming case: one whole-history
+    # epoch starting from the initial state (same search, same witness).
+    return check_segment(history, model, spec=spec).result
 
 
 def check_linearizability(history: History, spec: Optional[SequentialSpec] = None

@@ -18,30 +18,23 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.history import History
-from repro.core.relations import CausalOrder, regular_constraint_edges
-from repro.core.specification import SequentialSpec
 from repro.core.checkers.base import CheckResult
-from repro.core.checkers._shared import run_total_order_check, split_operations
+from repro.core.checkers.streaming import check_segment, segment_constraint_edges
+from repro.core.specification import SequentialSpec
 
 __all__ = ["check_rsc", "check_rss", "regular_edges"]
 
 
 def regular_edges(history: History):
     """Constraint edges for RSC/RSS: causal edges plus regular real-time edges."""
-    causal = CausalOrder(history)
-    edges = list(causal.edges())
-    edges.extend(regular_constraint_edges(history))
-    return edges
+    return segment_constraint_edges(history, "rsc", history.operations())
 
 
 def _check_regular(history: History, model: str,
                    spec: Optional[SequentialSpec]) -> CheckResult:
-    required, optional = split_operations(history)
-    edges = regular_edges(history)
-    return run_total_order_check(
-        history, model=model, edges=edges, spec=spec,
-        required=required, optional=optional,
-    )
+    # Batch checking is the degenerate streaming case: one whole-history
+    # epoch starting from the initial state (same search, same witness).
+    return check_segment(history, model, spec=spec).result
 
 
 def check_rsc(history: History, spec: Optional[SequentialSpec] = None) -> CheckResult:

@@ -1,0 +1,639 @@
+"""Incremental, epoch-windowed consistency checking.
+
+The offline checkers replay a finished history; this module checks a history
+*while it streams in*, holding only one epoch plus a tiny cross-epoch
+frontier in memory.  The construction (soundness argument in
+``docs/streaming_check.md``):
+
+* The stream is cut into **epochs** at quiescent real-time frontiers
+  (:class:`~repro.core.history.SegmentStream`): instants where every pending
+  invocation has responded.  No operation spans a cut, so *every* operation
+  of epoch ``i`` precedes *every* operation of epoch ``j > i`` in real time.
+* For the real-time-constrained models — RSS, RSC, linearizability, strict
+  serializability — that total cross-epoch order means all cross-epoch
+  constraints are satisfied by construction when epochs are serialized in
+  order; only constraints *within* an epoch and the specification state
+  carried *across* epochs remain to be checked.
+* The carried frontier is the set of **feasible final specification
+  states** of the serializations admitted so far
+  (:meth:`SerializationSearch.final_states`).  A single state is not
+  enough: two concurrent unread writes leave either value behind, and a
+  later epoch may legally observe either one.
+* Batch checking is the degenerate case: one whole-history epoch from the
+  initial state — :func:`check_segment` with no frontier is exactly the
+  code path ``check_rsc``/``check_rss``/``check_linearizability``/
+  ``check_strict_serializability`` run, so offline results (including
+  witnesses) are unchanged.
+
+Two drivers are provided: :class:`StreamingChecker` runs the exhaustive
+serialization search per epoch (small live runs, property tests, and the
+offline checkers' backend), and :class:`StreamingWitnessChecker` validates a
+protocol-provided witness order per epoch in linear time (live clusters at
+full throughput; see :mod:`repro.net.check` for the protocol glue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core import orders
+from repro.core.events import Operation
+from repro.core.history import History, Segment, SegmentStream
+from repro.core.relations import CausalOrder
+from repro.core.specification import SequentialSpec, _generic_state_key
+from repro.core.checkers.base import (
+    CheckResult,
+    SerializationSearch,
+    default_spec_for,
+)
+from repro.core.checkers._shared import split_operations
+
+__all__ = [
+    "STREAMING_MODELS",
+    "EpochFrontier",
+    "EpochVerdict",
+    "StreamReport",
+    "SegmentOutcome",
+    "segment_constraint_edges",
+    "check_segment",
+    "StreamingChecker",
+    "StreamingWitnessChecker",
+    "history_events",
+    "replay_events",
+    "stream_history",
+]
+
+#: Models whose per-epoch checks compose to the whole history at quiescent
+#: cuts.  Models without any real-time constraint (sequential consistency,
+#: causal, ...) are *not* compositional: they admit serializations that
+#: reorder operations across arbitrarily distant epochs.
+STREAMING_MODELS = (
+    "rsc",
+    "rss",
+    "linearizability",
+    "strict_serializability",
+)
+
+
+@dataclass
+class EpochFrontier:
+    """Everything carried across an epoch cut.
+
+    ``states`` are the feasible final specification states of the epochs
+    checked so far, in a deterministic order.  Nothing else crosses the cut:
+    operations, constraint edges, and search memos are all epoch-local.
+    """
+
+    states: Tuple[Any, ...]
+    epoch_index: int = 0
+    ops_checked: int = 0
+    cut_time: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+@dataclass
+class EpochVerdict:
+    """Per-epoch outcome reported by the streaming checkers."""
+
+    index: int
+    ops: int
+    start_time: Optional[float]
+    end_time: Optional[float]
+    satisfied: Optional[bool]
+    model: str
+    reason: str = ""
+    final: bool = False
+    op_ids: Tuple[int, int] = (0, 0)  # (min, max) op id in the epoch
+
+    def describe(self) -> str:
+        if self.satisfied is None:
+            status = "SKIPPED"
+        elif self.satisfied:
+            status = "SATISFIED"
+        else:
+            status = f"VIOLATED ({self.reason})"
+        end = "open" if self.end_time is None else f"{self.end_time:g}"
+        start = "?" if self.start_time is None else f"{self.start_time:g}"
+        return (f"epoch {self.index}: {self.ops} ops [{start}, {end}] "
+                f"{self.model}: {status}")
+
+
+@dataclass
+class StreamReport:
+    """Summary of a completed streaming check."""
+
+    satisfied: bool
+    model: str
+    epochs: int
+    ops_checked: int
+    verdicts: List[EpochVerdict]
+    first_violation: Optional[EpochVerdict] = None
+    max_segment_ops: int = 0
+    frontier_states_peak: int = 1
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+
+@dataclass
+class SegmentOutcome:
+    """Result of checking one segment plus the frontier it hands on."""
+
+    result: CheckResult
+    frontier: Optional[EpochFrontier] = None
+
+
+# --------------------------------------------------------------------------- #
+# Per-segment constraint derivation and checking
+# --------------------------------------------------------------------------- #
+def segment_constraint_edges(
+    history: History,
+    model: str,
+    ops: Sequence[Operation],
+    causal: Optional[CausalOrder] = None,
+) -> List[Tuple[int, int]]:
+    """The model's constraint edges *within* one segment.
+
+    Identical to the offline derivations (the offline checkers call this on
+    their single whole-history segment); ``causal`` may be an incrementally
+    maintained order for the segment to avoid a rebuild at the cut.
+    """
+    if model in ("linearizability", "strict_serializability"):
+        return orders.real_time_edges(history, ops)
+    if model in ("rsc", "rss"):
+        causal = causal if causal is not None else CausalOrder(history)
+        edges = list(causal.edges())
+        edges.extend(orders.regular_constraint_edges(history))
+        return edges
+    raise ValueError(
+        f"model {model!r} does not compose across epochs; streaming "
+        f"checking supports {STREAMING_MODELS}")
+
+
+def _ordered_states(states_by_key: Dict[Any, Any]) -> Tuple[Any, ...]:
+    """Deterministic ordering of a frontier state set (hash-seed independent)."""
+    return tuple(sorted(states_by_key.values(),
+                        key=lambda state: repr(_generic_state_key(state))))
+
+
+def check_segment(
+    history: History,
+    model: str,
+    spec: Optional[SequentialSpec] = None,
+    frontier: Optional[EpochFrontier] = None,
+    max_nodes: int = 2_000_000,
+    collect_frontier: bool = False,
+    causal: Optional[CausalOrder] = None,
+) -> SegmentOutcome:
+    """Exhaustively check one segment against ``model``.
+
+    With no ``frontier`` and ``collect_frontier=False`` this is exactly the
+    offline whole-history check (same search, same witness).  With a frontier
+    the segment is checked from each carried state; with
+    ``collect_frontier=True`` the outcome carries the feasible final states
+    for the next epoch.
+    """
+    spec = spec or default_spec_for(history)
+    required, optional = split_operations(history)
+    edges = segment_constraint_edges(history, model, required + optional,
+                                     causal=causal)
+    states: Tuple[Any, ...] = (
+        frontier.states if frontier is not None and frontier.states
+        else (None,))  # None → spec.initial_state() inside the search
+
+    if collect_frontier:
+        if optional:
+            raise ValueError(
+                "cannot carry a frontier across an epoch with pending "
+                "operations; quiescent cuts have none")
+        # The per-state enumerations share one memo (and one result dict),
+        # so subtrees proven dead or already enumerated from one carried
+        # state are never re-explored from another.
+        memo: Dict[Tuple[int, Any], frozenset] = {}
+        finals: Dict[Any, Any] = {}
+        witness: Optional[List[Operation]] = None
+        for state in states:
+            search = SerializationSearch(
+                spec=spec, operations=required, constraints=edges,
+                max_nodes=max_nodes, initial_state=state,
+            )
+            _, state_witness = search.final_states(memo=memo,
+                                                   states_by_key=finals)
+            if witness is None:
+                witness = state_witness
+        if not finals:
+            result = CheckResult(
+                satisfied=False, model=model,
+                reason="no legal serialization satisfies the model's constraints",
+            )
+            return SegmentOutcome(result=result, frontier=None)
+        result = CheckResult(satisfied=True, model=model, witness=witness)
+        next_frontier = EpochFrontier(
+            states=_ordered_states(finals),
+            epoch_index=(frontier.epoch_index + 1) if frontier else 1,
+            ops_checked=((frontier.ops_checked if frontier else 0)
+                         + len(required)),
+        )
+        return SegmentOutcome(result=result, frontier=next_frontier)
+
+    shared_failed: Set[Tuple[int, Any]] = set()
+    witness = None
+    for state in states:
+        search = SerializationSearch(
+            spec=spec, operations=required, constraints=edges,
+            optional_operations=optional, max_nodes=max_nodes,
+            initial_state=state, failed=shared_failed,
+        )
+        witness = search.find()
+        if witness is not None:
+            break
+    if witness is None:
+        result = CheckResult(
+            satisfied=False, model=model,
+            reason="no legal serialization satisfies the model's constraints",
+        )
+    else:
+        result = CheckResult(satisfied=True, model=model, witness=witness)
+    return SegmentOutcome(result=result, frontier=None)
+
+
+# --------------------------------------------------------------------------- #
+# Streaming drivers
+# --------------------------------------------------------------------------- #
+class _StreamingBase:
+    """Shared event plumbing: segment cutting, verdict bookkeeping."""
+
+    def __init__(self, model: str, min_epoch_ops: int,
+                 on_verdict: Optional[Callable[[EpochVerdict], None]] = None):
+        self.model = model
+        self._stream = SegmentStream(min_epoch_ops=min_epoch_ops)
+        self._on_verdict = on_verdict
+        self._deferred_edges: List[Tuple[int, int]] = []
+        self.verdicts: List[EpochVerdict] = []
+        self.first_violation: Optional[EpochVerdict] = None
+        self._closed_report: Optional[StreamReport] = None
+
+    # -- event feed ---------------------------------------------------- #
+    def begin(self, process: str, invoked_at: float,
+              op: Optional[Operation] = None) -> None:
+        """An operation was invoked."""
+        for segment in self._stream.begin(process, invoked_at, op):
+            self._handle_segment(segment)
+
+    def complete(self, op: Operation) -> None:
+        """An operation responded (it joins the current epoch)."""
+        for segment in self._stream.complete(op):  # pragma: no branch
+            self._handle_segment(segment)
+        self._op_appended(op)
+        self._retry_deferred_edges(self._stream.current_history)
+
+    def abandon(self, process: str, at_time: float) -> None:
+        """An announced invocation aborted out and will never complete."""
+        self._stream.abandon(process, at_time)
+
+    def edge(self, src_id: int, dst_id: int) -> None:
+        """A message edge between two operations.
+
+        If the source has not landed in the current segment yet (it may
+        still be pending — message edges are fed when their destination
+        completes), the edge is parked and retried on later completions and
+        at segment boundaries.  An edge that truly crosses segments is
+        dropped soundly: segments are totally real-time ordered, and a
+        message edge orders its source before its destination in real time.
+        """
+        if not self._try_edge(self._stream.current_history, src_id, dst_id):
+            self._deferred_edges.append((src_id, dst_id))
+
+    def _try_edge(self, history: History, src_id: int, dst_id: int) -> bool:
+        try:
+            src = history.get(src_id)
+            dst = history.get(dst_id)
+        except KeyError:
+            return False
+        history.add_message_edge(src, dst)
+        self._edge_appended(src, dst)
+        return True
+
+    def _retry_deferred_edges(self, history: History,
+                              prune: bool = False) -> None:
+        if not self._deferred_edges:
+            return
+        remaining = []
+        for src_id, dst_id in self._deferred_edges:
+            if self._try_edge(history, src_id, dst_id):
+                continue
+            # Once the destination's segment is checked, the edge's chance
+            # has passed: either cross-segment (sound to drop) or its
+            # source never completed (no constraint to impose).
+            if prune and dst_id in history._by_id:
+                continue
+            remaining.append((src_id, dst_id))
+        self._deferred_edges = remaining
+
+    def feed(self, op: Operation) -> None:
+        """Convenience: announce and (if complete) immediately complete
+        ``op`` — for callers replaying an already-ordered event stream."""
+        self.begin(op.process, op.invoked_at, op)
+        if op.is_complete:
+            self.complete(op)
+
+    # -- History observer interface (History.attach_observer) ---------- #
+    def on_invocation(self, process: str, invoked_at: float) -> None:
+        self.begin(process, invoked_at)
+
+    def on_op(self, op: Operation) -> None:
+        self.complete(op)
+
+    def on_edge(self, src_op: Operation, dst_op: Operation) -> None:
+        self.edge(src_op.op_id, dst_op.op_id)
+
+    def on_abandoned(self, process: str, at_time: float) -> None:
+        self.abandon(process, at_time)
+
+    def close(self) -> StreamReport:
+        """Flush the final segment and summarize."""
+        if self._closed_report is not None:
+            return self._closed_report
+        segment = self._stream.close()
+        if segment is not None:
+            self._handle_segment(segment)
+        self._closed_report = StreamReport(
+            satisfied=self.first_violation is None,
+            model=self.model,
+            epochs=self._stream.segments_emitted,
+            ops_checked=self._stream.ops_seen,
+            verdicts=self.verdicts,
+            first_violation=self.first_violation,
+            max_segment_ops=self._stream.max_segment_ops,
+            frontier_states_peak=self._frontier_peak(),
+        )
+        return self._closed_report
+
+    # -- subclass hooks ------------------------------------------------ #
+    def _op_appended(self, op: Operation) -> None:
+        pass
+
+    def _edge_appended(self, src_op: Operation, dst_op: Operation) -> None:
+        pass
+
+    def _frontier_peak(self) -> int:
+        return 1
+
+    def _check_segment(self, segment: Segment) -> Tuple[Optional[bool], str]:
+        raise NotImplementedError
+
+    # -- bookkeeping --------------------------------------------------- #
+    def _handle_segment(self, segment: Segment) -> None:
+        if len(segment.history) == 0:  # pragma: no cover - defensive
+            return
+        # Last chance for parked message edges whose source only landed in
+        # this segment (e.g. a pending source op appended at close).
+        self._retry_deferred_edges(segment.history, prune=True)
+        satisfied, reason = self._check_segment(segment)
+        ops = segment.history.operations()
+        ids = [op.op_id for op in ops]
+        verdict = EpochVerdict(
+            index=segment.index,
+            ops=len(ops),
+            start_time=segment.start_time,
+            end_time=segment.end_time,
+            satisfied=satisfied,
+            model=self.model,
+            reason=reason,
+            final=segment.final,
+            op_ids=(min(ids), max(ids)),
+        )
+        self.verdicts.append(verdict)
+        if satisfied is False and self.first_violation is None:
+            self.first_violation = verdict
+        if self._on_verdict is not None:
+            self._on_verdict(verdict)
+
+
+class StreamingChecker(_StreamingBase):
+    """Exhaustive epoch-by-epoch checking with a carried state-set frontier.
+
+    Equivalent to the offline checker on the whole history — same verdict,
+    and the first violated epoch is the prefix at which the offline checker
+    first fails (the property tests pin both) — while holding only the
+    current epoch plus the frontier in memory.  Epochs after the first
+    violation are reported with ``satisfied=None`` ("skipped"): once an
+    epoch admits no serialization, there is no sound state to carry.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        spec: Optional[SequentialSpec] = None,
+        min_epoch_ops: int = 1,
+        max_nodes: int = 2_000_000,
+        on_verdict: Optional[Callable[[EpochVerdict], None]] = None,
+    ):
+        if model not in STREAMING_MODELS:
+            raise ValueError(
+                f"model {model!r} does not compose across epochs; "
+                f"streaming checking supports {STREAMING_MODELS}")
+        super().__init__(model, min_epoch_ops, on_verdict)
+        self._spec = spec
+        self._spec_inferred = False
+        self._txn_spec = False
+        self._max_nodes = max_nodes
+        self._frontier: Optional[EpochFrontier] = None
+        self._frontier_states_peak = 1
+        self._needs_causal = model in ("rsc", "rss")
+        self._causal: Optional[CausalOrder] = None
+        if self._needs_causal:
+            self._causal = CausalOrder(self._stream.current_history)
+
+    def _op_appended(self, op: Operation) -> None:
+        if (self._spec_inferred and op.is_transaction
+                and not self._txn_spec):
+            # The offline checker picks its spec from the WHOLE history;
+            # a stream that turns transactional after the spec was pinned
+            # non-transactional cannot be checked equivalently — fail loud
+            # rather than report a false violation.
+            raise ValueError(
+                "transactional operation arrived after the specification "
+                "was inferred as non-transactional from earlier epochs; "
+                "pass an explicit spec to StreamingChecker for mixed "
+                "histories")
+        if self._causal is not None:
+            self._causal.append(op)
+
+    def _edge_appended(self, src_op: Operation, dst_op: Operation) -> None:
+        if self._causal is not None:
+            self._causal.append_edge(src_op, dst_op)
+
+    def _frontier_peak(self) -> int:
+        return self._frontier_states_peak
+
+    def _check_segment(self, segment: Segment) -> Tuple[Optional[bool], str]:
+        causal = self._causal
+        if self._needs_causal:
+            # Rebind the incremental causal order to the next segment's
+            # (fresh) history before the next operation arrives.
+            self._causal = CausalOrder(self._stream.current_history)
+        if segment.final:
+            # The final segment may have gained pending operations at
+            # close(), which the incremental order never saw: rebuild.
+            causal = None
+        if self.first_violation is not None:
+            return None, "skipped: a previous epoch already violated the model"
+        spec = self._spec
+        if spec is None:
+            spec = self._spec = default_spec_for(segment.history)
+            self._spec_inferred = True
+            self._txn_spec = any(op.is_transaction for op in segment.history)
+        outcome = check_segment(
+            segment.history, self.model, spec=spec, frontier=self._frontier,
+            max_nodes=self._max_nodes, collect_frontier=not segment.final,
+            causal=causal,
+        )
+        if outcome.frontier is not None:
+            self._frontier = outcome.frontier
+            self._frontier_states_peak = max(self._frontier_states_peak,
+                                             len(outcome.frontier))
+        return bool(outcome.result), outcome.result.reason
+
+
+def _force_replay(spec: SequentialSpec, state: Any,
+                  witness: Sequence[Operation]) -> Any:
+    """Best-effort state advance past a violated epoch: apply every
+    operation, keeping whatever state ``apply`` hands back even on illegal
+    steps, so later epochs can still be monitored."""
+    for op in witness:
+        _, state = spec.apply(state, op)
+    return state
+
+
+class StreamingWitnessChecker(_StreamingBase):
+    """Epoch-by-epoch validation of a protocol-provided witness order.
+
+    ``witness_fn(segment_history)`` returns the protocol's serialization of
+    one epoch (or ``None`` if its constraints are cyclic — itself a
+    violation).  Validation replays the witness from the state carried over
+    the previous cut, so a stale read whose value was overwritten in an
+    earlier epoch fails exactly as it would in the batch check.  Unlike the
+    exhaustive checker, a witness pins a *single* state per epoch, so the
+    frontier is one state and checking is linear time and bounded memory.
+
+    Verdicts after the first violation are best effort: the carried state is
+    advanced by force-replaying the violated epoch's witness.
+    """
+
+    def __init__(
+        self,
+        witness_fn: Callable[[History], Optional[List[Operation]]],
+        model: str,
+        spec: SequentialSpec,
+        min_epoch_ops: int = 64,
+        on_verdict: Optional[Callable[[EpochVerdict], None]] = None,
+    ):
+        super().__init__(model, min_epoch_ops, on_verdict)
+        self._witness_fn = witness_fn
+        self._spec = spec
+        self._state = spec.initial_state()
+
+    def _check_segment(self, segment: Segment) -> Tuple[Optional[bool], str]:
+        from repro.core.checkers.witness import check_with_witness
+
+        history = segment.history
+        witness = self._witness_fn(history)
+        if witness is None:
+            ordered = sorted((op for op in history if op.is_complete),
+                             key=lambda op: (op.invoked_at, op.op_id))
+            self._state = _force_replay(self._spec, self._state, ordered)
+            return False, ("the protocol witness constraints are cyclic "
+                           "within the epoch")
+        result = check_with_witness(history, witness, model=self.model,
+                                    spec=self._spec,
+                                    initial_state=self._state)
+        if result:
+            self._state = result.details["final_state"]
+            return True, ""
+        self._state = _force_replay(self._spec, self._state, witness)
+        return False, result.reason
+
+
+# --------------------------------------------------------------------------- #
+# Offline driver: replay a finished history as a stream
+# --------------------------------------------------------------------------- #
+#: Event kinds, ordered so that at equal timestamps an invocation sorts
+#: before a completion: a zero-duration operation must begin before it
+#: completes, and for *distinct* operations processing the invocation
+#: first conservatively merges the timestamp tie into the current epoch
+#: (exactly what the cut rule requires for ties).
+_EVENT_BEGIN = 0
+_EVENT_COMPLETE = 1
+
+
+def history_events(history: History) -> List[Tuple[float, int, int, Operation]]:
+    """The interleaved invocation/completion event list of a history, in
+    the order a live capture would produce it."""
+    events: List[Tuple[float, int, int, Operation]] = []
+    for op in history:
+        events.append((op.invoked_at, _EVENT_BEGIN, op.op_id, op))
+        if op.is_complete:
+            events.append((op.responded_at, _EVENT_COMPLETE, op.op_id, op))
+    events.sort(key=lambda item: (item[0], item[1], item[2]))
+    return events
+
+
+def replay_events(
+    events: Sequence[Tuple[float, int, int, Operation]],
+    checker: _StreamingBase,
+    edges_by_dst: Optional[Dict[int, List[int]]] = None,
+    trailing_edges: Sequence[Tuple[int, int]] = (),
+) -> StreamReport:
+    """Drive a streaming checker from a prepared event list.
+
+    Message edges are fed when their destination completes;
+    ``trailing_edges`` (edges whose destination never completes — it joins
+    the final segment as a pending operation) are fed just before close so
+    the deferred-edge retry can apply them in the final segment.
+    """
+    for _, kind, _, op in events:
+        if kind == _EVENT_BEGIN:
+            checker.begin(op.process, op.invoked_at, op)
+        else:
+            checker.complete(op)
+            if edges_by_dst:
+                for src_id in edges_by_dst.get(op.op_id, ()):
+                    checker.edge(src_id, op.op_id)
+    for src_id, dst_id in trailing_edges:
+        checker.edge(src_id, dst_id)
+    return checker.close()
+
+
+def stream_history(
+    history: History,
+    model: str,
+    spec: Optional[SequentialSpec] = None,
+    min_epoch_ops: int = 1,
+    max_nodes: int = 2_000_000,
+    checker: Optional[_StreamingBase] = None,
+    on_verdict: Optional[Callable[[EpochVerdict], None]] = None,
+) -> StreamReport:
+    """Replay ``history`` through a streaming checker in event-time order.
+
+    Invocation and completion events are interleaved by timestamp (the
+    order a live capture would produce), message edges are fed after their
+    destination completes, and the checker's verdict must match the offline
+    checker on the same history — the property tests pin this.
+    """
+    if checker is None:
+        checker = StreamingChecker(model, spec=spec,
+                                   min_epoch_ops=min_epoch_ops,
+                                   max_nodes=max_nodes, on_verdict=on_verdict)
+    edges_by_dst: Dict[int, List[int]] = {}
+    trailing_edges: List[Tuple[int, int]] = []
+    for edge in history.message_edges:
+        if history.get(edge.dst_op).is_complete:
+            edges_by_dst.setdefault(edge.dst_op, []).append(edge.src_op)
+        else:
+            trailing_edges.append((edge.src_op, edge.dst_op))
+    return replay_events(history_events(history), checker, edges_by_dst,
+                         trailing_edges)

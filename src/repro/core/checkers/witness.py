@@ -59,8 +59,15 @@ def check_with_witness(
     witness: Sequence[Operation],
     model: str = "rss",
     spec: Optional[SequentialSpec] = None,
+    initial_state=None,
 ) -> CheckResult:
-    """Validate a protocol-provided serialization order against ``model``."""
+    """Validate a protocol-provided serialization order against ``model``.
+
+    ``initial_state`` seeds the legality replay (defaults to the spec's
+    initial state); the streaming checkers pass the state carried over the
+    previous epoch cut.  On success the result's ``details["final_state"]``
+    holds the replay's end state, which is the next epoch's seed.
+    """
     spec = spec or default_spec_for(history)
     witness = list(witness)
     witness_ids = [op.op_id for op in witness]
@@ -81,20 +88,16 @@ def check_with_witness(
                    f"(first: {missing[0].describe()})",
         )
 
-    # (2) Legality.
-    ok, state = spec.replay(witness)
-    if not ok:
-        # Replay again to find the first illegal prefix for the error message.
-        prefix_state = spec.initial_state()
-        for index, op in enumerate(witness):
-            legal, prefix_state = spec.apply(prefix_state, op)
-            if not legal:
-                return CheckResult(
-                    False, model,
-                    reason=f"witness is not a legal sequential execution at index "
-                           f"{index}: {op.describe()}",
-                )
-        return CheckResult(False, model, reason="witness is not legal")
+    # (2) Legality (from the seeded state, single pass).
+    state = spec.initial_state() if initial_state is None else initial_state
+    for index, op in enumerate(witness):
+        legal, state = spec.apply(state, op)
+        if not legal:
+            return CheckResult(
+                False, model,
+                reason=f"witness is not a legal sequential execution at index "
+                       f"{index}: {op.describe()}",
+            )
 
     # (3) Causality.
     causal = CausalOrder(history)
@@ -116,4 +119,5 @@ def check_with_witness(
                        f"{history.get(dst).describe()}",
             )
 
-    return CheckResult(True, model, witness=witness)
+    return CheckResult(True, model, witness=witness,
+                       details={"final_state": state})

@@ -5,17 +5,40 @@ operations each process invoked (with invocation/response times) plus any
 out-of-band message-passing edges between processes (e.g. "Alice calls Bob"),
 which contribute to the potential-causality order even though they are not
 service operations.
+
+Histories are **append-mode** structures: the per-process and writer indexes
+are maintained incrementally on :meth:`History.add`, so a live capture that
+streams millions of operations in never pays a full index rebuild.  Observers
+(:meth:`History.attach_observer`) see every invocation, completion, and
+message edge as it happens — the trace recorder and the streaming checkers
+both hang off this hook.
+
+:class:`SegmentStream` cuts such a stream into **epochs** at quiescent
+real-time frontiers (moments where every pending invocation has responded),
+which is the unit of incremental checking — see
+:mod:`repro.core.checkers.streaming` and ``docs/streaming_check.md``.
 """
 
 from __future__ import annotations
 
+import bisect
+import glob as _glob
 import json
+import os
+import re as _re
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
 
 from repro.core.events import Operation, OpType
 
-__all__ = ["MessageEdge", "History", "iter_jsonl_records"]
+__all__ = [
+    "MessageEdge",
+    "History",
+    "Segment",
+    "SegmentStream",
+    "iter_jsonl_records",
+    "resolve_jsonl_paths",
+]
 
 
 def iter_jsonl_records(source: Iterable[str]) -> Iterable[Dict[str, Any]]:
@@ -51,6 +74,9 @@ class MessageEdge:
     dst_op: int
 
 
+_INV_SORT_KEY = lambda op: (op.invoked_at, op.op_id)  # noqa: E731 - sort key
+
+
 class History:
     """An ordered record of operations plus message-passing edges."""
 
@@ -58,25 +84,82 @@ class History:
         self._ops: List[Operation] = []
         self._by_id: Dict[int, Operation] = {}
         self.message_edges: List[MessageEdge] = []
-        #: Lazily built caches; invalidated whenever an operation is added.
+        #: Lazily built caches; once built they are maintained *incrementally*
+        #: by :meth:`add`, so appends stay O(log n) even on huge streams.
         self._process_cache: Optional[Dict[str, List[Operation]]] = None
         self._writer_index: Optional[Dict[Tuple[str, Any, Any], List[Operation]]] = None
         self._writer_index_exact = True
+        self._observers: List[Any] = []
         if operations:
             for op in operations:
                 self.add(op)
 
     # ------------------------------------------------------------------ #
+    # Observers (live capture / inline checking)
+    # ------------------------------------------------------------------ #
+    def attach_observer(self, observer: Any) -> None:
+        """Register an observer notified of every event appended here.
+
+        Observers may implement any subset of ``on_invocation(process,
+        invoked_at)``, ``on_op(op)``, ``on_edge(src_op, dst_op)``, and
+        ``on_abandoned(process, at_time)``.  The trace recorder and the
+        streaming checkers are both plugged in through this hook.
+        """
+        self._observers.append(observer)
+
+    def _notify(self, method: str, *args: Any) -> None:
+        for observer in self._observers:
+            callback = getattr(observer, method, None)
+            if callback is not None:
+                callback(*args)
+
+    def note_invocation(self, process: str, invoked_at: float) -> None:
+        """Announce that ``process`` invoked an operation at ``invoked_at``.
+
+        The operation itself is appended (with :meth:`add`) once its response
+        is observed; announcing invocations lets streaming consumers detect
+        *quiescent frontiers* — instants where every pending invocation has
+        responded — which are the only sound epoch cut points.  On a plain
+        history with no observers this is a no-op.
+        """
+        if self._observers:
+            self._notify("on_invocation", process, invoked_at)
+
+    def note_abandoned(self, process: str, at_time: float) -> None:
+        """Announce that ``process``'s outstanding invocation was abandoned
+        (e.g. a transaction that aborted out of its retry budget) and will
+        never produce a completion record."""
+        if self._observers:
+            self._notify("on_abandoned", process, at_time)
+
+    # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
     def add(self, op: Operation) -> Operation:
-        """Append an operation to the history."""
+        """Append an operation to the history (incremental index upkeep)."""
         if op.op_id in self._by_id:
             raise ValueError(f"duplicate operation id {op.op_id}")
         self._ops.append(op)
         self._by_id[op.op_id] = op
-        self._process_cache = None
-        self._writer_index = None
+        if self._process_cache is not None:
+            group = self._process_cache.get(op.process)
+            if group is None:
+                self._process_cache[op.process] = [op]
+            elif _INV_SORT_KEY(op) >= _INV_SORT_KEY(group[-1]):
+                group.append(op)
+            else:
+                bisect.insort(group, op, key=_INV_SORT_KEY)
+        if self._writer_index is not None and self._writer_index_exact:
+            for key, value in op.values_written().items():
+                try:
+                    self._writer_index.setdefault(
+                        (op.service, key, value), []).append(op)
+                except TypeError:
+                    self._writer_index = {}
+                    self._writer_index_exact = False
+                    break
+        if self._observers:
+            self._notify("on_op", op)
         return op
 
     def add_message_edge(self, src_op: Operation, dst_op: Operation) -> None:
@@ -86,6 +169,8 @@ class History:
         if src_op.op_id not in self._by_id or dst_op.op_id not in self._by_id:
             raise ValueError("both operations must belong to this history")
         self.message_edges.append(MessageEdge(src_op.op_id, dst_op.op_id))
+        if self._observers:
+            self._notify("on_edge", src_op, dst_op)
 
     def extend(self, other: "History") -> None:
         """Append all operations and edges of another history."""
@@ -266,11 +351,13 @@ class History:
         Records whose ``type`` is neither ``"op"`` nor ``"edge"`` and blank
         lines are skipped, and a crash-truncated final line is tolerated
         (see :func:`iter_jsonl_records`), so any trace file in the repo's
-        JSONL format loads directly.
+        JSONL format loads directly.  A path naming a size-rotated trace set
+        (``trace.jsonl`` standing for ``trace-0001.jsonl``, ...) loads the
+        whole set in order (see :func:`resolve_jsonl_paths`).
         """
         if isinstance(source, str):
-            with open(source, "r", encoding="utf-8") as handle:
-                return cls.from_jsonl(handle)
+            return cls.from_records(
+                iter_jsonl_records(_iter_lines(resolve_jsonl_paths(source))))
         return cls.from_records(iter_jsonl_records(source))
 
     # ------------------------------------------------------------------ #
@@ -301,3 +388,231 @@ class History:
             if edge.src_op in keep and edge.dst_op in keep
         ]
         return sub
+
+
+# --------------------------------------------------------------------------- #
+# Rotated JSONL trace sets
+# --------------------------------------------------------------------------- #
+def resolve_jsonl_paths(path: str) -> List[str]:
+    """Resolve a trace path to the ordered list of files holding it.
+
+    A plain existing file resolves to itself.  A missing ``trace.jsonl``
+    standing for a size-rotated set resolves to the sorted
+    ``trace-0001.jsonl``, ``trace-0002.jsonl``, ... siblings the rotating
+    :class:`~repro.net.recorder.TraceWriter` produced.
+    """
+    if os.path.exists(path):
+        return [path]
+    stem, suffix = os.path.splitext(path)
+    rotated = []
+    for name in _glob.glob(f"{_glob.escape(stem)}-[0-9]*{suffix}"):
+        # Only the writer's exact `-NNNN` rotation names belong to the set;
+        # digit-leading siblings like `trace-2024-backup.jsonl` do not.
+        middle = name[len(stem):len(name) - len(suffix)] if suffix else \
+            name[len(stem):]
+        match = _re.fullmatch(r"-(\d{4,})", middle)
+        if match:
+            rotated.append((int(match.group(1)), name))
+    if rotated:
+        # Numeric sort on the rotation index (lexicographic order breaks
+        # once the zero padding overflows).
+        return [name for _, name in sorted(rotated)]
+    raise FileNotFoundError(f"no trace file or rotated set at {path!r}")
+
+
+def _iter_lines(paths: Iterable[str]) -> Iterable[str]:
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            yield from handle
+
+
+# --------------------------------------------------------------------------- #
+# Epoch segmentation of a live stream (the streaming checkers' front end)
+# --------------------------------------------------------------------------- #
+@dataclass
+class Segment:
+    """One epoch of a streamed history.
+
+    ``history`` holds exactly the operations that were invoked *and*
+    responded between the previous cut and ``end_time`` (plus, in the final
+    segment, any operations still pending at stream close).  Because cuts
+    happen only at quiescent frontiers, no operation ever spans two
+    segments.
+    """
+
+    index: int
+    history: History
+    start_time: Optional[float]
+    end_time: Optional[float]
+    final: bool = False
+
+    def __len__(self) -> int:
+        return len(self.history)
+
+
+class SegmentStream:
+    """Cut a time-ordered event stream into epochs at quiescent frontiers.
+
+    Feed ``begin(process, invoked_at[, op])`` when an operation is invoked
+    and ``complete(op)`` when it responds (events must arrive in
+    nondecreasing event-time order, which a live capture satisfies by
+    construction).  A *quiescent frontier* is an instant with no invocation
+    outstanding; the stream finalizes the current segment at the first
+    frontier with at least ``min_epoch_ops`` operations, as soon as a
+    strictly later invocation proves that no operation spans it.  Ties
+    (an invocation at exactly the candidate cut time) conservatively merge
+    into the current epoch — the cross-process real-time order ``a → b``
+    requires ``resp(a) < inv(b)`` strictly, so a cut between equal
+    timestamps could manufacture precedence that does not exist.
+
+    Completions that were never announced with ``begin`` (e.g. replaying a
+    trace recorded without invocation records) permanently disable mid-stream
+    cutting: quiescence is unknowable without seeing invocations, so the
+    stream degrades to one whole-history segment — exactly batch checking.
+    """
+
+    def __init__(self, min_epoch_ops: int = 1):
+        self.min_epoch_ops = max(1, int(min_epoch_ops))
+        self._history = History()
+        self._segment_index = 0
+        self._segment_start: Optional[float] = None
+        self._outstanding: Dict[str, int] = {}
+        self._outstanding_total = 0
+        self._pending_ops: Dict[str, List[Operation]] = {}
+        self._pending_cut: Optional[float] = None
+        self._last_cut: Optional[float] = None
+        self._max_responded: Optional[float] = None
+        self._matched = True
+        self.closed = False
+        self.segments_emitted = 0
+        self.ops_seen = 0
+        self.max_segment_ops = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def current_history(self) -> History:
+        """The (mutable) history of the in-progress segment."""
+        return self._history
+
+    @property
+    def outstanding(self) -> int:
+        """Number of announced invocations without a completion."""
+        return self._outstanding_total
+
+    def _finalize(self, cut_time: Optional[float], final: bool) -> Segment:
+        segment = Segment(
+            index=self._segment_index,
+            history=self._history,
+            start_time=self._segment_start,
+            end_time=cut_time,
+            final=final,
+        )
+        self.max_segment_ops = max(self.max_segment_ops, len(segment.history))
+        self.segments_emitted += 1
+        self._segment_index += 1
+        self._history = History()
+        self._segment_start = None
+        self._max_responded = None
+        self._last_cut = cut_time
+        self._pending_cut = None
+        return segment
+
+    # ------------------------------------------------------------------ #
+    def begin(self, process: str, invoked_at: float,
+              op: Optional[Operation] = None) -> List[Segment]:
+        """Announce an invocation; returns any segment finalized by it.
+
+        ``op`` may carry the (possibly still pending) operation object when
+        the caller has it — operations begun but never completed are then
+        included in the final segment as pending operations.
+        """
+        if self.closed:
+            raise ValueError("segment stream is closed")
+        finalized: List[Segment] = []
+        if (self._pending_cut is not None
+                and invoked_at > self._pending_cut
+                and len(self._history) >= self.min_epoch_ops):
+            finalized.append(self._finalize(self._pending_cut, final=False))
+        self._pending_cut = None
+        if self._last_cut is not None and invoked_at < self._last_cut:
+            raise ValueError(
+                f"event stream out of order: invocation at t={invoked_at:g} "
+                f"arrived after the epoch cut at t={self._last_cut:g}")
+        self._outstanding[process] = self._outstanding.get(process, 0) + 1
+        self._outstanding_total += 1
+        if op is not None:
+            self._pending_ops.setdefault(process, []).append(op)
+        if self._segment_start is None:
+            self._segment_start = invoked_at
+        return finalized
+
+    def complete(self, op: Operation) -> List[Segment]:
+        """Record a completed operation; never finalizes a segment itself
+        (finalization waits for the next strictly-later invocation, or
+        :meth:`close`)."""
+        if self.closed:
+            raise ValueError("segment stream is closed")
+        if op.responded_at is None:
+            raise ValueError(f"operation {op.op_id} has no response")
+        process = op.process
+        if self._outstanding.get(process, 0) > 0:
+            self._outstanding[process] -= 1
+            self._outstanding_total -= 1
+            pending = self._pending_ops.get(process)
+            if pending:
+                pending.pop(0)
+        else:
+            # A completion we never saw invoked: quiescence is unknowable
+            # from here on, so disable cutting (single-segment fallback).
+            # If the invocation predates a cut that was already emitted,
+            # the no-op-spans-a-cut invariant is broken retroactively —
+            # refuse, like begin() does for out-of-order invocations.
+            if (self._last_cut is not None
+                    and op.invoked_at < self._last_cut):
+                raise ValueError(
+                    f"event stream out of order: operation {op.op_id} "
+                    f"completed without an announced invocation and was "
+                    f"invoked at t={op.invoked_at:g}, before the epoch cut "
+                    f"at t={self._last_cut:g}")
+            self._matched = False
+        self._history.add(op)
+        self.ops_seen += 1
+        if self._segment_start is None or op.invoked_at < self._segment_start:
+            self._segment_start = op.invoked_at
+        if self._max_responded is None or op.responded_at > self._max_responded:
+            self._max_responded = op.responded_at
+        if self._matched and self._outstanding_total == 0:
+            self._pending_cut = self._max_responded
+        else:
+            self._pending_cut = None
+        return []
+
+    def abandon(self, process: str, at_time: float) -> List[Segment]:
+        """An announced invocation will never complete (aborted out)."""
+        if self._outstanding.get(process, 0) > 0:
+            self._outstanding[process] -= 1
+            self._outstanding_total -= 1
+            pending = self._pending_ops.get(process)
+            if pending:
+                pending.pop(0)
+        if (self._matched and self._outstanding_total == 0
+                and len(self._history) > 0):
+            self._pending_cut = self._max_responded
+        return []
+
+    def close(self) -> Optional[Segment]:
+        """Finalize the stream; returns the final segment (or ``None`` if
+        empty).  Operations begun with an ``op`` payload but never completed
+        are appended as pending operations of the final segment."""
+        if self.closed:
+            return None
+        self.closed = True
+        for pending in self._pending_ops.values():
+            for op in pending:
+                if op.op_id not in self._history._by_id:
+                    self._history.add(op)
+                    self.ops_seen += 1
+        self._pending_ops.clear()
+        if len(self._history) == 0:
+            return None
+        return self._finalize(cut_time=None, final=True)

@@ -85,7 +85,7 @@ class RealTimeIndex:
     arrays, so a query is a couple of list indexings and float compares.
     """
 
-    __slots__ = ("ops", "_index", "_inv", "_resp", "_proc", "_ids")
+    __slots__ = ("ops", "_index", "_inv", "_resp", "_proc", "_ids", "_proc_ids")
 
     def __init__(self, history_or_ops: Union[History, Sequence[Operation]]):
         ops = sorted(_ops_of(history_or_ops), key=lambda op: op.op_id)
@@ -106,9 +106,26 @@ class RealTimeIndex:
         self._resp = resp
         self._proc = proc
         self._ids = ids
+        self._proc_ids = proc_ids
 
     def __len__(self) -> int:
         return len(self.ops)
+
+    def append(self, op: Operation) -> int:
+        """Monotone append: index one more operation, returning its dense
+        index.  Queries over previously indexed operations are unaffected
+        (dense indices are stable), so a streaming consumer can grow the
+        index as operations arrive instead of rebuilding it per epoch."""
+        if op.op_id in self._index:
+            raise ValueError(f"operation {op.op_id} already indexed")
+        i = len(self.ops)
+        self.ops.append(op)
+        self._index[op.op_id] = i
+        self._inv.append(op.invoked_at)
+        self._resp.append(op.responded_at if op.responded_at is not None else _INF)
+        self._proc.append(self._proc_ids.setdefault(op.process, len(self._proc_ids)))
+        self._ids.append(op.op_id)
+        return i
 
     def index_of(self, op_id: int) -> int:
         """Dense index of an operation id."""

@@ -64,6 +64,12 @@ class CausalOrder:
     Direct edges come from (1) process order, (2) the reads-from relation,
     and (3) out-of-band message-passing edges recorded in the history.  The
     relation itself is the transitive closure of those edges.
+
+    The order supports **monotone appends**: :meth:`append` extends the edge
+    set for one newly added operation in O(its footprint) without rebuilding,
+    so a streaming checker can keep an epoch's causal order current as
+    operations arrive.  Reads whose writer has not appeared yet are parked
+    and resolved when the writer is appended.
     """
 
     def __init__(self, history: History, strict_reads_from: bool = True):
@@ -71,6 +77,16 @@ class CausalOrder:
         self.strict_reads_from = strict_reads_from
         self._adjacency: Dict[int, Set[int]] = {op.op_id: set() for op in history}
         self._reach_cache: Dict[int, FrozenSet[int]] = {}
+        #: Incremental-append state: last op per process, the chosen writer
+        #: per observed (service, key, value), reads still waiting for their
+        #: writer to appear, and how often each value was observed (for the
+        #: strict ambiguity check on late duplicate writers).
+        self._last_of_process: Dict[str, int] = {}
+        self._writer_of_value: Dict[Tuple[str, object, object], int] = {}
+        self._unresolved_reads: Dict[Tuple[str, object, object], List[int]] = {}
+        #: Parked reads of *unhashable* values (rare; matched by equality).
+        self._unresolved_any: List[Tuple[int, str, object, object]] = []
+        self._observed_values: Dict[Tuple[str, object, object], int] = {}
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -84,32 +100,149 @@ class CausalOrder:
         # (1) Process order.
         for process in self.history.processes():
             ops = self.history.by_process(process)
+            if ops:
+                self._last_of_process[process] = ops[-1].op_id
             for earlier, later in zip(ops, ops[1:]):
                 self._add_edge(earlier.op_id, later.op_id)
         # (2) Reads-from (History.writers_of is index-backed, so this pass is
         # linear in the number of observed values).
         for op in self.history:
             for key, value in op.values_observed().items():
-                if value == INITIAL_VALUE:
-                    continue
-                writers = [
-                    w for w in self.history.writers_of(key, value, service=op.service)
-                    if w.op_id != op.op_id
-                ]
-                if not writers:
-                    continue
-                if len(writers) > 1 and self.strict_reads_from:
-                    raise AmbiguousReadsFrom(
-                        f"value {value!r} for key {key!r} written by "
-                        f"{len(writers)} operations; use unique values"
-                    )
-                self._add_edge(writers[0].op_id, op.op_id)
+                self._resolve_observed(op, key, value)
+        for op in self.history:
+            for key, value in op.values_written().items():
+                self._note_writer(op, key, value)
         # (3) Message passing.
         for edge in self.history.message_edges:
             self._add_edge(edge.src_op, edge.dst_op)
         # Reachability memos are only valid for the final edge set; reset
         # once here instead of on every single edge insertion.
         self._reach_cache.clear()
+
+    def _value_key(self, op: Operation, key: object, value: object
+                   ) -> Optional[Tuple[str, object, object]]:
+        try:
+            hash(value)
+        except TypeError:
+            return None
+        return (op.service, key, value)
+
+    def _note_writer(self, writer: Operation, key: object, value: object) -> None:
+        vk = self._value_key(writer, key, value)
+        if vk is not None:
+            self._writer_of_value.setdefault(vk, writer.op_id)
+
+    def _resolve_observed(self, op: Operation, key: object, value: object) -> None:
+        """Add the reads-from edge for one observed (key, value) of ``op``,
+        or park the read until its writer appears.
+
+        Shared by the batch build and :meth:`append`: ``History.writers_of``
+        covers every writer added so far (falling back to a linear scan for
+        unhashable values), so the ambiguity semantics are identical in both
+        modes.
+        """
+        if value == INITIAL_VALUE:
+            return
+        vk = self._value_key(op, key, value)
+        if vk is not None:
+            self._observed_values[vk] = self._observed_values.get(vk, 0) + 1
+        writers = [
+            w for w in self.history.writers_of(key, value, service=op.service)
+            if w.op_id != op.op_id
+        ]
+        if not writers:
+            if vk is not None:
+                self._unresolved_reads.setdefault(vk, []).append(op.op_id)
+            else:
+                self._unresolved_any.append((op.op_id, op.service, key, value))
+            return
+        if len(writers) > 1 and self.strict_reads_from:
+            raise AmbiguousReadsFrom(
+                f"value {value!r} for key {key!r} written by "
+                f"{len(writers)} operations; use unique values"
+            )
+        self._note_writer(writers[0], key, value)
+        self._add_edge(writers[0].op_id, op.op_id)
+
+    # ------------------------------------------------------------------ #
+    # Monotone appends
+    # ------------------------------------------------------------------ #
+    def append(self, op: Operation) -> None:
+        """Extend the order for ``op``, already added to the history.
+
+        Equivalent to rebuilding from scratch on the grown history (the
+        property tests pin this), except that appends only *add* edges, so
+        the reachability memo is cleared rather than recomputed.
+        """
+        self._adjacency.setdefault(op.op_id, set())
+        # (1) Process order.
+        prev = self._last_of_process.get(op.process)
+        if prev is not None:
+            self._add_edge(prev, op.op_id)
+        self._last_of_process[op.process] = op.op_id
+        # (2a) Values this op observes: resolve against the writers added
+        # so far (same code path as the batch build, including unhashable
+        # values and the strict ambiguity check).
+        for key, value in op.values_observed().items():
+            self._resolve_observed(op, key, value)
+        # (2b) Values this op writes: resolve parked readers; a duplicate
+        # writer of an already-observed value is the same ambiguity the
+        # batch build raises on.
+        for key, value in op.values_written().items():
+            vk = self._value_key(op, key, value)
+            if vk is None:
+                self._append_unhashable_writer(op, key, value)
+                continue
+            existing = self._writer_of_value.get(vk)
+            if existing is None:
+                self._writer_of_value[vk] = op.op_id
+                for reader in self._unresolved_reads.pop(vk, ()):
+                    if reader != op.op_id:
+                        self._add_edge(op.op_id, reader)
+            elif (existing != op.op_id and self.strict_reads_from
+                  and self._observed_values.get(vk)):
+                raise AmbiguousReadsFrom(
+                    f"value {value!r} for key {key!r} written by "
+                    f"2 operations; use unique values"
+                )
+        if self._reach_cache:
+            self._reach_cache.clear()
+
+    def _append_unhashable_writer(self, op: Operation, key: object,
+                                  value: object) -> None:
+        """Rare path: an appended mutation wrote an unhashable value.
+        Resolve parked readers by equality and mirror the batch build's
+        strict ambiguity check (which compares by equality via linear
+        scans)."""
+        writers = self.history.writers_of(key, value, service=op.service)
+        if len(writers) > 1 and self.strict_reads_from:
+            for other in self.history:
+                if other.service != op.service:
+                    continue
+                observed = other.values_observed()
+                if key in observed and observed[key] == value and len(
+                        [w for w in writers if w.op_id != other.op_id]) > 1:
+                    raise AmbiguousReadsFrom(
+                        f"value {value!r} for key {key!r} written by "
+                        f"{len(writers)} operations; use unique values"
+                    )
+        if len(writers) == 1:
+            remaining = []
+            for parked in self._unresolved_any:
+                reader_id, service, r_key, r_value = parked
+                if (service == op.service and r_key == key
+                        and r_value == value and reader_id != op.op_id):
+                    self._add_edge(op.op_id, reader_id)
+                else:
+                    remaining.append(parked)
+            self._unresolved_any = remaining
+
+    def append_edge(self, src_op: Operation, dst_op: Operation) -> None:
+        """Extend the order with a message edge already recorded in the
+        history."""
+        self._add_edge(src_op.op_id, dst_op.op_id)
+        if self._reach_cache:
+            self._reach_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -72,12 +72,20 @@ class GryffClient(Node):
         if self.record_history:
             self.history.add(op)
 
+    def _note_invocation(self, invoked_at: float) -> None:
+        """Announce the invocation to the history (streaming checkers and
+        trace recorders cut epochs at quiescent frontiers, which are only
+        observable if invocations are announced before their responses)."""
+        if self.record_history:
+            self.history.note_invocation(self.name, invoked_at)
+
     # ------------------------------------------------------------------ #
     # Reads
     # ------------------------------------------------------------------ #
     def read(self, key: str):
         """Read ``key`` (generator); returns the value."""
         invoked_at = self.env.now
+        self._note_invocation(invoked_at)
         call = self.rpc_multicast(
             self._replicas(), "read1",
             key=key, dependency=self._take_dependency(),
@@ -132,6 +140,7 @@ class GryffClient(Node):
     def write(self, key: str, value: Any):
         """Write ``value`` to ``key`` (generator); returns the carstamp."""
         invoked_at = self.env.now
+        self._note_invocation(invoked_at)
         phase1 = self.rpc_multicast(
             self._replicas(), "write1",
             key=key, dependency=self._take_dependency(),
@@ -165,6 +174,7 @@ class GryffClient(Node):
         Returns ``(old_value, new_value)``.
         """
         invoked_at = self.env.now
+        self._note_invocation(invoked_at)
         coordinator = self.config.local_replica(self.site)
         reply = yield self.rpc_call(
             coordinator, "rmw",

@@ -6,21 +6,42 @@ protocol witness data (commit/snapshot timestamps, carstamps) in ``meta``,
 which survives the JSONL round trip.  ``repro live-check`` loads a trace and
 calls :func:`check_trace`, turning the paper's consistency definitions into
 an online verification tool.
+
+Two granularities are offered:
+
+* **batch** — :func:`check_trace` on a finished trace (one whole-history
+  witness validation);
+* **streaming** — :func:`streaming_checker_for` builds a
+  :class:`~repro.core.checkers.streaming.StreamingWitnessChecker` that
+  consumes the trace's event records *as they are written* (``live-check
+  --follow``, ``load --check-inline``), checking one quiescent epoch at a
+  time with bounded memory and the same per-protocol witness construction.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Callable, Dict, Iterable, Optional
 
 from repro.core.checkers import check_with_witness
 from repro.core.checkers.base import CheckResult
+from repro.core.checkers.streaming import (
+    EpochVerdict,
+    StreamingWitnessChecker,
+    StreamReport,
+)
+from repro.core.events import Operation
 from repro.core.history import History
 from repro.core.specification import RegisterSpec, TransactionalKVSpec
 from repro.gryff.cluster import gryff_witness_order
 from repro.net.spec import GRYFF_PROTOCOLS, SPANNER_PROTOCOLS
 from repro.spanner.cluster import spanner_witness_order
 
-__all__ = ["default_model_for", "check_trace"]
+__all__ = [
+    "default_model_for",
+    "check_trace",
+    "streaming_checker_for",
+    "check_record_stream",
+]
 
 
 _DEFAULT_MODELS = {
@@ -62,3 +83,58 @@ def check_trace(history: History, protocol: str,
         return check_with_witness(history, spanner_witness_order(history),
                                   model=model, spec=TransactionalKVSpec())
     raise ValueError(f"unknown protocol {protocol!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Streaming (epoch-windowed) trace checking
+# --------------------------------------------------------------------------- #
+def streaming_checker_for(
+    protocol: str,
+    model: Optional[str] = None,
+    min_epoch_ops: int = 64,
+    on_verdict: Optional[Callable[[EpochVerdict], None]] = None,
+) -> StreamingWitnessChecker:
+    """A bounded-memory streaming checker for ``protocol``'s live traces.
+
+    Each quiescent epoch is validated with the protocol's own witness
+    construction (carstamps for Gryff, commit/snapshot timestamps for
+    Spanner) against the protocol's consistency model, carrying only the
+    replayed specification state across epoch cuts.
+    """
+    model = model or default_model_for(protocol)
+    if protocol in GRYFF_PROTOCOLS:
+        return StreamingWitnessChecker(
+            witness_fn=lambda history: gryff_witness_order(history, model),
+            model=model, spec=RegisterSpec(),
+            min_epoch_ops=min_epoch_ops, on_verdict=on_verdict,
+        )
+    if protocol in SPANNER_PROTOCOLS:
+        return StreamingWitnessChecker(
+            witness_fn=spanner_witness_order,
+            model=model, spec=TransactionalKVSpec(),
+            min_epoch_ops=min_epoch_ops, on_verdict=on_verdict,
+        )
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def check_record_stream(
+    records: Iterable[Dict[str, Any]],
+    checker: StreamingWitnessChecker,
+) -> StreamReport:
+    """Drive a streaming checker from parsed trace records.
+
+    Dispatches ``inv``/``op``/``edge``/``abandon`` records (anything else,
+    including per-file ``meta`` headers of a rotated set, is skipped) and
+    closes the checker when the iterable ends.
+    """
+    for record in records:
+        kind = record.get("type")
+        if kind == "op":
+            checker.complete(Operation.from_dict(record))
+        elif kind == "inv":
+            checker.begin(record["process"], record["invoked_at"])
+        elif kind == "edge":
+            checker.edge(record["src_op"], record["dst_op"])
+        elif kind == "abandon":
+            checker.abandon(record["process"], record["at"])
+    return checker.close()

@@ -122,11 +122,21 @@ async def run_load(spec: ClusterSpec, *,
                    seed: int = 1,
                    trace_path: Optional[str] = None,
                    client_prefix: str = "client",
-                   think_time_ms: float = 0.0) -> Dict[str, Any]:
+                   think_time_ms: float = 0.0,
+                   check_inline: bool = False,
+                   check_min_epoch_ops: int = 64,
+                   on_verdict=None,
+                   trace_flush_every: int = 1,
+                   trace_fsync: bool = False,
+                   trace_rotate_bytes: Optional[int] = None) -> Dict[str, Any]:
     """Drive a running cluster; returns a summary dict (and writes a trace).
 
     The returned summary carries per-category percentiles, throughput, and
-    the op count; ``ops == 0`` means the cluster was unreachable.
+    the op count; ``ops == 0`` means the cluster was unreachable.  With
+    ``check_inline`` a streaming checker rides on the history's observer
+    hook, validating each quiescent epoch as the load runs; its
+    :class:`~repro.core.checkers.streaming.StreamReport` lands in
+    ``summary["check"]``.
     """
     process = LiveProcess(spec, host_nodes=())   # pure client process
     writer = None
@@ -138,10 +148,19 @@ async def run_load(spec: ClusterSpec, *,
             "write_ratio": write_ratio,
             "conflict_rate": conflict_rate,
             "clients": num_clients,
-        })
+        }, flush_every=trace_flush_every, fsync=trace_fsync,
+           rotate_bytes=trace_rotate_bytes)
         history: History = RecordingHistory(writer)
     else:
         history = History()
+    checker = None
+    if check_inline:
+        from repro.net.check import streaming_checker_for
+
+        checker = streaming_checker_for(spec.protocol,
+                                        min_epoch_ops=check_min_epoch_ops,
+                                        on_verdict=on_verdict)
+        history.attach_observer(checker)
     recorder = LatencyRecorder()
     try:
         clients = _build_clients(process, history, recorder, num_clients,
@@ -186,6 +205,17 @@ async def run_load(spec: ClusterSpec, *,
     }
     for category in recorder.categories():
         summary["categories"][category] = recorder.percentiles(category).as_dict()
+    if checker is not None:
+        report = checker.close()
+        summary["check"] = {
+            "satisfied": report.satisfied,
+            "model": report.model,
+            "epochs": report.epochs,
+            "ops_checked": report.ops_checked,
+            "max_segment_ops": report.max_segment_ops,
+            "first_violation": (report.first_violation.describe()
+                                if report.first_violation else None),
+        }
     return summary
 
 

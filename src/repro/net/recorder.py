@@ -2,45 +2,149 @@
 
 The protocol clients already append every completed operation to a
 :class:`~repro.core.history.History`; :class:`RecordingHistory` additionally
-streams each operation to a JSONL trace file *as it completes*, so a crash
-mid-run loses at most the in-flight operation.  The file format is the
-:meth:`History.to_jsonl` format plus one leading ``{"type": "meta", ...}``
-record describing the run (protocol, model to check, epoch), which
-``repro live-check`` uses to pick the right checker.
+streams each event to a JSONL trace file *as it happens*, so a crash mid-run
+loses at most the in-flight operation.  The file format is the
+:meth:`History.to_jsonl` format plus:
+
+* one leading ``{"type": "meta", ...}`` record per file describing the run
+  (protocol, model to check, epoch), which ``repro live-check`` uses to pick
+  the right checker;
+* one ``{"type": "inv", ...}`` record per invocation and one
+  ``{"type": "abandon", ...}`` record per operation that aborted out of its
+  retry budget.  These carry no payload the offline loader needs
+  (``History.from_jsonl`` skips them), but they are what lets the streaming
+  checker detect quiescent frontiers — epoch cut points — online.
+
+Long-running captures can bound file sizes with ``rotate_bytes``: the writer
+then produces ``trace-0001.jsonl``, ``trace-0002.jsonl``, ... (each with its
+own meta header, so every file is standalone-loadable), and the readers —
+:func:`read_trace`, ``History.from_jsonl``, ``live-check --follow`` — accept
+the base path as a name for the whole set.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, Optional, Tuple, Union
+import os
+import time as _time
+from typing import Any, Callable, Dict, IO, Iterator, Optional, Tuple, Union
 
 from repro.core.events import Operation
-from repro.core.history import History, iter_jsonl_records
+from repro.core.history import History, iter_jsonl_records, resolve_jsonl_paths
 
-__all__ = ["TRACE_SCHEMA", "TraceWriter", "RecordingHistory", "read_trace"]
+__all__ = [
+    "TRACE_SCHEMA",
+    "TraceWriter",
+    "RecordingHistory",
+    "read_trace",
+    "follow_trace_records",
+]
 
-TRACE_SCHEMA = "repro-trace/1"
+TRACE_SCHEMA = "repro-trace/2"
 
 
 class TraceWriter:
-    """Appends history records to a JSONL trace file, flushing per line."""
+    """Appends history records to a JSONL trace file.
+
+    Parameters
+    ----------
+    destination:
+        Path or open text handle.
+    meta:
+        Extra fields for the per-file ``{"type": "meta"}`` header.
+    flush_every:
+        Flush after every N records (default 1 — every record, the
+        durability contract ``live-check`` relies on).  Larger values trade
+        tail-loss-on-crash for fewer syscalls on hot paths.
+    fsync:
+        Also ``os.fsync`` on every flush, surviving OS crashes too.
+    rotate_bytes:
+        When set (path destinations only), start a new file once the
+        current one reaches this size: ``trace.jsonl`` becomes the set
+        ``trace-0001.jsonl``, ``trace-0002.jsonl``, ...  Rotation happens
+        at record boundaries and each file carries the meta header.
+    """
 
     def __init__(self, destination: Union[str, IO[str]],
-                 meta: Optional[Dict[str, Any]] = None):
+                 meta: Optional[Dict[str, Any]] = None,
+                 flush_every: int = 1,
+                 fsync: bool = False,
+                 rotate_bytes: Optional[int] = None):
+        self._flush_every = max(1, int(flush_every))
+        self._fsync = fsync
+        self._since_flush = 0
+        self._bytes_written = 0
+        self._file_index = 0
+        self._header: Dict[str, Any] = {"type": "meta", "schema": TRACE_SCHEMA}
+        self._header.update(meta or {})
+        if rotate_bytes is not None:
+            if not isinstance(destination, str):
+                raise ValueError("rotate_bytes requires a path destination")
+            if rotate_bytes <= 0:
+                raise ValueError("rotate_bytes must be positive")
+        self._rotate_bytes = rotate_bytes
+        self._path = destination if isinstance(destination, str) else None
         if isinstance(destination, str):
-            self._handle: IO[str] = open(destination, "w", encoding="utf-8")
+            self._handle: IO[str] = open(self._next_path(), "w",
+                                         encoding="utf-8")
             self._owns_handle = True
         else:
             self._handle = destination
             self._owns_handle = False
-        header = {"type": "meta", "schema": TRACE_SCHEMA}
-        header.update(meta or {})
-        self._write(header)
+        self._write_header()
+
+    # ------------------------------------------------------------------ #
+    def _next_path(self) -> str:
+        if self._rotate_bytes is None:
+            return self._path  # type: ignore[return-value]
+        self._file_index += 1
+        stem, suffix = os.path.splitext(self._path)  # type: ignore[arg-type]
+        return f"{stem}-{self._file_index:04d}{suffix}"
+
+    def _write_header(self) -> None:
+        header = dict(self._header)
+        if self._rotate_bytes is not None:
+            header["file_index"] = self._file_index
+        self._emit(header)
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        self._handle.write(line)
+        # json.dumps keeps ensure_ascii, so character count == byte count.
+        self._bytes_written += len(line)
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self.flush()
 
     def _write(self, record: Dict[str, Any]) -> None:
-        self._handle.write(json.dumps(record, separators=(",", ":"), default=str))
-        self._handle.write("\n")
+        self._emit(record)
+        if (self._rotate_bytes is not None
+                and self._bytes_written >= self._rotate_bytes):
+            self.flush()
+            self._handle.close()
+            self._handle = open(self._next_path(), "w", encoding="utf-8")
+            self._bytes_written = 0
+            self._write_header()
+
+    def flush(self) -> None:
+        """Flush buffered records (and fsync when configured)."""
+        self._since_flush = 0
+        if self._handle.closed:
+            return
         self._handle.flush()
+        if self._fsync:
+            try:
+                os.fsync(self._handle.fileno())
+            except (AttributeError, OSError, ValueError):
+                pass  # in-memory handles have no file descriptor
+
+    # ------------------------------------------------------------------ #
+    def record_invocation(self, process: str, invoked_at: float) -> None:
+        self._write({"type": "inv", "process": process,
+                     "invoked_at": invoked_at})
+
+    def record_abandon(self, process: str, at_time: float) -> None:
+        self._write({"type": "abandon", "process": process, "at": at_time})
 
     def record_op(self, op: Operation) -> None:
         record = {"type": "op"}
@@ -51,39 +155,48 @@ class TraceWriter:
         self._write({"type": "edge", "src_op": src_op.op_id,
                      "dst_op": dst_op.op_id})
 
+    # History observer interface (History.attach_observer) -------------- #
+    def on_invocation(self, process: str, invoked_at: float) -> None:
+        self.record_invocation(process, invoked_at)
+
+    def on_abandoned(self, process: str, at_time: float) -> None:
+        self.record_abandon(process, at_time)
+
+    def on_op(self, op: Operation) -> None:
+        self.record_op(op)
+
+    def on_edge(self, src_op: Operation, dst_op: Operation) -> None:
+        self.record_edge(src_op, dst_op)
+
     def close(self) -> None:
+        self.flush()
         if self._owns_handle and not self._handle.closed:
             self._handle.close()
 
 
 class RecordingHistory(History):
-    """A history that mirrors every appended operation into a trace file."""
+    """A history that mirrors every appended event into a trace file.
+
+    Implemented over the generic :meth:`History.attach_observer` hook, so an
+    inline streaming checker can be attached beside the writer and both see
+    the identical event stream.
+    """
 
     def __init__(self, writer: TraceWriter):
         super().__init__()
         self._writer = writer
-
-    def add(self, op: Operation) -> Operation:
-        super().add(op)
-        self._writer.record_op(op)
-        return op
-
-    def add_message_edge(self, src_op: Operation, dst_op: Operation) -> None:
-        super().add_message_edge(src_op, dst_op)
-        self._writer.record_edge(src_op, dst_op)
+        self.attach_observer(writer)
 
 
 def read_trace(source: Union[str, IO[str]]
                ) -> Tuple[Dict[str, Any], History]:
-    """Load a trace file in one streaming pass: returns ``(meta, history)``.
+    """Load a trace in one streaming pass: returns ``(meta, history)``.
 
     ``meta`` is the first ``{"type": "meta"}`` record (empty dict if the file
-    is a bare :meth:`History.to_jsonl` dump).  A crash-truncated final line
-    is tolerated — the capture loses at most its in-flight record.
+    is a bare :meth:`History.to_jsonl` dump).  A path naming a rotated set
+    loads every file of the set in order; a crash-truncated final line is
+    tolerated — the capture loses at most its in-flight record.
     """
-    if isinstance(source, str):
-        with open(source, "r", encoding="utf-8") as handle:
-            return read_trace(handle)
     meta: Dict[str, Any] = {}
 
     def capture_meta(records):
@@ -93,5 +206,104 @@ def read_trace(source: Union[str, IO[str]]
                 continue
             yield record
 
+    if isinstance(source, str):
+        # One streaming pass over the whole (possibly rotated) set; the
+        # leading meta header is captured, later files' headers are skipped
+        # by from_records.
+        def lines():
+            for path in resolve_jsonl_paths(source):
+                with open(path, "r", encoding="utf-8") as handle:
+                    yield from handle
+
+        history = History.from_records(
+            capture_meta(iter_jsonl_records(lines())))
+        return meta, history
     history = History.from_records(capture_meta(iter_jsonl_records(source)))
     return meta, history
+
+
+# --------------------------------------------------------------------------- #
+# Tail a live trace (rotated sets included)
+# --------------------------------------------------------------------------- #
+def follow_trace_records(
+    path: str,
+    poll_interval: float = 0.2,
+    idle_timeout: Optional[float] = None,
+    stop: Optional[Callable[[], bool]] = None,
+    _sleep: Callable[[float], None] = _time.sleep,
+) -> Iterator[Dict[str, Any]]:
+    """Yield parsed trace records as they are written (``tail -f``).
+
+    Follows the single file at ``path`` or, when ``path`` names a rotated
+    set, each ``<stem>-NNNN<suffix>`` file in order — moving to the next
+    file once the current one stops growing and a successor exists.  The
+    generator returns when ``stop()`` goes true or no new data arrives for
+    ``idle_timeout`` seconds (``idle_timeout=0`` reads exactly what exists
+    and returns; ``None`` follows forever).
+
+    A partial trailing line is buffered until its newline arrives; at
+    stream end an undecodable partial tail is tolerated (crash truncation),
+    but an undecodable line *mid-stream* raises ``ValueError``.
+    """
+
+    def candidate_files() -> list:
+        if os.path.exists(path):
+            return [path]
+        try:
+            return resolve_jsonl_paths(path)
+        except FileNotFoundError:
+            return []
+
+    index = 0
+    handle: Optional[IO[str]] = None
+    buffer = ""
+    idle = 0.0
+    try:
+        while True:
+            files = candidate_files()
+            if handle is None and index < len(files):
+                handle = open(files[index], "r", encoding="utf-8")
+                idle = 0.0
+            chunk = handle.read() if handle is not None else ""
+            if chunk:
+                idle = 0.0
+                buffer += chunk
+                *lines, buffer = buffer.split("\n")
+                for line in lines:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise ValueError(
+                            f"corrupt trace record in {files[index]}: {exc}"
+                        ) from exc
+                continue
+            if handle is not None and index + 1 < len(files):
+                # The writer rotated on; this file is complete.
+                if buffer.strip():
+                    raise ValueError(
+                        f"trace file {files[index]} ends mid-record but has "
+                        f"a successor — corrupt rotation")
+                handle.close()
+                handle = None
+                buffer = ""
+                index += 1
+                continue
+            if stop is not None and stop():
+                break
+            if idle_timeout is not None and idle >= idle_timeout:
+                break
+            _sleep(poll_interval)
+            idle += poll_interval
+    finally:
+        if handle is not None:
+            handle.close()
+    # Stream over: tolerate a crash-truncated final record.
+    tail = buffer.strip()
+    if tail:
+        try:
+            yield json.loads(tail)
+        except json.JSONDecodeError:
+            pass

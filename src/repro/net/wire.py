@@ -30,6 +30,7 @@ __all__ = [
     "WireError",
     "encode_frame",
     "read_frame",
+    "FrameDecoder",
     "message_to_frame",
     "frame_to_message",
 ]
@@ -69,6 +70,11 @@ async def read_frame(reader: "asyncio.StreamReader") -> Optional[Dict[str, Any]]
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise WireError("connection closed mid-frame") from exc
+    return _decode_body(body)
+
+
+def _decode_body(body: bytes) -> Dict[str, Any]:
+    """Decode one frame body to a record, with the shared error contract."""
     try:
         record = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -76,6 +82,44 @@ async def read_frame(reader: "asyncio.StreamReader") -> Optional[Dict[str, Any]]
     if not isinstance(record, dict):
         raise WireError(f"frame is not an object: {record!r}")
     return record
+
+
+class FrameDecoder:
+    """Incremental frame decoder for arbitrarily fragmented byte streams.
+
+    :func:`read_frame` already handles partial reads on an asyncio stream
+    (``readexactly`` resumes across any fragmentation — the regression tests
+    feed it one byte at a time); this class provides the same decoding for
+    callers that receive raw chunks (tests, tools, non-asyncio transports).
+    ``feed`` buffers fragments and returns every completed record, raising
+    :class:`WireError` for oversized or undecodable frames as soon as the
+    offending header/body is complete — an announced oversize is rejected
+    from the 4 header bytes alone, before any body arrives.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward the next (incomplete) frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> "list[Dict[str, Any]]":
+        records = []
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return records
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise WireError(f"peer announced a {length}-byte frame")
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return records
+            body = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            records.append(_decode_body(body))
 
 
 def message_to_frame(message: Message) -> Dict[str, Any]:

@@ -98,6 +98,18 @@ class SpannerClient(Node):
         self.session += 1
         self.t_min = 0.0
 
+    def _note_invocation(self, invoked_at: float) -> None:
+        """Announce an invocation (one per transaction attempt) so streaming
+        consumers can detect quiescent frontiers — epoch cut points."""
+        if self.record_history:
+            self.history.note_invocation(self.history_process, invoked_at)
+
+    def _note_abandoned(self) -> None:
+        """Announce that the current attempt aborted and will never produce
+        a completion record (a retry announces a fresh invocation)."""
+        if self.record_history:
+            self.history.note_abandoned(self.history_process, self.env.now)
+
     # ------------------------------------------------------------------ #
     # Read-write transactions
     # ------------------------------------------------------------------ #
@@ -116,6 +128,7 @@ class SpannerClient(Node):
         while True:
             attempt += 1
             invoked_at = self.env.now
+            self._note_invocation(invoked_at)
             outcome = yield from self._attempt_rw(read_keys, compute_writes)
             if outcome is not None:
                 read_values, writes, commit_ts, earliest_end_ts, txn_id = outcome
@@ -135,6 +148,7 @@ class SpannerClient(Node):
                     ))
                 return read_values, writes, commit_ts
             self.aborted_attempts += 1
+            self._note_abandoned()
             if attempt > max_retries:
                 raise TransactionAborted(
                     f"{self.name}: transaction aborted {attempt} times"
@@ -245,6 +259,7 @@ class SpannerClient(Node):
     def _ro_spanner(self, keys: List[str]):
         """Spanner's strictly serializable read-only transaction."""
         invoked_at = self.env.now
+        self._note_invocation(invoked_at)
         t_read = self.truetime.now().latest
         groups = self._shards_for(keys)
         calls = [
@@ -262,6 +277,7 @@ class SpannerClient(Node):
     def _ro_spanner_rss(self, keys: List[str]):
         """Spanner-RSS's read-only transaction (Algorithm 1)."""
         invoked_at = self.env.now
+        self._note_invocation(invoked_at)
         t_min_at_start = self.t_min
         t_read = self.truetime.now().latest
         ro_id = next(self._ro_counter)
