@@ -7,39 +7,38 @@ The eager variant models what applications would pay without piggybacking
 (§7.1's discussion of real-time fences).
 """
 
+from repro.api import open_store
 from repro.bench.gryff_experiments import run_ycsb_experiment
 from repro.bench.reporting import format_table
-from repro.gryff.cluster import GryffCluster
 from repro.gryff.config import GryffConfig, GryffVariant
 from repro.sim.stats import percentile
 from repro.workloads.clients import ClosedLoopDriver
 from repro.workloads.ycsb import YcsbWorkload
 
 
-def eager_fence_executor(client, spec):
+def eager_fence_executor(session, spec):
     if spec.kind == "write":
-        yield from client.write(spec.key, spec.value)
+        yield from session.write(spec.key, spec.value)
     else:
-        yield from client.read(spec.key)
-        if client.dependency is not None:
-            yield from client.fence()
+        yield from session.read(spec.key)
+        if session.dependency is not None:
+            yield from session.fence()
 
 
 def run_eager_fence_experiment(write_ratio, conflict_rate, duration_ms, seed=4):
     config = GryffConfig(variant=GryffVariant.GRYFF_RSC, seed=seed)
-    cluster = GryffCluster(config)
-    clients, workloads = [], []
+    store = open_store("sim-gryff", config=config)
+    pairs = []
     for index in range(16):
         site = config.sites[index % len(config.sites)]
-        client = cluster.new_client(site, record_history=False)
-        clients.append(client)
-        workloads.append(YcsbWorkload(client_id=client.name, write_ratio=write_ratio,
-                                      conflict_rate=conflict_rate,
-                                      seed=seed * 1000 + index))
-    ClosedLoopDriver(cluster.env, clients, workloads, eager_fence_executor,
+        session = store.session(site, record_history=False)
+        pairs.append((session, YcsbWorkload(
+            client_id=session.name, write_ratio=write_ratio,
+            conflict_rate=conflict_rate, seed=seed * 1000 + index)))
+    ClosedLoopDriver(store.env, pairs, eager_fence_executor,
                      duration_ms=duration_ms).start()
-    cluster.run()
-    return cluster
+    store.run()
+    return store
 
 
 def run_ablation(duration_ms):

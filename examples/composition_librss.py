@@ -14,25 +14,24 @@ missing photo data in each mode.
 Usage:  python examples/composition_librss.py
 """
 
+from repro.api import open_store
 from repro.apps import MessageQueueClient, MessageQueueServer
-from repro.spanner import SpannerCluster, SpannerConfig, Variant
 
 
 def run(fenced: bool, uploads: int = 5) -> int:
-    cluster = SpannerCluster(SpannerConfig(variant=Variant.SPANNER_RSS))
-    MessageQueueServer(cluster.env, cluster.network, name="mq", site="CA")
-    web_kv = cluster.new_client("CA", name="web-kv")
-    web_mq = MessageQueueClient(cluster.env, cluster.network, name="web-mq", site="CA")
-    worker_kv = cluster.new_client("VA", name="worker-kv")
-    worker_mq = MessageQueueClient(cluster.env, cluster.network, name="worker-mq",
+    store = open_store("sim-spanner")                  # Spanner-RSS
+    MessageQueueServer(store.env, store.network, name="mq", site="CA")
+    web_kv = store.session("CA", name="web-kv")
+    web_mq = MessageQueueClient(store.env, store.network, name="web-mq", site="CA")
+    worker_kv = store.session("VA", name="worker-kv")
+    worker_mq = MessageQueueClient(store.env, store.network, name="worker-mq",
                                    site="VA")
     missing = []
 
     def web_server():
         for index in range(uploads):
             photo = f"photo:{index}"
-            yield from web_kv.read_write_transaction(
-                [], lambda _reads, photo=photo: {photo: f"bytes-{photo}"})
+            yield from web_kv.write(photo, f"bytes-{photo}")
             if fenced:
                 # libRSS would invoke this fence automatically on the service
                 # switch; we call it directly to make the mechanism explicit.
@@ -44,16 +43,16 @@ def run(fenced: bool, uploads: int = 5) -> int:
         while done < uploads:
             photo = yield from worker_mq.dequeue("jobs")
             if photo is None:
-                yield cluster.env.timeout(20)
+                yield store.env.timeout(20)
                 continue
-            values = yield from worker_kv.read_only_transaction([photo])
+            values = yield from worker_kv.read_only([photo])
             if values[photo] is None:
                 missing.append(photo)
             done += 1
 
-    cluster.spawn(web_server())
-    cluster.spawn(worker())
-    cluster.run()
+    store.spawn(web_server())
+    store.spawn(worker())
+    store.run()
     return len(missing)
 
 

@@ -10,13 +10,13 @@ across the two services.
 Usage:  python examples/photo_sharing_app.py
 """
 
+from repro.api import open_store
 from repro.apps import PhotoSharingApp, album_photos_all_present, worker_jobs_all_resolvable
-from repro.spanner import SpannerCluster, SpannerConfig, Variant
 
 
 def main() -> None:
-    cluster = SpannerCluster(SpannerConfig(variant=Variant.SPANNER_RSS))
-    app = PhotoSharingApp(cluster)
+    store = open_store("sim-spanner")                  # Spanner-RSS
+    app = PhotoSharingApp(store)
     alice = app.new_web_server("CA", name="alice-web")
     bob = app.new_web_server("VA", name="bob-web")
     worker = app.new_web_server("IR", name="worker")
@@ -25,32 +25,32 @@ def main() -> None:
         for index in range(3):
             photo_id = f"p{index + 1}"
             yield from app.add_photo(alice, "alice", photo_id, f"bytes-of-{photo_id}")
-            print(f"[{cluster.env.now:8.1f} ms] alice uploaded {photo_id}")
+            print(f"[{store.env.now:8.1f} ms] alice uploaded {photo_id}")
 
     def worker_loop():
         processed = 0
         while processed < 3:
             result = yield from app.process_next_job(worker)
             if result is None:
-                yield cluster.env.timeout(50)
+                yield store.env.timeout(50)
                 continue
             photo_id, data = result
             processed += 1
-            print(f"[{cluster.env.now:8.1f} ms] worker thumbnailed {photo_id} "
+            print(f"[{store.env.now:8.1f} ms] worker thumbnailed {photo_id} "
                   f"({len(data)} bytes)")
 
     def bob_views(delay):
-        yield cluster.env.timeout(delay)
+        yield store.env.timeout(delay)
         view = yield from app.view_album(bob, "alice")
-        print(f"[{cluster.env.now:8.1f} ms] bob sees album with "
+        print(f"[{store.env.now:8.1f} ms] bob sees album with "
               f"{sorted(view)} (all data present: "
               f"{all(d is not None for d in view.values())})")
 
-    cluster.spawn(alice_uploads())
-    cluster.spawn(worker_loop())
-    cluster.spawn(bob_views(1500))
-    cluster.spawn(bob_views(4000))
-    cluster.run()
+    store.spawn(alice_uploads())
+    store.spawn(worker_loop())
+    store.spawn(bob_views(1500))
+    store.spawn(bob_views(4000))
+    store.run()
 
     print()
     print(f"I1 (albums reference only photos with data): "
@@ -59,7 +59,7 @@ def main() -> None:
           f"{'holds' if worker_jobs_all_resolvable(app.job_results) else 'VIOLATED'}")
     print(f"libRSS issued {app.librss.fences_issued()} real-time fences "
           f"across {len(app.librss.registered_services)} services")
-    result = cluster.check_consistency()
+    result = store.check_consistency()
     print(f"Spanner-RSS history satisfies RSS: {result.satisfied}")
 
 

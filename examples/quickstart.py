@@ -1,28 +1,35 @@
 #!/usr/bin/env python3
-"""Quickstart: the two headline systems in a few dozen lines.
+"""Quickstart: the two headline systems through one client API.
 
-1. Run a read-write transaction and a read-only transaction against a
-   simulated Spanner-RSS deployment and confirm the deployment satisfies
-   regular sequential serializability.
-2. Run reads and writes against a simulated Gryff-RSC deployment and confirm
-   it satisfies regular sequential consistency.
+The unified client API (:mod:`repro.api`) opens a *store* from a backend
+spec, declares the consistency level each *session* needs, and exposes one
+operation vocabulary everywhere — the same application code runs against
+simulated Spanner-RSS, simulated Gryff-RSC, or a live cluster
+(``open_store("live:cluster.json")``).
+
+1. Run a read-write transaction and a read-only transaction against
+   simulated Spanner-RSS and confirm the captured history satisfies the
+   declared level (regular sequential serializability).
+2. Run reads, writes, and an rmw against simulated Gryff-RSC and confirm
+   regular sequential consistency — same surface, different backend.
+3. Carry a session-context token from one session to another (the portable
+   generalization of Spanner's export/import-context).
 
 Usage:  python examples/quickstart.py
 """
 
-from repro.gryff import GryffCluster, GryffConfig, GryffVariant
-from repro.spanner import SpannerCluster, SpannerConfig, Variant
+from repro.api import ConsistencyLevel, open_store
 
 
 def spanner_demo() -> None:
     print("== Spanner-RSS quickstart ==")
-    cluster = SpannerCluster(SpannerConfig(variant=Variant.SPANNER_RSS))
-    alice = cluster.new_client("CA", name="alice")
-    bob = cluster.new_client("VA", name="bob")
+    store = open_store("sim-spanner")                  # Spanner-RSS
+    alice = store.session("CA", name="alice", level=ConsistencyLevel.RSS)
+    bob = store.session("VA", name="bob", level=ConsistencyLevel.RSS)
 
     def workload():
         # Alice adds a photo: a read-write transaction across two keys.
-        reads, writes, commit_ts = yield from alice.read_write_transaction(
+        reads, writes, commit_ts = yield from alice.txn(
             ["album:alice"],
             lambda values: {
                 "album:alice": (values["album:alice"] or ()) + ("p1",),
@@ -30,25 +37,27 @@ def spanner_demo() -> None:
             },
         )
         print(f"  alice committed at ts={commit_ts:.1f}: wrote {sorted(writes)}")
-        # Bob views the album with a read-only transaction.
-        album = yield from bob.read_only_transaction(["album:alice", "photo:p1"])
+        # Alice texts Bob a session token out of band; Bob resumes her
+        # causal context and is guaranteed to observe her write.
+        bob.resume(alice.session_token())
+        album = yield from bob.read_only(["album:alice", "photo:p1"])
         print(f"  bob read album={album['album:alice']} photo={album['photo:p1']!r}")
 
-    cluster.spawn(workload())
-    cluster.run()
-    result = cluster.check_consistency()
-    print(f"  history has {len(cluster.history)} transactions; "
+    store.spawn(workload())
+    store.run()
+    result = store.check_consistency()
+    print(f"  history has {len(store.history)} transactions; "
           f"RSS check: {'PASS' if result.satisfied else 'FAIL ' + result.reason}")
     print(f"  RO latency samples (ms): "
-          f"{[round(s, 1) for s in cluster.recorder.samples('ro')]}")
+          f"{[round(s, 1) for s in store.recorder.samples('ro')]}")
     print()
 
 
 def gryff_demo() -> None:
     print("== Gryff-RSC quickstart ==")
-    cluster = GryffCluster(GryffConfig(variant=GryffVariant.GRYFF_RSC))
-    writer = cluster.new_client("CA", name="writer")
-    reader = cluster.new_client("JP", name="reader")
+    store = open_store("sim-gryff")                    # Gryff-RSC
+    writer = store.session("CA", name="writer", level="rsc")
+    reader = store.session("JP", name="reader")        # defaults to native RSC
 
     def workload():
         yield from writer.write("greeting", "hello from CA")
@@ -57,10 +66,10 @@ def gryff_demo() -> None:
         old, new = yield from writer.rmw("counter", mode="increment", amount=5)
         print(f"  rmw moved counter {old} -> {new}")
 
-    cluster.spawn(workload())
-    cluster.run()
-    result = cluster.check_consistency()
-    print(f"  history has {len(cluster.history)} operations; "
+    store.spawn(workload())
+    store.run()
+    result = store.check_consistency()
+    print(f"  history has {len(store.history)} operations; "
           f"RSC check: {'PASS' if result.satisfied else 'FAIL ' + result.reason}")
     print()
 

@@ -1,0 +1,75 @@
+"""The unified client API: one protocol-agnostic surface over every backend.
+
+The paper's portability claim — applications keep their invariants while the
+system underneath is swapped — is realized here as a software-defined
+facade.  A :class:`Store` is opened from a backend spec (``sim-gryff``,
+``sim-spanner``, ``live:<cluster.json>``); it negotiates a declared
+:class:`ConsistencyLevel` and yields :class:`Session` objects exposing a
+single operation vocabulary (``read``/``write``/``rmw``/``txn``/
+``read_only``/``fence``) plus opaque session-context tokens
+(``session_token``/``resume``) generalizing Spanner's export/import-context
+and Gryff's dependency carstamps.  Every workload, app, driver, and example
+in the repository talks to this surface; the per-protocol client libraries
+are backend adapters behind it.
+
+Quickstart::
+
+    from repro.api import ConsistencyLevel, open_store
+
+    store = open_store("sim-spanner")                    # Spanner-RSS
+    alice = store.session("CA", name="alice", level=ConsistencyLevel.RSS)
+
+    def workload():
+        yield from alice.txn(["album:alice"], lambda reads: {
+            "album:alice": (reads["album:alice"] or ()) + ("p1",)})
+        values = yield from alice.read_only(["album:alice"])
+
+    store.spawn(workload())
+    store.run()
+    assert store.check_consistency()
+"""
+
+from repro.api.errors import (
+    ApiError,
+    CapabilityError,
+    InvalidSessionToken,
+    UnknownBackendError,
+    UnsupportedOperationError,
+)
+from repro.api.levels import ConsistencyLevel, native_level, supported_levels
+from repro.api.session import Session
+from repro.api.adapters import GryffSession, SpannerSession
+from repro.api.store import (
+    LiveStore,
+    SimGryffStore,
+    SimSpannerStore,
+    Store,
+    open_store,
+)
+from repro.api.executors import make_retwis_executor, reset_session, ycsb_executor
+from repro.core.recording import SessionRecorder
+from repro.spanner.client import TransactionAborted
+
+__all__ = [
+    "ApiError",
+    "CapabilityError",
+    "ConsistencyLevel",
+    "GryffSession",
+    "InvalidSessionToken",
+    "LiveStore",
+    "Session",
+    "SessionRecorder",
+    "SimGryffStore",
+    "SimSpannerStore",
+    "SpannerSession",
+    "Store",
+    "TransactionAborted",
+    "UnknownBackendError",
+    "UnsupportedOperationError",
+    "make_retwis_executor",
+    "native_level",
+    "open_store",
+    "reset_session",
+    "supported_levels",
+    "ycsb_executor",
+]

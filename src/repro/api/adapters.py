@@ -1,0 +1,210 @@
+"""Backend adapters: the protocol clients behind the unified surface.
+
+Each adapter wraps an existing protocol client (the same object the
+simulator and the live runtime construct) and translates the unified
+vocabulary into the protocol's own operations.  Adapters never touch the
+environment, the recorder, or the history themselves — the wrapped client's
+:class:`~repro.core.recording.SessionRecorder` bookkeeping runs unchanged,
+which is what keeps simulations driven through the facade bit-identical to
+simulations driven against the raw clients.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.api.errors import UnsupportedOperationError
+from repro.api.session import Session
+from repro.core.rmw import RMW_MODES, apply_rmw
+from repro.gryff.carstamp import Carstamp
+
+__all__ = ["GryffSession", "SpannerSession"]
+
+
+class GryffSession(Session):
+    """A Gryff / Gryff-RSC client behind the unified surface.
+
+    Gryff is a register store: ``read``/``write``/``rmw`` map one-to-one
+    onto Algorithm 3; ``txn`` and ``read_only`` honor only the shapes a
+    register protocol can express (a single blind write, a single-key
+    snapshot) and raise :class:`UnsupportedOperationError` for anything
+    wider.  The session context is the pending dependency carstamp —
+    exactly what a client must carry to resume its causal constraints
+    elsewhere.
+    """
+
+    backend = "gryff"
+    capabilities = frozenset(
+        {"read", "write", "rmw", "txn", "read_only", "fence"})
+
+    # -------------------------------------------------------------- #
+    def read(self, key: str):
+        return self._client.read(key)
+
+    def write(self, key: str, value: Any):
+        return self._client.write(key, value)
+
+    def rmw(self, key: str, mode: str = "increment", **params):
+        if mode not in RMW_MODES:
+            raise ValueError(f"unknown rmw mode {mode!r} (known: {RMW_MODES})")
+        return self._client.rmw(key, mode=mode, **params)
+
+    def txn(self, read_keys: List[str],
+            updates: Callable[[Dict[str, Any]], Dict[str, Any]]):
+        read_keys = list(read_keys)
+        if read_keys:
+            raise UnsupportedOperationError(
+                "gryff cannot execute transactions with read sets; use rmw "
+                "for single-key read-modify-writes")
+        writes = updates({})
+        if len(writes) != 1:
+            raise UnsupportedOperationError(
+                f"multi-key txn is not supported on gryff "
+                f"(writes {sorted(writes)})")
+        return self._txn_blind_write(dict(writes))
+
+    def _txn_blind_write(self, writes: Dict[str, Any]):
+        ((key, value),) = writes.items()
+        carstamp = yield from self._client.write(key, value)
+        return {}, writes, carstamp
+
+    def read_only(self, keys: List[str]):
+        keys = list(keys)
+        if len(keys) != 1:
+            raise UnsupportedOperationError(
+                f"multi-key read_only is not supported on gryff "
+                f"(keys {sorted(keys)}); issue single-key reads")
+        return self._read_only_single(keys[0])
+
+    def _read_only_single(self, key: str):
+        value = yield from self._client.read(key)
+        return {key: value}
+
+    def fence(self):
+        return self._client.fence()
+
+    # -------------------------------------------------------------- #
+    @property
+    def reads_fast(self) -> int:
+        return self._client.reads_fast
+
+    @property
+    def reads_slow(self) -> int:
+        return self._client.reads_slow
+
+    @property
+    def dependency(self) -> Optional[Dict[str, Any]]:
+        return self._client.dependency
+
+    def _export_context(self) -> Optional[Dict[str, Any]]:
+        dependency = self._client.dependency
+        if dependency is None:
+            return None
+        return {"key": dependency["key"], "value": dependency["value"],
+                "carstamp": list(dependency["carstamp"])}
+
+    def _import_context(self, context: Optional[Dict[str, Any]]) -> None:
+        if context is None:
+            return
+        incoming = _carstamp(context["carstamp"])
+        current = self._client.dependency
+        if current is not None:
+            if current["key"] != context["key"]:
+                # Carstamps only order updates to one key, and the protocol
+                # carries a single pending dependency (Algorithm 3's d):
+                # adopting the token would silently drop our own causal
+                # constraint.  Refuse the ambiguity; a fence() writes the
+                # pending dependency back and clears the slot.
+                raise UnsupportedOperationError(
+                    f"cannot resume a context for key {context['key']!r} "
+                    f"while a dependency on {current['key']!r} is pending; "
+                    f"fence() first")
+            if _carstamp(current["carstamp"]) >= incoming:
+                return  # our own pending dependency is at least as recent
+        self._client.dependency = {
+            "key": context["key"], "value": context["value"],
+            "carstamp": incoming.as_tuple(),
+        }
+
+
+def _carstamp(data) -> Carstamp:
+    return Carstamp(number=data[0], rmw_count=data[1], writer=data[2])
+
+
+class SpannerSession(Session):
+    """A Spanner / Spanner-RSS client behind the unified surface.
+
+    Transactions are native; single-key operations are degenerate
+    transactions (``read`` a one-key read-only transaction, ``write`` a
+    blind read-write transaction, ``rmw`` a read-write transaction whose
+    update function applies the mode).  The session context is the
+    minimum read timestamp ``t_min`` (§4.2).
+    """
+
+    backend = "spanner"
+    capabilities = frozenset(
+        {"read", "write", "rmw", "txn", "read_only", "fence",
+         "multi_key_txn", "multi_key_read_only", "sessions"})
+
+    # -------------------------------------------------------------- #
+    def read(self, key: str):
+        return self._read(key)
+
+    def _read(self, key: str):
+        values = yield from self._client.read_only_transaction([key])
+        return values[key]
+
+    def write(self, key: str, value: Any):
+        return self._write(key, value)
+
+    def _write(self, key: str, value: Any):
+        _reads, _writes, commit_ts = yield from self._client.read_write_transaction(
+            [], lambda _reads, _key=key, _value=value: {_key: _value})
+        return commit_ts
+
+    def rmw(self, key: str, mode: str = "increment", **params):
+        if mode not in RMW_MODES:
+            raise ValueError(f"unknown rmw mode {mode!r} (known: {RMW_MODES})")
+        return self._rmw(key, mode, params)
+
+    def _rmw(self, key: str, mode: str, params: Dict[str, Any]):
+        def compute(reads: Dict[str, Any]) -> Dict[str, Any]:
+            return {key: apply_rmw(mode, reads.get(key), params)}
+
+        reads, writes, _commit_ts = yield from self._client.read_write_transaction(
+            [key], compute)
+        return reads.get(key), writes[key]
+
+    def txn(self, read_keys: List[str],
+            updates: Callable[[Dict[str, Any]], Dict[str, Any]],
+            max_retries: int = 25):
+        return self._client.read_write_transaction(
+            list(read_keys), updates, max_retries)
+
+    def read_only(self, keys: List[str]):
+        return self._client.read_only_transaction(list(keys))
+
+    def fence(self):
+        return self._client.fence()
+
+    # -------------------------------------------------------------- #
+    @property
+    def committed(self) -> int:
+        return self._client.committed
+
+    @property
+    def aborted_attempts(self) -> int:
+        return self._client.aborted_attempts
+
+    @property
+    def t_min(self) -> float:
+        return self._client.t_min
+
+    def new_session(self) -> None:
+        self._client.new_session()
+
+    def _export_context(self) -> float:
+        return self._client.export_context()
+
+    def _import_context(self, context: Any) -> None:
+        self._client.import_context(float(context))

@@ -1,0 +1,40 @@
+"""Errors raised by the unified client API."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ApiError",
+    "CapabilityError",
+    "UnsupportedOperationError",
+    "InvalidSessionToken",
+    "UnknownBackendError",
+]
+
+
+class ApiError(Exception):
+    """Base class for unified-client-API errors."""
+
+
+class CapabilityError(ApiError):
+    """A backend cannot honor the requested consistency level.
+
+    Raised at session-open time by capability negotiation — e.g. asking a
+    Gryff-RSC deployment for ``STRICT_SER``, or a Spanner deployment for
+    ``RSC`` (a register-store model it does not implement).
+    """
+
+
+class UnsupportedOperationError(ApiError):
+    """The backend cannot execute the requested operation shape.
+
+    Raised at call time — e.g. a multi-key ``txn`` on Gryff, whose protocol
+    only supports single-register operations.
+    """
+
+
+class InvalidSessionToken(ApiError, ValueError):
+    """A session-context token is malformed or from a different backend."""
+
+
+class UnknownBackendError(ApiError, ValueError):
+    """``open_store`` received a backend spec it does not recognize."""

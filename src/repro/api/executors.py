@@ -1,0 +1,69 @@
+"""Workload executors over the unified session surface.
+
+These are the protocol-agnostic bridges between the workload generators
+(:mod:`repro.workloads`) and the unified API: one executor body per
+workload, running unchanged against sim-Gryff, sim-Spanner, and live
+clusters.  The drivers call ``executor(session, spec)`` for every workload
+item; executors are generators driven by the simulation or the live pump.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.spanner.client import TransactionAborted
+from repro.workloads.retwis import TransactionSpec
+from repro.workloads.ycsb import OperationSpec
+
+__all__ = ["ycsb_executor", "make_retwis_executor", "reset_session"]
+
+
+def ycsb_executor(session, spec: OperationSpec):
+    """One YCSB single-key operation through the unified surface.
+
+    Registers map directly (Gryff); transactional backends execute the
+    degenerate single-key transactions (Spanner).  A transaction that
+    retries out of its budget counts as abandoned and the loop moves on
+    (the recorder already saw the latency of the failed attempts).
+    """
+    try:
+        if spec.kind == "write":
+            yield from session.write(spec.key, spec.value)
+        else:
+            yield from session.read(spec.key)
+    except TransactionAborted:
+        pass
+
+
+def make_retwis_executor(workload_by_session: Dict[str, Any]):
+    """Executor mapping Retwis transaction specs onto the unified surface.
+
+    ``workload_by_session`` maps session names to their
+    :class:`~repro.workloads.retwis.RetwisWorkload` (the workload mints the
+    globally unique written values).  Requires a backend with the
+    ``multi_key_txn`` capability (Spanner); a register backend raises
+    :class:`~repro.api.errors.UnsupportedOperationError` on the first
+    multi-key transaction.
+    """
+    def executor(session, spec: TransactionSpec):
+        workload = workload_by_session[session.name]
+        try:
+            if spec.read_only:
+                yield from session.read_only(spec.read_keys)
+            else:
+                def compute_writes(_reads: Dict[str, Any]) -> Dict[str, Any]:
+                    return {key: workload.unique_value()
+                            for key in spec.write_keys}
+
+                yield from session.txn(spec.read_keys, compute_writes)
+        except TransactionAborted:
+            # Retried out; count it and move on (the latency of the failed
+            # attempts is already reflected in the recorder via retries).
+            pass
+
+    return executor
+
+
+def reset_session(session) -> None:
+    """Driver callback starting a fresh end-user causal context."""
+    session.new_session()

@@ -1,0 +1,117 @@
+"""Declared consistency levels and the backend capability matrix.
+
+The paper's portability claim is that an application states the consistency
+it needs and the deployment underneath can be swapped.  The unified client
+API makes that statement explicit: a session is opened *at* a
+:class:`ConsistencyLevel`, capability negotiation rejects (backend, level)
+pairs the deployment cannot honor, and the level names the checker model the
+captured history is validated against.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import FrozenSet, Union
+
+from repro.api.errors import CapabilityError
+
+__all__ = ["ConsistencyLevel", "supported_levels", "native_level", "negotiate"]
+
+
+class ConsistencyLevel(Enum):
+    """The consistency guarantees a session may declare.
+
+    * ``RSC`` — regular sequential consistency (single-object model);
+    * ``RSS`` — regular sequential serializability (transactional model);
+    * ``LIN`` — linearizability;
+    * ``STRICT_SER`` — strict serializability.
+    """
+
+    RSC = "rsc"
+    RSS = "rss"
+    LIN = "lin"
+    STRICT_SER = "strict_ser"
+
+    @property
+    def checker_model(self) -> str:
+        """The :mod:`repro.core.checkers` model name validating this level."""
+        return _CHECKER_MODELS[self]
+
+    @classmethod
+    def parse(cls, value: Union["ConsistencyLevel", str]) -> "ConsistencyLevel":
+        """Coerce a level from its enum, its value, or a checker model name."""
+        if isinstance(value, cls):
+            return value
+        normalized = str(value).strip().lower().replace("-", "_")
+        for level in cls:
+            if normalized in (level.value, level.name.lower(),
+                              level.checker_model):
+                return level
+        raise ValueError(
+            f"unknown consistency level {value!r} "
+            f"(known: {[level.value for level in cls]})")
+
+
+_CHECKER_MODELS = {
+    ConsistencyLevel.RSC: "rsc",
+    ConsistencyLevel.RSS: "rss",
+    ConsistencyLevel.LIN: "linearizability",
+    ConsistencyLevel.STRICT_SER: "strict_serializability",
+}
+
+#: What each deployment variant can honor.  A system may serve levels
+#: *weaker* than its native guarantee only when the object model matches:
+#: Gryff (linearizable registers) also honors RSC; Spanner (strictly
+#: serializable transactions) also honors RSS.  The RSC/RSS variants honor
+#: exactly their relaxed guarantee.
+_SUPPORTED = {
+    "gryff": frozenset({ConsistencyLevel.LIN, ConsistencyLevel.RSC}),
+    "gryff-rsc": frozenset({ConsistencyLevel.RSC}),
+    "spanner": frozenset({ConsistencyLevel.STRICT_SER, ConsistencyLevel.RSS}),
+    "spanner-rss": frozenset({ConsistencyLevel.RSS}),
+}
+
+#: The guarantee each deployment variant is designed around (what a session
+#: gets when it does not declare a level).
+_NATIVE = {
+    "gryff": ConsistencyLevel.LIN,
+    "gryff-rsc": ConsistencyLevel.RSC,
+    "spanner": ConsistencyLevel.STRICT_SER,
+    "spanner-rss": ConsistencyLevel.RSS,
+}
+
+
+def supported_levels(protocol: str) -> FrozenSet[ConsistencyLevel]:
+    """The levels a deployment variant can honor."""
+    try:
+        return _SUPPORTED[protocol]
+    except KeyError:
+        raise ValueError(f"unknown protocol {protocol!r} "
+                         f"(known: {sorted(_SUPPORTED)})") from None
+
+
+def native_level(protocol: str) -> ConsistencyLevel:
+    """The default level of a deployment variant."""
+    try:
+        return _NATIVE[protocol]
+    except KeyError:
+        raise ValueError(f"unknown protocol {protocol!r} "
+                         f"(known: {sorted(_NATIVE)})") from None
+
+
+def negotiate(protocol: str,
+              level: Union[ConsistencyLevel, str, None]) -> ConsistencyLevel:
+    """Resolve a requested level against a backend's capabilities.
+
+    ``None`` selects the backend's native level; anything else must be a
+    level the backend can honor, or :class:`CapabilityError` is raised.
+    """
+    if level is None:
+        return native_level(protocol)
+    level = ConsistencyLevel.parse(level)
+    supported = supported_levels(protocol)
+    if level not in supported:
+        raise CapabilityError(
+            f"backend {protocol!r} cannot honor {level.value!r} "
+            f"(supported: {sorted(l.value for l in supported)})")
+    return level

@@ -1,0 +1,195 @@
+"""The protocol-agnostic client session surface.
+
+A :class:`Session` is one logical end-user context against a deployment —
+sim or live, Gryff or Spanner — exposing a single operation vocabulary:
+
+``read`` / ``write`` / ``rmw``
+    single-key operations (registers on Gryff, degenerate transactions on
+    Spanner);
+``txn(read_keys, updates)`` / ``read_only(keys)``
+    transactions (native on Spanner; Gryff honors only shapes its register
+    protocol can express and raises :class:`UnsupportedOperationError`
+    otherwise);
+``fence()``
+    the real-time fence of §5.1 / §7.1, used by libRSS when a process
+    switches services;
+``session_token()`` / ``resume(token)``
+    an opaque, JSON-serializable capture of the session's causal context,
+    generalizing Spanner's ``export_context``/``import_context`` (a minimum
+    read timestamp) and Gryff's dependency carstamps.  Tokens travel out of
+    band (an RPC to another service, a cookie, a message queue) and are
+    adopted with ``resume`` on any session of the same backend family.
+
+All operation methods are generators, driven by the simulation or the live
+event pump exactly like the protocol clients they wrap
+(``yield from session.read(key)``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, FrozenSet, List
+
+from repro.api.errors import InvalidSessionToken, UnsupportedOperationError
+from repro.api.levels import ConsistencyLevel
+
+__all__ = ["Session", "encode_token", "decode_token", "TOKEN_SCHEMA"]
+
+TOKEN_SCHEMA = "repro-session/1"
+
+
+def encode_token(backend: str, context: Any) -> str:
+    """Serialize a session context into an opaque token string."""
+    return json.dumps({"schema": TOKEN_SCHEMA, "backend": backend,
+                       "context": context}, separators=(",", ":"))
+
+
+def decode_token(token: str, backend: str) -> Any:
+    """Parse a token and check it belongs to ``backend``'s family."""
+    try:
+        data = json.loads(token)
+    except (TypeError, ValueError) as exc:
+        raise InvalidSessionToken(f"malformed session token: {exc}") from None
+    if not isinstance(data, dict) or data.get("schema") != TOKEN_SCHEMA:
+        raise InvalidSessionToken(
+            f"not a {TOKEN_SCHEMA} token (schema={data.get('schema')!r})"
+            if isinstance(data, dict) else "not a session token object")
+    if data.get("backend") != backend:
+        raise InvalidSessionToken(
+            f"token from backend {data.get('backend')!r} cannot resume a "
+            f"{backend!r} session")
+    return data.get("context")
+
+
+class Session:
+    """Base class for backend session adapters.
+
+    Subclasses wrap a protocol client, set :attr:`backend` (the token
+    family), :attr:`capabilities`, and implement the operation surface.
+    The wrapped client keeps doing all history/latency bookkeeping through
+    its :class:`~repro.core.recording.SessionRecorder` mixin, so adapters
+    add no events, no recording, and no timing of their own — sims through
+    the facade are bit-identical to sims against the raw clients.
+    """
+
+    #: Token family; subclasses override ("gryff" or "spanner").
+    backend: str = "abstract"
+    #: Operation names this backend can execute (possibly shape-restricted).
+    capabilities: FrozenSet[str] = frozenset()
+
+    def __init__(self, client: Any, level: ConsistencyLevel):
+        self._client = client
+        self.level = level
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def client(self) -> Any:
+        """The wrapped protocol client (escape hatch for protocol tests)."""
+        return self._client
+
+    @property
+    def name(self) -> str:
+        """The client/process name operations are recorded under."""
+        return self._client.name
+
+    @property
+    def site(self) -> str:
+        return self._client.site
+
+    @property
+    def history(self):
+        return self._client.history
+
+    @property
+    def recorder(self):
+        return self._client.recorder
+
+    def supports(self, capability: str) -> bool:
+        return capability in self.capabilities
+
+    def _require(self, capability: str) -> None:
+        if capability not in self.capabilities:
+            raise UnsupportedOperationError(
+                f"{self.backend!r} sessions do not support {capability!r} "
+                f"(capabilities: {sorted(self.capabilities)})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"level={self.level.value}>")
+
+    # ------------------------------------------------------------------ #
+    # Operation surface (generators; subclasses implement what they can)
+    # ------------------------------------------------------------------ #
+    def read(self, key: str):
+        """Read ``key`` (generator); returns the value."""
+        self._require("read")
+        raise NotImplementedError
+
+    def write(self, key: str, value: Any):
+        """Write ``value`` to ``key`` (generator); returns a backend commit
+        token (carstamp on Gryff, commit timestamp on Spanner)."""
+        self._require("write")
+        raise NotImplementedError
+
+    def rmw(self, key: str, mode: str = "increment", **params):
+        """Atomically read-modify-write ``key`` (generator); returns
+        ``(old_value, new_value)``.  ``mode`` is one of ``increment``
+        (with ``amount``), ``append`` (with ``suffix``), or ``set`` (with
+        ``new_value``)."""
+        self._require("rmw")
+        raise NotImplementedError
+
+    def txn(self, read_keys: List[str],
+            updates: Callable[[Dict[str, Any]], Dict[str, Any]]):
+        """Execute a read-write transaction (generator).
+
+        ``updates`` maps the read values to the write set.  Returns
+        ``(read_values, writes, commit_token)``.
+        """
+        self._require("txn")
+        raise NotImplementedError
+
+    def read_only(self, keys: List[str]):
+        """Execute a read-only transaction (generator); returns key → value."""
+        self._require("read_only")
+        raise NotImplementedError
+
+    def fence(self):
+        """Real-time fence (generator): after it returns, every future read
+        anywhere observes state at least as recent as this session's
+        causal context."""
+        self._require("fence")
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Session context
+    # ------------------------------------------------------------------ #
+    def session_token(self) -> str:
+        """Capture the session's causal context as an opaque token."""
+        return encode_token(self.backend, self._export_context())
+
+    def resume(self, token: str) -> None:
+        """Adopt a causal context captured by :meth:`session_token` on any
+        session of the same backend family."""
+        context = decode_token(token, self.backend)
+        try:
+            self._import_context(context)
+        except InvalidSessionToken:
+            raise
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            # Tokens travel out of band; a schema-valid token with a
+            # malformed context is still an invalid token, not a crash.
+            raise InvalidSessionToken(
+                f"malformed session context: {exc!r}") from None
+
+    def new_session(self) -> None:
+        """Start a fresh end-user context on this client (a no-op for
+        backends whose clients carry no cross-operation session state)."""
+
+    def _export_context(self) -> Any:
+        raise NotImplementedError
+
+    def _import_context(self, context: Any) -> None:
+        raise NotImplementedError

@@ -1,0 +1,361 @@
+"""Store handles: open a backend, get unified sessions out of it.
+
+``open_store`` accepts a *backend spec* and returns a :class:`Store`:
+
+* ``"sim-gryff"`` — a simulated Gryff deployment (the config's variant
+  decides Gryff vs Gryff-RSC; default :class:`GryffConfig` is Gryff-RSC);
+* ``"sim-spanner"`` — a simulated Spanner deployment (default config is
+  Spanner-RSS);
+* ``"live:<cluster.json>"`` — a live deployment described by a
+  :class:`~repro.net.spec.ClusterSpec` topology file, driven over real
+  asyncio TCP;
+* an already-built :class:`~repro.gryff.cluster.GryffCluster`,
+  :class:`~repro.spanner.cluster.SpannerCluster`, or
+  :class:`~repro.net.spec.ClusterSpec` object.
+
+A store negotiates declared :class:`~repro.api.levels.ConsistencyLevel`\\ s
+(:class:`~repro.api.errors.CapabilityError` when the backend cannot honor
+one) and mints :class:`~repro.api.session.Session` objects whose operations
+run through the protocol's own client library — the facade adds no events
+and no timing, so simulations through it are bit-identical to simulations
+against the raw clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, FrozenSet, List, Optional, Union
+
+from repro.api.adapters import GryffSession, SpannerSession
+from repro.api.errors import UnknownBackendError
+from repro.api.levels import ConsistencyLevel, negotiate, supported_levels
+from repro.api.session import Session
+from repro.core.history import History
+from repro.sim.stats import LatencyRecorder
+
+__all__ = ["Store", "SimGryffStore", "SimSpannerStore", "LiveStore",
+           "open_store"]
+
+
+class Store:
+    """A handle on one deployment, minting unified sessions."""
+
+    #: Adapter class the store's sessions use; subclasses set it.
+    session_class = Session
+
+    def __init__(self) -> None:
+        self.sessions: List[Session] = []
+
+    # -------------------------------------------------------------- #
+    @property
+    def protocol(self) -> str:
+        """The deployment variant name (``gryff``, ``gryff-rsc``,
+        ``spanner``, ``spanner-rss``)."""
+        raise NotImplementedError
+
+    @property
+    def supported_levels(self) -> FrozenSet[ConsistencyLevel]:
+        return supported_levels(self.protocol)
+
+    @property
+    def native_level(self) -> ConsistencyLevel:
+        return negotiate(self.protocol, None)
+
+    def negotiate(self, level: Union[ConsistencyLevel, str, None]
+                  ) -> ConsistencyLevel:
+        """Resolve ``level`` (``None`` = native) against this backend;
+        raises :class:`~repro.api.errors.CapabilityError` if unsupported."""
+        return negotiate(self.protocol, level)
+
+    def supports(self, capability: str) -> bool:
+        """Whether sessions of this backend can execute ``capability``."""
+        return capability in self.session_class.capabilities
+
+    def session(self, site: Optional[str] = None, name: Optional[str] = None,
+                level: Union[ConsistencyLevel, str, None] = None,
+                record_history: bool = True) -> Session:
+        """Open a session at ``site`` with a declared consistency level."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} protocol={self.protocol} "
+                f"sessions={len(self.sessions)}>")
+
+
+# --------------------------------------------------------------------------- #
+# Simulated backends
+# --------------------------------------------------------------------------- #
+class _SimStore(Store):
+    """Common surface of the simulated stores: the wrapped cluster's
+    environment, shared history/recorder, and run/spawn/check helpers."""
+
+    def __init__(self, cluster) -> None:
+        super().__init__()
+        self.cluster = cluster
+
+    @property
+    def env(self):
+        return self.cluster.env
+
+    @property
+    def network(self):
+        return self.cluster.network
+
+    @property
+    def history(self) -> History:
+        return self.cluster.history
+
+    @property
+    def recorder(self) -> LatencyRecorder:
+        return self.cluster.recorder
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation until quiescence or ``until`` (ms)."""
+        return self.cluster.run(until=until)
+
+    def spawn(self, generator):
+        """Start a client workload process."""
+        return self.cluster.spawn(generator)
+
+    def session(self, site: Optional[str] = None, name: Optional[str] = None,
+                level: Union[ConsistencyLevel, str, None] = None,
+                record_history: bool = True) -> Session:
+        level = self.negotiate(level)
+        if site is None:
+            site = self.cluster.config.sites[0]
+        client = self.cluster.new_client(site, name=name,
+                                         record_history=record_history)
+        session = self.session_class(client, level)
+        self.sessions.append(session)
+        return session
+
+    def check_consistency(self,
+                          level: Union[ConsistencyLevel, str, None] = None):
+        """Validate the recorded history against ``level``'s checker model
+        (``None`` = the deployment's native level)."""
+        return self.cluster.check_consistency(
+            model=self.negotiate(level).checker_model)
+
+
+class SimGryffStore(_SimStore):
+    """A simulated Gryff / Gryff-RSC deployment."""
+
+    session_class = GryffSession
+
+    def __init__(self, config=None, cluster=None):
+        if cluster is None:
+            from repro.gryff.cluster import GryffCluster
+
+            cluster = GryffCluster(config)
+        super().__init__(cluster)
+
+    @property
+    def protocol(self) -> str:
+        from repro.gryff.config import GryffVariant
+
+        return ("gryff" if self.cluster.config.variant == GryffVariant.GRYFF
+                else "gryff-rsc")
+
+
+class SimSpannerStore(_SimStore):
+    """A simulated Spanner / Spanner-RSS deployment."""
+
+    session_class = SpannerSession
+
+    def __init__(self, config=None, cluster=None):
+        if cluster is None:
+            from repro.spanner.cluster import SpannerCluster
+
+            cluster = SpannerCluster(config)
+        super().__init__(cluster)
+
+    @property
+    def protocol(self) -> str:
+        from repro.spanner.config import Variant
+
+        return ("spanner" if self.cluster.config.variant == Variant.SPANNER
+                else "spanner-rss")
+
+    @property
+    def truetime(self):
+        return self.cluster.truetime
+
+
+# --------------------------------------------------------------------------- #
+# Live backend
+# --------------------------------------------------------------------------- #
+class LiveStore(Store):
+    """A pure-client process against a running live cluster.
+
+    Sessions are protocol clients bound to the store's
+    :class:`~repro.net.cluster.LiveProcess` (shared realtime environment and
+    TCP transport).  The shared history may be a
+    :class:`~repro.net.recorder.RecordingHistory` streaming to a JSONL
+    trace.  Usage::
+
+        store = open_store("live:cluster.json")
+        sessions = [store.session() for _ in range(4)]
+        await store.start()
+        await store.drive(driver)      # any started driver processes
+        await store.stop()
+    """
+
+    def __init__(self, spec, history: Optional[History] = None,
+                 recorder: Optional[LatencyRecorder] = None):
+        from repro.net.cluster import LiveProcess
+
+        super().__init__()
+        self.spec = spec
+        self.process = LiveProcess(spec, host_nodes=())   # no server nodes
+        self.history = history if history is not None else History()
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self._config = None
+        self._truetime = None
+        self._session_counter = itertools.count(1)
+
+    @property
+    def protocol(self) -> str:
+        return self.spec.protocol
+
+    @property
+    def session_class(self):
+        return GryffSession if self.spec.is_gryff else SpannerSession
+
+    @property
+    def env(self):
+        return self.process.env
+
+    def _protocol_config(self):
+        if self._config is None:
+            self._config = (self.spec.gryff_config() if self.spec.is_gryff
+                            else self.spec.spanner_config())
+        return self._config
+
+    def session(self, site: Optional[str] = None, name: Optional[str] = None,
+                level: Union[ConsistencyLevel, str, None] = None,
+                record_history: bool = True) -> Session:
+        level = self.negotiate(level)
+        sites = self.spec.sites()
+        if site is None:
+            site = sites[len(self.sessions) % len(sites)]
+        if name is None:
+            name = f"client{next(self._session_counter)}@{site}"
+        config = self._protocol_config()
+        if self.spec.is_gryff:
+            from repro.gryff.client import GryffClient
+
+            client = GryffClient(
+                self.process.env, self.process.transport, config,
+                name=name, site=site, history=self.history,
+                recorder=self.recorder, record_history=record_history)
+        else:
+            from repro.sim.clock import TrueTime
+            from repro.spanner.client import SpannerClient
+
+            if self._truetime is None:
+                self._truetime = TrueTime(
+                    self.process.env, epsilon=config.truetime_epsilon_ms)
+            client = SpannerClient(
+                self.process.env, self.process.transport, self._truetime,
+                config, name=name, site=site, history=self.history,
+                recorder=self.recorder, record_history=record_history)
+        session = self.session_class(client, level)
+        self.sessions.append(session)
+        return session
+
+    # -------------------------------------------------------------- #
+    async def start(self) -> None:
+        """Start the live event pump (no listeners: clients only)."""
+        await self.process.start()
+
+    async def stop(self) -> None:
+        """Stop the pump and close the transport; idempotent."""
+        await self.process.stop()
+
+    async def drive(self, driver) -> None:
+        """Run a started :mod:`repro.workloads.clients` driver to completion.
+
+        Races the client processes against the event pump: if the pump dies,
+        no event (including the drivers' deadline timeouts) ever fires
+        again, so waiting on the clients alone would hang forever.
+        """
+        procs = driver.start()
+        clients_done = asyncio.ensure_future(asyncio.gather(
+            *(self.process.env.as_future(proc) for proc in procs)))
+        await asyncio.wait({clients_done, self.process.pump_task},
+                           return_when=asyncio.FIRST_COMPLETED)
+        if not clients_done.done():
+            clients_done.cancel()
+            exc = self.process.pump_task.exception()
+            if exc is not None:
+                raise exc
+            raise RuntimeError("event pump stopped before the load completed")
+        await clients_done
+
+    def check_consistency(self,
+                          level: Union[ConsistencyLevel, str, None] = None):
+        """Validate the captured live history against ``level``'s model."""
+        from repro.net.check import check_trace
+
+        return check_trace(self.history, self.protocol,
+                           self.negotiate(level).checker_model)
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def open_store(backend: Any, *, config: Any = None,
+               history: Optional[History] = None,
+               recorder: Optional[LatencyRecorder] = None) -> Store:
+    """Open a :class:`Store` from a backend spec (see module docstring).
+
+    ``config`` customizes the simulated backends (a :class:`GryffConfig` /
+    :class:`SpannerConfig`, whose ``variant`` selects the deployment
+    flavor).  ``history``/``recorder`` inject shared capture objects into a
+    live store (simulated clusters own theirs).
+    """
+    from repro.gryff.cluster import GryffCluster
+    from repro.net.spec import ClusterSpec
+    from repro.spanner.cluster import SpannerCluster
+
+    def _reject_ignored(target: str, **kwargs) -> None:
+        ignored = [name for name, value in kwargs.items() if value is not None]
+        if ignored:
+            raise ValueError(f"{', '.join(ignored)} cannot be applied to "
+                             f"{target}")
+
+    built = f"an already-built {type(backend).__name__}"
+    if isinstance(backend, Store):
+        _reject_ignored(built, config=config, history=history,
+                        recorder=recorder)
+        return backend
+    if isinstance(backend, GryffCluster):
+        _reject_ignored(built, config=config, history=history,
+                        recorder=recorder)
+        return SimGryffStore(cluster=backend)
+    if isinstance(backend, SpannerCluster):
+        _reject_ignored(built, config=config, history=history,
+                        recorder=recorder)
+        return SimSpannerStore(cluster=backend)
+    if isinstance(backend, ClusterSpec):
+        _reject_ignored("a live cluster spec (protocol knobs live in its "
+                        "params)", config=config)
+        return LiveStore(backend, history=history, recorder=recorder)
+    if isinstance(backend, str):
+        if backend.startswith("live:"):
+            _reject_ignored("a live cluster spec (protocol knobs live in "
+                            "its params)", config=config)
+            return LiveStore(ClusterSpec.load(backend[len("live:"):]),
+                             history=history, recorder=recorder)
+        if backend in ("sim-gryff", "sim-spanner"):
+            if history is not None or recorder is not None:
+                raise ValueError(
+                    "simulated clusters own their history/recorder; build a "
+                    "cluster yourself to customize capture")
+            if backend == "sim-gryff":
+                return SimGryffStore(config=config)
+            return SimSpannerStore(config=config)
+    raise UnknownBackendError(
+        f"unknown backend spec {backend!r} (expected 'sim-gryff', "
+        f"'sim-spanner', 'live:<cluster.json>', or a cluster object)")

@@ -15,6 +15,7 @@ from typing import Any, Dict, Optional
 
 from repro.core.events import Operation
 from repro.core.history import History
+from repro.core.recording import SessionRecorder
 from repro.sim.engine import Environment
 from repro.sim.network import Message, Network
 from repro.sim.node import Node
@@ -51,7 +52,7 @@ class MessageQueueServer(Node):
         return len(self._queues.get(queue, ()))
 
 
-class MessageQueueClient(Node):
+class MessageQueueClient(SessionRecorder, Node):
     """Client library for the messaging service."""
 
     def __init__(self, env: Environment, network: Network, name: str, site: str,
@@ -60,19 +61,16 @@ class MessageQueueClient(Node):
                  record_history: bool = True):
         super().__init__(env, network, name, site)
         self.server = server
-        self.history = history if history is not None else History()
-        self.recorder = recorder if recorder is not None else LatencyRecorder()
-        self.record_history = record_history
+        self._init_recording(history, recorder, record_history)
 
     def enqueue(self, queue: str, value: Any):
         """Append ``value`` to ``queue`` (generator)."""
         invoked_at = self.env.now
         yield self.rpc_call(self.server, "enqueue", queue=queue, value=value)
-        self.recorder.record("enqueue", invoked_at, self.env.now)
-        if self.record_history:
-            self.history.add(Operation.enqueue(
-                self.name, queue, value,
-                invoked_at=invoked_at, responded_at=self.env.now))
+        self._record(Operation.enqueue(
+            self.name, queue, value,
+            invoked_at=invoked_at, responded_at=self.env.now),
+            "enqueue", invoked_at)
         return True
 
     def dequeue(self, queue: str):
@@ -80,9 +78,8 @@ class MessageQueueClient(Node):
         invoked_at = self.env.now
         reply = yield self.rpc_call(self.server, "dequeue", queue=queue)
         value = reply["value"]
-        self.recorder.record("dequeue", invoked_at, self.env.now)
-        if self.record_history:
-            self.history.add(Operation.dequeue(
-                self.name, queue, value,
-                invoked_at=invoked_at, responded_at=self.env.now))
+        self._record(Operation.dequeue(
+            self.name, queue, value,
+            invoked_at=invoked_at, responded_at=self.env.now),
+            "dequeue", invoked_at)
         return value

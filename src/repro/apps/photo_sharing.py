@@ -18,9 +18,11 @@ The module has two halves:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.api import Store, UnsupportedOperationError, open_store
 from repro.core.events import Operation
 from repro.core.history import History
 from repro.core.librss import LibRSS
@@ -31,7 +33,6 @@ from repro.core.specification import (
     TransactionalKVSpec,
 )
 from repro.apps.messaging import MessageQueueClient, MessageQueueServer
-from repro.spanner.cluster import SpannerCluster
 
 __all__ = ["Table1Scenario", "table1_scenarios", "PhotoSharingApp", "WebServer"]
 
@@ -197,7 +198,7 @@ JOB_QUEUE = "thumbnail-jobs"
 
 @dataclass
 class WebServer:
-    """One application server: a Spanner session plus a queue session."""
+    """One application server: a kv session plus a queue session."""
 
     name: str
     kv: Any
@@ -207,14 +208,40 @@ class WebServer:
 class PhotoSharingApp:
     """The photo-sharing application running on Spanner(-RSS) + messaging.
 
+    The application is written against the unified client API: it takes a
+    :class:`repro.api.Store` (e.g. ``open_store("sim-spanner")``) and its
+    web servers hold :class:`repro.api.Session` objects — the application
+    logic itself only speaks the unified vocabulary (``txn``, ``read_only``,
+    ``fence``).  It needs a *simulated transactional* store: the messaging
+    service is an in-simulator node, so the store must expose the sim
+    environment/network, and ``add_photo`` uses multi-key transactions.
+    (Passing a raw :class:`~repro.spanner.cluster.SpannerCluster` still
+    works but is deprecated.)
+
     All methods that perform service operations are generators intended to be
     driven by the simulation (``yield from app.add_photo(...)``).
     """
 
-    def __init__(self, cluster: SpannerCluster, queue_site: str = "CA"):
-        self.cluster = cluster
+    def __init__(self, store: Store, queue_site: str = "CA"):
+        if not isinstance(store, Store):
+            warnings.warn(
+                "passing a cluster to PhotoSharingApp is deprecated; pass a "
+                "Store from repro.api.open_store", DeprecationWarning,
+                stacklevel=2)
+            store = open_store(store)
+        if not store.supports("multi_key_txn"):
+            raise UnsupportedOperationError(
+                "PhotoSharingApp needs a transactional backend "
+                "(multi_key_txn); open a sim-spanner store")
+        if not hasattr(store, "network"):
+            raise TypeError(
+                "PhotoSharingApp runs inside the simulator (its messaging "
+                "service is a sim node); open a simulated store, not "
+                f"{type(store).__name__}")
+        self.store = store
+        self.cluster = store.cluster
         self.librss = LibRSS()
-        self.mq_server = MessageQueueServer(cluster.env, cluster.network,
+        self.mq_server = MessageQueueServer(store.env, store.network,
                                             name="mq", site=queue_site)
         self._servers: List[WebServer] = []
         self.librss.register_service("kv", self._kv_fence)
@@ -237,13 +264,13 @@ class PhotoSharingApp:
     def new_web_server(self, site: str, name: Optional[str] = None) -> WebServer:
         """Create an application server (or worker) located at ``site``."""
         name = name or f"web{len(self._servers) + 1}@{site}"
-        kv_client = self.cluster.new_client(site, name=f"{name}-kv")
+        kv_session = self.store.session(site, name=f"{name}-kv")
         queue_client = MessageQueueClient(
-            self.cluster.env, self.cluster.network, name=f"{name}-mq", site=site,
-            server="mq", history=self.cluster.history,
-            recorder=self.cluster.recorder,
+            self.store.env, self.store.network, name=f"{name}-mq", site=site,
+            server="mq", history=self.store.history,
+            recorder=self.store.recorder,
         )
-        server = WebServer(name=name, kv=kv_client, queue=queue_client)
+        server = WebServer(name=name, kv=kv_session, queue=queue_client)
         self._servers.append(server)
         return server
 
@@ -268,7 +295,7 @@ class PhotoSharingApp:
             return {album_key: album + (photo_id,), photo_key: data}
 
         yield from self.librss.start_transaction(server.name, "kv")
-        yield from server.kv.read_write_transaction([album_key], update)
+        yield from server.kv.txn([album_key], update)
         yield from self.librss.start_transaction(server.name, "queue")
         yield from server.queue.enqueue(JOB_QUEUE, photo_id)
         return photo_id
@@ -280,7 +307,7 @@ class PhotoSharingApp:
         if photo_id is None:
             return None
         yield from self.librss.start_transaction(worker.name, "kv")
-        values = yield from worker.kv.read_only_transaction([self.photo_key(photo_id)])
+        values = yield from worker.kv.read_only([self.photo_key(photo_id)])
         data = values[self.photo_key(photo_id)]
         self.job_results.append((photo_id, data))
         return photo_id, data
@@ -289,13 +316,13 @@ class PhotoSharingApp:
         """Read an album and all its photos (I1)."""
         album_key = self.album_key(user)
         yield from self.librss.start_transaction(server.name, "kv")
-        album_values = yield from server.kv.read_only_transaction([album_key])
+        album_values = yield from server.kv.read_only([album_key])
         photo_ids = tuple(album_values.get(album_key) or ())
         if not photo_ids:
             self.album_views.append({})
             return {}
         photo_keys = [self.photo_key(photo_id) for photo_id in photo_ids]
-        photo_values = yield from server.kv.read_only_transaction(photo_keys)
+        photo_values = yield from server.kv.read_only(photo_keys)
         view = {photo_id: photo_values[self.photo_key(photo_id)]
                 for photo_id in photo_ids}
         self.album_views.append(view)

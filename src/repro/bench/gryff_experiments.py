@@ -20,14 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.api import open_store
+from repro.api.executors import ycsb_executor as _api_ycsb_executor
 from repro.bench.runner import SweepSpec, run_sweep
 from repro.core.history import History
-from repro.gryff.client import GryffClient
-from repro.gryff.cluster import GryffCluster
 from repro.gryff.config import GryffConfig, GryffVariant
 from repro.sim.stats import LatencyRecorder, Percentiles, percentile
 from repro.workloads.clients import ClosedLoopDriver
-from repro.workloads.ycsb import OperationSpec, YcsbWorkload
+from repro.workloads.ycsb import YcsbWorkload
 
 __all__ = [
     "GryffExperimentResult",
@@ -76,12 +76,17 @@ class GryffExperimentResult:
         return self.reads_slow / total if total else 0.0
 
 
-def ycsb_executor(client: GryffClient, spec: OperationSpec):
-    """Executor mapping YCSB operations onto the Gryff client API."""
-    if spec.kind == "write":
-        yield from client.write(spec.key, spec.value)
-    else:
-        yield from client.read(spec.key)
+def __getattr__(name):
+    if name == "ycsb_executor":
+        # Deprecated alias: the unified executor runs YCSB against *any*
+        # backend session.
+        import warnings
+
+        warnings.warn(
+            "repro.bench.gryff_experiments.ycsb_executor is deprecated; "
+            "use repro.api.ycsb_executor", DeprecationWarning, stacklevel=2)
+        return _api_ycsb_executor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_ycsb_experiment(
@@ -99,36 +104,34 @@ def run_ycsb_experiment(
     """Run the YCSB workload against one variant (§7.2 / §7.4 setup)."""
     config = GryffConfig(variant=variant, wide_area=wide_area,
                          server_cpu_ms=server_cpu_ms, seed=seed)
-    cluster = GryffCluster(config)
-    clients: List[GryffClient] = []
-    workloads: List[YcsbWorkload] = []
+    store = open_store("sim-gryff", config=config)
+    pairs = []
     for index in range(num_clients):
         site = config.sites[index % len(config.sites)]
-        client = cluster.new_client(site, record_history=record_history)
-        clients.append(client)
-        workloads.append(YcsbWorkload(
-            client_id=client.name, write_ratio=write_ratio,
+        session = store.session(site, record_history=record_history)
+        pairs.append((session, YcsbWorkload(
+            client_id=session.name, write_ratio=write_ratio,
             conflict_rate=conflict_rate, seed=seed * 1000 + index,
-        ))
+        )))
     driver = ClosedLoopDriver(
-        cluster.env, clients, workloads, ycsb_executor, duration_ms=duration_ms,
+        store.env, pairs, _api_ycsb_executor, duration_ms=duration_ms,
     )
     driver.start()
-    cluster.run()
+    store.run()
 
     consistency_ok = None
     if check_consistency and record_history:
-        consistency_ok = bool(cluster.check_consistency())
+        consistency_ok = bool(store.check_consistency())
     return GryffExperimentResult(
         variant=variant,
         config=config,
-        recorder=cluster.recorder,
-        replica_stats=cluster.replica_stats(),
-        reads_fast=sum(client.reads_fast for client in cluster.clients),
-        reads_slow=sum(client.reads_slow for client in cluster.clients),
-        duration_ms=cluster.env.now,
+        recorder=store.recorder,
+        replica_stats=store.cluster.replica_stats(),
+        reads_fast=sum(session.reads_fast for session in store.sessions),
+        reads_slow=sum(session.reads_slow for session in store.sessions),
+        duration_ms=store.env.now,
         consistency_ok=consistency_ok,
-        history=cluster.history if record_history else None,
+        history=store.history if record_history else None,
     )
 
 

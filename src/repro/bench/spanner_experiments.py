@@ -21,17 +21,18 @@ figures need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
 
-from repro.bench.runner import SweepSpec, SweepOutcome, run_sweep
+from repro.api import open_store, reset_session
+from repro.api.executors import make_retwis_executor as _api_make_retwis_executor
+from repro.bench.runner import SweepSpec, run_sweep
 from repro.core.history import History
 from repro.sim.stats import LatencyRecorder, Percentiles
-from repro.spanner.client import SpannerClient, TransactionAborted
-from repro.spanner.cluster import SpannerCluster
+from repro.spanner.client import TransactionAborted  # noqa: F401  (re-export)
 from repro.spanner.config import SpannerConfig, Variant
 from repro.workloads.clients import ClosedLoopDriver, PartlyOpenDriver
-from repro.workloads.retwis import RetwisWorkload, TransactionSpec
+from repro.workloads.retwis import RetwisWorkload
 
 __all__ = [
     "SpannerExperimentResult",
@@ -82,25 +83,18 @@ class SpannerExperimentResult:
         return blocked / requests if requests else 0.0
 
 
-def make_retwis_executor(workload_by_client: Dict[str, RetwisWorkload]):
-    """Executor mapping Retwis transaction specs onto the Spanner client API."""
+def __getattr__(name):
+    if name == "make_retwis_executor":
+        # Deprecated alias: the unified executor runs Retwis against any
+        # session with the ``multi_key_txn`` capability.
+        import warnings
 
-    def executor(client: SpannerClient, spec: TransactionSpec):
-        workload = workload_by_client[client.name]
-        try:
-            if spec.read_only:
-                yield from client.read_only_transaction(spec.read_keys)
-            else:
-                def compute_writes(_reads: Dict[str, Any]) -> Dict[str, Any]:
-                    return {key: workload.unique_value() for key in spec.write_keys}
-
-                yield from client.read_write_transaction(spec.read_keys, compute_writes)
-        except TransactionAborted:
-            # Retried out; count it and move on (the latency of the failed
-            # attempts is already reflected in the recorder via retries).
-            pass
-
-    return executor
+        warnings.warn(
+            "repro.bench.spanner_experiments.make_retwis_executor is "
+            "deprecated; use repro.api.make_retwis_executor",
+            DeprecationWarning, stacklevel=2)
+        return _api_make_retwis_executor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_retwis_experiment(
@@ -120,48 +114,46 @@ def run_retwis_experiment(
     """Run the Retwis workload against one variant (§6.1 setup)."""
     overrides = dict(config_overrides or {})
     config = SpannerConfig(variant=variant, seed=seed, num_keys=num_keys, **overrides)
-    cluster = SpannerCluster(config)
-    workload_by_client: Dict[str, RetwisWorkload] = {}
-    clients: List[SpannerClient] = []
-    workloads: List[RetwisWorkload] = []
+    store = open_store("sim-spanner", config=config)
+    workload_by_session: Dict[str, RetwisWorkload] = {}
+    pairs = []
     for site_index, site in enumerate(config.sites):
         for client_index in range(clients_per_site):
-            client = cluster.new_client(site, record_history=record_history)
+            session = store.session(site, record_history=record_history)
             workload = RetwisWorkload(
                 num_keys=num_keys, zipf_skew=zipf_skew,
                 seed=seed * 1000 + site_index * 100 + client_index,
-                value_tag=f"{client.name}-",
+                value_tag=f"{session.name}-",
             )
-            workload_by_client[client.name] = workload
-            clients.append(client)
-            workloads.append(workload)
+            workload_by_session[session.name] = workload
+            pairs.append((session, workload))
 
-    executor = make_retwis_executor(workload_by_client)
+    executor = _api_make_retwis_executor(workload_by_session)
     driver = PartlyOpenDriver(
-        cluster.env, clients, workloads, executor,
+        store.env, pairs, executor,
         arrival_rate_per_client=session_arrival_rate_per_sec / 1000.0,
         duration_ms=duration_ms,
         continue_probability=continue_probability,
         think_time_ms=think_time_ms,
-        reset_session=lambda client: client.new_session(),
+        reset_session=reset_session,
         seed=seed,
     )
     driver.start()
-    cluster.run()
+    store.run()
 
     consistency_ok = None
     if check_consistency and record_history:
-        consistency_ok = bool(cluster.check_consistency())
+        consistency_ok = bool(store.check_consistency())
     return SpannerExperimentResult(
         variant=variant,
         config=config,
-        recorder=cluster.recorder,
-        shard_stats=cluster.shard_stats(),
-        committed=cluster.total_committed(),
-        aborted_attempts=sum(c.aborted_attempts for c in cluster.clients),
-        duration_ms=cluster.env.now,
+        recorder=store.recorder,
+        shard_stats=store.cluster.shard_stats(),
+        committed=store.cluster.total_committed(),
+        aborted_attempts=sum(s.aborted_attempts for s in store.sessions),
+        duration_ms=store.env.now,
         consistency_ok=consistency_ok,
-        history=cluster.history if record_history else None,
+        history=store.history if record_history else None,
     )
 
 
@@ -261,32 +253,30 @@ def run_load_experiment(
         server_cpu_ms=server_cpu_ms,
         seed=seed,
     )
-    cluster = SpannerCluster(config)
-    clients = []
-    workloads = []
-    workload_by_client: Dict[str, RetwisWorkload] = {}
+    store = open_store("sim-spanner", config=config)
+    workload_by_session: Dict[str, RetwisWorkload] = {}
+    pairs = []
     for index in range(num_clients):
-        client = cluster.new_client("DC", record_history=False)
+        session = store.session("DC", record_history=False)
         workload = RetwisWorkload(num_keys=num_keys, zipf_skew=0.0,
                                   seed=seed * 500 + index,
-                                  value_tag=f"{client.name}-")
-        workload_by_client[client.name] = workload
-        clients.append(client)
-        workloads.append(workload)
-    executor = make_retwis_executor(workload_by_client)
+                                  value_tag=f"{session.name}-")
+        workload_by_session[session.name] = workload
+        pairs.append((session, workload))
+    executor = _api_make_retwis_executor(workload_by_session)
     driver = ClosedLoopDriver(
-        cluster.env, clients, workloads, executor, duration_ms=duration_ms,
+        store.env, pairs, executor, duration_ms=duration_ms,
     )
     driver.start()
-    cluster.run()
+    store.run()
     return SpannerExperimentResult(
         variant=variant,
         config=config,
-        recorder=cluster.recorder,
-        shard_stats=cluster.shard_stats(),
-        committed=cluster.total_committed(),
-        aborted_attempts=sum(c.aborted_attempts for c in cluster.clients),
-        duration_ms=cluster.env.now,
+        recorder=store.recorder,
+        shard_stats=store.cluster.shard_stats(),
+        committed=store.cluster.total_committed(),
+        aborted_attempts=sum(s.aborted_attempts for s in store.sessions),
+        duration_ms=store.env.now,
     )
 
 

@@ -24,8 +24,14 @@ driven by four further subcommands:
    $ python -m repro init-config --protocol gryff-rsc --replicas 3 --out cluster.json
    $ python -m repro serve --config cluster.json          # all nodes, or --node replica0
    $ python -m repro load --config cluster.json --clients 4 --duration-ms 2000 \
-       --trace trace.jsonl
+       --level rsc --trace trace.jsonl
    $ python -m repro live-check trace.jsonl
+
+``load`` drives the cluster through the unified client API
+(:mod:`repro.api`): ``--level`` declares the consistency level sessions are
+opened at — capability negotiation fails fast (exit 2) when the cluster's
+protocol cannot honor it, and the inline checker validates the declared
+level's model.
 """
 
 from __future__ import annotations
@@ -215,33 +221,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_load(args: argparse.Namespace) -> int:
+    from repro.api.errors import CapabilityError
     from repro.net.load import load_main
     from repro.net.spec import ClusterSpec
 
     spec = ClusterSpec.load(args.config)
     on_verdict = (lambda verdict: print(verdict.describe(), flush=True)) \
         if args.check_inline else None
-    summary = load_main(
-        spec,
-        num_clients=args.clients,
-        duration_ms=None if args.ops_per_client else args.duration_ms,
-        ops_per_client=args.ops_per_client,
-        workload=args.workload,
-        write_ratio=args.write_ratio,
-        conflict_rate=args.conflict_rate,
-        num_keys=args.num_keys,
-        seed=args.seed,
-        trace_path=args.trace,
-        client_prefix=args.client_prefix,
-        think_time_ms=args.think_time_ms,
-        check_inline=args.check_inline,
-        check_min_epoch_ops=args.min_epoch_ops,
-        on_verdict=on_verdict,
-        trace_flush_every=args.trace_flush_every,
-        trace_fsync=args.trace_fsync,
-        trace_rotate_bytes=args.trace_rotate_bytes,
-    )
-    rows = [["ops completed", summary["ops"]],
+    try:
+        summary = load_main(
+            spec,
+            num_clients=args.clients,
+            duration_ms=None if args.ops_per_client else args.duration_ms,
+            ops_per_client=args.ops_per_client,
+            workload=args.workload,
+            write_ratio=args.write_ratio,
+            conflict_rate=args.conflict_rate,
+            num_keys=args.num_keys,
+            seed=args.seed,
+            trace_path=args.trace,
+            client_prefix=args.client_prefix,
+            think_time_ms=args.think_time_ms,
+            level=args.level,
+            check_inline=args.check_inline,
+            check_min_epoch_ops=args.min_epoch_ops,
+            on_verdict=on_verdict,
+            trace_flush_every=args.trace_flush_every,
+            trace_fsync=args.trace_fsync,
+            trace_rotate_bytes=args.trace_rotate_bytes,
+        )
+    except CapabilityError as exc:
+        print(f"cannot open sessions: {exc}", file=sys.stderr)
+        return 2
+    rows = [["declared level", summary["level"]],
+            ["ops completed", summary["ops"]],
             ["duration (ms)", round(summary["duration_ms"], 1)],
             ["throughput (ops/s)", round(summary["throughput_ops_per_s"], 1)]]
     for category, percentiles in sorted(summary["categories"].items()):
@@ -266,6 +279,20 @@ def cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _declared_model(meta: Dict[str, Any]) -> Optional[str]:
+    """The checker model for the consistency level the load declared when
+    it captured the trace (``repro load --level``), if recorded."""
+    level = meta.get("level")
+    if not level:
+        return None
+    from repro.api.levels import ConsistencyLevel
+
+    try:
+        return ConsistencyLevel.parse(level).checker_model
+    except ValueError:
+        return None
+
+
 def _live_check_follow(args: argparse.Namespace, protocol: Optional[str]) -> int:
     """Streaming (epoch-windowed) trace checking for ``live-check --follow``."""
     import itertools
@@ -288,14 +315,16 @@ def _live_check_follow(args: argparse.Namespace, protocol: Optional[str]) -> int
         buffered: List[Dict[str, Any]] = []
         first = next(records, None)
         if first is not None:
+            declared = None
             if first.get("type") == "meta":
                 protocol = protocol or first.get("protocol")
+                declared = _declared_model(first)
             buffered.append(first)
             if not protocol:
                 print("trace has no protocol header; pass --protocol",
                       file=sys.stderr)
                 return 2
-            model = args.model or default_model_for(protocol)
+            model = args.model or declared or default_model_for(protocol)
             checker = streaming_checker_for(
                 protocol, model, min_epoch_ops=args.min_epoch_ops,
                 on_verdict=lambda verdict: print(verdict.describe(),
@@ -348,7 +377,9 @@ def cmd_live_check(args: argparse.Namespace) -> int:
         print("trace has no protocol header; pass --protocol", file=sys.stderr)
         return 2
     try:
-        model = args.model or default_model_for(protocol)
+        # Precedence: explicit --model, then the level the load declared
+        # when capturing the trace, then the protocol's native model.
+        model = args.model or _declared_model(meta) or default_model_for(protocol)
     except ValueError as exc:
         print(f"cannot check trace: {exc}", file=sys.stderr)
         return 2
@@ -502,6 +533,13 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--num-keys", type=int, default=1_000)
     load.add_argument("--seed", type=int, default=1)
     load.add_argument("--trace", help="write the live history to this JSONL file")
+    load.add_argument("--level",
+                      choices=["rsc", "rss", "lin", "strict_ser"],
+                      help="declared consistency level for the sessions "
+                           "(default: the protocol's native level); "
+                           "negotiation fails fast if the cluster cannot "
+                           "honor it, and --check-inline validates this "
+                           "level's model")
     load.add_argument("--client-prefix", default="client",
                       help="client name prefix (make unique across "
                            "concurrent load processes)")

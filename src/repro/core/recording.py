@@ -1,0 +1,67 @@
+"""Shared client-side invocation/response bookkeeping.
+
+Every client library in the reproduction — the Gryff and Spanner protocol
+clients, the messaging-service client — used to carry its own copy of the
+same three rituals: announce an invocation to the history (so streaming
+checkers and trace recorders can cut epochs at quiescent frontiers), record
+a completed operation (latency sample + history append), and announce an
+abandoned attempt (an aborted transaction that will never produce a
+completion record).  :class:`SessionRecorder` hoists that bookkeeping into
+one mixin, wired to whatever :class:`~repro.core.history.History` the
+deployment shares — including a :class:`~repro.net.recorder.RecordingHistory`
+streaming to a JSONL trace in the live runtime.
+
+The mixin expects its host to provide ``self.env`` (for ``env.now``) and
+``self.name`` (the default history process name); hosts that multiplex many
+logical sessions over one client object (the Spanner client's per-session
+causal contexts) override :attr:`history_process`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import Operation
+from repro.core.history import History
+
+__all__ = ["SessionRecorder"]
+
+
+class SessionRecorder:
+    """Mixin: history + latency-recorder bookkeeping for client libraries."""
+
+    def _init_recording(self, history: Optional[History], recorder,
+                        record_history: bool = True) -> None:
+        """Install the shared history/recorder (fresh ones when ``None``)."""
+        from repro.sim.stats import LatencyRecorder
+
+        self.history = history if history is not None else History()
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self.record_history = record_history
+
+    @property
+    def history_process(self) -> str:
+        """The process name operations are recorded under."""
+        return self.name
+
+    def _note_invocation(self, invoked_at: float) -> None:
+        """Announce an invocation to the history (streaming checkers and
+        trace recorders cut epochs at quiescent frontiers, which are only
+        observable if invocations are announced before their responses)."""
+        if self.record_history:
+            self.history.note_invocation(self.history_process, invoked_at)
+
+    def _note_abandoned(self) -> None:
+        """Announce that the current attempt aborted and will never produce
+        a completion record (a retry announces a fresh invocation)."""
+        if self.record_history:
+            self.history.note_abandoned(self.history_process, self.env.now)
+
+    def _record(self, op: Operation, category: str, invoked_at: float,
+                responded_at: Optional[float] = None) -> None:
+        """Record a completed operation: latency sample + history append."""
+        self.recorder.record(category, invoked_at,
+                             self.env.now if responded_at is None
+                             else responded_at)
+        if self.record_history:
+            self.history.add(op)

@@ -1,0 +1,36 @@
+"""The read-modify-write update functions shared by every backend.
+
+One table, used by the Gryff coordinator replica
+(:meth:`~repro.gryff.replica.GryffReplica._apply_rmw_function`) and by the
+Spanner session adapter (:class:`~repro.api.adapters.SpannerSession`), so
+the same ``rmw`` call means the same thing on every backend — the
+cross-backend equivalence is structural, not by convention.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["RMW_MODES", "apply_rmw"]
+
+#: The modes the unified ``rmw`` surface accepts.
+RMW_MODES = ("increment", "append", "set")
+
+
+def apply_rmw(mode: str, old_value: Any, params: Mapping[str, Any], *,
+              strict: bool = True) -> Any:
+    """Apply an rmw update function to ``old_value``.
+
+    ``increment`` adds ``amount`` (default 1), ``append`` concatenates
+    ``suffix``, ``set`` replaces with ``new_value``.  With ``strict`` an
+    unknown mode raises ``ValueError``; without it the mode degrades to
+    ``set`` (the wire-facing replica path, which must not crash the server
+    on a malformed request).
+    """
+    if mode == "increment":
+        return (old_value or 0) + params.get("amount", 1)
+    if mode == "append":
+        return (old_value or "") + str(params.get("suffix", ""))
+    if mode == "set" or not strict:
+        return params.get("new_value")
+    raise ValueError(f"unknown rmw mode {mode!r} (known: {RMW_MODES})")

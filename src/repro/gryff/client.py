@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.events import Operation
 from repro.core.history import History
+from repro.core.recording import SessionRecorder
 from repro.gryff.carstamp import Carstamp
 from repro.gryff.config import GryffConfig, GryffVariant
 from repro.sim.engine import Environment
@@ -39,7 +40,7 @@ def _carstamp_from_wire(data) -> Carstamp:
     return Carstamp(number=data[0], rmw_count=data[1], writer=data[2])
 
 
-class GryffClient(Node):
+class GryffClient(SessionRecorder, Node):
     """A client process issuing reads, writes, and rmws to the replicas."""
 
     def __init__(self, env: Environment, network: Network, config: GryffConfig,
@@ -49,9 +50,7 @@ class GryffClient(Node):
                  record_history: bool = True):
         super().__init__(env, network, name, site)
         self.config = config
-        self.history = history if history is not None else History()
-        self.recorder = recorder if recorder is not None else LatencyRecorder()
-        self.record_history = record_history
+        self._init_recording(history, recorder, record_history)
         #: The pending dependency d (Algorithm 3, line 2); None when clear.
         self.dependency: Optional[Dict[str, Any]] = None
         self.reads_fast = 0
@@ -66,18 +65,6 @@ class GryffClient(Node):
     def _take_dependency(self) -> Optional[Dict[str, Any]]:
         """The dependency to piggyback on the next operation's read phase."""
         return self.dependency
-
-    def _record(self, op: Operation, category: str, invoked_at: float) -> None:
-        self.recorder.record(category, invoked_at, self.env.now)
-        if self.record_history:
-            self.history.add(op)
-
-    def _note_invocation(self, invoked_at: float) -> None:
-        """Announce the invocation to the history (streaming checkers and
-        trace recorders cut epochs at quiescent frontiers, which are only
-        observable if invocations are announced before their responses)."""
-        if self.record_history:
-            self.history.note_invocation(self.name, invoked_at)
 
     # ------------------------------------------------------------------ #
     # Reads

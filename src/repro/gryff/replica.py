@@ -17,6 +17,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.rmw import apply_rmw
 from repro.gryff.carstamp import Carstamp
 from repro.gryff.config import GryffConfig
 from repro.sim.engine import Environment
@@ -174,9 +175,7 @@ class GryffReplica(Node):
 
     @staticmethod
     def _apply_rmw_function(payload, old_value):
-        mode = payload.get("mode", "set")
-        if mode == "increment":
-            return (old_value or 0) + payload.get("amount", 1)
-        if mode == "append":
-            return ((old_value or "") + str(payload.get("suffix", "")))
-        return payload.get("new_value")
+        # Non-strict: a malformed wire request degrades to "set" instead of
+        # crashing the server; the client-facing surfaces validate modes.
+        return apply_rmw(payload.get("mode", "set"), old_value, payload,
+                         strict=False)

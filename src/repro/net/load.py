@@ -1,30 +1,39 @@
 """Live load generation.
 
-``repro load`` builds protocol clients against a running cluster, drives
-them with the *same* workload generators and closed-loop driver the
-simulated experiments use (:mod:`repro.workloads`), records latencies with
-:class:`~repro.sim.stats.LatencyRecorder`, and streams the invocation/
-response history to a JSONL trace for ``repro live-check``.
+``repro load`` opens a :class:`repro.api.LiveStore` against a running
+cluster, drives unified :class:`repro.api.Session` objects with the *same*
+workload generators, executors, and closed-loop driver the simulated
+experiments use (:mod:`repro.workloads`, :mod:`repro.api.executors`),
+records latencies with :class:`~repro.sim.stats.LatencyRecorder`, and
+streams the invocation/response history to a JSONL trace for ``repro
+live-check``.
 
 Workloads:
 
-* ``ycsb`` — single-key reads/writes (:class:`~repro.workloads.ycsb.YcsbWorkload`).
-  Against Gryff these map to register reads/writes; against Spanner they
-  become single-key read-only / read-write transactions.
+* ``ycsb`` — single-key reads/writes (:class:`~repro.workloads.ycsb.YcsbWorkload`);
+  the unified executor maps them onto registers (Gryff) or degenerate
+  transactions (Spanner).
 * ``retwis`` — the transactional Retwis mix over Zipfian keys
-  (:class:`~repro.workloads.retwis.RetwisWorkload`; Spanner only).
+  (:class:`~repro.workloads.retwis.RetwisWorkload`; requires a backend with
+  the ``multi_key_txn`` capability, i.e. Spanner).
+
+A ``--level`` declaration negotiates the consistency level at session-open
+time (:class:`~repro.api.errors.CapabilityError` when the cluster cannot
+honor it) and selects the checker model for ``--check-inline``.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional
+import warnings
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.net.cluster import LiveProcess
+from repro.api import make_retwis_executor, open_store, ycsb_executor
+from repro.api.levels import negotiate
+from repro.api.store import LiveStore
 from repro.net.recorder import RecordingHistory, TraceWriter
 from repro.net.spec import ClusterSpec
 from repro.core.history import History
-from repro.sim.clock import TrueTime
 from repro.sim.stats import LatencyRecorder
 from repro.workloads.clients import ClosedLoopDriver
 from repro.workloads.ycsb import OperationSpec, YcsbWorkload
@@ -33,7 +42,10 @@ __all__ = ["run_load", "load_main", "spanner_ycsb_executor"]
 
 
 def spanner_ycsb_executor(client, spec: OperationSpec):
-    """Map YCSB single-key operations onto the transactional interface."""
+    """Deprecated: the unified :func:`repro.api.ycsb_executor` maps YCSB
+    operations onto any backend session."""
+    warnings.warn("spanner_ycsb_executor is deprecated; use "
+                  "repro.api.ycsb_executor", DeprecationWarning, stacklevel=2)
     from repro.spanner.client import TransactionAborted
 
     try:
@@ -46,68 +58,48 @@ def spanner_ycsb_executor(client, spec: OperationSpec):
         pass  # retried out; the recorder already saw the latency of retries
 
 
-def _build_clients(process: LiveProcess, history: History,
-                   recorder: LatencyRecorder, num_clients: int,
-                   client_prefix: str) -> List[Any]:
-    spec = process.spec
-    sites = spec.sites()
-    clients: List[Any] = []
-    if spec.is_gryff:
-        from repro.gryff.client import GryffClient
-
-        config = spec.gryff_config()
-        for index in range(num_clients):
-            site = sites[index % len(sites)]
-            clients.append(GryffClient(
-                process.env, process.transport, config,
-                name=f"{client_prefix}{index + 1}@{site}", site=site,
-                history=history, recorder=recorder,
-            ))
-    else:
-        from repro.spanner.client import SpannerClient
-
-        config = spec.spanner_config()
-        truetime = TrueTime(process.env, epsilon=config.truetime_epsilon_ms)
-        for index in range(num_clients):
-            site = sites[index % len(sites)]
-            clients.append(SpannerClient(
-                process.env, process.transport, truetime, config,
-                name=f"{client_prefix}{index + 1}@{site}", site=site,
-                history=history, recorder=recorder,
-            ))
-    return clients
+def _build_sessions(store: LiveStore, num_clients: int, client_prefix: str,
+                    level: Optional[str]) -> List[Any]:
+    sites = store.spec.sites()
+    return [
+        store.session(
+            site=sites[index % len(sites)],
+            name=f"{client_prefix}{index + 1}@{sites[index % len(sites)]}",
+            level=level,
+        )
+        for index in range(num_clients)
+    ]
 
 
-def _build_workload_and_executor(spec: ClusterSpec, clients: List[Any],
-                                 workload: str, write_ratio: float,
-                                 conflict_rate: float, num_keys: int,
-                                 seed: int):
+def _build_pairs_and_executor(store: LiveStore, sessions: List[Any],
+                              workload: str, write_ratio: float,
+                              conflict_rate: float, num_keys: int,
+                              seed: int) -> Tuple[List[Tuple[Any, Any]], Any]:
     if workload == "ycsb":
-        workloads = [
-            YcsbWorkload(client_id=client.name, write_ratio=write_ratio,
-                         conflict_rate=conflict_rate, seed=seed * 1000 + index)
-            for index, client in enumerate(clients)
+        pairs = [
+            (session, YcsbWorkload(client_id=session.name,
+                                   write_ratio=write_ratio,
+                                   conflict_rate=conflict_rate,
+                                   seed=seed * 1000 + index))
+            for index, session in enumerate(sessions)
         ]
-        if spec.is_gryff:
-            from repro.bench.gryff_experiments import ycsb_executor
-
-            return workloads, ycsb_executor
-        return workloads, spanner_ycsb_executor
+        return pairs, ycsb_executor
     if workload == "retwis":
-        if not spec.is_spanner:
-            raise ValueError("the retwis workload is transactional (Spanner only)")
-        from repro.bench.spanner_experiments import make_retwis_executor
+        if not store.supports("multi_key_txn"):
+            raise ValueError("the retwis workload is transactional "
+                             "(requires the multi_key_txn capability; "
+                             "Spanner only)")
         from repro.workloads.retwis import RetwisWorkload
 
-        workload_by_client = {}
-        workloads = []
-        for index, client in enumerate(clients):
+        workload_by_session = {}
+        pairs = []
+        for index, session in enumerate(sessions):
             retwis = RetwisWorkload(num_keys=num_keys, zipf_skew=0.7,
                                     seed=seed * 1000 + index,
-                                    value_tag=f"{client.name}-")
-            workload_by_client[client.name] = retwis
-            workloads.append(retwis)
-        return workloads, make_retwis_executor(workload_by_client)
+                                    value_tag=f"{session.name}-")
+            workload_by_session[session.name] = retwis
+            pairs.append((session, retwis))
+        return pairs, make_retwis_executor(workload_by_session)
     raise ValueError(f"unknown workload {workload!r}")
 
 
@@ -123,6 +115,7 @@ async def run_load(spec: ClusterSpec, *,
                    trace_path: Optional[str] = None,
                    client_prefix: str = "client",
                    think_time_ms: float = 0.0,
+                   level: Optional[str] = None,
                    check_inline: bool = False,
                    check_min_epoch_ops: int = 64,
                    on_verdict=None,
@@ -136,13 +129,19 @@ async def run_load(spec: ClusterSpec, *,
     ``check_inline`` a streaming checker rides on the history's observer
     hook, validating each quiescent epoch as the load runs; its
     :class:`~repro.core.checkers.streaming.StreamReport` lands in
-    ``summary["check"]``.
+    ``summary["check"]``.  ``level`` declares the consistency level the
+    sessions are opened at (negotiated against the cluster's protocol;
+    default: the protocol's native level) and the model the inline checker
+    validates.
     """
-    process = LiveProcess(spec, host_nodes=())   # pure client process
+    # Negotiate before any side effects (e.g. opening the trace file), so a
+    # CapabilityError cannot leak an open writer.
+    declared = negotiate(spec.protocol, level)
     writer = None
     if trace_path:
         writer = TraceWriter(trace_path, meta={
             "protocol": spec.protocol,
+            "level": declared.value,
             "epoch": spec.epoch,
             "workload": workload,
             "write_ratio": write_ratio,
@@ -153,48 +152,37 @@ async def run_load(spec: ClusterSpec, *,
         history: History = RecordingHistory(writer)
     else:
         history = History()
+    store = open_store(spec, history=history, recorder=LatencyRecorder())
     checker = None
     if check_inline:
         from repro.net.check import streaming_checker_for
 
         checker = streaming_checker_for(spec.protocol,
+                                        model=declared.checker_model,
                                         min_epoch_ops=check_min_epoch_ops,
                                         on_verdict=on_verdict)
         history.attach_observer(checker)
-    recorder = LatencyRecorder()
+    recorder = store.recorder
     try:
-        clients = _build_clients(process, history, recorder, num_clients,
-                                 client_prefix)
-        workloads, executor = _build_workload_and_executor(
-            spec, clients, workload, write_ratio, conflict_rate, num_keys, seed)
+        sessions = _build_sessions(store, num_clients, client_prefix, level)
+        pairs, executor = _build_pairs_and_executor(
+            store, sessions, workload, write_ratio, conflict_rate, num_keys,
+            seed)
         driver = ClosedLoopDriver(
-            process.env, clients, workloads, executor,
+            store.env, pairs, executor,
             duration_ms=duration_ms, operations_per_client=ops_per_client,
             think_time_ms=think_time_ms,
         )
-        await process.start()    # no listeners; starts the pump
-        procs = driver.start()
-        clients_done = asyncio.ensure_future(asyncio.gather(
-            *(process.env.as_future(proc) for proc in procs)))
-        # Race the clients against the pump: if the pump dies, no event
-        # (including the drivers' deadline timeouts) ever fires again, so
-        # waiting on the clients alone would hang forever.
-        await asyncio.wait({clients_done, process.pump_task},
-                           return_when=asyncio.FIRST_COMPLETED)
-        if not clients_done.done():
-            clients_done.cancel()
-            exc = process.pump_task.exception()
-            if exc is not None:
-                raise exc
-            raise RuntimeError("event pump stopped before the load completed")
-        await clients_done
+        await store.start()    # no listeners; starts the pump
+        await store.drive(driver)
     finally:
-        await process.stop()
+        await store.stop()
         if writer is not None:
             writer.close()
 
     summary: Dict[str, Any] = {
         "protocol": spec.protocol,
+        "level": declared.value,
         "workload": workload,
         "clients": num_clients,
         "ops": recorder.count(),

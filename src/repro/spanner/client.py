@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.events import Operation
 from repro.core.history import History
+from repro.core.recording import SessionRecorder
 from repro.sim.clock import TrueTime
 from repro.sim.engine import Environment, Event
 from repro.sim.network import Message, Network
@@ -38,7 +39,7 @@ class _PendingRO:
     wakeup: Optional[Event] = None
 
 
-class SpannerClient(Node):
+class SpannerClient(SessionRecorder, Node):
     """A client (application server) session talking to the Spanner shards."""
 
     def __init__(self, env: Environment, network: Network, truetime: TrueTime,
@@ -49,9 +50,7 @@ class SpannerClient(Node):
         super().__init__(env, network, name, site)
         self.truetime = truetime
         self.config = config
-        self.history = history if history is not None else History()
-        self.recorder = recorder if recorder is not None else LatencyRecorder()
-        self.record_history = record_history
+        self._init_recording(history, recorder, record_history)
         #: Minimum read timestamp capturing this session's causal constraints.
         self.t_min = 0.0
         #: Session counter: load generators reuse a client node for many
@@ -98,18 +97,6 @@ class SpannerClient(Node):
         self.session += 1
         self.t_min = 0.0
 
-    def _note_invocation(self, invoked_at: float) -> None:
-        """Announce an invocation (one per transaction attempt) so streaming
-        consumers can detect quiescent frontiers — epoch cut points."""
-        if self.record_history:
-            self.history.note_invocation(self.history_process, invoked_at)
-
-    def _note_abandoned(self) -> None:
-        """Announce that the current attempt aborted and will never produce
-        a completion record (a retry announces a fresh invocation)."""
-        if self.record_history:
-            self.history.note_abandoned(self.history_process, self.env.now)
-
     # ------------------------------------------------------------------ #
     # Read-write transactions
     # ------------------------------------------------------------------ #
@@ -138,14 +125,12 @@ class SpannerClient(Node):
                 responded_at = self.env.now
                 self.t_min = max(self.t_min, commit_ts)
                 self.committed += 1
-                self.recorder.record("rw", invoked_at, responded_at)
-                if self.record_history:
-                    self.history.add(Operation.rw_txn(
-                        self.history_process, read_set=dict(read_values),
-                        write_set=dict(writes),
-                        invoked_at=invoked_at, responded_at=responded_at,
-                        commit_ts=commit_ts, txn_id=txn_id,
-                    ))
+                self._record(Operation.rw_txn(
+                    self.history_process, read_set=dict(read_values),
+                    write_set=dict(writes),
+                    invoked_at=invoked_at, responded_at=responded_at,
+                    commit_ts=commit_ts, txn_id=txn_id,
+                ), "rw", invoked_at, responded_at)
                 return read_values, writes, commit_ts
             self.aborted_attempts += 1
             self._note_abandoned()
@@ -246,15 +231,13 @@ class SpannerClient(Node):
     def _record_ro(self, invoked_at: float, values: Dict[str, Any],
                    snapshot_ts: float, raw_snapshot_ts: Optional[float] = None) -> None:
         responded_at = self.env.now
-        self.recorder.record("ro", invoked_at, responded_at)
-        if self.record_history:
-            self.history.add(Operation.ro_txn(
-                self.history_process, read_set=dict(values),
-                invoked_at=invoked_at, responded_at=responded_at,
-                snapshot_ts=snapshot_ts,
-                raw_snapshot_ts=(snapshot_ts if raw_snapshot_ts is None
-                                 else raw_snapshot_ts),
-            ))
+        self._record(Operation.ro_txn(
+            self.history_process, read_set=dict(values),
+            invoked_at=invoked_at, responded_at=responded_at,
+            snapshot_ts=snapshot_ts,
+            raw_snapshot_ts=(snapshot_ts if raw_snapshot_ts is None
+                             else raw_snapshot_ts),
+        ), "ro", invoked_at, responded_at)
 
     def _ro_spanner(self, keys: List[str]):
         """Spanner's strictly serializable read-only transaction."""
@@ -357,15 +340,13 @@ class SpannerClient(Node):
         # keys are cold.
         effective_ts = max(t_snap, t_min_at_start)
         responded_at = self.env.now
-        self.recorder.record("ro", invoked_at, responded_at)
-        if self.record_history:
-            self.history.add(Operation.ro_txn(
-                self.history_process, read_set=dict(values),
-                invoked_at=invoked_at, responded_at=responded_at,
-                snapshot_ts=effective_ts, raw_snapshot_ts=t_snap,
-                t_read=t_read, t_min=t_min_at_start,
-                skipped_prepared=len(prepared_writes),
-            ))
+        self._record(Operation.ro_txn(
+            self.history_process, read_set=dict(values),
+            invoked_at=invoked_at, responded_at=responded_at,
+            snapshot_ts=effective_ts, raw_snapshot_ts=t_snap,
+            t_read=t_read, t_min=t_min_at_start,
+            skipped_prepared=len(prepared_writes),
+        ), "ro", invoked_at, responded_at)
         return values
 
     def _next_slow_reply(self, pending: _PendingRO):

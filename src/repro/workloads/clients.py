@@ -2,7 +2,7 @@
 
 Two drivers are provided:
 
-* :class:`ClosedLoopDriver` — a fixed set of clients, each issuing its next
+* :class:`ClosedLoopDriver` — a fixed set of sessions, each issuing its next
   operation as soon as the previous one completes (optionally with think
   time).  Used for the Gryff evaluation and the high-load experiments.
 * :class:`PartlyOpenDriver` — the partly-open model of §6.1 [80]: sessions
@@ -11,37 +11,94 @@ Two drivers are provided:
   ends.  Each session starts with a fresh causal context (a separate
   ``t_min``).
 
-Both drivers are protocol-agnostic: they are parameterized by an *executor*
-callable, ``executor(client, spec)``, returning a generator that performs one
-workload item against the given client.
+Both drivers are protocol-agnostic: they take a sequence of
+``(session, workload)`` pairs — typically :class:`repro.api.Session`
+objects paired with their workload generators — and an *executor* callable,
+``executor(session, spec)``, returning a generator that performs one
+workload item against the given session (:mod:`repro.api.executors` has the
+standard ones).
+
+The old calling convention (parallel ``clients``/``workloads`` lists with
+implicit index pairing) is still accepted with a :class:`DeprecationWarning`;
+pass explicit pairs instead.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 __all__ = ["ClosedLoopDriver", "PartlyOpenDriver"]
 
+Pair = Tuple[Any, Any]
+
+
+def _resolve_pairs(sessions: Sequence[Any], workloads: Optional[Sequence[Any]],
+                   executor: Optional[Callable[[Any, Any], Any]],
+                   ) -> Tuple[List[Pair], Callable[[Any, Any], Any]]:
+    """Validate the driver's session/workload input.
+
+    New style: ``(pairs, executor)`` where every item of ``pairs`` is a
+    ``(session, workload)`` 2-tuple.  Legacy style: ``(clients, workloads,
+    executor)`` parallel lists (deprecated; lengths are validated instead of
+    silently zip-truncated).
+    """
+    if workloads is None or callable(workloads):
+        if callable(workloads) and executor is not None:
+            raise TypeError("pass either (pairs, executor) or legacy "
+                            "(clients, workloads, executor), not both")
+        resolved_executor = workloads if callable(workloads) else executor
+        if resolved_executor is None:
+            raise TypeError("an executor callable is required")
+        pairs: List[Pair] = []
+        for index, item in enumerate(sessions):
+            try:
+                session, workload = item
+            except (TypeError, ValueError):
+                raise TypeError(
+                    f"item {index} is not a (session, workload) pair: "
+                    f"{item!r}; drivers take explicit pairs "
+                    f"(zip your sessions and workload generators)") from None
+            pairs.append((session, workload))
+        return pairs, resolved_executor
+
+    warnings.warn(
+        "passing parallel clients/workloads lists is deprecated; pass "
+        "explicit (session, workload) pairs", DeprecationWarning,
+        stacklevel=3)
+    if executor is None:
+        raise TypeError("an executor callable is required")
+    sessions = list(sessions)
+    workloads = list(workloads)
+    if len(sessions) != len(workloads):
+        raise ValueError(
+            f"one workload generator per session is required "
+            f"(got {len(sessions)} sessions, {len(workloads)} workloads)")
+    return list(zip(sessions, workloads)), executor
+
+
+def _next_item(workload):
+    if hasattr(workload, "next_transaction"):
+        return workload.next_transaction()
+    return workload.next_operation()
+
 
 class ClosedLoopDriver:
-    """Runs ``count``-or-``duration``-bounded closed loops on a set of clients."""
+    """Runs ``count``-or-``duration``-bounded closed loops on a set of sessions."""
 
-    def __init__(self, env, clients: List[Any], workloads: List[Any],
-                 executor: Callable[[Any, Any], Any],
+    def __init__(self, env, sessions: Sequence[Any],
+                 workloads: Optional[Sequence[Any]] = None,
+                 executor: Optional[Callable[[Any, Any], Any]] = None,
                  duration_ms: Optional[float] = None,
                  operations_per_client: Optional[int] = None,
                  think_time_ms: float = 0.0,
                  warmup_ms: float = 0.0):
         if duration_ms is None and operations_per_client is None:
             raise ValueError("specify duration_ms or operations_per_client")
-        if len(clients) != len(workloads):
-            raise ValueError("one workload generator per client is required")
         self.env = env
-        self.clients = clients
-        self.workloads = workloads
-        self.executor = executor
+        self.pairs, self.executor = _resolve_pairs(sessions, workloads, executor)
         self.duration_ms = duration_ms
         self.operations_per_client = operations_per_client
         self.think_time_ms = think_time_ms
@@ -49,13 +106,13 @@ class ClosedLoopDriver:
         self.completed = 0
 
     def start(self) -> List[Any]:
-        """Spawn one loop process per client; returns the processes."""
+        """Spawn one loop process per session; returns the processes."""
         return [
-            self.env.process(self._loop(client, workload))
-            for client, workload in zip(self.clients, self.workloads)
+            self.env.process(self._loop(session, workload))
+            for session, workload in self.pairs
         ]
 
-    def _loop(self, client, workload):
+    def _loop(self, session, workload):
         deadline = None
         if self.duration_ms is not None:
             deadline = self.env.now + self.warmup_ms + self.duration_ms
@@ -66,9 +123,8 @@ class ClosedLoopDriver:
             if (self.operations_per_client is not None
                     and issued >= self.operations_per_client):
                 return
-            spec = workload.next_transaction() if hasattr(workload, "next_transaction") \
-                else workload.next_operation()
-            yield from self.executor(client, spec)
+            spec = _next_item(workload)
+            yield from self.executor(session, spec)
             issued += 1
             self.completed += 1
             if self.think_time_ms > 0:
@@ -86,29 +142,30 @@ class SessionStats:
 class PartlyOpenDriver:
     """The partly-open client model of §6.1.
 
-    Each of the given clients runs an independent arrival process: sessions
-    arrive with exponential inter-arrival times of rate ``arrival_rate_per_client``
-    (per millisecond); a session issues transactions back to back, continuing
-    with probability ``continue_probability`` after each one and waiting
-    ``think_time_ms`` in between.  ``reset_session`` is called at the start of
-    every session (the Spanner executor uses it to reset the client's
-    ``t_min``, giving each session its own causal context).
+    Each of the given sessions runs an independent arrival process: end-user
+    sessions arrive with exponential inter-arrival times of rate
+    ``arrival_rate_per_client`` (per millisecond); a session issues
+    transactions back to back, continuing with probability
+    ``continue_probability`` after each one and waiting ``think_time_ms`` in
+    between.  ``reset_session`` is called at the start of every session
+    (:func:`repro.api.executors.reset_session` gives each end-user session
+    its own causal context — a fresh ``t_min`` on Spanner).
     """
 
-    def __init__(self, env, clients: List[Any], workloads: List[Any],
-                 executor: Callable[[Any, Any], Any],
-                 arrival_rate_per_client: float,
-                 duration_ms: float,
+    def __init__(self, env, sessions: Sequence[Any],
+                 workloads: Optional[Sequence[Any]] = None,
+                 executor: Optional[Callable[[Any, Any], Any]] = None,
+                 arrival_rate_per_client: Optional[float] = None,
+                 duration_ms: Optional[float] = None,
                  continue_probability: float = 0.9,
                  think_time_ms: float = 0.0,
                  reset_session: Optional[Callable[[Any], None]] = None,
                  seed: int = 0):
-        if len(clients) != len(workloads):
-            raise ValueError("one workload generator per client is required")
+        if arrival_rate_per_client is None or duration_ms is None:
+            raise TypeError(
+                "arrival_rate_per_client and duration_ms are required")
         self.env = env
-        self.clients = clients
-        self.workloads = workloads
-        self.executor = executor
+        self.pairs, self.executor = _resolve_pairs(sessions, workloads, executor)
         self.arrival_rate = arrival_rate_per_client
         self.duration_ms = duration_ms
         self.continue_probability = continue_probability
@@ -119,27 +176,26 @@ class PartlyOpenDriver:
 
     def start(self) -> List[Any]:
         return [
-            self.env.process(self._arrival_loop(client, workload))
-            for client, workload in zip(self.clients, self.workloads)
+            self.env.process(self._arrival_loop(session, workload))
+            for session, workload in self.pairs
         ]
 
-    def _arrival_loop(self, client, workload):
+    def _arrival_loop(self, session, workload):
         deadline = self.env.now + self.duration_ms
         while self.env.now < deadline:
             inter_arrival = self.rng.expovariate(self.arrival_rate)
             yield self.env.timeout(inter_arrival)
             if self.env.now >= deadline:
                 return
-            yield from self._session(client, workload, deadline)
+            yield from self._session(session, workload, deadline)
 
-    def _session(self, client, workload, deadline):
+    def _session(self, session, workload, deadline):
         self.stats.sessions += 1
         if self.reset_session is not None:
-            self.reset_session(client)
+            self.reset_session(session)
         while True:
-            spec = workload.next_transaction() if hasattr(workload, "next_transaction") \
-                else workload.next_operation()
-            yield from self.executor(client, spec)
+            spec = _next_item(workload)
+            yield from self.executor(session, spec)
             self.stats.transactions += 1
             if self.env.now >= deadline:
                 return

@@ -1,0 +1,458 @@
+"""Unit tests for the unified client API (:mod:`repro.api`).
+
+Covers the consistency-level matrix and capability negotiation, backend
+spec parsing, the session operation surface on both sim backends, session
+context tokens, and the hoisted :class:`SessionRecorder` bookkeeping.
+"""
+
+import pytest
+
+from repro.api import (
+    CapabilityError,
+    ConsistencyLevel,
+    GryffSession,
+    InvalidSessionToken,
+    SessionRecorder,
+    SpannerSession,
+    Store,
+    UnknownBackendError,
+    UnsupportedOperationError,
+    native_level,
+    open_store,
+    supported_levels,
+)
+from repro.api.session import decode_token, encode_token
+from repro.gryff.config import GryffConfig, GryffVariant
+from repro.spanner.config import SpannerConfig, Variant
+
+
+# --------------------------------------------------------------------- #
+# Levels and negotiation
+# --------------------------------------------------------------------- #
+class TestLevels:
+    def test_parse_accepts_values_names_and_checker_models(self):
+        assert ConsistencyLevel.parse("rsc") is ConsistencyLevel.RSC
+        assert ConsistencyLevel.parse("LIN") is ConsistencyLevel.LIN
+        assert ConsistencyLevel.parse("linearizability") is ConsistencyLevel.LIN
+        assert (ConsistencyLevel.parse("strict_serializability")
+                is ConsistencyLevel.STRICT_SER)
+        assert ConsistencyLevel.parse("strict-ser") is ConsistencyLevel.STRICT_SER
+        assert (ConsistencyLevel.parse(ConsistencyLevel.RSS)
+                is ConsistencyLevel.RSS)
+        with pytest.raises(ValueError, match="unknown consistency level"):
+            ConsistencyLevel.parse("serializable-snapshot")
+
+    def test_checker_models(self):
+        assert ConsistencyLevel.RSC.checker_model == "rsc"
+        assert ConsistencyLevel.RSS.checker_model == "rss"
+        assert ConsistencyLevel.LIN.checker_model == "linearizability"
+        assert (ConsistencyLevel.STRICT_SER.checker_model
+                == "strict_serializability")
+
+    def test_native_levels(self):
+        assert native_level("gryff") is ConsistencyLevel.LIN
+        assert native_level("gryff-rsc") is ConsistencyLevel.RSC
+        assert native_level("spanner") is ConsistencyLevel.STRICT_SER
+        assert native_level("spanner-rss") is ConsistencyLevel.RSS
+
+    def test_stronger_systems_honor_weaker_levels_of_same_model(self):
+        assert supported_levels("gryff") == {ConsistencyLevel.LIN,
+                                             ConsistencyLevel.RSC}
+        assert supported_levels("spanner") == {ConsistencyLevel.STRICT_SER,
+                                               ConsistencyLevel.RSS}
+        assert supported_levels("gryff-rsc") == {ConsistencyLevel.RSC}
+        assert supported_levels("spanner-rss") == {ConsistencyLevel.RSS}
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            supported_levels("zab")
+        with pytest.raises(ValueError, match="unknown protocol"):
+            native_level("zab")
+
+
+#: Every (backend, level) pair and whether negotiation must accept it.
+NEGOTIATION_MATRIX = [
+    ("gryff", "lin", True),
+    ("gryff", "rsc", True),
+    ("gryff", "rss", False),
+    ("gryff", "strict_ser", False),
+    ("gryff-rsc", "rsc", True),
+    ("gryff-rsc", "lin", False),
+    ("gryff-rsc", "rss", False),
+    ("spanner", "strict_ser", True),
+    ("spanner", "rss", True),
+    ("spanner", "lin", False),
+    ("spanner", "rsc", False),
+    ("spanner-rss", "rss", True),
+    ("spanner-rss", "strict_ser", False),
+    ("spanner-rss", "rsc", False),
+]
+
+
+def _store_for(protocol: str) -> Store:
+    if protocol.startswith("gryff"):
+        variant = (GryffVariant.GRYFF if protocol == "gryff"
+                   else GryffVariant.GRYFF_RSC)
+        return open_store("sim-gryff", config=GryffConfig(variant=variant))
+    variant = Variant.SPANNER if protocol == "spanner" else Variant.SPANNER_RSS
+    return open_store("sim-spanner", config=SpannerConfig(variant=variant))
+
+
+class TestNegotiation:
+    @pytest.mark.parametrize("protocol,level,accepted", NEGOTIATION_MATRIX)
+    def test_matrix(self, protocol, level, accepted):
+        store = _store_for(protocol)
+        assert store.protocol == protocol
+        if accepted:
+            session = store.session(level=level)
+            assert session.level is ConsistencyLevel.parse(level)
+        else:
+            with pytest.raises(CapabilityError, match="cannot honor"):
+                store.session(level=level)
+
+    def test_default_level_is_native(self):
+        for protocol in ("gryff", "gryff-rsc", "spanner", "spanner-rss"):
+            store = _store_for(protocol)
+            assert store.session().level is native_level(protocol)
+
+
+# --------------------------------------------------------------------- #
+# open_store spec parsing
+# --------------------------------------------------------------------- #
+class TestOpenStore:
+    def test_sim_specs_default_to_the_headline_variants(self):
+        assert open_store("sim-gryff").protocol == "gryff-rsc"
+        assert open_store("sim-spanner").protocol == "spanner-rss"
+
+    def test_config_selects_the_variant(self):
+        store = open_store("sim-gryff",
+                           config=GryffConfig(variant=GryffVariant.GRYFF))
+        assert store.protocol == "gryff"
+        assert store.native_level is ConsistencyLevel.LIN
+
+    def test_wraps_existing_clusters_and_stores(self):
+        from repro.spanner.cluster import SpannerCluster
+
+        cluster = SpannerCluster()
+        store = open_store(cluster)
+        assert store.cluster is cluster
+        assert open_store(store) is store
+
+    def test_live_spec_string(self, tmp_path):
+        from repro.net.spec import ClusterSpec
+
+        path = str(tmp_path / "cluster.json")
+        ClusterSpec.gryff(num_replicas=3, base_port=0).save(path)
+        store = open_store(f"live:{path}")
+        assert store.protocol == "gryff-rsc"
+        assert store.supported_levels == {ConsistencyLevel.RSC}
+        with pytest.raises(CapabilityError):
+            store.session(level="strict_ser")
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(UnknownBackendError):
+            open_store("sim-zab")
+        with pytest.raises(UnknownBackendError):
+            open_store(42)
+
+    def test_sim_stores_own_their_capture_objects(self):
+        from repro.core.history import History
+
+        with pytest.raises(ValueError, match="own their history"):
+            open_store("sim-gryff", history=History())
+
+    def test_ignored_kwargs_on_built_backends_are_rejected(self):
+        from repro.core.history import History
+        from repro.gryff.cluster import GryffCluster
+
+        cluster = GryffCluster()
+        with pytest.raises(ValueError, match="history.*GryffCluster"):
+            open_store(cluster, history=History())
+        store = open_store(cluster)
+        with pytest.raises(ValueError, match="config"):
+            open_store(store, config=GryffConfig())
+
+
+# --------------------------------------------------------------------- #
+# Session surface
+# --------------------------------------------------------------------- #
+class TestGryffSessionSurface:
+    def test_txn_honors_only_single_blind_writes(self):
+        store = open_store("sim-gryff")
+        session = store.session("CA", name="w")
+        results = []
+
+        def workload():
+            reads, writes, carstamp = yield from session.txn(
+                [], lambda _reads: {"k": "v"})
+            results.append((reads, writes, carstamp))
+            value = yield from session.read("k")
+            results.append(value)
+
+        store.spawn(workload())
+        store.run()
+        (reads, writes, carstamp), value = results
+        assert reads == {} and writes == {"k": "v"} and value == "v"
+        assert carstamp.writer == "w"
+
+    def test_txn_rejects_read_sets_and_multi_key_writes(self):
+        session = open_store("sim-gryff").session("CA")
+        with pytest.raises(UnsupportedOperationError, match="read sets"):
+            session.txn(["a"], lambda reads: {"a": 1})
+        with pytest.raises(UnsupportedOperationError, match="multi-key txn"):
+            session.txn([], lambda reads: {"a": 1, "b": 2})
+
+    def test_read_only_is_single_key(self):
+        store = open_store("sim-gryff")
+        session = store.session("CA")
+        with pytest.raises(UnsupportedOperationError, match="multi-key read_only"):
+            session.read_only(["a", "b"])
+        results = []
+
+        def workload():
+            yield from session.write("a", 7)
+            values = yield from session.read_only(["a"])
+            results.append(values)
+
+        store.spawn(workload())
+        store.run()
+        assert results == [{"a": 7}]
+
+    def test_capability_introspection(self):
+        store = open_store("sim-gryff")
+        assert store.supports("rmw")
+        assert not store.supports("multi_key_txn")
+        session = store.session("CA")
+        assert session.supports("fence")
+        assert not session.supports("multi_key_read_only")
+
+
+class TestSpannerSessionSurface:
+    @pytest.mark.parametrize("mode,params,initial,expected", [
+        ("increment", {"amount": 4}, None, 4),
+        ("increment", {}, None, 1),
+        ("append", {"suffix": "-x"}, None, "-x"),
+        ("set", {"new_value": "v2"}, None, "v2"),
+    ])
+    def test_rmw_modes_match_gryff_semantics(self, mode, params, initial,
+                                             expected):
+        store = open_store("sim-spanner")
+        session = store.session("CA")
+        results = []
+
+        def workload():
+            old, new = yield from session.rmw("k", mode=mode, **params)
+            results.append((old, new))
+
+        store.spawn(workload())
+        store.run()
+        assert results == [(initial, expected)]
+
+    def test_unknown_rmw_mode_rejected_on_both_backends(self):
+        with pytest.raises(ValueError, match="unknown rmw mode"):
+            open_store("sim-spanner").session("CA").rmw("k", mode="xor")
+        with pytest.raises(ValueError, match="unknown rmw mode"):
+            open_store("sim-gryff").session("CA").rmw("k", mode="xor")
+
+    def test_rmw_semantics_are_shared_with_the_gryff_replica(self):
+        """One table (core/rmw.py) backs both the replica and the Spanner
+        adapter, so cross-backend equivalence is structural."""
+        from repro.core.rmw import apply_rmw
+        from repro.gryff.replica import GryffReplica
+
+        for payload, old in [({"mode": "increment", "amount": 7}, 3),
+                             ({"mode": "append", "suffix": "-x"}, "a"),
+                             ({"mode": "set", "new_value": 9}, 1),
+                             ({"new_value": 5}, 0)]:       # mode defaults to set
+            assert (GryffReplica._apply_rmw_function(payload, old)
+                    == apply_rmw(payload.get("mode", "set"), old, payload,
+                                 strict=False))
+
+    def test_single_key_read_write_surface(self):
+        store = open_store("sim-spanner")
+        session = store.session("CA")
+        results = []
+
+        def workload():
+            commit_ts = yield from session.write("k", "v")
+            value = yield from session.read("k")
+            results.append((commit_ts, value))
+
+        store.spawn(workload())
+        store.run()
+        (commit_ts, value), = results
+        assert value == "v" and commit_ts > 0
+
+
+# --------------------------------------------------------------------- #
+# Session-context tokens
+# --------------------------------------------------------------------- #
+class TestSessionTokens:
+    def test_spanner_token_round_trip_carries_t_min(self):
+        store = open_store("sim-spanner")
+        alice = store.session("CA", name="alice")
+        bob = store.session("VA", name="bob")
+
+        def workload():
+            yield from alice.write("k", "v")
+
+        store.spawn(workload())
+        store.run()
+        assert alice.t_min > 0
+        assert bob.t_min == 0
+        bob.resume(alice.session_token())
+        assert bob.t_min == alice.t_min
+        # Resuming an older context never regresses the session.
+        stale = encode_token("spanner", alice.t_min / 2.0)
+        bob.resume(stale)
+        assert bob.t_min == alice.t_min
+
+    def test_gryff_token_round_trip_carries_dependency(self):
+        store = open_store("sim-gryff")
+        a = store.session("CA", name="a")
+        b = store.session("VA", name="b")
+        dependency = {"key": "k", "value": "v", "carstamp": (3, 0, "a")}
+        a.client.dependency = dict(dependency)
+        token = a.session_token()
+        b.resume(token)
+        assert b.dependency == dependency
+        # An older dependency loses against a newer one already present.
+        b.client.dependency = {"key": "k", "value": "v2",
+                               "carstamp": (5, 0, "b")}
+        b.resume(token)
+        assert b.dependency["carstamp"] == (5, 0, "b")
+
+    def test_gryff_cross_key_resume_never_drops_a_constraint(self):
+        from repro.api import UnsupportedOperationError
+
+        store = open_store("sim-gryff")
+        a = store.session("CA", name="a")
+        b = store.session("VA", name="b")
+        a.client.dependency = {"key": "y", "value": "vy",
+                               "carstamp": (2, 0, "a")}
+        token = a.session_token()
+        # No pending dependency: the foreign-key context is adopted.
+        b.resume(token)
+        assert b.dependency["key"] == "y"
+        # A pending dependency on a *different* key cannot be silently
+        # replaced (carstamps only order one key) — explicit refusal.
+        b.client.dependency = {"key": "x", "value": "vx",
+                               "carstamp": (7, 0, "b")}
+        with pytest.raises(UnsupportedOperationError, match="fence"):
+            b.resume(token)
+        assert b.dependency["key"] == "x"   # untouched
+
+    def test_empty_gryff_context_is_a_no_op(self):
+        store = open_store("sim-gryff")
+        a = store.session("CA")
+        b = store.session("VA")
+        b.resume(a.session_token())
+        assert b.dependency is None
+
+    def test_cross_backend_tokens_rejected(self):
+        gryff = open_store("sim-gryff").session("CA")
+        spanner = open_store("sim-spanner").session("CA")
+        with pytest.raises(InvalidSessionToken, match="cannot resume"):
+            spanner.resume(gryff.session_token())
+        with pytest.raises(InvalidSessionToken, match="cannot resume"):
+            gryff.resume(spanner.session_token())
+
+    def test_malformed_tokens_rejected(self):
+        session = open_store("sim-gryff").session("CA")
+        with pytest.raises(InvalidSessionToken):
+            session.resume("not-json{")
+        with pytest.raises(InvalidSessionToken):
+            session.resume('{"schema": "other/9", "backend": "gryff"}')
+        with pytest.raises(InvalidSessionToken):
+            decode_token('["a-list"]', "gryff")
+
+    def test_schema_valid_tokens_with_malformed_context_rejected(self):
+        gryff = open_store("sim-gryff").session("CA")
+        spanner = open_store("sim-spanner").session("CA")
+        with pytest.raises(InvalidSessionToken, match="malformed session"):
+            spanner.resume(encode_token("spanner", "not-a-timestamp"))
+        with pytest.raises(InvalidSessionToken, match="malformed session"):
+            spanner.resume(encode_token("spanner", None))
+        with pytest.raises(InvalidSessionToken, match="malformed session"):
+            gryff.resume(encode_token("gryff", {"value": "v"}))   # no key/carstamp
+        with pytest.raises(InvalidSessionToken, match="malformed session"):
+            gryff.resume(encode_token("gryff", {"key": "k", "value": "v",
+                                                "carstamp": [1]}))
+
+
+# --------------------------------------------------------------------- #
+# SessionRecorder (the hoisted bookkeeping)
+# --------------------------------------------------------------------- #
+class _FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+
+
+class _Observer:
+    def __init__(self):
+        self.invocations = []
+        self.abandoned = []
+
+    def on_invocation(self, process, invoked_at):
+        self.invocations.append((process, invoked_at))
+
+    def on_abandoned(self, process, at_time):
+        self.abandoned.append((process, at_time))
+
+
+class _Host(SessionRecorder):
+    def __init__(self, history=None, recorder=None, record_history=True):
+        self.env = _FakeEnv()
+        self.name = "host"
+        self._init_recording(history, recorder, record_history)
+
+
+class TestSessionRecorder:
+    def test_creates_fresh_history_and_recorder(self):
+        host = _Host()
+        assert len(host.history) == 0
+        assert host.recorder.count() == 0
+
+    def test_record_appends_and_samples(self):
+        from repro.core.events import Operation
+
+        host = _Host()
+        host.env.now = 12.0
+        op = Operation.write("host", "k", "v", invoked_at=2.0,
+                             responded_at=12.0)
+        host._record(op, "write", 2.0)
+        assert host.history.operations() == [op]
+        assert host.recorder.samples("write") == [10.0]
+
+    def test_record_history_false_still_samples_latency(self):
+        from repro.core.events import Operation
+
+        host = _Host(record_history=False)
+        host.env.now = 5.0
+        host._record(Operation.write("host", "k", "v", invoked_at=1.0,
+                                     responded_at=5.0), "write", 1.0)
+        assert len(host.history) == 0
+        assert host.recorder.count("write") == 1
+
+    def test_invocations_and_abandons_reach_observers(self):
+        host = _Host()
+        observer = _Observer()
+        host.history.attach_observer(observer)
+        host._note_invocation(3.0)
+        host.env.now = 7.0
+        host._note_abandoned()
+        assert observer.invocations == [("host", 3.0)]
+        assert observer.abandoned == [("host", 7.0)]
+
+    def test_shared_across_protocol_clients(self):
+        """Both protocol clients (and the messaging client) inherit the
+        one mixin — the satellite's 'delete both private copies'."""
+        from repro.apps.messaging import MessageQueueClient
+        from repro.gryff.client import GryffClient
+        from repro.spanner.client import SpannerClient
+
+        for cls in (GryffClient, SpannerClient, MessageQueueClient):
+            assert issubclass(cls, SessionRecorder)
+            assert "_note_invocation" not in cls.__dict__
+            assert "_record" not in cls.__dict__
+            assert "_note_abandoned" not in cls.__dict__

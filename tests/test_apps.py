@@ -76,9 +76,11 @@ def test_table1_a3_is_only_temporarily_possible_under_rss():
 # Runnable application
 # --------------------------------------------------------------------- #
 def build_app(variant=Variant.SPANNER_RSS):
-    cluster = SpannerCluster(SpannerConfig(variant=variant))
-    app = PhotoSharingApp(cluster)
-    return cluster, app
+    from repro.api import open_store
+
+    store = open_store(SpannerCluster(SpannerConfig(variant=variant)))
+    app = PhotoSharingApp(store)
+    return store.cluster, app
 
 
 def test_photo_sharing_end_to_end_invariants():
@@ -168,3 +170,17 @@ def test_photo_sharing_view_album_empty():
     cluster.spawn(workload())
     cluster.run()
     assert views == [{}]
+
+
+def test_photo_sharing_accepts_raw_cluster_with_deprecation():
+    cluster = SpannerCluster(SpannerConfig(variant=Variant.SPANNER_RSS))
+    with pytest.warns(DeprecationWarning, match="open_store"):
+        app = PhotoSharingApp(cluster)
+    assert app.store.cluster is cluster
+
+
+def test_photo_sharing_rejects_unsuitable_stores():
+    from repro.api import UnsupportedOperationError, open_store
+
+    with pytest.raises(UnsupportedOperationError, match="multi_key_txn"):
+        PhotoSharingApp(open_store("sim-gryff"))

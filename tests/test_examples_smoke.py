@@ -1,0 +1,51 @@
+"""Examples smoke: every script in ``examples/`` runs headless.
+
+Each example is executed in a subprocess with ``-W error::DeprecationWarning``
+so a traceback *or* a deprecation warning triggered from repository code
+fails the test — the examples are the public face of the API and must stay
+on the current (non-deprecated) surface.  The CI ``examples-smoke`` job runs
+the same matrix.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+#: script name → argv (short durations keep the sims quick; scripts without
+#: knobs run their defaults).
+EXAMPLE_ARGS = {
+    "quickstart.py": [],
+    "consistency_models.py": [],
+    "composition_librss.py": [],
+    "photo_sharing_app.py": [],
+    "gryff_read_latency.py": ["0.10", "400"],
+    "spanner_tail_latency.py": ["0.7", "400"],
+}
+
+
+def test_every_example_is_covered():
+    """A new example script must be added to the smoke matrix."""
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXAMPLE_ARGS)
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLE_ARGS))
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    result = subprocess.run(
+        [sys.executable, "-W", "error::DeprecationWarning",
+         str(EXAMPLES / script), *EXAMPLE_ARGS[script]],
+        capture_output=True, text=True, timeout=600, env=env,
+        cwd=str(REPO))
+    assert result.returncode == 0, (
+        f"{script} failed (exit {result.returncode})\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}")
+    assert "Traceback" not in result.stderr

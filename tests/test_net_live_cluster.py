@@ -323,3 +323,31 @@ class TestServeAndCli:
         assert default_model_for("gryff-rsc") == "rsc"
         assert default_model_for("spanner") == "strict_serializability"
         assert default_model_for("spanner-rss") == "rss"
+
+
+def test_live_check_honors_the_declared_level_in_the_trace_meta(tmp_path):
+    """A trace captured with `repro load --level rsc` against a LIN-native
+    gryff cluster must be validated offline against rsc (the level the run
+    declared and inline-checked), not the protocol's stricter default."""
+    import json as _json
+
+    from repro.core.events import Operation
+    from repro.core.history import History
+
+    history = History()
+    history.add(Operation.write("p1", "x", "v1", invoked_at=0.0,
+                                responded_at=1.0, carstamp=(1, 0, "p1")))
+    trace = str(tmp_path / "declared.jsonl")
+    with open(trace, "w") as handle:
+        handle.write('{"type":"meta","protocol":"gryff","level":"rsc"}\n')
+        history.to_jsonl(handle)
+    verdict_path = str(tmp_path / "verdict.json")
+    assert cli_main(["live-check", trace, "--json", verdict_path]) == 0
+    with open(verdict_path) as handle:
+        verdict = _json.load(handle)
+    assert verdict["model"] == "rsc"          # declared level wins
+    # An explicit --model still overrides the recorded declaration.
+    assert cli_main(["live-check", trace, "--model", "linearizability",
+                     "--json", verdict_path]) == 0
+    with open(verdict_path) as handle:
+        assert _json.load(handle)["model"] == "linearizability"

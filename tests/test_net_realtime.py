@@ -182,13 +182,14 @@ def _workloads(clients):
 
 
 def _run_sim_gryff(ops_per_client=6, num_clients=2):
-    from repro.bench.gryff_experiments import ycsb_executor
+    from repro.api import ycsb_executor
 
     config = GryffConfig(variant=GryffVariant.GRYFF_RSC, sites=list(SITES))
     cluster = GryffCluster(config)
     clients = [cluster.new_client(SITES[i % len(SITES)])
                for i in range(num_clients)]
-    driver = ClosedLoopDriver(cluster.env, clients, _workloads(clients),
+    driver = ClosedLoopDriver(cluster.env,
+                              list(zip(clients, _workloads(clients))),
                               ycsb_executor,
                               operations_per_client=ops_per_client)
     driver.start()
@@ -197,7 +198,7 @@ def _run_sim_gryff(ops_per_client=6, num_clients=2):
 
 
 def _run_live_gryff(ops_per_client=6, num_clients=2):
-    from repro.bench.gryff_experiments import ycsb_executor
+    from repro.api import ycsb_executor
     from repro.gryff.client import GryffClient
     from repro.net.cluster import LiveProcess
     from repro.net.spec import ClusterSpec
@@ -217,7 +218,8 @@ def _run_live_gryff(ops_per_client=6, num_clients=2):
         shared = clients[0].history
         for client in clients[1:]:
             client.history = shared
-        driver = ClosedLoopDriver(client_proc.env, clients, _workloads(clients),
+        driver = ClosedLoopDriver(client_proc.env,
+                                  list(zip(clients, _workloads(clients))),
                                   ycsb_executor,
                                   operations_per_client=ops_per_client)
         await client_proc.start()

@@ -226,11 +226,14 @@ def make_executor(env, service_time=5.0):
     return executor
 
 
+def _pairs(clients):
+    return [(client, FakeWorkload()) for client in clients]
+
+
 def test_closed_loop_driver_operation_count():
     env = Environment()
     clients = [FakeClient("a"), FakeClient("b")]
-    workloads = [FakeWorkload(), FakeWorkload()]
-    driver = ClosedLoopDriver(env, clients, workloads, make_executor(env),
+    driver = ClosedLoopDriver(env, _pairs(clients), make_executor(env),
                               operations_per_client=10)
     driver.start()
     env.run()
@@ -241,8 +244,7 @@ def test_closed_loop_driver_operation_count():
 def test_closed_loop_driver_duration_bound():
     env = Environment()
     clients = [FakeClient("a")]
-    workloads = [FakeWorkload()]
-    driver = ClosedLoopDriver(env, clients, workloads, make_executor(env, 10.0),
+    driver = ClosedLoopDriver(env, _pairs(clients), make_executor(env, 10.0),
                               duration_ms=95.0)
     driver.start()
     env.run()
@@ -252,22 +254,58 @@ def test_closed_loop_driver_duration_bound():
 def test_closed_loop_driver_validation():
     env = Environment()
     with pytest.raises(ValueError):
-        ClosedLoopDriver(env, [FakeClient("a")], [FakeWorkload()], make_executor(env))
-    with pytest.raises(ValueError):
+        ClosedLoopDriver(env, _pairs([FakeClient("a")]), make_executor(env))
+    with pytest.raises(TypeError, match=r"\(session, workload\) pair"):
+        ClosedLoopDriver(env, [FakeClient("a")], make_executor(env),
+                         duration_ms=10)
+    with pytest.raises(TypeError, match="executor"):
+        ClosedLoopDriver(env, _pairs([FakeClient("a")]), duration_ms=10)
+
+
+def test_partly_open_driver_requires_rate_and_duration():
+    env = Environment()
+    with pytest.raises(TypeError, match="arrival_rate_per_client"):
+        PartlyOpenDriver(env, _pairs([FakeClient("a")]), make_executor(env),
+                         duration_ms=100.0)
+    with pytest.raises(TypeError, match="duration_ms"):
+        PartlyOpenDriver(env, _pairs([FakeClient("a")]), make_executor(env),
+                         arrival_rate_per_client=0.1)
+
+
+def test_drivers_accept_legacy_lists_with_deprecation():
+    env = Environment()
+    clients = [FakeClient("a"), FakeClient("b")]
+    workloads = [FakeWorkload(), FakeWorkload()]
+    with pytest.warns(DeprecationWarning, match="pairs"):
+        driver = ClosedLoopDriver(env, clients, workloads, make_executor(env),
+                                  operations_per_client=3)
+    driver.start()
+    env.run()
+    assert all(len(c.executed) == 3 for c in clients)
+
+
+def test_legacy_lists_length_mismatch_is_a_clear_error():
+    env = Environment()
+    with pytest.warns(DeprecationWarning), \
+            pytest.raises(ValueError, match="one workload generator per"):
         ClosedLoopDriver(env, [FakeClient("a")], [], make_executor(env),
                          duration_ms=10)
+    with pytest.warns(DeprecationWarning), \
+            pytest.raises(ValueError, match="2 sessions, 1 workloads"):
+        PartlyOpenDriver(env, [FakeClient("a"), FakeClient("b")],
+                         [FakeWorkload()], make_executor(env),
+                         arrival_rate_per_client=0.1, duration_ms=10)
 
 
 def test_partly_open_driver_sessions_and_resets():
     env = Environment()
     clients = [FakeClient("a"), FakeClient("b")]
-    workloads = [FakeWorkload(), FakeWorkload()]
 
     def reset(client):
         client.sessions_reset += 1
 
     driver = PartlyOpenDriver(
-        env, clients, workloads, make_executor(env, 2.0),
+        env, _pairs(clients), make_executor(env, 2.0),
         arrival_rate_per_client=0.01,   # one session every ~100 ms per client
         duration_ms=5_000.0,
         continue_probability=0.9,
@@ -287,9 +325,8 @@ def test_partly_open_driver_sessions_and_resets():
 def test_partly_open_driver_respects_duration():
     env = Environment()
     clients = [FakeClient("a")]
-    workloads = [FakeWorkload()]
     driver = PartlyOpenDriver(
-        env, clients, workloads, make_executor(env, 1.0),
+        env, _pairs(clients), make_executor(env, 1.0),
         arrival_rate_per_client=0.05, duration_ms=500.0, seed=2,
     )
     driver.start()
