@@ -1,0 +1,183 @@
+"""Protocol-agnostic fault injection for both transports.
+
+A :class:`FaultController` is the one mutable object a chaos scenario steers.
+Both message layers consult it at send time through the same two-line hook:
+the simulated :class:`~repro.sim.network.Network` and the live
+:class:`~repro.net.transport.LiveTransport` each carry a ``faults`` attribute
+(``None`` by default — the hot path is untouched and byte-identical for every
+existing experiment) and, when set, ask ``faults.fate(src, dst, kind)`` what
+to do with one message.  The controller answers with a :class:`Fate`: deliver,
+drop, or delay (optionally released from FIFO ordering, which is how message
+*reorder* is expressed — the simulated network's per-channel FIFO clamp is
+skipped for reordered messages, and the live transport re-dispatches them
+after a wall-clock delay while later frames overtake on the TCP stream).
+
+The controller layers three independent mechanisms:
+
+* **Partitions** — disjoint groups of node names; a message crossing groups
+  is dropped.  Names not in any group are unaffected, so a scenario can
+  partition servers while leaving clients connected to both sides, or place
+  client names into groups explicitly.
+* **Crash isolation** — names marked dead (``isolate``) send and receive
+  nothing.  The chaos engine isolates a node for its crash window so that
+  in-flight handler output from a "killed" simulated node does not leak onto
+  the network after the kill instant.
+* **Rules** — probabilistic drop/delay predicates over (src, dst, kind).
+
+The controller owns its own RNG so probabilistic faults never perturb the
+simulation's workload/jitter random streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+__all__ = ["Fate", "FaultController"]
+
+
+@dataclass(frozen=True)
+class Fate:
+    """The controller's verdict for one message."""
+
+    drop: bool = False
+    extra_delay_ms: float = 0.0
+    reorder: bool = False
+
+
+#: Shared "deliver normally" verdict (the overwhelmingly common answer).
+DELIVER = Fate()
+
+
+@dataclass
+class _Rule:
+    """One drop or delay predicate over (src, dst, kind)."""
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    kinds: Optional[FrozenSet[str]] = None
+    probability: float = 1.0
+    extra_ms: float = 0.0
+    jitter_ms: float = 0.0
+    reorder: bool = False
+    drop: bool = False
+
+    def matches(self, src: str, dst: str, kind: str, rng: random.Random) -> bool:
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        if self.kinds is not None and kind not in self.kinds:
+            return False
+        if self.probability >= 1.0:
+            return True
+        return rng.random() < self.probability
+
+
+class FaultController:
+    """Mutable fault state consulted by both transports at send time."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self._groups: List[Set[str]] = []
+        self._dead: Set[str] = set()
+        self._rules: List[_Rule] = []
+        #: Messages dropped (partition, isolation, or drop rule).
+        self.dropped = 0
+        #: Messages delayed by a delay rule.
+        self.delayed = 0
+
+    # ------------------------------------------------------------------ #
+    # Partitions and crash isolation
+    # ------------------------------------------------------------------ #
+    def partition(self, *groups: Sequence[str]) -> None:
+        """Split the network: messages between different groups are dropped.
+
+        Names absent from every group communicate freely with everyone.
+        """
+        self._groups = [set(group) for group in groups]
+
+    def heal(self) -> None:
+        """Remove every partition (crash isolation is separate)."""
+        self._groups = []
+
+    def isolate(self, name: str) -> None:
+        """Cut ``name`` off entirely (both directions) — a crashed node."""
+        self._dead.add(name)
+
+    def restore(self, name: str) -> None:
+        """Reconnect a previously isolated name — the node restarted."""
+        self._dead.discard(name)
+
+    # ------------------------------------------------------------------ #
+    # Probabilistic rules
+    # ------------------------------------------------------------------ #
+    def drop_matching(self, src: Optional[str] = None, dst: Optional[str] = None,
+                      kinds: Optional[Sequence[str]] = None,
+                      probability: float = 1.0) -> None:
+        """Drop messages matching the predicate with ``probability``."""
+        self._rules.append(_Rule(
+            src=src, dst=dst, kinds=frozenset(kinds) if kinds else None,
+            probability=probability, drop=True))
+
+    def delay_matching(self, extra_ms: float, src: Optional[str] = None,
+                       dst: Optional[str] = None,
+                       kinds: Optional[Sequence[str]] = None,
+                       jitter_ms: float = 0.0, reorder: bool = True,
+                       probability: float = 1.0) -> None:
+        """Add ``extra_ms`` (+ uniform jitter) to matching messages.
+
+        ``reorder=True`` additionally releases the delayed message from
+        per-channel FIFO ordering, so later messages may overtake it.
+        """
+        self._rules.append(_Rule(
+            src=src, dst=dst, kinds=frozenset(kinds) if kinds else None,
+            probability=probability, extra_ms=extra_ms, jitter_ms=jitter_ms,
+            reorder=reorder))
+
+    def clear_rules(self) -> None:
+        """Drop all probabilistic rules (partitions/isolation unaffected)."""
+        self._rules = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def active(self) -> bool:
+        return bool(self._groups or self._dead or self._rules)
+
+    def counters(self) -> Dict[str, int]:
+        return {"dropped": self.dropped, "delayed": self.delayed}
+
+    def fate(self, src: str, dst: str, kind: str) -> Fate:
+        """Decide what happens to one message from ``src`` to ``dst``."""
+        if src in self._dead or dst in self._dead or self._partitioned(src, dst):
+            self.dropped += 1
+            return Fate(drop=True)
+        extra = 0.0
+        reorder = False
+        for rule in self._rules:
+            if not rule.matches(src, dst, kind, self._rng):
+                continue
+            if rule.drop:
+                self.dropped += 1
+                return Fate(drop=True)
+            extra += rule.extra_ms
+            if rule.jitter_ms > 0:
+                extra += self._rng.uniform(0, rule.jitter_ms)
+            reorder = reorder or rule.reorder
+        if extra > 0 or reorder:
+            self.delayed += 1
+            return Fate(extra_delay_ms=extra, reorder=reorder)
+        return DELIVER
+
+    def _partitioned(self, src: str, dst: str) -> bool:
+        if not self._groups:
+            return False
+        src_group = dst_group = None
+        for index, group in enumerate(self._groups):
+            if src in group:
+                src_group = index
+            if dst in group:
+                dst_group = index
+        return (src_group is not None and dst_group is not None
+                and src_group != dst_group)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -217,7 +218,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     spec = ClusterSpec.load(args.config)
     host_nodes = [args.node] if args.node else None
-    return asyncio.run(serve_forever(spec, host_nodes))
+    return asyncio.run(serve_forever(spec, host_nodes, wal_dir=args.wal_dir))
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import all_scenarios, get_scenario, run_scenario
+
+    if args.list:
+        rows = [[s.name, s.protocol,
+                 "clean" if s.expect_clean else "windowed", s.description]
+                for s in all_scenarios().values()]
+        print(format_table(["scenario", "protocol", "oracle", "description"],
+                           rows, title="Chaos scenarios"))
+        return 0
+    if not args.scenario:
+        print("--scenario NAME is required (or --list)", file=sys.stderr)
+        return 2
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    backends = ["sim", "live"] if args.backend == "both" else [args.backend]
+    reports = []
+    for backend in backends:
+        # Each backend gets its own subdirectory so `--backend both` does
+        # not overwrite the first trace with the second.
+        trace_dir = args.trace_dir and (
+            args.trace_dir if len(backends) == 1
+            else os.path.join(args.trace_dir, backend))
+        report = run_scenario(scenario, backend=backend,
+                              trace_dir=trace_dir)
+        reports.append(report)
+        print(report.describe())
+    _write_json(args.json, [report.to_dict() for report in reports])
+    return 0 if all(report.ok for report in reports) else 1
 
 
 def cmd_load(args: argparse.Namespace) -> int:
@@ -518,7 +553,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--node",
                        help="host only this node (one process per node); "
                             "default: every server node as asyncio tasks")
+    serve.add_argument("--wal-dir",
+                       help="write-ahead-log directory: hosted nodes log "
+                            "durably to <dir>/<node>.wal and recover from "
+                            "it on restart")
     serve.set_defaults(func=cmd_serve)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="fault-injection scenarios with checker-verified "
+                      "guarantees (crash/partition/skew + WAL recovery)")
+    chaos.add_argument("--scenario", help="scenario name (see --list)")
+    chaos.add_argument("--backend", default="sim",
+                       choices=["sim", "live", "both"],
+                       help="simulated cluster, live asyncio TCP cluster, "
+                            "or both in sequence")
+    chaos.add_argument("--list", action="store_true",
+                       help="list the scenario catalog and exit")
+    chaos.add_argument("--trace-dir",
+                       help="keep the JSONL trace and per-node WALs here "
+                            "(default: a fresh temporary directory)")
+    chaos.add_argument("--json", help="also write the report(s) to this "
+                                      "JSON file")
+    chaos.set_defaults(func=cmd_chaos)
 
     load = subparsers.add_parser(
         "load", help="drive a live cluster and capture a history trace")

@@ -26,6 +26,7 @@ import glob as _glob
 import json
 import os
 import re as _re
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
 
@@ -44,10 +45,11 @@ __all__ = [
 def iter_jsonl_records(source: Iterable[str]) -> Iterable[Dict[str, Any]]:
     """Yield parsed JSON objects from JSONL lines, skipping blanks.
 
-    An undecodable *final* line is tolerated: a crash can truncate the last
-    record of a live trace mid-write, and losing only the in-flight record
-    is exactly the recorder's durability contract.  An undecodable line
-    *followed by further records* is real corruption and raises.
+    An undecodable *final* line is tolerated with a warning: a crash can
+    truncate the last record of a live trace mid-write, and losing only the
+    in-flight record is exactly the recorder's durability contract.  An
+    undecodable line *followed by further records* is real corruption and
+    raises.
     """
     decode_error: Optional[json.JSONDecodeError] = None
     for line in source:
@@ -62,6 +64,10 @@ def iter_jsonl_records(source: Iterable[str]) -> Iterable[Dict[str, Any]]:
             decode_error = exc
             continue
         yield record
+    if decode_error is not None:
+        warnings.warn(
+            f"trace ends with a torn record (discarded): {decode_error}",
+            RuntimeWarning, stacklevel=2)
 
 
 @dataclass(frozen=True)
@@ -560,7 +566,17 @@ class SegmentStream:
             self._outstanding_total -= 1
             pending = self._pending_ops.get(process)
             if pending:
-                pending.pop(0)
+                # Pair the completion with its own invocation.  A process's
+                # in-flight list may hold an op that never completes (e.g. a
+                # reconstructed server-side commit added as pending); FIFO
+                # pairing would pop that one here and silently drop it from
+                # the final segment.
+                for index, candidate in enumerate(pending):
+                    if candidate.op_id == op.op_id:
+                        del pending[index]
+                        break
+                else:
+                    pending.pop(0)
         else:
             # A completion we never saw invoked: quiescence is unknowable
             # from here on, so disable cutting (single-segment fallback).

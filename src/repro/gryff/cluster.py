@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import os
 from collections import defaultdict, deque
 from typing import Dict, List, Optional
 
@@ -89,7 +90,8 @@ def gryff_witness_order(history: History, model: str = "rsc") -> Optional[List]:
 class GryffCluster:
     """A simulated deployment: environment, network, replicas, clients."""
 
-    def __init__(self, config: Optional[GryffConfig] = None):
+    def __init__(self, config: Optional[GryffConfig] = None,
+                 wal_dir: Optional[str] = None):
         self.config = config or GryffConfig()
         self.env = Environment()
         self.network = Network(
@@ -101,15 +103,56 @@ class GryffCluster:
         )
         self.history = History()
         self.recorder = LatencyRecorder()
+        #: When set, every replica appends to ``<wal_dir>/<name>.wal`` and
+        #: crash/restart (chaos engine) recovers from it.
+        self.wal_dir = wal_dir
         self.replicas: Dict[str, GryffReplica] = {}
         for index in range(self.config.num_replicas):
             name = self.config.replica_name(index)
             site = self.config.replica_site(index)
             self.replicas[name] = GryffReplica(
                 self.env, self.network, self.config, name=name, site=site,
+                wal=self._wal_for(name),
             )
         self.clients: List[GryffClient] = []
         self._client_counter = itertools.count(1)
+
+    def _wal_for(self, name: str):
+        if self.wal_dir is None:
+            return None
+        from repro.storage.wal import WriteAheadLog
+
+        return WriteAheadLog(os.path.join(self.wal_dir, f"{name}.wal"))
+
+    # ------------------------------------------------------------------ #
+    # Crash / restart (chaos engine)
+    # ------------------------------------------------------------------ #
+    def crash_replica(self, name: str) -> GryffReplica:
+        """Kill -9 a replica: stop delivery and freeze its durable state.
+
+        The dead endpoint stays registered (sends to it are silently dropped,
+        like packets to a dead host) until :meth:`restart_replica` swaps in
+        the recovered instance.  Closing the WAL first means anything an
+        in-flight handler does after this instant never reaches disk —
+        exactly the un-fsynced writes of a SIGKILLed process.
+        """
+        replica = self.replicas[name]
+        if replica.wal is not None:
+            replica.wal.close()
+        replica.stop()
+        return replica
+
+    def restart_replica(self, name: str) -> GryffReplica:
+        """Restart a crashed replica, recovering its state from the WAL."""
+        index = self.config.replica_names().index(name)
+        self.network.deregister(name)
+        replica = GryffReplica(
+            self.env, self.network, self.config,
+            name=name, site=self.config.replica_site(index),
+            wal=self._wal_for(name),
+        )
+        self.replicas[name] = replica
+        return replica
 
     # ------------------------------------------------------------------ #
     def new_client(self, site: str, name: Optional[str] = None,

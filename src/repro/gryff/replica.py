@@ -23,6 +23,7 @@ from repro.gryff.config import GryffConfig
 from repro.sim.engine import Environment
 from repro.sim.network import Message, Network
 from repro.sim.node import Node
+from repro.storage.wal import WriteAheadLog
 
 __all__ = ["GryffReplica"]
 
@@ -43,7 +44,7 @@ class GryffReplica(Node):
     """One of the five geo-replicated Gryff replicas."""
 
     def __init__(self, env: Environment, network: Network, config: GryffConfig,
-                 name: str, site: str):
+                 name: str, site: str, wal: Optional[WriteAheadLog] = None):
         super().__init__(env, network, name, site, cpu_time_ms=config.server_cpu_ms)
         self.config = config
         self.values: Dict[str, Any] = {}
@@ -56,6 +57,13 @@ class GryffReplica(Node):
             "rmws": 0,
             "dependency_applies": 0,
         }
+        #: Optional write-ahead log (chaos engine): every carstamp install is
+        #: durably logged before the replica acknowledges it, and a restarted
+        #: replica replays checkpoint + log back into ``values``/``carstamps``.
+        self.wal = wal
+        self._replaying = False
+        if wal is not None:
+            self._recover_from_wal()
 
     # ------------------------------------------------------------------ #
     # Register state
@@ -66,6 +74,37 @@ class GryffReplica(Node):
         if carstamp > current:
             self.values[key] = value
             self.carstamps[key] = carstamp
+            if self.wal is not None and not self._replaying:
+                self.wal.append({"kind": "apply", "key": key, "value": value,
+                                 "carstamp": list(_carstamp_to_wire(carstamp))})
+                self.wal.maybe_checkpoint(self._wal_state)
+
+    def _wal_state(self) -> Dict[str, Any]:
+        """Full register state for a WAL checkpoint."""
+        return {"registers": {
+            key: {"value": self.values.get(key),
+                  "carstamp": list(_carstamp_to_wire(carstamp))}
+            for key, carstamp in self.carstamps.items()}}
+
+    def _recover_from_wal(self) -> None:
+        """Rebuild register state from checkpoint + surviving log records.
+
+        Replay reuses :meth:`apply` (install iff newer), so overlapping
+        checkpoint/log records and duplicated installs are idempotent.
+        """
+        snapshot = self.wal.recover()
+        self._replaying = True
+        try:
+            registers = (snapshot.state or {}).get("registers", {})
+            for key, entry in registers.items():
+                self.apply(key, entry["value"],
+                           _carstamp_from_wire(entry["carstamp"]))
+            for record in snapshot.records:
+                if record.get("kind") == "apply":
+                    self.apply(record["key"], record["value"],
+                               _carstamp_from_wire(record["carstamp"]))
+        finally:
+            self._replaying = False
 
     def _apply_dependency(self, dependency) -> None:
         if not dependency:

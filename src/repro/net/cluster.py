@@ -20,6 +20,7 @@ invariant holds exactly as in the paper's deployment.
 from __future__ import annotations
 
 import asyncio
+import os
 import signal
 from typing import Dict, Iterable, List, Optional
 
@@ -32,12 +33,34 @@ __all__ = ["LiveProcess", "serve_forever"]
 
 
 class LiveProcess:
-    """Environment + transport + the server nodes hosted in this process."""
+    """Environment + transport + the server nodes hosted in this process.
 
-    def __init__(self, spec: ClusterSpec, host_nodes: Optional[Iterable[str]] = None):
+    Chaos knobs (all optional, all default-off):
+
+    ``wal_dir``
+        Hosted nodes append to ``<wal_dir>/<name>.wal`` and recover from it
+        on construction — a restarted :class:`LiveProcess` with the same
+        ``wal_dir`` resumes from the crashed process's durable state.
+    ``leases``
+        Shared ``{shard name: LeaderLease}`` mapping for Spanner leader
+        fencing.  In-process chaos runs pass one dict to every process.
+    ``faults``
+        A :class:`~repro.chaos.faults.FaultController` installed on the
+        transport, so one nemesis object steers drops/partitions/delays
+        across every process in the run.
+    """
+
+    def __init__(self, spec: ClusterSpec, host_nodes: Optional[Iterable[str]] = None,
+                 wal_dir: Optional[str] = None,
+                 leases: Optional[Dict[str, object]] = None,
+                 faults: Optional[object] = None):
         self.spec = spec
         self.env = RealtimeEnvironment(epoch=spec.epoch)
         self.transport = LiveTransport(spec, self.env)
+        if faults is not None:
+            self.transport.faults = faults
+        self.wal_dir = wal_dir
+        self.leases = dict(leases or {})
         self.host_names: List[str] = (list(host_nodes) if host_nodes is not None
                                       else spec.server_names())
         unknown = [name for name in self.host_names if name not in spec.nodes]
@@ -47,6 +70,13 @@ class LiveProcess:
         self.truetime: Optional[TrueTime] = None
         self._pump_task: Optional[asyncio.Task] = None
         self._build_nodes()
+
+    def _wal_for(self, name: str):
+        if self.wal_dir is None:
+            return None
+        from repro.storage.wal import WriteAheadLog
+
+        return WriteAheadLog(os.path.join(self.wal_dir, f"{name}.wal"))
 
     def _build_nodes(self) -> None:
         if not self.host_names:
@@ -60,6 +90,7 @@ class LiveProcess:
                 self.nodes[name] = GryffReplica(
                     self.env, self.transport, config,
                     name=name, site=node_spec.site,
+                    wal=self._wal_for(name),
                 )
         else:
             from repro.spanner.shard import ShardLeader
@@ -72,6 +103,7 @@ class LiveProcess:
                 self.nodes[name] = ShardLeader(
                     self.env, self.transport, self.truetime, config,
                     name=name, site=node_spec.site,
+                    wal=self._wal_for(name), lease=self.leases.get(name),
                 )
 
     # ------------------------------------------------------------------ #
@@ -104,6 +136,18 @@ class LiveProcess:
             self._pump_task = None
         await self.transport.close()
 
+    def close_wals(self) -> None:
+        """Freeze the durable state of every hosted node (crash injection).
+
+        Called *before* :meth:`stop` when simulating a kill -9: anything a
+        still-running handler appends after this instant is silently dropped,
+        like un-fsynced writes of a SIGKILLed process.
+        """
+        for node in self.nodes.values():
+            wal = getattr(node, "wal", None)
+            if wal is not None:
+                wal.close()
+
     def node_stats(self) -> Dict[str, Dict[str, int]]:
         return {name: dict(getattr(node, "stats", {}))
                 for name, node in self.nodes.items()}
@@ -112,13 +156,14 @@ class LiveProcess:
 async def serve_forever(spec: ClusterSpec,
                         host_nodes: Optional[Iterable[str]] = None,
                         ready_message: bool = True,
-                        stop_event: Optional[asyncio.Event] = None) -> int:
+                        stop_event: Optional[asyncio.Event] = None,
+                        wal_dir: Optional[str] = None) -> int:
     """Run a server process until SIGINT/SIGTERM (or ``stop_event``).
 
     Returns the process exit code: 0 on a clean, signal-driven shutdown,
     1 if the event pump died (a protocol error surfaced).
     """
-    process = LiveProcess(spec, host_nodes)
+    process = LiveProcess(spec, host_nodes, wal_dir=wal_dir)
     ports = await process.start()
     stop = stop_event if stop_event is not None else asyncio.Event()
     loop = asyncio.get_running_loop()

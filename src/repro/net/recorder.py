@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import time as _time
+import warnings
 from typing import Any, Callable, Dict, IO, Iterator, Optional, Tuple, Union
 
 from repro.core.events import Operation
@@ -121,6 +122,14 @@ class TraceWriter:
         if (self._rotate_bytes is not None
                 and self._bytes_written >= self._rotate_bytes):
             self.flush()
+            # A completed file of the set must be durable before the writer
+            # moves on — readers treat every non-final file as torn-free —
+            # so rotation fsyncs even when per-record fsync is off.
+            if not self._fsync:
+                try:
+                    os.fsync(self._handle.fileno())
+                except (AttributeError, OSError, ValueError):
+                    pass
             self._handle.close()
             self._handle = open(self._next_path(), "w", encoding="utf-8")
             self._bytes_written = 0
@@ -300,10 +309,12 @@ def follow_trace_records(
     finally:
         if handle is not None:
             handle.close()
-    # Stream over: tolerate a crash-truncated final record.
+    # Stream over: tolerate a crash-truncated final record, loudly.
     tail = buffer.strip()
     if tail:
         try:
             yield json.loads(tail)
-        except json.JSONDecodeError:
-            pass
+        except json.JSONDecodeError as exc:
+            warnings.warn(
+                f"trace {path} ends with a torn record (discarded): {exc}",
+                RuntimeWarning, stacklevel=2)

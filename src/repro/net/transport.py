@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import random
 import sys
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
@@ -54,13 +55,64 @@ from repro.net.wire import (
 from repro.net.realtime import RealtimeEnvironment
 from repro.sim.network import Message
 
-__all__ = ["TransportBase", "PeerStub", "LiveTransport"]
+__all__ = ["TransportBase", "PeerStub", "ReconnectPolicy", "LiveTransport"]
 
 log = logging.getLogger("repro.net")
 
 #: Reconnect backoff bounds (seconds).
 _BACKOFF_INITIAL_S = 0.05
 _BACKOFF_MAX_S = 2.0
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Backoff schedule for redialing a dead peer.
+
+    The base delay grows exponentially from ``initial_s`` by ``multiplier``
+    per consecutive failure, capped at ``max_s``.  ``jitter`` spreads each
+    sleep uniformly over ``[base * (1 - jitter), base]`` so that many clients
+    healing from the same partition do not redial in lockstep (thundering
+    herd).  ``budget`` bounds the number of consecutive failed dials; when it
+    is exhausted the channel gives up and closes (queued frames are dropped
+    with a warning; the next ``send`` to that peer opens a fresh channel with
+    a fresh budget).  ``budget=None`` retries forever — the default, matching
+    the long-lived server-to-server channels' needs.
+    """
+
+    initial_s: float = _BACKOFF_INITIAL_S
+    max_s: float = _BACKOFF_MAX_S
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.initial_s <= 0 or self.max_s < self.initial_s:
+            raise ValueError("require 0 < initial_s <= max_s")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.budget is not None and self.budget < 1:
+            raise ValueError("budget must be None or >= 1")
+
+    def base_delay(self, attempt: int) -> float:
+        """Uncapped-by-jitter base delay before the ``attempt``-th redial
+        (1-based count of consecutive failures)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.initial_s * self.multiplier ** (attempt - 1), self.max_s)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Jittered sleep before the ``attempt``-th redial."""
+        base = self.base_delay(attempt)
+        if self.jitter <= 0:
+            return base
+        floor = base * (1.0 - self.jitter)
+        return floor + (base - floor) * rng.random()
+
+    def exhausted(self, attempt: int) -> bool:
+        """True once ``attempt`` consecutive failures exceed the budget."""
+        return self.budget is not None and attempt >= self.budget
 
 
 class TransportBase:
@@ -129,15 +181,23 @@ class _Channel:
         assert self.address is not None
         host, port = self.address
         loop = asyncio.get_running_loop()
-        backoff = _BACKOFF_INITIAL_S
+        policy = self.transport.reconnect
+        rng = self.transport.reconnect_rng
+        attempt = 0
         while not self.closed:
             try:
                 reader, writer = await asyncio.open_connection(host, port)
             except OSError:
-                await asyncio.sleep(backoff)
-                backoff = min(backoff * 2, _BACKOFF_MAX_S)
+                attempt += 1
+                if policy.exhausted(attempt):
+                    queued = self._queue.qsize() + (self._pending is not None)
+                    log.warning(
+                        "giving up on %s:%s after %d failed dials; dropping "
+                        "%d queued frame(s)", host, port, attempt, queued)
+                    break
+                await asyncio.sleep(policy.delay(attempt, rng))
                 continue
-            backoff = _BACKOFF_INITIAL_S
+            attempt = 0
             self._writer = writer
             # Watch the read side too: a peer closing the connection surfaces
             # as EOF there long before a write into the half-open socket
@@ -160,6 +220,9 @@ class _Channel:
                             asyncio.CancelledError):
                         pass
                 self._close_writer(writer)
+        # Closed externally, or the retry budget ran out: either way the
+        # channel is dead, and the next send to this peer opens a fresh one.
+        self.closed = True
 
     async def _run_accepted(self) -> None:
         writer = self._writer
@@ -191,9 +254,17 @@ class _Channel:
 class LiveTransport(TransportBase):
     """Asyncio TCP transport for one OS process of a live cluster."""
 
-    def __init__(self, spec: ClusterSpec, env: RealtimeEnvironment):
+    def __init__(self, spec: ClusterSpec, env: RealtimeEnvironment,
+                 reconnect: Optional[ReconnectPolicy] = None,
+                 reconnect_rng: Optional[random.Random] = None):
         self.spec = spec
         self.env = env
+        self.reconnect = reconnect if reconnect is not None else ReconnectPolicy()
+        self.reconnect_rng = (reconnect_rng if reconnect_rng is not None
+                              else random.Random())
+        #: Optional :class:`~repro.chaos.faults.FaultController` (duck-typed:
+        #: ``fate(src, dst, kind) -> Fate``); ``None`` leaves sends untouched.
+        self.faults = None
         self._local: Dict[str, Any] = {}
         self._servers: Dict[str, asyncio.AbstractServer] = {}
         self._dialers: Dict[Tuple[str, int], _Channel] = {}
@@ -232,12 +303,31 @@ class LiveTransport(TransportBase):
         message = Message(src=src, dst=dst, kind=kind, payload=payload,
                           send_time=self.env.now, msg_id=self._next_msg_id)
         self.messages_sent += 1
+        if self.faults is not None:
+            fate = self.faults.fate(src, dst, kind)
+            if fate.drop:
+                message.deliver_time = -1.0
+                return message
+            if fate.extra_delay_ms > 0 or fate.reorder:
+                # Re-dispatch after the extra delay; frames sent in the
+                # meantime overtake it on the stream (reorder for free).
+                asyncio.get_running_loop().call_later(
+                    fate.extra_delay_ms / 1000.0, self._dispatch, message)
+                return message
+        self._dispatch(message)
+        return message
+
+    def _dispatch(self, message: Message) -> None:
+        """Route one message: local loopback or a frame onto its channel."""
+        if self.closed:
+            return
+        src, dst, kind = message.src, message.dst, message.kind
         if dst in self._local:
             # Local loopback: defer via the loop so delivery never re-enters
             # the sending handler's frame, mirroring the sim's asynchrony.
             message.deliver_time = message.send_time
             asyncio.get_running_loop().call_soon(self._deliver_local, message)
-            return message
+            return
         try:
             channel = self._channel_for(dst)
         except KeyError:
@@ -246,9 +336,8 @@ class LiveTransport(TransportBase):
             # handler into the pump and take down every node in the process.
             log.warning("dropping %s from %s: no route to %r (peer gone?)",
                         kind, src, dst)
-            return message
+            return
         channel.send_frame(encode_frame(message_to_frame(message)))
-        return message
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -276,6 +365,33 @@ class LiveTransport(TransportBase):
     def _drop_routes(self, channel: _Channel) -> None:
         for name in [n for n, c in self._routes.items() if c is channel]:
             del self._routes[name]
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (chaos engine)
+    # ------------------------------------------------------------------ #
+    def sever_peer(self, name: str) -> None:
+        """Tear down the live connection(s) toward ``name``.
+
+        The dialer channel to a configured peer closes (a later send opens a
+        fresh one, subject to the reconnect policy); a learned client route
+        closes with its accepted connection.  Used by chaos scenarios to
+        model abrupt connection loss without killing either endpoint.
+        """
+        node_spec = self.spec.nodes.get(name)
+        if node_spec is not None:
+            channel = self._dialers.pop((node_spec.host, node_spec.port), None)
+            if channel is not None:
+                channel.close()
+        route = self._routes.pop(name, None)
+        if route is not None:
+            route.close()
+
+    def sever_all(self) -> None:
+        """Tear down every live connection (listeners keep accepting)."""
+        for channel in list(self._dialers.values()) + list(self._accepted):
+            channel.close()
+        self._dialers.clear()
+        self._routes.clear()
 
     def _deliver_local(self, message: Message) -> None:
         endpoint = self._local.get(message.dst)

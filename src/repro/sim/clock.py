@@ -80,6 +80,12 @@ class TrueTime:
         if self.min_epsilon < 0 or self.min_epsilon > epsilon:
             raise ValueError("min_epsilon must be in [0, epsilon]")
         self._rng = jitter_rng
+        #: Clock-skew perturbation (chaos engine): the local oscillator reads
+        #: ``true time + offset_ms``.  While ``|offset_ms| <= epsilon`` the
+        #: returned interval still contains the true time and TrueTime's
+        #: contract — hence the protocol's safety — is preserved; beyond
+        #: epsilon the contract is broken on purpose.
+        self.offset_ms = 0.0
 
     def _instantaneous_epsilon(self) -> float:
         if self._rng is None or self.min_epsilon == self.epsilon:
@@ -89,7 +95,7 @@ class TrueTime:
     def now(self) -> TrueTimeInterval:
         """Return the TrueTime interval for the current instant."""
         eps = self._instantaneous_epsilon()
-        t = self.env.now
+        t = self.env.now + self.offset_ms
         return TrueTimeInterval(earliest=t - eps, latest=t + eps)
 
     def after(self, t: float) -> bool:

@@ -167,6 +167,11 @@ class Network:
         self.messages_sent = 0
         self.bytes_proxy = 0
         self.trace: Optional[list[Message]] = None
+        #: Optional :class:`~repro.chaos.faults.FaultController` (duck-typed:
+        #: anything with ``fate(src, dst, kind) -> Fate``).  ``None`` keeps
+        #: the send path — including its RNG draws — exactly as before, so
+        #: every fault-free experiment is byte-identical.
+        self.faults = None
 
     def enable_trace(self) -> None:
         """Start recording every delivered message (for debugging/tests)."""
@@ -176,6 +181,12 @@ class Network:
         if name in self._nodes:
             raise ValueError(f"duplicate node name {name!r}")
         self._nodes[name] = endpoint
+
+    def deregister(self, name: str) -> None:
+        """Forget a node registration so a recovered replacement can
+        ``register`` under the same name (crash/restart in the chaos
+        engine).  Unknown names are ignored."""
+        self._nodes.pop(name, None)
 
     def node(self, name: str) -> "NetworkEndpoint":
         return self._nodes[name]
@@ -207,12 +218,27 @@ class Network:
             send_time=self.env.now,
             msg_id=self._next_msg_id,
         )
+        fate = None if self.faults is None else self.faults.fate(src, dst, kind)
+        if fate is not None and fate.drop:
+            # The message vanishes on the wire; accounting still sees the
+            # send (the node paid to transmit it).
+            msg.deliver_time = -1.0
+            self.messages_sent += 1
+            self.bytes_proxy += self._payload_size(payload)
+            if self.trace is not None:
+                self.trace.append(msg)
+            return msg
         delay = self.delay(src_ep.site, dst_ep.site)
+        if fate is not None:
+            delay += fate.extra_delay_ms
         deliver_at = self.env.now + delay
-        # FIFO per channel: never deliver before a previously sent message.
-        channel = (src, dst)
-        deliver_at = max(deliver_at, self._channel_clock.get(channel, 0.0))
-        self._channel_clock[channel] = deliver_at
+        if fate is None or not fate.reorder:
+            # FIFO per channel: never deliver before a previously sent
+            # message.  A reordered message skips the clamp (and does not
+            # advance it), so later traffic may overtake it.
+            channel = (src, dst)
+            deliver_at = max(deliver_at, self._channel_clock.get(channel, 0.0))
+            self._channel_clock[channel] = deliver_at
         msg.deliver_time = deliver_at
         self.messages_sent += 1
         self.bytes_proxy += self._payload_size(payload)

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import itertools
+import os
 import random
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.events import Operation
 from repro.core.history import History
@@ -20,7 +21,8 @@ from repro.spanner.client import SpannerClient
 from repro.spanner.config import SpannerConfig, Variant
 from repro.spanner.shard import ShardLeader
 
-__all__ = ["SpannerCluster", "spanner_witness_order"]
+__all__ = ["SpannerCluster", "spanner_witness_order",
+           "augment_with_server_commits"]
 
 
 def spanner_witness_order(history: History) -> List[Operation]:
@@ -35,6 +37,49 @@ def spanner_witness_order(history: History) -> List[Operation]:
     return order_by_timestamp(history, key)
 
 
+def augment_with_server_commits(history: History, shards: Iterable[ShardLeader],
+                                invoked_at: float = 0.0) -> History:
+    """Augment ``history`` with server-committed transactions no client
+    recorded.
+
+    A client may crash (or, under chaos, time out and abandon the attempt)
+    after initiating two-phase commit; the transaction can still commit at
+    the shards even though the client never recorded it.  The model's
+    "add zero or more responses" clause covers exactly this case: such
+    transactions are reconstructed from the shards' version stores and added
+    as *pending* operations so that readers of their values have a writer in
+    the history.  ``invoked_at`` places the reconstructed invocations — the
+    chaos engine passes the start of the fault window so that epochs cut
+    before the faults began remain independently checkable.
+    """
+    known_txn_ids = {
+        op.meta.get("txn_id") for op in history if op.meta.get("txn_id")
+    }
+    orphans: Dict[str, Dict] = {}
+    for shard in shards:
+        for key, commit_ts, value, writer in shard.store.all_versions():
+            if writer is None or writer in known_txn_ids:
+                continue
+            record = orphans.setdefault(writer, {"writes": {}, "commit_ts": commit_ts})
+            record["writes"][key] = value
+            record["commit_ts"] = max(record["commit_ts"], commit_ts)
+    if not orphans:
+        return history
+    augmented = History()
+    augmented.extend(history)
+    for txn_id, record in sorted(orphans.items()):
+        # The client abandoned this attempt, so its outcome is indeterminate
+        # to that session: the reconstruction must not create process-order
+        # edges against the client's later operations.  Each orphan gets its
+        # own synthetic single-op process (the txn id is unique).
+        augmented.add(Operation.rw_txn(
+            txn_id, read_set={}, write_set=record["writes"],
+            invoked_at=invoked_at, responded_at=None,
+            commit_ts=record["commit_ts"], txn_id=txn_id, reconstructed=True,
+        ))
+    return augmented
+
+
 class SpannerCluster:
     """A simulated deployment: environment, network, TrueTime, shard leaders.
 
@@ -43,7 +88,9 @@ class SpannerCluster:
     figures directly and integration tests can validate consistency.
     """
 
-    def __init__(self, config: Optional[SpannerConfig] = None):
+    def __init__(self, config: Optional[SpannerConfig] = None,
+                 wal_dir: Optional[str] = None,
+                 leases: Optional[Dict[str, "LeaderLease"]] = None):
         self.config = config or SpannerConfig()
         self.env = Environment()
         self.network = Network(
@@ -56,6 +103,11 @@ class SpannerCluster:
         self.truetime = TrueTime(self.env, epsilon=self.config.truetime_epsilon_ms)
         self.history = History()
         self.recorder = LatencyRecorder()
+        #: When set, every shard leader appends to ``<wal_dir>/<name>.wal``
+        #: and crash/restart (chaos engine) recovers from it.
+        self.wal_dir = wal_dir
+        #: Optional per-shard :class:`~repro.spanner.replication.LeaderLease`.
+        self.leases = dict(leases or {})
         self.shards: Dict[str, ShardLeader] = {}
         for index in range(self.config.num_shards):
             name = self.config.shard_name(index)
@@ -63,9 +115,45 @@ class SpannerCluster:
             self.shards[name] = ShardLeader(
                 self.env, self.network, self.truetime, self.config,
                 name=name, site=site,
+                wal=self._wal_for(name), lease=self.leases.get(name),
             )
         self.clients: List[SpannerClient] = []
         self._client_counter = itertools.count(1)
+
+    def _wal_for(self, name: str):
+        if self.wal_dir is None:
+            return None
+        from repro.storage.wal import WriteAheadLog
+
+        return WriteAheadLog(os.path.join(self.wal_dir, f"{name}.wal"))
+
+    # ------------------------------------------------------------------ #
+    # Crash / restart (chaos engine)
+    # ------------------------------------------------------------------ #
+    def crash_shard(self, name: str) -> ShardLeader:
+        """Kill -9 a shard leader (see ``GryffCluster.crash_replica``)."""
+        shard = self.shards[name]
+        if shard.wal is not None:
+            shard.wal.close()
+        shard.stop()
+        return shard
+
+    def restart_shard(self, name: str) -> ShardLeader:
+        """Restart a crashed leader, recovering its state from the WAL.
+
+        The recovered leader shares the cluster's TrueTime (a restarted
+        process re-synchronises its clock) and re-contends for its lease —
+        which, having expired during the outage, is granted with a bumped
+        term."""
+        index = self.config.all_shard_names().index(name)
+        self.network.deregister(name)
+        shard = ShardLeader(
+            self.env, self.network, self.truetime, self.config,
+            name=name, site=self.config.leader_site(index),
+            wal=self._wal_for(name), lease=self.leases.get(name),
+        )
+        self.shards[name] = shard
+        return shard
 
     # ------------------------------------------------------------------ #
     # Client management
@@ -124,30 +212,8 @@ class SpannerCluster:
         version stores and added as pending operations so that readers of
         their values have a writer in the history.
         """
-        history = self.kv_history()
-        known_txn_ids = {
-            op.meta.get("txn_id") for op in history if op.meta.get("txn_id")
-        }
-        orphans: Dict[str, Dict] = {}
-        for shard in self.shards.values():
-            for key, commit_ts, value, writer in shard.store.all_versions():
-                if writer is None or writer in known_txn_ids:
-                    continue
-                record = orphans.setdefault(writer, {"writes": {}, "commit_ts": commit_ts})
-                record["writes"][key] = value
-                record["commit_ts"] = max(record["commit_ts"], commit_ts)
-        if not orphans:
-            return history
-        augmented = History()
-        augmented.extend(history)
-        for txn_id, record in sorted(orphans.items()):
-            process = txn_id.split(":", 1)[0]
-            augmented.add(Operation.rw_txn(
-                process, read_set={}, write_set=record["writes"],
-                invoked_at=0.0, responded_at=None,
-                commit_ts=record["commit_ts"], txn_id=txn_id, reconstructed=True,
-            ))
-        return augmented
+        return augment_with_server_commits(self.kv_history(),
+                                           self.shards.values())
 
     def witness_order(self, history: Optional[History] = None):
         """The serialization implied by commit/snapshot timestamps

@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Optional
 from repro.sim.engine import Environment
 from repro.sim.network import LatencyMatrix
 
-__all__ = ["ReplicationLog"]
+__all__ = ["LeaderLease", "ReplicationLog"]
 
 
 @dataclass
@@ -24,6 +24,62 @@ class _LogEntry:
     kind: str
     payload: Dict[str, Any]
     timestamp: float
+    #: Leader term the entry was appended under (0 when no lease is in play).
+    term: int = 0
+
+
+class LeaderLease:
+    """A time-bounded, term-numbered leadership claim for one shard.
+
+    The replication stub has no real Paxos group to elect from, so the lease
+    is the whole election: a leader may serve writes only while it holds the
+    lease, it renews the lease on every request it serves, and a crashed
+    leader's claim simply expires ``duration_ms`` after its last renewal.
+    Whoever acquires next (in this runtime: the recovered leader process,
+    since shard routing is by node name) gets a larger **term**, which is
+    stamped onto replication-log entries as the fencing token.
+
+    The current holder renews without a term bump; a free or expired lease is
+    granted with ``term + 1``; a live lease held by someone else is refused.
+    Time is the caller's clock (``env.now``) — in the live runtime every
+    process measures against the shared cluster epoch, so expiry is
+    comparable across processes.
+    """
+
+    def __init__(self, duration_ms: float = 500.0):
+        if duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        self.duration_ms = duration_ms
+        self.holder: Optional[str] = None
+        self.term = 0
+        self.expires_at = float("-inf")
+        #: ``(time, holder, term)`` per grant — the election history.
+        self.transitions: List[tuple] = []
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def held_by(self, name: str, now: float) -> bool:
+        return self.holder == name and not self.expired(now)
+
+    def try_acquire(self, candidate: str, now: float) -> bool:
+        """Acquire or renew the lease for ``candidate`` at time ``now``."""
+        if self.holder == candidate and not self.expired(now):
+            self.expires_at = now + self.duration_ms
+            return True
+        if self.holder is None or self.expired(now):
+            self.holder = candidate
+            self.term += 1
+            self.expires_at = now + self.duration_ms
+            self.transitions.append((now, candidate, self.term))
+            return True
+        return False
+
+    def release(self, name: str) -> None:
+        """Voluntarily give up the lease (a clean step-down)."""
+        if self.holder == name:
+            self.holder = None
+            self.expires_at = float("-inf")
 
 
 class ReplicationLog:
@@ -40,6 +96,9 @@ class ReplicationLog:
         #: Largest timestamp carried by a replicated write (Paxos::MaxWriteTS).
         self.max_write_ts = 0.0
         self.appends = 0
+        #: Current leader term, stamped onto every appended entry.  Stays 0
+        #: unless a :class:`LeaderLease` is managing this shard's leadership.
+        self.term = 0
 
     def majority_delay(self) -> float:
         """Round-trip time to the nearest majority of the other replicas."""
@@ -62,7 +121,8 @@ class ReplicationLog:
         delay = self.majority_delay() + self.processing_ms
         if delay > 0:
             yield self.env.timeout(delay)
-        self.entries.append(_LogEntry(kind=kind, payload=dict(payload), timestamp=timestamp))
+        self.entries.append(_LogEntry(kind=kind, payload=dict(payload),
+                                      timestamp=timestamp, term=self.term))
         if timestamp > self.max_write_ts:
             self.max_write_ts = timestamp
         return timestamp

@@ -18,7 +18,8 @@ from repro.sim.node import Node
 from repro.spanner.config import SpannerConfig, Variant
 from repro.spanner.locks import LockMode, LockTable
 from repro.spanner.mvstore import MultiVersionStore
-from repro.spanner.replication import ReplicationLog
+from repro.spanner.replication import LeaderLease, ReplicationLog
+from repro.storage.wal import WriteAheadLog
 
 __all__ = ["ShardLeader", "PreparedTransaction"]
 
@@ -37,13 +38,21 @@ class PreparedTransaction:
     resolved: Event
     status: str = "prepared"          # prepared | committed | aborted
     commit_ts: Optional[float] = None
+    #: Coordinator shard for this transaction (used by crash recovery: a
+    #: restarted leader aborts prepares it was itself coordinating, since
+    #: the undecided 2PC state died with the process).
+    coordinator: Optional[str] = None
+    #: Wound-wait priority, persisted so recovery can re-take write locks.
+    priority: float = 0.0
 
 
 class ShardLeader(Node):
     """A shard's Paxos leader."""
 
     def __init__(self, env: Environment, network: Network, truetime: TrueTime,
-                 config: SpannerConfig, name: str, site: str):
+                 config: SpannerConfig, name: str, site: str,
+                 wal: Optional[WriteAheadLog] = None,
+                 lease: Optional[LeaderLease] = None):
         super().__init__(env, network, name, site, cpu_time_ms=config.server_cpu_ms)
         self.truetime = truetime
         self.config = config
@@ -59,6 +68,16 @@ class ShardLeader(Node):
         self.aborted: Set[str] = set()
         self._last_prepare_ts = 0.0
         self._last_commit_ts = 0.0
+        #: Optional write-ahead log (chaos engine): prepare/commit/abort
+        #: transitions are durably logged before they become externally
+        #: visible, and a restarted leader replays them (see
+        #: :meth:`_recover_from_wal`).
+        self.wal = wal
+        self._replaying = False
+        #: Optional lease-based election: the leader serves the write path
+        #: only while it can acquire/renew the lease, and stamps the lease
+        #: term onto replication-log entries.
+        self.lease = lease
         # Statistics used by the evaluation harness.
         self.stats = {
             "ro_requests": 0,
@@ -70,6 +89,8 @@ class ShardLeader(Node):
             "aborts": 0,
             "wounds": 0,
         }
+        if wal is not None:
+            self._recover_from_wal()
 
     # ------------------------------------------------------------------ #
     # Wound-wait support
@@ -84,6 +105,25 @@ class ShardLeader(Node):
 
     def _is_aborted(self, txn_id: str) -> bool:
         return txn_id in self.aborted
+
+    # ------------------------------------------------------------------ #
+    # Lease-gated leadership
+    # ------------------------------------------------------------------ #
+    def _lease_ok(self) -> bool:
+        """Acquire/renew the leader lease; refuse to serve writes without it.
+
+        With no lease configured every request is served (the failure-free
+        sims).  Serving a request renews the lease, so an active leader never
+        loses it; after a crash the lease expires ``duration_ms`` after the
+        last served request, and the recovered leader re-acquires it with a
+        bumped term that fences its replication-log entries.
+        """
+        if self.lease is None:
+            return True
+        granted = self.lease.try_acquire(self.name, self.env.now)
+        if granted:
+            self.log.term = self.lease.term
+        return granted
 
     # ------------------------------------------------------------------ #
     # Timestamp selection
@@ -111,7 +151,7 @@ class ShardLeader(Node):
         txn_id = payload["txn_id"]
         keys = payload["keys"]
         priority = payload["priority"]
-        if self._is_aborted(txn_id):
+        if self._is_aborted(txn_id) or not self._lease_ok():
             return {"status": "abort"}
         blocked_for = 0.0
         for key in keys:
@@ -137,15 +177,24 @@ class ShardLeader(Node):
             writes=message.payload.get("writes", {}),
             read_keys=message.payload.get("read_keys", []),
             earliest_end_ts=message.payload["earliest_end_ts"],
+            coordinator=message.src,
         )
         return result
 
     def _prepare_locally(self, txn_id: str, priority: float, writes: Dict[str, Any],
-                         read_keys: List[str], earliest_end_ts: float):
+                         read_keys: List[str], earliest_end_ts: float,
+                         coordinator: Optional[str] = None):
         """Participant prepare: verify read locks, take write locks, choose a
         prepare timestamp, replicate, and record the prepared transaction."""
-        if self._is_aborted(txn_id):
+        if self._is_aborted(txn_id) or not self._lease_ok():
             return {"status": "abort"}
+        existing = self.prepared.get(txn_id)
+        if existing is not None:
+            # Duplicate prepare (at-least-once redelivery across a reconnect,
+            # or a coordinator retry): answer with the recorded decision
+            # instead of re-running lock acquisition against ourselves.
+            return {"status": "prepared", "prepare_ts": existing.prepare_ts,
+                    "earliest_end_ts": existing.earliest_end_ts}
         # (1) Read locks must still be held (wound-wait may have revoked them).
         for key in read_keys:
             if not self.locks.holds(txn_id, key, LockMode.READ):
@@ -185,13 +234,21 @@ class ShardLeader(Node):
             earliest_end_ts=earliest_end_ts,
             writes=dict(writes),
             resolved=self.env.event(),
+            coordinator=coordinator,
+            priority=priority,
         )
         self.prepared[txn_id] = record
         self.stats["prepares"] += 1
+        self._wal_append({
+            "kind": "prepare", "txn_id": txn_id, "prepare_ts": prepare_ts,
+            "earliest_end_ts": earliest_end_ts, "writes": dict(writes),
+            "priority": priority, "coordinator": coordinator,
+        })
         return {"status": "prepared", "prepare_ts": prepare_ts,
                 "earliest_end_ts": earliest_end_ts}
 
     def _abort_locally(self, txn_id: str) -> None:
+        newly = txn_id not in self.aborted
         self.aborted.add(txn_id)
         record = self.prepared.pop(txn_id, None)
         if record is not None:
@@ -200,16 +257,25 @@ class ShardLeader(Node):
                 record.resolved.succeed(("abort", None))
         self.locks.release_all(txn_id)
         self.stats["aborts"] += 1
+        if newly or record is not None:
+            self._wal_append({"kind": "abort", "txn_id": txn_id})
 
     def _commit_locally(self, txn_id: str, commit_ts: float,
                         writes: Optional[Dict[str, Any]] = None) -> None:
         record = self.prepared.pop(txn_id, None)
+        if record is None and writes is None:
+            # A duplicate commit decision (at-least-once redelivery) for a
+            # transaction already resolved: only advance the clock marker.
+            self._note_commit_ts(commit_ts)
+            return
         if record is not None:
             writes = record.writes
             record.status = "committed"
             record.commit_ts = commit_ts
         if writes:
             self.store.apply_many(writes, commit_ts, writer=txn_id)
+        self._wal_append({"kind": "commit", "txn_id": txn_id,
+                          "commit_ts": commit_ts, "writes": dict(writes or {})})
         self._note_commit_ts(commit_ts)
         self.locks.release_all(txn_id)
         self.stats["commits"] += 1
@@ -241,6 +307,8 @@ class ShardLeader(Node):
         start_ts = payload["start_ts"]
         earliest_end_ts = payload["earliest_end_ts"]
         participants: Dict[str, Dict[str, Any]] = payload["participants"]
+        if not self._lease_ok():
+            return {"status": "abort"}
 
         # Fan out prepares to the other participants while preparing locally.
         other_names = [name for name in participants if name != self.name]
@@ -259,6 +327,7 @@ class ShardLeader(Node):
             txn_id=txn_id, priority=priority,
             writes=own.get("writes", {}), read_keys=own.get("read_keys", []),
             earliest_end_ts=earliest_end_ts,
+            coordinator=self.name,
         )
         results = {self.name: local_result}
         for shard_name, call in calls:
@@ -398,3 +467,106 @@ class ShardLeader(Node):
     def max_prepared_gap(self) -> float:
         """Observed maximum (t_c - t_ee); exposed for fence calibration tests."""
         return self.config.fence_bound_ms
+
+    # ------------------------------------------------------------------ #
+    # Durability (chaos engine)
+    # ------------------------------------------------------------------ #
+    def _wal_append(self, record: Dict[str, Any]) -> None:
+        if self.wal is not None and not self._replaying:
+            self.wal.append(record)
+            self.wal.maybe_checkpoint(self._wal_state)
+
+    def _wal_state(self) -> Dict[str, Any]:
+        """Full shard state for a WAL checkpoint."""
+        return {
+            "versions": [[key, commit_ts, value, writer]
+                         for key, commit_ts, value, writer
+                         in self.store.all_versions()],
+            "prepared": {
+                txn_id: {"prepare_ts": record.prepare_ts,
+                         "earliest_end_ts": record.earliest_end_ts,
+                         "writes": dict(record.writes),
+                         "priority": record.priority,
+                         "coordinator": record.coordinator}
+                for txn_id, record in self.prepared.items()
+                if record.status == "prepared"},
+            "aborted": sorted(self.aborted),
+            "last_prepare_ts": self._last_prepare_ts,
+            "last_commit_ts": self._last_commit_ts,
+            "max_write_ts": self.log.max_write_ts,
+        }
+
+    def _recover_from_wal(self) -> None:
+        """Rebuild shard state from checkpoint + surviving log records.
+
+        Committed versions, the aborted set, and the timestamp monotonicity
+        markers are restored directly.  Prepared-but-undecided transactions
+        are re-instated with fresh resolution events and re-acquired write
+        locks (the lock table is volatile) — except those this shard was
+        itself *coordinating*: their 2PC decision state died with the
+        process, and since the decision had not been durably committed here,
+        no participant can have applied it, so aborting them is safe (the
+        client never received an acknowledgement).
+        """
+        snapshot = self.wal.recover()
+        self._replaying = True
+        try:
+            state = snapshot.state or {}
+            for key, commit_ts, value, writer in state.get("versions", []):
+                self.store.apply(key, value, commit_ts, writer=writer)
+            self.aborted.update(state.get("aborted", []))
+            self._last_prepare_ts = float(state.get("last_prepare_ts", 0.0))
+            self._last_commit_ts = float(state.get("last_commit_ts", 0.0))
+            self.log.max_write_ts = float(state.get("max_write_ts", 0.0))
+            pending: Dict[str, Dict[str, Any]] = dict(state.get("prepared", {}))
+            for record in snapshot.records:
+                kind = record.get("kind")
+                txn_id = record.get("txn_id")
+                if kind == "prepare":
+                    pending[txn_id] = {
+                        key: record.get(key)
+                        for key in ("prepare_ts", "earliest_end_ts", "writes",
+                                    "priority", "coordinator")}
+                    self._last_prepare_ts = max(self._last_prepare_ts,
+                                                float(record["prepare_ts"]))
+                elif kind == "commit":
+                    entry = pending.pop(txn_id, None)
+                    writes = record.get("writes") or (entry or {}).get("writes") or {}
+                    commit_ts = float(record["commit_ts"])
+                    self.store.apply_many(writes, commit_ts, writer=txn_id)
+                    self._note_commit_ts(commit_ts)
+                elif kind == "abort":
+                    pending.pop(txn_id, None)
+                    self.aborted.add(txn_id)
+            for txn_id in sorted(pending):
+                entry = pending[txn_id]
+                if entry.get("coordinator") == self.name:
+                    # Own coordination state is gone; the decision was never
+                    # durably taken, so abort is the only safe resolution.
+                    self.aborted.add(txn_id)
+                    self._wal_replay_abort(txn_id)
+                    continue
+                restored = PreparedTransaction(
+                    txn_id=txn_id,
+                    prepare_ts=float(entry["prepare_ts"]),
+                    earliest_end_ts=float(entry["earliest_end_ts"]),
+                    writes=dict(entry.get("writes") or {}),
+                    resolved=self.env.event(),
+                    coordinator=entry.get("coordinator"),
+                    priority=float(entry.get("priority") or 0.0),
+                )
+                self.prepared[txn_id] = restored
+                for key in sorted(restored.writes):
+                    self.locks.try_write_lock(
+                        key, txn_id, restored.priority,
+                        protected=lambda holder: holder in self.prepared)
+            self.log.max_write_ts = max(self.log.max_write_ts,
+                                        self._last_prepare_ts,
+                                        self._last_commit_ts)
+        finally:
+            self._replaying = False
+
+    def _wal_replay_abort(self, txn_id: str) -> None:
+        """Durably record an abort decided *during* recovery."""
+        if self.wal is not None:
+            self.wal.append({"kind": "abort", "txn_id": txn_id})

@@ -1,0 +1,5 @@
+"""Durable state for crash-recoverable nodes (write-ahead logs, checkpoints)."""
+
+from repro.storage.wal import WalSnapshot, WriteAheadLog
+
+__all__ = ["WalSnapshot", "WriteAheadLog"]

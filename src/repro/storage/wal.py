@@ -1,0 +1,195 @@
+"""A write-ahead log with atomic checkpoints and torn-tail-tolerant replay.
+
+Gryff replicas and Spanner shard leaders assume their committed state is
+durable: the paper's guarantees are stated over what a node *acknowledged*,
+so a crash must not silently forget acknowledged writes.  The chaos engine
+gives each node a :class:`WriteAheadLog`; the node appends one JSONL record
+per state transition *before* the transition becomes externally visible, and
+a restarted node replays checkpoint + surviving records back into memory.
+
+Durability model
+----------------
+* ``append`` writes one JSON line and fsyncs it before returning, so every
+  record the node acted on survives a kill -9.  Only the final line of the
+  log can ever be *torn* (a crash mid-``write``), and :meth:`recover`
+  tolerates exactly that: it stops at the first undecodable line with a
+  warning rather than raising.
+* ``checkpoint`` serialises a full state snapshot to ``<path>.ckpt`` via a
+  temp file + ``os.replace`` (atomic on POSIX), then truncates the log.  A
+  crash between the replace and the truncate leaves records that are already
+  covered by the checkpoint; replay filters them by sequence number, so the
+  overlap is harmless (records are idempotent re-applications).
+* ``close`` marks the log dead; appends after close are silently dropped.
+  This models a SIGKILL-ed process: in the simulator a "crashed" node's
+  in-flight handler generators keep running for a few more events, and their
+  writes must vanish exactly like the un-fsynced writes of a killed process
+  instead of resurrecting into the durable state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["WalSnapshot", "WriteAheadLog"]
+
+
+@dataclass
+class WalSnapshot:
+    """What :meth:`WriteAheadLog.recover` found on disk.
+
+    ``state`` is the last checkpoint's payload (``None`` if no checkpoint was
+    ever taken), ``records`` the log records appended after that checkpoint,
+    in append order.  ``torn`` reports that the final line of the log was
+    truncated by a crash and has been discarded.
+    """
+
+    state: Optional[Dict[str, Any]] = None
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    torn: bool = False
+
+
+class WriteAheadLog:
+    """Fsync-per-record JSONL log with an atomically-replaced checkpoint."""
+
+    def __init__(self, path: str, checkpoint_every: int = 256):
+        self.path = path
+        self.checkpoint_path = path + ".ckpt"
+        #: Appends between automatic checkpoints (see :meth:`maybe_checkpoint`).
+        self.checkpoint_every = checkpoint_every
+        self._seq = 0
+        self._since_checkpoint = 0
+        self._closed = False
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the most recent record (0 before any append)."""
+        return self._seq
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (write + flush + fsync).
+
+        Appends on a closed log are dropped: the owning process is "dead"
+        and its writes must not reach disk.
+        """
+        if self._closed:
+            return
+        self._seq += 1
+        payload = dict(record)
+        payload["seq"] = self._seq
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._since_checkpoint += 1
+
+    def maybe_checkpoint(self, state_fn: Callable[[], Dict[str, Any]]) -> bool:
+        """Take a checkpoint if ``checkpoint_every`` appends have accumulated.
+
+        ``state_fn`` is only invoked when a checkpoint is actually due, so
+        callers can pass a snapshot builder unconditionally on the hot path.
+        """
+        if self._closed or self._since_checkpoint < self.checkpoint_every:
+            return False
+        self.checkpoint(state_fn())
+        return True
+
+    def checkpoint(self, state: Dict[str, Any]) -> None:
+        """Atomically persist a full state snapshot, then truncate the log.
+
+        Crash-ordering: the snapshot lands via temp file + ``os.replace``
+        before the log is truncated, so at every instant disk holds either
+        (old checkpoint + full log) or (new checkpoint + superseded log
+        records filtered out on replay by sequence number).
+        """
+        if self._closed:
+            return
+        tmp_path = self.checkpoint_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump({"seq": self._seq, "state": state}, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.checkpoint_path)
+        self._fsync_directory()
+        self._handle.close()
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._since_checkpoint = 0
+
+    def recover(self) -> WalSnapshot:
+        """Read checkpoint + surviving records; tolerate a torn final line."""
+        state: Optional[Dict[str, Any]] = None
+        base_seq = 0
+        if os.path.exists(self.checkpoint_path):
+            try:
+                with open(self.checkpoint_path, "r", encoding="utf-8") as handle:
+                    snapshot = json.load(handle)
+                state = snapshot.get("state")
+                base_seq = int(snapshot.get("seq", 0))
+            except (json.JSONDecodeError, OSError, TypeError, ValueError) as exc:
+                warnings.warn(
+                    f"unreadable checkpoint {self.checkpoint_path}: {exc}; "
+                    "recovering from the log alone",
+                    RuntimeWarning, stacklevel=2)
+        records: List[Dict[str, Any]] = []
+        torn = False
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        # Fsync-per-record means only a crash mid-write can
+                        # leave a bad line, and it is necessarily the last.
+                        torn = True
+                        warnings.warn(
+                            f"WAL {self.path} ends with a torn record "
+                            f"(discarded): {exc}",
+                            RuntimeWarning, stacklevel=2)
+                        break
+                    records.append(record)
+        records = [r for r in records if int(r.get("seq", 0)) > base_seq]
+        self._seq = max([base_seq] + [int(r.get("seq", 0)) for r in records])
+        return WalSnapshot(state=state, records=records, torn=torn)
+
+    def close(self) -> None:
+        """Mark the log dead (kill -9): later appends silently vanish."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except (OSError, ValueError):  # pragma: no cover - teardown
+            pass
+        self._handle.close()
+
+    # ------------------------------------------------------------------ #
+    def _fsync_directory(self) -> None:
+        """Persist the directory entry for the renamed checkpoint."""
+        directory = os.path.dirname(self.path) or "."
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+        finally:
+            os.close(fd)

@@ -1,0 +1,161 @@
+"""FaultController semantics and its hook in the simulated Network."""
+
+import pytest
+
+from repro.chaos.faults import FaultController
+from repro.sim.engine import Environment
+from repro.sim.network import Network, single_dc
+
+
+class Sink:
+    site = "DC"
+
+    def __init__(self):
+        self.received = []
+
+    def deliver(self, message):
+        self.received.append(message)
+
+
+def make_network(seed=0, jitter_ms=0.0):
+    env = Environment()
+    network = Network(env, latency=single_dc(["DC"]), jitter_ms=jitter_ms,
+                      seed=seed)
+    a, b = Sink(), Sink()
+    network.register("a", a)
+    network.register("b", b)
+    return env, network, a, b
+
+
+# --------------------------------------------------------------------------- #
+# Controller semantics (transport-independent)
+# --------------------------------------------------------------------------- #
+class TestFaultController:
+    def test_partition_drops_cross_group_traffic_only(self):
+        faults = FaultController()
+        faults.partition(["a", "b"], ["c"])
+        assert faults.fate("a", "c", "m").drop
+        assert faults.fate("c", "b", "m").drop
+        assert not faults.fate("a", "b", "m").drop
+        # Names in no group talk to everyone (clients straddle partitions).
+        assert not faults.fate("outsider", "c", "m").drop
+        assert not faults.fate("a", "outsider", "m").drop
+        faults.heal()
+        assert not faults.fate("a", "c", "m").drop
+        assert faults.counters()["dropped"] == 2
+
+    def test_isolation_cuts_both_directions_until_restore(self):
+        faults = FaultController()
+        faults.isolate("dead")
+        assert faults.fate("dead", "a", "m").drop
+        assert faults.fate("a", "dead", "m").drop
+        assert not faults.fate("a", "b", "m").drop
+        faults.restore("dead")
+        assert not faults.fate("dead", "a", "m").drop
+
+    def test_drop_rule_filters_on_src_dst_and_kind(self):
+        faults = FaultController()
+        faults.drop_matching(src="a", kinds=["read1"])
+        assert faults.fate("a", "b", "read1").drop
+        assert not faults.fate("a", "b", "write2").drop
+        assert not faults.fate("b", "a", "read1").drop
+        faults.clear_rules()
+        assert not faults.fate("a", "b", "read1").drop
+
+    def test_probabilistic_drop_respects_its_probability(self):
+        faults = FaultController(seed=7)
+        faults.drop_matching(probability=0.3)
+        dropped = sum(faults.fate("a", "b", "m").drop for _ in range(2_000))
+        assert 450 < dropped < 750    # ~600 expected
+
+    def test_delay_rule_bounds_and_reorder_flag(self):
+        faults = FaultController(seed=1)
+        faults.delay_matching(extra_ms=20.0, jitter_ms=5.0, reorder=True)
+        for _ in range(100):
+            fate = faults.fate("a", "b", "m")
+            assert not fate.drop and fate.reorder
+            assert 20.0 <= fate.extra_delay_ms <= 25.0
+        assert faults.counters()["delayed"] == 100
+
+    def test_same_seed_gives_the_same_fate_sequence(self):
+        def fates(seed):
+            faults = FaultController(seed=seed)
+            faults.drop_matching(probability=0.5)
+            faults.delay_matching(extra_ms=1.0, jitter_ms=3.0,
+                                  probability=0.5)
+            return [faults.fate("a", "b", "m") for _ in range(50)]
+
+        assert fates(3) == fates(3)
+        assert fates(3) != fates(4)
+
+    def test_active_reflects_installed_faults(self):
+        faults = FaultController()
+        assert not faults.active
+        faults.partition(["a"], ["b"])
+        assert faults.active
+        faults.heal()
+        faults.isolate("a")
+        assert faults.active
+        faults.restore("a")
+        faults.drop_matching()
+        assert faults.active
+        faults.clear_rules()
+        assert not faults.active
+
+
+# --------------------------------------------------------------------------- #
+# The simulated network honors the controller
+# --------------------------------------------------------------------------- #
+class TestSimNetworkFaults:
+    def test_dropped_message_never_arrives_but_is_accounted(self):
+        env, network, _, b = make_network()
+        network.faults = FaultController()
+        network.faults.drop_matching(src="a", dst="b")
+        message = network.send("a", "b", "ping", {})
+        env.run()
+        assert message.deliver_time == -1.0
+        assert b.received == []
+        assert network.messages_sent == 1
+        assert network.faults.counters()["dropped"] == 1
+
+    def test_reordered_message_is_overtaken_by_later_traffic(self):
+        env, network, _, b = make_network()
+        network.faults = FaultController()
+        network.faults.delay_matching(extra_ms=50.0, kinds=["slow"],
+                                      reorder=True)
+        network.send("a", "b", "slow", {"n": 1})
+        network.send("a", "b", "fast", {"n": 2})
+        env.run()
+        assert [m.kind for m in b.received] == ["fast", "slow"]
+
+    def test_delay_without_reorder_keeps_channel_fifo(self):
+        env, network, _, b = make_network()
+        network.faults = FaultController()
+        network.faults.delay_matching(extra_ms=50.0, kinds=["slow"],
+                                      reorder=False)
+        network.send("a", "b", "slow", {"n": 1})
+        network.send("a", "b", "fast", {"n": 2})
+        env.run()
+        # The FIFO clamp pushes the later message behind the delayed one.
+        assert [m.kind for m in b.received] == ["slow", "fast"]
+
+    def test_idle_controller_leaves_the_schedule_untouched(self):
+        """An attached-but-empty controller must not perturb delivery times
+        (and faults=None trivially so) — the byte-identity guarantee all
+        fault-free experiments rely on."""
+        def deliver_times(faults):
+            env, network, _, _b = make_network(seed=11, jitter_ms=2.0)
+            network.faults = faults
+            times = [network.send("a", "b", f"m{i}", {}).deliver_time
+                     for i in range(20)]
+            env.run()
+            return times
+
+        assert deliver_times(None) == deliver_times(FaultController())
+
+    def test_send_to_deregistered_node_raises(self):
+        env, network, _, _b = make_network()
+        network.deregister("b")
+        network.deregister("b")   # idempotent
+        with pytest.raises(KeyError):
+            network.send("a", "b", "ping", {})

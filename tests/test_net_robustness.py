@@ -1,0 +1,277 @@
+"""Live-transport robustness: reconnect backoff, frame decoding under
+corruption, torn-trace tolerance, and connection teardown/recovery.
+
+All live tests bind ephemeral ports (port 0 in the spec)."""
+
+import asyncio
+import logging
+import random
+
+import pytest
+
+from repro.core.history import History, iter_jsonl_records
+from repro.net.cluster import LiveProcess
+from repro.net.load import run_load
+from repro.net.recorder import TraceWriter, follow_trace_records, read_trace
+from repro.net.spec import ClusterSpec
+from repro.net.transport import ReconnectPolicy
+from repro.net.wire import FrameDecoder, WireError, encode_frame
+
+
+# --------------------------------------------------------------------------- #
+# ReconnectPolicy schedule
+# --------------------------------------------------------------------------- #
+class TestReconnectPolicy:
+    def test_base_delay_grows_exponentially_to_the_cap(self):
+        policy = ReconnectPolicy(initial_s=0.05, max_s=2.0, multiplier=2.0)
+        delays = [policy.base_delay(attempt) for attempt in range(1, 9)]
+        assert delays[:6] == [0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
+        assert delays[6:] == [2.0, 2.0]    # capped, stays capped
+
+    def test_jitter_spreads_over_the_configured_band(self):
+        policy = ReconnectPolicy(initial_s=1.0, max_s=1.0, jitter=0.5)
+        rng = random.Random(3)
+        samples = [policy.delay(1, rng) for _ in range(200)]
+        assert all(0.5 <= s <= 1.0 for s in samples)
+        assert max(samples) - min(samples) > 0.2   # actually spread out
+
+    def test_zero_jitter_is_deterministic(self):
+        policy = ReconnectPolicy(initial_s=0.2, max_s=0.8, jitter=0.0)
+        assert policy.delay(2, random.Random(0)) == pytest.approx(0.4)
+
+    def test_budget_exhaustion(self):
+        policy = ReconnectPolicy(budget=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+        assert not ReconnectPolicy(budget=None).exhausted(10_000)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"initial_s": 0.0},
+        {"initial_s": 0.5, "max_s": 0.1},
+        {"multiplier": 0.5},
+        {"jitter": 1.5},
+        {"budget": 0},
+    ])
+    def test_invalid_policies_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ReconnectPolicy(**kwargs)
+
+    def test_dialer_gives_up_when_the_budget_runs_out(self, caplog):
+        """A channel toward a dead address retries `budget` times, then
+        drops its queued frames with a warning and closes."""
+
+        class Probe:
+            site = "DC"
+
+            def deliver(self, message):
+                pass
+
+        async def scenario():
+            spec = ClusterSpec.gryff(num_replicas=1, base_port=0)
+            boot = LiveProcess(spec)
+            await boot.start()     # fixes a concrete port...
+            await boot.stop()      # ...then nothing listens on it
+            client = LiveProcess(spec, host_nodes=[])
+            client.transport.reconnect = ReconnectPolicy(
+                initial_s=0.01, max_s=0.02, budget=3)
+            await client.start()
+            try:
+                client.transport.register("probe", Probe())
+                client.transport.send("probe", "replica0", "ping", {})
+                await asyncio.sleep(0.5)
+            finally:
+                await client.stop()
+
+        with caplog.at_level(logging.WARNING, logger="repro.net"):
+            asyncio.run(scenario())
+        assert any("giving up" in record.message for record in caplog.records)
+
+
+# --------------------------------------------------------------------------- #
+# Frame decoding under corruption
+# --------------------------------------------------------------------------- #
+class TestFrameDecoder:
+    def test_reassembles_frames_from_single_byte_fragments(self):
+        frames = encode_frame({"n": 1}) + encode_frame({"n": 2})
+        decoder = FrameDecoder()
+        records = []
+        for i in range(len(frames)):
+            records.extend(decoder.feed(frames[i:i + 1]))
+        assert records == [{"n": 1}, {"n": 2}]
+        assert decoder.pending_bytes == 0
+
+    def test_many_frames_in_one_chunk(self):
+        chunk = b"".join(encode_frame({"n": i}) for i in range(5))
+        assert [r["n"] for r in FrameDecoder().feed(chunk)] == list(range(5))
+
+    def test_oversized_header_rejected_before_the_body_arrives(self):
+        decoder = FrameDecoder()
+        with pytest.raises(WireError, match="announced"):
+            decoder.feed(b"\xff\xff\xff\xff")
+
+    def test_undecodable_body_raises(self):
+        import struct
+        body = b"\x00not json\xff"
+        with pytest.raises(WireError, match="undecodable"):
+            FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_non_object_frame_raises(self):
+        import struct
+        body = b"[1,2,3]"
+        with pytest.raises(WireError, match="not an object"):
+            FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_incomplete_frame_stays_buffered(self):
+        frame = encode_frame({"n": 1})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.pending_bytes == len(frame) - 1
+        assert decoder.feed(frame[-1:]) == [{"n": 1}]
+
+
+class TestReadLoopRobustness:
+    def _assert_cluster_survives(self, poison: bytes):
+        """Connect raw TCP to a replica, send `poison`, and require that the
+        server closes only that connection and keeps serving real clients
+        with no op lost."""
+
+        async def scenario():
+            spec = ClusterSpec.gryff(num_replicas=3, base_port=0)
+            server = LiveProcess(spec)
+            await server.start()
+            try:
+                port = spec.nodes["replica0"].port
+                reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                               port)
+                writer.write(poison)
+                await writer.drain()
+                writer.write_eof()
+                # The server resets the poisoned connection (EOF to us)...
+                assert await asyncio.wait_for(reader.read(), timeout=5) == b""
+                writer.close()
+                # ...while the cluster keeps serving: a full load completes.
+                summary = await run_load(
+                    spec, num_clients=2, duration_ms=None, ops_per_client=3,
+                    write_ratio=0.5, conflict_rate=0.2, seed=7)
+            finally:
+                await server.stop()
+            return summary
+
+        summary = asyncio.run(scenario())
+        assert summary["ops"] == 6
+
+    def test_garbage_bytes_reset_the_connection_cleanly(self):
+        # 4-byte header announcing a 4 GiB frame, then junk.
+        self._assert_cluster_survives(b"\xff\xff\xff\xffjunk")
+
+    def test_corrupt_frame_body_resets_the_connection_cleanly(self):
+        import struct
+        body = b"\x00\x01 not json"
+        self._assert_cluster_survives(struct.pack(">I", len(body)) + body)
+
+    def test_truncated_frame_resets_the_connection_cleanly(self):
+        frame = encode_frame({"v": 1, "src": "x", "dst": "replica0",
+                              "kind": "read1", "payload": {}})
+        self._assert_cluster_survives(frame[:-3])
+
+    def test_sever_all_then_reconnect_serves_again(self):
+        """Tearing down every live connection mid-lifetime only costs a
+        reconnect: the next load completes in full."""
+
+        async def scenario():
+            spec = ClusterSpec.gryff(num_replicas=3, base_port=0)
+            server = LiveProcess(spec)
+            await server.start()
+            try:
+                first = await run_load(spec, num_clients=1, duration_ms=None,
+                                       ops_per_client=2, write_ratio=1.0,
+                                       conflict_rate=0.0, seed=1)
+                server.transport.sever_all()
+                server.transport.sever_peer("replica1")     # idempotent
+                server.transport.sever_peer("no-such-node")  # unknown: no-op
+                second = await run_load(spec, num_clients=1, duration_ms=None,
+                                        ops_per_client=2, write_ratio=1.0,
+                                        conflict_rate=0.0, seed=2)
+            finally:
+                await server.stop()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first["ops"] == 2 and second["ops"] == 2
+
+
+# --------------------------------------------------------------------------- #
+# Torn-trace tolerance (crash-truncated captures)
+# --------------------------------------------------------------------------- #
+def _write_torn_trace(path):
+    from repro.core.events import Operation
+
+    history = History()
+    history.add(Operation.write("p1", "x", "v", invoked_at=0.0,
+                                responded_at=1.0, carstamp=(1, 0, "p1")))
+    history.add(Operation.read("p1", "x", "v", invoked_at=2.0,
+                               responded_at=3.0, carstamp=(1, 0, "p1")))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"type":"meta","protocol":"gryff-rsc"}\n')
+        history.to_jsonl(handle)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    assert text.endswith("}\n")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text[:-15])   # crash mid-write of the final record
+
+
+class TestTornTraces:
+    def test_iter_jsonl_records_skips_the_torn_tail_with_a_warning(self):
+        lines = ['{"a": 1}\n', '{"b": 2}\n', '{"c": ']
+        with pytest.warns(RuntimeWarning, match="torn record"):
+            records = list(iter_jsonl_records(lines))
+        assert records == [{"a": 1}, {"b": 2}]
+
+    def test_read_trace_tolerates_a_torn_final_record(self, tmp_path):
+        path = str(tmp_path / "torn.jsonl")
+        _write_torn_trace(path)
+        with pytest.warns(RuntimeWarning, match="torn record"):
+            meta, history = read_trace(path)
+        assert meta["protocol"] == "gryff-rsc"
+        assert len(history) == 1
+
+    def test_history_from_jsonl_tolerates_a_torn_final_record(self, tmp_path):
+        path = str(tmp_path / "torn.jsonl")
+        _write_torn_trace(path)
+        with pytest.warns(RuntimeWarning, match="torn record"):
+            history = History.from_jsonl(path)
+        assert len(history) == 1
+
+    def test_follow_trace_records_warns_on_a_torn_tail(self, tmp_path):
+        path = str(tmp_path / "torn.jsonl")
+        _write_torn_trace(path)
+        with pytest.warns(RuntimeWarning, match="torn record"):
+            records = list(follow_trace_records(path, idle_timeout=0))
+        assert [r.get("type") for r in records] == ["meta", "op"]
+
+    def test_mid_stream_corruption_still_raises(self, tmp_path):
+        """Only the *final* record may be torn; corruption mid-file is a real
+        error, not crash truncation."""
+        path = str(tmp_path / "corrupt.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"type":"meta"}\n')
+            handle.write("not json at all\n")
+            handle.write('{"type":"inv","process":"p1","invoked_at":1.0}\n')
+        with pytest.raises(ValueError):
+            list(follow_trace_records(path, idle_timeout=0))
+
+    def test_rotation_fsyncs_the_completed_file(self, tmp_path, monkeypatch):
+        """Completed files of a rotated set must be durable even when
+        per-record fsync is off: readers treat non-final files as torn-free."""
+        synced = []
+        monkeypatch.setattr("repro.net.recorder.os.fsync",
+                            lambda fd: synced.append(fd))
+        writer = TraceWriter(str(tmp_path / "trace.jsonl"), rotate_bytes=120,
+                             fsync=False)
+        for i in range(12):
+            writer.record_invocation(f"client{i}@CA", float(i))
+        writer.close()
+        assert synced, "rotation must fsync the file it is completing"
+        assert len(list(tmp_path.glob("trace-*.jsonl"))) > 1
