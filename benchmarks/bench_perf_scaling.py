@@ -81,6 +81,24 @@ def test_sweep_wall_clock_recorded_and_deterministic(perf_payload):
         assert sweep["speedup"] > 1.0
 
 
+def test_metrics_overhead_within_bounds(perf_payload):
+    """Attaching the metrics registry must not tank live throughput.
+
+    The instrumentation is scrape-time collectors plus a handful of integer
+    increments on the transport hot path, so the on/off throughput ratio
+    sits near 1.0.  The live loop is I/O-bound and CI machines are noisy,
+    so the unconditional bound is loose (>= 0.75); the paper-claim bound of
+    "within 5%" (>= 0.95) is opt-in via REPRO_PERF_STRICT=1 on quiet hosts.
+    """
+    metrics = perf_payload["metrics_overhead"]
+    assert metrics["ops"] > 0
+    assert metrics["registry_off_ops_per_s"] > 0
+    assert metrics["registry_on_ops_per_s"] > 0
+    assert metrics["throughput_ratio"] >= 0.75, metrics
+    if os.environ.get("REPRO_PERF_STRICT") == "1":
+        assert metrics["throughput_ratio"] >= 0.95, metrics
+
+
 def test_speedup_vs_seed_baseline(perf_payload):
     """The baseline comparison must be present and well-formed.
 

@@ -213,6 +213,9 @@ class LiveStore(Store):
         self._config = None
         self._truetime = None
         self._session_counter = itertools.count(1)
+        #: Optional :class:`~repro.obs.backpressure.AdmissionController`;
+        #: ``None`` (the default) admits every session unconditionally.
+        self.admission = None
 
     @property
     def protocol(self) -> str:
@@ -235,6 +238,8 @@ class LiveStore(Store):
     def session(self, site: Optional[str] = None, name: Optional[str] = None,
                 level: Union[ConsistencyLevel, str, None] = None,
                 record_history: bool = True) -> Session:
+        if self.admission is not None:
+            self.admission.admit()
         level = self.negotiate(level)
         sites = self.spec.sites()
         if site is None:

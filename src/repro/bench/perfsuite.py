@@ -42,6 +42,7 @@ __all__ = [
     "bench_constraint_derivation",
     "bench_serialization_search",
     "bench_sim_kernel",
+    "bench_metrics_overhead",
     "bench_streaming_checker",
     "bench_sweep_wall_clock",
     "run_perf_suite",
@@ -68,6 +69,9 @@ PERF_SCALES: Dict[str, Dict[str, Any]] = {
         "sweep_client_counts": (4, 8, 16),
         "sweep_duration_ms": 600.0,
         "streaming_sizes": (10_000, 100_000),
+        "metrics_ops_per_client": 40,
+        "metrics_clients": 4,
+        "metrics_repeats": 2,
     },
     "full": {
         "history_sizes": (200, 500, 1000, 2000, 5000),
@@ -78,6 +82,9 @@ PERF_SCALES: Dict[str, Dict[str, Any]] = {
         "sweep_client_counts": (4, 8, 16, 32),
         "sweep_duration_ms": 2_000.0,
         "streaming_sizes": (10_000, 100_000),
+        "metrics_ops_per_client": 80,
+        "metrics_clients": 4,
+        "metrics_repeats": 3,
     },
 }
 
@@ -349,6 +356,68 @@ def bench_streaming_checker(sizes: Sequence[int] = (10_000, 100_000),
     return rows
 
 
+def bench_metrics_overhead(ops_per_client: int = 40, num_clients: int = 4,
+                           repeats: int = 2, seed: int = 31) -> Dict[str, Any]:
+    """Live Gryff ops/s with the metrics registry detached vs attached.
+
+    Runs the same fixed-op closed-loop load (3 in-process replicas, real
+    asyncio TCP) twice per repeat — once with ``metrics=None`` everywhere
+    (the default, uninstrumented path) and once with one
+    :class:`~repro.obs.MetricsRegistry` instrumenting the server process
+    *and* the load's client transport — and reports the best throughput of
+    each side plus their ratio.  The instrumented side also renders the
+    registry once per run, so the scrape cost is inside the measurement.
+
+    The numbers are honest live-loop throughputs on whatever machine runs
+    the suite: the loop is I/O-bound, so the ratio hovers around 1.0 and is
+    only loosely bounded in CI (see ``benchmarks/bench_perf_scaling.py``).
+    """
+    import asyncio
+
+    from repro.net.cluster import LiveProcess
+    from repro.net.load import run_load
+    from repro.net.spec import ClusterSpec
+
+    async def one_run(registry) -> float:
+        spec = ClusterSpec.gryff(num_replicas=3, base_port=0)
+        server = LiveProcess(spec, metrics=registry)
+        await server.start()
+        try:
+            summary = await run_load(
+                spec, num_clients=num_clients, duration_ms=None,
+                ops_per_client=ops_per_client, write_ratio=0.5,
+                conflict_rate=0.2, seed=seed, metrics=registry)
+        finally:
+            await server.stop()
+        if registry is not None:
+            registry.render()
+        assert summary["ops"] == num_clients * ops_per_client
+        return summary["throughput_ops_per_s"]
+
+    def best(with_registry: bool) -> float:
+        top = 0.0
+        for _ in range(repeats):
+            if with_registry:
+                from repro.obs.registry import MetricsRegistry
+
+                registry = MetricsRegistry()
+            else:
+                registry = None
+            top = max(top, asyncio.run(one_run(registry)))
+        return top
+
+    off = best(False)
+    on = best(True)
+    return {
+        "ops": num_clients * ops_per_client,
+        "clients": num_clients,
+        "repeats": repeats,
+        "registry_off_ops_per_s": off,
+        "registry_on_ops_per_s": on,
+        "throughput_ratio": on / max(off, 1e-9),
+    }
+
+
 def bench_sweep_wall_clock(client_counts: Sequence[int] = (4, 8, 16),
                            duration_ms: float = 600.0,
                            jobs: Optional[int] = None) -> Dict[str, Any]:
@@ -393,7 +462,7 @@ def run_perf_suite(scale: str = "quick",
         raise ValueError(f"unknown perf scale {scale!r}; use one of {sorted(PERF_SCALES)}")
     params = PERF_SCALES[scale]
     return {
-        "schema": "bench-perf/3",
+        "schema": "bench-perf/4",
         "scale": scale,
         "sweep_engine": True,
         "constraints": bench_constraint_derivation(params["history_sizes"]),
@@ -401,6 +470,9 @@ def run_perf_suite(scale: str = "quick",
         "sim": bench_sim_kernel(params["sim_procs"], params["sim_rounds"],
                                 params["store_items"]),
         "streaming": bench_streaming_checker(params["streaming_sizes"]),
+        "metrics_overhead": bench_metrics_overhead(
+            params["metrics_ops_per_client"], params["metrics_clients"],
+            repeats=params["metrics_repeats"]),
         "sweep_wall_clock": bench_sweep_wall_clock(
             params["sweep_client_counts"], params["sweep_duration_ms"],
             jobs=jobs),
@@ -485,6 +557,14 @@ def perf_report_rows(payload: Dict[str, Any]) -> List[List[Any]]:
                      f"(batch {row['batch_peak_mb']:.2f}, "
                      f"{row['epochs']} epochs, "
                      f"peak epoch {row['max_segment_ops']} ops)"])
+    metrics = payload.get("metrics_overhead")
+    if metrics:
+        rows.append([f"live ops/s, registry off ({metrics['ops']} ops)",
+                     f"{metrics['registry_off_ops_per_s']:,.0f}"])
+        rows.append(["live ops/s, registry on",
+                     f"{metrics['registry_on_ops_per_s']:,.0f}"])
+        rows.append(["metrics throughput ratio (on/off)",
+                     f"{metrics['throughput_ratio']:.3f}"])
     sweep = payload.get("sweep_wall_clock")
     if sweep:
         rows.append([f"sweep serial wall clock ({sweep['trials']} trials, s)",

@@ -364,7 +364,8 @@ def _first_window_start(scenario: Scenario) -> float:
 # --------------------------------------------------------------------------- #
 # Simulated backend
 # --------------------------------------------------------------------------- #
-def _run_sim(scenario: Scenario, trace_dir: str) -> ChaosReport:
+def _run_sim(scenario: Scenario, trace_dir: str,
+             metrics: Optional[Any] = None) -> ChaosReport:
     protocol = scenario.protocol
     model = negotiate(protocol, scenario.level).checker_model
     report = ChaosReport(scenario=scenario.name, backend="sim",
@@ -420,6 +421,19 @@ def _run_sim(scenario: Scenario, trace_dir: str) -> ChaosReport:
     def node_map():
         return (cluster.replicas if protocol in GRYFF_PROTOCOLS
                 else cluster.shards)
+
+    if metrics is not None:
+        from repro.obs.instrument import (
+            instrument_fault_controller,
+            instrument_node,
+        )
+
+        instrument_fault_controller(metrics, controller)
+        # Getters read through node_map so crash/restart replacements are
+        # followed at the next scrape.
+        for node_name in list(node_map()):
+            instrument_node(metrics, node_name,
+                            (lambda n: lambda: node_map()[n])(node_name))
 
     snapshots: Dict[str, Dict[str, Any]] = {}
 
@@ -484,7 +498,8 @@ def _run_sim(scenario: Scenario, trace_dir: str) -> ChaosReport:
 # --------------------------------------------------------------------------- #
 # Live backend
 # --------------------------------------------------------------------------- #
-async def _run_live_async(scenario: Scenario, trace_dir: str) -> ChaosReport:
+async def _run_live_async(scenario: Scenario, trace_dir: str,
+                          metrics: Optional[Any] = None) -> ChaosReport:
     from repro.net.cluster import LiveProcess
     from repro.net.spec import ClusterSpec
 
@@ -528,6 +543,22 @@ async def _run_live_async(scenario: Scenario, trace_dir: str) -> ChaosReport:
     report.trace_path = trace_path
     store = open_store(spec, history=history, recorder=LatencyRecorder())
     store.process.transport.faults = controller
+    if metrics is not None:
+        from repro.obs.instrument import (
+            instrument_fault_controller,
+            instrument_process,
+            instrument_transport,
+        )
+
+        instrument_fault_controller(metrics, controller)
+        # Getters read through the procs table so the fresh LiveProcess a
+        # restart installs is followed at the next scrape.
+        for node_name in list(procs):
+            instrument_process(metrics,
+                               (lambda n: lambda: procs[n])(node_name),
+                               label=node_name)
+        instrument_transport(metrics, store.process.transport,
+                             node="clients")
     sessions = _build_sessions(store, scenario, spec.sites())
     session_names = [session.name for session in sessions]
     abandoned = [0]
@@ -609,11 +640,15 @@ async def _run_live_async(scenario: Scenario, trace_dir: str) -> ChaosReport:
 # Entry point
 # --------------------------------------------------------------------------- #
 def run_scenario(scenario: Scenario, backend: str = "sim",
-                 trace_dir: Optional[str] = None) -> ChaosReport:
+                 trace_dir: Optional[str] = None,
+                 metrics: Optional[Any] = None) -> ChaosReport:
     """Run ``scenario`` on ``backend`` (``"sim"`` or ``"live"``).
 
     ``trace_dir`` holds the JSONL trace and the per-node WALs (a fresh
-    temporary directory when ``None``).  Returns a :class:`ChaosReport`;
+    temporary directory when ``None``).  ``metrics`` — a
+    :class:`~repro.obs.MetricsRegistry` — instruments the fault controller
+    and every node for the run (``None`` attaches nothing and leaves every
+    code path byte-identical).  Returns a :class:`ChaosReport`;
     ``report.ok`` is the scenario's verdict.
     """
     if scenario.protocol in GRYFF_PROTOCOLS and any(
@@ -623,7 +658,8 @@ def run_scenario(scenario: Scenario, backend: str = "sim",
     if trace_dir is None:
         trace_dir = tempfile.mkdtemp(prefix="repro-chaos-")
     if backend == "sim":
-        return _run_sim(scenario, trace_dir)
+        return _run_sim(scenario, trace_dir, metrics=metrics)
     if backend == "live":
-        return asyncio.run(_run_live_async(scenario, trace_dir))
+        return asyncio.run(_run_live_async(scenario, trace_dir,
+                                           metrics=metrics))
     raise ValueError(f"unknown backend {backend!r} (sim or live)")

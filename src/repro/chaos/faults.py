@@ -148,6 +148,14 @@ class FaultController:
     def counters(self) -> Dict[str, int]:
         return {"dropped": self.dropped, "delayed": self.delayed}
 
+    def gauges(self) -> Dict[str, int]:
+        """Currently installed fault state (for the metrics registry)."""
+        return {
+            "partitions": len(self._groups),
+            "isolated": len(self._dead),
+            "rules": len(self._rules),
+        }
+
     def fate(self, src: str, dst: str, kind: str) -> Fate:
         """Decide what happens to one message from ``src`` to ``dst``."""
         if src in self._dead or dst in self._dead or self._partitioned(src, dst):

@@ -17,15 +17,21 @@ additionally writes the raw rows to a JSON file so results can be archived or
 plotted elsewhere.
 
 The live cluster runtime (real asyncio TCP instead of the simulator) is
-driven by four further subcommands:
+driven by five further subcommands:
 
 .. code-block:: console
 
    $ python -m repro init-config --protocol gryff-rsc --replicas 3 --out cluster.json
-   $ python -m repro serve --config cluster.json          # all nodes, or --node replica0
+   $ python -m repro serve --config cluster.json --metrics-port 9100
    $ python -m repro load --config cluster.json --clients 4 --duration-ms 2000 \
        --level rsc --trace trace.jsonl
    $ python -m repro live-check trace.jsonl
+   $ python -m repro monitor trace.jsonl --metrics-port 9101   # correctness sidecar
+
+``serve --metrics-port`` exposes each node's counters at ``/metrics``
+(Prometheus text format); ``monitor`` tails a growing trace, validates
+every quiescent epoch, and exits non-zero with a structured alert record
+on the first violation outside a declared fault window.
 
 ``load`` drives the cluster through the unified client API
 (:mod:`repro.api`): ``--level`` declares the consistency level sessions are
@@ -218,7 +224,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     spec = ClusterSpec.load(args.config)
     host_nodes = [args.node] if args.node else None
-    return asyncio.run(serve_forever(spec, host_nodes, wal_dir=args.wal_dir))
+    return asyncio.run(serve_forever(spec, host_nodes, wal_dir=args.wal_dir,
+                                     metrics_port=args.metrics_port))
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -263,6 +270,11 @@ def cmd_load(args: argparse.Namespace) -> int:
     spec = ClusterSpec.load(args.config)
     on_verdict = (lambda verdict: print(verdict.describe(), flush=True)) \
         if args.check_inline else None
+    metrics = None
+    if args.json or args.metrics_port is not None:
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
     try:
         summary = load_main(
             spec,
@@ -284,6 +296,8 @@ def cmd_load(args: argparse.Namespace) -> int:
             trace_flush_every=args.trace_flush_every,
             trace_fsync=args.trace_fsync,
             trace_rotate_bytes=args.trace_rotate_bytes,
+            metrics=metrics,
+            metrics_port=args.metrics_port,
         )
     except CapabilityError as exc:
         print(f"cannot open sessions: {exc}", file=sys.stderr)
@@ -312,6 +326,60 @@ def cmd_load(args: argparse.Namespace) -> int:
     if check and not check["satisfied"]:
         return 1
     return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.obs.monitor import run_monitor
+
+    windows: List[Any] = []
+    if args.scenario:
+        from repro.chaos import get_scenario
+
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        windows.extend(scenario.fault_windows())
+    for spec in args.fault_window or []:
+        try:
+            start_text, _, end_text = spec.partition(":")
+            windows.append((float(start_text), float(end_text)))
+        except ValueError:
+            print(f"bad --fault-window {spec!r}; expected START_MS:END_MS",
+                  file=sys.stderr)
+            return 2
+    try:
+        report = run_monitor(
+            args.trace,
+            protocol=args.protocol,
+            model=args.model,
+            min_epoch_ops=args.min_epoch_ops,
+            poll_interval=args.poll_interval,
+            max_poll_interval=args.max_poll_interval,
+            idle_timeout=args.idle_timeout,
+            fault_windows=windows,
+            metrics_port=args.metrics_port,
+            alert_path=args.alert_file,
+            on_verdict=lambda verdict: print(verdict.describe(), flush=True),
+        )
+    except ValueError as exc:
+        print(f"cannot monitor trace: {exc}", file=sys.stderr)
+        return 2
+    if report.exit_code == 2:
+        print(f"no usable records at {args.trace} (missing protocol header?)",
+              file=sys.stderr)
+        return 2
+    verdict = "CLEAN" if report.alert is None else (
+        f"ALERT (epoch {report.alert['epoch']['index']}: "
+        f"{report.alert['epoch']['reason']})")
+    print(f"monitor {args.trace}: {report.ops_checked} ops in "
+          f"{report.epochs} epoch(s), {len(report.violations)} violation(s) "
+          f"({len(report.violations_outside_windows)} outside fault windows) "
+          f"— {report.model}: {verdict}"
+          + (" [interrupted]" if report.interrupted else ""))
+    _write_json(args.json, report.to_dict())
+    return report.exit_code
 
 
 def _declared_model(meta: Dict[str, Any]) -> Optional[str]:
@@ -557,6 +625,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write-ahead-log directory: hosted nodes log "
                             "durably to <dir>/<node>.wal and recover from "
                             "it on restart")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="serve Prometheus metrics for this process at "
+                            "http://127.0.0.1:PORT/metrics (0 = ephemeral "
+                            "port, announced in the ready message)")
     serve.set_defaults(func=cmd_serve)
 
     chaos = subparsers.add_parser(
@@ -617,7 +689,12 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--trace-rotate-bytes", type=int, default=None,
                       help="rotate the trace into trace-0001.jsonl, ... "
                            "once a file reaches this size")
-    load.add_argument("--json", help="also write the summary to this JSON file")
+    load.add_argument("--metrics-port", type=int, default=None,
+                      help="serve the load generator's metrics at "
+                           "http://127.0.0.1:PORT/metrics while it runs "
+                           "(0 = ephemeral port)")
+    load.add_argument("--json", help="also write the summary to this JSON "
+                                     "file (includes a metrics section)")
     load.set_defaults(func=cmd_load)
 
     live_check = subparsers.add_parser(
@@ -643,6 +720,46 @@ def build_parser() -> argparse.ArgumentParser:
                             help="--follow poll interval in seconds")
     live_check.add_argument("--json", help="also write the verdict to this JSON file")
     live_check.set_defaults(func=cmd_live_check)
+
+    monitor = subparsers.add_parser(
+        "monitor", help="correctness sidecar: tail a live trace, check every "
+                        "epoch, alert + exit non-zero on an out-of-window "
+                        "violation")
+    monitor.add_argument("trace", help="JSONL trace (or rotated set base "
+                                       "path) being written by `repro load`")
+    monitor.add_argument("--protocol",
+                         choices=["gryff", "gryff-rsc", "spanner", "spanner-rss"],
+                         help="override the trace's protocol header")
+    monitor.add_argument("--model",
+                         help="override the trace's declared checker model")
+    monitor.add_argument("--min-epoch-ops", type=int, default=64,
+                         help="epoch size floor (default 64)")
+    monitor.add_argument("--poll-interval", type=float, default=0.2,
+                         help="initial poll interval in seconds (default 0.2)")
+    monitor.add_argument("--max-poll-interval", type=float, default=2.0,
+                         help="idle polls back off exponentially up to this "
+                              "interval (default 2.0)")
+    monitor.add_argument("--idle-timeout", type=float, default=None,
+                         help="stop after this many seconds without new "
+                              "records (default: follow until interrupted; "
+                              "0 = read what exists and stop)")
+    monitor.add_argument("--metrics-port", type=int, default=None,
+                         help="serve the monitor's own metrics at "
+                              "http://127.0.0.1:PORT/metrics (0 = ephemeral)")
+    monitor.add_argument("--scenario",
+                         help="chaos scenario whose fault windows excuse "
+                              "violations (see `repro chaos --list`)")
+    monitor.add_argument("--fault-window", action="append",
+                         metavar="START_MS:END_MS",
+                         help="trace-relative fault window; violations whose "
+                              "epochs overlap one are expected, not alerts "
+                              "(repeatable, adds to --scenario windows)")
+    monitor.add_argument("--alert-file",
+                         help="append the structured alert record to this "
+                              "JSONL file (also printed to stderr)")
+    monitor.add_argument("--json", help="also write the monitor report to "
+                                        "this JSON file")
+    monitor.set_defaults(func=cmd_monitor)
 
     return parser
 

@@ -48,12 +48,18 @@ class LiveProcess:
         A :class:`~repro.chaos.faults.FaultController` installed on the
         transport, so one nemesis object steers drops/partitions/delays
         across every process in the run.
+    ``metrics``
+        A :class:`~repro.obs.MetricsRegistry`; when given, the transport
+        and every hosted node are instrumented (scrape-time collectors, so
+        the hot paths stay untouched).  ``None`` — the default — attaches
+        nothing.
     """
 
     def __init__(self, spec: ClusterSpec, host_nodes: Optional[Iterable[str]] = None,
                  wal_dir: Optional[str] = None,
                  leases: Optional[Dict[str, object]] = None,
-                 faults: Optional[object] = None):
+                 faults: Optional[object] = None,
+                 metrics: Optional[object] = None):
         self.spec = spec
         self.env = RealtimeEnvironment(epoch=spec.epoch)
         self.transport = LiveTransport(spec, self.env)
@@ -70,6 +76,11 @@ class LiveProcess:
         self.truetime: Optional[TrueTime] = None
         self._pump_task: Optional[asyncio.Task] = None
         self._build_nodes()
+        self.metrics = metrics
+        if metrics is not None:
+            from repro.obs.instrument import instrument_process
+
+            instrument_process(metrics, self)
 
     def _wal_for(self, name: str):
         if self.wal_dir is None:
@@ -157,14 +168,28 @@ async def serve_forever(spec: ClusterSpec,
                         host_nodes: Optional[Iterable[str]] = None,
                         ready_message: bool = True,
                         stop_event: Optional[asyncio.Event] = None,
-                        wal_dir: Optional[str] = None) -> int:
+                        wal_dir: Optional[str] = None,
+                        metrics_port: Optional[int] = None) -> int:
     """Run a server process until SIGINT/SIGTERM (or ``stop_event``).
 
-    Returns the process exit code: 0 on a clean, signal-driven shutdown,
-    1 if the event pump died (a protocol error surfaced).
+    ``metrics_port`` instruments the process with a fresh registry and
+    serves it at ``http://127.0.0.1:<port>/metrics`` (0 = ephemeral port,
+    announced in the ready message).  Returns the process exit code: 0 on a
+    clean, signal-driven shutdown, 1 if the event pump died (a protocol
+    error surfaced).
     """
-    process = LiveProcess(spec, host_nodes, wal_dir=wal_dir)
+    metrics = None
+    metrics_server = None
+    if metrics_port is not None:
+        from repro.obs.http import MetricsServer
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        metrics_server = MetricsServer(metrics, port=metrics_port)
+    process = LiveProcess(spec, host_nodes, wal_dir=wal_dir, metrics=metrics)
     ports = await process.start()
+    bound_metrics_port = (await metrics_server.start()
+                          if metrics_server is not None else None)
     stop = stop_event if stop_event is not None else asyncio.Event()
     loop = asyncio.get_running_loop()
     registered = []
@@ -177,8 +202,10 @@ async def serve_forever(spec: ClusterSpec,
     if ready_message:
         listening = " ".join(f"{name}={spec.nodes[name].host}:{port}"
                              for name, port in sorted(ports.items()))
-        print(f"repro-serve ready protocol={spec.protocol} {listening}",
-              flush=True)
+        suffix = (f" metrics=127.0.0.1:{bound_metrics_port}"
+                  if bound_metrics_port is not None else "")
+        print(f"repro-serve ready protocol={spec.protocol} {listening}"
+              f"{suffix}", flush=True)
     exit_code = 0
     stop_wait = asyncio.ensure_future(stop.wait())
     try:
@@ -193,6 +220,8 @@ async def serve_forever(spec: ClusterSpec,
         stop_wait.cancel()
         for signum in registered:
             loop.remove_signal_handler(signum)
+        if metrics_server is not None:
+            await metrics_server.close()
         await process.stop()
     if ready_message:
         print("repro-serve stopped", flush=True)

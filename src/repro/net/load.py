@@ -121,7 +121,10 @@ async def run_load(spec: ClusterSpec, *,
                    on_verdict=None,
                    trace_flush_every: int = 1,
                    trace_fsync: bool = False,
-                   trace_rotate_bytes: Optional[int] = None) -> Dict[str, Any]:
+                   trace_rotate_bytes: Optional[int] = None,
+                   metrics: Optional[Any] = None,
+                   metrics_port: Optional[int] = None,
+                   admission: Optional[Any] = None) -> Dict[str, Any]:
     """Drive a running cluster; returns a summary dict (and writes a trace).
 
     The returned summary carries per-category percentiles, throughput, and
@@ -133,6 +136,15 @@ async def run_load(spec: ClusterSpec, *,
     sessions are opened at (negotiated against the cluster's protocol;
     default: the protocol's native level) and the model the inline checker
     validates.
+
+    ``metrics`` — a :class:`~repro.obs.MetricsRegistry` — instruments the
+    client-side transport (and the inline checker, when active) and adds a
+    ``metrics`` section to the summary; ``metrics_port`` additionally
+    serves it at ``/metrics`` for the run's duration (0 = ephemeral port).
+    ``admission`` installs an
+    :class:`~repro.obs.backpressure.AdmissionController` on the store, so
+    overload sheds or delays session opens.  All three default to ``None``:
+    the uninstrumented path is byte-identical to previous releases.
     """
     # Negotiate before any side effects (e.g. opening the trace file), so a
     # CapabilityError cannot leak an open writer.
@@ -162,6 +174,19 @@ async def run_load(spec: ClusterSpec, *,
                                         min_epoch_ops=check_min_epoch_ops,
                                         on_verdict=on_verdict)
         history.attach_observer(checker)
+    if admission is not None:
+        store.admission = admission
+    metrics_server = None
+    if metrics is not None:
+        from repro.obs.instrument import instrument_checker, instrument_transport
+
+        instrument_transport(metrics, store.process.transport, node="load")
+        if checker is not None:
+            instrument_checker(metrics, checker)
+        if metrics_port is not None:
+            from repro.obs.http import MetricsServer
+
+            metrics_server = MetricsServer(metrics, port=metrics_port)
     recorder = store.recorder
     try:
         sessions = _build_sessions(store, num_clients, client_prefix, level)
@@ -173,10 +198,16 @@ async def run_load(spec: ClusterSpec, *,
             duration_ms=duration_ms, operations_per_client=ops_per_client,
             think_time_ms=think_time_ms,
         )
+        if metrics_server is not None:
+            port = await metrics_server.start()
+            print(f"repro-load metrics on http://127.0.0.1:{port}/metrics",
+                  flush=True)
         await store.start()    # no listeners; starts the pump
         await store.drive(driver)
     finally:
         await store.stop()
+        if metrics_server is not None:
+            await metrics_server.close()
         if writer is not None:
             writer.close()
 
@@ -204,6 +235,10 @@ async def run_load(spec: ClusterSpec, *,
             "first_violation": (report.first_violation.describe()
                                 if report.first_violation else None),
         }
+    if metrics is not None:
+        summary["metrics"] = metrics.as_dict()
+    if admission is not None:
+        summary["admission"] = admission.counters()
     return summary
 
 

@@ -239,6 +239,8 @@ def follow_trace_records(
     poll_interval: float = 0.2,
     idle_timeout: Optional[float] = None,
     stop: Optional[Callable[[], bool]] = None,
+    max_poll_interval: Optional[float] = None,
+    backoff: float = 2.0,
     _sleep: Callable[[float], None] = _time.sleep,
 ) -> Iterator[Dict[str, Any]]:
     """Yield parsed trace records as they are written (``tail -f``).
@@ -250,10 +252,23 @@ def follow_trace_records(
     ``idle_timeout`` seconds (``idle_timeout=0`` reads exactly what exists
     and returns; ``None`` follows forever).
 
+    Idle polling backs off exponentially when ``max_poll_interval`` is
+    set: each sleep with no new data multiplies the delay by ``backoff``
+    (from ``poll_interval`` up to ``max_poll_interval``), and any data
+    resets it — a long-lived monitor on an idle cluster polls rarely but
+    reacts at ``poll_interval`` granularity once traffic resumes.  The
+    default ``max_poll_interval=None`` keeps the historical fixed-interval
+    behavior.
+
     A partial trailing line is buffered until its newline arrives; at
     stream end an undecodable partial tail is tolerated (crash truncation),
     but an undecodable line *mid-stream* raises ``ValueError``.
     """
+    if max_poll_interval is not None:
+        if max_poll_interval < poll_interval:
+            raise ValueError("max_poll_interval must be >= poll_interval")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
 
     def candidate_files() -> list:
         if os.path.exists(path):
@@ -267,15 +282,18 @@ def follow_trace_records(
     handle: Optional[IO[str]] = None
     buffer = ""
     idle = 0.0
+    delay = poll_interval
     try:
         while True:
             files = candidate_files()
             if handle is None and index < len(files):
                 handle = open(files[index], "r", encoding="utf-8")
                 idle = 0.0
+                delay = poll_interval
             chunk = handle.read() if handle is not None else ""
             if chunk:
                 idle = 0.0
+                delay = poll_interval
                 buffer += chunk
                 *lines, buffer = buffer.split("\n")
                 for line in lines:
@@ -304,8 +322,10 @@ def follow_trace_records(
                 break
             if idle_timeout is not None and idle >= idle_timeout:
                 break
-            _sleep(poll_interval)
-            idle += poll_interval
+            _sleep(delay)
+            idle += delay
+            if max_poll_interval is not None:
+                delay = min(delay * backoff, max_poll_interval)
     finally:
         if handle is not None:
             handle.close()

@@ -198,6 +198,10 @@ class _Channel:
                 await asyncio.sleep(policy.delay(attempt, rng))
                 continue
             attempt = 0
+            if self._writer is not None:
+                # A writer from a previous life of this channel means this
+                # successful dial is a *re*-connect.
+                self.transport.reconnects += 1
             self._writer = writer
             # Watch the read side too: a peer closing the connection surfaces
             # as EOF there long before a write into the half-open socket
@@ -273,6 +277,11 @@ class LiveTransport(TransportBase):
         self._next_msg_id = 0
         self.messages_sent = 0
         self.messages_received = 0
+        #: Wire bytes of frames queued for sending / fully read.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Successful redials of a previously connected peer channel.
+        self.reconnects = 0
         self.closed = False
 
     # ------------------------------------------------------------------ #
@@ -337,7 +346,9 @@ class LiveTransport(TransportBase):
             log.warning("dropping %s from %s: no route to %r (peer gone?)",
                         kind, src, dst)
             return
-        channel.send_frame(encode_frame(message_to_frame(message)))
+        frame = encode_frame(message_to_frame(message))
+        self.bytes_sent += len(frame)
+        channel.send_frame(frame)
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -393,6 +404,23 @@ class LiveTransport(TransportBase):
         self._dialers.clear()
         self._routes.clear()
 
+    def _count_rx_bytes(self, size: int) -> None:
+        self.bytes_received += size
+
+    def queue_depth(self) -> int:
+        """Frames queued toward peers but not yet written to a socket.
+
+        A growing depth means a peer is unreachable (frames accumulate
+        behind reconnect backoff) or the process cannot keep up — the
+        admission controller's overload signal.
+        """
+        depth = 0
+        for channel in list(self._dialers.values()) + list(self._accepted):
+            if channel.closed:
+                continue
+            depth += channel._queue.qsize() + (channel._pending is not None)
+        return depth
+
     def _deliver_local(self, message: Message) -> None:
         endpoint = self._local.get(message.dst)
         if endpoint is None:  # node deregistered between send and delivery
@@ -407,7 +435,7 @@ class LiveTransport(TransportBase):
                          route_channel: Optional[_Channel]) -> None:
         try:
             while True:
-                frame = await read_frame(reader)
+                frame = await read_frame(reader, on_bytes=self._count_rx_bytes)
                 if frame is None:
                     return
                 self._handle_frame(frame, route_channel)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim.network import Message
 
@@ -55,8 +55,16 @@ def encode_frame(record: Dict[str, Any]) -> bytes:
     return _LENGTH.pack(len(body)) + body
 
 
-async def read_frame(reader: "asyncio.StreamReader") -> Optional[Dict[str, Any]]:
-    """Read one frame; returns ``None`` on a clean EOF at a frame boundary."""
+async def read_frame(
+    reader: "asyncio.StreamReader",
+    on_bytes: "Optional[Callable[[int], None]]" = None,
+) -> Optional[Dict[str, Any]]:
+    """Read one frame; returns ``None`` on a clean EOF at a frame boundary.
+
+    ``on_bytes``, when given, is called with the frame's total wire size
+    (header + body) once the frame is fully read — the transport's
+    bytes-received accounting.
+    """
     try:
         header = await reader.readexactly(_LENGTH.size)
     except asyncio.IncompleteReadError as exc:
@@ -70,6 +78,8 @@ async def read_frame(reader: "asyncio.StreamReader") -> Optional[Dict[str, Any]]
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise WireError("connection closed mid-frame") from exc
+    if on_bytes is not None:
+        on_bytes(_LENGTH.size + length)
     return _decode_body(body)
 
 

@@ -1,0 +1,52 @@
+"""Production observability: metrics, /metrics endpoints, and the monitor.
+
+The package is deliberately layered so each piece is usable alone:
+
+* :mod:`repro.obs.registry` — dependency-free counters, gauges, and
+  windowed histograms with Prometheus text exposition;
+* :mod:`repro.obs.http` — a stdlib-asyncio ``/metrics`` endpoint;
+* :mod:`repro.obs.instrument` — scrape-time collectors binding the
+  registry to transports, protocol nodes, WALs, leases, fault
+  controllers, and streaming checkers;
+* :mod:`repro.obs.backpressure` — admission control for new sessions
+  driven by checker lag / queue depth;
+* :mod:`repro.obs.monitor` — the ``repro monitor`` correctness sidecar.
+
+Attaching a registry is always opt-in; with none attached every runtime
+code path is byte-identical to the uninstrumented build.
+"""
+
+from repro.obs.backpressure import AdmissionController, BackpressureError
+from repro.obs.http import CONTENT_TYPE, MetricsServer, scrape
+from repro.obs.instrument import (
+    instrument_checker,
+    instrument_fault_controller,
+    instrument_node,
+    instrument_process,
+    instrument_transport,
+    peak_rss_bytes,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    WindowedHistogram,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BackpressureError",
+    "CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "MetricsServer",
+    "WindowedHistogram",
+    "instrument_checker",
+    "instrument_fault_controller",
+    "instrument_node",
+    "instrument_process",
+    "instrument_transport",
+    "peak_rss_bytes",
+    "scrape",
+]

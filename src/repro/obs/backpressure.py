@@ -1,0 +1,91 @@
+"""Admission control driven by observability signals.
+
+The monitor sidecar proves the cluster is still upholding its declared
+consistency level, but proof lags reality: if the checker falls behind
+(verdict lag grows) or the transport backs up (send queues deepen), the
+cluster is accepting work faster than it can either serve or *verify* it.
+:class:`AdmissionController` turns those two signals into an admission
+decision for **new sessions** — existing sessions keep running; the store
+simply refuses (or delays) new entrants until the cluster catches up.
+
+The hook sits in :meth:`repro.api.store.LiveStore.session`: a store's
+``admission`` attribute is ``None`` by default (the zero-overhead pattern —
+no controller, no check, byte-identical behavior), and when set the store
+calls :meth:`admit` before minting each session.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+__all__ = ["BackpressureError", "AdmissionController"]
+
+
+class BackpressureError(RuntimeError):
+    """A new session was shed because the cluster is overloaded."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"admission refused: {reason}")
+        self.reason = reason
+
+
+class AdmissionController:
+    """Shed or delay new sessions when observability signals cross thresholds.
+
+    ``checker_lag_s`` and ``queue_depth`` are zero-argument callables read at
+    admission time (the same scrape-time collector style the metrics
+    registry uses); either may be ``None`` when that signal is unavailable.
+    ``delay`` — an optional callable invoked with the overload reason —
+    turns shedding into cooperative delay: when it is set, :meth:`admit`
+    calls it instead of raising, and the caller (e.g. a load generator's
+    think-time hook) decides how to back off.
+    """
+
+    def __init__(self,
+                 max_checker_lag_s: Optional[float] = None,
+                 max_queue_depth: Optional[int] = None,
+                 checker_lag_s: Optional[Callable[[], float]] = None,
+                 queue_depth: Optional[Callable[[], int]] = None,
+                 delay: Optional[Callable[[str], None]] = None):
+        self.max_checker_lag_s = max_checker_lag_s
+        self.max_queue_depth = max_queue_depth
+        self.checker_lag_s = checker_lag_s
+        self.queue_depth = queue_depth
+        self.delay = delay
+        #: Sessions refused (raised) / delayed (handed to ``delay``).
+        self.shed = 0
+        self.delayed = 0
+        self.admitted = 0
+
+    def overloaded(self) -> Optional[str]:
+        """The active overload reason, or ``None`` when within thresholds."""
+        if (self.max_checker_lag_s is not None
+                and self.checker_lag_s is not None):
+            lag = self.checker_lag_s()
+            if lag > self.max_checker_lag_s:
+                return (f"checker lag {lag:.1f}s exceeds "
+                        f"{self.max_checker_lag_s:.1f}s")
+        if self.max_queue_depth is not None and self.queue_depth is not None:
+            depth = self.queue_depth()
+            if depth > self.max_queue_depth:
+                return (f"transport queue depth {depth} exceeds "
+                        f"{self.max_queue_depth}")
+        return None
+
+    def admit(self) -> None:
+        """Gate one new session: pass, delay, or raise
+        :class:`BackpressureError`."""
+        reason = self.overloaded()
+        if reason is None:
+            self.admitted += 1
+            return
+        if self.delay is not None:
+            self.delayed += 1
+            self.delay(reason)
+            return
+        self.shed += 1
+        raise BackpressureError(reason)
+
+    def counters(self) -> Dict[str, int]:
+        return {"admitted": self.admitted, "shed": self.shed,
+                "delayed": self.delayed}

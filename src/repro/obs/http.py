@@ -1,0 +1,129 @@
+"""A minimal /metrics HTTP endpoint on ``asyncio.start_server``.
+
+Serves one :class:`~repro.obs.registry.MetricsRegistry` in Prometheus text
+exposition format.  Deliberately tiny — HTTP/1.0 semantics, one request per
+connection, two routes — because the only clients are a scraper and
+``curl``; anything richer would drag in dependencies the repo does not
+have.
+
+Routes:
+
+* ``GET /metrics`` — the registry rendered as text 0.0.4.  Each scrape
+  resets histogram observation windows, so consecutive scrapes report
+  per-interval percentiles.
+* ``GET /healthz`` — ``ok`` (liveness for the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["MetricsServer", "CONTENT_TYPE", "scrape"]
+
+#: Prometheus text exposition content type (format version 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_MAX_REQUEST_BYTES = 16 * 1024
+
+
+class MetricsServer:
+    """Serve a registry's /metrics over a loopback HTTP endpoint."""
+
+    def __init__(self, registry: MetricsRegistry, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.registry = registry
+        self.host = host
+        self.port = port          # 0 → ephemeral; updated by start()
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: Requests served (any route), for tests and self-observation.
+        self.requests = 0
+
+    async def start(self) -> int:
+        """Bind and start serving; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain headers so well-behaved clients aren't reset mid-send.
+            drained = len(request_line)
+            while drained < _MAX_REQUEST_BYTES:
+                line = await reader.readline()
+                drained += len(line)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            method = parts[0] if parts else ""
+            if method not in ("GET", "HEAD"):
+                status, body = "405 Method Not Allowed", b"method not allowed\n"
+            elif path.split("?", 1)[0] == "/metrics":
+                status = "200 OK"
+                body = self.registry.render(reset_windows=True).encode("utf-8")
+            elif path.split("?", 1)[0] == "/healthz":
+                status, body = "200 OK", b"ok\n"
+            else:
+                status, body = "404 Not Found", b"not found\n"
+            self.requests += 1
+            header = (
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {CONTENT_TYPE}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            writer.write(header + (b"" if method == "HEAD" else body))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+
+
+async def scrape(host: str, port: int, path: str = "/metrics",
+                 timeout: float = 5.0) -> str:
+    """Fetch one endpoint's body (test/CI helper; no HTTP client deps)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout)
+    try:
+        writer.write(f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n"
+                     .encode("latin-1"))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+    text = raw.decode("utf-8", "replace")
+    head, sep, body = text.partition("\r\n\r\n")
+    if not sep:
+        head, _, body = text.partition("\n\n")
+    status = head.splitlines()[0] if head else ""
+    if " 200 " not in f" {status} ":
+        raise RuntimeError(f"scrape failed: {status!r}")
+    return body

@@ -1,0 +1,225 @@
+"""Wiring between the metrics registry and the runtime's hot paths.
+
+Almost everything here is a *scrape-time collector*: the runtime already
+keeps the interesting numbers (``LiveTransport.messages_sent``,
+``node.stats["commits"]``, ``FaultController.dropped``,
+``WriteAheadLog.seq``, ``LeaderLease.transitions``), so instrumentation
+binds registry metrics to callbacks that read them when ``/metrics`` is
+scraped.  Nothing new runs per operation — the zero-overhead-when-disabled
+guarantee is structural, not best-effort.
+
+The two exceptions, where a value must be *measured* rather than read:
+
+* WAL append latency — :attr:`WriteAheadLog.on_append_latency` is set to a
+  histogram observer (the attribute is ``None`` by default and the append
+  path skips timing entirely in that case);
+* streaming-checker verdicts — the checker's ``on_verdict`` callback is
+  wrapped to count epochs by outcome.
+
+Every ``instrument_*`` function accepts either the object itself or a
+zero-argument *getter* for it: chaos scenarios replace processes and node
+objects on crash/restart, and a getter reading through the owning dict
+keeps following the live instance.  A getter whose target is mid-restart
+may raise; the registry skips that collector for the scrape and the
+endpoint stays up.
+"""
+
+from __future__ import annotations
+
+import resource
+from typing import Any, Callable, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "instrument_transport",
+    "instrument_node",
+    "instrument_fault_controller",
+    "instrument_checker",
+    "instrument_process",
+    "peak_rss_bytes",
+]
+
+
+def _getter(target: Any) -> Callable[[], Any]:
+    """Normalize object-or-getter arguments to a getter."""
+    return target if callable(target) else (lambda: target)
+
+
+def peak_rss_bytes() -> float:
+    """This process's peak resident set size in bytes."""
+    # ru_maxrss is kilobytes on Linux (bytes on macOS; the factor is only
+    # cosmetic there and these metrics are best-effort).
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024.0
+
+
+def instrument_transport(registry: MetricsRegistry, transport: Any,
+                         node: str = "process") -> None:
+    """Bind a :class:`~repro.net.transport.LiveTransport`'s counters."""
+    get = _getter(transport)
+    messages = registry.counter(
+        "repro_transport_messages_total",
+        "Protocol messages through the transport by direction.")
+    messages.set_function(lambda: get().messages_sent,
+                          node=node, direction="out")
+    messages.set_function(lambda: get().messages_received,
+                          node=node, direction="in")
+    wire_bytes = registry.counter(
+        "repro_transport_bytes_total",
+        "Wire bytes (length prefix + JSON body) by direction.")
+    wire_bytes.set_function(lambda: get().bytes_sent,
+                            node=node, direction="out")
+    wire_bytes.set_function(lambda: get().bytes_received,
+                            node=node, direction="in")
+    registry.counter(
+        "repro_transport_reconnects_total",
+        "Successful redials of previously connected peer channels.",
+    ).set_function(lambda: get().reconnects, node=node)
+    registry.gauge(
+        "repro_transport_queue_depth",
+        "Frames queued toward peers but not yet written to a socket.",
+    ).set_function(lambda: get().queue_depth(), node=node)
+
+
+def instrument_node(registry: MetricsRegistry, name: str,
+                    node: Any) -> None:
+    """Bind one protocol node's op counters, WAL, and lease.
+
+    Works for both :class:`~repro.gryff.replica.GryffReplica` and
+    :class:`~repro.spanner.shard.ShardLeader` — whatever keys the node's
+    ``stats`` dict carries become ``op=`` labels.  Pass a getter to follow
+    crash/restart replacements of the node object.
+    """
+    get = _getter(node)
+    current = get()
+    ops = registry.counter(
+        "repro_node_ops_total",
+        "Protocol operations handled by each node, by type.")
+    for key in sorted(getattr(current, "stats", {})):
+        ops.set_function(
+            (lambda k: lambda: get().stats[k])(key), node=name, op=key)
+    if getattr(current, "wal", None) is not None:
+        registry.counter(
+            "repro_wal_appends_total",
+            "Durable WAL records appended (monotonic across checkpoints).",
+        ).set_function(lambda: get().wal.seq, node=name)
+        histogram = registry.histogram(
+            "repro_wal_append_latency_ms",
+            "Write+flush+fsync latency of one WAL append, milliseconds.")
+        current.wal.on_append_latency = (
+            lambda ms: histogram.observe(ms, node=name))
+    if getattr(current, "lease", None) is not None:
+        registry.gauge(
+            "repro_lease_term",
+            "Current lease term of the shard's leader lease.",
+        ).set_function(lambda: get().lease.term, node=name)
+        registry.counter(
+            "repro_lease_transitions_total",
+            "Lease holder changes (acquisitions and failovers).",
+        ).set_function(lambda: len(get().lease.transitions), node=name)
+
+
+def instrument_fault_controller(registry: MetricsRegistry,
+                                faults: Any) -> None:
+    """Bind a :class:`~repro.chaos.faults.FaultController`'s state."""
+    get = _getter(faults)
+    injected = registry.counter(
+        "repro_faults_injected_total",
+        "Messages dropped or delayed by the fault controller.")
+    injected.set_function(lambda: get().dropped, effect="dropped")
+    injected.set_function(lambda: get().delayed, effect="delayed")
+    registry.gauge(
+        "repro_faults_active",
+        "Whether any fault (partition, isolation, rule) is installed.",
+    ).set_function(lambda: float(get().active))
+    installed = registry.gauge(
+        "repro_faults_installed",
+        "Installed fault state by kind (partitions, isolated names, rules).")
+    for kind in ("partitions", "isolated", "rules"):
+        installed.set_function(
+            (lambda k: lambda: get().gauges()[k])(kind), kind=kind)
+
+
+def instrument_checker(registry: MetricsRegistry, checker: Any,
+                       lag_seconds: Optional[Callable[[], float]] = None
+                       ) -> None:
+    """Bind a streaming checker: verdict counters + stream gauges.
+
+    Wraps the checker's existing ``on_verdict`` callback (preserving it) to
+    count epochs by outcome and track the last/violating epoch index.
+    ``lag_seconds`` — supplied by whoever owns the wall clock for the
+    record stream (the monitor sidecar, the live load pipeline) — becomes
+    the ``repro_checker_lag_seconds`` gauge.
+    """
+    verdicts = registry.counter(
+        "repro_checker_epoch_verdicts_total",
+        "Closed epochs by verdict outcome.")
+    last_epoch = registry.gauge(
+        "repro_checker_last_epoch",
+        "Index of the most recently closed epoch (-1 before the first).")
+    last_epoch.set(-1)
+    violating = registry.gauge(
+        "repro_checker_violating_epoch",
+        "Index of the first violating epoch (-1 while clean).")
+    violating.set(-1)
+    last_ok = registry.gauge(
+        "repro_checker_last_verdict_ok",
+        "1 when the most recent epoch satisfied the model, else 0.")
+    previous = checker._on_verdict
+
+    def _counting(verdict: Any) -> None:
+        verdicts.inc(outcome="ok" if verdict.satisfied else "violation")
+        last_epoch.set(verdict.index)
+        last_ok.set(1.0 if verdict.satisfied else 0.0)
+        if not verdict.satisfied and violating.value() == -1:
+            violating.set(verdict.index)
+        if previous is not None:
+            previous(verdict)
+
+    checker._on_verdict = _counting
+    stream = checker._stream
+    registry.counter(
+        "repro_checker_ops_total",
+        "Operations folded into the streaming checker.",
+    ).set_function(lambda: stream.ops_seen)
+    registry.counter(
+        "repro_checker_epochs_total",
+        "Quiescent epochs cut by the segment stream.",
+    ).set_function(lambda: stream.segments_emitted)
+    registry.gauge(
+        "repro_checker_max_epoch_ops",
+        "Largest epoch the checker has had to verify at once.",
+    ).set_function(lambda: stream.max_segment_ops)
+    registry.gauge(
+        "repro_process_peak_rss_bytes",
+        "Peak resident set size of the observing process.",
+    ).set_function(peak_rss_bytes)
+    if lag_seconds is not None:
+        registry.gauge(
+            "repro_checker_lag_seconds",
+            "Wall-clock age of the oldest record not yet covered by a "
+            "closed epoch.",
+        ).set_function(lag_seconds)
+
+
+def instrument_process(registry: MetricsRegistry, process: Any,
+                       label: Optional[str] = None) -> None:
+    """Wire one :class:`~repro.net.cluster.LiveProcess` end to end.
+
+    Pass a getter to follow a process slot that chaos may kill and
+    rebuild (the fresh instance's transport, nodes, and WALs are picked up
+    at the next scrape; the WAL latency observer re-attaches to whatever
+    WAL the *current* node object carries).
+    """
+    get = _getter(process)
+    current = get()
+    if label is None:
+        label = ("+".join(current.host_names) if current.host_names
+                 else "client")
+    instrument_transport(registry, lambda: get().transport, node=label)
+    for name in list(current.nodes):
+        instrument_node(registry, name,
+                        (lambda n: lambda: get().nodes[n])(name))
+    if current.transport.faults is not None:
+        instrument_fault_controller(
+            registry, lambda: get().transport.faults)

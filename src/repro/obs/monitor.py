@@ -1,0 +1,337 @@
+"""The ``repro monitor`` correctness sidecar.
+
+A monitor tails a live trace (rotated sets included) through
+:func:`~repro.net.recorder.follow_trace_records`, drives the streaming
+consistency checker continuously, and turns the paper's guarantee into an
+*operational* signal:
+
+* its own ``/metrics`` endpoint reports the last verdict, the first
+  violating epoch, checker lag (wall-clock age of the oldest record not
+  yet covered by a closed epoch), and peak heap;
+* the first epoch that violates the declared model *outside every known
+  fault window* emits one structured alert record (schema
+  ``repro-alert/1``), stops the follow loop, and exits non-zero — the
+  sidecar contract a supervisor restarts/pages on;
+* violations *inside* a declared fault window are expected (the chaos
+  engine's own judging rule) and only counted.
+
+Fault windows are scenario-relative millisecond intervals anchored at the
+first timestamped record of the trace — the same anchoring the chaos
+engine uses (``run_start`` is sampled just before the first operation;
+every catalog window carries slack well above the anchoring error).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.http import MetricsServer
+from repro.obs.instrument import instrument_checker
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["ALERT_SCHEMA", "MonitorReport", "run_monitor"]
+
+ALERT_SCHEMA = "repro-alert/1"
+
+#: Record fields that carry a trace timestamp, by record type.
+_TIME_FIELDS = {"inv": "invoked_at", "op": "invoked_at", "abandon": "at"}
+
+
+class _ViolationStop(Exception):
+    """Internal: the first out-of-window violation ends the follow loop."""
+
+
+@dataclass
+class MonitorReport:
+    """Everything one monitor run observed, plus its exit code."""
+
+    trace: str
+    protocol: Optional[str] = None
+    model: Optional[str] = None
+    records: int = 0
+    ops_checked: int = 0
+    epochs: int = 0
+    satisfied: bool = True
+    violations: List[str] = field(default_factory=list)
+    violations_outside_windows: List[str] = field(default_factory=list)
+    fault_windows: List[Tuple[float, float]] = field(default_factory=list)
+    alert: Optional[Dict[str, Any]] = None
+    interrupted: bool = False
+    exit_code: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace": self.trace,
+            "protocol": self.protocol,
+            "model": self.model,
+            "records": self.records,
+            "operations": self.ops_checked,
+            "epochs": self.epochs,
+            "satisfied": self.satisfied,
+            "violations": list(self.violations),
+            "violations_outside_windows":
+                list(self.violations_outside_windows),
+            "fault_windows": [list(w) for w in self.fault_windows],
+            "alert": self.alert,
+            "interrupted": self.interrupted,
+            "exit_code": self.exit_code,
+        }
+
+
+class _MetricsThread(threading.Thread):
+    """Serve /metrics on a private asyncio loop beside the follow loop.
+
+    The follow loop is a synchronous generator (it blocks in ``sleep``
+    between polls), so the endpoint gets its own thread + event loop —
+    scrapes stay responsive however long the checker chews on an epoch.
+    """
+
+    def __init__(self, registry: MetricsRegistry, host: str, port: int):
+        super().__init__(name="repro-monitor-metrics", daemon=True)
+        self._registry = registry
+        self._host = host
+        self._port = port
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self.bound_port: Optional[int] = None
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # pragma: no cover - defensive
+            self.error = exc
+            self._ready.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        server = MetricsServer(self._registry, host=self._host,
+                               port=self._port)
+        try:
+            self.bound_port = await server.start()
+        except OSError as exc:
+            self.error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._shutdown.wait()
+        await server.close()
+
+    def start_and_wait(self) -> int:
+        self.start()
+        self._ready.wait(timeout=10.0)
+        if self.error is not None:
+            raise RuntimeError(
+                f"cannot serve monitor metrics: {self.error}")
+        if self.bound_port is None:
+            raise RuntimeError("monitor metrics endpoint did not start")
+        return self.bound_port
+
+    def stop(self) -> None:
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+        self.join(timeout=5.0)
+
+
+def _record_time(record: Dict[str, Any]) -> Optional[float]:
+    fname = _TIME_FIELDS.get(record.get("type"))
+    if fname is None:
+        return None
+    value = record.get(fname)
+    return float(value) if value is not None else None
+
+
+def _overlaps(start: Optional[float], end: Optional[float],
+              windows: Sequence[Tuple[float, float]]) -> bool:
+    lo = start if start is not None else 0.0
+    hi = end if end is not None else float("inf")
+    return any(lo <= w_end and hi >= w_start for w_start, w_end in windows)
+
+
+def run_monitor(
+    trace: str,
+    *,
+    protocol: Optional[str] = None,
+    model: Optional[str] = None,
+    min_epoch_ops: int = 64,
+    poll_interval: float = 0.2,
+    max_poll_interval: Optional[float] = 2.0,
+    backoff: float = 2.0,
+    idle_timeout: Optional[float] = None,
+    stop: Optional[Callable[[], bool]] = None,
+    fault_windows: Sequence[Tuple[float, float]] = (),
+    metrics_port: Optional[int] = None,
+    metrics_host: str = "127.0.0.1",
+    registry: Optional[MetricsRegistry] = None,
+    alert_path: Optional[str] = None,
+    on_verdict: Optional[Callable[[Any], None]] = None,
+    _clock: Callable[[], float] = time.time,
+) -> MonitorReport:
+    """Tail ``trace`` and check it continuously; see the module docstring.
+
+    ``fault_windows`` are scenario-relative ``(start_ms, end_ms)`` intervals
+    anchored at the trace's first timestamped record.  ``metrics_port``
+    (0 = ephemeral) serves the monitor's own ``/metrics``; the bound server
+    runs until the monitor returns.  Exit codes in the report: 0 clean,
+    1 out-of-window violation (``alert`` is set), 2 unusable trace.
+    """
+    from repro.net.check import (
+        check_record_stream,
+        default_model_for,
+        streaming_checker_for,
+    )
+    from repro.net.recorder import follow_trace_records
+
+    report = MonitorReport(trace=trace, protocol=protocol, model=model)
+    registry = registry if registry is not None else MetricsRegistry()
+
+    # Checker-lag bookkeeping: the wall instant the oldest record not yet
+    # covered by a closed epoch was seen by the monitor.
+    state = {"pending": 0, "pending_since": 0.0, "anchor": None}
+    windows_relative = [(float(s), float(e)) for s, e in fault_windows]
+    windows_absolute: List[Tuple[float, float]] = []
+
+    def lag_seconds() -> float:
+        if state["pending"] == 0:
+            return 0.0
+        return max(0.0, _clock() - state["pending_since"])
+
+    records_total = registry.counter(
+        "repro_monitor_records_total", "Trace records the monitor consumed.")
+    alerts_total = registry.counter(
+        "repro_monitor_alerts_total", "Out-of-window violation alerts.")
+    registry.gauge(
+        "repro_monitor_following", "1 while the follow loop is running.",
+    ).set_function(lambda: 1.0)
+
+    def observed(stream):
+        for record in stream:
+            report.records += 1
+            records_total.inc()
+            stamp = _record_time(record)
+            if stamp is not None and state["anchor"] is None:
+                state["anchor"] = stamp
+                windows_absolute.extend(
+                    (stamp + s, stamp + e) for s, e in windows_relative)
+                report.fault_windows = [
+                    (round(s, 3), round(e, 3)) for s, e in windows_absolute]
+            if record.get("type") in _TIME_FIELDS:
+                if state["pending"] == 0:
+                    state["pending_since"] = _clock()
+                state["pending"] += 1
+            yield record
+
+    closing = [False]
+
+    def handle_verdict(verdict: Any) -> None:
+        state["pending"] = 0
+        if on_verdict is not None:
+            on_verdict(verdict)
+        if verdict.satisfied is not False:
+            return
+        report.violations.append(verdict.describe())
+        if _overlaps(verdict.start_time, verdict.end_time, windows_absolute):
+            return
+        report.violations_outside_windows.append(verdict.describe())
+        if report.alert is not None:
+            return
+        alerts_total.inc()
+        report.alert = {
+            "type": "alert",
+            "schema": ALERT_SCHEMA,
+            "trace": trace,
+            "protocol": report.protocol,
+            "model": verdict.model,
+            "epoch": {
+                "index": verdict.index,
+                "ops": verdict.ops,
+                "start_time": verdict.start_time,
+                "end_time": verdict.end_time,
+                "reason": verdict.reason,
+                "op_ids": sorted(verdict.op_ids)[:64],
+            },
+            "fault_windows": [list(w) for w in windows_absolute],
+            "wall_time": _clock(),
+        }
+        _emit_alert(report.alert, alert_path)
+        if not closing[0]:
+            raise _ViolationStop
+
+    metrics_thread: Optional[_MetricsThread] = None
+    if metrics_port is not None:
+        metrics_thread = _MetricsThread(registry, metrics_host, metrics_port)
+        metrics_thread.start_and_wait()
+
+    checker = None
+    try:
+        records = iter(follow_trace_records(
+            trace, poll_interval=poll_interval, idle_timeout=idle_timeout,
+            stop=stop, max_poll_interval=max_poll_interval, backoff=backoff))
+        try:
+            first = next(records, None)
+            if first is not None:
+                declared = None
+                if first.get("type") == "meta":
+                    report.protocol = report.protocol or first.get("protocol")
+                    declared = first.get("model") or _declared_model(first)
+                if not report.protocol:
+                    report.exit_code = 2
+                    return report
+                report.model = (model or declared
+                                or default_model_for(report.protocol))
+                checker = streaming_checker_for(
+                    report.protocol, report.model,
+                    min_epoch_ops=min_epoch_ops, on_verdict=handle_verdict)
+                instrument_checker(registry, checker,
+                                   lag_seconds=lag_seconds)
+                check_record_stream(
+                    observed(itertools.chain([first], records)), checker)
+        except _ViolationStop:
+            pass
+        except KeyboardInterrupt:
+            report.interrupted = True
+        if checker is None:
+            report.exit_code = 2
+            return report
+        # The close-time final epoch may still produce the first violation;
+        # the flag keeps its callback from raising mid-close.
+        closing[0] = True
+        stream_report = checker.close()
+        report.ops_checked = stream_report.ops_checked
+        report.epochs = stream_report.epochs
+        report.satisfied = stream_report.satisfied
+        report.exit_code = 1 if report.alert is not None else 0
+        return report
+    finally:
+        if metrics_thread is not None:
+            metrics_thread.stop()
+
+
+def _declared_model(meta: Dict[str, Any]) -> Optional[str]:
+    """The checker model for the trace's declared consistency level."""
+    level = meta.get("level")
+    if not level:
+        return None
+    from repro.api.levels import ConsistencyLevel
+
+    try:
+        return ConsistencyLevel.parse(level).checker_model
+    except ValueError:
+        return None
+
+
+def _emit_alert(alert: Dict[str, Any], alert_path: Optional[str]) -> None:
+    line = json.dumps(alert, sort_keys=True)
+    if alert_path:
+        with open(alert_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+    print(f"repro-monitor ALERT {line}", file=sys.stderr, flush=True)

@@ -1,0 +1,289 @@
+"""A dependency-free metrics registry with Prometheus text exposition.
+
+Three metric kinds, mirroring the subset of the Prometheus data model the
+runtime needs:
+
+* :class:`Counter` — a monotonically increasing total.  Besides ``inc()``,
+  a counter may be bound to a *collector callback* reading an existing
+  monotonic attribute at scrape time (``set_function``) — the pattern every
+  hot-path integer in the codebase already follows (``messages_sent``,
+  ``stats["commits"]``, ``FaultController.dropped``), which is what makes
+  instrumentation zero-overhead: nothing new runs per operation, the
+  registry reads the numbers the code was already keeping when scraped.
+* :class:`Gauge` — a value that goes up and down (queue depth, checker lag,
+  active faults), settable directly or via a callback.
+* :class:`WindowedHistogram` — latency percentiles over the *current
+  observation window*, built on
+  :meth:`repro.sim.stats.LatencyRecorder.window_snapshot`: each scrape
+  reports streaming p50/p95/p99 of the samples since the previous scrape
+  (rendered as a Prometheus summary) plus cumulative ``_count``/``_sum``,
+  and then resets the window — per-interval percentiles never re-sort the
+  whole run's samples.
+
+A scrape (:meth:`MetricsRegistry.render`) never raises on a broken
+collector: a callback whose underlying object died (a crashed node mid
+chaos scenario) is skipped for that scrape and the endpoint stays
+scrapeable; ``render_errors`` counts the skips.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.stats import LatencyRecorder
+
+__all__ = ["Counter", "Gauge", "WindowedHistogram", "MetricsRegistry"]
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_labels(key: _LabelKey, extra: Sequence[Tuple[str, str]] = ()
+                   ) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"'
+                     for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _Metric:
+    """Common bookkeeping: name, help text, per-labelset values/callbacks."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: Dict[_LabelKey, float] = {}
+        self._callbacks: Dict[_LabelKey, Callable[[], float]] = {}
+
+    def set_function(self, fn: Callable[[], float], **labels: Any) -> None:
+        """Bind a labelset to a collector callback evaluated at scrape time."""
+        self._callbacks[_label_key(labels)] = fn
+
+    def value(self, **labels: Any) -> Optional[float]:
+        """The labelset's current value (callbacks are evaluated)."""
+        key = _label_key(labels)
+        fn = self._callbacks.get(key)
+        if fn is not None:
+            return float(fn())
+        return self._values.get(key)
+
+    def _samples(self, errors: List[int]) -> List[Tuple[_LabelKey, float]]:
+        samples: Dict[_LabelKey, float] = dict(self._values)
+        for key, fn in self._callbacks.items():
+            try:
+                samples[key] = float(fn())
+            except Exception:
+                # The collector's object is gone (crashed node mid-scenario);
+                # the scrape must survive it.
+                errors[0] += 1
+                samples.pop(key, None)
+        return sorted(samples.items())
+
+    def render(self, errors: List[int]) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key, value in self._samples(errors):
+            lines.append(f"{self.name}{_format_labels(key)} "
+                         f"{_format_value(value)}")
+        return lines
+
+    def as_dict(self, errors: List[int]) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "values": {_format_labels(key) or "": value
+                       for key, value in self._samples(errors)},
+        }
+
+
+class Counter(_Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+
+class WindowedHistogram:
+    """Windowed latency percentiles rendered as a Prometheus summary.
+
+    ``observe`` records into a private :class:`LatencyRecorder` (one
+    category per labelset); a scrape reports the window's streaming
+    p50/p95/p99 plus cumulative ``_count``/``_sum`` and (by default via
+    :meth:`MetricsRegistry.render`) resets the window, so each scrape
+    interval gets its own percentiles without re-sorting history.
+    """
+
+    kind = "summary"
+    _QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._recorder = LatencyRecorder()
+        self._categories: Dict[str, _LabelKey] = {}
+        self._totals: Dict[str, Tuple[int, float]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        category = _format_labels(key) or ""
+        self._categories.setdefault(category, key)
+        self._recorder.record_latency(category, value)
+        count, total = self._totals.get(category, (0, 0.0))
+        self._totals[category] = (count + 1, total + value)
+
+    def set_function(self, fn: Callable[[], float], **labels: Any) -> None:
+        raise TypeError("histograms are observation-driven; use observe()")
+
+    def value(self, **labels: Any) -> Optional[float]:
+        """Cumulative observation count for the labelset."""
+        category = _format_labels(_label_key(labels)) or ""
+        totals = self._totals.get(category)
+        return float(totals[0]) if totals else None
+
+    def reset_window(self) -> None:
+        self._recorder.reset_window()
+
+    def render(self, errors: List[int]) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for category in sorted(self._categories):
+            key = self._categories[category]
+            window = self._recorder.window_snapshot(category)
+            if window is not None:
+                for quantile, field in self._QUANTILES:
+                    labels = _format_labels(key, [("quantile", quantile)])
+                    lines.append(f"{self.name}{labels} "
+                                 f"{_format_value(window[field])}")
+            count, total = self._totals.get(category, (0, 0.0))
+            suffix = _format_labels(key)
+            lines.append(f"{self.name}_count{suffix} {count}")
+            lines.append(f"{self.name}_sum{suffix} {_format_value(total)}")
+        return lines
+
+    def as_dict(self, errors: List[int]) -> Dict[str, Any]:
+        values: Dict[str, Any] = {}
+        for category in sorted(self._categories):
+            count, total = self._totals.get(category, (0, 0.0))
+            entry: Dict[str, Any] = {"count": count, "sum": total}
+            window = self._recorder.window_snapshot(category)
+            if window is not None:
+                entry["window"] = window
+            values[category] = entry
+        return {"type": self.kind, "values": values}
+
+
+class MetricsRegistry:
+    """A named collection of metrics with one text exposition endpoint.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create (idempotent by
+    name), so independent subsystems can instrument the same family —
+    re-registering with a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        #: Collector callbacks skipped across all scrapes so far.
+        self.render_errors = 0
+
+    # -------------------------------------------------------------- #
+    def _get_or_create(self, name: str, help: str, cls) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help=help)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}")
+        if help and not metric.help:
+            metric.help = help
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, help, Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, help, Gauge)
+
+    def histogram(self, name: str, help: str = "") -> WindowedHistogram:
+        return self._get_or_create(name, help, WindowedHistogram)
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -------------------------------------------------------------- #
+    def render(self, reset_windows: bool = True) -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        ``reset_windows`` starts a fresh histogram observation window after
+        rendering (the /metrics endpoints' behavior: each scrape interval
+        gets its own percentiles); pass ``False`` for a read-only peek.
+        """
+        errors = [0]
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render(errors))
+        if reset_windows:
+            for metric in self._metrics.values():
+                if isinstance(metric, WindowedHistogram):
+                    metric.reset_window()
+        self.render_errors += errors[0]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot (``repro load --json`` metrics section).
+
+        Histogram windows are left intact — reading the dict is a peek,
+        not a scrape.
+        """
+        errors = [0]
+        payload = {name: metric.as_dict(errors)
+                   for name, metric in sorted(self._metrics.items())}
+        self.render_errors += errors[0]
+        return payload

@@ -127,6 +127,11 @@ class LatencyRecorder:
         self._sorted: Dict[str, List[float]] = {}
         self._first_start: Optional[float] = None
         self._last_end: Optional[float] = None
+        # Index into each category's sample list where the current
+        # observation window begins (see snapshot/reset_window).  Kept as
+        # offsets so the record() hot path and the whole-run memoized sort
+        # (`_sorted`) are untouched by windowing.
+        self._window_start: Dict[str, int] = {}
 
     def record(self, category: str, start: float, end: float) -> None:
         """Record one operation's latency from its start/end timestamps."""
@@ -197,6 +202,60 @@ class LatencyRecorder:
         ordered = self.sorted_samples(category)
         return [(percentile_sorted(ordered, frac * 100.0), frac)
                 for frac in fractions]
+
+    # ------------------------------------------------------------------ #
+    # Observation windows (metrics registry / per-interval percentiles)
+    # ------------------------------------------------------------------ #
+    def window_count(self, category: str) -> int:
+        """Samples recorded in the current window of ``category``."""
+        total = len(self._samples.get(category, ()))
+        return total - min(self._window_start.get(category, 0), total)
+
+    def window_snapshot(self, category: str) -> Optional[Dict[str, float]]:
+        """Streaming percentiles of the current window of ``category``.
+
+        Sorts only the samples recorded since the last
+        :meth:`reset_window` — per-interval p50/p99 never re-sort the whole
+        run, and the whole-run :meth:`sorted_samples` memo is untouched.
+        Returns ``None`` for an empty window.
+        """
+        samples = self._samples.get(category, ())
+        start = min(self._window_start.get(category, 0), len(samples))
+        window = samples[start:]
+        if not window:
+            return None
+        ordered = sorted(window)
+        return {
+            "count": float(len(ordered)),
+            "mean": sum(window) / len(window),
+            "p50": percentile_sorted(ordered, 50),
+            "p95": percentile_sorted(ordered, 95),
+            "p99": percentile_sorted(ordered, 99),
+            "max": ordered[-1],
+            "sum": sum(window),
+        }
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """:meth:`window_snapshot` for every category with window samples."""
+        result: Dict[str, Dict[str, float]] = {}
+        for category in sorted(self._samples):
+            window = self.window_snapshot(category)
+            if window is not None:
+                result[category] = window
+        return result
+
+    def reset_window(self, category: Optional[str] = None) -> None:
+        """Start a fresh observation window (all categories by default).
+
+        Cumulative queries (:meth:`percentiles`, :meth:`cdf`,
+        :meth:`quantile`) still cover the whole run; only
+        :meth:`window_snapshot` is affected.
+        """
+        if category is not None:
+            self._window_start[category] = len(self._samples.get(category, ()))
+            return
+        for name, samples in self._samples.items():
+            self._window_start[name] = len(samples)
 
     @property
     def duration_ms(self) -> float:

@@ -32,6 +32,7 @@ import json
 import os
 import warnings
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["WalSnapshot", "WriteAheadLog"]
@@ -63,6 +64,10 @@ class WriteAheadLog:
         self._seq = 0
         self._since_checkpoint = 0
         self._closed = False
+        #: Optional metrics hook called with each append's write+fsync
+        #: latency in milliseconds.  ``None`` (the default) keeps the append
+        #: path free of any timing call.
+        self.on_append_latency: Optional[Callable[[float], None]] = None
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -86,6 +91,7 @@ class WriteAheadLog:
         """
         if self._closed:
             return
+        started = perf_counter() if self.on_append_latency is not None else 0.0
         self._seq += 1
         payload = dict(record)
         payload["seq"] = self._seq
@@ -93,6 +99,8 @@ class WriteAheadLog:
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self._since_checkpoint += 1
+        if self.on_append_latency is not None:
+            self.on_append_latency((perf_counter() - started) * 1000.0)
 
     def maybe_checkpoint(self, state_fn: Callable[[], Dict[str, Any]]) -> bool:
         """Take a checkpoint if ``checkpoint_every`` appends have accumulated.

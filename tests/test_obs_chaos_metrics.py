@@ -1,0 +1,135 @@
+"""Metrics under chaos: instrumented crash/restart and failover scenarios,
+scrapeability across restarts, and the zero-overhead (byte-identity) pin
+for the uninstrumented path."""
+
+import asyncio
+
+from repro.chaos import get_scenario, run_scenario
+from repro.obs import MetricsRegistry, scrape
+from repro.obs.monitor import _MetricsThread
+
+
+def _run_with_registry(name, tmp_path, backend="sim"):
+    registry = MetricsRegistry()
+    report = run_scenario(get_scenario(name), backend=backend,
+                          trace_dir=str(tmp_path), metrics=registry)
+    return report, registry
+
+
+class TestSimChaosMetrics:
+    def test_replica_crash_restart_counters_survive_recovery(self, tmp_path):
+        report, registry = _run_with_registry("replica-crash-restart",
+                                              tmp_path)
+        assert report.ok, report.describe()
+        # Node collectors read through the cluster's node map, so the
+        # restarted replica's fresh object is what a scrape sees — and its
+        # recovered stats keep counting from the WAL-restored state.
+        ops = registry.get("repro_node_ops_total")
+        payload = ops.as_dict([0])["values"]
+        assert payload, "no per-node op samples"
+        assert sum(payload.values()) > 0
+        wal = registry.get("repro_wal_appends_total")
+        assert wal is not None and sum(wal.as_dict([0])["values"].values()) > 0
+        # WAL append latency was observed on the instrumented WALs.
+        lat = registry.get("repro_wal_append_latency_ms")
+        assert lat is not None and lat.value(node="replica0") is not None
+
+    def test_fault_gauges_match_the_recorded_timeline(self, tmp_path):
+        report, registry = _run_with_registry("replica-crash-restart",
+                                              tmp_path)
+        assert report.ok, report.describe()
+        injected = registry.get("repro_faults_injected_total")
+        assert injected.value(effect="dropped") == \
+            report.fault_counters["dropped"]
+        assert injected.value(effect="delayed") == \
+            report.fault_counters["delayed"]
+        # The scenario heals/restarts everything it breaks: by the end no
+        # fault is installed and the active gauge reads 0.
+        assert registry.get("repro_faults_active").value() == 0.0
+        installed = registry.get("repro_faults_installed")
+        assert installed.value(kind="partitions") == 0
+
+    def test_leader_crash_failover_exposes_lease_fencing(self, tmp_path):
+        report, registry = _run_with_registry("leader-crash-failover",
+                                              tmp_path)
+        assert report.ok, report.describe()
+        term = registry.get("repro_lease_term")
+        # The crashed leader's shard was re-elected with a higher term.
+        terms = term.as_dict([0])["values"]
+        assert terms and max(terms.values()) >= 2
+        transitions = registry.get("repro_lease_transitions_total")
+        assert sum(transitions.as_dict([0])["values"].values()) >= 1
+
+    def test_metrics_stay_scrapeable_across_crash_restart(self, tmp_path):
+        """A /metrics endpoint on the shared registry serves before, during
+        (collectors may point at a crashed node — skipped, not fatal), and
+        after the scenario."""
+        registry = MetricsRegistry()
+        thread = _MetricsThread(registry, "127.0.0.1", 0)
+        port = thread.start_and_wait()
+        try:
+            before = asyncio.run(scrape("127.0.0.1", port))
+            assert before.strip() == ""          # nothing registered yet
+            report = run_scenario(get_scenario("replica-crash-restart"),
+                                  backend="sim", trace_dir=str(tmp_path),
+                                  metrics=registry)
+            assert report.ok, report.describe()
+            after = asyncio.run(scrape("127.0.0.1", port))
+        finally:
+            thread.stop()
+        assert "repro_node_ops_total" in after
+        assert "repro_faults_injected_total" in after
+        assert 'effect="dropped"' in after
+        health = report.fault_counters["dropped"]
+        assert f'repro_faults_injected_total{{effect="dropped"}} {health}' \
+            in after
+
+
+class TestLiveChaosMetrics:
+    def test_live_crash_restart_instruments_transport_and_nodes(self,
+                                                                tmp_path):
+        report, registry = _run_with_registry("gryff-smoke", tmp_path,
+                                              backend="live")
+        assert report.ok, report.describe()
+        messages = registry.get("repro_transport_messages_total")
+        values = messages.as_dict([0])["values"]
+        assert sum(values.values()) > 0
+        wire = registry.get("repro_transport_bytes_total")
+        assert sum(wire.as_dict([0])["values"].values()) > 0
+        # The client-side transport is instrumented under node="clients".
+        assert messages.value(node="clients", direction="out") is not None
+        ops = registry.get("repro_node_ops_total")
+        assert sum(ops.as_dict([0])["values"].values()) > 0
+        # Queue depth gauge drains to zero once the run is over.
+        depth = registry.get("repro_transport_queue_depth")
+        assert all(v == 0 for v in depth.as_dict([0])["values"].values())
+
+
+class TestZeroOverheadPin:
+    def test_uninstrumented_sim_run_is_byte_identical(self, tmp_path):
+        """The metrics=None path must take the exact same RNG draws and
+        timeline as an instrumented run: scrape-time collectors observe,
+        they never perturb.  Any drift between these two reports means an
+        instrumentation hook leaked into the hot path."""
+        bare = run_scenario(get_scenario("replica-crash-restart"),
+                            backend="sim",
+                            trace_dir=str(tmp_path / "bare")).to_dict()
+        instrumented = run_scenario(get_scenario("replica-crash-restart"),
+                                    backend="sim",
+                                    trace_dir=str(tmp_path / "obs"),
+                                    metrics=MetricsRegistry()).to_dict()
+        bare.pop("trace")
+        instrumented.pop("trace")
+        assert bare == instrumented
+
+    def test_wal_append_skips_timing_without_observer(self, tmp_path):
+        from repro.storage.wal import WriteAheadLog
+
+        wal = WriteAheadLog(str(tmp_path / "n.wal"))
+        assert wal.on_append_latency is None
+        wal.append({"k": "x", "v": 1})
+        observed = []
+        wal.on_append_latency = observed.append
+        wal.append({"k": "x", "v": 2})
+        wal.close()
+        assert len(observed) == 1 and observed[0] >= 0.0

@@ -1,0 +1,302 @@
+"""The `repro monitor` correctness sidecar: clean runs, alerting on
+out-of-window violations, fault-window excusal, its /metrics endpoint, and
+the follow loop's idle backoff."""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.events import Operation, reset_op_ids
+from repro.net.recorder import RecordingHistory, TraceWriter, follow_trace_records
+from repro.obs import MetricsRegistry, scrape
+from repro.obs.monitor import ALERT_SCHEMA, run_monitor
+
+
+# --------------------------------------------------------------------------- #
+# Trace fixtures
+# --------------------------------------------------------------------------- #
+def _write_clean_trace(path, ops=10):
+    """A trivially linearizable single-writer trace with quiescent gaps."""
+    reset_op_ids()
+    writer = TraceWriter(path, meta={"protocol": "gryff-rsc"})
+    history = RecordingHistory(writer)
+    now = 0.0
+    for i in range(ops):
+        history.note_invocation("P1", now)
+        history.add(Operation.write("P1", "x", f"v{i}", invoked_at=now,
+                                    responded_at=now + 1.0,
+                                    carstamp=(i + 1, 0, "P1")))
+        now += 2.0
+    writer.close()
+
+
+def _write_violating_trace(path):
+    """P2 reads a stale value long after a newer write completed — a clear
+    RSC violation, landing in its own epoch with min_epoch_ops=1."""
+    reset_op_ids()
+    writer = TraceWriter(path, meta={"protocol": "gryff-rsc"})
+    history = RecordingHistory(writer)
+    history.note_invocation("P1", 0.0)
+    history.add(Operation.write("P1", "x", "v1", invoked_at=0.0,
+                                responded_at=1.0, carstamp=(1, 0, "P1")))
+    history.note_invocation("P1", 2.0)
+    history.add(Operation.write("P1", "x", "v2", invoked_at=2.0,
+                                responded_at=3.0, carstamp=(2, 0, "P1")))
+    history.note_invocation("P2", 10.0)
+    history.add(Operation.read("P2", "x", "v1", invoked_at=10.0,
+                               responded_at=11.0, carstamp=(1, 0, "P1")))
+    writer.close()
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+# --------------------------------------------------------------------------- #
+# run_monitor
+# --------------------------------------------------------------------------- #
+class TestRunMonitor:
+    def test_clean_trace_exits_zero(self, tmp_path):
+        path = str(tmp_path / "clean.jsonl")
+        _write_clean_trace(path)
+        report = run_monitor(path, min_epoch_ops=3, idle_timeout=0)
+        assert report.exit_code == 0
+        assert report.satisfied and report.alert is None
+        assert report.protocol == "gryff-rsc" and report.model == "rsc"
+        assert report.ops_checked == 10 and report.epochs > 1
+        assert report.violations == []
+
+    def test_out_of_window_violation_alerts_within_two_epochs(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        _write_violating_trace(path)
+        alert_file = str(tmp_path / "alerts.jsonl")
+        verdicts = []
+        report = run_monitor(path, min_epoch_ops=1, idle_timeout=0,
+                             alert_path=alert_file,
+                             on_verdict=verdicts.append)
+        assert report.exit_code == 1
+        assert not report.satisfied
+        assert report.violations_outside_windows
+        # Detection latency: the monitor stops on the epoch containing the
+        # violating read — within 2 epochs of the stale read being written.
+        alert = report.alert
+        assert alert is not None
+        violating_index = alert["epoch"]["index"]
+        assert violating_index <= verdicts[-1].index
+        assert report.epochs - violating_index <= 2
+        # Structured alert record: schema, epoch detail, durable copy.
+        assert alert["schema"] == ALERT_SCHEMA
+        assert alert["type"] == "alert"
+        assert alert["protocol"] == "gryff-rsc"
+        assert alert["epoch"]["ops"] >= 1 and alert["epoch"]["reason"]
+        assert alert["epoch"]["op_ids"]
+        with open(alert_file) as handle:
+            saved = [json.loads(line) for line in handle]
+        assert saved == [alert]
+
+    def test_violation_inside_fault_window_is_excused(self, tmp_path):
+        path = str(tmp_path / "excused.jsonl")
+        _write_violating_trace(path)
+        # Windows are trace-relative, anchored at the first timestamped
+        # record (invoked_at=0.0 here): cover the whole run.
+        report = run_monitor(path, min_epoch_ops=1, idle_timeout=0,
+                             fault_windows=[(0.0, 60_000.0)])
+        assert report.exit_code == 0
+        assert report.alert is None
+        assert report.violations
+        assert report.violations_outside_windows == []
+
+    def test_window_before_the_violation_still_alerts(self, tmp_path):
+        """A fault window that closes before the violating epoch begins
+        does not excuse it (the final epoch is open-ended, so the window
+        must end before the epoch starts to be clearly disjoint — the
+        same overlap rule the chaos engine judges with)."""
+        path = str(tmp_path / "miss.jsonl")
+        _write_violating_trace(path)
+        report = run_monitor(path, min_epoch_ops=1, idle_timeout=0,
+                             fault_windows=[(0.0, 0.5)])
+        assert report.exit_code == 1 and report.alert is not None
+
+    def test_empty_trace_is_exit_two(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        report = run_monitor(path, idle_timeout=0)
+        assert report.exit_code == 2
+
+    def test_metrics_endpoint_reports_verdict_state(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        _write_violating_trace(path)
+        port = _free_port()
+        registry = MetricsRegistry()
+        scraped = []
+
+        def on_verdict(verdict):
+            if not scraped:
+                scraped.append(asyncio.run(scrape("127.0.0.1", port)))
+
+        report = run_monitor(path, min_epoch_ops=1, idle_timeout=0,
+                             metrics_port=port, registry=registry,
+                             on_verdict=on_verdict)
+        assert report.exit_code == 1
+        # Scraped live, mid-run, from the monitor's own endpoint.
+        assert scraped and "repro_monitor_records_total" in scraped[0]
+        assert "repro_monitor_following 1" in scraped[0]
+        # Final registry state: the alert counted, the violating epoch and
+        # last-verdict gauges point at the failure.
+        assert registry.get("repro_monitor_alerts_total").value() == 1
+        assert registry.get("repro_checker_last_verdict_ok").value() == 0
+        violating = registry.get("repro_checker_violating_epoch").value()
+        assert violating == report.alert["epoch"]["index"]
+        assert registry.get("repro_checker_lag_seconds").value() is not None
+
+    def test_report_round_trips_to_json(self, tmp_path):
+        path = str(tmp_path / "clean.jsonl")
+        _write_clean_trace(path, ops=4)
+        report = run_monitor(path, min_epoch_ops=2, idle_timeout=0)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["satisfied"] is True
+        assert payload["exit_code"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# No false alarms on chaos traces
+# --------------------------------------------------------------------------- #
+class TestMonitorOnChaosTraces:
+    @pytest.mark.parametrize("name", ["replica-crash-restart",
+                                      "clock-skew-sweep"])
+    def test_catalog_scenario_traces_stay_clean(self, tmp_path, name):
+        """The sidecar must not page on expected chaos: a catalog scenario's
+        trace, judged with that scenario's own fault windows, exits 0.
+        (clock-skew-sweep genuinely violates inside its window — the
+        monitor counts it but must not alert.  The full 8-scenario sweep
+        runs in the chaos-smoke CI job.)"""
+        from repro.chaos import get_scenario, run_scenario
+
+        scenario = get_scenario(name)
+        chaos = run_scenario(scenario, backend="sim",
+                             trace_dir=str(tmp_path))
+        assert chaos.ok, chaos.describe()
+        report = run_monitor(str(tmp_path / "trace.jsonl"), idle_timeout=0,
+                             fault_windows=scenario.fault_windows())
+        assert report.exit_code == 0, report.to_dict()
+        assert report.alert is None
+        assert report.violations_outside_windows == []
+
+
+# --------------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------------- #
+class TestMonitorCli:
+    def test_clean_run_exits_zero_and_writes_json(self, tmp_path, capsys):
+        path = str(tmp_path / "clean.jsonl")
+        _write_clean_trace(path)
+        out_json = str(tmp_path / "report.json")
+        code = cli_main(["monitor", path, "--idle-timeout", "0",
+                         "--min-epoch-ops", "3", "--json", out_json])
+        assert code == 0
+        assert "CLEAN" in capsys.readouterr().out
+        with open(out_json) as handle:
+            assert json.load(handle)["exit_code"] == 0
+
+    def test_violation_exits_one_with_alert(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.jsonl")
+        _write_violating_trace(path)
+        alert_file = str(tmp_path / "alerts.jsonl")
+        code = cli_main(["monitor", path, "--idle-timeout", "0",
+                         "--min-epoch-ops", "1",
+                         "--alert-file", alert_file])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "ALERT" in captured.out
+        assert "repro-monitor ALERT" in captured.err
+        with open(alert_file) as handle:
+            assert json.loads(handle.readline())["schema"] == ALERT_SCHEMA
+
+    def test_fault_window_flag_excuses_the_violation(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.jsonl")
+        _write_violating_trace(path)
+        code = cli_main(["monitor", path, "--idle-timeout", "0",
+                         "--min-epoch-ops", "1",
+                         "--fault-window", "0:60000"])
+        assert code == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_scenario_windows_are_loaded_from_the_catalog(self, tmp_path,
+                                                          capsys):
+        path = str(tmp_path / "bad.jsonl")
+        _write_violating_trace(path)
+        code = cli_main(["monitor", path, "--idle-timeout", "0",
+                         "--min-epoch-ops", "1",
+                         "--scenario", "no-such-scenario"])
+        assert code == 2
+        assert "replica-crash-restart" in capsys.readouterr().err
+
+    def test_bad_fault_window_is_exit_two(self, tmp_path, capsys):
+        path = str(tmp_path / "clean.jsonl")
+        _write_clean_trace(path, ops=2)
+        code = cli_main(["monitor", path, "--idle-timeout", "0",
+                         "--fault-window", "oops"])
+        assert code == 2
+        assert "bad --fault-window" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# Follow-loop idle backoff (satellite: configurable poll + backoff)
+# --------------------------------------------------------------------------- #
+class TestFollowBackoff:
+    def test_idle_polls_back_off_exponentially_to_the_cap(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_clean_trace(path, ops=2)
+        sleeps = []
+        list(follow_trace_records(path, poll_interval=0.1, idle_timeout=2.0,
+                                  max_poll_interval=0.8, backoff=2.0,
+                                  _sleep=sleeps.append))
+        # 0.1, 0.2, 0.4, 0.8, 0.8, ... — doubling, then pinned at the cap.
+        assert sleeps[:4] == [0.1, 0.2, 0.4, 0.8]
+        assert all(delay == 0.8 for delay in sleeps[3:])
+
+    def test_new_data_resets_the_backoff(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_clean_trace(path, ops=1)
+        sleeps = []
+        appended = []
+
+        def sleep(delay):
+            sleeps.append(delay)
+            if len(sleeps) == 3 and not appended:
+                # Back off twice, then new data arrives mid-follow.
+                with open(path, "a") as handle:
+                    handle.write(json.dumps(
+                        {"type": "inv", "process": "P9",
+                         "invoked_at": 99.0}) + "\n")
+                appended.append(True)
+
+        records = list(follow_trace_records(
+            path, poll_interval=0.1, idle_timeout=0.5,
+            max_poll_interval=5.0, backoff=2.0, _sleep=sleep))
+        assert any(r.get("process") == "P9" for r in records)
+        reset_at = sleeps.index(0.1, 1)
+        assert reset_at > 1                     # it had started backing off
+        assert sleeps[reset_at - 1] > 0.1       # ...and came back down
+
+    def test_backoff_parameters_are_validated(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with pytest.raises(ValueError, match="max_poll_interval"):
+            next(iter(follow_trace_records(path, poll_interval=1.0,
+                                           max_poll_interval=0.5)))
+        with pytest.raises(ValueError, match="backoff"):
+            next(iter(follow_trace_records(path, max_poll_interval=2.0,
+                                           backoff=0.5)))
+
+    def test_default_interval_behavior_is_unchanged(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_clean_trace(path, ops=1)
+        sleeps = []
+        list(follow_trace_records(path, poll_interval=0.25, idle_timeout=1.0,
+                                  _sleep=sleeps.append))
+        assert sleeps and all(delay == 0.25 for delay in sleeps)

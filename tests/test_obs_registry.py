@@ -1,0 +1,259 @@
+"""Observability core: metrics registry, /metrics endpoint, windowed
+latency percentiles, and the admission controller."""
+
+import asyncio
+
+import pytest
+
+from repro.obs import (
+    AdmissionController,
+    BackpressureError,
+    CONTENT_TYPE,
+    MetricsRegistry,
+    MetricsServer,
+    scrape,
+)
+from repro.sim.stats import LatencyRecorder
+
+
+# --------------------------------------------------------------------------- #
+# Registry and metric kinds
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_counter_accumulates_and_rejects_negatives(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_ops_total", "ops")
+        counter.inc()
+        counter.inc(2, node="a")
+        counter.inc(3, node="a")
+        assert counter.value() == 1
+        assert counter.value(node="a") == 5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways_and_supports_callbacks(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_depth", "queue depth")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 3
+        box = {"n": 7}
+        gauge.set_function(lambda: box["n"], node="x")
+        assert gauge.value(node="x") == 7
+        box["n"] = 9
+        assert gauge.value(node="x") == 9
+
+    def test_get_or_create_is_idempotent_but_kind_safe(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_x_total", "help text")
+        assert registry.counter("repro_x_total") is first
+        assert registry.get("repro_x_total") is first
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x_total")
+        assert registry.names() == ["repro_x_total"]
+
+    def test_render_is_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total", "b help").inc(2, node="n1")
+        registry.gauge("repro_a", "a help").set(1.5)
+        text = registry.render()
+        lines = text.splitlines()
+        # Sorted by metric name, HELP/TYPE headers, trailing newline.
+        assert text.endswith("\n")
+        assert lines[0] == "# HELP repro_a a help"
+        assert lines[1] == "# TYPE repro_a gauge"
+        assert lines[2] == "repro_a 1.5"
+        assert "# TYPE repro_b_total counter" in lines
+        assert 'repro_b_total{node="n1"} 2' in lines
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_esc_total").inc(1, node='a"b\\c\nd')
+        assert r'node="a\"b\\c\nd"' in registry.render()
+
+    def test_broken_collector_does_not_break_the_scrape(self):
+        registry = MetricsRegistry()
+
+        def dead():
+            raise AttributeError("node crashed")
+
+        registry.gauge("repro_dead", "gone").set_function(dead)
+        registry.gauge("repro_alive", "here").set(1)
+        text = registry.render()
+        assert "repro_alive 1" in text
+        assert "\nrepro_dead " not in text        # sample skipped, not 0
+        assert registry.render_errors == 1
+
+    def test_histogram_windows_reset_per_scrape(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat_ms", "latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value, op="read")
+        first = registry.render()
+        assert 'repro_lat_ms{op="read",quantile="0.5"}' in first
+        assert 'repro_lat_ms_count{op="read"} 4' in first
+        assert 'repro_lat_ms_sum{op="read"} 10' in first
+        # The scrape reset the window: no quantile samples, but the
+        # cumulative count/sum survive.
+        second = registry.render()
+        assert "quantile" not in second
+        assert 'repro_lat_ms_count{op="read"} 4' in second
+        hist.observe(10.0, op="read")
+        third = registry.render()
+        assert 'repro_lat_ms{op="read",quantile="0.5"} 10' in third
+        assert 'repro_lat_ms_count{op="read"} 5' in third
+
+    def test_histogram_rejects_collector_callbacks(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TypeError, match="observe"):
+            registry.histogram("repro_h_ms").set_function(lambda: 1.0)
+
+    def test_as_dict_is_a_peek_not_a_scrape(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total").inc(2)
+        hist = registry.histogram("repro_h_ms")
+        hist.observe(5.0)
+        payload = registry.as_dict()
+        assert payload["repro_c_total"]["values"][""] == 2
+        assert payload["repro_h_ms"]["values"][""]["window"]["count"] == 1
+        # The window is still intact afterwards.
+        assert registry.as_dict()["repro_h_ms"]["values"][""]["window"] is not None
+
+
+# --------------------------------------------------------------------------- #
+# Windowed percentiles on LatencyRecorder
+# --------------------------------------------------------------------------- #
+class TestLatencyRecorderWindows:
+    def test_window_snapshot_covers_only_new_samples(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 2.0, 3.0):
+            recorder.record_latency("read", value)
+        first = recorder.window_snapshot("read")
+        assert first["count"] == 3 and first["p50"] == 2.0
+        recorder.reset_window("read")
+        assert recorder.window_snapshot("read") is None
+        assert recorder.window_count("read") == 0
+        recorder.record_latency("read", 100.0)
+        second = recorder.window_snapshot("read")
+        assert second["count"] == 1
+        assert second["p50"] == second["max"] == 100.0
+
+    def test_snapshot_returns_every_category(self):
+        recorder = LatencyRecorder()
+        recorder.record_latency("read", 1.0)
+        recorder.record_latency("write", 2.0)
+        snap = recorder.snapshot()
+        assert set(snap) == {"read", "write"}
+        assert snap["write"]["sum"] == 2.0
+
+    def test_windows_do_not_disturb_cumulative_percentiles(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record_latency("op", float(value))
+        recorder.window_snapshot("op")
+        recorder.reset_window()
+        recorder.record_latency("op", 1000.0)
+        # Cumulative percentiles still see all 101 samples (memoized sort
+        # invalidates correctly across window resets).
+        stats = recorder.percentiles("op")
+        assert stats.count == 101
+        assert stats.p50 == pytest.approx(51.0, abs=1.0)
+        assert recorder.window_snapshot("op")["count"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# /metrics endpoint
+# --------------------------------------------------------------------------- #
+class TestMetricsServer:
+    def test_serves_metrics_healthz_and_404(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_http_total", "h").inc(3)
+
+        async def scenario():
+            server = MetricsServer(registry)
+            port = await server.start()
+            assert port > 0 and str(port) in server.url
+            try:
+                body = await scrape("127.0.0.1", port)
+                health = await scrape("127.0.0.1", port, path="/healthz")
+                with pytest.raises(RuntimeError, match="404"):
+                    await scrape("127.0.0.1", port, path="/nope")
+            finally:
+                await server.close()
+            return body, health, server.requests
+
+        body, health, requests = asyncio.run(scenario())
+        assert "repro_http_total 3" in body
+        assert health == "ok\n"
+        assert requests == 3
+        assert "0.0.4" in CONTENT_TYPE
+
+    def test_scrape_resets_histogram_windows(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_s_ms").observe(4.0)
+
+        async def scenario():
+            server = MetricsServer(registry)
+            port = await server.start()
+            try:
+                first = await scrape("127.0.0.1", port)
+                second = await scrape("127.0.0.1", port)
+            finally:
+                await server.close()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert 'quantile="0.5"' in first
+        assert "quantile" not in second
+
+
+# --------------------------------------------------------------------------- #
+# Backpressure / admission control
+# --------------------------------------------------------------------------- #
+class TestAdmissionController:
+    def test_admits_within_thresholds(self):
+        controller = AdmissionController(max_checker_lag_s=1.0,
+                                         checker_lag_s=lambda: 0.2)
+        controller.admit()
+        assert controller.counters() == {"admitted": 1, "shed": 0,
+                                         "delayed": 0}
+
+    def test_sheds_on_checker_lag(self):
+        controller = AdmissionController(max_checker_lag_s=1.0,
+                                         checker_lag_s=lambda: 5.0)
+        with pytest.raises(BackpressureError, match="checker lag"):
+            controller.admit()
+        assert controller.shed == 1
+
+    def test_sheds_on_queue_depth(self):
+        controller = AdmissionController(max_queue_depth=10,
+                                         queue_depth=lambda: 11)
+        assert "queue depth" in controller.overloaded()
+        with pytest.raises(BackpressureError):
+            controller.admit()
+
+    def test_delay_hook_turns_shedding_into_backoff(self):
+        reasons = []
+        controller = AdmissionController(max_queue_depth=0,
+                                         queue_depth=lambda: 1,
+                                         delay=reasons.append)
+        controller.admit()
+        assert controller.delayed == 1 and controller.shed == 0
+        assert "queue depth" in reasons[0]
+
+    def test_store_session_gate(self):
+        """LiveStore.session consults the controller when one is attached."""
+        from repro.api import open_store
+        from repro.net.spec import ClusterSpec
+
+        spec = ClusterSpec.gryff(num_replicas=3, base_port=0)
+        store = open_store(spec)
+        assert store.admission is None
+        store.admission = AdmissionController(max_queue_depth=0,
+                                              queue_depth=lambda: 1)
+        with pytest.raises(BackpressureError):
+            store.session(site=spec.sites()[0], name="c1")
+        store.admission = None
+        session = store.session(site=spec.sites()[0], name="c1")
+        assert session is not None
