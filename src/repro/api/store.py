@@ -202,12 +202,14 @@ class LiveStore(Store):
     """
 
     def __init__(self, spec, history: Optional[History] = None,
-                 recorder: Optional[LatencyRecorder] = None):
+                 recorder: Optional[LatencyRecorder] = None,
+                 codec: str = "binary"):
         from repro.net.cluster import LiveProcess
 
         super().__init__()
         self.spec = spec
-        self.process = LiveProcess(spec, host_nodes=())   # no server nodes
+        self.process = LiveProcess(spec, host_nodes=(),   # no server nodes
+                                   codec=codec)
         self.history = history if history is not None else History()
         self.recorder = recorder if recorder is not None else LatencyRecorder()
         self._config = None
@@ -312,13 +314,16 @@ class LiveStore(Store):
 # --------------------------------------------------------------------------- #
 def open_store(backend: Any, *, config: Any = None,
                history: Optional[History] = None,
-               recorder: Optional[LatencyRecorder] = None) -> Store:
+               recorder: Optional[LatencyRecorder] = None,
+               codec: Optional[str] = None) -> Store:
     """Open a :class:`Store` from a backend spec (see module docstring).
 
     ``config`` customizes the simulated backends (a :class:`GryffConfig` /
     :class:`SpannerConfig`, whose ``variant`` selects the deployment
     flavor).  ``history``/``recorder`` inject shared capture objects into a
-    live store (simulated clusters own theirs).
+    live store (simulated clusters own theirs).  ``codec`` picks a live
+    store's wire format (``"binary"`` — the default — or ``"json"``);
+    simulated backends have no wire and reject it.
     """
     from repro.gryff.cluster import GryffCluster
     from repro.net.spec import ClusterSpec
@@ -333,31 +338,34 @@ def open_store(backend: Any, *, config: Any = None,
     built = f"an already-built {type(backend).__name__}"
     if isinstance(backend, Store):
         _reject_ignored(built, config=config, history=history,
-                        recorder=recorder)
+                        recorder=recorder, codec=codec)
         return backend
     if isinstance(backend, GryffCluster):
         _reject_ignored(built, config=config, history=history,
-                        recorder=recorder)
+                        recorder=recorder, codec=codec)
         return SimGryffStore(cluster=backend)
     if isinstance(backend, SpannerCluster):
         _reject_ignored(built, config=config, history=history,
-                        recorder=recorder)
+                        recorder=recorder, codec=codec)
         return SimSpannerStore(cluster=backend)
     if isinstance(backend, ClusterSpec):
         _reject_ignored("a live cluster spec (protocol knobs live in its "
                         "params)", config=config)
-        return LiveStore(backend, history=history, recorder=recorder)
+        return LiveStore(backend, history=history, recorder=recorder,
+                         codec=codec if codec is not None else "binary")
     if isinstance(backend, str):
         if backend.startswith("live:"):
             _reject_ignored("a live cluster spec (protocol knobs live in "
                             "its params)", config=config)
             return LiveStore(ClusterSpec.load(backend[len("live:"):]),
-                             history=history, recorder=recorder)
+                             history=history, recorder=recorder,
+                             codec=codec if codec is not None else "binary")
         if backend in ("sim-gryff", "sim-spanner"):
-            if history is not None or recorder is not None:
+            if history is not None or recorder is not None or codec is not None:
                 raise ValueError(
-                    "simulated clusters own their history/recorder; build a "
-                    "cluster yourself to customize capture")
+                    "simulated clusters own their history/recorder and have "
+                    "no wire codec; build a cluster yourself to customize "
+                    "capture")
             if backend == "sim-gryff":
                 return SimGryffStore(config=config)
             return SimSpannerStore(config=config)

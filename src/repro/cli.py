@@ -225,7 +225,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     spec = ClusterSpec.load(args.config)
     host_nodes = [args.node] if args.node else None
     return asyncio.run(serve_forever(spec, host_nodes, wal_dir=args.wal_dir,
-                                     metrics_port=args.metrics_port))
+                                     metrics_port=args.metrics_port,
+                                     codec=args.codec))
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -298,17 +299,34 @@ def cmd_load(args: argparse.Namespace) -> int:
             trace_rotate_bytes=args.trace_rotate_bytes,
             metrics=metrics,
             metrics_port=args.metrics_port,
+            codec=args.codec,
+            rate=args.rate,
+            open_loop=args.open_loop,
+            arrival=args.arrival,
         )
-    except CapabilityError as exc:
-        print(f"cannot open sessions: {exc}", file=sys.stderr)
+    except (CapabilityError, ValueError) as exc:
+        print(f"cannot run load: {exc}", file=sys.stderr)
         return 2
     rows = [["declared level", summary["level"]],
+            ["wire codec", summary["codec"]],
             ["ops completed", summary["ops"]],
             ["duration (ms)", round(summary["duration_ms"], 1)],
             ["throughput (ops/s)", round(summary["throughput_ops_per_s"], 1)]]
+    open_loop = summary.get("open_loop")
+    if open_loop:
+        rows.append(["requested rate (ops/s)",
+                     round(open_loop["requested_rate_per_s"], 1)])
+        achieved = open_loop["achieved_rate_per_s"]
+        rows.append(["achieved rate (ops/s)",
+                     round(achieved, 1) if achieved is not None else "n/a"])
+        rows.append(["arrival schedule", open_loop["arrival"]])
+        rows.append(["backlog peak", open_loop["backlog_peak"]])
+        if open_loop["abandoned"]:
+            rows.append(["abandoned arrivals", open_loop["abandoned"]])
     for category, percentiles in sorted(summary["categories"].items()):
-        rows.append([f"{category} p50 (ms)", round(percentiles["p50"], 3)])
-        rows.append([f"{category} p99 (ms)", round(percentiles["p99"], 3)])
+        label = f"{category} (response)" if open_loop else category
+        rows.append([f"{label} p50 (ms)", round(percentiles["p50"], 3)])
+        rows.append([f"{label} p99 (ms)", round(percentiles["p99"], 3)])
     check = summary.get("check")
     if check:
         rows.append(["inline check", "SATISFIED" if check["satisfied"]
@@ -629,6 +647,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve Prometheus metrics for this process at "
                             "http://127.0.0.1:PORT/metrics (0 = ephemeral "
                             "port, announced in the ready message)")
+    serve.add_argument("--codec", default="binary",
+                       choices=["binary", "json"],
+                       help="wire format for connections this process "
+                            "initiates (binary = wire v2, the default; "
+                            "json = the nc-able v1 debug format); inbound "
+                            "connections are served in whichever codec the "
+                            "peer speaks")
     serve.set_defaults(func=cmd_serve)
 
     chaos = subparsers.add_parser(
@@ -695,6 +720,24 @@ def build_parser() -> argparse.ArgumentParser:
                            "(0 = ephemeral port)")
     load.add_argument("--json", help="also write the summary to this JSON "
                                      "file (includes a metrics section)")
+    load.add_argument("--codec", default="binary",
+                      choices=["binary", "json"],
+                      help="wire format to dial the cluster with (binary = "
+                           "wire v2, the default; json = the nc-able v1 "
+                           "debug format — a v2 server accepts either)")
+    load.add_argument("--rate", type=float, default=None,
+                      help="open-loop arrival rate in ops/s: arrivals keep "
+                           "coming at this rate regardless of completions, "
+                           "and latency is measured from each arrival's "
+                           "intended send time (coordinated-omission-"
+                           "correct); --clients sizes the session pool")
+    load.add_argument("--open-loop", action="store_true",
+                      help="require the open-loop driver (implied by "
+                           "--rate; errors out if --rate is missing)")
+    load.add_argument("--arrival", default="poisson",
+                      choices=["poisson", "fixed"],
+                      help="open-loop arrival schedule: seeded Poisson "
+                           "(default) or deterministic fixed spacing")
     load.set_defaults(func=cmd_load)
 
     live_check = subparsers.add_parser(

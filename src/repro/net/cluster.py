@@ -53,16 +53,23 @@ class LiveProcess:
         and every hosted node are instrumented (scrape-time collectors, so
         the hot paths stay untouched).  ``None`` — the default — attaches
         nothing.
+
+    ``codec`` selects the wire format this process *initiates* with
+    (``"binary"`` — wire v2, the default — or ``"json"`` — the ``nc``-able
+    v1 debug format).  Inbound frames are always decoded by per-frame
+    version dispatch, so a binary process interoperates with JSON peers
+    and vice versa (replies follow the codec the peer announced).
     """
 
     def __init__(self, spec: ClusterSpec, host_nodes: Optional[Iterable[str]] = None,
                  wal_dir: Optional[str] = None,
                  leases: Optional[Dict[str, object]] = None,
                  faults: Optional[object] = None,
-                 metrics: Optional[object] = None):
+                 metrics: Optional[object] = None,
+                 codec: str = "binary"):
         self.spec = spec
         self.env = RealtimeEnvironment(epoch=spec.epoch)
-        self.transport = LiveTransport(spec, self.env)
+        self.transport = LiveTransport(spec, self.env, codec=codec)
         if faults is not None:
             self.transport.faults = faults
         self.wal_dir = wal_dir
@@ -169,14 +176,17 @@ async def serve_forever(spec: ClusterSpec,
                         ready_message: bool = True,
                         stop_event: Optional[asyncio.Event] = None,
                         wal_dir: Optional[str] = None,
-                        metrics_port: Optional[int] = None) -> int:
+                        metrics_port: Optional[int] = None,
+                        codec: str = "binary") -> int:
     """Run a server process until SIGINT/SIGTERM (or ``stop_event``).
 
     ``metrics_port`` instruments the process with a fresh registry and
     serves it at ``http://127.0.0.1:<port>/metrics`` (0 = ephemeral port,
-    announced in the ready message).  Returns the process exit code: 0 on a
-    clean, signal-driven shutdown, 1 if the event pump died (a protocol
-    error surfaced).
+    announced in the ready message).  ``codec`` picks the wire format for
+    connections this process initiates (server-to-server); accepted
+    connections are served in whichever codec the peer speaks.  Returns the
+    process exit code: 0 on a clean, signal-driven shutdown, 1 if the event
+    pump died (a protocol error surfaced).
     """
     metrics = None
     metrics_server = None
@@ -186,7 +196,8 @@ async def serve_forever(spec: ClusterSpec,
 
         metrics = MetricsRegistry()
         metrics_server = MetricsServer(metrics, port=metrics_port)
-    process = LiveProcess(spec, host_nodes, wal_dir=wal_dir, metrics=metrics)
+    process = LiveProcess(spec, host_nodes, wal_dir=wal_dir, metrics=metrics,
+                          codec=codec)
     ports = await process.start()
     bound_metrics_port = (await metrics_server.start()
                           if metrics_server is not None else None)

@@ -35,7 +35,7 @@ from repro.net.recorder import RecordingHistory, TraceWriter
 from repro.net.spec import ClusterSpec
 from repro.core.history import History
 from repro.sim.stats import LatencyRecorder
-from repro.workloads.clients import ClosedLoopDriver
+from repro.workloads.clients import ClosedLoopDriver, OpenLoopDriver
 from repro.workloads.ycsb import OperationSpec, YcsbWorkload
 
 __all__ = ["run_load", "load_main", "spanner_ycsb_executor"]
@@ -124,7 +124,12 @@ async def run_load(spec: ClusterSpec, *,
                    trace_rotate_bytes: Optional[int] = None,
                    metrics: Optional[Any] = None,
                    metrics_port: Optional[int] = None,
-                   admission: Optional[Any] = None) -> Dict[str, Any]:
+                   admission: Optional[Any] = None,
+                   codec: str = "binary",
+                   rate: Optional[float] = None,
+                   open_loop: bool = False,
+                   arrival: str = "poisson",
+                   drain_timeout_ms: float = 10_000.0) -> Dict[str, Any]:
     """Drive a running cluster; returns a summary dict (and writes a trace).
 
     The returned summary carries per-category percentiles, throughput, and
@@ -145,7 +150,30 @@ async def run_load(spec: ClusterSpec, *,
     :class:`~repro.obs.backpressure.AdmissionController` on the store, so
     overload sheds or delays session opens.  All three default to ``None``:
     the uninstrumented path is byte-identical to previous releases.
+
+    ``codec`` selects the wire format the client store dials with
+    (``binary`` — wire v2, the default — or ``json``, the v1 debug
+    format; a v2 server accepts either).  ``rate`` (ops/s) switches to the
+    :class:`~repro.workloads.clients.OpenLoopDriver`: arrivals follow the
+    ``arrival`` schedule (``poisson`` or ``fixed``) for ``duration_ms``,
+    the ``num_clients`` sessions form the concurrency pool, and the
+    summary's ``categories`` hold coordinated-omission-correct *response*
+    times (from intended arrival to completion) with the per-attempt
+    service times under ``service_categories`` and the offered/achieved
+    accounting under ``open_loop``.
     """
+    if open_loop and rate is None:
+        raise ValueError("open_loop requires a rate (ops/s)")
+    if rate is not None:
+        open_loop = True
+        if ops_per_client is not None:
+            raise ValueError("ops_per_client does not apply to an open-loop "
+                             "run (the arrival schedule bounds the work)")
+        if think_time_ms:
+            raise ValueError("think_time_ms does not apply to an open-loop "
+                             "run (the arrival schedule sets the pacing)")
+        if duration_ms is None:
+            raise ValueError("an open-loop run requires duration_ms")
     # Negotiate before any side effects (e.g. opening the trace file), so a
     # CapabilityError cannot leak an open writer.
     declared = negotiate(spec.protocol, level)
@@ -164,7 +192,8 @@ async def run_load(spec: ClusterSpec, *,
         history: History = RecordingHistory(writer)
     else:
         history = History()
-    store = open_store(spec, history=history, recorder=LatencyRecorder())
+    store = open_store(spec, history=history, recorder=LatencyRecorder(),
+                       codec=codec)
     checker = None
     if check_inline:
         from repro.net.check import streaming_checker_for
@@ -188,16 +217,26 @@ async def run_load(spec: ClusterSpec, *,
 
             metrics_server = MetricsServer(metrics, port=metrics_port)
     recorder = store.recorder
+    response_recorder: Optional[LatencyRecorder] = None
     try:
         sessions = _build_sessions(store, num_clients, client_prefix, level)
         pairs, executor = _build_pairs_and_executor(
             store, sessions, workload, write_ratio, conflict_rate, num_keys,
             seed)
-        driver = ClosedLoopDriver(
-            store.env, pairs, executor,
-            duration_ms=duration_ms, operations_per_client=ops_per_client,
-            think_time_ms=think_time_ms,
-        )
+        if open_loop:
+            response_recorder = LatencyRecorder()
+            driver = OpenLoopDriver(
+                store.env, pairs, executor,
+                rate_per_s=rate, duration_ms=duration_ms,
+                arrival=arrival, seed=seed, recorder=response_recorder,
+                drain_timeout_ms=drain_timeout_ms,
+            )
+        else:
+            driver = ClosedLoopDriver(
+                store.env, pairs, executor,
+                duration_ms=duration_ms, operations_per_client=ops_per_client,
+                think_time_ms=think_time_ms,
+            )
         if metrics_server is not None:
             port = await metrics_server.start()
             print(f"repro-load metrics on http://127.0.0.1:{port}/metrics",
@@ -211,19 +250,30 @@ async def run_load(spec: ClusterSpec, *,
         if writer is not None:
             writer.close()
 
+    # Open-loop headline numbers are the coordinated-omission-correct
+    # response times (intended arrival -> completion); the per-attempt
+    # service times stay available under ``service_categories``.
+    headline = response_recorder if response_recorder is not None else recorder
     summary: Dict[str, Any] = {
         "protocol": spec.protocol,
         "level": declared.value,
         "workload": workload,
         "clients": num_clients,
-        "ops": recorder.count(),
-        "duration_ms": recorder.duration_ms,
-        "throughput_ops_per_s": recorder.throughput(),
+        "codec": codec,
+        "ops": headline.count(),
+        "duration_ms": headline.duration_ms,
+        "throughput_ops_per_s": headline.throughput(),
         "categories": {},
         "trace": trace_path,
     }
-    for category in recorder.categories():
-        summary["categories"][category] = recorder.percentiles(category).as_dict()
+    for category in headline.categories():
+        summary["categories"][category] = headline.percentiles(category).as_dict()
+    if response_recorder is not None:
+        summary["open_loop"] = driver.stats()
+        summary["service_categories"] = {
+            category: recorder.percentiles(category).as_dict()
+            for category in recorder.categories()
+        }
     if checker is not None:
         report = checker.close()
         summary["check"] = {

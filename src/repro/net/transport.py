@@ -23,11 +23,33 @@ real asyncio TCP:
   channel (never a learned route), so each server-to-server channel stays a
   single TCP stream and keeps its FIFO guarantee.
 
+Throughput machinery (the live fast path):
+
+* **Batching** — every message queued on a channel during one event-loop
+  tick is coalesced into a single write: one v2 BATCH frame under the
+  binary codec, or a ``writelines`` of per-message frames under JSON —
+  either way one ``drain`` (one syscall burst) instead of one per message.
+  Coalescing never reorders: the queue is FIFO and a batch preserves it, so
+  TCP order still equals sim channel order (pinned by the differential
+  test).
+* **Pipelining bound** — at most one encoded batch (≤ ``_MAX_BATCH_MSGS``
+  messages) is in flight per connection beyond the OS socket buffers;
+  ``drain`` applies the stream's flow control before the next batch is
+  encoded.  The undrained batch is what gets re-sent after a reconnect.
+* **Nagle off** — ``TCP_NODELAY`` on every connection; batching already
+  aggregates writes, so delayed-ACK interaction would only add latency.
+* **Codec** — ``codec="binary"`` (default) speaks wire v2 with per-channel
+  intern tables; ``codec="json"`` keeps the ``nc``-able v1 frames.
+  Version dispatch on the receive side is per-frame, so a binary listener
+  serves JSON (v1) connections transparently and replies in the codec the
+  peer announced (accepted channels upgrade to binary only after a v2
+  HELLO arrives — the mixed-version downgrade path).
+
 Delivery of an incoming frame runs the destination node's handler on the
 asyncio loop and then kicks the :class:`~repro.net.realtime.RealtimeEnvironment`
 so generator handlers (simulation processes) resume promptly.
 
-Reliability note: a frame popped for writing when the connection breaks is
+Reliability note: a batch popped for writing when the connection breaks is
 resent after reconnecting, so messages are delivered at-least-once across
 reconnects (exactly-once on a healthy connection).  The protocols' RPC layer
 keys replies by call id, so duplicated *replies* are harmless; duplicated
@@ -40,17 +62,20 @@ from __future__ import annotations
 import asyncio
 import logging
 import random
+import socket
 import sys
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.net.spec import ClusterSpec
 from repro.net.wire import (
+    WIRE_VERSION,
+    BinaryEncoder,
+    FrameDecoder,
     WireError,
     encode_frame,
     frame_to_message,
     message_to_frame,
-    read_frame,
 )
 from repro.net.realtime import RealtimeEnvironment
 from repro.sim.network import Message
@@ -62,6 +87,23 @@ log = logging.getLogger("repro.net")
 #: Reconnect backoff bounds (seconds).
 _BACKOFF_INITIAL_S = 0.05
 _BACKOFF_MAX_S = 2.0
+
+#: Most messages coalesced into one batch write (the pipelining bound).
+_MAX_BATCH_MSGS = 256
+
+#: Read-side chunk size; one read can carry many frames at high rate.
+_READ_CHUNK = 256 * 1024
+
+
+def _set_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Disable Nagle: batching already aggregates writes, so coalescing in
+    the kernel would only add delayed-ACK latency."""
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except (OSError, ValueError):  # pragma: no cover - best effort
+            pass
 
 
 @dataclass(frozen=True)
@@ -143,11 +185,21 @@ class PeerStub:
 
 
 class _Channel:
-    """One ordered frame sink: an outbound queue drained by a writer task.
+    """One ordered message sink: an outbound queue drained by a writer task.
 
-    Outbound (dialing) channels reconnect with backoff and re-send the frame
-    that was in flight when the connection broke; inbound (accepted)
-    channels die with their socket — the dialing side owns reconnection.
+    The drain task pops every message queued at that moment (up to
+    ``_MAX_BATCH_MSGS``), encodes them as one batch, and writes them with a
+    single flush — the batching that closes most of the per-message syscall
+    gap.  Outbound (dialing) channels reconnect with backoff and re-send
+    the batch that was in flight when the connection broke; inbound
+    (accepted) channels die with their socket — the dialing side owns
+    reconnection.
+
+    Dialer channels speak the transport's configured codec from the start
+    (a binary dialer opens every connection with a HELLO snapshot of its
+    intern table).  Accepted (reply) channels start in JSON and upgrade to
+    binary only once a v2 HELLO arrives on their connection, which is the
+    downgrade path that lets a v2 listener serve v1 peers.
     """
 
     def __init__(self, transport: "LiveTransport",
@@ -156,26 +208,70 @@ class _Channel:
         self.transport = transport
         self.address = address
         self.closed = False
-        self._queue: "asyncio.Queue[bytes]" = asyncio.Queue()
-        self._pending: Optional[bytes] = None
+        self._queue: "asyncio.Queue[Message]" = asyncio.Queue()
+        self._pending: Optional[List[bytes]] = None
+        self._pending_count = 0
         self._writer = writer
         self._task: Optional[asyncio.Task] = None
+        use_binary = transport.codec == "binary" and address is not None
+        self._encoder: Optional[BinaryEncoder] = (
+            BinaryEncoder() if use_binary else None)
+        self._hello_due = use_binary
 
     def start(self) -> None:
         runner = self._run_dialer if self.address is not None else self._run_accepted
         self._task = asyncio.get_running_loop().create_task(runner())
 
-    def send_frame(self, frame: bytes) -> None:
+    def send_message(self, message: Message) -> None:
         if not self.closed:
-            self._queue.put_nowait(frame)
+            self._queue.put_nowait(message)
+
+    def enable_binary(self) -> None:
+        """Upgrade replies on this accepted connection to the v2 codec
+        (the peer announced v2 with a HELLO).  Idempotent."""
+        if self._encoder is None and not self.closed:
+            self._encoder = BinaryEncoder()
+            self._hello_due = True
+
+    @property
+    def queued_messages(self) -> int:
+        """Messages accepted but not yet written to a socket."""
+        return self._queue.qsize() + self._pending_count
+
+    def _encode_batch(self, batch: "List[Message]") -> "List[bytes]":
+        if self._encoder is not None:
+            return [self._encoder.encode_batch(batch)]
+        return [encode_frame(message_to_frame(m)) for m in batch]
 
     async def _drain_queue(self, writer: asyncio.StreamWriter) -> None:
+        transport = self.transport
+        queue = self._queue
         while not self.closed:
             if self._pending is None:
-                self._pending = await self._queue.get()
-            writer.write(self._pending)
+                batch = [await queue.get()]
+                # Everything already queued — i.e. every send from the tick
+                # that woke us — coalesces into this batch, FIFO intact.
+                while len(batch) < _MAX_BATCH_MSGS and not queue.empty():
+                    batch.append(queue.get_nowait())
+                try:
+                    self._pending = self._encode_batch(batch)
+                    self._pending_count = len(batch)
+                except WireError as exc:
+                    log.warning("dropping %d unencodable message(s): %s",
+                                len(batch), exc)
+                    continue
+            frames = list(self._pending)
+            if self._hello_due and self._encoder is not None:
+                frames.insert(0, self._encoder.hello_frame())
+                self._hello_due = False
+            writer.writelines(frames)
             await writer.drain()
+            transport.bytes_sent += sum(len(f) for f in frames)
+            transport.frames_sent += len(frames)
+            transport.batches_sent += 1
+            transport.messages_framed += self._pending_count
             self._pending = None
+            self._pending_count = 0
 
     async def _run_dialer(self) -> None:
         assert self.address is not None
@@ -190,10 +286,10 @@ class _Channel:
             except OSError:
                 attempt += 1
                 if policy.exhausted(attempt):
-                    queued = self._queue.qsize() + (self._pending is not None)
+                    queued = self._queue.qsize() + self._pending_count
                     log.warning(
                         "giving up on %s:%s after %d failed dials; dropping "
-                        "%d queued frame(s)", host, port, attempt, queued)
+                        "%d queued message(s)", host, port, attempt, queued)
                     break
                 await asyncio.sleep(policy.delay(attempt, rng))
                 continue
@@ -203,6 +299,11 @@ class _Channel:
                 # successful dial is a *re*-connect.
                 self.transport.reconnects += 1
             self._writer = writer
+            _set_nodelay(writer)
+            # A fresh connection means a fresh receiver-side intern table:
+            # re-announce with a full HELLO snapshot before any data (the
+            # in-flight batch may reference ids defined long ago).
+            self._hello_due = self._encoder is not None
             # Watch the read side too: a peer closing the connection surfaces
             # as EOF there long before a write into the half-open socket
             # would error, and we must reconnect *before* draining more
@@ -231,6 +332,7 @@ class _Channel:
     async def _run_accepted(self) -> None:
         writer = self._writer
         assert writer is not None
+        _set_nodelay(writer)
         try:
             await self._drain_queue(writer)
         except (ConnectionError, OSError):
@@ -260,9 +362,13 @@ class LiveTransport(TransportBase):
 
     def __init__(self, spec: ClusterSpec, env: RealtimeEnvironment,
                  reconnect: Optional[ReconnectPolicy] = None,
-                 reconnect_rng: Optional[random.Random] = None):
+                 reconnect_rng: Optional[random.Random] = None,
+                 codec: str = "binary"):
+        if codec not in ("json", "binary"):
+            raise ValueError(f"unknown codec {codec!r} (json or binary)")
         self.spec = spec
         self.env = env
+        self.codec = codec
         self.reconnect = reconnect if reconnect is not None else ReconnectPolicy()
         self.reconnect_rng = (reconnect_rng if reconnect_rng is not None
                               else random.Random())
@@ -277,9 +383,17 @@ class LiveTransport(TransportBase):
         self._next_msg_id = 0
         self.messages_sent = 0
         self.messages_received = 0
-        #: Wire bytes of frames queued for sending / fully read.
+        #: Wire bytes written to / read from sockets.
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Wire frames by direction.  One batch frame carries many messages,
+        #: so frames_sent / messages_framed is the batching factor.
+        self.frames_sent = 0
+        self.frames_received = 0
+        #: Batch writes (one flush each) and the messages they carried;
+        #: local-loopback messages never reach a channel and are excluded.
+        self.batches_sent = 0
+        self.messages_framed = 0
         #: Successful redials of a previously connected peer channel.
         self.reconnects = 0
         self.closed = False
@@ -327,7 +441,7 @@ class LiveTransport(TransportBase):
         return message
 
     def _dispatch(self, message: Message) -> None:
-        """Route one message: local loopback or a frame onto its channel."""
+        """Route one message: local loopback or onto its peer channel."""
         if self.closed:
             return
         src, dst, kind = message.src, message.dst, message.kind
@@ -346,9 +460,7 @@ class LiveTransport(TransportBase):
             log.warning("dropping %s from %s: no route to %r (peer gone?)",
                         kind, src, dst)
             return
-        frame = encode_frame(message_to_frame(message))
-        self.bytes_sent += len(frame)
-        channel.send_frame(frame)
+        channel.send_message(message)
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -404,13 +516,10 @@ class LiveTransport(TransportBase):
         self._dialers.clear()
         self._routes.clear()
 
-    def _count_rx_bytes(self, size: int) -> None:
-        self.bytes_received += size
-
     def queue_depth(self) -> int:
-        """Frames queued toward peers but not yet written to a socket.
+        """Messages queued toward peers but not yet written to a socket.
 
-        A growing depth means a peer is unreachable (frames accumulate
+        A growing depth means a peer is unreachable (messages accumulate
         behind reconnect backoff) or the process cannot keep up — the
         admission controller's overload signal.
         """
@@ -418,7 +527,7 @@ class LiveTransport(TransportBase):
         for channel in list(self._dialers.values()) + list(self._accepted):
             if channel.closed:
                 continue
-            depth += channel._queue.qsize() + (channel._pending is not None)
+            depth += channel.queued_messages
         return depth
 
     def _deliver_local(self, message: Message) -> None:
@@ -433,12 +542,26 @@ class LiveTransport(TransportBase):
     # ------------------------------------------------------------------ #
     async def _read_loop(self, reader: asyncio.StreamReader,
                          route_channel: Optional[_Channel]) -> None:
+        decoder = FrameDecoder()
+        binary_replies = self.codec == "binary"
         try:
             while True:
-                frame = await read_frame(reader, on_bytes=self._count_rx_bytes)
-                if frame is None:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    if decoder.pending_bytes:
+                        log.warning(
+                            "dropping connection: closed mid-frame "
+                            "(%d buffered bytes)", decoder.pending_bytes)
                     return
-                self._handle_frame(frame, route_channel)
+                self.bytes_received += len(data)
+                frames_before = decoder.frames_decoded
+                records = decoder.feed(data)
+                self.frames_received += decoder.frames_decoded - frames_before
+                if (binary_replies and route_channel is not None
+                        and decoder.peer_version == WIRE_VERSION):
+                    route_channel.enable_binary()
+                for record in records:
+                    self._handle_frame(record, route_channel)
         except WireError as exc:
             log.warning("dropping connection: %s", exc)
         except (ConnectionError, OSError, asyncio.CancelledError):

@@ -66,18 +66,34 @@ def instrument_transport(registry: MetricsRegistry, transport: Any,
                           node=node, direction="in")
     wire_bytes = registry.counter(
         "repro_transport_bytes_total",
-        "Wire bytes (length prefix + JSON body) by direction.")
+        "Wire bytes (length prefix + JSON or binary body) by direction.")
     wire_bytes.set_function(lambda: get().bytes_sent,
                             node=node, direction="out")
     wire_bytes.set_function(lambda: get().bytes_received,
                             node=node, direction="in")
+    frames = registry.counter(
+        "repro_transport_frames_total",
+        "Wire frames by direction; one v2 batch frame carries many "
+        "messages, so frames out / messages framed is the batching factor.")
+    frames.set_function(lambda: get().frames_sent,
+                        node=node, direction="out")
+    frames.set_function(lambda: get().frames_received,
+                        node=node, direction="in")
+    registry.counter(
+        "repro_transport_batches_total",
+        "Batch writes (one flush each) on outbound channels.",
+    ).set_function(lambda: get().batches_sent, node=node)
+    registry.counter(
+        "repro_transport_messages_framed_total",
+        "Messages carried by outbound frames (local loopback excluded).",
+    ).set_function(lambda: get().messages_framed, node=node)
     registry.counter(
         "repro_transport_reconnects_total",
         "Successful redials of previously connected peer channels.",
     ).set_function(lambda: get().reconnects, node=node)
     registry.gauge(
         "repro_transport_queue_depth",
-        "Frames queued toward peers but not yet written to a socket.",
+        "Messages queued toward peers but not yet written to a socket.",
     ).set_function(lambda: get().queue_depth(), node=node)
 
 

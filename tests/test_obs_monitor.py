@@ -246,6 +246,45 @@ class TestMonitorCli:
 
 
 # --------------------------------------------------------------------------- #
+# Keeping up with the v2 wire: the serial checker must fold records faster
+# than the live runtime can put operations on the wire, so a monitor tailing
+# a high-rate binary-codec run drains its backlog instead of falling behind.
+# --------------------------------------------------------------------------- #
+class TestMonitorKeepsUp:
+    def test_high_rate_trace_lag_stays_bounded(self, tmp_path):
+        """4000 ops in one sitting — the shape a ``repro load --rate``
+        open-loop run over the binary codec writes.  The monitor's record
+        throughput must clear the measured live wire capacity (~4k ops/s,
+        ~8k records/s on the reference 1-core box; see BENCH_perf.json
+        ``live``) and ``repro_checker_lag_seconds`` must return to zero
+        once the tail is consumed.  The bound is loose for CI noise — the
+        measured fold rate is ~70k records/s."""
+        import time
+
+        path = str(tmp_path / "hot.jsonl")
+        ops = 4_000
+        _write_clean_trace(path, ops=ops)
+        registry = MetricsRegistry()
+        verdicts = []
+
+        def on_verdict(verdict):
+            verdicts.append(verdict.satisfied)
+
+        start = time.perf_counter()
+        report = run_monitor(path, min_epoch_ops=64, idle_timeout=0,
+                             registry=registry, on_verdict=on_verdict)
+        wall = time.perf_counter() - start
+        assert report.exit_code == 0
+        assert report.records >= ops          # invocation + op per write
+        assert len(verdicts) > 10 and all(verdicts)
+        throughput = report.records / wall
+        assert throughput > 10_000, \
+            f"monitor folded only {throughput:,.0f} records/s"
+        # Every record is covered by a closed epoch: no residual lag.
+        assert registry.get("repro_checker_lag_seconds").value() == 0.0
+
+
+# --------------------------------------------------------------------------- #
 # Follow-loop idle backoff (satellite: configurable poll + backoff)
 # --------------------------------------------------------------------------- #
 class TestFollowBackoff:

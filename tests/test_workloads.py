@@ -8,7 +8,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim.engine import Environment
-from repro.workloads.clients import ClosedLoopDriver, PartlyOpenDriver
+from repro.workloads.clients import (ClosedLoopDriver, OpenLoopDriver,
+                                     PartlyOpenDriver)
 from repro.workloads.retwis import RETWIS_MIX, RetwisWorkload
 from repro.workloads.ycsb import YcsbWorkload
 from repro.workloads.zipf import ZipfGenerator
@@ -332,3 +333,99 @@ def test_partly_open_driver_respects_duration():
     driver.start()
     env.run()
     assert env.now <= 520.0
+
+
+# --------------------------------------------------------------------- #
+# Open-loop driver (coordinated-omission-correct arrivals)
+# --------------------------------------------------------------------- #
+def test_open_loop_driver_fixed_schedule_hits_the_rate():
+    env = Environment()
+    clients = [FakeClient("a"), FakeClient("b"), FakeClient("c")]
+    driver = OpenLoopDriver(env, _pairs(clients), make_executor(env, 0.5),
+                            rate_per_s=1_000.0, duration_ms=100.0,
+                            arrival="fixed")
+    driver.start()
+    env.run()
+    stats = driver.stats()
+    assert stats["offered"] == 100          # 1/ms for 100 ms
+    assert stats["completed"] == 100
+    assert stats["abandoned"] == 0
+    assert 900.0 < stats["achieved_rate_per_s"] <= 1_100.0
+    assert sum(len(c.executed) for c in clients) == 100
+
+
+def test_open_loop_driver_charges_queueing_to_the_response_time():
+    """The coordinated-omission correction: with one slow session, each
+    arrival keeps its *intended* timestamp while queued, so the recorded
+    response times grow linearly even though every attempt's service time
+    is a flat 10 ms.  A closed-loop client would have reported ~10 ms."""
+    from repro.sim.stats import LatencyRecorder
+
+    env = Environment()
+    recorder = LatencyRecorder()
+    driver = OpenLoopDriver(env, _pairs([FakeClient("a")]),
+                            make_executor(env, 10.0),
+                            rate_per_s=500.0, duration_ms=40.0,
+                            arrival="fixed", recorder=recorder,
+                            drain_timeout_ms=10_000.0)
+    driver.start()
+    env.run()
+    stats = driver.stats()
+    assert stats["offered"] == 20           # every 2 ms for 40 ms
+    assert stats["completed"] == 20         # drained after the schedule
+    assert stats["backlog_peak"] > 10       # the pool saturated immediately
+    samples = recorder.sorted_samples("txn")
+    assert len(samples) == 20
+    # Arrivals every 2 ms into a 10 ms server: the last response waited
+    # roughly 19 service times minus its arrival offset.
+    assert samples[-1] > 100.0
+    assert samples[0] == pytest.approx(10.0, abs=2.0)
+
+
+def test_open_loop_driver_abandons_backlog_at_the_drain_timeout():
+    env = Environment()
+    driver = OpenLoopDriver(env, _pairs([FakeClient("a")]),
+                            make_executor(env, 50.0),
+                            rate_per_s=1_000.0, duration_ms=20.0,
+                            arrival="fixed", drain_timeout_ms=100.0)
+    driver.start()
+    env.run()
+    stats = driver.stats()
+    assert stats["offered"] == 20
+    assert stats["completed"] < 20
+    assert stats["abandoned"] == stats["offered"] - stats["completed"]
+    assert stats["abandoned"] > 0
+
+
+def test_open_loop_driver_poisson_is_seeded_and_reproducible():
+    def run(seed):
+        env = Environment()
+        driver = OpenLoopDriver(env, _pairs([FakeClient("a"),
+                                             FakeClient("b")]),
+                                make_executor(env, 1.0),
+                                rate_per_s=2_000.0, duration_ms=50.0,
+                                arrival="poisson", seed=seed)
+        driver.start()
+        env.run()
+        return driver.stats()
+
+    first, second = run(7), run(7)
+    assert first == second
+    assert run(8) != first                  # a different schedule
+    assert 40 < first["offered"] < 200      # ~100 expected arrivals
+
+
+def test_open_loop_driver_validation():
+    env = Environment()
+    pairs = _pairs([FakeClient("a")])
+    with pytest.raises(TypeError, match="rate_per_s and duration_ms"):
+        OpenLoopDriver(env, pairs, make_executor(env))
+    with pytest.raises(ValueError, match="positive"):
+        OpenLoopDriver(env, pairs, make_executor(env),
+                       rate_per_s=0.0, duration_ms=10.0)
+    with pytest.raises(ValueError, match="arrival schedule"):
+        OpenLoopDriver(env, pairs, make_executor(env),
+                       rate_per_s=10.0, duration_ms=10.0, arrival="uniform")
+    with pytest.raises(ValueError, match="at least one"):
+        OpenLoopDriver(env, [], make_executor(env),
+                       rate_per_s=10.0, duration_ms=10.0)
