@@ -139,6 +139,35 @@ def test_live_open_loop_meets_the_requested_rate(perf_payload):
         assert row["response_ms"], (codec, row)
 
 
+def test_fleet_routing_overhead_within_bounds(perf_payload):
+    """The fleet layer must stay cheap: fast ring, near-zero routing tax.
+
+    Ring lookups are pure CPU (blake2b + binary search) and must clear an
+    absolute floor on any machine.  The single-group FleetStore adds one
+    ring lookup and a counter bump per op with zero extra wire traffic, so
+    its p99 against a plain LiveStore on the identical workload sits near
+    1.0 — the unconditional bound is loose because both sides are live
+    I/O-bound loops on shared CI hosts; REPRO_PERF_STRICT=1 tightens it.
+    Every planned online split must have completed with a bounded write
+    pause (the fence→flip window measures single-digit ms).
+    """
+    fleet = perf_payload["fleet"]
+    assert fleet["ring"]["lookups_per_s"] > 50_000, fleet["ring"]
+
+    routing = fleet["routing"]
+    assert routing["ops"] > 0
+    assert routing["p99_overhead_ratio"] <= 2.5, routing
+    if os.environ.get("REPRO_PERF_STRICT") == "1":
+        assert routing["p99_overhead_ratio"] <= 1.5, routing
+
+    migration = fleet["migration"]
+    assert migration["completed"] == migration["planned"], migration
+    assert migration["crashed"] is False, migration
+    assert migration["placement_epoch"] == 1 + migration["completed"]
+    assert migration["ops_under_load"] > 0
+    assert migration["pause_ms"]["max"] < 1_000.0, migration
+
+
 def test_speedup_vs_seed_baseline(perf_payload):
     """The baseline comparison must be present and well-formed.
 

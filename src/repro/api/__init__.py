@@ -32,14 +32,21 @@ Quickstart::
 from repro.api.errors import (
     ApiError,
     CapabilityError,
+    FleetConfigError,
     InvalidSessionToken,
     UnknownBackendError,
     UnsupportedOperationError,
 )
 from repro.api.levels import ConsistencyLevel, native_level, supported_levels
 from repro.api.session import Session
-from repro.api.adapters import GryffSession, SpannerSession
+from repro.api.adapters import (
+    FleetGryffSession,
+    FleetSpannerSession,
+    GryffSession,
+    SpannerSession,
+)
 from repro.api.store import (
+    FleetStore,
     LiveStore,
     SimGryffStore,
     SimSpannerStore,
@@ -54,6 +61,10 @@ __all__ = [
     "ApiError",
     "CapabilityError",
     "ConsistencyLevel",
+    "FleetConfigError",
+    "FleetGryffSession",
+    "FleetSpannerSession",
+    "FleetStore",
     "GryffSession",
     "InvalidSessionToken",
     "LiveStore",

@@ -18,7 +18,8 @@ from repro.api.session import Session
 from repro.core.rmw import RMW_MODES, apply_rmw
 from repro.gryff.carstamp import Carstamp
 
-__all__ = ["GryffSession", "SpannerSession"]
+__all__ = ["GryffSession", "SpannerSession", "FleetGryffSession",
+           "FleetSpannerSession"]
 
 
 class GryffSession(Session):
@@ -208,3 +209,26 @@ class SpannerSession(Session):
 
     def _import_context(self, context: Any) -> None:
         self._client.import_context(float(context))
+
+
+class FleetGryffSession(GryffSession):
+    """A placement-routed Gryff session (fleet backend).
+
+    Operation shapes are exactly the standalone Gryff surface — in
+    particular ``txn``/``read_only`` still honor only single-key shapes, so
+    a cross-group transaction is rejected the same way a multi-key one is:
+    Gryff fleets support single-group operations only.
+    """
+
+    capabilities = GryffSession.capabilities | {"fleet_routing"}
+
+
+class FleetSpannerSession(SpannerSession):
+    """A placement-routed Spanner session (fleet backend).
+
+    Cross-group ``txn``/``read_only`` run through the unmodified 2PC /
+    RSS machinery over the merged topology, so the full standalone
+    vocabulary carries over.
+    """
+
+    capabilities = SpannerSession.capabilities | {"fleet_routing"}

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+from repro.fleet.spec import FleetConfigError
+
 __all__ = [
     "ApiError",
     "CapabilityError",
     "UnsupportedOperationError",
     "InvalidSessionToken",
     "UnknownBackendError",
+    "FleetConfigError",
 ]
 
 

@@ -35,7 +35,7 @@ from repro.core.history import History
 from repro.sim.stats import LatencyRecorder
 
 __all__ = ["Store", "SimGryffStore", "SimSpannerStore", "LiveStore",
-           "open_store"]
+           "FleetStore", "open_store"]
 
 
 class Store:
@@ -310,6 +310,91 @@ class LiveStore(Store):
 
 
 # --------------------------------------------------------------------------- #
+# Fleet backend
+# --------------------------------------------------------------------------- #
+class FleetStore(LiveStore):
+    """A client process against a running multi-group fleet.
+
+    The transport dials the *merged* topology (every node of every group is
+    addressable), but sessions are placement-routing fleet clients: Gryff
+    single-key operations go to the key's owning group, Spanner
+    transactions route per key and fall back to the unmodified cross-group
+    2PC when a write set spans groups.  The store also owns the
+    :class:`~repro.fleet.client.OpTracker` and the live
+    :class:`~repro.fleet.ring.PlacementMap` that a
+    :class:`~repro.fleet.migration.MigrationController` reconfigures.
+
+    A single-group fleet is byte-identical to a :class:`LiveStore` run: the
+    routing hooks resolve to the same replica set a standalone client uses,
+    and they add no events and no messages.
+    """
+
+    def __init__(self, fleet, history: Optional[History] = None,
+                 recorder: Optional[LatencyRecorder] = None,
+                 codec: str = "binary"):
+        from repro.fleet.client import OpTracker
+
+        super().__init__(fleet.merged_spec(), history=history,
+                         recorder=recorder, codec=codec)
+        self.fleet = fleet
+        self.placement = fleet.placement
+        self.tracker = OpTracker()
+
+    @property
+    def session_class(self):
+        from repro.api.adapters import FleetGryffSession, FleetSpannerSession
+
+        return (FleetGryffSession if self.fleet.is_gryff
+                else FleetSpannerSession)
+
+    def _protocol_config(self):
+        if self._config is None:
+            self._config = (self.fleet.client_gryff_config()
+                            if self.fleet.is_gryff
+                            else self.fleet.client_spanner_config())
+        return self._config
+
+    def session(self, site: Optional[str] = None, name: Optional[str] = None,
+                level: Union[ConsistencyLevel, str, None] = None,
+                record_history: bool = True) -> Session:
+        if self.admission is not None:
+            self.admission.admit()
+        level = self.negotiate(level)
+        sites = self.spec.sites()
+        if site is None:
+            site = sites[len(self.sessions) % len(sites)]
+        if name is None:
+            name = f"client{next(self._session_counter)}@{site}"
+        config = self._protocol_config()
+        if self.fleet.is_gryff:
+            from repro.fleet.client import FleetGryffClient
+
+            client = FleetGryffClient(
+                self.process.env, self.process.transport, config,
+                name=name, site=site,
+                groups={gid: self.fleet.group_names(gid)
+                        for gid in self.fleet.group_ids()},
+                placement=self.placement, tracker=self.tracker,
+                history=self.history, recorder=self.recorder,
+                record_history=record_history)
+        else:
+            from repro.fleet.client import FleetSpannerClient
+            from repro.sim.clock import TrueTime
+
+            if self._truetime is None:
+                self._truetime = TrueTime(
+                    self.process.env, epsilon=config.truetime_epsilon_ms)
+            client = FleetSpannerClient(
+                self.process.env, self.process.transport, self._truetime,
+                config, name=name, site=site, tracker=self.tracker,
+                history=self.history, recorder=self.recorder,
+                record_history=record_history)
+        session = self.session_class(client, level)
+        self.sessions.append(session)
+        return session
+
+
+# --------------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------------- #
 def open_store(backend: Any, *, config: Any = None,
@@ -353,11 +438,27 @@ def open_store(backend: Any, *, config: Any = None,
                         "params)", config=config)
         return LiveStore(backend, history=history, recorder=recorder,
                          codec=codec if codec is not None else "binary")
+    from repro.fleet.spec import FLEET_SCHEMA, FleetSpec
+
+    if isinstance(backend, FleetSpec):
+        _reject_ignored("a fleet spec (protocol knobs live in its params)",
+                        config=config)
+        return FleetStore(backend, history=history, recorder=recorder,
+                          codec=codec if codec is not None else "binary")
     if isinstance(backend, str):
         if backend.startswith("live:"):
             _reject_ignored("a live cluster spec (protocol knobs live in "
                             "its params)", config=config)
-            return LiveStore(ClusterSpec.load(backend[len("live:"):]),
+            path = backend[len("live:"):]
+            import json
+
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("schema") == FLEET_SCHEMA:
+                return FleetStore(FleetSpec.from_dict(data), history=history,
+                                  recorder=recorder,
+                                  codec=codec if codec is not None else "binary")
+            return LiveStore(ClusterSpec.from_dict(data),
                              history=history, recorder=recorder,
                              codec=codec if codec is not None else "binary")
         if backend in ("sim-gryff", "sim-spanner"):

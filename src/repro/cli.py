@@ -202,9 +202,39 @@ def cmd_perf(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 # Live cluster subcommands
 # --------------------------------------------------------------------------- #
+def _load_topology(path: str):
+    """Load a topology file: a ``repro-cluster/1`` :class:`ClusterSpec` or a
+    ``repro-fleet/1`` :class:`FleetSpec`, dispatched on the schema header."""
+    import json
+
+    from repro.fleet.spec import FLEET_SCHEMA, FleetSpec
+    from repro.net.spec import ClusterSpec
+
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("schema") == FLEET_SCHEMA:
+        return FleetSpec.from_dict(data)
+    return ClusterSpec.from_dict(data)
+
+
 def cmd_init_config(args: argparse.Namespace) -> int:
     from repro.net.spec import ClusterSpec
 
+    if args.groups > 1:
+        from repro.fleet.spec import FleetSpec
+
+        is_gryff = args.protocol in ("gryff", "gryff-rsc")
+        params = None if is_gryff else {"truetime_epsilon_ms": args.epsilon_ms}
+        spec = FleetSpec.build(
+            protocol=args.protocol, num_groups=args.groups,
+            nodes_per_group=args.replicas if is_gryff else args.shards,
+            host=args.host, base_port=args.base_port,
+            placement_seed=args.placement_seed, params=params)
+        spec.save(args.out)
+        print(f"wrote {args.out}: {args.protocol} fleet with "
+              f"{args.groups} group(s) x {spec.group_size} node(s) on "
+              f"{args.host}:{args.base_port}+")
+        return 0
     if args.protocol in ("gryff", "gryff-rsc"):
         spec = ClusterSpec.gryff(num_replicas=args.replicas, host=args.host,
                                  base_port=args.base_port, variant=args.protocol)
@@ -219,12 +249,34 @@ def cmd_init_config(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.fleet.spec import FleetSpec
     from repro.net.cluster import serve_forever
-    from repro.net.spec import ClusterSpec
 
-    spec = ClusterSpec.load(args.config)
+    topology = _load_topology(args.config)
+    if isinstance(topology, FleetSpec):
+        host_nodes = None
+        if args.group:
+            unknown = [gid for gid in args.group
+                       if gid not in topology.groups]
+            if unknown:
+                print(f"unknown group(s) {unknown}; this fleet has "
+                      f"{topology.group_ids()}", file=sys.stderr)
+                return 2
+            host_nodes = [name for gid in args.group
+                          for name in topology.group_names(gid)]
+        if args.node:
+            host_nodes = [args.node]
+        return asyncio.run(serve_forever(
+            topology.merged_spec(), host_nodes, wal_dir=args.wal_dir,
+            metrics_port=args.metrics_port, codec=args.codec,
+            node_configs=topology.node_configs()))
+    if args.group:
+        print("--group requires a fleet topology "
+              "(repro init-config --groups N)", file=sys.stderr)
+        return 2
     host_nodes = [args.node] if args.node else None
-    return asyncio.run(serve_forever(spec, host_nodes, wal_dir=args.wal_dir,
+    return asyncio.run(serve_forever(topology, host_nodes,
+                                     wal_dir=args.wal_dir,
                                      metrics_port=args.metrics_port,
                                      codec=args.codec))
 
@@ -236,12 +288,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         rows = [[s.name, s.protocol,
                  "clean" if s.expect_clean else "windowed", s.description]
                 for s in all_scenarios().values()]
+        rows.append(["reshard-crash", "gryff-rsc", "clean",
+                     "kill -9 the migration controller mid-copy, recover "
+                     "the placement from its journal, finish the reshard"])
         print(format_table(["scenario", "protocol", "oracle", "description"],
                            rows, title="Chaos scenarios"))
         return 0
     if not args.scenario:
         print("--scenario NAME is required (or --list)", file=sys.stderr)
         return 2
+    if args.scenario == "reshard-crash":
+        # The reshard scenario reconfigures a *fleet* mid-load; it has its
+        # own runner (live only — the placement is client-process state).
+        from repro.chaos.reshard import run_reshard_crash
+
+        report = run_reshard_crash(trace_dir=args.trace_dir)
+        print(report.describe())
+        _write_json(args.json, [report.to_dict()])
+        return 0 if report.ok else 1
     try:
         scenario = get_scenario(args.scenario)
     except KeyError as exc:
@@ -266,9 +330,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 def cmd_load(args: argparse.Namespace) -> int:
     from repro.api.errors import CapabilityError
     from repro.net.load import load_main
-    from repro.net.spec import ClusterSpec
 
-    spec = ClusterSpec.load(args.config)
+    spec = _load_topology(args.config)
+    migrations = None
+    if args.migrate:
+        from repro.fleet.migration import MigrationPlan
+
+        try:
+            migrations = [MigrationPlan.parse(text) for text in args.migrate]
+        except ValueError as exc:
+            print(f"cannot run load: {exc}", file=sys.stderr)
+            return 2
     on_verdict = (lambda verdict: print(verdict.describe(), flush=True)) \
         if args.check_inline else None
     metrics = None
@@ -303,6 +375,8 @@ def cmd_load(args: argparse.Namespace) -> int:
             rate=args.rate,
             open_loop=args.open_loop,
             arrival=args.arrival,
+            migrations=migrations,
+            migration_journal=args.migration_journal,
         )
     except (CapabilityError, ValueError) as exc:
         print(f"cannot run load: {exc}", file=sys.stderr)
@@ -327,6 +401,15 @@ def cmd_load(args: argparse.Namespace) -> int:
         label = f"{category} (response)" if open_loop else category
         rows.append([f"{label} p50 (ms)", round(percentiles["p50"], 3)])
         rows.append([f"{label} p99 (ms)", round(percentiles["p99"], 3)])
+    migration = summary.get("migration")
+    if migration:
+        rows.append(["migrations", len(migration["migrations"])])
+        rows.append(["placement epoch", migration["placement_epoch"]])
+        for entry in migration["migrations"]:
+            rows.append([f"{entry['mig_id']} ({entry['plan']})",
+                         f"pause {entry['pause_ms']:.1f} ms, "
+                         f"{entry['keys_copied']} key(s) copied"])
+        rows.append(["migration crashed", migration["crashed"]])
     check = summary.get("check")
     if check:
         rows.append(["inline check", "SATISFIED" if check["satisfied"]
@@ -342,6 +425,8 @@ def cmd_load(args: argparse.Namespace) -> int:
     if summary["ops"] <= 0:
         return 1
     if check and not check["satisfied"]:
+        return 1
+    if migration and migration["crashed"]:
         return 1
     return 0
 
@@ -385,13 +470,13 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         print(f"cannot monitor trace: {exc}", file=sys.stderr)
         return 2
     if report.exit_code == 2:
-        print(f"no usable records at {args.trace} (missing protocol header?)",
-              file=sys.stderr)
+        print(f"no usable records at {report.trace} (missing protocol "
+              f"header?)", file=sys.stderr)
         return 2
     verdict = "CLEAN" if report.alert is None else (
         f"ALERT (epoch {report.alert['epoch']['index']}: "
         f"{report.alert['epoch']['reason']})")
-    print(f"monitor {args.trace}: {report.ops_checked} ops in "
+    print(f"monitor {report.trace}: {report.ops_checked} ops in "
           f"{report.epochs} epoch(s), {len(report.violations)} violation(s) "
           f"({len(report.violations_outside_windows)} outside fault windows) "
           f"— {report.model}: {verdict}"
@@ -423,14 +508,21 @@ def _live_check_follow(args: argparse.Namespace, protocol: Optional[str]) -> int
         default_model_for,
         streaming_checker_for,
     )
-    from repro.net.recorder import follow_trace_records
+    from repro.net.recorder import follow_trace_records, merge_record_streams
 
+    traces = args.trace
+    label = traces[0] if len(traces) == 1 else ",".join(traces)
     checker = None
     interrupted = False
     try:
-        records = iter(follow_trace_records(args.trace,
-                                            poll_interval=args.poll_interval,
-                                            idle_timeout=args.idle_timeout))
+        if len(traces) == 1:
+            records = iter(follow_trace_records(
+                traces[0], poll_interval=args.poll_interval,
+                idle_timeout=args.idle_timeout))
+        else:
+            records = iter(merge_record_streams(
+                traces, poll_interval=args.poll_interval,
+                idle_timeout=args.idle_timeout))
         # Peek at the leading record to learn the protocol from the trace's
         # meta header, then hand the rest to the shared record dispatcher.
         buffered: List[Dict[str, Any]] = []
@@ -457,17 +549,17 @@ def _live_check_follow(args: argparse.Namespace, protocol: Optional[str]) -> int
         print(f"cannot check trace: {exc}", file=sys.stderr)
         return 2
     if checker is None:
-        print(f"no records found at {args.trace}", file=sys.stderr)
+        print(f"no records found at {label}", file=sys.stderr)
         return 2
     report = checker.close()
     verdict = "SATISFIED" if report.satisfied else (
         f"VIOLATED ({report.first_violation.describe()})")
-    print(f"live-check --follow {args.trace}: {report.ops_checked} ops in "
+    print(f"live-check --follow {label}: {report.ops_checked} ops in "
           f"{report.epochs} epoch(s), peak epoch {report.max_segment_ops} "
           f"ops — {report.model}: {verdict}"
           + (" [interrupted]" if interrupted else ""))
     _write_json(args.json, {
-        "trace": args.trace,
+        "trace": label,
         "protocol": protocol,
         "model": report.model,
         "streaming": True,
@@ -484,12 +576,17 @@ def _live_check_follow(args: argparse.Namespace, protocol: Optional[str]) -> int
 
 def cmd_live_check(args: argparse.Namespace) -> int:
     from repro.net.check import check_trace, default_model_for
-    from repro.net.recorder import read_trace
+    from repro.net.recorder import read_merged_traces, read_trace
 
+    traces = args.trace
+    label = traces[0] if len(traces) == 1 else ",".join(traces)
     if args.follow:
         return _live_check_follow(args, args.protocol)
     try:
-        meta, history = read_trace(args.trace)
+        if len(traces) == 1:
+            meta, history = read_trace(traces[0])
+        else:
+            meta, history = read_merged_traces(traces)
     except FileNotFoundError as exc:
         print(f"cannot check trace: {exc}", file=sys.stderr)
         return 2
@@ -506,7 +603,7 @@ def cmd_live_check(args: argparse.Namespace) -> int:
         return 2
     result = check_trace(history, protocol, model)
     payload = {
-        "trace": args.trace,
+        "trace": label,
         "protocol": protocol,
         "model": model,
         "operations": len(history),
@@ -516,7 +613,7 @@ def cmd_live_check(args: argparse.Namespace) -> int:
         "reason": result.reason,
     }
     verdict = "SATISFIED" if result else f"VIOLATED ({result.reason})"
-    print(f"live-check {args.trace}: {len(history)} ops from "
+    print(f"live-check {label}: {len(history)} ops from "
           f"{payload['processes']} process(es) — {model}: {verdict}")
     _write_json(args.json, payload)
     return 0 if result else 1
@@ -630,15 +727,28 @@ def build_parser() -> argparse.ArgumentParser:
                              help="first listen port; node i uses base+i")
     init_config.add_argument("--epsilon-ms", type=float, default=10.0,
                              help="TrueTime uncertainty for Spanner clusters")
+    init_config.add_argument("--groups", type=int, default=1,
+                             help="shard groups; >1 writes a repro-fleet/1 "
+                                  "fleet topology (N groups of --replicas/"
+                                  "--shards nodes behind a consistent-hash "
+                                  "placement map)")
+    init_config.add_argument("--placement-seed", type=int, default=0,
+                             help="seed of the fleet's consistent-hash ring "
+                                  "(deterministic placement; default 0)")
     init_config.add_argument("--out", default="cluster.json")
     init_config.set_defaults(func=cmd_init_config)
 
     serve = subparsers.add_parser(
         "serve", help="run live cluster server nodes over asyncio TCP")
-    serve.add_argument("--config", required=True, help="cluster spec JSON")
+    serve.add_argument("--config", required=True,
+                       help="cluster or fleet spec JSON")
     serve.add_argument("--node",
                        help="host only this node (one process per node); "
                             "default: every server node as asyncio tasks")
+    serve.add_argument("--group", action="append",
+                       help="host every node of this shard group (fleet "
+                            "topologies; repeatable — one process can serve "
+                            "any subset of groups)")
     serve.add_argument("--wal-dir",
                        help="write-ahead-log directory: hosted nodes log "
                             "durably to <dir>/<node>.wal and recover from "
@@ -675,7 +785,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     load = subparsers.add_parser(
         "load", help="drive a live cluster and capture a history trace")
-    load.add_argument("--config", required=True, help="cluster spec JSON")
+    load.add_argument("--config", required=True,
+                      help="cluster or fleet spec JSON")
     load.add_argument("--clients", type=int, default=4)
     load.add_argument("--duration-ms", type=float, default=2_000.0)
     load.add_argument("--ops-per-client", type=int, default=None,
@@ -725,6 +836,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="wire format to dial the cluster with (binary = "
                            "wire v2, the default; json = the nc-able v1 "
                            "debug format — a v2 server accepts either)")
+    load.add_argument("--migrate", action="append",
+                      metavar="AT_MS:KIND:RANGE:DST",
+                      help="run an online key-range migration at AT_MS into "
+                           "the run (fleet topologies only; repeatable). "
+                           "KIND is split (RANGE = a fraction inside the "
+                           "range to bisect), merge (RANGE = a fraction "
+                           "inside the range to absorb), or move (RANGE = "
+                           "LO-HI point fractions); DST is the receiving "
+                           "group, e.g. 1000:split:0.5:g1")
+    load.add_argument("--migration-journal",
+                      help="WAL-journal migrations to this file so a "
+                           "crashed controller's placement can be "
+                           "recovered (repro-migration/1)")
     load.add_argument("--rate", type=float, default=None,
                       help="open-loop arrival rate in ops/s: arrivals keep "
                            "coming at this rate regardless of completions, "
@@ -742,7 +866,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     live_check = subparsers.add_parser(
         "live-check", help="replay a captured trace through the checkers")
-    live_check.add_argument("trace", help="JSONL trace (or rotated set base "
+    live_check.add_argument("trace", nargs="+",
+                            help="JSONL trace (or rotated set base "
                                           "path) from `repro load`")
     live_check.add_argument("--protocol",
                             choices=["gryff", "gryff-rsc", "spanner", "spanner-rss"],
@@ -768,7 +893,8 @@ def build_parser() -> argparse.ArgumentParser:
         "monitor", help="correctness sidecar: tail a live trace, check every "
                         "epoch, alert + exit non-zero on an out-of-window "
                         "violation")
-    monitor.add_argument("trace", help="JSONL trace (or rotated set base "
+    monitor.add_argument("trace", nargs="+",
+                         help="JSONL trace (or rotated set base "
                                        "path) being written by `repro load`")
     monitor.add_argument("--protocol",
                          choices=["gryff", "gryff-rsc", "spanner", "spanner-rss"],

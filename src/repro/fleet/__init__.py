@@ -1,0 +1,54 @@
+"""Fleet layer: N shard groups behind consistent-hash key routing.
+
+A *fleet* is a set of independent shard groups — each group is a complete,
+unmodified Gryff replica group or Spanner shard group — stitched together by
+a deterministic consistent-hash :class:`~repro.fleet.ring.PlacementMap` that
+assigns every point of the key space to exactly one group.  Clients route
+single-key operations to the owning group; cross-group transactions run
+through the existing Spanner 2PC machinery over the merged topology.
+
+The placement is versioned (``placement/1`` epochs) and can be reconfigured
+online: :class:`~repro.fleet.migration.MigrationController` moves a key
+range between groups under live load via a fenced copy -> dual-write ->
+flip-epoch -> drain protocol, journaled on a
+:class:`~repro.storage.wal.WriteAheadLog` so a crash mid-migration recovers
+to a consistent single-owner placement.
+"""
+
+from repro.fleet.ring import (
+    PLACEMENT_SCHEMA,
+    POINT_SPACE,
+    PlacementMap,
+    PlacementRange,
+    key_point,
+)
+from repro.fleet.spec import (
+    FLEET_SCHEMA,
+    FleetConfigError,
+    FleetSpannerConfig,
+    FleetSpec,
+    load_fleet_spec,
+)
+from repro.fleet.migration import (
+    MIGRATION_JOURNAL_SCHEMA,
+    MigrationController,
+    MigrationPlan,
+    recover_placement,
+)
+
+__all__ = [
+    "PLACEMENT_SCHEMA",
+    "POINT_SPACE",
+    "PlacementMap",
+    "PlacementRange",
+    "key_point",
+    "FLEET_SCHEMA",
+    "FleetConfigError",
+    "FleetSpannerConfig",
+    "FleetSpec",
+    "load_fleet_spec",
+    "MIGRATION_JOURNAL_SCHEMA",
+    "MigrationController",
+    "MigrationPlan",
+    "recover_placement",
+]

@@ -1,0 +1,253 @@
+"""Placement-routing fleet clients and the in-flight operation tracker.
+
+The fleet clients are thin subclasses of the standalone protocol clients:
+
+* :class:`FleetGryffClient` overrides the replica-selection hooks of
+  :class:`~repro.gryff.client.GryffClient` so every single-key operation
+  goes to the key's owning group.  A pending Gryff-RSC dependency whose key
+  lives in a *different* group than the next operation's key cannot be
+  piggybacked; it is settled first (written back to a quorum of its own
+  group), preserving the causal guarantee across groups.
+* :class:`FleetSpannerClient` wraps the transaction entry points of
+  :class:`~repro.spanner.client.SpannerClient`; routing itself comes from
+  :class:`~repro.fleet.spec.FleetSpannerConfig`, whose ``shard_for_key``
+  resolves the owning group through the live placement, so the unmodified
+  2PC machinery handles cross-group transactions over the merged topology.
+
+Both cooperate with the migration controller through two mechanisms layered
+on the shared :class:`~repro.fleet.ring.PlacementMap`:
+
+* **gate**: while a range is frozen (the flip window), operations touching
+  it wait before starting — Gryff gates per key point; Spanner gates
+  globally, because a read-write transaction's write set is unknown until
+  its execution phase, so a per-range gate could not stop a blind write
+  into the moving range;
+* **mirror**: while a range is dual-written, every value installed into the
+  source group is also installed into the destination group *before the
+  operation completes* (``mig_install``, idempotent at the server).
+
+The :class:`OpTracker` gives the controller drain barriers: every client
+operation holds a token (tagged with its key points) from just after the
+gate until after any mirror write finished, so "no in-flight op can still
+write the old owner" is simply "these tokens have all ended".
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.fleet.ring import PlacementMap, key_point
+from repro.gryff.carstamp import Carstamp
+from repro.gryff.client import GryffClient
+from repro.spanner.client import SpannerClient
+
+__all__ = ["OpTracker", "FleetGryffClient", "FleetSpannerClient"]
+
+#: How often a gated client re-checks the freeze flag, in env ms.
+GATE_POLL_MS = 1.0
+
+
+class OpTracker:
+    """Tracks in-flight client operations for migration drain barriers."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+        self._active: Dict[int, Tuple[int, ...]] = {}
+        #: Completed operations per owning group (routing metric).
+        self.routed_ops: Dict[str, int] = {}
+        #: Gate pauses experienced by clients, in env ms.
+        self.client_pause_ms: List[float] = []
+        #: Dual-write installs performed by clients.
+        self.mirrored_installs = 0
+
+    def begin(self, points: Sequence[int] = (),
+              group: Optional[str] = None) -> int:
+        token = next(self._counter)
+        self._active[token] = tuple(points)
+        if group is not None:
+            self.routed_ops[group] = self.routed_ops.get(group, 0) + 1
+        return token
+
+    def end(self, token: Optional[int]) -> None:
+        if token is not None:
+            self._active.pop(token, None)
+
+    def active_tokens(self) -> List[int]:
+        return list(self._active)
+
+    def any_active(self, tokens: Iterable[int]) -> bool:
+        return any(token in self._active for token in tokens)
+
+    def active_in_range(self, lo: int, hi: int) -> List[int]:
+        return [token for token, points in self._active.items()
+                if any(lo <= point < hi for point in points)]
+
+    def note_client_pause(self, pause_ms: float) -> None:
+        self.client_pause_ms.append(pause_ms)
+
+    def note_mirror(self) -> None:
+        self.mirrored_installs += 1
+
+
+class FleetGryffClient(GryffClient):
+    """A Gryff client that routes each key to its owning shard group."""
+
+    def __init__(self, env, network, config, name: str, site: str, *,
+                 groups: Dict[str, List[str]], placement: PlacementMap,
+                 tracker: OpTracker, history=None, recorder=None,
+                 record_history: bool = True):
+        super().__init__(env, network, config, name, site, history=history,
+                         recorder=recorder, record_history=record_history)
+        self._groups = {gid: list(names) for gid, names in groups.items()}
+        self.placement = placement
+        self.tracker = tracker
+
+    # -- routing ------------------------------------------------------- #
+    def _point(self, key: str) -> int:
+        return key_point(key, self.placement.seed)
+
+    def _replicas(self, key: Optional[str] = None) -> List[str]:
+        if key is None:
+            return [name for names in self._groups.values() for name in names]
+        return self._groups[self.placement.owner_of_point(self._point(key))]
+
+    def _rmw_coordinator(self, key: str) -> str:
+        names = self._replicas(key)
+        for name in names:
+            if self.network.node(name).site == self.site:
+                return name
+        return names[0]
+
+    # -- migration cooperation ----------------------------------------- #
+    def _begin_op(self, key: str):
+        points = [self._point(key)]
+        if self.dependency is not None:
+            points.append(self._point(self.dependency["key"]))
+        if any(self.placement.is_frozen_point(p) for p in points):
+            started = self.env.now
+            while any(self.placement.is_frozen_point(p) for p in points):
+                yield self.env.timeout(GATE_POLL_MS)
+            self.tracker.note_client_pause(self.env.now - started)
+        # No yield between the frozen check and begin(): registration is
+        # atomic with respect to the event loop, so the controller's
+        # freeze-then-drain sequence cannot miss this operation.
+        group = self.placement.owner_of_point(points[0])
+        return self.tracker.begin(points, group=group)
+
+    def _end_op(self, token) -> None:
+        self.tracker.end(token)
+
+    def _settle_dependency(self, key: str):
+        dependency = self.dependency
+        if dependency is None:
+            return
+        op_owner = self.placement.owner_of_point(self._point(key))
+        dep_owner = self.placement.owner_of_point(
+            self._point(dependency["key"]))
+        if dep_owner == op_owner:
+            return  # same group: piggyback on the read phase as usual
+        # The dependency cannot travel to another group's replicas, so make
+        # it quorum-durable in its own group first (a write-back identical
+        # to the fence path), keeping RSC's causal order across groups.
+        call = self.rpc_multicast(
+            self._replicas(dependency["key"]), "write2",
+            key=dependency["key"], value=dependency["value"],
+            carstamp=dependency["carstamp"],
+        )
+        yield call.wait(self.config.quorum_size)
+        yield from self._after_install(
+            dependency["key"], dependency["value"],
+            Carstamp(*dependency["carstamp"]))
+        self.dependency = None
+
+    def _after_install(self, key: str, value: Any, carstamp: Carstamp):
+        target = self.placement.mirror_target(self._point(key))
+        if target is None:
+            return
+        call = self.rpc_multicast(
+            self._groups[target], "mig_install",
+            entries=[[key, value, list(carstamp.as_tuple())]],
+        )
+        yield call.wait(self.config.quorum_size)
+        self.tracker.note_mirror()
+
+
+class FleetSpannerClient(SpannerClient):
+    """A Spanner client whose config routes keys through the placement.
+
+    ``config`` must be a :class:`~repro.fleet.spec.FleetSpannerConfig`; all
+    shard selection flows through it, so reads, 2PC, and RSS read-only
+    rounds work unmodified across groups (one shared TrueTime epoch keeps
+    cross-group timestamps comparable).
+    """
+
+    def __init__(self, env, network, truetime, config, name: str, site: str,
+                 *, tracker: OpTracker, history=None, recorder=None,
+                 record_history: bool = True):
+        super().__init__(env, network, truetime, config, name, site,
+                         history=history, recorder=recorder,
+                         record_history=record_history)
+        self.tracker = tracker
+
+    @property
+    def placement(self) -> PlacementMap:
+        return self.config.placement
+
+    def _gate(self):
+        if self.placement.has_frozen():
+            started = self.env.now
+            while self.placement.has_frozen():
+                yield self.env.timeout(GATE_POLL_MS)
+            self.tracker.note_client_pause(self.env.now - started)
+
+    def _owner_group(self, keys) -> Optional[str]:
+        for key in keys:
+            return self.placement.owner(key)
+        return None
+
+    def read_write_transaction(self, read_keys, compute_writes,
+                               max_retries: int = 25):
+        yield from self._gate()
+        token = self.tracker.begin((), group=self._owner_group(read_keys))
+        try:
+            result = yield from super().read_write_transaction(
+                read_keys, compute_writes, max_retries)
+            _, writes, commit_ts = result
+            # Dual-write committed values whose range is mid-migration into
+            # the destination group before the transaction completes, so the
+            # post-flip copy is guaranteed to include them.
+            yield from self._mirror_writes(writes, commit_ts)
+            return result
+        finally:
+            self.tracker.end(token)
+
+    def read_only_transaction(self, keys):
+        yield from self._gate()
+        token = self.tracker.begin((), group=self._owner_group(keys))
+        try:
+            result = yield from super().read_only_transaction(keys)
+            return result
+        finally:
+            self.tracker.end(token)
+
+    def _mirror_writes(self, writes: Dict[str, Any], commit_ts: float):
+        by_shard: Dict[str, List[List[Any]]] = {}
+        for key, value in writes.items():
+            target = self.placement.mirror_target(
+                key_point(key, self.placement.seed))
+            if target is None:
+                continue
+            shards = self.config.group_shards[target]
+            digest = zlib.crc32(str(key).encode("utf-8"))
+            shard = shards[digest % len(shards)]
+            by_shard.setdefault(shard, []).append(
+                [key, commit_ts, value, f"mig:{self.name}"])
+        if not by_shard:
+            return
+        calls = [self.rpc_call(shard, "mig_install", versions=versions)
+                 for shard, versions in by_shard.items()]
+        for call in calls:
+            yield call
+        self.tracker.note_mirror()

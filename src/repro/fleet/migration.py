@@ -1,0 +1,442 @@
+"""Online key-range migration: fenced copy -> dual-write -> flip -> drain.
+
+The :class:`MigrationController` runs *inside the load process* (it must
+share the clients' live :class:`~repro.fleet.ring.PlacementMap` and
+:class:`~repro.fleet.client.OpTracker`) and moves one key-point range
+``[lo, hi)`` from its current owner group(s) to a destination group while
+YCSB traffic keeps flowing.  The protocol, per migration:
+
+1. **mirror on** — mark the range dual-written.  From this instant every
+   value a client installs into the source group is also installed into the
+   destination group before the operation completes (``mig_install``,
+   idempotent: Gryff installs iff-newer by carstamp, Spanner skips an
+   already-present version timestamp).
+2. **barrier** — wait for every operation already in flight at (1) to
+   finish; anything that started later mirrors its own writes.
+3. **copy** — dump *all* replicas/shards of the source group(s)
+   (``mig_dump``), merge by maximum carstamp / union of versions (a
+   superset of any acknowledged quorum), filter to the moving range, and
+   install into every node of the destination group.  Together with (1)+(2)
+   this makes the destination a superset of every acknowledged write.
+4. **fence** — freeze the range: new operations touching it (Gryff), or any
+   new transaction (Spanner, whose write sets are unknown until execution),
+   wait at the gate; then drain the in-flight operations that could still
+   touch the old owner.
+5. **flip** — bump the placement epoch (:meth:`PlacementMap.move`).  This
+   is the serialization point of the reconfiguration.
+6. **unfreeze** — gated clients proceed, routed by the new placement.
+7. **purge** — re-dump the source group(s) (catching keys first written
+   during the dual-write window) and delete the moved range from them.
+
+Every phase transition is journaled on a
+:class:`~repro.storage.wal.WriteAheadLog` *before* it takes effect, and the
+``begin``/``flipped`` records carry full placement snapshots — so a kill -9
+of the controller at any instant recovers, via :func:`recover_placement`,
+to a placement in which every key has exactly one owner: the pre-flip
+placement if the crash hit before the ``flipped`` record was durable, the
+post-flip placement after.  Partially copied data left in the destination
+is harmless (it is installed under its original carstamps/timestamps and
+the range still routes to the source), as are stale leftovers in the source
+after a post-flip crash skipped the purge (the range no longer routes
+there, and any future migration back merges by newest-wins).
+
+The checker story: migrations add **zero history events** — admin RPCs are
+not recorded operations, mirrored installs reuse original carstamps and
+commit timestamps, and routing only changes *which* nodes serve an
+operation.  The :class:`~repro.net.check.StreamingWitnessChecker` therefore
+must report the declared level satisfied *across* the flip; each
+migration's env-time window is reported like a chaos fault window but with
+``expect: clean``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fleet.ring import POINT_SPACE, PlacementMap, key_point
+from repro.fleet.spec import FleetSpec
+from repro.gryff.carstamp import Carstamp
+from repro.sim.node import Node
+from repro.storage.wal import WriteAheadLog
+
+__all__ = ["MIGRATION_JOURNAL_SCHEMA", "ControllerCrashed", "MigrationPlan",
+           "MigrationController", "recover_placement"]
+
+MIGRATION_JOURNAL_SCHEMA = "repro-migration/1"
+
+#: Drain/gate poll granularity, in env ms.
+POLL_MS = 2.0
+
+#: Entries per ``mig_install`` request during the bulk copy.
+COPY_CHUNK = 256
+
+
+class ControllerCrashed(RuntimeError):
+    """Raised by the deterministic crash hook (chaos testing)."""
+
+
+@dataclass
+class MigrationPlan:
+    """One planned migration, resolved against the live placement when run.
+
+    CLI string forms (``repro load --migrate``):
+
+    * ``<at_ms>:split:<frac>:<dst>`` — bisect the range containing ring
+      point ``frac * 2^32``; the upper half moves to ``dst``;
+    * ``<at_ms>:merge:<frac>:<dst>`` — the whole range containing the point
+      moves to ``dst`` (merging it into ``dst``'s neighbourhood);
+    * ``<at_ms>:move:<lofrac>-<hifrac>:<dst>`` — move an explicit slice.
+    """
+
+    at_ms: float
+    kind: str
+    frac_lo: float
+    frac_hi: Optional[float]
+    dst: str
+
+    @classmethod
+    def parse(cls, text: str) -> "MigrationPlan":
+        parts = text.split(":")
+        if len(parts) != 4:
+            raise ValueError(
+                f"bad migration spec {text!r} (want '<at_ms>:<kind>:<range>:"
+                f"<dst>')")
+        at_ms, kind, span, dst = parts
+        if kind not in ("split", "merge", "move"):
+            raise ValueError(f"bad migration kind {kind!r} in {text!r}")
+        if kind == "move":
+            lo_text, sep, hi_text = span.partition("-")
+            if not sep:
+                raise ValueError(
+                    f"move needs '<lofrac>-<hifrac>', got {span!r}")
+            frac_lo, frac_hi = float(lo_text), float(hi_text)
+            if not (0.0 <= frac_lo < frac_hi <= 1.0):
+                raise ValueError(f"bad move range {span!r}")
+        else:
+            frac_lo, frac_hi = float(span), None
+            if not (0.0 <= frac_lo < 1.0):
+                raise ValueError(f"bad point fraction {span!r}")
+        return cls(at_ms=float(at_ms), kind=kind, frac_lo=frac_lo,
+                   frac_hi=frac_hi, dst=dst)
+
+    def resolve(self, placement: PlacementMap) -> Tuple[int, int]:
+        """The concrete point range to move, given the current placement."""
+        if self.kind == "move":
+            return (int(self.frac_lo * POINT_SPACE),
+                    int(self.frac_hi * POINT_SPACE))
+        point = int(self.frac_lo * POINT_SPACE) % POINT_SPACE
+        for r in placement.ranges():
+            if r.contains(point):
+                if self.kind == "split":
+                    mid = (r.lo + r.hi) // 2
+                    if mid == r.lo:
+                        raise ValueError(
+                            f"range [{r.lo},{r.hi}) too narrow to split")
+                    return mid, r.hi
+                return r.lo, r.hi
+        raise ValueError(f"point {point} not covered by placement")
+
+    def describe(self) -> str:
+        span = (f"{self.frac_lo}-{self.frac_hi}" if self.kind == "move"
+                else f"{self.frac_lo}")
+        return f"{self.at_ms:g}:{self.kind}:{span}:{self.dst}"
+
+
+class _AdminNode(Node):
+    """A transport endpoint for the controller's admin RPCs.
+
+    Admin traffic (``mig_dump`` / ``mig_install`` / ``mig_purge``) is not a
+    recorded client, so migrations add zero events to the history.
+    """
+
+
+class MigrationController:
+    """Executes :class:`MigrationPlan`\\ s against a live fleet store."""
+
+    def __init__(self, fleet: FleetSpec, store, *,
+                 journal_path: Optional[str] = None,
+                 crash_phase: Optional[str] = None):
+        self.fleet = fleet
+        self.store = store
+        self.placement: PlacementMap = store.placement
+        self.tracker = store.tracker
+        self.journal = (WriteAheadLog(journal_path)
+                        if journal_path is not None else None)
+        #: Deterministic kill -9 injection: when set, the controller closes
+        #: its journal (dropping everything not yet durable — the WAL crash
+        #: model) and dies with :class:`ControllerCrashed` upon *reaching*
+        #: the named phase ("mirror_on", "mid_copy", "fenced", "flipped").
+        self.crash_phase = crash_phase
+        self._mig_counter = itertools.count(1)
+        #: Per-migration report dicts, appended as each migration completes.
+        self.migrations: List[Dict[str, Any]] = []
+        self.admin = _AdminNode(
+            store.env, store.process.transport,
+            name="mig-admin", site=fleet.sites()[0])
+
+    @property
+    def env(self):
+        return self.store.env
+
+    # ------------------------------------------------------------------ #
+    # Journal / crash hooks
+    # ------------------------------------------------------------------ #
+    def _journal(self, record: Dict[str, Any]) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _crash_if(self, phase: str) -> None:
+        if self.crash_phase == phase:
+            if self.journal is not None:
+                self.journal.close()
+            raise ControllerCrashed(f"injected controller crash at {phase!r}")
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+    # ------------------------------------------------------------------ #
+    # Drains
+    # ------------------------------------------------------------------ #
+    def _drain(self, tokens) -> Any:
+        while self.tracker.any_active(tokens):
+            yield self.env.timeout(POLL_MS)
+
+    def _drain_range(self, lo: int, hi: int) -> Any:
+        if self.fleet.is_spanner:
+            # Spanner write sets are unknown until execution, so the fence
+            # drains *every* in-flight transaction (the gate is global too).
+            yield from self._drain(self.tracker.active_tokens())
+            return
+        while self.tracker.active_in_range(lo, hi):
+            yield self.env.timeout(POLL_MS)
+
+    # ------------------------------------------------------------------ #
+    # Copy / purge plumbing
+    # ------------------------------------------------------------------ #
+    def _in_range(self, key: str, lo: int, hi: int) -> bool:
+        return lo <= key_point(key, self.placement.seed) < hi
+
+    def _src_groups(self, lo: int, hi: int) -> List[str]:
+        return sorted({r.group for r in self.placement.ranges()
+                       if r.lo < hi and r.hi > lo})
+
+    def _copy_gryff(self, src_groups: List[str], dst: str, lo: int, hi: int):
+        best: Dict[str, Tuple[Carstamp, Any]] = {}
+        for gid in src_groups:
+            for name in self.fleet.group_names(gid):
+                reply = yield self.admin.rpc_call(name, "mig_dump")
+                for key, value, cs in reply["entries"]:
+                    if not self._in_range(key, lo, hi):
+                        continue
+                    carstamp = Carstamp(cs[0], cs[1], cs[2])
+                    current = best.get(key)
+                    if current is None or carstamp > current[0]:
+                        best[key] = (carstamp, value)
+        entries = [[key, value, list(carstamp.as_tuple())]
+                   for key, (carstamp, value) in best.items()]
+        targets = self.fleet.group_names(dst)
+        installed = 0
+        for start in range(0, len(entries), COPY_CHUNK):
+            chunk = entries[start:start + COPY_CHUNK]
+            call = self.admin.rpc_multicast(targets, "mig_install",
+                                            entries=chunk)
+            yield call.wait(len(targets))
+            installed += len(chunk)
+            self._crash_if("mid_copy")
+        return len(best)
+
+    def _copy_spanner(self, src_groups: List[str], dst: str, lo: int, hi: int):
+        dst_shards = self.fleet.group_names(dst)
+        by_shard: Dict[str, List[List[Any]]] = {}
+        keys = set()
+        for gid in src_groups:
+            for name in self.fleet.group_names(gid):
+                reply = yield self.admin.rpc_call(name, "mig_dump")
+                for key, commit_ts, value, writer in reply["versions"]:
+                    if not self._in_range(key, lo, hi):
+                        continue
+                    keys.add(key)
+                    import zlib
+
+                    digest = zlib.crc32(str(key).encode("utf-8"))
+                    shard = dst_shards[digest % len(dst_shards)]
+                    by_shard.setdefault(shard, []).append(
+                        [key, commit_ts, value, writer])
+        for shard, versions in by_shard.items():
+            for start in range(0, len(versions), COPY_CHUNK):
+                yield self.admin.rpc_call(
+                    shard, "mig_install",
+                    versions=versions[start:start + COPY_CHUNK])
+                self._crash_if("mid_copy")
+        return len(keys)
+
+    def _purge(self, src_groups: List[str], dst: str, lo: int, hi: int):
+        """Re-dump the sources post-flip and delete the moved range.
+
+        The second dump catches keys whose *first* write happened during the
+        dual-write window (absent from the bulk copy's key list).
+        """
+        removed = 0
+        for gid in src_groups:
+            if gid == dst:
+                continue
+            names = self.fleet.group_names(gid)
+            keys = set()
+            for name in names:
+                reply = yield self.admin.rpc_call(name, "mig_dump")
+                if self.fleet.is_gryff:
+                    keys.update(key for key, _, _ in reply["entries"]
+                                if self._in_range(key, lo, hi))
+                else:
+                    keys.update(key for key, _, _, _ in reply["versions"]
+                                if self._in_range(key, lo, hi))
+            if not keys:
+                continue
+            call = self.admin.rpc_multicast(names, "mig_purge",
+                                            keys=sorted(keys))
+            replies = yield call.wait(len(names))
+            counts = [reply.get("removed", 0) for reply in replies.values()]
+            # Gryff replicas hold copies of every key (max = distinct keys);
+            # Spanner shards partition them (sum = distinct keys).
+            removed += max(counts) if self.fleet.is_gryff else sum(counts)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # The protocol
+    # ------------------------------------------------------------------ #
+    def run(self, plans: List[MigrationPlan]):
+        """Run ``plans`` (relative to now) to completion; a process generator."""
+        started = self.env.now
+        for plan in sorted(plans, key=lambda p: p.at_ms):
+            delay = plan.at_ms - (self.env.now - started)
+            if delay > 0:
+                yield self.env.timeout(delay)
+            yield from self.run_one(plan)
+        return self.migrations
+
+    def run_one(self, plan: MigrationPlan):
+        lo, hi = plan.resolve(self.placement)
+        dst = plan.dst
+        if dst not in self.fleet.groups:
+            raise ValueError(f"unknown destination group {dst!r}")
+        src_groups = self._src_groups(lo, hi)
+        mig_id = f"mig{next(self._mig_counter)}"
+        t_begin = self.env.now
+        report: Dict[str, Any] = {
+            "mig_id": mig_id, "plan": plan.describe(), "lo": lo, "hi": hi,
+            "src_groups": src_groups, "dst": dst,
+            "epoch_before": self.placement.version,
+        }
+        self._journal({"schema": MIGRATION_JOURNAL_SCHEMA, "kind": "begin",
+                       "mig_id": mig_id, "lo": lo, "hi": hi,
+                       "src_groups": src_groups, "dst": dst,
+                       "placement": self.placement.to_dict()})
+
+        # (1) dual-write on.
+        self.placement.set_mirror(lo, hi, dst)
+        self._journal({"kind": "mirror_on", "mig_id": mig_id})
+        self._crash_if("mirror_on")
+
+        # (2) barrier: everything in flight at mirror-on must finish.
+        yield from self._drain(self.tracker.active_tokens())
+
+        # (3) bulk copy.
+        if self.fleet.is_gryff:
+            copied = yield from self._copy_gryff(src_groups, dst, lo, hi)
+        else:
+            copied = yield from self._copy_spanner(src_groups, dst, lo, hi)
+        report["keys_copied"] = copied
+        self._journal({"kind": "copied", "mig_id": mig_id, "keys": copied})
+
+        # (4) fence + drain.
+        pause_started = self.env.now
+        self.placement.freeze(lo, hi)
+        self._journal({"kind": "fenced", "mig_id": mig_id})
+        self._crash_if("fenced")
+        try:
+            yield from self._drain_range(lo, hi)
+            # (5) flip the placement epoch.
+            self.placement.move(lo, hi, dst)
+            self._journal({"kind": "flipped", "mig_id": mig_id,
+                           "placement": self.placement.to_dict()})
+            self._crash_if("flipped")
+        finally:
+            # (6) unfreeze; gated clients re-route by the (new) placement.
+            self.placement.unfreeze(lo, hi)
+            self.placement.clear_mirror(lo, hi, dst)
+        report["pause_ms"] = self.env.now - pause_started
+        report["epoch_after"] = self.placement.version
+
+        # (7) purge the sources.
+        removed = yield from self._purge(src_groups, dst, lo, hi)
+        report["keys_purged"] = removed
+        self._journal({"kind": "purged", "mig_id": mig_id, "removed": removed})
+        self._journal({"kind": "done", "mig_id": mig_id})
+        report["window_ms"] = [t_begin, self.env.now]
+        self.migrations.append(report)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def report(self) -> Dict[str, Any]:
+        pauses = sorted(self.tracker.client_pause_ms)
+
+        def pct(p: float) -> float:
+            if not pauses:
+                return 0.0
+            return pauses[min(len(pauses) - 1, int(p * len(pauses)))]
+
+        return {
+            "migrations": list(self.migrations),
+            "placement_epoch": self.placement.version,
+            "client_pauses": {
+                "count": len(pauses),
+                "p50_ms": pct(0.50), "p99_ms": pct(0.99),
+                "max_ms": pauses[-1] if pauses else 0.0,
+            },
+            "mirrored_installs": self.tracker.mirrored_installs,
+        }
+
+    def windows(self, origin_ms: float = 0.0) -> List[Dict[str, Any]]:
+        """Migration windows in the chaos fault-window shape, ``expect
+        clean``: the checker must hold across them, they are reported for
+        observability only."""
+        return [{"start_ms": m["window_ms"][0] - origin_ms,
+                 "end_ms": m["window_ms"][1] - origin_ms,
+                 "mig_id": m["mig_id"], "expect": "clean"}
+                for m in self.migrations if "window_ms" in m]
+
+
+def recover_placement(journal_path: str, initial: PlacementMap
+                      ) -> Tuple[PlacementMap, Optional[str]]:
+    """Reconstruct the authoritative placement from a migration journal.
+
+    Returns ``(placement, unfinished_mig_id)``.  Every journal prefix —
+    i.e. a kill -9 at any instant — yields a valid single-owner placement:
+    ``begin`` and ``flipped`` records carry full snapshots, and nothing
+    between them mutates the durable placement.
+    """
+    wal = WriteAheadLog(journal_path)
+    try:
+        snapshot = wal.recover()
+    finally:
+        wal.close()
+    placement = initial.copy()
+    placement.clear_transient()
+    unfinished: Optional[str] = None
+    for record in snapshot.records:
+        kind = record.get("kind")
+        if kind == "begin":
+            unfinished = record.get("mig_id")
+            if "placement" in record:
+                placement = PlacementMap.from_dict(record["placement"])
+        elif kind == "flipped":
+            placement = PlacementMap.from_dict(record["placement"])
+        elif kind == "done":
+            unfinished = None
+    placement.validate()
+    return placement, unfinished

@@ -1,0 +1,311 @@
+"""Deterministic consistent-hash ring and versioned placement map.
+
+Keys hash onto a fixed ``2**32`` point space via a seeded blake2b digest;
+the space is partitioned into contiguous half-open ranges ``[lo, hi)`` each
+owned by exactly one shard group.  The initial partition is derived from a
+classic virtual-node ring (``vnodes`` seeded tokens per group, ownership by
+successor token) collapsed into the contiguous range table, so placement is
+a pure function of ``(group_ids, seed, vnodes)`` — every client and every
+controller derives the identical map.
+
+The map is *versioned*: every mutation (``move``) bumps ``version`` by one,
+giving the placement epochs (``placement/1``) that the migration protocol
+flips between.  Serialization round-trips through plain JSON dicts.
+
+Invariants (checked by :meth:`PlacementMap.validate` and property tests):
+
+- the ranges exactly tile ``[0, POINT_SPACE)`` with no overlap and no gap;
+- every key therefore routes to exactly one group at every version;
+- ``version`` is strictly monotonic across mutations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+PLACEMENT_SCHEMA = "placement/1"
+
+# Fixed point space for the ring: 32-bit positions, half-open ranges.
+POINT_SPACE = 1 << 32
+
+DEFAULT_VNODES = 16
+
+
+def key_point(key: str, seed: int = 0) -> int:
+    """Map ``key`` to its deterministic position on the ring.
+
+    Seeded so distinct fleets can use independent key distributions; the
+    digest is truncated to the 32-bit point space.
+    """
+    digest = hashlib.blake2b(
+        key.encode("utf-8"), digest_size=8, key=seed.to_bytes(8, "big")
+    ).digest()
+    return int.from_bytes(digest[:4], "big") % POINT_SPACE
+
+
+def _token(group_id: str, index: int, seed: int) -> int:
+    digest = hashlib.blake2b(
+        f"{group_id}#{index}".encode("utf-8"), digest_size=8,
+        key=seed.to_bytes(8, "big"),
+    ).digest()
+    return int.from_bytes(digest[:4], "big") % POINT_SPACE
+
+
+@dataclass(frozen=True)
+class PlacementRange:
+    """Half-open key-point range ``[lo, hi)`` owned by one shard group."""
+
+    lo: int
+    hi: int
+    group: str
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.lo < self.hi <= POINT_SPACE):
+            raise ValueError(
+                f"invalid placement range [{self.lo}, {self.hi}): must satisfy "
+                f"0 <= lo < hi <= {POINT_SPACE}")
+
+    def contains(self, point: int) -> bool:
+        return self.lo <= point < self.hi
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"lo": self.lo, "hi": self.hi, "group": self.group}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PlacementRange":
+        return cls(lo=int(payload["lo"]), hi=int(payload["hi"]),
+                   group=str(payload["group"]))
+
+
+class PlacementMap:
+    """Versioned assignment of the key-point space to shard groups.
+
+    Mutations go through :meth:`move`, which reassigns an arbitrary
+    ``[lo, hi)`` slice to a destination group (splitting boundary ranges as
+    needed), coalesces adjacent same-owner ranges, and bumps ``version``.
+    The migration controller layers transient *freeze* and *mirror* state on
+    top — per-range flags that never survive serialization (they describe
+    the in-flight protocol of one process, not the durable placement).
+    """
+
+    def __init__(self, ranges: Sequence[PlacementRange], *, seed: int = 0,
+                 version: int = 1) -> None:
+        self.seed = int(seed)
+        self.version = int(version)
+        self._ranges: List[PlacementRange] = sorted(ranges, key=lambda r: r.lo)
+        self._frozen: List[Tuple[int, int]] = []
+        self._mirrors: List[Tuple[int, int, str]] = []
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, group_ids: Sequence[str], *, seed: int = 0,
+              vnodes: int = DEFAULT_VNODES) -> "PlacementMap":
+        """Derive the initial placement from a seeded virtual-node ring."""
+        groups = list(group_ids)
+        if not groups:
+            raise ValueError("placement needs at least one group")
+        if len(set(groups)) != len(groups):
+            raise ValueError(f"duplicate group ids: {groups}")
+        if len(groups) == 1:
+            return cls([PlacementRange(0, POINT_SPACE, groups[0])], seed=seed)
+        tokens: List[Tuple[int, str]] = []
+        seen: Dict[int, str] = {}
+        for gid in groups:
+            for index in range(vnodes):
+                point = _token(gid, index, seed)
+                # Token collisions are resolved deterministically in favor of
+                # the lexicographically smaller group id.
+                if point in seen and seen[point] <= gid:
+                    continue
+                seen[point] = gid
+        tokens = sorted(seen.items())
+        # Successor-token ownership: points in [token_i, token_{i+1}) belong
+        # to token_{i+1}'s group; the wrap-around slice belongs to the first
+        # token's group.  Expressed as contiguous ranges:
+        ranges: List[PlacementRange] = []
+        first_point, first_gid = tokens[0]
+        if first_point > 0:
+            ranges.append(PlacementRange(0, first_point, first_gid))
+        for (lo, _), (hi, gid) in zip(tokens, tokens[1:]):
+            ranges.append(PlacementRange(lo, hi, gid))
+        last_point, _ = tokens[-1]
+        ranges.append(PlacementRange(last_point, POINT_SPACE, first_gid))
+        merged = cls(_coalesce(ranges), seed=seed)
+        missing = set(groups) - set(merged.group_ids())
+        if missing:
+            # A group whose every token collided away would own nothing;
+            # give it a deterministic slice of the largest range.
+            for gid in sorted(missing):
+                widest = max(merged._ranges, key=lambda r: r.hi - r.lo)
+                mid = (widest.lo + widest.hi) // 2
+                merged._reassign(mid, widest.hi, gid)
+        merged.version = 1
+        return merged
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def ranges(self) -> List[PlacementRange]:
+        return list(self._ranges)
+
+    def group_ids(self) -> List[str]:
+        return sorted({r.group for r in self._ranges})
+
+    def owner_of_point(self, point: int) -> str:
+        lo, hi = 0, len(self._ranges) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            r = self._ranges[mid]
+            if point < r.lo:
+                hi = mid - 1
+            elif point >= r.hi:
+                lo = mid + 1
+            else:
+                return r.group
+        raise ValueError(f"point {point} not covered by placement")
+
+    def owner(self, key: str) -> str:
+        return self.owner_of_point(key_point(key, self.seed))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def _reassign(self, lo: int, hi: int, group: str) -> None:
+        out: List[PlacementRange] = []
+        for r in self._ranges:
+            if r.hi <= lo or r.lo >= hi:
+                out.append(r)
+                continue
+            if r.lo < lo:
+                out.append(PlacementRange(r.lo, lo, r.group))
+            if r.hi > hi:
+                out.append(PlacementRange(hi, r.hi, r.group))
+        out.append(PlacementRange(lo, hi, group))
+        self._ranges = _coalesce(sorted(out, key=lambda r: r.lo))
+
+    def move(self, lo: int, hi: int, group: str) -> int:
+        """Reassign ``[lo, hi)`` to ``group`` and bump the placement epoch.
+
+        Returns the new version.  Splitting and merging are both just moves:
+        a *split* moves half of an existing range to a new owner, a *merge*
+        moves a whole range onto its neighbour's owner.
+        """
+        if not (0 <= lo < hi <= POINT_SPACE):
+            raise ValueError(f"invalid move range [{lo}, {hi})")
+        self._reassign(lo, hi, group)
+        self.version += 1
+        self.validate()
+        return self.version
+
+    # ------------------------------------------------------------------
+    # Transient migration state (never serialized)
+    # ------------------------------------------------------------------
+
+    def freeze(self, lo: int, hi: int) -> None:
+        self._frozen.append((lo, hi))
+
+    def unfreeze(self, lo: int, hi: int) -> None:
+        self._frozen = [w for w in self._frozen if w != (lo, hi)]
+
+    def is_frozen_point(self, point: int) -> bool:
+        return any(lo <= point < hi for lo, hi in self._frozen)
+
+    def has_frozen(self) -> bool:
+        return bool(self._frozen)
+
+    def set_mirror(self, lo: int, hi: int, group: str) -> None:
+        self._mirrors.append((lo, hi, group))
+
+    def clear_mirror(self, lo: int, hi: int, group: str) -> None:
+        self._mirrors = [m for m in self._mirrors if m != (lo, hi, group)]
+
+    def mirror_target(self, point: int) -> Optional[str]:
+        for lo, hi, group in self._mirrors:
+            if lo <= point < hi:
+                return group
+        return None
+
+    def has_mirrors(self) -> bool:
+        return bool(self._mirrors)
+
+    def clear_transient(self) -> None:
+        self._frozen = []
+        self._mirrors = []
+
+    # ------------------------------------------------------------------
+    # Validation / serialization
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        if not self._ranges:
+            raise ValueError("placement has no ranges")
+        if self._ranges[0].lo != 0:
+            raise ValueError(f"placement does not start at 0: {self._ranges[0]}")
+        for prev, cur in zip(self._ranges, self._ranges[1:]):
+            if prev.hi != cur.lo:
+                raise ValueError(
+                    f"placement gap/overlap between [{prev.lo},{prev.hi}) and "
+                    f"[{cur.lo},{cur.hi})")
+        if self._ranges[-1].hi != POINT_SPACE:
+            raise ValueError(
+                f"placement does not cover the point space: ends at "
+                f"{self._ranges[-1].hi}, expected {POINT_SPACE}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": PLACEMENT_SCHEMA,
+            "seed": self.seed,
+            "version": self.version,
+            "ranges": [r.to_dict() for r in self._ranges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PlacementMap":
+        schema = payload.get("schema")
+        if schema != PLACEMENT_SCHEMA:
+            raise ValueError(
+                f"unsupported placement schema {schema!r} (expected "
+                f"{PLACEMENT_SCHEMA!r})")
+        ranges = [PlacementRange.from_dict(r) for r in payload["ranges"]]
+        return cls(ranges, seed=int(payload.get("seed", 0)),
+                   version=int(payload.get("version", 1)))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PlacementMap":
+        return cls.from_dict(json.loads(text))
+
+    def copy(self) -> "PlacementMap":
+        return PlacementMap(self._ranges, seed=self.seed, version=self.version)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PlacementMap):
+            return NotImplemented
+        return (self.seed == other.seed and self.version == other.version
+                and self._ranges == other._ranges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"[{r.lo},{r.hi})->{r.group}" for r in self._ranges)
+        return f"PlacementMap(v{self.version}: {parts})"
+
+
+def _coalesce(ranges: Iterable[PlacementRange]) -> List[PlacementRange]:
+    out: List[PlacementRange] = []
+    for r in ranges:
+        if out and out[-1].group == r.group and out[-1].hi == r.lo:
+            out[-1] = PlacementRange(out[-1].lo, r.hi, r.group)
+        else:
+            out.append(r)
+    return out

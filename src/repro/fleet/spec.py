@@ -1,0 +1,365 @@
+"""Multi-group fleet topology: N shard groups behind one placement map.
+
+A :class:`FleetSpec` generalizes :class:`~repro.net.spec.ClusterSpec` to N
+*shard groups*.  Each group is a complete standalone cluster of today's
+machinery — a Gryff replica group or a Spanner shard group — whose node
+names are prefixed with the group id (``g0/replica1``) so they stay unique
+across the merged topology.  All groups share one protocol, one wall-clock
+epoch (cross-group timestamps must be comparable), and one seeded
+:class:`~repro.fleet.ring.PlacementMap` assigning every key to exactly one
+group.
+
+``repro init-config --groups N`` writes these files (schema
+``repro-fleet/1``); ``repro serve`` hosts any subset of groups from the
+same file, and ``repro load`` routes through the placement.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Union
+
+from repro.fleet.ring import DEFAULT_VNODES, PlacementMap
+from repro.gryff.config import GryffConfig, GryffVariant
+from repro.net.spec import (
+    GRYFF_PROTOCOLS,
+    SPANNER_PROTOCOLS,
+    ClusterSpec,
+    NodeSpec,
+    _GRYFF_SITES,
+)
+from repro.spanner.config import SpannerConfig, Variant
+
+__all__ = ["FLEET_SCHEMA", "FleetConfigError", "FleetSpec",
+           "FleetSpannerConfig", "load_fleet_spec"]
+
+FLEET_SCHEMA = "repro-fleet/1"
+
+_GROUP_ID_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+class FleetConfigError(ValueError):
+    """An invalid fleet topology (empty group, bad names, bad placement)."""
+
+
+@dataclass
+class FleetSpannerConfig(SpannerConfig):
+    """Client-side Spanner config that routes keys through the placement.
+
+    ``shard_for_key`` first resolves the owning *group* from the live
+    placement map, then picks the shard within the group by the same crc32
+    hash a standalone cluster uses — so a single-group fleet routes keys to
+    exactly the shards a standalone deployment would.
+    """
+
+    placement: Optional[PlacementMap] = None
+    #: Group id -> ordered shard names of that group.
+    group_shards: Dict[str, List[str]] = field(default_factory=dict)
+
+    def shard_for_key(self, key: str) -> str:
+        shards = self.group_shards[self.placement.owner(key)]
+        digest = zlib.crc32(str(key).encode("utf-8"))
+        return shards[digest % len(shards)]
+
+    def all_shard_names(self) -> List[str]:
+        return [name for shards in self.group_shards.values()
+                for name in shards]
+
+
+@dataclass
+class FleetSpec:
+    """A fleet deployment: protocol, N node groups, epoch, placement."""
+
+    protocol: str
+    #: Group id -> (node name -> NodeSpec); every node name unique fleet-wide.
+    groups: Dict[str, Dict[str, NodeSpec]]
+    placement: PlacementMap
+    epoch: float = 0.0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in GRYFF_PROTOCOLS + SPANNER_PROTOCOLS:
+            raise FleetConfigError(f"unknown protocol {self.protocol!r}")
+        if not self.groups:
+            raise FleetConfigError("fleet has no groups")
+        sizes = set()
+        seen: Dict[str, str] = {}
+        for gid, nodes in self.groups.items():
+            if not _GROUP_ID_RE.match(gid):
+                raise FleetConfigError(f"invalid group id {gid!r}")
+            if not nodes:
+                raise FleetConfigError(f"group {gid!r} has no nodes")
+            sizes.add(len(nodes))
+            for name, node in nodes.items():
+                if name != node.name:
+                    raise FleetConfigError(
+                        f"group {gid!r}: mapping key {name!r} != node name "
+                        f"{node.name!r}")
+                if name in seen:
+                    raise FleetConfigError(
+                        f"duplicate node name {name!r} in groups "
+                        f"{seen[name]!r} and {gid!r}")
+                seen[name] = gid
+        if len(sizes) != 1:
+            # Homogeneous groups keep one client-side quorum size valid for
+            # every group (Gryff) and one shards-per-group fan-out (Spanner).
+            raise FleetConfigError(
+                f"groups must be the same size, got sizes {sorted(sizes)}")
+        placement_gids = set(self.placement.group_ids())
+        topology_gids = set(self.groups)
+        if not placement_gids <= topology_gids:
+            raise FleetConfigError(
+                f"placement assigns ranges to unknown groups "
+                f"{sorted(placement_gids - topology_gids)}")
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, protocol: str = "gryff-rsc", num_groups: int = 2,
+              nodes_per_group: int = 3, host: str = "127.0.0.1",
+              base_port: int = 7600, epoch: Optional[float] = None,
+              placement_seed: int = 0, vnodes: int = DEFAULT_VNODES,
+              params: Optional[Dict[str, Any]] = None) -> "FleetSpec":
+        """A localhost fleet of ``num_groups`` identical groups.
+
+        Ports are assigned sequentially across all nodes from ``base_port``
+        (``base_port=0`` lets every node bind an ephemeral port — used by
+        in-process tests and benchmarks).
+        """
+        if num_groups < 1:
+            raise FleetConfigError(f"need at least one group, got {num_groups}")
+        is_gryff = protocol in GRYFF_PROTOCOLS
+        gids = [f"g{index}" for index in range(num_groups)]
+        groups: Dict[str, Dict[str, NodeSpec]] = {}
+        port = base_port
+        for gid in gids:
+            nodes: Dict[str, NodeSpec] = {}
+            for index in range(nodes_per_group):
+                if is_gryff:
+                    name = f"{gid}/replica{index}"
+                    role = "replica"
+                    site = _GRYFF_SITES[index % len(_GRYFF_SITES)]
+                else:
+                    name = f"{gid}/shard{index}"
+                    role = "shard"
+                    site = "local"
+                nodes[name] = NodeSpec(name=name, role=role, host=host,
+                                       port=port if base_port else 0, site=site)
+                port += 1
+            groups[gid] = nodes
+        placement = PlacementMap.build(gids, seed=placement_seed, vnodes=vnodes)
+        merged_params = dict(params or {})
+        merged_params.setdefault("placement_seed", placement_seed)
+        merged_params.setdefault("vnodes", vnodes)
+        return cls(protocol=protocol, groups=groups, placement=placement,
+                   epoch=time.time() if epoch is None else epoch,
+                   params=merged_params)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_gryff(self) -> bool:
+        return self.protocol in GRYFF_PROTOCOLS
+
+    @property
+    def is_spanner(self) -> bool:
+        return self.protocol in SPANNER_PROTOCOLS
+
+    def group_ids(self) -> List[str]:
+        return list(self.groups)
+
+    @property
+    def group_size(self) -> int:
+        return len(next(iter(self.groups.values())))
+
+    def group_names(self, gid: str) -> List[str]:
+        return list(self.groups[gid])
+
+    def group_of(self, node_name: str) -> str:
+        for gid, nodes in self.groups.items():
+            if node_name in nodes:
+                return gid
+        raise KeyError(node_name)
+
+    def all_nodes(self) -> Dict[str, NodeSpec]:
+        merged: Dict[str, NodeSpec] = {}
+        for nodes in self.groups.values():
+            merged.update(nodes)
+        return merged
+
+    def server_names(self) -> List[str]:
+        return list(self.all_nodes())
+
+    def sites(self) -> List[str]:
+        """Site labels in node order (duplicates preserved for round-robin)."""
+        return [node.site for node in self.all_nodes().values()]
+
+    def group_sites(self, gid: str) -> List[str]:
+        return [node.site for node in self.groups[gid].values()]
+
+    # ------------------------------------------------------------------ #
+    # Cluster views and protocol configs
+    # ------------------------------------------------------------------ #
+    def merged_spec(self) -> ClusterSpec:
+        """The whole fleet as one flat :class:`ClusterSpec`.
+
+        This is what the transport dials against: every node of every group
+        is addressable by name, which is exactly what lets the unmodified
+        Spanner 2PC coordinator fan prepares across groups.
+        """
+        return ClusterSpec(protocol=self.protocol, nodes=self.all_nodes(),
+                           epoch=self.epoch, params=dict(self.params))
+
+    def group_spec(self, gid: str) -> ClusterSpec:
+        """One group as a standalone :class:`ClusterSpec`."""
+        return ClusterSpec(protocol=self.protocol,
+                           nodes=dict(self.groups[gid]),
+                           epoch=self.epoch, params=dict(self.params))
+
+    def _group_prefix(self, gid: str) -> str:
+        """The name prefix this group's nodes share.
+
+        Server-side protocol configs derive node names as
+        ``{prefix}replica{i}`` / ``{prefix}shard{i}``, so group node names
+        must follow that convention (the builders guarantee it).
+        """
+        stem = "replica" if self.is_gryff else "shard"
+        names = list(self.groups[gid])
+        for prefix in (f"{gid}/", ""):
+            if names == [f"{prefix}{stem}{i}" for i in range(len(names))]:
+                return prefix
+        raise FleetConfigError(
+            f"group {gid!r} node names {names} do not follow the "
+            f"'<prefix>{stem}<index>' convention")
+
+    def group_config(self, gid: str) -> Union[GryffConfig, SpannerConfig]:
+        """The protocol config the *servers* of group ``gid`` run with."""
+        if self.is_gryff:
+            variant = (GryffVariant.GRYFF if self.protocol == "gryff"
+                       else GryffVariant.GRYFF_RSC)
+            return GryffConfig(
+                variant=variant, sites=self.group_sites(gid),
+                processing_ms=0.0, server_cpu_ms=0.0, jitter_ms=0.0,
+                seed=int(self.params.get("seed", 0)), wide_area=False,
+                name_prefix=self._group_prefix(gid),
+            )
+        variant = (Variant.SPANNER if self.protocol == "spanner"
+                   else Variant.SPANNER_RSS)
+        sites = sorted(set(self.group_sites(gid))) or ["local"]
+        return SpannerConfig(
+            variant=variant,
+            num_shards=len(self.groups[gid]),
+            leader_sites=self.group_sites(gid),
+            sites=sites,
+            truetime_epsilon_ms=float(
+                self.params.get("truetime_epsilon_ms", 10.0)),
+            fence_bound_ms=float(self.params.get("fence_bound_ms", 250.0)),
+            processing_ms=0.0, server_cpu_ms=0.0, jitter_ms=0.0,
+            seed=int(self.params.get("seed", 0)),
+            name_prefix=self._group_prefix(gid),
+        )
+
+    def node_configs(self) -> Dict[str, Union[GryffConfig, SpannerConfig]]:
+        """Per-node server configs (one shared config object per group)."""
+        configs: Dict[str, Union[GryffConfig, SpannerConfig]] = {}
+        for gid, nodes in self.groups.items():
+            config = self.group_config(gid)
+            for name in nodes:
+                configs[name] = config
+        return configs
+
+    def client_gryff_config(self) -> GryffConfig:
+        """The config fleet Gryff *clients* run with.
+
+        Quorum size and variant come from any one group (groups are
+        homogeneous); replica selection itself is overridden by the fleet
+        client, which routes through the placement.
+        """
+        if not self.is_gryff:
+            raise FleetConfigError(f"{self.protocol!r} is not a Gryff protocol")
+        return self.group_config(self.group_ids()[0])
+
+    def client_spanner_config(self) -> FleetSpannerConfig:
+        """The placement-routing config fleet Spanner *clients* run with."""
+        if not self.is_spanner:
+            raise FleetConfigError(
+                f"{self.protocol!r} is not a Spanner protocol")
+        variant = (Variant.SPANNER if self.protocol == "spanner"
+                   else Variant.SPANNER_RSS)
+        sites = sorted({site for gid in self.groups
+                        for site in self.group_sites(gid)}) or ["local"]
+        return FleetSpannerConfig(
+            variant=variant,
+            num_shards=len(self.all_nodes()),
+            leader_sites=self.sites(),
+            sites=sites,
+            truetime_epsilon_ms=float(
+                self.params.get("truetime_epsilon_ms", 10.0)),
+            fence_bound_ms=float(self.params.get("fence_bound_ms", 250.0)),
+            processing_ms=0.0, server_cpu_ms=0.0, jitter_ms=0.0,
+            seed=int(self.params.get("seed", 0)),
+            placement=self.placement,
+            group_shards={gid: list(nodes) for gid, nodes in self.groups.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # JSON round trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": FLEET_SCHEMA,
+            "protocol": self.protocol,
+            "epoch": self.epoch,
+            "params": dict(self.params),
+            "placement": self.placement.to_dict(),
+            "groups": {gid: [node.to_dict() for node in nodes.values()]
+                       for gid, nodes in self.groups.items()},
+        }
+
+    def save(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                self.save(handle)
+            return
+        json.dump(self.to_dict(), destination, indent=2)
+        destination.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FleetSpec":
+        if data.get("schema") != FLEET_SCHEMA:
+            raise FleetConfigError(
+                f"not a {FLEET_SCHEMA} file (schema={data.get('schema')!r})")
+        groups: Dict[str, Dict[str, NodeSpec]] = {}
+        seen: Dict[str, str] = {}
+        for gid, entries in data["groups"].items():
+            nodes: Dict[str, NodeSpec] = {}
+            for entry in entries:
+                node = NodeSpec.from_dict(entry)
+                if node.name in seen:
+                    raise FleetConfigError(
+                        f"duplicate node name {node.name!r} in groups "
+                        f"{seen[node.name]!r} and {gid!r}")
+                seen[node.name] = gid
+                nodes[node.name] = node
+            groups[gid] = nodes
+        return cls(protocol=data["protocol"], groups=groups,
+                   placement=PlacementMap.from_dict(data["placement"]),
+                   epoch=float(data.get("epoch", 0.0)),
+                   params=dict(data.get("params") or {}))
+
+    @classmethod
+    def load(cls, source: Union[str, IO[str]]) -> "FleetSpec":
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                return cls.load(handle)
+        return cls.from_dict(json.load(source))
+
+
+def load_fleet_spec(path: str) -> FleetSpec:
+    return FleetSpec.load(path)

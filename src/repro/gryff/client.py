@@ -59,12 +59,37 @@ class GryffClient(SessionRecorder, Node):
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
-    def _replicas(self):
+    def _replicas(self, key: Optional[str] = None):
+        """The replica group serving ``key`` (key-independent here; the
+        fleet client overrides this to route by placement)."""
         return self.config.replica_names()
+
+    def _rmw_coordinator(self, key: str) -> str:
+        """The replica that coordinates an rmw on ``key``."""
+        return self.config.local_replica(self.site)
 
     def _take_dependency(self) -> Optional[Dict[str, Any]]:
         """The dependency to piggyback on the next operation's read phase."""
         return self.dependency
+
+    # The three hooks below are no-ops for a standalone cluster; the fleet
+    # client overrides them to gate operations during placement freezes,
+    # settle a pending dependency whose key lives in a different group, and
+    # dual-write installed values into a migration's destination group.
+    def _begin_op(self, key: str):
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def _end_op(self, token) -> None:
+        pass
+
+    def _settle_dependency(self, key: str):
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def _after_install(self, key: str, value: Any, carstamp: Carstamp):
+        return None
+        yield  # pragma: no cover - makes this a generator
 
     # ------------------------------------------------------------------ #
     # Reads
@@ -73,47 +98,53 @@ class GryffClient(SessionRecorder, Node):
         """Read ``key`` (generator); returns the value."""
         invoked_at = self.env.now
         self._note_invocation(invoked_at)
-        call = self.rpc_multicast(
-            self._replicas(), "read1",
-            key=key, dependency=self._take_dependency(),
-        )
-        replies = yield call.wait(self.config.quorum_size)
-        carstamps = {
-            src: _carstamp_from_wire(reply["carstamp"])
-            for src, reply in replies.items()
-        }
-        max_cs = max(carstamps.values())
-        value = None
-        for src, reply in replies.items():
-            if carstamps[src] == max_cs:
-                value = reply["value"]
-                break
-        quorum_agrees = all(cs == max_cs for cs in carstamps.values())
+        token = yield from self._begin_op(key)
+        try:
+            yield from self._settle_dependency(key)
+            call = self.rpc_multicast(
+                self._replicas(key), "read1",
+                key=key, dependency=self._take_dependency(),
+            )
+            replies = yield call.wait(self.config.quorum_size)
+            carstamps = {
+                src: _carstamp_from_wire(reply["carstamp"])
+                for src, reply in replies.items()
+            }
+            max_cs = max(carstamps.values())
+            value = None
+            for src, reply in replies.items():
+                if carstamps[src] == max_cs:
+                    value = reply["value"]
+                    break
+            quorum_agrees = all(cs == max_cs for cs in carstamps.values())
 
-        if self.config.variant == GryffVariant.GRYFF:
-            self.dependency = None
-            if quorum_agrees:
-                self.reads_fast += 1
-            else:
-                # Write-back phase: propagate the newest value to a quorum
-                # before returning (required by linearizability).
-                self.reads_slow += 1
-                write_back = self.rpc_multicast(
-                    self._replicas(), "write2",
-                    key=key, value=value, carstamp=max_cs.as_tuple(),
-                )
-                yield write_back.wait(self.config.quorum_size)
-        else:
-            # Gryff-RSC: always one round; remember the dependency if the
-            # value is not yet known to be on a quorum (Algorithm 3, l. 8-9).
-            if quorum_agrees:
-                self.reads_fast += 1
+            if self.config.variant == GryffVariant.GRYFF:
                 self.dependency = None
+                if quorum_agrees:
+                    self.reads_fast += 1
+                else:
+                    # Write-back phase: propagate the newest value to a quorum
+                    # before returning (required by linearizability).
+                    self.reads_slow += 1
+                    write_back = self.rpc_multicast(
+                        self._replicas(key), "write2",
+                        key=key, value=value, carstamp=max_cs.as_tuple(),
+                    )
+                    yield write_back.wait(self.config.quorum_size)
+                    yield from self._after_install(key, value, max_cs)
             else:
-                self.reads_slow += 1
-                self.dependency = {
-                    "key": key, "value": value, "carstamp": max_cs.as_tuple(),
-                }
+                # Gryff-RSC: always one round; remember the dependency if the
+                # value is not yet known to be on a quorum (Algorithm 3, l. 8-9).
+                if quorum_agrees:
+                    self.reads_fast += 1
+                    self.dependency = None
+                else:
+                    self.reads_slow += 1
+                    self.dependency = {
+                        "key": key, "value": value, "carstamp": max_cs.as_tuple(),
+                    }
+        finally:
+            self._end_op(token)
 
         op = Operation.read(self.name, key, value,
                             invoked_at=invoked_at, responded_at=self.env.now,
@@ -128,21 +159,27 @@ class GryffClient(SessionRecorder, Node):
         """Write ``value`` to ``key`` (generator); returns the carstamp."""
         invoked_at = self.env.now
         self._note_invocation(invoked_at)
-        phase1 = self.rpc_multicast(
-            self._replicas(), "write1",
-            key=key, dependency=self._take_dependency(),
-        )
-        replies = yield phase1.wait(self.config.quorum_size)
-        self.dependency = None  # propagated to a quorum with phase 1
-        max_cs = max(
-            _carstamp_from_wire(reply["carstamp"]) for reply in replies.values()
-        )
-        new_cs = max_cs.bump_write(self.name)
-        phase2 = self.rpc_multicast(
-            self._replicas(), "write2",
-            key=key, value=value, carstamp=new_cs.as_tuple(),
-        )
-        yield phase2.wait(self.config.quorum_size)
+        token = yield from self._begin_op(key)
+        try:
+            yield from self._settle_dependency(key)
+            phase1 = self.rpc_multicast(
+                self._replicas(key), "write1",
+                key=key, dependency=self._take_dependency(),
+            )
+            replies = yield phase1.wait(self.config.quorum_size)
+            self.dependency = None  # propagated to a quorum with phase 1
+            max_cs = max(
+                _carstamp_from_wire(reply["carstamp"]) for reply in replies.values()
+            )
+            new_cs = max_cs.bump_write(self.name)
+            phase2 = self.rpc_multicast(
+                self._replicas(key), "write2",
+                key=key, value=value, carstamp=new_cs.as_tuple(),
+            )
+            yield phase2.wait(self.config.quorum_size)
+            yield from self._after_install(key, value, new_cs)
+        finally:
+            self._end_op(token)
         op = Operation.write(self.name, key, value,
                              invoked_at=invoked_at, responded_at=self.env.now,
                              carstamp=new_cs.as_tuple())
@@ -162,13 +199,20 @@ class GryffClient(SessionRecorder, Node):
         """
         invoked_at = self.env.now
         self._note_invocation(invoked_at)
-        coordinator = self.config.local_replica(self.site)
-        reply = yield self.rpc_call(
-            coordinator, "rmw",
-            key=key, client=self.name, mode=mode,
-            dependency=self._take_dependency(), **params,
-        )
-        self.dependency = None
+        token = yield from self._begin_op(key)
+        try:
+            yield from self._settle_dependency(key)
+            coordinator = self._rmw_coordinator(key)
+            reply = yield self.rpc_call(
+                coordinator, "rmw",
+                key=key, client=self.name, mode=mode,
+                dependency=self._take_dependency(), **params,
+            )
+            self.dependency = None
+            yield from self._after_install(
+                key, reply["new_value"], _carstamp_from_wire(reply["carstamp"]))
+        finally:
+            self._end_op(token)
         op = Operation.rmw(self.name, key,
                            observed=reply["old_value"], new_value=reply["new_value"],
                            invoked_at=invoked_at, responded_at=self.env.now,
@@ -187,12 +231,19 @@ class GryffClient(SessionRecorder, Node):
         if self.dependency is None:
             return False
         dependency = self.dependency
-        call = self.rpc_multicast(
-            self._replicas(), "write2",
-            key=dependency["key"], value=dependency["value"],
-            carstamp=dependency["carstamp"],
-        )
-        yield call.wait(self.config.quorum_size)
-        self.dependency = None
+        token = yield from self._begin_op(dependency["key"])
+        try:
+            call = self.rpc_multicast(
+                self._replicas(dependency["key"]), "write2",
+                key=dependency["key"], value=dependency["value"],
+                carstamp=dependency["carstamp"],
+            )
+            yield call.wait(self.config.quorum_size)
+            yield from self._after_install(
+                dependency["key"], dependency["value"],
+                _carstamp_from_wire(dependency["carstamp"]))
+            self.dependency = None
+        finally:
+            self._end_op(token)
         self.recorder.record("fence", invoked_at, self.env.now)
         return True

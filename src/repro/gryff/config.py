@@ -40,6 +40,10 @@ class GryffConfig:
     #: Use the wide-area RTTs of Table 2; otherwise a single data center
     #: (the §7.4 overhead experiments).
     wide_area: bool = True
+    #: Prefix prepended to every replica name.  Empty for standalone
+    #: clusters; fleet groups use ``"g<id>/"`` so node names stay unique
+    #: across the merged multi-group topology.
+    name_prefix: str = ""
 
     @property
     def num_replicas(self) -> int:
@@ -55,7 +59,7 @@ class GryffConfig:
         return single_dc(self.sites, rtt_ms=0.2)
 
     def replica_name(self, index: int) -> str:
-        return f"replica{index}"
+        return f"{self.name_prefix}replica{index}"
 
     def replica_names(self) -> List[str]:
         return [self.replica_name(i) for i in range(self.num_replicas)]

@@ -100,9 +100,14 @@ class GryffReplica(Node):
                 self.apply(key, entry["value"],
                            _carstamp_from_wire(entry["carstamp"]))
             for record in snapshot.records:
-                if record.get("kind") == "apply":
+                kind = record.get("kind")
+                if kind == "apply":
                     self.apply(record["key"], record["value"],
                                _carstamp_from_wire(record["carstamp"]))
+                elif kind == "purge":
+                    for key in record.get("keys", []):
+                        self.values.pop(key, None)
+                        self.carstamps.pop(key, None)
         finally:
             self._replaying = False
 
@@ -211,6 +216,43 @@ class GryffReplica(Node):
         self.apply(payload["key"], payload["value"],
                    _carstamp_from_wire(payload["carstamp"]))
         return {"ack": True}
+
+    # ------------------------------------------------------------------ #
+    # Key-range migration (fleet layer)
+    # ------------------------------------------------------------------ #
+    def on_mig_dump(self, message: Message):
+        """Dump every register for a migration copy.
+
+        The controller merges dumps from all source replicas by maximum
+        carstamp (a superset of any acknowledged quorum) and filters to the
+        moving key range client-side, so the replica stays placement-blind.
+        """
+        return {"entries": [
+            [key, self.values.get(key), list(_carstamp_to_wire(carstamp))]
+            for key, carstamp in self.carstamps.items()]}
+
+    def on_mig_install(self, message: Message):
+        """Install migrated registers; reuses :meth:`apply` (iff newer), so
+        re-installs and races with live dual-writes are idempotent."""
+        installed = 0
+        for key, value, carstamp in message.payload["entries"]:
+            self.apply(key, value, _carstamp_from_wire(carstamp))
+            installed += 1
+        return {"ack": True, "installed": installed}
+
+    def on_mig_purge(self, message: Message):
+        """Drop registers that migrated away (post-flip cleanup)."""
+        removed = 0
+        for key in message.payload["keys"]:
+            if key in self.carstamps:
+                del self.carstamps[key]
+                self.values.pop(key, None)
+                removed += 1
+        if removed and self.wal is not None and not self._replaying:
+            self.wal.append({"kind": "purge",
+                             "keys": list(message.payload["keys"])})
+            self.wal.maybe_checkpoint(self._wal_state)
+        return {"ack": True, "removed": removed}
 
     @staticmethod
     def _apply_rmw_function(payload, old_value):

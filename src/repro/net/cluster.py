@@ -66,8 +66,15 @@ class LiveProcess:
                  leases: Optional[Dict[str, object]] = None,
                  faults: Optional[object] = None,
                  metrics: Optional[object] = None,
-                 codec: str = "binary"):
+                 codec: str = "binary",
+                 node_configs: Optional[Dict[str, object]] = None):
         self.spec = spec
+        #: Per-node protocol config overrides.  A fleet serves N groups from
+        #: one merged spec, but each group's servers must run with *their
+        #: group's* config (group-local quorum/shard fan-out), not the
+        #: spec-level one; nodes absent from the mapping keep the spec-level
+        #: default, so standalone clusters are untouched.
+        self._node_configs = dict(node_configs or {})
         self.env = RealtimeEnvironment(epoch=spec.epoch)
         self.transport = LiveTransport(spec, self.env, codec=codec)
         if faults is not None:
@@ -99,25 +106,40 @@ class LiveProcess:
     def _build_nodes(self) -> None:
         if not self.host_names:
             return
+        default_config = None
+
+        def config_for(name: str):
+            nonlocal default_config
+            override = self._node_configs.get(name)
+            if override is not None:
+                return override
+            if default_config is None:
+                default_config = (self.spec.gryff_config()
+                                  if self.spec.is_gryff
+                                  else self.spec.spanner_config())
+            return default_config
+
         if self.spec.is_gryff:
             from repro.gryff.replica import GryffReplica
 
-            config = self.spec.gryff_config()
             for name in self.host_names:
                 node_spec = self.spec.nodes[name]
                 self.nodes[name] = GryffReplica(
-                    self.env, self.transport, config,
+                    self.env, self.transport, config_for(name),
                     name=name, site=node_spec.site,
                     wal=self._wal_for(name),
                 )
         else:
             from repro.spanner.shard import ShardLeader
 
-            config = self.spec.spanner_config()
-            self.truetime = TrueTime(
-                self.env, epsilon=config.truetime_epsilon_ms)
             for name in self.host_names:
                 node_spec = self.spec.nodes[name]
+                config = config_for(name)
+                if self.truetime is None:
+                    # One shared TrueTime per process (all groups share the
+                    # wall-clock epoch and epsilon).
+                    self.truetime = TrueTime(
+                        self.env, epsilon=config.truetime_epsilon_ms)
                 self.nodes[name] = ShardLeader(
                     self.env, self.transport, self.truetime, config,
                     name=name, site=node_spec.site,
@@ -177,7 +199,8 @@ async def serve_forever(spec: ClusterSpec,
                         stop_event: Optional[asyncio.Event] = None,
                         wal_dir: Optional[str] = None,
                         metrics_port: Optional[int] = None,
-                        codec: str = "binary") -> int:
+                        codec: str = "binary",
+                        node_configs: Optional[Dict[str, object]] = None) -> int:
     """Run a server process until SIGINT/SIGTERM (or ``stop_event``).
 
     ``metrics_port`` instruments the process with a fresh registry and
@@ -197,7 +220,7 @@ async def serve_forever(spec: ClusterSpec,
         metrics = MetricsRegistry()
         metrics_server = MetricsServer(metrics, port=metrics_port)
     process = LiveProcess(spec, host_nodes, wal_dir=wal_dir, metrics=metrics,
-                          codec=codec)
+                          codec=codec, node_configs=node_configs)
     ports = await process.start()
     bound_metrics_port = (await metrics_server.start()
                           if metrics_server is not None else None)

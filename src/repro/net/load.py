@@ -32,7 +32,6 @@ from repro.api import make_retwis_executor, open_store, ycsb_executor
 from repro.api.levels import negotiate
 from repro.api.store import LiveStore
 from repro.net.recorder import RecordingHistory, TraceWriter
-from repro.net.spec import ClusterSpec
 from repro.core.history import History
 from repro.sim.stats import LatencyRecorder
 from repro.workloads.clients import ClosedLoopDriver, OpenLoopDriver
@@ -103,7 +102,7 @@ def _build_pairs_and_executor(store: LiveStore, sessions: List[Any],
     raise ValueError(f"unknown workload {workload!r}")
 
 
-async def run_load(spec: ClusterSpec, *,
+async def run_load(spec, *,
                    num_clients: int = 4,
                    duration_ms: Optional[float] = 2_000.0,
                    ops_per_client: Optional[int] = None,
@@ -129,7 +128,10 @@ async def run_load(spec: ClusterSpec, *,
                    rate: Optional[float] = None,
                    open_loop: bool = False,
                    arrival: str = "poisson",
-                   drain_timeout_ms: float = 10_000.0) -> Dict[str, Any]:
+                   drain_timeout_ms: float = 10_000.0,
+                   migrations: Optional[List[Any]] = None,
+                   migration_journal: Optional[str] = None,
+                   migration_crash_phase: Optional[str] = None) -> Dict[str, Any]:
     """Drive a running cluster; returns a summary dict (and writes a trace).
 
     The returned summary carries per-category percentiles, throughput, and
@@ -161,6 +163,15 @@ async def run_load(spec: ClusterSpec, *,
     times (from intended arrival to completion) with the per-attempt
     service times under ``service_categories`` and the offered/achieved
     accounting under ``open_loop``.
+
+    ``spec`` may also be a :class:`~repro.fleet.spec.FleetSpec`, in which
+    case sessions route through the placement map, and ``migrations`` — a
+    list of :class:`~repro.fleet.migration.MigrationPlan` — runs an online
+    key-range migration controller *under* the load (journaled to
+    ``migration_journal``); the controller's report lands in
+    ``summary["migration"]``.  ``migration_crash_phase`` is the chaos hook:
+    the controller kills itself at that phase, the load keeps running, and
+    the summary reports ``migration["crashed"]``.
     """
     if open_loop and rate is None:
         raise ValueError("open_loop requires a rate (ops/s)")
@@ -174,12 +185,18 @@ async def run_load(spec: ClusterSpec, *,
                              "run (the arrival schedule sets the pacing)")
         if duration_ms is None:
             raise ValueError("an open-loop run requires duration_ms")
+    from repro.fleet.spec import FleetSpec
+
+    is_fleet = isinstance(spec, FleetSpec)
+    if migrations and not is_fleet:
+        raise ValueError("migrations require a fleet topology "
+                         "(repro init-config --groups N)")
     # Negotiate before any side effects (e.g. opening the trace file), so a
     # CapabilityError cannot leak an open writer.
     declared = negotiate(spec.protocol, level)
     writer = None
     if trace_path:
-        writer = TraceWriter(trace_path, meta={
+        meta = {
             "protocol": spec.protocol,
             "level": declared.value,
             "epoch": spec.epoch,
@@ -187,13 +204,25 @@ async def run_load(spec: ClusterSpec, *,
             "write_ratio": write_ratio,
             "conflict_rate": conflict_rate,
             "clients": num_clients,
-        }, flush_every=trace_flush_every, fsync=trace_fsync,
-           rotate_bytes=trace_rotate_bytes)
+        }
+        if is_fleet:
+            meta["groups"] = spec.group_ids()
+        writer = TraceWriter(trace_path, meta=meta,
+                             flush_every=trace_flush_every, fsync=trace_fsync,
+                             rotate_bytes=trace_rotate_bytes)
         history: History = RecordingHistory(writer)
     else:
         history = History()
     store = open_store(spec, history=history, recorder=LatencyRecorder(),
                        codec=codec)
+    controller = None
+    migration_errors: List[str] = []
+    if migrations:
+        from repro.fleet.migration import MigrationController
+
+        controller = MigrationController(
+            spec, store, journal_path=migration_journal,
+            crash_phase=migration_crash_phase)
     checker = None
     if check_inline:
         from repro.net.check import streaming_checker_for
@@ -212,6 +241,10 @@ async def run_load(spec: ClusterSpec, *,
         instrument_transport(metrics, store.process.transport, node="load")
         if checker is not None:
             instrument_checker(metrics, checker)
+        if is_fleet:
+            from repro.obs.instrument import instrument_fleet
+
+            instrument_fleet(metrics, store, controller=controller)
         if metrics_port is not None:
             from repro.obs.http import MetricsServer
 
@@ -242,9 +275,41 @@ async def run_load(spec: ClusterSpec, *,
             print(f"repro-load metrics on http://127.0.0.1:{port}/metrics",
                   flush=True)
         await store.start()    # no listeners; starts the pump
+        migration_proc = None
+        if controller is not None:
+            from repro.fleet.migration import ControllerCrashed
+
+            def _run_migrations():
+                try:
+                    yield from controller.run(list(migrations))
+                except ControllerCrashed as exc:
+                    # The in-process stand-in for kill -9: the controller's
+                    # transient freeze/mirror flags die with it (they were
+                    # process state), the journal is already closed, and the
+                    # load keeps running against the durable placement.
+                    store.placement.clear_transient()
+                    migration_errors.append(str(exc))
+
+            migration_proc = store.env.process(_run_migrations())
         await store.drive(driver)
+        if migration_proc is not None:
+            # Migrations scheduled past the load window still must finish.
+            migration_done = asyncio.ensure_future(
+                store.env.as_future(migration_proc))
+            await asyncio.wait({migration_done, store.process.pump_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+            if not migration_done.done():
+                migration_done.cancel()
+                exc = store.process.pump_task.exception()
+                if exc is not None:
+                    raise exc
+                raise RuntimeError(
+                    "event pump stopped before migrations completed")
+            await migration_done
     finally:
         await store.stop()
+        if controller is not None:
+            controller.close()
         if metrics_server is not None:
             await metrics_server.close()
         if writer is not None:
@@ -274,6 +339,15 @@ async def run_load(spec: ClusterSpec, *,
             category: recorder.percentiles(category).as_dict()
             for category in recorder.categories()
         }
+    if controller is not None:
+        migration_summary = controller.report()
+        migration_summary["crashed"] = bool(migration_errors)
+        if migration_errors:
+            migration_summary["errors"] = migration_errors
+        migration_summary["windows"] = controller.windows()
+        summary["migration"] = migration_summary
+    if is_fleet:
+        summary["routed_ops"] = dict(store.tracker.routed_ops)
     if checker is not None:
         report = checker.close()
         summary["check"] = {
@@ -292,6 +366,6 @@ async def run_load(spec: ClusterSpec, *,
     return summary
 
 
-def load_main(spec: ClusterSpec, **kwargs) -> Dict[str, Any]:
+def load_main(spec, **kwargs) -> Dict[str, Any]:
     """Synchronous wrapper for the CLI."""
     return asyncio.run(run_load(spec, **kwargs))

@@ -39,6 +39,8 @@ __all__ = [
     "RecordingHistory",
     "read_trace",
     "follow_trace_records",
+    "merge_record_streams",
+    "read_merged_traces",
 ]
 
 TRACE_SCHEMA = "repro-trace/2"
@@ -338,3 +340,127 @@ def follow_trace_records(
             warnings.warn(
                 f"trace {path} ends with a torn record (discarded): {exc}",
                 RuntimeWarning, stacklevel=2)
+
+
+# --------------------------------------------------------------------------- #
+# Merge several traces into one ordered stream
+# --------------------------------------------------------------------------- #
+def _record_ts(record: Dict[str, Any], last: float) -> float:
+    """The merge timestamp of a record.
+
+    ``edge`` records (and anything else without a timestamp) inherit the
+    last timestamp seen on their own stream, which keeps them immediately
+    after the operation they annotate — the checkers resolve edges by op id,
+    so interleaving from other streams at the same instant is harmless.
+    """
+    kind = record.get("type")
+    if kind == "inv":
+        return float(record.get("invoked_at", last))
+    if kind == "op":
+        return float(record.get("responded_at", last))
+    if kind == "abandon":
+        return float(record.get("at", last))
+    return last
+
+
+def merge_record_streams(sources, **follow_kwargs) -> Iterator[Dict[str, Any]]:
+    """Merge trace record streams into one timestamp-ordered stream.
+
+    ``sources`` are trace paths (each opened with
+    :func:`follow_trace_records`, forwarding ``follow_kwargs``) or
+    already-built record iterables.  Exactly one ``meta`` record is yielded
+    first — the first stream's header plus a ``merged_streams`` count —
+    and the per-stream headers must agree on the protocol (a merged check
+    needs one checker).  A fleet run captures one trace per load generator;
+    merging them reconstructs the single global history the streaming
+    checker consumes.
+
+    The merge is *streaming*: it holds one head record per source, always
+    yields the earliest, and advances only that source — so it can follow
+    live traces, at the cost of blocking on a silent stream until its
+    follower times out or produces data (an ordered merge cannot do better:
+    the earliest record cannot be known without every stream's head).
+
+    Each load generator numbers its operations from 1, so when merging more
+    than one stream every op id (``op_id``, ``src_op``, ``dst_op``) is
+    qualified with its stream index (``"t0:17"``) to keep ids unique in the
+    merged history.  A single source passes through unmodified.
+    """
+    iterators = [follow_trace_records(source, **follow_kwargs)
+                 if isinstance(source, str) else iter(source)
+                 for source in sources]
+    count = len(iterators)
+    heads: list = [None] * count
+    last_ts = [float("-inf")] * count
+    meta: Optional[Dict[str, Any]] = None
+
+    def qualify(index: int, record: Dict[str, Any]) -> Dict[str, Any]:
+        if count == 1:
+            return record
+        rewritten = dict(record)
+        for field in ("op_id", "src_op", "dst_op"):
+            if field in rewritten:
+                rewritten[field] = f"t{index}:{rewritten[field]}"
+        return rewritten
+
+    def advance(index: int) -> bool:
+        nonlocal meta
+        for record in iterators[index]:
+            if record.get("type") == "meta":
+                if meta is None:
+                    meta = dict(record)
+                elif record.get("protocol") != meta.get("protocol"):
+                    raise ValueError(
+                        f"cannot merge traces of different protocols: "
+                        f"{meta.get('protocol')!r} vs "
+                        f"{record.get('protocol')!r}")
+                continue  # headers repeat per rotated file; keep the first
+            heads[index] = qualify(index, record)
+            return True
+        heads[index] = None
+        return False
+
+    active = [index for index in range(count) if advance(index)]
+    emitted_meta = False
+
+    def merged_meta() -> Dict[str, Any]:
+        header = dict(meta or {})
+        header.setdefault("type", "meta")
+        header["merged_streams"] = count
+        return header
+
+    while active:
+        if not emitted_meta:
+            yield merged_meta()
+            emitted_meta = True
+        best = min(active,
+                   key=lambda index: (_record_ts(heads[index],
+                                                 last_ts[index]), index))
+        record = heads[best]
+        last_ts[best] = _record_ts(record, last_ts[best])
+        yield record
+        if not advance(best):
+            active.remove(best)
+    if not emitted_meta:
+        yield merged_meta()
+
+
+def read_merged_traces(paths) -> Tuple[Dict[str, Any], History]:
+    """Load several (possibly rotated) traces as one merged history.
+
+    The offline counterpart of :func:`merge_record_streams`: returns
+    ``(merged meta, History)`` exactly like :func:`read_trace` does for a
+    single file.
+    """
+    meta: Dict[str, Any] = {}
+
+    def capture_meta(records):
+        for record in records:
+            if not meta and record.get("type") == "meta":
+                meta.update(record)
+                continue
+            yield record
+
+    history = History.from_records(capture_meta(
+        merge_record_streams(list(paths), idle_timeout=0)))
+    return meta, history

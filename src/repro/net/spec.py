@@ -67,6 +67,26 @@ class ClusterSpec:
     def __post_init__(self) -> None:
         if self.protocol not in GRYFF_PROTOCOLS + SPANNER_PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r}")
+        # Node names must be unique across the whole spec (a duplicate would
+        # only surface later as an opaque transport registration error).
+        # The mapping already guarantees key uniqueness, so the checks are
+        # (a) every key matches its node's declared name — the way two
+        # NodeSpecs with the same name sneak past a dict — and (b) no node
+        # reuses another's listen address.
+        addresses: Dict[tuple, str] = {}
+        for key, node in self.nodes.items():
+            if not node.name:
+                raise ValueError("node with empty name in cluster spec")
+            if key != node.name:
+                raise ValueError(
+                    f"node mapping key {key!r} does not match node name "
+                    f"{node.name!r}")
+            address = (node.host, node.port)
+            if node.port != 0 and address in addresses:
+                raise ValueError(
+                    f"nodes {addresses[address]!r} and {node.name!r} share "
+                    f"listen address {node.host}:{node.port}")
+            addresses[address] = node.name
 
     # ------------------------------------------------------------------ #
     # Builders

@@ -36,6 +36,7 @@ __all__ = [
     "instrument_node",
     "instrument_fault_controller",
     "instrument_checker",
+    "instrument_fleet",
     "instrument_process",
     "peak_rss_bytes",
 ]
@@ -216,6 +217,66 @@ def instrument_checker(registry: MetricsRegistry, checker: Any,
             "Wall-clock age of the oldest record not yet covered by a "
             "closed epoch.",
         ).set_function(lag_seconds)
+
+
+def instrument_fleet(registry: MetricsRegistry, store: Any,
+                     controller: Any = None) -> None:
+    """Bind a :class:`~repro.api.store.FleetStore`'s routing state.
+
+    All scrape-time collectors over the store's live
+    :class:`~repro.fleet.ring.PlacementMap` and
+    :class:`~repro.fleet.client.OpTracker`; ``controller`` (a
+    :class:`~repro.fleet.migration.MigrationController`, optional) adds the
+    migration progress counters.
+    """
+    get = _getter(store)
+    registry.gauge(
+        "repro_fleet_placement_epoch",
+        "Version of the live placement map (bumped by each range flip).",
+    ).set_function(lambda: get().placement.version)
+    registry.gauge(
+        "repro_fleet_groups",
+        "Shard groups in the fleet topology.",
+    ).set_function(lambda: len(get().fleet.groups))
+    registry.gauge(
+        "repro_fleet_placement_ranges",
+        "Contiguous ranges in the live placement map.",
+    ).set_function(lambda: len(get().placement.ranges()))
+    routed = registry.counter(
+        "repro_fleet_routed_ops_total",
+        "Client operations routed to each owning group.")
+    for gid in get().fleet.group_ids():
+        routed.set_function(
+            (lambda g: lambda: get().tracker.routed_ops.get(g, 0))(gid),
+            group=gid)
+    registry.gauge(
+        "repro_fleet_frozen",
+        "1 while any range is fenced for a migration flip, else 0.",
+    ).set_function(lambda: float(get().placement.has_frozen()))
+    registry.gauge(
+        "repro_fleet_inflight_ops",
+        "Client operations currently holding a drain token.",
+    ).set_function(lambda: len(get().tracker.active_tokens()))
+    registry.counter(
+        "repro_fleet_mirrored_installs_total",
+        "Dual-write installs clients performed during migration windows.",
+    ).set_function(lambda: get().tracker.mirrored_installs)
+    registry.counter(
+        "repro_fleet_client_pauses_total",
+        "Operations that waited at a migration fence.",
+    ).set_function(lambda: len(get().tracker.client_pause_ms))
+    if controller is not None:
+        get_controller = _getter(controller)
+        registry.counter(
+            "repro_fleet_migrations_total",
+            "Key-range migrations completed by the controller.",
+        ).set_function(lambda: len(get_controller().migrations))
+        registry.gauge(
+            "repro_fleet_last_migration_pause_ms",
+            "Freeze-to-unfreeze pause of the most recent migration, ms.",
+        ).set_function(
+            lambda: (get_controller().migrations[-1]["pause_ms"]
+                     if get_controller().migrations else 0.0))
 
 
 def instrument_process(registry: MetricsRegistry, process: Any,

@@ -158,7 +158,7 @@ def _overlaps(start: Optional[float], end: Optional[float],
 
 
 def run_monitor(
-    trace: str,
+    trace,
     *,
     protocol: Optional[str] = None,
     model: Optional[str] = None,
@@ -178,20 +178,26 @@ def run_monitor(
 ) -> MonitorReport:
     """Tail ``trace`` and check it continuously; see the module docstring.
 
-    ``fault_windows`` are scenario-relative ``(start_ms, end_ms)`` intervals
-    anchored at the trace's first timestamped record.  ``metrics_port``
-    (0 = ephemeral) serves the monitor's own ``/metrics``; the bound server
-    runs until the monitor returns.  Exit codes in the report: 0 clean,
-    1 out-of-window violation (``alert`` is set), 2 unusable trace.
+    ``trace`` is one path or a sequence of paths; several traces (one per
+    load generator of a fleet run) are merged by timestamp into the single
+    global record stream the checker consumes
+    (:func:`~repro.net.recorder.merge_record_streams`).  ``fault_windows``
+    are scenario-relative ``(start_ms, end_ms)`` intervals anchored at the
+    trace's first timestamped record.  ``metrics_port`` (0 = ephemeral)
+    serves the monitor's own ``/metrics``; the bound server runs until the
+    monitor returns.  Exit codes in the report: 0 clean, 1 out-of-window
+    violation (``alert`` is set), 2 unusable trace.
     """
     from repro.net.check import (
         check_record_stream,
         default_model_for,
         streaming_checker_for,
     )
-    from repro.net.recorder import follow_trace_records
+    from repro.net.recorder import follow_trace_records, merge_record_streams
 
-    report = MonitorReport(trace=trace, protocol=protocol, model=model)
+    traces = [trace] if isinstance(trace, str) else list(trace)
+    trace_label = traces[0] if len(traces) == 1 else ",".join(traces)
+    report = MonitorReport(trace=trace_label, protocol=protocol, model=model)
     registry = registry if registry is not None else MetricsRegistry()
 
     # Checker-lag bookkeeping: the wall instant the oldest record not yet
@@ -248,7 +254,7 @@ def run_monitor(
         report.alert = {
             "type": "alert",
             "schema": ALERT_SCHEMA,
-            "trace": trace,
+            "trace": trace_label,
             "protocol": report.protocol,
             "model": verdict.model,
             "epoch": {
@@ -273,9 +279,16 @@ def run_monitor(
 
     checker = None
     try:
-        records = iter(follow_trace_records(
-            trace, poll_interval=poll_interval, idle_timeout=idle_timeout,
-            stop=stop, max_poll_interval=max_poll_interval, backoff=backoff))
+        if len(traces) == 1:
+            records = iter(follow_trace_records(
+                traces[0], poll_interval=poll_interval,
+                idle_timeout=idle_timeout, stop=stop,
+                max_poll_interval=max_poll_interval, backoff=backoff))
+        else:
+            records = iter(merge_record_streams(
+                traces, poll_interval=poll_interval,
+                idle_timeout=idle_timeout, stop=stop,
+                max_poll_interval=max_poll_interval, backoff=backoff))
         try:
             first = next(records, None)
             if first is not None:

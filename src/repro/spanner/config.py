@@ -59,6 +59,10 @@ class SpannerConfig:
     adjust_tee_for_blocking: bool = True
     #: Random seed for the network and workload.
     seed: int = 1
+    #: Prefix prepended to every shard name.  Empty for standalone
+    #: clusters; fleet groups use ``"g<id>/"`` so node names stay unique
+    #: across the merged multi-group topology.
+    name_prefix: str = ""
 
     def latency_matrix(self) -> LatencyMatrix:
         """The WAN latency matrix implied by ``sites``."""
@@ -71,7 +75,7 @@ class SpannerConfig:
         return sites[shard_index % len(sites)]
 
     def shard_name(self, shard_index: int) -> str:
-        return f"shard{shard_index}"
+        return f"{self.name_prefix}shard{shard_index}"
 
     def shard_for_key(self, key: str) -> str:
         """Deterministic key → shard-leader-name mapping (stable across runs)."""

@@ -83,3 +83,13 @@ class MultiVersionStore:
 
     def version_count(self, key: str) -> int:
         return len(self._versions.get(key, ()))
+
+    def purge(self, key: str) -> int:
+        """Drop every version of ``key`` (key-range migration cleanup).
+
+        Returns the number of versions removed.  ``max_commit_ts`` is left
+        untouched: it is a monotonicity marker, not derived state.
+        """
+        removed = len(self._versions.pop(key, ()))
+        self._timestamps.pop(key, None)
+        return removed

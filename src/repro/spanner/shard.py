@@ -462,6 +462,53 @@ class ShardLeader(Node):
         return None
 
     # ------------------------------------------------------------------ #
+    # Key-range migration (fleet layer)
+    # ------------------------------------------------------------------ #
+    def on_mig_dump(self, message: Message):
+        """Dump every committed version for a migration copy.
+
+        The controller filters to the moving key range client-side, so the
+        shard stays placement-blind.
+        """
+        return {"versions": [
+            [key, commit_ts, value, writer]
+            for key, commit_ts, value, writer in self.store.all_versions()]}
+
+    def on_mig_install(self, message: Message):
+        """Install migrated versions preserving their original commit
+        timestamps and writers.
+
+        Each installed version is WAL-journaled as an ordinary ``commit``
+        record, so crash recovery replays it with zero new code paths; a
+        version whose exact timestamp is already present is skipped, which
+        makes re-installs and races with live dual-writes idempotent.
+        """
+        installed = 0
+        for key, commit_ts, value, writer in message.payload["versions"]:
+            ts = float(commit_ts)
+            existing_ts, _, _ = self.store.read_at(key, ts)
+            if existing_ts == ts:
+                continue
+            self.store.apply(key, value, ts, writer=writer)
+            # Journaled under a "mig:" txn id so recovery replay can never
+            # collide with a prepare this shard holds for the original txn.
+            self._wal_append({"kind": "commit", "txn_id": f"mig:{writer}",
+                              "commit_ts": ts, "writes": {key: value}})
+            self._note_commit_ts(ts)
+            installed += 1
+        return {"ack": True, "installed": installed}
+
+    def on_mig_purge(self, message: Message):
+        """Drop versions of keys that migrated away (post-flip cleanup)."""
+        removed = 0
+        for key in message.payload["keys"]:
+            removed += self.store.purge(key)
+        if removed:
+            self._wal_append({"kind": "mig_purge",
+                              "keys": list(message.payload["keys"])})
+        return {"ack": True, "removed": removed}
+
+    # ------------------------------------------------------------------ #
     # Real-time fence support (§5.1)
     # ------------------------------------------------------------------ #
     def max_prepared_gap(self) -> float:
@@ -538,6 +585,9 @@ class ShardLeader(Node):
                 elif kind == "abort":
                     pending.pop(txn_id, None)
                     self.aborted.add(txn_id)
+                elif kind == "mig_purge":
+                    for key in record.get("keys", []):
+                        self.store.purge(key)
             for txn_id in sorted(pending):
                 entry = pending[txn_id]
                 if entry.get("coordinator") == self.name:

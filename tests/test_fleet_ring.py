@@ -1,0 +1,194 @@
+"""The consistent-hash ring and versioned placement map (`placement/1`).
+
+The map's contract (module docstring of :mod:`repro.fleet.ring`): the
+ranges exactly tile ``[0, 2**32)``, every key routes to exactly one group
+at every version, and the version is strictly monotonic across mutations.
+The property tests drive random ``move`` sequences through the map and
+re-check all three invariants at every epoch.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.ring import (
+    PLACEMENT_SCHEMA,
+    POINT_SPACE,
+    PlacementMap,
+    PlacementRange,
+    key_point,
+)
+
+
+class TestKeyPoint:
+    def test_deterministic(self):
+        assert key_point("alpha") == key_point("alpha")
+        assert key_point("alpha", seed=7) == key_point("alpha", seed=7)
+
+    def test_seed_changes_distribution(self):
+        keys = [f"key{i}" for i in range(64)]
+        assert ([key_point(k, seed=0) for k in keys]
+                != [key_point(k, seed=1) for k in keys])
+
+    def test_in_point_space(self):
+        for key in ("", "x", "key/with/slashes", "é"):
+            assert 0 <= key_point(key) < POINT_SPACE
+
+
+class TestBuild:
+    def test_deterministic_for_same_inputs(self):
+        a = PlacementMap.build(["g0", "g1", "g2"], seed=5)
+        b = PlacementMap.build(["g0", "g1", "g2"], seed=5)
+        assert a == b
+        assert a.to_dict() == b.to_dict()
+
+    def test_every_group_owns_something(self):
+        placement = PlacementMap.build(["g0", "g1", "g2", "g3"])
+        assert placement.group_ids() == ["g0", "g1", "g2", "g3"]
+
+    def test_single_group_owns_the_whole_space(self):
+        placement = PlacementMap.build(["solo"])
+        assert placement.ranges() == [PlacementRange(0, POINT_SPACE, "solo")]
+        for key in ("a", "b", "zzz"):
+            assert placement.owner(key) == "solo"
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(ValueError, match="at least one group"):
+            PlacementMap.build([])
+
+    def test_duplicate_groups_rejected(self):
+        with pytest.raises(ValueError, match="duplicate group ids"):
+            PlacementMap.build(["g0", "g0"])
+
+    def test_tiles_the_space(self):
+        placement = PlacementMap.build(["g0", "g1", "g2"], seed=11)
+        placement.validate()
+        ranges = placement.ranges()
+        assert ranges[0].lo == 0 and ranges[-1].hi == POINT_SPACE
+        for prev, cur in zip(ranges, ranges[1:]):
+            assert prev.hi == cur.lo
+
+
+class TestMove:
+    def test_version_bumps_per_move(self):
+        placement = PlacementMap.build(["g0", "g1"])
+        assert placement.version == 1
+        placement.move(0, POINT_SPACE // 2, "g1")
+        assert placement.version == 2
+        placement.move(0, POINT_SPACE // 4, "g0")
+        assert placement.version == 3
+
+    def test_move_reassigns_and_keeps_tiling(self):
+        placement = PlacementMap.build(["g0", "g1"])
+        lo, hi = POINT_SPACE // 4, POINT_SPACE // 2
+        placement.move(lo, hi, "g1")
+        placement.validate()
+        assert placement.owner_of_point(lo) == "g1"
+        assert placement.owner_of_point(hi - 1) == "g1"
+
+    def test_bad_range_rejected(self):
+        placement = PlacementMap.build(["g0", "g1"])
+        with pytest.raises(ValueError, match="invalid move range"):
+            placement.move(10, 10, "g1")
+        with pytest.raises(ValueError, match="invalid move range"):
+            placement.move(0, POINT_SPACE + 1, "g1")
+
+
+class TestValidation:
+    def test_gap_detected(self):
+        with pytest.raises(ValueError, match="gap/overlap"):
+            PlacementMap([PlacementRange(0, 10, "g0"),
+                          PlacementRange(20, POINT_SPACE, "g1")])
+
+    def test_not_starting_at_zero_detected(self):
+        with pytest.raises(ValueError, match="does not start at 0"):
+            PlacementMap([PlacementRange(5, POINT_SPACE, "g0")])
+
+    def test_not_covering_space_detected(self):
+        with pytest.raises(ValueError, match="does not cover"):
+            PlacementMap([PlacementRange(0, 10, "g0")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no ranges"):
+            PlacementMap([])
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        placement = PlacementMap.build(["g0", "g1"], seed=3)
+        placement.move(0, 1000, "g1")
+        clone = PlacementMap.from_json(placement.to_json())
+        assert clone == placement
+        assert clone.version == placement.version
+        assert clone.seed == 3
+
+    def test_schema_checked(self):
+        with pytest.raises(ValueError, match="unsupported placement schema"):
+            PlacementMap.from_dict({"schema": "placement/99", "ranges": []})
+        assert PlacementMap.build(["g0"]).to_dict()["schema"] == \
+            PLACEMENT_SCHEMA
+
+    def test_transient_state_never_serialized(self):
+        placement = PlacementMap.build(["g0", "g1"])
+        placement.freeze(0, 100)
+        placement.set_mirror(0, 100, "g1")
+        clone = PlacementMap.from_dict(placement.to_dict())
+        assert not clone.has_frozen()
+        assert not clone.has_mirrors()
+        copy = placement.copy()
+        assert not copy.has_frozen() and not copy.has_mirrors()
+
+    def test_transient_flags_work_and_clear(self):
+        placement = PlacementMap.build(["g0", "g1"])
+        placement.freeze(10, 20)
+        placement.set_mirror(10, 20, "g1")
+        assert placement.is_frozen_point(15)
+        assert not placement.is_frozen_point(20)   # half-open
+        assert placement.mirror_target(15) == "g1"
+        assert placement.mirror_target(25) is None
+        placement.clear_transient()
+        assert not placement.has_frozen() and not placement.has_mirrors()
+
+
+# --------------------------------------------------------------------------- #
+# Property: exactly one owner per key at every epoch
+# --------------------------------------------------------------------------- #
+_GIDS = ["g0", "g1", "g2"]
+
+_move = st.tuples(
+    st.integers(min_value=0, max_value=POINT_SPACE - 2),
+    st.integers(min_value=1, max_value=POINT_SPACE),
+    st.sampled_from(_GIDS),
+).map(lambda t: (t[0], min(POINT_SPACE, max(t[0] + 1, t[1])), t[2]))
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(moves=st.lists(_move, max_size=8),
+           keys=st.lists(st.text(min_size=1, max_size=12), min_size=1,
+                         max_size=8),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_every_key_has_exactly_one_owner_at_every_epoch(
+            self, moves, keys, seed):
+        placement = PlacementMap.build(_GIDS, seed=seed)
+        versions = [placement.version]
+        for lo, hi, gid in moves:
+            placement.move(lo, hi, gid)
+            versions.append(placement.version)
+            # The epoch invariants, re-checked after every mutation:
+            placement.validate()
+            for key in keys:
+                point = key_point(key, placement.seed)
+                owners = [r.group for r in placement.ranges()
+                          if r.contains(point)]
+                assert len(owners) == 1
+                assert placement.owner(key) == owners[0]
+        assert versions == sorted(set(versions))   # strictly monotonic
+
+    @settings(max_examples=30, deadline=None)
+    @given(moves=st.lists(_move, max_size=6))
+    def test_round_trip_preserves_any_reachable_placement(self, moves):
+        placement = PlacementMap.build(_GIDS, seed=1)
+        for lo, hi, gid in moves:
+            placement.move(lo, hi, gid)
+        assert PlacementMap.from_json(placement.to_json()) == placement

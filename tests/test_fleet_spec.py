@@ -1,0 +1,228 @@
+"""Fleet topology validation (`repro-fleet/1`) and the satellite
+cluster-spec name checks.
+
+A :class:`~repro.fleet.spec.FleetSpec` must reject empty groups,
+duplicate node names across groups, heterogeneous group sizes, and
+placements referencing unknown groups — all at parse time, with a clear
+:class:`~repro.fleet.spec.FleetConfigError`.  The same applies to the
+flat :class:`~repro.net.spec.ClusterSpec` it merges into (duplicate
+names / listen addresses surface as ``ValueError`` at construction, not
+as opaque transport errors later).
+"""
+
+import pytest
+
+from repro.fleet.ring import PlacementMap
+from repro.fleet.spec import (
+    FLEET_SCHEMA,
+    FleetConfigError,
+    FleetSpec,
+    load_fleet_spec,
+)
+from repro.net.spec import ClusterSpec, NodeSpec
+
+
+def _node(name, port=0, role="replica", site="CA"):
+    return NodeSpec(name=name, role=role, host="127.0.0.1", port=port,
+                    site=site)
+
+
+class TestFleetBuild:
+    def test_build_shapes_groups_and_placement(self):
+        fleet = FleetSpec.build(protocol="gryff-rsc", num_groups=3,
+                                nodes_per_group=3, base_port=0)
+        assert fleet.group_ids() == ["g0", "g1", "g2"]
+        assert fleet.group_size == 3
+        assert fleet.group_names("g1") == [
+            "g1/replica0", "g1/replica1", "g1/replica2"]
+        assert fleet.group_of("g2/replica1") == "g2"
+        assert set(fleet.placement.group_ids()) <= {"g0", "g1", "g2"}
+        assert len(fleet.all_nodes()) == 9
+
+    def test_build_rejects_zero_groups(self):
+        with pytest.raises(FleetConfigError, match="at least one group"):
+            FleetSpec.build(num_groups=0)
+
+    def test_spanner_build_names_shards(self):
+        fleet = FleetSpec.build(protocol="spanner-rss", num_groups=2,
+                                nodes_per_group=2, base_port=0)
+        assert fleet.group_names("g0") == ["g0/shard0", "g0/shard1"]
+        assert fleet.is_spanner and not fleet.is_gryff
+
+    def test_sequential_ports(self):
+        fleet = FleetSpec.build(num_groups=2, nodes_per_group=3,
+                                base_port=9300)
+        ports = [n.port for n in fleet.all_nodes().values()]
+        assert ports == list(range(9300, 9306))
+
+
+class TestFleetValidation:
+    def _groups(self):
+        return {
+            "g0": {"g0/replica0": _node("g0/replica0"),
+                   "g0/replica1": _node("g0/replica1")},
+            "g1": {"g1/replica0": _node("g1/replica0"),
+                   "g1/replica1": _node("g1/replica1")},
+        }
+
+    def _placement(self):
+        return PlacementMap.build(["g0", "g1"])
+
+    def test_valid_fleet_accepted(self):
+        FleetSpec(protocol="gryff-rsc", groups=self._groups(),
+                  placement=self._placement())
+
+    def test_empty_group_rejected(self):
+        groups = self._groups()
+        groups["g1"] = {}
+        with pytest.raises(FleetConfigError, match="has no nodes"):
+            FleetSpec(protocol="gryff-rsc", groups=groups,
+                      placement=self._placement())
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(FleetConfigError, match="no groups"):
+            FleetSpec(protocol="gryff-rsc", groups={},
+                      placement=self._placement())
+
+    def test_duplicate_names_across_groups_rejected(self):
+        groups = self._groups()
+        groups["g1"] = {"g0/replica0": _node("g0/replica0"),
+                        "g1/replica1": _node("g1/replica1")}
+        with pytest.raises(FleetConfigError, match="duplicate node name"):
+            FleetSpec(protocol="gryff-rsc", groups=groups,
+                      placement=self._placement())
+
+    def test_mapping_key_name_mismatch_rejected(self):
+        groups = self._groups()
+        groups["g0"] = {"g0/replica0": _node("g0/replicaX"),
+                        "g0/replica1": _node("g0/replica1")}
+        with pytest.raises(FleetConfigError, match="mapping key"):
+            FleetSpec(protocol="gryff-rsc", groups=groups,
+                      placement=self._placement())
+
+    def test_heterogeneous_group_sizes_rejected(self):
+        groups = self._groups()
+        groups["g1"] = {"g1/replica0": _node("g1/replica0")}
+        with pytest.raises(FleetConfigError, match="same size"):
+            FleetSpec(protocol="gryff-rsc", groups=groups,
+                      placement=self._placement())
+
+    def test_placement_with_unknown_group_rejected(self):
+        with pytest.raises(FleetConfigError, match="unknown groups"):
+            FleetSpec(protocol="gryff-rsc", groups=self._groups(),
+                      placement=PlacementMap.build(["g0", "g9"]))
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(FleetConfigError, match="unknown protocol"):
+            FleetSpec(protocol="dynamo", groups=self._groups(),
+                      placement=self._placement())
+
+    def test_bad_group_id_rejected(self):
+        groups = {"g 0": self._groups()["g0"]}
+        with pytest.raises(FleetConfigError, match="invalid group id"):
+            FleetSpec(protocol="gryff-rsc", groups=groups,
+                      placement=PlacementMap.build(["g 0"]))
+
+
+class TestFleetViews:
+    def test_merged_spec_addresses_every_node(self):
+        fleet = FleetSpec.build(num_groups=2, nodes_per_group=3, base_port=0)
+        merged = fleet.merged_spec()
+        assert isinstance(merged, ClusterSpec)
+        assert set(merged.nodes) == set(fleet.all_nodes())
+        assert merged.protocol == fleet.protocol
+        assert merged.epoch == fleet.epoch
+        # Same NodeSpec objects, not copies: an ephemeral port bound by a
+        # server LiveProcess propagates to clients built from the same spec.
+        for name, node in merged.nodes.items():
+            assert node is fleet.all_nodes()[name]
+
+    def test_node_configs_share_one_config_per_group(self):
+        fleet = FleetSpec.build(num_groups=2, nodes_per_group=3, base_port=0)
+        configs = fleet.node_configs()
+        assert set(configs) == set(fleet.all_nodes())
+        assert configs["g0/replica0"] is configs["g0/replica2"]
+        assert configs["g0/replica0"] is not configs["g1/replica0"]
+        assert configs["g0/replica0"].name_prefix == "g0/"
+        assert configs["g1/replica0"].name_prefix == "g1/"
+
+    def test_single_group_spanner_routes_like_standalone(self):
+        """The degenerate fleet's key→shard mapping is the standalone one."""
+        fleet = FleetSpec.build(protocol="spanner-rss", num_groups=1,
+                                nodes_per_group=3, base_port=0)
+        fleet_config = fleet.client_spanner_config()
+        standalone = ClusterSpec.spanner(num_shards=3).spanner_config()
+        for i in range(200):
+            key = f"key{i}"
+            assert fleet_config.shard_for_key(key) == \
+                f"g0/{standalone.shard_for_key(key)}"
+
+    def test_client_config_protocol_mismatch_rejected(self):
+        gryff = FleetSpec.build(protocol="gryff-rsc", base_port=0)
+        spanner = FleetSpec.build(protocol="spanner-rss", base_port=0)
+        with pytest.raises(FleetConfigError):
+            gryff.client_spanner_config()
+        with pytest.raises(FleetConfigError):
+            spanner.client_gryff_config()
+
+
+class TestFleetJson:
+    def test_round_trip(self, tmp_path):
+        fleet = FleetSpec.build(num_groups=2, nodes_per_group=3,
+                                base_port=9400, placement_seed=7)
+        path = str(tmp_path / "fleet.json")
+        fleet.save(path)
+        loaded = load_fleet_spec(path)
+        assert loaded.protocol == fleet.protocol
+        assert loaded.group_ids() == fleet.group_ids()
+        assert loaded.placement == fleet.placement
+        assert loaded.epoch == fleet.epoch
+        assert loaded.to_dict() == fleet.to_dict()
+        assert loaded.to_dict()["schema"] == FLEET_SCHEMA
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(FleetConfigError, match="not a repro-fleet/1"):
+            FleetSpec.from_dict({"schema": "repro-cluster/1"})
+
+    def test_duplicate_names_rejected_at_parse(self):
+        fleet = FleetSpec.build(num_groups=2, nodes_per_group=2, base_port=0)
+        data = fleet.to_dict()
+        data["groups"]["g1"][0]["name"] = "g0/replica0"
+        with pytest.raises(FleetConfigError, match="duplicate node name"):
+            FleetSpec.from_dict(data)
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: ClusterSpec name validation at parse time
+# --------------------------------------------------------------------------- #
+class TestClusterSpecNameValidation:
+    def test_mapping_key_must_match_node_name(self):
+        with pytest.raises(ValueError, match="does not match node name"):
+            ClusterSpec(protocol="gryff-rsc",
+                        nodes={"replica0": _node("replicaX")})
+
+    def test_empty_node_name_rejected(self):
+        with pytest.raises(ValueError, match="empty name"):
+            ClusterSpec(protocol="gryff-rsc", nodes={"": _node("")})
+
+    def test_duplicate_listen_address_rejected(self):
+        nodes = {"replica0": _node("replica0", port=9500),
+                 "replica1": _node("replica1", port=9500)}
+        with pytest.raises(ValueError, match="share\\s+listen address"):
+            ClusterSpec(protocol="gryff-rsc", nodes=nodes)
+
+    def test_ephemeral_ports_do_not_collide(self):
+        nodes = {"replica0": _node("replica0", port=0),
+                 "replica1": _node("replica1", port=0)}
+        ClusterSpec(protocol="gryff-rsc", nodes=nodes)   # no raise
+
+    def test_duplicate_name_in_file_rejected(self, tmp_path):
+        spec = ClusterSpec.gryff(num_replicas=2, base_port=9510)
+        data = spec.to_dict()
+        data["nodes"][1]["name"] = "replica0"
+        import json
+
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="duplicate node name"):
+            ClusterSpec.load(str(path))

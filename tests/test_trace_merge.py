@@ -1,0 +1,138 @@
+"""Merging several trace streams into one ordered record stream.
+
+A fleet run captures one trace per load generator; ``repro load``,
+``repro live-check``, and ``repro monitor`` accept several trace paths
+and merge them by timestamp through
+:func:`~repro.net.recorder.merge_record_streams` before checking.  The
+merge must order records by their per-type timestamps, emit exactly one
+meta header (carrying ``merged_streams``), refuse mixed protocols, and
+qualify op ids per stream so independently numbered generators cannot
+collide in the merged history.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.net.recorder import (
+    merge_record_streams,
+    read_merged_traces,
+)
+
+
+def _meta(protocol="gryff-rsc", **extra):
+    return {"type": "meta", "protocol": protocol, "model": "rsc", **extra}
+
+
+def _inv(op_id, at, process="p"):
+    return {"type": "inv", "op_id": op_id, "invoked_at": at,
+            "process": process}
+
+
+def _op(op_id, invoked_at, responded_at, process="p", key="x", value=None):
+    return {"type": "op", "op_id": op_id, "op_type": "write",
+            "process": process, "key": key, "value": value,
+            "invoked_at": invoked_at, "responded_at": responded_at}
+
+
+class TestMergeOrdering:
+    def test_records_interleave_by_timestamp(self):
+        a = [_meta(), _op(1, 0.0, 10.0, "pa"), _op(2, 20.0, 30.0, "pa")]
+        b = [_meta(), _op(1, 5.0, 15.0, "pb"), _op(2, 22.0, 25.0, "pb")]
+        merged = list(merge_record_streams([a, b]))
+        assert merged[0]["type"] == "meta"
+        times = [r["responded_at"] for r in merged[1:]]
+        assert times == sorted(times) == [10.0, 15.0, 25.0, 30.0]
+
+    def test_meta_first_with_stream_count(self):
+        merged = list(merge_record_streams([[_meta()], [_meta()]]))
+        assert merged[0]["merged_streams"] == 2
+        assert merged[0]["protocol"] == "gryff-rsc"
+        assert len(merged) == 1
+
+    def test_edge_records_stay_with_their_operation(self):
+        a = [_meta(), _op(1, 0.0, 10.0, "pa"),
+             {"type": "edge", "src_op": 1, "dst_op": 1},
+             _op(2, 40.0, 50.0, "pa")]
+        b = [_meta(), _op(7, 15.0, 20.0, "pb")]
+        merged = list(merge_record_streams([a, b]))
+        kinds = [(r["type"], r.get("src_op") or r.get("op_id"))
+                 for r in merged[1:]]
+        # The edge (timestampless) inherits its stream's last timestamp,
+        # so it sorts immediately after the op it annotates.
+        assert kinds == [("op", "t0:1"), ("edge", "t0:1"),
+                         ("op", "t1:7"), ("op", "t0:2")]
+
+    def test_protocol_mismatch_rejected(self):
+        a = [_meta("gryff-rsc")]
+        b = [_meta("spanner-rss")]
+        with pytest.raises(ValueError, match="different protocols"):
+            list(merge_record_streams([a, b]))
+
+
+class TestIdQualification:
+    def test_multi_stream_ids_are_namespaced(self):
+        a = [_meta(), _op(1, 0.0, 1.0, "pa")]
+        b = [_meta(), _op(1, 2.0, 3.0, "pb")]
+        merged = list(merge_record_streams([a, b]))
+        ids = {r["op_id"] for r in merged if r["type"] == "op"}
+        assert ids == {"t0:1", "t1:1"}
+
+    def test_single_stream_passes_through_unmodified(self):
+        source = [_meta(), _op(1, 0.0, 1.0), _inv(2, 2.0)]
+        merged = list(merge_record_streams([source]))
+        assert merged[1]["op_id"] == 1      # untouched, still an int
+        assert merged[2]["op_id"] == 2
+
+    def test_edge_endpoints_qualified_consistently(self):
+        a = [_meta(), _op(1, 0.0, 1.0, "pa"), _op(2, 2.0, 3.0, "pa"),
+             {"type": "edge", "src_op": 1, "dst_op": 2}]
+        b = [_meta(), _op(1, 5.0, 6.0, "pb")]
+        merged = list(merge_record_streams([a, b]))
+        edge = next(r for r in merged if r["type"] == "edge")
+        assert (edge["src_op"], edge["dst_op"]) == ("t0:1", "t0:2")
+
+
+class TestMergedFiles:
+    def _write(self, path, records):
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+
+    def test_read_merged_traces(self, tmp_path):
+        ta = str(tmp_path / "a.jsonl")
+        tb = str(tmp_path / "b.jsonl")
+        self._write(ta, [_meta(), _op(1, 0.0, 10.0, "pa", value="va"),
+                         _op(2, 20.0, 30.0, "pa", value="va2")])
+        self._write(tb, [_meta(), _op(1, 12.0, 15.0, "pb", value="vb")])
+        meta, history = read_merged_traces([ta, tb])
+        assert meta["protocol"] == "gryff-rsc"
+        assert meta["merged_streams"] == 2
+        assert len(history) == 3
+        assert {op.process for op in history} == {"pa", "pb"}
+        # Same numeric ids from both generators coexist after merging.
+        assert len({op.op_id for op in history}) == 3
+
+    def test_live_check_cli_accepts_multiple_traces(self, tmp_path,
+                                                    capsys):
+        ta = str(tmp_path / "a.jsonl")
+        tb = str(tmp_path / "b.jsonl")
+        self._write(ta, [_meta(), _op(1, 0.0, 10.0, "pa", value="v1")])
+        self._write(tb, [_meta(), _op(1, 12.0, 15.0, "pb", value="v2")])
+        rc = cli_main(["live-check", ta, tb])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 ops" in out and "2 process(es)" in out
+
+    def test_monitor_merges_traces(self, tmp_path):
+        from repro.obs.monitor import run_monitor
+
+        ta = str(tmp_path / "a.jsonl")
+        tb = str(tmp_path / "b.jsonl")
+        self._write(ta, [_meta(), _op(1, 0.0, 10.0, "pa", value="v1")])
+        self._write(tb, [_meta(), _op(1, 12.0, 15.0, "pb", value="v2")])
+        report = run_monitor([ta, tb], idle_timeout=0.0, min_epoch_ops=1)
+        assert report.exit_code == 0
+        assert report.ops_checked == 2
+        assert report.trace == f"{ta},{tb}"
